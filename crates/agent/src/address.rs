@@ -1,0 +1,109 @@
+//! Agent addresses in the paper's `tcp://host:port` syntax.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from parsing an address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressError {
+    MissingScheme,
+    UnsupportedScheme(String),
+    MissingPort,
+    InvalidPort(String),
+    EmptyHost,
+}
+
+impl fmt::Display for AddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressError::MissingScheme => write!(f, "address missing '://' scheme separator"),
+            AddressError::UnsupportedScheme(s) => write!(f, "unsupported transport scheme '{s}'"),
+            AddressError::MissingPort => write!(f, "address missing ':port'"),
+            AddressError::InvalidPort(p) => write!(f, "invalid port '{p}'"),
+            AddressError::EmptyHost => write!(f, "address has empty host"),
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
+
+/// A transport address: `tcp://host:port`, the "directions on how to
+/// contact the agent (host, port, transport protocol)" of Fig. 8.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AgentAddress {
+    pub scheme: String,
+    pub host: String,
+    pub port: u16,
+}
+
+impl AgentAddress {
+    pub fn tcp(host: impl Into<String>, port: u16) -> Self {
+        AgentAddress { scheme: "tcp".into(), host: host.into(), port }
+    }
+
+    /// Parses `scheme://host:port`. Only `tcp` is accepted, matching the
+    /// paper's deployments.
+    pub fn parse(src: &str) -> Result<AgentAddress, AddressError> {
+        let (scheme, rest) = src.split_once("://").ok_or(AddressError::MissingScheme)?;
+        if scheme != "tcp" {
+            return Err(AddressError::UnsupportedScheme(scheme.to_string()));
+        }
+        let (host, port) = rest.rsplit_once(':').ok_or(AddressError::MissingPort)?;
+        if host.is_empty() {
+            return Err(AddressError::EmptyHost);
+        }
+        let port: u16 =
+            port.parse().map_err(|_| AddressError::InvalidPort(port.to_string()))?;
+        Ok(AgentAddress { scheme: scheme.to_string(), host: host.to_string(), port })
+    }
+}
+
+impl fmt::Display for AgentAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+impl std::str::FromStr for AgentAddress {
+    type Err = AddressError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AgentAddress::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_address() {
+        let a = AgentAddress::parse("tcp://b1.mcc.com:4356").unwrap();
+        assert_eq!(a.host, "b1.mcc.com");
+        assert_eq!(a.port, 4356);
+        assert_eq!(a.to_string(), "tcp://b1.mcc.com:4356");
+    }
+
+    #[test]
+    fn round_trips() {
+        let a = AgentAddress::tcp("localhost", 9000);
+        let b: AgentAddress = a.to_string().parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_addresses() {
+        assert_eq!(AgentAddress::parse("b1.mcc.com:4356"), Err(AddressError::MissingScheme));
+        assert_eq!(
+            AgentAddress::parse("http://x:1"),
+            Err(AddressError::UnsupportedScheme("http".into()))
+        );
+        assert_eq!(AgentAddress::parse("tcp://host"), Err(AddressError::MissingPort));
+        assert_eq!(
+            AgentAddress::parse("tcp://host:notaport"),
+            Err(AddressError::InvalidPort("notaport".into()))
+        );
+        assert_eq!(AgentAddress::parse("tcp://:80"), Err(AddressError::EmptyHost));
+        assert!(AgentAddress::parse("tcp://host:70000").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! The in-process message bus and per-agent endpoints.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use infosleuth_kqml::Message;
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A delivered message with its envelope metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub from: String,
+    pub to: String,
+    pub message: Message,
+}
+
+/// Errors from bus operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// No agent with that name is registered (it never existed, has
+    /// unregistered, or has "died") — the transport-layer connection
+    /// failure of §4.2.2.
+    UnknownAgent(String),
+    /// The agent name is already taken.
+    DuplicateAgent(String),
+    /// No reply arrived within the timeout.
+    Timeout { waiting_on: String },
+    /// The local endpoint was shut down.
+    Closed,
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownAgent(a) => write!(f, "no agent '{a}' registered on the bus"),
+            BusError::DuplicateAgent(a) => write!(f, "agent name '{a}' already registered"),
+            BusError::Timeout { waiting_on } => {
+                write!(f, "timed out waiting for a reply from '{waiting_on}'")
+            }
+            BusError::Closed => write!(f, "endpoint is closed"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+#[derive(Default)]
+struct Registry {
+    mailboxes: HashMap<String, Sender<Envelope>>,
+}
+
+/// The shared in-process transport: a registry of agent mailboxes.
+///
+/// `Bus` is cheap to clone (it is an `Arc` internally); all clones see the
+/// same registry.
+#[derive(Clone, Default)]
+pub struct Bus {
+    registry: Arc<RwLock<Registry>>,
+    conversation_counter: Arc<AtomicU64>,
+}
+
+impl Bus {
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Registers an agent and returns its endpoint. Names must be unique —
+    /// the service ontology requires a "unique identifier for the agent".
+    pub fn register(&self, name: impl Into<String>) -> Result<Endpoint, BusError> {
+        let name = name.into();
+        let mut reg = self.registry.write();
+        if reg.mailboxes.contains_key(&name) {
+            return Err(BusError::DuplicateAgent(name));
+        }
+        let (tx, rx) = unbounded();
+        reg.mailboxes.insert(name.clone(), tx);
+        Ok(Endpoint { name, bus: self.clone(), rx, pending: VecDeque::new() })
+    }
+
+    /// Removes an agent from the bus. Subsequent sends to it fail exactly
+    /// like sends to an agent that never existed, modelling agent death or
+    /// clean unregistration.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.registry.write().mailboxes.remove(name).is_some()
+    }
+
+    /// Whether an agent is currently registered ("alive").
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.registry.read().mailboxes.contains_key(name)
+    }
+
+    /// Registered agent names, sorted.
+    pub fn agents(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.registry.read().mailboxes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Delivers a message. Fails if the recipient is not registered.
+    pub fn send(&self, from: &str, to: &str, message: Message) -> Result<(), BusError> {
+        let reg = self.registry.read();
+        let tx = reg
+            .mailboxes
+            .get(to)
+            .ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
+        tx.send(Envelope { from: from.to_string(), to: to.to_string(), message })
+            .map_err(|_| BusError::UnknownAgent(to.to_string()))
+    }
+
+    /// A fresh conversation id (for `:reply-with`).
+    pub fn next_conversation_id(&self, prefix: &str) -> String {
+        let n = self.conversation_counter.fetch_add(1, Ordering::Relaxed);
+        format!("{prefix}-{n}")
+    }
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus").field("agents", &self.agents()).finish()
+    }
+}
+
+/// One agent's connection to the bus: a name, an inbox, and send helpers.
+pub struct Endpoint {
+    name: String,
+    bus: Bus,
+    rx: Receiver<Envelope>,
+    /// Messages received while waiting for a specific reply; drained by the
+    /// next plain `recv`.
+    pending: VecDeque<Envelope>,
+}
+
+impl Endpoint {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Sends a message, stamping `:sender`.
+    pub fn send(&self, to: &str, mut message: Message) -> Result<(), BusError> {
+        message.set("sender", infosleuth_kqml::SExpr::atom(&self.name));
+        message.set("receiver", infosleuth_kqml::SExpr::atom(to));
+        self.bus.send(&self.name, to, message)
+    }
+
+    /// Receives the next message, if one is queued.
+    pub fn try_recv(&mut self) -> Option<Envelope> {
+        if let Some(e) = self.pending.pop_front() {
+            return Some(e);
+        }
+        self.rx.try_recv().ok()
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Envelope> {
+        if let Some(e) = self.pending.pop_front() {
+            return Some(e);
+        }
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Request/reply: sends `message` with a fresh `:reply-with` id and
+    /// waits for the message whose `:in-reply-to` matches. Unrelated
+    /// messages that arrive meanwhile are buffered for later `recv` calls.
+    pub fn request(
+        &mut self,
+        to: &str,
+        mut message: Message,
+        timeout: Duration,
+    ) -> Result<Message, BusError> {
+        let id = self.bus.next_conversation_id(&self.name);
+        message.set("reply-with", infosleuth_kqml::SExpr::atom(&id));
+        self.send(to, message)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(BusError::Timeout { waiting_on: to.to_string() });
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.message.in_reply_to() == Some(id.as_str()) {
+                        return Ok(env.message);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(_) => return Err(BusError::Timeout { waiting_on: to.to_string() }),
+            }
+        }
+    }
+
+    /// Unregisters this endpoint from the bus (an explicit, clean exit;
+    /// dropping the endpoint without calling this models a crash where the
+    /// stale mailbox entry lingers until someone notices the agent is gone).
+    pub fn unregister(self) {
+        self.bus.unregister(&self.name);
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_kqml::{Performative, SExpr};
+
+    #[test]
+    fn register_send_receive() {
+        let bus = Bus::new();
+        let a = bus.register("a").unwrap();
+        let mut b = bus.register("b").unwrap();
+        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi")))
+            .unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, "a");
+        assert_eq!(env.message.sender(), Some("a"));
+        assert_eq!(env.message.receiver(), Some("b"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let bus = Bus::new();
+        let _a = bus.register("a").unwrap();
+        assert!(matches!(bus.register("a"), Err(BusError::DuplicateAgent(_))));
+    }
+
+    #[test]
+    fn send_to_unknown_agent_fails() {
+        let bus = Bus::new();
+        let a = bus.register("a").unwrap();
+        let err = a.send("ghost", Message::new(Performative::Tell)).unwrap_err();
+        assert!(matches!(err, BusError::UnknownAgent(_)));
+    }
+
+    #[test]
+    fn unregister_models_agent_death() {
+        let bus = Bus::new();
+        let a = bus.register("a").unwrap();
+        let b = bus.register("b").unwrap();
+        assert!(bus.is_registered("b"));
+        b.unregister();
+        assert!(!bus.is_registered("b"));
+        assert!(a.send("b", Message::new(Performative::Tell)).is_err());
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let bus = Bus::new();
+        let mut client = bus.register("client").unwrap();
+        let bus2 = bus.clone();
+        let server = std::thread::spawn(move || {
+            let mut server = bus2.register("server").unwrap();
+            let env = server.recv_timeout(Duration::from_secs(2)).unwrap();
+            let reply = env
+                .message
+                .reply_skeleton(Performative::Reply)
+                .with_content(SExpr::atom("answer"));
+            server.send(&env.from, reply).unwrap();
+        });
+        // Wait for the server to register.
+        while !bus.is_registered("server") {
+            std::thread::yield_now();
+        }
+        let reply = client
+            .request(
+                "server",
+                Message::new(Performative::AskOne).with_content(SExpr::atom("question")),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content(), Some(&SExpr::atom("answer")));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_times_out_when_peer_is_silent() {
+        let bus = Bus::new();
+        let mut client = bus.register("client").unwrap();
+        let _silent = bus.register("silent").unwrap();
+        let err = client
+            .request(
+                "silent",
+                Message::new(Performative::AskOne),
+                Duration::from_millis(30),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BusError::Timeout { .. }));
+    }
+
+    #[test]
+    fn unrelated_messages_are_buffered_during_request() {
+        let bus = Bus::new();
+        let mut client = bus.register("client").unwrap();
+        let other = bus.register("other").unwrap();
+        let responder = bus.register("responder").unwrap();
+        // `other` sends an unrelated tell, then responder replies correctly.
+        other
+            .send("client", Message::new(Performative::Tell).with_content(SExpr::atom("noise")))
+            .unwrap();
+        let bus2 = bus.clone();
+        let t = std::thread::spawn(move || {
+            // The responder thread picks up the request off its own mailbox.
+            let mut ep = responder;
+            let env = ep.recv_timeout(Duration::from_secs(2)).unwrap();
+            let reply = env.message.reply_skeleton(Performative::Reply);
+            ep.send(&env.from, reply).unwrap();
+            drop(bus2);
+        });
+        let reply = client
+            .request("responder", Message::new(Performative::AskOne), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        // The noise is still deliverable afterwards.
+        let env = client.try_recv().unwrap();
+        assert_eq!(env.message.content(), Some(&SExpr::atom("noise")));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_senders_deliver_everything() {
+        // Many threads hammer one mailbox; nothing is lost or duplicated.
+        let bus = Bus::new();
+        let mut sink = bus.register("sink").unwrap();
+        let senders: Vec<_> = (0..8)
+            .map(|s| {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    let ep = bus.register(format!("sender-{s}")).unwrap();
+                    for i in 0..50 {
+                        ep.send(
+                            "sink",
+                            Message::new(Performative::Tell)
+                                .with_content(SExpr::Atom(format!("{s}-{i}"))),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in senders {
+            t.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            let env = sink.recv_timeout(Duration::from_secs(2)).expect("message arrives");
+            let tag = env.message.content().and_then(SExpr::as_text).unwrap().to_string();
+            assert!(seen.insert(tag), "duplicate delivery");
+        }
+        assert!(sink.try_recv().is_none(), "exactly 400 messages expected");
+    }
+
+    #[test]
+    fn conversation_ids_are_unique() {
+        let bus = Bus::new();
+        let a = bus.next_conversation_id("x");
+        let b = bus.next_conversation_id("x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! Agent infrastructure: addresses, the message bus, mailboxes, liveness
+//! pings, and the known/connected broker lists of §4.2.
+//!
+//! The paper's agents talked KQML over TCP between Sparc workstations. This
+//! crate provides the equivalent in-process fabric: every agent registers a
+//! mailbox on a [`Bus`] under its unique name; [`Endpoint`]s send KQML
+//! [`Message`](infosleuth_kqml::Message)s, run request/reply conversations
+//! with timeouts, and detect dead peers exactly the way the paper describes
+//! ("either the transport layer will fail to make the connection to the
+//! broker or the broker will fail to respond").
+//!
+//! Agent *addresses* keep the paper's syntax (`tcp://b1.mcc.com:4356`) so
+//! that advertisements carry realistic contact directions even though
+//! delivery is in-process.
+
+mod address;
+mod broker_lists;
+mod bus;
+mod ping;
+
+pub use address::{AgentAddress, AddressError};
+pub use broker_lists::{BrokerLists, ReadvertisePlan};
+pub use bus::{Bus, BusError, Endpoint, Envelope};
+pub use ping::ping;

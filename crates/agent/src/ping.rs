@@ -1,0 +1,84 @@
+//! The "broker ping" of §4.2.2.
+
+use crate::bus::{BusError, Endpoint};
+use infosleuth_kqml::{Message, Performative, SExpr};
+use std::time::Duration;
+
+/// Probes whether `target` is alive and — when `about` is given — whether
+/// it still has information about the named agent.
+///
+/// Per §4.2.2: "If the broker has died, either the transport layer will
+/// fail to make the connection to the broker or the broker will fail to
+/// respond. … In the event that a broker is alive but does not have
+/// information about the agent that is doing the querying, [the agent] will
+/// receive a reply containing no matches."
+///
+/// Returns:
+/// * `Ok(true)` — the target replied and (if asked) still knows `about`;
+/// * `Ok(false)` — the target replied but no longer knows `about`;
+/// * `Err(_)` — transport failure or timeout: the target is presumed dead.
+pub fn ping(
+    endpoint: &mut Endpoint,
+    target: &str,
+    about: Option<&str>,
+    timeout: Duration,
+) -> Result<bool, BusError> {
+    let mut msg = Message::new(Performative::Ping);
+    if let Some(agent) = about {
+        msg.set("content", SExpr::atom(agent));
+    }
+    let reply = endpoint.request(target, msg, timeout)?;
+    match reply.performative {
+        // `sorry` = alive but holding no information about the agent.
+        Performative::Sorry => Ok(false),
+        _ => Ok(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Bus;
+
+    /// A minimal ping responder: knows about agents named in `known`.
+    fn spawn_responder(bus: &Bus, name: &str, known: Vec<String>) {
+        let mut ep = bus.register(name).unwrap();
+        std::thread::spawn(move || {
+            while let Some(env) = ep.recv_timeout(Duration::from_secs(2)) {
+                if env.message.performative != Performative::Ping {
+                    continue;
+                }
+                let perf = match env.message.content().and_then(SExpr::as_text) {
+                    Some(about) if !known.iter().any(|k| k == about) => Performative::Sorry,
+                    _ => Performative::Reply,
+                };
+                let reply = env.message.reply_skeleton(perf);
+                let _ = ep.send(&env.from, reply);
+            }
+        });
+    }
+
+    #[test]
+    fn ping_alive_broker() {
+        let bus = Bus::new();
+        spawn_responder(&bus, "broker", vec!["me".to_string()]);
+        let mut me = bus.register("me").unwrap();
+        assert_eq!(ping(&mut me, "broker", None, Duration::from_secs(1)), Ok(true));
+        assert_eq!(ping(&mut me, "broker", Some("me"), Duration::from_secs(1)), Ok(true));
+    }
+
+    #[test]
+    fn ping_broker_that_forgot_us() {
+        let bus = Bus::new();
+        spawn_responder(&bus, "broker", vec![]);
+        let mut me = bus.register("me").unwrap();
+        assert_eq!(ping(&mut me, "broker", Some("me"), Duration::from_secs(1)), Ok(false));
+    }
+
+    #[test]
+    fn ping_dead_broker_errors() {
+        let bus = Bus::new();
+        let mut me = bus.register("me").unwrap();
+        assert!(ping(&mut me, "gone", None, Duration::from_millis(50)).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Constraint-algebra microbenchmarks: the overlap and implication checks
+//! the broker runs per advertisement per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infosleuth_constraint::{parse_conjunction, Conjunction, Predicate};
+use std::hint::black_box;
+
+fn advertised() -> Conjunction {
+    Conjunction::from_predicates(vec![
+        Predicate::between("patient.age", 43, 75),
+        Predicate::is_in("provider.city", ["Dallas", "Houston"]),
+        Predicate::ne("patient.status", "void"),
+        Predicate::ge("stay.cost", 100.0),
+    ])
+}
+
+fn requested() -> Conjunction {
+    Conjunction::from_predicates(vec![
+        Predicate::between("patient.age", 25, 65),
+        Predicate::eq("patient.diagnosis_code", "40W"),
+        Predicate::eq("provider.city", "Dallas"),
+        Predicate::lt("stay.cost", 5000.0),
+    ])
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let a = advertised();
+    let r = requested();
+    c.bench_function("constraint/overlaps", |b| b.iter(|| black_box(a.overlaps(&r))));
+    c.bench_function("constraint/implies", |b| b.iter(|| black_box(a.implies(&r))));
+    c.bench_function("constraint/intersect", |b| b.iter(|| black_box(a.intersect(&r))));
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = "(patient age between 25 and 65) AND (patient.diagnosis code = '40W') \
+                AND city in ('Dallas', 'Houston') AND cost < 5000.0";
+    c.bench_function("constraint/parse", |b| {
+        b.iter(|| black_box(parse_conjunction(text).expect("parses")))
+    });
+}
+
+criterion_group!(benches, bench_ops, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Inter-broker search ablation: live brokers on the in-process bus,
+//! sweeping the §4.3 policy space (local-only vs all-repositories vs
+//! until-match, and hop counts over a broker chain).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infosleuth_broker::{
+    advertise_to, interconnect, query_broker, BrokerAgent, BrokerConfig, BrokerHandle,
+    FollowOption, Repository, SearchPolicy,
+};
+use infosleuth_agent::Bus;
+use infosleuth_ontology::{
+    paper_class_ontology, Advertisement, AgentLocation, AgentType, Capability,
+    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(10);
+
+fn resource_ad(name: &str, class: &str) -> Advertisement {
+    Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::AskAll])
+                .with_capabilities([Capability::relational_query_processing()])
+                .with_content(OntologyContent::new("paper-classes").with_classes([class])),
+        )
+}
+
+fn spawn_consortium(bus: &Bus, n: usize) -> Vec<BrokerHandle> {
+    let brokers: Vec<BrokerHandle> = (0..n)
+        .map(|i| {
+            let mut repo = Repository::new();
+            repo.register_ontology(paper_class_ontology());
+            // Liveness sweeps are disabled: the advertised resource agents
+            // are fixtures without live endpoints, and a mid-benchmark
+            // sweep would prune them.
+            BrokerAgent::spawn(
+                bus,
+                BrokerConfig::new(format!("broker{i}"), format!("tcp://b{i}.mcc.com:5000"))
+                    .with_ping_interval(None),
+                repo,
+            )
+            .expect("broker spawns")
+        })
+        .collect();
+    let refs: Vec<&BrokerHandle> = brokers.iter().collect();
+    interconnect(&refs).expect("consortium forms");
+    brokers
+}
+
+fn bench_follow_options(c: &mut Criterion) {
+    let bus = Bus::new();
+    let _brokers = spawn_consortium(&bus, 4);
+    let mut agent = bus.register("bench-agent").expect("fresh name");
+    // Spread 12 resource advertisements across the consortium.
+    for i in 0..12 {
+        let name = format!("ra{i}");
+        advertise_to(&mut agent, &format!("broker{}", i % 4), &resource_ad(&name, "C2"), T)
+            .expect("advertises");
+    }
+    let query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C2"]);
+    let mut group = c.benchmark_group("interbroker/follow-option");
+    group.sample_size(30);
+    for (label, policy) in [
+        ("local-only", SearchPolicy { hop_count: 0, follow: FollowOption::LocalOnly }),
+        ("until-match", SearchPolicy { hop_count: 1, follow: FollowOption::UntilMatch }),
+        ("all-repositories", SearchPolicy { hop_count: 1, follow: FollowOption::AllRepositories }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    query_broker(&mut agent, "broker0", &query, Some(policy), T)
+                        .expect("broker answers"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hop_counts(c: &mut Criterion) {
+    // A chain broker0 → broker1 → broker2 → broker3; the only matching
+    // agent lives at the far end, so higher hop budgets search deeper.
+    let bus = Bus::new();
+    let brokers = spawn_consortium(&bus, 4);
+    // Break the full mesh into a forward chain.
+    for (i, b) in brokers.iter().enumerate() {
+        b.with_repository(|r| {
+            for j in 0..4 {
+                if j != i + 1 {
+                    r.unadvertise_broker(&format!("broker{j}"));
+                }
+            }
+        });
+    }
+    let mut agent = bus.register("bench-agent").expect("fresh name");
+    advertise_to(&mut agent, "broker3", &resource_ad("far-ra", "C3"), T).expect("advertises");
+    let query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C3"]);
+    let mut group = c.benchmark_group("interbroker/hop-count");
+    group.sample_size(30);
+    for hops in [0u32, 1, 2, 3] {
+        let policy = SearchPolicy { hop_count: hops, follow: FollowOption::AllRepositories };
+        group.bench_function(format!("hops-{hops}"), |b| {
+            b.iter(|| {
+                black_box(
+                    query_broker(&mut agent, "broker0", &query, Some(policy), T)
+                        .expect("broker answers"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_follow_options, bench_hop_counts);
+criterion_main!(benches);

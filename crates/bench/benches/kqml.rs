@@ -1,0 +1,29 @@
+//! KQML message throughput: parse/print round trips and template matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infosleuth_kqml::{Message, Template};
+use std::hint::black_box;
+
+const SAMPLE: &str = "(ask-all :sender mhn-user-agent :receiver broker-1 \
+                      :language SQL :ontology paper-classes :reply-with q-42 \
+                      :content \"select * from C2 where a between 1 and 10\")";
+
+fn bench_parse_print(c: &mut Criterion) {
+    c.bench_function("kqml/parse", |b| {
+        b.iter(|| black_box(Message::parse(SAMPLE).expect("parses")))
+    });
+    let msg = Message::parse(SAMPLE).expect("parses");
+    c.bench_function("kqml/print", |b| b.iter(|| black_box(msg.to_string())));
+}
+
+fn bench_template_match(c: &mut Criterion) {
+    let template =
+        Template::parse("(ask-all :language SQL :content ?query)").expect("parses");
+    let msg = Message::parse(SAMPLE).expect("parses");
+    c.bench_function("kqml/template-match", |b| {
+        b.iter(|| black_box(template.match_message(&msg)))
+    });
+}
+
+criterion_group!(benches, bench_parse_print, bench_template_match);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! LDL engine: semi-naive vs naive evaluation (the classic ablation) on
+//! the capability-closure workload the broker actually runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infosleuth_ldl::{parse_query, parse_rules, Const, Database};
+use std::hint::black_box;
+
+/// A chain graph of `n` edges plus some fan-out.
+fn chain_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.assert("edge", vec![Const::sym(format!("n{i}")), Const::sym(format!("n{}", i + 1))]);
+        if i % 4 == 0 {
+            db.assert(
+                "edge",
+                vec![Const::sym(format!("n{i}")), Const::sym(format!("m{i}"))],
+            );
+        }
+    }
+    db
+}
+
+fn bench_semi_naive_vs_naive(c: &mut Criterion) {
+    let program = parse_rules(
+        "reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).",
+    )
+    .expect("program parses");
+    let mut group = c.benchmark_group("ldl/closure");
+    group.sample_size(20);
+    for n in [16usize, 48] {
+        let db = chain_db(n);
+        group.bench_with_input(BenchmarkId::new("semi-naive", n), &n, |b, _| {
+            b.iter(|| black_box(program.saturate(&db).expect("stratified")))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(program.saturate_naive(&db).expect("stratified")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let program = parse_rules(
+        "reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).",
+    )
+    .expect("program parses");
+    let model = program.saturate(&chain_db(48)).expect("stratified");
+    let goals = parse_query("reach(n0, X), X != n1").expect("query parses");
+    c.bench_function("ldl/query", |b| b.iter(|| black_box(model.query(&goals))));
+}
+
+criterion_group!(benches, bench_semi_naive_vs_naive, bench_query);
+criterion_main!(benches);

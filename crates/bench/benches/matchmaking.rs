@@ -1,0 +1,109 @@
+//! Broker matchmaking latency: repository-size sweep and the
+//! syntactic-vs-semantic ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infosleuth_broker::{Matchmaker, Repository};
+use infosleuth_constraint::{Conjunction, Predicate};
+use infosleuth_ontology::{
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
+    ConversationType, OntologyContent, SemanticInfo, SyntacticInfo, ServiceQuery,
+};
+use std::hint::black_box;
+
+fn resource_ad(i: usize) -> Advertisement {
+    let lo = (i % 50) as i64;
+    Advertisement::new(AgentLocation::new(
+        format!("ra{i}"),
+        format!("tcp://h{i}.mcc.com:{}", 4000 + (i % 1000)),
+        AgentType::Resource,
+    ))
+    .with_syntactic(SyntacticInfo::sql_kqml())
+    .with_semantic(
+        SemanticInfo::default()
+            .with_conversations([ConversationType::AskAll])
+            .with_capabilities([Capability::relational_query_processing()])
+            .with_content(
+                OntologyContent::new("healthcare")
+                    .with_classes(["patient", "diagnosis"])
+                    .with_slots(["patient.age", "diagnosis.code"])
+                    .with_constraints(Conjunction::from_predicates(vec![
+                        Predicate::between("patient.age", lo, lo + 30),
+                    ])),
+            ),
+    )
+}
+
+fn repo_of(n: usize) -> Repository {
+    let mut repo = Repository::new();
+    repo.register_ontology(healthcare_ontology());
+    for i in 0..n {
+        repo.advertise(resource_ad(i)).expect("valid advertisement");
+    }
+    // Pre-saturate so the bench measures matching, not rule evaluation.
+    repo.saturated();
+    repo
+}
+
+fn query() -> ServiceQuery {
+    ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_query_language("SQL 2.0")
+        .with_ontology("healthcare")
+        .with_classes(["patient"])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+            "patient.age",
+            25,
+            65,
+        )]))
+}
+
+fn bench_repository_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchmaking/repository-size");
+    for n in [8usize, 32, 128, 512] {
+        let mut repo = repo_of(n);
+        let q = query();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Matchmaker::default().match_query(&mut repo, &q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchmaking/ablation");
+    let mut repo = repo_of(128);
+    let q = query();
+    for (label, mm) in [
+        ("syntactic-only", Matchmaker { use_semantic: false, use_constraints: false }),
+        ("semantic-no-constraints", Matchmaker { use_semantic: true, use_constraints: false }),
+        ("full", Matchmaker::default()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(mm.match_query(&mut repo, &q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    // Cost of recompiling + saturating the rule base after a repository
+    // change (what an advertise/unadvertise invalidates).
+    let mut group = c.benchmark_group("matchmaking/saturation");
+    group.sample_size(20);
+    for n in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let repo = repo_of(n);
+            b.iter_batched(
+                || repo.clone(),
+                |mut r| {
+                    r.advertise(resource_ad(n + 9999)).expect("valid");
+                    black_box(r.saturated())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repository_sizes, bench_ablation, bench_saturation);
+criterion_main!(benches);

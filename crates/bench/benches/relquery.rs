@@ -1,0 +1,55 @@
+//! SQL substrate throughput: parse, plan, and execute on generated data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infosleuth_ontology::healthcare_ontology;
+use infosleuth_relquery::{execute, generate_table, parse_select, plan, Catalog, GenSpec};
+use std::hint::black_box;
+
+fn catalog(rows: usize) -> Catalog {
+    let o = healthcare_ontology();
+    let mut cat = Catalog::new();
+    cat.insert(generate_table(&o, &GenSpec::new("patient", rows, 42)).expect("generates"));
+    cat.insert(generate_table(&o, &GenSpec::new("diagnosis", rows, 43)).expect("generates"));
+    cat
+}
+
+fn bench_parse_plan(c: &mut Criterion) {
+    let sql = "select name, age from patient \
+               join diagnosis on patient.id = diagnosis.patient_id \
+               where age between 25 and 65 and code = 's1'";
+    c.bench_function("relquery/parse+plan", |b| {
+        b.iter(|| black_box(plan(&parse_select(sql).expect("parses"))))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relquery/execute");
+    for rows in [100usize, 1000] {
+        let cat = catalog(rows);
+        let select =
+            plan(&parse_select("select * from patient where age between 25 and 65").unwrap());
+        let join = plan(
+            &parse_select(
+                "select name from patient join diagnosis on patient.id = diagnosis.patient_id",
+            )
+            .unwrap(),
+        );
+        let union = plan(
+            &parse_select("select id from patient union select patient_id from diagnosis")
+                .unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::new("select", rows), &rows, |b, _| {
+            b.iter(|| black_box(execute(&select, &cat).expect("executes")))
+        });
+        group.bench_with_input(BenchmarkId::new("join", rows), &rows, |b, _| {
+            b.iter(|| black_box(execute(&join, &cat).expect("executes")))
+        });
+        group.bench_with_input(BenchmarkId::new("union", rows), &rows, |b, _| {
+            b.iter(|| black_box(execute(&union, &cat).expect("executes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_plan, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Extension ablation (§3.2 future work): star fan-out vs spanning-tree
+//! propagation for inter-broker searches.
+//!
+//! "When the number of brokers become very large, the connectivity cost
+//! could be significant. However, we may be able to reduce the
+//! connectivity cost on a per-search basis by only propagating requests
+//! along a spanning tree of the current broker digraph." The tree
+//! aggregates replies on the way back up, so the origin broker handles at
+//! most `degree` replies instead of `brokers − 1`; the price is chained
+//! reply latency. This harness measures both sides of the trade.
+
+use infosleuth_bench::{header, parse_args};
+use infosleuth_core::sim::strategies::{
+    run_averaged, BrokerSimConfig, Fanout, Strategy,
+};
+
+fn main() {
+    let opts = parse_args();
+    header("Ablation: star vs spanning-tree inter-broker propagation", &opts);
+    // Light repositories (0.25 MB advertisements) isolate the
+    // communication overhead the tree is meant to relieve: with 1 MB
+    // advertisements, per-broker reasoning dominates and the star always
+    // wins.
+    println!("  brokers  interval(s)      star(s)   tree d=2(s)   tree d=4(s)");
+    for brokers in [8usize, 32, 64] {
+        for interval in [5.0, 10.0, 20.0, 40.0] {
+            let mut row = format!("  {brokers:7}  {interval:11.0}");
+            for fanout in [Fanout::Star, Fanout::Tree { degree: 2 }, Fanout::Tree { degree: 4 }]
+            {
+                let mut cfg =
+                    BrokerSimConfig::new(brokers * 4, brokers, Strategy::Specialized);
+                cfg.mean_query_interval_s = interval;
+                cfg.fanout = fanout;
+                cfg.params = infosleuth_core::sim::SimParams {
+                    advert_mb: 0.25,
+                    ..opts.params
+                };
+                cfg.seed = opts.seed;
+                let r = run_averaged(cfg);
+                row.push_str(&format!("  {:11.1}", r.response.mean()));
+            }
+            println!("{row}");
+        }
+    }
+    println!();
+    println!("(trees win when reply-handling load dominates — large consortia at fast");
+    println!(" query rates; the star wins when latency dominates — small or idle systems)");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 15**: the close-up of replicated vs specialized
+//! brokering for mean query intervals of 10 seconds and greater
+//! (8 brokers, 32 resource agents).
+//!
+//! Expected shape (paper): "the gains in computing the answers in parallel
+//! across multiple brokers outweighs the extra overhead involved with the
+//! broker communication" — specialized sits below replicated across this
+//! range.
+
+use infosleuth_bench::{header, parse_args};
+use infosleuth_sim::strategies::figure14_point;
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 15: replicated vs specialized (8 brokers, 32 resources)", &opts);
+    println!("  mean-interval(s)   replicated(s)  specialized(s)  specialized wins?");
+    let mut wins = 0;
+    let mut points = 0;
+    for interval in [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0, 30.0] {
+        let [_, replicated, specialized] = figure14_point(interval, opts.params, opts.seed);
+        let win = specialized < replicated;
+        wins += win as u32;
+        points += 1;
+        println!(
+            "  {interval:15.0}   {replicated:13.1}  {specialized:14.1}  {}",
+            if win { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("specialized wins at {wins}/{points} points (paper: all points in this range)");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figure 16**: replicated vs specialized brokering with
+//! only 4 brokers for the same 32 resource agents — "even with a higher
+//! resource-to-broker ratio, specialization of the brokers helps."
+
+use infosleuth_bench::{header, parse_args};
+use infosleuth_sim::strategies::figure16_point;
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 16: replicated vs specialized (4 brokers, 32 resources)", &opts);
+    println!("  mean-interval(s)   replicated(s)  specialized(s)  specialized wins?");
+    let mut wins = 0;
+    let mut points = 0;
+    for interval in [16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0, 30.0] {
+        let [replicated, specialized] = figure16_point(interval, opts.params, opts.seed);
+        let win = specialized < replicated;
+        wins += win as u32;
+        points += 1;
+        println!(
+            "  {interval:15.0}   {replicated:13.1}  {specialized:14.1}  {}",
+            if win { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("specialized wins at {wins}/{points} points (paper: specialization still helps)");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 17**: scalability of specialized multibrokering —
+//! mean broker response time across system sizes (resources swept with a
+//! constant average of 8 advertisements per broker) for each system query
+//! frequency QF.
+//!
+//! Expected shape (paper): "the response times tend to level off, and
+//! certainly do not show any catastrophic behavior" as the number of
+//! agents grows; lower QF (faster querying) sits uniformly higher.
+
+use infosleuth_bench::{header, parse_args};
+use infosleuth_sim::scalability::{figure17, QUERY_FREQUENCIES, RESOURCE_SIZES};
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 17: scalability across system sizes", &opts);
+    let series = figure17(opts.params, opts.seed);
+    print!("  resources (brokers)");
+    for qf in QUERY_FREQUENCIES {
+        print!("   QF={qf:<4.0}");
+    }
+    println!();
+    for (i, &r) in RESOURCE_SIZES.iter().enumerate() {
+        let brokers = series[0][i].brokers;
+        print!("  {r:9} ({brokers:2})     ");
+        for s in &series {
+            print!("  {:7.1}", s[i].mean_response_s);
+        }
+        println!();
+    }
+    println!();
+    // Quantify the leveling-off: growth factor from smallest to largest
+    // system at the fastest query rate.
+    let first = series[0].first().expect("nonempty sweep").mean_response_s;
+    let last = series[0].last().expect("nonempty sweep").mean_response_s;
+    println!(
+        "response-time growth across a {}x size increase at QF={}: {:.2}x (no blow-up)",
+        RESOURCE_SIZES[RESOURCE_SIZES.len() - 1] / RESOURCE_SIZES[0],
+        QUERY_FREQUENCIES[0],
+        last / first
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Table 3**: mean response time expressed as the ratio
+//! multibroker / single broker, per query stream, for experiments 1–5
+//! (and prints the Table 1/Table 2 configuration for reference).
+//!
+//! Expected shape (paper): slightly above 1.0 while the system is
+//! underloaded (experiments 1–3), below 1.0 once loaded (experiments 4–5),
+//! dramatically so in experiment 5.
+
+use infosleuth_bench::{fmt, header, paper_table3, parse_args};
+use infosleuth_sim::infosleuth::{
+    experiment_resource_count, experiment_streams, table3_ratios, Stream,
+};
+
+fn main() {
+    let opts = parse_args();
+    header("Table 3: multibroker/single-broker response-time ratios", &opts);
+
+    // Table 1 / Table 2 context.
+    println!("Table 1 — query streams:");
+    for s in Stream::ALL {
+        println!("  {:3}  {} resource agent(s)", s.label(), s.resource_count());
+    }
+    println!();
+    println!("Table 2 — experimental configurations:");
+    for expt in 1..=5 {
+        let streams = experiment_streams(expt);
+        let labels: Vec<&str> = streams.iter().map(|s| s.label()).collect();
+        println!(
+            "  experiment {expt}: streams {:24} #RAs {}",
+            labels.join(" "),
+            experiment_resource_count(&streams)
+        );
+    }
+    println!();
+
+    println!("Table 3 — ratio multibroker/single (measured | paper):");
+    let columns = ["4A", "DA", "SA", "VF", "FH", "CH"];
+    println!(
+        "  expt  {}",
+        columns.map(|c| format!("{c:>15}")).join("")
+    );
+    for expt in 1..=5 {
+        let measured = table3_ratios(expt, opts.params, opts.seed);
+        let mut row = format!("  {expt:4}  ");
+        for col in columns {
+            let m = measured
+                .iter()
+                .find(|(s, _)| s.label() == col)
+                .map(|(_, r)| *r);
+            let p = paper_table3(expt, col);
+            let cell = match (m, p) {
+                (Some(m), Some(p)) => format!("{} |{}", fmt(m), fmt(p)),
+                (Some(m), None) => format!("{} |   --", fmt(m)),
+                (None, _) => "             --".to_string(),
+            };
+            row.push_str(&format!("{cell:>15}"));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("(underloaded experiments sit near 1.0; loaded ones favour multibrokering)");
+}

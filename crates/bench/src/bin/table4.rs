@@ -1,0 +1,30 @@
+//! Regenerates **Table 4** (experiment 6): mean response time expressed as
+//! the ratio multibrokering-with-specialization / multibrokering-without,
+//! per query stream, on the experiment-5 agent population.
+//!
+//! Expected shape (paper): every ratio below 1.0 — "the individual brokers
+//! reason over less information, and therefore the reasoning is more
+//! straightforward and less costly."
+
+use infosleuth_bench::{fmt, header, paper_table4, parse_args};
+use infosleuth_sim::infosleuth::table4_ratios;
+
+fn main() {
+    let opts = parse_args();
+    header("Table 4: specialization/no-specialization response-time ratios", &opts);
+
+    let measured = table4_ratios(opts.params, opts.seed);
+    println!("  stream   measured |  paper");
+    for (stream, ratio) in &measured {
+        let p = paper_table4(stream.label())
+            .map(fmt)
+            .unwrap_or_else(|| "   --".to_string());
+        println!("  {:6}   {} | {}", stream.label(), fmt(*ratio), p);
+    }
+    let all_below_one = measured.iter().all(|(_, r)| *r < 1.0);
+    println!();
+    println!(
+        "specialization helps every stream: {}",
+        if all_below_one { "yes (matches the paper)" } else { "NO — check calibration" }
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 5**: the percentage of queries that brokers reply
+//! to, as broker failure frequency and advertisement redundancy vary.
+//!
+//! Expected shape (paper): reply percentage falls as failures become more
+//! frequent, roughly independently of redundancy ("these percentages
+//! should be independent of the redundancy of the advertisements, since it
+//! only measures whether a broker replies").
+
+use infosleuth_bench::{fmt_pct, header, parse_args, PAPER_TABLE5};
+use infosleuth_sim::robustness::{robustness_grid, FAILURE_MEANS, REDUNDANCY};
+
+fn main() {
+    let opts = parse_args();
+    header("Table 5: percentage of queries that brokers reply to", &opts);
+
+    let grid = robustness_grid(opts.params, opts.seed);
+    println!("  failure-mean  {}", REDUNDANCY.map(|k| format!("      k={k}        ")).join(""));
+    for (row, &fail) in grid.iter().zip(FAILURE_MEANS.iter()) {
+        let paper = PAPER_TABLE5
+            .iter()
+            .find(|(f, _)| *f == fail)
+            .map(|(_, v)| *v)
+            .expect("paper row present");
+        let mut line = format!("  {fail:>12.0}");
+        for (cell, paper_v) in row.iter().zip(paper.iter()) {
+            line.push_str(&format!(
+                " {}|{:6.2}%",
+                fmt_pct(cell.reply_fraction),
+                paper_v
+            ));
+        }
+        println!("{line}");
+    }
+    println!();
+    println!("(each cell: measured | paper)");
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 6**: of the queries that received a broker reply,
+//! the percentage whose reply located the unique matching resource agent.
+//!
+//! Expected shape (paper): success rises with redundancy; 100% at full
+//! redundancy ("with complete redundancy, you can always find the agent if
+//! you get a reply at all"); the heaviest-failure lowest-redundancy corner
+//! collapses.
+
+use infosleuth_bench::{fmt_pct, header, parse_args, PAPER_TABLE6};
+use infosleuth_sim::robustness::{robustness_grid, FAILURE_MEANS, REDUNDANCY};
+
+fn main() {
+    let opts = parse_args();
+    header("Table 6: percentage of answered queries that located the resource", &opts);
+
+    let grid = robustness_grid(opts.params, opts.seed);
+    println!("  failure-mean  {}", REDUNDANCY.map(|k| format!("      k={k}        ")).join(""));
+    for (row, &fail) in grid.iter().zip(FAILURE_MEANS.iter()) {
+        let paper = PAPER_TABLE6
+            .iter()
+            .find(|(f, _)| *f == fail)
+            .map(|(_, v)| *v)
+            .expect("paper row present");
+        let mut line = format!("  {fail:>12.0}");
+        for (cell, paper_v) in row.iter().zip(paper.iter()) {
+            line.push_str(&format!(
+                " {}|{:6.2}%",
+                fmt_pct(cell.located_fraction),
+                paper_v
+            ));
+        }
+        println!("{line}");
+    }
+    println!();
+    println!("(each cell: measured | paper; full redundancy must read 100%)");
+}

@@ -1,0 +1,158 @@
+//! Shared harness support for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints the measured values next to the paper's reported values so
+//! the *shape* comparison (who wins, by roughly what factor, where the
+//! crossovers fall) is visible at a glance. Absolute numbers are not
+//! expected to match — the substrate is a reimplementation, not the
+//! authors' Sparc cluster — and several literal parameters were lost in
+//! the source text (see DESIGN.md §2).
+//!
+//! All binaries accept `--quick` for a fast smoke run (shorter simulated
+//! time, fewer seeds) and `--seed N` to change the base seed.
+
+use infosleuth_sim::SimParams;
+
+/// The paper's Table 3 values: `(experiment, stream label, ratio)`.
+pub const PAPER_TABLE3: &[(usize, &str, f64)] = &[
+    (1, "4A", 1.00),
+    (2, "4A", 1.04),
+    (2, "DA", 1.05),
+    (2, "SA", 1.01),
+    (3, "4A", 1.12),
+    (3, "DA", 1.01),
+    (3, "SA", 1.05),
+    (3, "VF", 0.85),
+    (4, "4A", 0.98),
+    (4, "DA", 0.95),
+    (4, "SA", 0.91),
+    (4, "VF", 0.77),
+    (4, "FH", 0.86),
+    (5, "4A", 0.30),
+    (5, "DA", 0.31),
+    (5, "SA", 0.47),
+    (5, "VF", 0.76),
+    (5, "FH", 0.63),
+    (5, "CH", 0.67),
+];
+
+/// The paper's Table 4 values (experiment 6): `(stream label, ratio)`.
+pub const PAPER_TABLE4: &[(&str, f64)] = &[
+    ("4A", 0.86),
+    ("DA", 0.86),
+    ("SA", 0.87),
+    ("VF", 0.74),
+    ("FH", 0.60),
+    ("CH", 0.29),
+];
+
+/// The paper's Table 5: reply percentage by (failure mean, redundancy 1–5).
+pub const PAPER_TABLE5: &[(f64, [f64; 5])] = &[
+    (1_000_000.0, [99.56, 97.37, 100.00, 99.14, 100.00]),
+    (3600.0, [77.64, 70.71, 69.87, 61.26, 63.45]),
+    (1800.0, [37.50, 44.40, 46.69, 44.64, 59.41]),
+    (900.0, [34.05, 26.47, 17.87, 22.90, 16.79]),
+];
+
+/// The paper's Table 6: located percentage by (failure mean, redundancy).
+pub const PAPER_TABLE6: &[(f64, [f64; 5])] = &[
+    (1_000_000.0, [100.00, 100.00, 100.00, 100.00, 100.00]),
+    (3600.0, [75.00, 92.90, 92.22, 97.42, 100.00]),
+    (1800.0, [75.86, 85.44, 95.58, 100.00, 100.00]),
+    (900.0, [20.25, 76.19, 69.05, 86.67, 100.00]),
+];
+
+/// Paper value for one Table 3 cell, if reported.
+pub fn paper_table3(expt: usize, stream: &str) -> Option<f64> {
+    PAPER_TABLE3
+        .iter()
+        .find(|(e, s, _)| *e == expt && *s == stream)
+        .map(|(_, _, v)| *v)
+}
+
+/// Paper value for one Table 4 cell.
+pub fn paper_table4(stream: &str) -> Option<f64> {
+    PAPER_TABLE4.iter().find(|(s, _)| *s == stream).map(|(_, v)| *v)
+}
+
+/// Parsed command-line options shared by all binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    pub params: SimParams,
+    pub seed: u64,
+    pub quick: bool,
+}
+
+/// Parses `--quick` and `--seed N` from `std::env::args`.
+pub fn parse_args() -> HarnessOptions {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let params = if quick {
+        let mut p = SimParams::quick();
+        p.runs = 2;
+        p
+    } else {
+        SimParams::default()
+    };
+    HarnessOptions { params, seed, quick }
+}
+
+/// Formats a ratio/number column entry.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "  --".to_string()
+    } else {
+        format!("{v:5.2}")
+    }
+}
+
+/// Formats a percentage entry.
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_nan() {
+        "   --".to_string()
+    } else {
+        format!("{:6.2}%", v * 100.0)
+    }
+}
+
+/// Prints a standard harness header.
+pub fn header(what: &str, opts: &HarnessOptions) {
+    println!("=== {what} ===");
+    println!(
+        "simulated {:.1} h per run, {} seeded runs averaged{} (base seed {})",
+        opts.params.sim_duration_s / 3600.0,
+        opts.params.runs,
+        if opts.quick { " [--quick]" } else { "" },
+        opts.seed,
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lookup_tables() {
+        assert_eq!(paper_table3(1, "4A"), Some(1.00));
+        assert_eq!(paper_table3(5, "CH"), Some(0.67));
+        assert_eq!(paper_table3(1, "CH"), None); // not run in experiment 1
+        assert_eq!(paper_table4("CH"), Some(0.29));
+        assert_eq!(paper_table4("XX"), None);
+        assert_eq!(PAPER_TABLE5.len(), 4);
+        assert_eq!(PAPER_TABLE6[0].1[4], 100.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt(1.0), " 1.00");
+        assert_eq!(fmt(f64::NAN), "  --");
+        assert_eq!(fmt_pct(0.5), " 50.00%");
+    }
+}

@@ -1,0 +1,1191 @@
+//! The live broker agent: a KQML message loop over the agent bus.
+//!
+//! Handles the conversations of Figures 3–4 (advertise / query) plus the
+//! multibroker machinery of §4: broker-to-broker advertising, inter-broker
+//! search with hop counts, follow options and visited-list loop prevention,
+//! liveness pings, and specialization-based admission.
+//!
+//! Each incoming message is handled on its own worker thread so that a
+//! broker blocked waiting on a peer's reply never stops serving its own
+//! repository — forwarded searches between mutually-querying brokers would
+//! otherwise deadlock.
+
+use crate::codec;
+use crate::matchmaker::{MatchResult, Matchmaker};
+use crate::objective::{AdmissionDecision, BrokerObjective};
+use crate::policy::SearchPolicy;
+use crate::repository::Repository;
+use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_ontology::{
+    Advertisement, AgentLocation, AgentType, BrokerAdvertisement, BrokerSpecialization,
+    ServiceQuery,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Static configuration for one broker.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    pub name: String,
+    /// Advertised contact directions, e.g. `tcp://b1.mcc.com:4356`.
+    pub address: String,
+    pub objective: BrokerObjective,
+    /// Policy used when a requester does not specify one ("if the
+    /// requesting agent did not specify any policy, the default policy set
+    /// by a broker will be used").
+    pub default_policy: SearchPolicy,
+    /// How long to wait for each peer broker during an inter-broker search.
+    pub peer_timeout: Duration,
+    /// Consortium memberships (Fig. 13).
+    pub consortia: BTreeSet<String>,
+    pub matchmaker: Matchmaker,
+    /// Liveness sweep interval: "the broker periodically pings each of the
+    /// agents that have advertised to it, to discover any agents that have
+    /// failed. The broker removes from its repository all information about
+    /// agents that have failed". `None` disables the sweep.
+    pub ping_interval: Option<Duration>,
+}
+
+impl BrokerConfig {
+    pub fn new(name: impl Into<String>, address: impl Into<String>) -> Self {
+        BrokerConfig {
+            name: name.into(),
+            address: address.into(),
+            objective: BrokerObjective::GeneralPurpose,
+            default_policy: SearchPolicy::default(),
+            peer_timeout: Duration::from_secs(2),
+            consortia: BTreeSet::new(),
+            matchmaker: Matchmaker::default(),
+            ping_interval: Some(Duration::from_secs(30)),
+        }
+    }
+
+    pub fn with_ping_interval(mut self, interval: Option<Duration>) -> Self {
+        self.ping_interval = interval;
+        self
+    }
+
+    pub fn with_objective(mut self, o: BrokerObjective) -> Self {
+        self.objective = o;
+        self
+    }
+
+    pub fn with_consortia<I, S>(mut self, consortia: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.consortia.extend(consortia.into_iter().map(Into::into));
+        self
+    }
+
+    /// This broker's own advertisement to peers.
+    pub fn broker_advertisement(&self) -> BrokerAdvertisement {
+        let base = Advertisement::new(AgentLocation::new(
+            self.name.clone(),
+            self.address.clone(),
+            AgentType::Broker,
+        ));
+        BrokerAdvertisement::new(base)
+            .with_consortia(self.consortia.iter().cloned())
+            .with_specialization(BrokerSpecialization {
+                agent_types: BTreeSet::new(),
+                ontologies: self.objective.ontologies(),
+                restrictions: Vec::new(),
+            })
+    }
+}
+
+struct Shared {
+    config: BrokerConfig,
+    repo: Mutex<Repository>,
+    bus: Bus,
+    shutdown: AtomicBool,
+    worker_seq: AtomicU64,
+}
+
+/// The broker agent. Construct with [`BrokerAgent::spawn`].
+pub struct BrokerAgent;
+
+/// A handle to a running broker: stop it, connect it to peers, inspect its
+/// repository.
+pub struct BrokerHandle {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BrokerAgent {
+    /// Registers the broker on the bus and starts its message loop.
+    pub fn spawn(bus: &Bus, config: BrokerConfig, repo: Repository) -> Result<BrokerHandle, BusError> {
+        let mut endpoint = bus.register(&config.name)?;
+        let shared = Arc::new(Shared {
+            config,
+            repo: Mutex::new(repo),
+            bus: bus.clone(),
+            shutdown: AtomicBool::new(false),
+            worker_seq: AtomicU64::new(0),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let thread = std::thread::spawn(move || {
+            let mut last_sweep = std::time::Instant::now();
+            while !loop_shared.shutdown.load(Ordering::Relaxed) {
+                if let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                    let worker_shared = Arc::clone(&loop_shared);
+                    std::thread::spawn(move || handle_envelope(&worker_shared, env));
+                }
+                if let Some(interval) = loop_shared.config.ping_interval {
+                    if last_sweep.elapsed() >= interval {
+                        last_sweep = std::time::Instant::now();
+                        let sweep_shared = Arc::clone(&loop_shared);
+                        std::thread::spawn(move || liveness_sweep(&sweep_shared));
+                    }
+                }
+            }
+            endpoint.unregister();
+        });
+        Ok(BrokerHandle { shared, thread: Some(thread) })
+    }
+}
+
+impl BrokerHandle {
+    pub fn name(&self) -> &str {
+        &self.shared.config.name
+    }
+
+    /// Runs a closure against the broker's repository (tests, metrics, and
+    /// pre-seeding).
+    pub fn with_repository<T>(&self, f: impl FnOnce(&mut Repository) -> T) -> T {
+        f(&mut self.shared.repo.lock())
+    }
+
+    /// Advertises this broker to a peer broker and stores the peer's
+    /// reciprocal advertisement, so both ends know each other (the
+    /// bidirectional arrows of Figure 11).
+    pub fn connect_peer(&self, peer: &str) -> Result<(), BusError> {
+        let mut ep = ephemeral_endpoint(&self.shared)?;
+        let my_ad = self.shared.config.broker_advertisement();
+        let msg = Message::new(Performative::Advertise)
+            .with_ontology("infosleuth-service")
+            .with_content(codec::broker_advertisement_to_sexpr(&my_ad));
+        let reply = ep.request(peer, msg, self.shared.config.peer_timeout)?;
+        if let Some(content) = reply.content() {
+            if let Ok(peer_ad) = codec::broker_advertisement_from_sexpr(content) {
+                let _ = self.shared.repo.lock().advertise_broker(peer_ad);
+            }
+        }
+        ep.unregister();
+        Ok(())
+    }
+
+    /// Stops the broker cleanly: the message loop exits and the broker's
+    /// mailbox is removed from the bus (subsequent sends fail like sends to
+    /// a dead process).
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Fully interconnects a set of brokers into a consortium ("a set of
+/// brokers that are fully interconnected").
+pub fn interconnect(brokers: &[&BrokerHandle]) -> Result<(), BusError> {
+    for a in brokers {
+        for b in brokers {
+            if a.name() != b.name() {
+                a.connect_peer(b.name())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn ephemeral_endpoint(shared: &Shared) -> Result<Endpoint, BusError> {
+    let seq = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+    shared.bus.register(format!("{}.w{}", shared.config.name, seq))
+}
+
+/// Sends `reply` as the broker (not as the worker's ephemeral endpoint).
+fn reply_as_broker(shared: &Shared, to: &str, mut reply: Message) {
+    reply.set("sender", SExpr::atom(&shared.config.name));
+    reply.set("receiver", SExpr::atom(to));
+    let _ = shared.bus.send(&shared.config.name, to, reply);
+}
+
+/// Pings every advertised agent and removes the ones that no longer
+/// respond — the repository-maintenance half of §2.2's lifecycle.
+fn liveness_sweep(shared: &Shared) {
+    let agents: Vec<String> = {
+        let repo = shared.repo.lock();
+        repo.agent_names().map(str::to_string).collect()
+    };
+    if agents.is_empty() {
+        return;
+    }
+    let Ok(mut ep) = ephemeral_endpoint(shared) else {
+        return;
+    };
+    let mut dead = Vec::new();
+    for agent in agents {
+        let probe = Message::new(Performative::Ping);
+        if ep.request(&agent, probe, shared.config.peer_timeout).is_err() {
+            dead.push(agent);
+        }
+    }
+    ep.unregister();
+    if !dead.is_empty() {
+        let mut repo = shared.repo.lock();
+        for agent in dead {
+            repo.unadvertise(&agent);
+        }
+    }
+}
+
+fn handle_envelope(shared: &Shared, env: infosleuth_agent::Envelope) {
+    let msg = &env.message;
+    match msg.performative {
+        Performative::Advertise | Performative::Update => handle_advertise(shared, &env),
+        Performative::Unadvertise => handle_unadvertise(shared, &env),
+        Performative::Ping => handle_ping(shared, &env),
+        Performative::AskAll | Performative::RecruitAll => handle_query(shared, &env, None),
+        Performative::AskOne | Performative::RecruitOne => handle_query(shared, &env, Some(1)),
+        Performative::BrokerOne => handle_broker_one(shared, &env),
+        _ => {
+            let reply = msg
+                .reply_skeleton(Performative::Error)
+                .with_content(SExpr::string(format!(
+                    "unsupported performative '{}'",
+                    msg.performative
+                )));
+            reply_as_broker(shared, &env.from, reply);
+        }
+    }
+}
+
+fn handle_advertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
+    let Some(content) = env.message.content() else {
+        let reply = env
+            .message
+            .reply_skeleton(Performative::Error)
+            .with_content(SExpr::string("advertise without content"));
+        reply_as_broker(shared, &env.from, reply);
+        return;
+    };
+    // Peer broker advertising itself?
+    if let Ok(broker_ad) = codec::broker_advertisement_from_sexpr(content) {
+        let accepted = shared.repo.lock().advertise_broker(broker_ad);
+        let reply = match accepted {
+            Ok(()) => {
+                // Reciprocate with our own advertisement so the sender can
+                // store it (one round trip establishes mutual knowledge).
+                let mine = shared.config.broker_advertisement();
+                env.message
+                    .reply_skeleton(Performative::Tell)
+                    .with_content(codec::broker_advertisement_to_sexpr(&mine))
+            }
+            Err(e) => env
+                .message
+                .reply_skeleton(Performative::Sorry)
+                .with_content(SExpr::string(e.to_string())),
+        };
+        reply_as_broker(shared, &env.from, reply);
+        return;
+    }
+    match codec::advertisement_from_sexpr(content) {
+        Ok(ad) => {
+            let decision = {
+                let repo = shared.repo.lock();
+                // Fit of each known peer, from their advertised specialties.
+                let peer_fits: Vec<(String, f64)> = repo
+                    .broker_advertisements()
+                    .map(|b| {
+                        let objective = if b.specialization.ontologies.is_empty() {
+                            BrokerObjective::GeneralPurpose
+                        } else {
+                            BrokerObjective::Specialized {
+                                ontologies: b.specialization.ontologies.clone(),
+                            }
+                        };
+                        (b.base.location.name.clone(), objective.fit(&ad))
+                    })
+                    .collect();
+                shared.config.objective.admit(&ad, &peer_fits)
+            };
+            let reply = match decision {
+                AdmissionDecision::Accept => match shared.repo.lock().advertise(ad) {
+                    Ok(()) => env.message.reply_skeleton(Performative::Tell),
+                    Err(e) => env
+                        .message
+                        .reply_skeleton(Performative::Sorry)
+                        .with_content(SExpr::string(e.to_string())),
+                },
+                AdmissionDecision::Forward { candidates } => {
+                    // "If no brokers accept the advertisement, the broker …
+                    // will reply with a sorry message", listing better fits
+                    // when it has suggestions.
+                    let mut items = vec![SExpr::atom("forward-to")];
+                    items.extend(candidates.iter().map(|c| SExpr::atom(c.as_str())));
+                    env.message
+                        .reply_skeleton(Performative::Sorry)
+                        .with_content(SExpr::List(items))
+                }
+            };
+            reply_as_broker(shared, &env.from, reply);
+        }
+        Err(e) => {
+            let reply = env
+                .message
+                .reply_skeleton(Performative::Error)
+                .with_content(SExpr::string(e.to_string()));
+            reply_as_broker(shared, &env.from, reply);
+        }
+    }
+}
+
+fn handle_unadvertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
+    // Content is the agent name (atom) or absent (sender unadvertises
+    // itself).
+    let name = env
+        .message
+        .content()
+        .and_then(SExpr::as_text)
+        .map(str::to_string)
+        .unwrap_or_else(|| env.from.clone());
+    let removed = {
+        let mut repo = shared.repo.lock();
+        repo.unadvertise(&name) || repo.unadvertise_broker(&name)
+    };
+    let perf = if removed { Performative::Tell } else { Performative::Sorry };
+    reply_as_broker(shared, &env.from, env.message.reply_skeleton(perf));
+}
+
+fn handle_ping(shared: &Shared, env: &infosleuth_agent::Envelope) {
+    // "In the event that a broker is alive but does not have information
+    // about the agent that is doing the querying, [it] will receive a reply
+    // containing no matches" — modelled as `sorry`.
+    let perf = match env.message.content().and_then(SExpr::as_text) {
+        Some(about) => {
+            let repo = shared.repo.lock();
+            if repo.contains_agent(about) || repo.peer_brokers().iter().any(|b| b == about) {
+                Performative::Reply
+            } else {
+                Performative::Sorry
+            }
+        }
+        None => Performative::Reply,
+    };
+    reply_as_broker(shared, &env.from, env.message.reply_skeleton(perf));
+}
+
+fn handle_query(shared: &Shared, env: &infosleuth_agent::Envelope, force_max: Option<usize>) {
+    let Some(content) = env.message.content() else {
+        let reply = env
+            .message
+            .reply_skeleton(Performative::Error)
+            .with_content(SExpr::string("query without content"));
+        reply_as_broker(shared, &env.from, reply);
+        return;
+    };
+    // Accept either a full broker-search or a bare service-query.
+    let request = match codec::search_request_from_sexpr(content) {
+        Ok(r) => r,
+        Err(_) => match codec::service_query_from_sexpr(content) {
+            Ok(mut query) => {
+                if let Some(n) = force_max {
+                    query.max_matches = Some(query.max_matches.map_or(n, |m| m.min(n)));
+                }
+                let policy = if query.max_matches.is_some() {
+                    SearchPolicy::default_for(query.max_matches)
+                } else {
+                    shared.config.default_policy
+                };
+                codec::SearchRequest { query, policy, visited: Vec::new() }
+            }
+            Err(e) => {
+                let reply = env
+                    .message
+                    .reply_skeleton(Performative::Error)
+                    .with_content(SExpr::string(e.to_string()));
+                reply_as_broker(shared, &env.from, reply);
+                return;
+            }
+        },
+    };
+    // §4.1 "Agents Discovering Brokers": a query for agents of type
+    // `broker` is answered from the peer-broker table (plus this broker
+    // itself), filtered by advertised specialization when the requester
+    // names a data domain.
+    if request.query.agent_type == Some(AgentType::Broker) {
+        let matches = broker_discovery(shared, &request.query);
+        let perf = if matches.is_empty() { Performative::Sorry } else { Performative::Reply };
+        let reply =
+            env.message.reply_skeleton(perf).with_content(codec::matches_to_sexpr(&matches));
+        reply_as_broker(shared, &env.from, reply);
+        return;
+    }
+    let matches = collaborative_search(shared, &request);
+    let perf = if matches.is_empty() { Performative::Sorry } else { Performative::Reply };
+    let reply = env.message.reply_skeleton(perf).with_content(codec::matches_to_sexpr(&matches));
+    reply_as_broker(shared, &env.from, reply);
+}
+
+/// Answers "which brokers are available (for this domain)?" from the local
+/// broker-advertisement table, so an operational agent can "query the
+/// preferred broker for one or all of the brokers that are available in
+/// the system with the capabilities and data domain that it is interested
+/// in" and reconfigure its preferred-broker list.
+fn broker_discovery(shared: &Shared, query: &ServiceQuery) -> Vec<MatchResult> {
+    let fits = |ontologies: &std::collections::BTreeSet<String>| match &query.ontology {
+        None => true,
+        // A specialist fits if it covers the domain; a general-purpose
+        // broker (empty specialization) fits anything.
+        Some(o) => ontologies.is_empty() || ontologies.contains(o),
+    };
+    let mut out = Vec::new();
+    {
+        let repo = shared.repo.lock();
+        for b in repo.broker_advertisements() {
+            if fits(&b.specialization.ontologies) {
+                out.push(MatchResult {
+                    name: b.base.location.name.clone(),
+                    address: b.base.location.address.clone(),
+                    score: if b.specialization.ontologies.is_empty() { 1 } else { 2 },
+                    ontology: query.ontology.clone(),
+                    ..MatchResult::default()
+                });
+            }
+        }
+    }
+    // This broker itself is also a candidate.
+    if fits(&shared.config.objective.ontologies()) {
+        out.push(MatchResult {
+            name: shared.config.name.clone(),
+            address: shared.config.address.clone(),
+            score: if shared.config.objective.is_general_purpose() { 1 } else { 2 },
+            ontology: query.ontology.clone(),
+            ..MatchResult::default()
+        });
+    }
+    out.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
+    if let Some(n) = query.max_matches {
+        out.truncate(n);
+    }
+    out
+}
+
+/// Local matchmaking plus the §3.3 collaborative expansion: "Each broker
+/// request is forwarded to relevant other brokers … The response to the
+/// broker query contains the union of all agents which have advertised to
+/// some broker that the broker query reached, and which match the request."
+fn collaborative_search(shared: &Shared, request: &codec::SearchRequest) -> Vec<MatchResult> {
+    // Local matches first. For the expansion decision we must consider
+    // matches *without* the max_matches truncation, so run untruncated and
+    // truncate at the very end.
+    let mut untruncated = request.query.clone();
+    untruncated.max_matches = None;
+    let mut matches = {
+        let mut repo = shared.repo.lock();
+        shared.config.matchmaker.match_query(&mut repo, &untruncated)
+    };
+
+    if request.policy.should_expand(matches.len()) {
+        let peers: Vec<String> = {
+            let repo = shared.repo.lock();
+            // §5.2.2: "brokers can advertise their capabilities to other
+            // brokers which means that a broker can know in advance which
+            // brokers it can immediately rule out from a query" — a peer
+            // specialized in other ontologies cannot hold a match for this
+            // query's ontology, so we skip it without a network round trip.
+            let wanted_ontology = request.query.ontology.clone();
+            repo.broker_advertisements()
+                .filter(|b| {
+                    let name = &b.base.location.name;
+                    if request.visited.contains(name) || name == &shared.config.name {
+                        return false;
+                    }
+                    match (&wanted_ontology, b.specialization.ontologies.is_empty()) {
+                        // General-purpose peers, or no ontology requested:
+                        // always worth asking.
+                        (_, true) | (None, _) => true,
+                        (Some(o), false) => b.specialization.ontologies.contains(o),
+                    }
+                })
+                .map(|b| b.base.location.name.clone())
+                .collect()
+        };
+        if !peers.is_empty() {
+            // The forwarded visited list contains everywhere the request
+            // has been or is being sent, preventing loops and duplicate
+            // work even across consortium overlaps.
+            let mut visited = request.visited.clone();
+            visited.push(shared.config.name.clone());
+            visited.extend(peers.iter().cloned());
+            let forwarded = codec::SearchRequest {
+                query: untruncated.clone(),
+                policy: request.policy.next_hop(),
+                visited,
+            };
+            for peer in peers {
+                match forward_to_peer(shared, &peer, &forwarded) {
+                    Ok(peer_matches) => {
+                        matches.extend(peer_matches);
+                        if !matches.is_empty()
+                            && matches!(
+                                request.policy.follow,
+                                crate::policy::FollowOption::UntilMatch
+                            )
+                        {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        // Peer is unreachable: drop it from our repository
+                        // so future searches skip it until it re-advertises.
+                        shared.repo.lock().unadvertise_broker(&peer);
+                    }
+                }
+            }
+        }
+    }
+
+    // "…combines them with its own (possibly empty) list of providing
+    // agents, eliminating duplicated entries."
+    let mut deduped: Vec<MatchResult> = Vec::new();
+    for m in matches {
+        match deduped.iter_mut().find(|d| d.name == m.name) {
+            Some(existing) => {
+                if m.score > existing.score {
+                    *existing = m;
+                }
+            }
+            None => deduped.push(m),
+        }
+    }
+    deduped.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
+    if let Some(n) = request.query.max_matches {
+        deduped.truncate(n);
+    }
+    deduped
+}
+
+fn forward_to_peer(
+    shared: &Shared,
+    peer: &str,
+    request: &codec::SearchRequest,
+) -> Result<Vec<MatchResult>, BusError> {
+    let mut ep = ephemeral_endpoint(shared)?;
+    let msg = Message::new(Performative::AskAll)
+        .with_ontology("infosleuth-service")
+        .with_content(codec::search_request_to_sexpr(request));
+    let reply = ep.request(peer, msg, shared.config.peer_timeout);
+    ep.unregister();
+    let reply = reply?;
+    match reply.content() {
+        Some(content) => Ok(codec::matches_from_sexpr(content).unwrap_or_default()),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// KQML `broker-one`: "allow an agent to … ask a broker about other
+/// services", here in the *brokered* (delegation) form — the broker finds
+/// one matching agent, forwards the embedded message to it, and relays the
+/// answer back to the requester. Content shape:
+/// `(broker-one (service-query ...) (message "<kqml text>"))`.
+fn handle_broker_one(shared: &Shared, env: &infosleuth_agent::Envelope) {
+    let fail = |shared: &Shared, reason: String| {
+        let reply = env
+            .message
+            .reply_skeleton(Performative::Error)
+            .with_content(SExpr::string(reason));
+        reply_as_broker(shared, &env.from, reply);
+    };
+    let Some(items) = env.message.content().and_then(SExpr::as_list) else {
+        return fail(shared, "broker-one expects (broker-one (service-query ...) (message ...))".into());
+    };
+    if items.first().and_then(SExpr::as_atom) != Some("broker-one") {
+        return fail(shared, "expected (broker-one ...) content".into());
+    }
+    let Some(query_expr) = items.iter().find(|e| {
+        e.as_list()
+            .and_then(|l| l.first())
+            .and_then(SExpr::as_atom)
+            .map(|h| h == "service-query")
+            .unwrap_or(false)
+    }) else {
+        return fail(shared, "broker-one missing service-query".into());
+    };
+    let mut query = match codec::service_query_from_sexpr(query_expr) {
+        Ok(q) => q,
+        Err(e) => return fail(shared, e.to_string()),
+    };
+    query.max_matches = Some(1);
+    let Some(embedded_text) = items
+        .iter()
+        .find_map(|e| {
+            let l = e.as_list()?;
+            if l.first()?.as_atom()? == "message" {
+                l.get(1)?.as_text()
+            } else {
+                None
+            }
+        })
+    else {
+        return fail(shared, "broker-one missing embedded message".into());
+    };
+    let embedded = match Message::parse(embedded_text) {
+        Ok(m) => m,
+        Err(e) => return fail(shared, format!("embedded message: {e}")),
+    };
+    // Find one provider (collaboratively, per the until-match default).
+    let request = codec::SearchRequest {
+        query: query.clone(),
+        policy: SearchPolicy::default_for(Some(1)),
+        visited: Vec::new(),
+    };
+    let matches = collaborative_search(shared, &request);
+    let Some(target) = matches.first() else {
+        let reply = env.message.reply_skeleton(Performative::Sorry);
+        reply_as_broker(shared, &env.from, reply);
+        return;
+    };
+    // Forward and relay.
+    let Ok(mut ep) = ephemeral_endpoint(shared) else {
+        return fail(shared, "broker busy".into());
+    };
+    let forwarded = ep.request(&target.name, embedded, shared.config.peer_timeout);
+    ep.unregister();
+    match forwarded {
+        Ok(answer) => {
+            let mut relay = env.message.reply_skeleton(answer.performative.clone());
+            if let Some(content) = answer.content() {
+                relay.set("content", content.clone());
+            }
+            relay.set("language", SExpr::atom("KQML"));
+            reply_as_broker(shared, &env.from, relay);
+        }
+        Err(e) => fail(shared, format!("provider '{}' failed: {e}", target.name)),
+    }
+}
+
+/// Builds the `broker-one` content payload that the broker agent expects.
+pub fn broker_one_content(query: &ServiceQuery, embedded: &Message) -> SExpr {
+    SExpr::list([
+        SExpr::atom("broker-one"),
+        codec::service_query_to_sexpr(query),
+        SExpr::list([SExpr::atom("message"), SExpr::string(embedded.to_string())]),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Client-side helpers: what non-broker agents do to talk to a broker.
+// ---------------------------------------------------------------------
+
+/// Advertises an agent to a broker; `Ok(true)` = accepted, `Ok(false)` =
+/// declined (specialization mismatch or validation failure).
+pub fn advertise_to(
+    ep: &mut Endpoint,
+    broker: &str,
+    ad: &Advertisement,
+    timeout: Duration,
+) -> Result<bool, BusError> {
+    let msg = Message::new(Performative::Advertise)
+        .with_ontology("infosleuth-service")
+        .with_content(codec::advertisement_to_sexpr(ad));
+    let reply = ep.request(broker, msg, timeout)?;
+    Ok(reply.performative == Performative::Tell)
+}
+
+/// Withdraws an agent's advertisement from a broker.
+pub fn unadvertise_from(
+    ep: &mut Endpoint,
+    broker: &str,
+    agent: &str,
+    timeout: Duration,
+) -> Result<bool, BusError> {
+    let msg = Message::new(Performative::Unadvertise).with_content(SExpr::atom(agent));
+    let reply = ep.request(broker, msg, timeout)?;
+    Ok(reply.performative == Performative::Tell)
+}
+
+/// Queries a broker for matching agents, optionally overriding the search
+/// policy ("the requesting agent can then specify the policies under which
+/// it wishes for the broker to initiate an inter-broker search").
+pub fn query_broker(
+    ep: &mut Endpoint,
+    broker: &str,
+    query: &ServiceQuery,
+    policy: Option<SearchPolicy>,
+    timeout: Duration,
+) -> Result<Vec<MatchResult>, BusError> {
+    let content = match policy {
+        Some(policy) => codec::search_request_to_sexpr(&codec::SearchRequest {
+            query: query.clone(),
+            policy,
+            visited: Vec::new(),
+        }),
+        None => codec::service_query_to_sexpr(query),
+    };
+    let msg = Message::new(Performative::AskAll)
+        .with_ontology("infosleuth-service")
+        .with_content(content);
+    let reply = ep.request(broker, msg, timeout)?;
+    match reply.content() {
+        Some(content) => Ok(codec::matches_from_sexpr(content).unwrap_or_default()),
+        None => Ok(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_ontology::{
+        paper_class_ontology, Capability, ConversationType, OntologyContent, SemanticInfo,
+        SyntacticInfo,
+    };
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn resource_ad(name: &str, classes: &[&str]) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([ConversationType::AskAll])
+                    .with_capabilities([Capability::relational_query_processing()])
+                    .with_content(
+                        OntologyContent::new("paper-classes").with_classes(classes.to_vec()),
+                    ),
+            )
+    }
+
+    fn seeded_repo() -> Repository {
+        let mut r = Repository::new();
+        r.register_ontology(paper_class_ontology());
+        r
+    }
+
+    fn spawn_broker(bus: &Bus, name: &str) -> BrokerHandle {
+        BrokerAgent::spawn(
+            bus,
+            BrokerConfig::new(name, format!("tcp://{name}.mcc.com:5500")),
+            seeded_repo(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn advertise_query_unadvertise_conversation() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut agent = bus.register("client").unwrap();
+        assert!(advertise_to(&mut agent, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap());
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let matches = query_broker(&mut agent, "broker1", &q, None, T).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].name, "ra1");
+        assert!(unadvertise_from(&mut agent, "broker1", "ra1", T).unwrap());
+        assert!(query_broker(&mut agent, "broker1", &q, None, T).unwrap().is_empty());
+        broker.stop();
+    }
+
+    #[test]
+    fn invalid_advertisement_is_declined() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut agent = bus.register("client").unwrap();
+        let mut bad = resource_ad("ra1", &["C1"]);
+        bad.location.address = "not-an-address".into();
+        assert!(!advertise_to(&mut agent, "broker1", &bad, T).unwrap());
+        broker.stop();
+    }
+
+    #[test]
+    fn ping_semantics() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut agent = bus.register("ra1").unwrap();
+        advertise_to(&mut agent, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
+        assert_eq!(
+            infosleuth_agent::ping(&mut agent, "broker1", Some("ra1"), T),
+            Ok(true)
+        );
+        assert_eq!(
+            infosleuth_agent::ping(&mut agent, "broker1", Some("ghost"), T),
+            Ok(false)
+        );
+        broker.stop();
+        // Dead broker: transport error.
+        assert!(infosleuth_agent::ping(&mut agent, "broker1", Some("ra1"), Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn interbroker_search_unions_results() {
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        interconnect(&[&b1, &b2]).unwrap();
+        let mut ra1 = bus.register("ra1").unwrap();
+        let mut ra2 = bus.register("ra2").unwrap();
+        advertise_to(&mut ra1, "broker1", &resource_ad("ra1", &["C2"]), T).unwrap();
+        advertise_to(&mut ra2, "broker2", &resource_ad("ra2", &["C2"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C2"]);
+        // Local-only sees one agent.
+        let local =
+            query_broker(&mut ra1, "broker1", &q, Some(SearchPolicy::local()), T).unwrap();
+        assert_eq!(local.len(), 1);
+        // Default policy (hop 1, all repositories) sees both.
+        let all = query_broker(&mut ra1, "broker1", &q, None, T).unwrap();
+        let names: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["ra1", "ra2"]);
+        b1.stop();
+        b2.stop();
+    }
+
+    #[test]
+    fn hop_count_limits_search_depth() {
+        // Chain: broker1 knows broker2 knows broker3; agent only on broker3.
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        let b3 = spawn_broker(&bus, "broker3");
+        b1.connect_peer("broker2").unwrap();
+        b2.connect_peer("broker3").unwrap();
+        // Remove reverse edges so the chain is strictly forward.
+        b2.with_repository(|r| r.unadvertise_broker("broker1"));
+        b3.with_repository(|r| r.unadvertise_broker("broker2"));
+        let mut ra = bus.register("ra9").unwrap();
+        advertise_to(&mut ra, "broker3", &resource_ad("ra9", &["C1"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let hop1 = SearchPolicy { hop_count: 1, follow: crate::FollowOption::AllRepositories };
+        assert!(query_broker(&mut ra, "broker1", &q, Some(hop1), T).unwrap().is_empty());
+        let hop2 = SearchPolicy { hop_count: 2, follow: crate::FollowOption::AllRepositories };
+        let found = query_broker(&mut ra, "broker1", &q, Some(hop2), T).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "ra9");
+        b1.stop();
+        b2.stop();
+        b3.stop();
+    }
+
+    #[test]
+    fn visited_list_prevents_cycles() {
+        // Fully-connected triangle; query must terminate and not duplicate.
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        let b3 = spawn_broker(&bus, "broker3");
+        interconnect(&[&b1, &b2, &b3]).unwrap();
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker2", &resource_ad("ra1", &["C1"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let deep = SearchPolicy { hop_count: 10, follow: crate::FollowOption::AllRepositories };
+        let found = query_broker(&mut ra, "broker1", &q, Some(deep), T).unwrap();
+        assert_eq!(found.len(), 1);
+        b1.stop();
+        b2.stop();
+        b3.stop();
+    }
+
+    #[test]
+    fn until_match_stops_early() {
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        interconnect(&[&b1, &b2]).unwrap();
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
+        let mut ra2 = bus.register("ra2").unwrap();
+        advertise_to(&mut ra2, "broker2", &resource_ad("ra2", &["C1"]), T).unwrap();
+        // ask-one style: local match suffices, no expansion.
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"])
+            .one();
+        let found = query_broker(&mut ra, "broker1", &q, None, T).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "ra1");
+        b1.stop();
+        b2.stop();
+    }
+
+    #[test]
+    fn dead_peer_is_dropped_and_search_continues() {
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        let b3 = spawn_broker(&bus, "broker3");
+        interconnect(&[&b1, &b2, &b3]).unwrap();
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker3", &resource_ad("ra1", &["C1"]), T).unwrap();
+        b2.stop(); // broker2 dies without unadvertising
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let found = query_broker(&mut ra, "broker1", &q, None, T).unwrap();
+        assert_eq!(found.len(), 1);
+        // broker2 was dropped from broker1's peer table.
+        b1.with_repository(|r| {
+            assert!(!r.peer_brokers().contains(&"broker2".to_string()));
+        });
+        b1.stop();
+        b3.stop();
+    }
+
+    #[test]
+    fn specialized_broker_forwards_mismatched_advertisements() {
+        let bus = Bus::new();
+        let health = BrokerAgent::spawn(
+            &bus,
+            BrokerConfig::new("health-broker", "tcp://h1:1")
+                .with_objective(BrokerObjective::specialized(["healthcare"])),
+            seeded_repo(),
+        )
+        .unwrap();
+        let general = spawn_broker(&bus, "general-broker");
+        health.connect_peer("general-broker").unwrap();
+        let mut agent = bus.register("food-ra").unwrap();
+        let mut food_ad = resource_ad("food-ra", &[]);
+        food_ad.semantic.content = vec![OntologyContent::new("food").with_classes(["supplier"])];
+        // The specialized broker declines and suggests the general one.
+        let msg = Message::new(Performative::Advertise)
+            .with_content(codec::advertisement_to_sexpr(&food_ad));
+        let reply = agent.request("health-broker", msg, T).unwrap();
+        assert_eq!(reply.performative, Performative::Sorry);
+        let suggestions = reply.content().unwrap().as_list().unwrap();
+        assert_eq!(suggestions[0], SExpr::atom("forward-to"));
+        assert!(suggestions[1..].contains(&SExpr::atom("general-broker")));
+        // The general broker accepts it.
+        assert!(advertise_to(&mut agent, "general-broker", &food_ad, T).unwrap());
+        health.stop();
+        general.stop();
+    }
+
+    #[test]
+    fn agents_discover_brokers_through_a_broker() {
+        // §4.1: query a broker for the brokers available for a domain.
+        let bus = Bus::new();
+        let general = spawn_broker(&bus, "general-broker");
+        let specialist = BrokerAgent::spawn(
+            &bus,
+            BrokerConfig::new("health-broker", "tcp://hb.mcc.com:5502")
+                .with_objective(BrokerObjective::specialized(["healthcare"])),
+            seeded_repo(),
+        )
+        .unwrap();
+        interconnect(&[&general, &specialist]).unwrap();
+        let mut agent = bus.register("newcomer").unwrap();
+        // All brokers, any domain.
+        let q = ServiceQuery::for_agent_type(AgentType::Broker);
+        let all = query_broker(&mut agent, "general-broker", &q, None, T).unwrap();
+        let mut names: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["general-broker", "health-broker"]);
+        // Healthcare domain: the specialist ranks first.
+        let q = ServiceQuery::for_agent_type(AgentType::Broker).with_ontology("healthcare");
+        let hc = query_broker(&mut agent, "general-broker", &q, None, T).unwrap();
+        assert_eq!(hc[0].name, "health-broker");
+        assert_eq!(hc.len(), 2); // generalist still serves any domain
+        // Food domain: the healthcare specialist is excluded.
+        let q = ServiceQuery::for_agent_type(AgentType::Broker).with_ontology("food");
+        let food = query_broker(&mut agent, "general-broker", &q, None, T).unwrap();
+        let names: Vec<&str> = food.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["general-broker"]);
+        general.stop();
+        specialist.stop();
+    }
+
+    #[test]
+    fn peer_rule_out_skips_mismatched_specialists() {
+        // broker1 (generalist) knows broker2 (healthcare specialist) and
+        // broker3 (generalist). A paper-classes query is never forwarded
+        // to broker2 — even though broker2's repository secretly contains
+        // a matching agent, proving the rule-out happened client-side.
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = BrokerAgent::spawn(
+            &bus,
+            BrokerConfig::new("broker2", "tcp://b2.mcc.com:5501")
+                .with_objective(BrokerObjective::specialized(["healthcare"])),
+            seeded_repo(),
+        )
+        .unwrap();
+        let b3 = spawn_broker(&bus, "broker3");
+        interconnect(&[&b1, &b2, &b3]).unwrap();
+        // Plant a matching advertisement directly inside broker2.
+        b2.with_repository(|r| {
+            r.advertise(resource_ad("hidden-ra", &["C1"])).unwrap();
+        });
+        let mut ra = bus.register("ra3").unwrap();
+        advertise_to(&mut ra, "broker3", &resource_ad("ra3", &["C1"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let found = query_broker(&mut ra, "broker1", &q, None, T).unwrap();
+        let names: Vec<&str> = found.iter().map(|m| m.name.as_str()).collect();
+        // Only the agent reachable through the non-ruled-out peer appears.
+        assert_eq!(names, vec!["ra3"], "broker2 must be ruled out in advance");
+        // A query with no ontology still consults everyone.
+        let q_any = ServiceQuery::for_agent_type(AgentType::Resource);
+        let found = query_broker(&mut ra, "broker1", &q_any, None, T).unwrap();
+        let names: Vec<&str> = found.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"hidden-ra"), "no-ontology query reaches specialists");
+        b1.stop();
+        b2.stop();
+        b3.stop();
+    }
+
+    #[test]
+    fn liveness_sweep_prunes_dead_agents() {
+        let bus = Bus::new();
+        let mut repo = seeded_repo();
+        repo.register_ontology(paper_class_ontology());
+        let broker = BrokerAgent::spawn(
+            &bus,
+            BrokerConfig::new("broker1", "tcp://b1.mcc.com:5500")
+                .with_ping_interval(Some(Duration::from_millis(50))),
+            Repository::new(),
+        )
+        .unwrap();
+        // A live agent that answers pings.
+        let mut live = bus.register("live-ra").unwrap();
+        let live_thread = std::thread::spawn({
+            let bus = bus.clone();
+            move || {
+                let mut ep = bus.register("live-ra-loop").unwrap();
+                drop(ep.try_recv()); // silence unused warnings
+            }
+        });
+        live_thread.join().unwrap();
+        advertise_to(&mut live, "broker1", &resource_ad("live-ra", &[]), T).unwrap();
+        // A doomed agent that advertises then dies.
+        let mut doomed = bus.register("doomed-ra").unwrap();
+        advertise_to(&mut doomed, "broker1", &resource_ad("doomed-ra", &[]), T).unwrap();
+        broker.with_repository(|r| {
+            assert!(r.contains_agent("live-ra"));
+            assert!(r.contains_agent("doomed-ra"));
+        });
+        doomed.unregister(); // the agent "fails" without unregistering
+        // Keep the live agent answering pings while the sweep runs.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(env) = live.recv_timeout(Duration::from_millis(20)) {
+                if env.message.performative == Performative::Ping {
+                    let _ = live.send(&env.from, env.message.reply_skeleton(Performative::Reply));
+                }
+            }
+            let pruned = broker.with_repository(|r| !r.contains_agent("doomed-ra"));
+            if pruned {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sweep never pruned the dead agent"
+            );
+        }
+        broker.with_repository(|r| {
+            assert!(r.contains_agent("live-ra"), "live agent must survive the sweep");
+            assert!(!r.contains_agent("doomed-ra"));
+        });
+        broker.stop();
+    }
+
+    #[test]
+    fn broker_one_forwards_to_the_best_match() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        // A provider that answers ask-one with a canned reply. Register
+        // its endpoint before spawning so the broker can reach it as soon
+        // as it is advertised.
+        let mut ep = bus.register("provider-ra").unwrap();
+        let provider = std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while std::time::Instant::now() < deadline {
+                if let Some(env) = ep.recv_timeout(Duration::from_millis(20)) {
+                    if env.message.performative == Performative::AskOne {
+                        let reply = env
+                            .message
+                            .reply_skeleton(Performative::Reply)
+                            .with_content(SExpr::string("42 rows"));
+                        let _ = ep.send(&env.from, reply);
+                        break;
+                    }
+                }
+            }
+            ep.unregister();
+        });
+        let mut client = bus.register("client").unwrap();
+        advertise_to(&mut client, "broker1", &resource_ad("provider-ra", &["C1"]), T).unwrap();
+        // Delegate: "broker-one, forward my ask-one to whoever has C1".
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let embedded = Message::new(Performative::AskOne)
+            .with_language("SQL 2.0")
+            .with_content(SExpr::string("select * from C1"));
+        let msg = Message::new(Performative::BrokerOne)
+            .with_content(super::broker_one_content(&q, &embedded));
+        let reply = client.request("broker1", msg, T).unwrap();
+        assert_eq!(
+            reply.performative,
+            Performative::Reply,
+            "unexpected reply: {reply}"
+        );
+        assert_eq!(reply.content(), Some(&SExpr::string("42 rows")));
+        provider.join().unwrap();
+        // No provider for an unknown class → sorry.
+        let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C9"]);
+        let msg2 = Message::new(Performative::BrokerOne)
+            .with_content(super::broker_one_content(&q2, &embedded));
+        let reply2 = client.request("broker1", msg2, T).unwrap();
+        assert_eq!(reply2.performative, Performative::Sorry);
+        broker.stop();
+    }
+
+    #[test]
+    fn broker_one_rejects_malformed_content() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut client = bus.register("client").unwrap();
+        let msg = Message::new(Performative::BrokerOne)
+            .with_content(SExpr::atom("nonsense"));
+        let reply = client.request("broker1", msg, T).unwrap();
+        assert_eq!(reply.performative, Performative::Error);
+        broker.stop();
+    }
+
+    #[test]
+    fn unsupported_performative_gets_error() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut agent = bus.register("client").unwrap();
+        let reply = agent
+            .request("broker1", Message::new(Performative::Subscribe), T)
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Error);
+        broker.stop();
+    }
+}

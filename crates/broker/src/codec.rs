@@ -1,0 +1,710 @@
+//! SExpr encodings for the payloads that cross the agent bus: everything a
+//! broker sends or receives is a real KQML message whose `:content` is one
+//! of these forms.
+
+use crate::matchmaker::MatchResult;
+use crate::policy::{FollowOption, SearchPolicy};
+use infosleuth_constraint::{parse_conjunction, Conjunction};
+use infosleuth_kqml::SExpr;
+use infosleuth_ontology::{
+    Advertisement, AgentLocation, AgentProperties, AgentType, BrokerAdvertisement,
+    BrokerSpecialization, Capability, ConversationType, Fragment, OntologyContent, SemanticInfo,
+    ServiceQuery, SyntacticInfo,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error decoding a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(m: impl Into<String>) -> CodecError {
+    CodecError(m.into())
+}
+
+// ---------------------------------------------------------------------
+// Small helpers over the section-list format `(head item item ...)`.
+// ---------------------------------------------------------------------
+
+fn section(head: &str, items: Vec<SExpr>) -> SExpr {
+    let mut v = vec![SExpr::atom(head)];
+    v.extend(items);
+    SExpr::List(v)
+}
+
+fn texts(head: &str, it: impl IntoIterator<Item = String>) -> SExpr {
+    section(head, it.into_iter().map(SExpr::Str).collect())
+}
+
+fn atoms(head: &str, it: impl IntoIterator<Item = String>) -> SExpr {
+    section(head, it.into_iter().map(SExpr::Atom).collect())
+}
+
+/// Finds the first sub-list starting with `head`.
+fn find<'a>(items: &'a [SExpr], head: &str) -> Option<&'a [SExpr]> {
+    items.iter().find_map(|e| {
+        let list = e.as_list()?;
+        if list.first()?.as_atom()? == head {
+            Some(&list[1..])
+        } else {
+            None
+        }
+    })
+}
+
+/// All sub-lists starting with `head`.
+fn find_all<'a>(items: &'a [SExpr], head: &'a str) -> impl Iterator<Item = &'a [SExpr]> + 'a {
+    items.iter().filter_map(move |e| {
+        let list = e.as_list()?;
+        if list.first()?.as_atom()? == head {
+            Some(&list[1..])
+        } else {
+            None
+        }
+    })
+}
+
+fn text_items(items: &[SExpr]) -> Vec<String> {
+    items.iter().filter_map(|e| e.as_text().map(str::to_string)).collect()
+}
+
+fn one_text(items: &[SExpr], head: &str) -> Option<String> {
+    find(items, head).and_then(|s| s.first()).and_then(|e| e.as_text()).map(str::to_string)
+}
+
+fn one_f64(items: &[SExpr], head: &str) -> Option<f64> {
+    one_text(items, head).and_then(|t| t.parse().ok())
+}
+
+fn one_bool(items: &[SExpr], head: &str) -> Option<bool> {
+    one_text(items, head).and_then(|t| t.parse().ok())
+}
+
+fn constraints_to_sexpr(c: &Conjunction) -> SExpr {
+    section("constraints", vec![SExpr::string(c.to_text())])
+}
+
+fn constraints_from(items: &[SExpr]) -> Result<Conjunction, CodecError> {
+    match one_text(items, "constraints") {
+        None => Ok(Conjunction::always()),
+        Some(text) => {
+            parse_conjunction(&text).map_err(|e| err(format!("bad constraints: {e}")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Advertisement
+// ---------------------------------------------------------------------
+
+fn fragment_to_sexpr(class: &str, frag: &Fragment) -> SExpr {
+    match frag {
+        Fragment::Vertical { slots } => {
+            let mut v = vec![SExpr::atom("vertical"), SExpr::atom(class)];
+            v.extend(slots.iter().map(|s| SExpr::atom(s.as_str())));
+            SExpr::List(v)
+        }
+        Fragment::Horizontal { constraint } => SExpr::list([
+            SExpr::atom("horizontal"),
+            SExpr::atom(class),
+            SExpr::string(constraint.to_text()),
+        ]),
+    }
+}
+
+fn content_to_sexpr(c: &OntologyContent) -> SExpr {
+    let mut items = vec![
+        section("ontology", vec![SExpr::atom(c.ontology.as_str())]),
+        atoms("classes", c.classes.iter().cloned()),
+        atoms("slots", c.slots.iter().cloned()),
+        atoms("keys", c.keys.iter().cloned()),
+        constraints_to_sexpr(&c.constraints),
+    ];
+    if !c.fragments.is_empty() {
+        items.push(section(
+            "fragments",
+            c.fragments.iter().map(|(class, f)| fragment_to_sexpr(class, f)).collect(),
+        ));
+    }
+    section("content", items)
+}
+
+fn content_from(items: &[SExpr]) -> Result<OntologyContent, CodecError> {
+    let ontology = one_text(items, "ontology").ok_or_else(|| err("content missing ontology"))?;
+    let mut c = OntologyContent::new(ontology);
+    if let Some(classes) = find(items, "classes") {
+        c.classes = text_items(classes).into_iter().collect();
+    }
+    if let Some(slots) = find(items, "slots") {
+        c.slots = text_items(slots).into_iter().collect();
+    }
+    if let Some(keys) = find(items, "keys") {
+        c.keys = text_items(keys).into_iter().collect();
+    }
+    c.constraints = constraints_from(items)?;
+    if let Some(frags) = find(items, "fragments") {
+        for f in frags {
+            let list = f.as_list().ok_or_else(|| err("fragment must be a list"))?;
+            let kind =
+                list.first().and_then(SExpr::as_atom).ok_or_else(|| err("fragment kind"))?;
+            let class = list
+                .get(1)
+                .and_then(SExpr::as_text)
+                .ok_or_else(|| err("fragment class"))?
+                .to_string();
+            match kind {
+                "vertical" => {
+                    let slots = list[2..]
+                        .iter()
+                        .filter_map(|e| e.as_text().map(str::to_string))
+                        .collect::<Vec<_>>();
+                    c.fragments.push((class, Fragment::Vertical { slots }));
+                }
+                "horizontal" => {
+                    let text = list
+                        .get(2)
+                        .and_then(SExpr::as_text)
+                        .ok_or_else(|| err("horizontal fragment constraint"))?;
+                    let constraint = parse_conjunction(text)
+                        .map_err(|e| err(format!("bad fragment constraint: {e}")))?;
+                    c.fragments.push((class, Fragment::Horizontal { constraint }));
+                }
+                other => return Err(err(format!("unknown fragment kind '{other}'"))),
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Encodes an advertisement as `(advertisement ...)`.
+pub fn advertisement_to_sexpr(ad: &Advertisement) -> SExpr {
+    let mut items = vec![
+        section("name", vec![SExpr::atom(ad.location.name.as_str())]),
+        section("address", vec![SExpr::string(ad.location.address.as_str())]),
+        section("type", vec![SExpr::atom(ad.location.agent_type.to_string())]),
+        texts("query-languages", ad.syntactic.query_languages.iter().cloned()),
+        texts("comm-languages", ad.syntactic.communication_languages.iter().cloned()),
+        atoms("conversations", ad.semantic.conversations.iter().map(|c| c.to_string())),
+        atoms("capabilities", ad.semantic.capabilities.iter().map(|c| c.as_str().to_string())),
+    ];
+    if !ad.semantic.capability_restrictions.is_empty() {
+        items.push(texts(
+            "capability-restrictions",
+            ad.semantic.capability_restrictions.iter().cloned(),
+        ));
+    }
+    items.extend(ad.semantic.content.iter().map(content_to_sexpr));
+    let mut props = vec![
+        section("mobile", vec![SExpr::atom(ad.properties.mobile.to_string())]),
+        section("cloneable", vec![SExpr::atom(ad.properties.cloneable.to_string())]),
+    ];
+    if let Some(t) = ad.properties.estimated_response_time {
+        props.push(section("response-time", vec![SExpr::atom(t.to_string())]));
+    }
+    if let Some(t) = ad.properties.throughput {
+        props.push(section("throughput", vec![SExpr::atom(t.to_string())]));
+    }
+    items.push(section("properties", props));
+    section("advertisement", items)
+}
+
+/// Decodes an `(advertisement ...)` payload.
+pub fn advertisement_from_sexpr(e: &SExpr) -> Result<Advertisement, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("advertisement must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("advertisement") {
+        return Err(err("expected (advertisement ...)"));
+    }
+    let items = &list[1..];
+    let name = one_text(items, "name").ok_or_else(|| err("advertisement missing name"))?;
+    let address =
+        one_text(items, "address").ok_or_else(|| err("advertisement missing address"))?;
+    let agent_type: AgentType = one_text(items, "type")
+        .ok_or_else(|| err("advertisement missing type"))?
+        .parse()
+        .expect("AgentType parsing is infallible");
+    let mut ad = Advertisement::new(AgentLocation::new(name, address, agent_type));
+    ad.syntactic = SyntacticInfo::new(
+        find(items, "query-languages").map(text_items).unwrap_or_default(),
+        find(items, "comm-languages").map(text_items).unwrap_or_default(),
+    );
+    let mut sem = SemanticInfo::default();
+    if let Some(convs) = find(items, "conversations") {
+        sem.conversations = text_items(convs)
+            .into_iter()
+            .map(|s| parse_conversation(&s))
+            .collect::<BTreeSet<_>>();
+    }
+    if let Some(caps) = find(items, "capabilities") {
+        sem.capabilities = text_items(caps).into_iter().map(Capability::new).collect();
+    }
+    if let Some(rs) = find(items, "capability-restrictions") {
+        sem.capability_restrictions = text_items(rs);
+    }
+    for c in find_all(items, "content") {
+        sem.content.push(content_from(c)?);
+    }
+    ad.semantic = sem;
+    if let Some(props) = find(items, "properties") {
+        ad.properties = AgentProperties {
+            mobile: one_bool(props, "mobile").unwrap_or(false),
+            cloneable: one_bool(props, "cloneable").unwrap_or(false),
+            estimated_response_time: one_f64(props, "response-time"),
+            throughput: one_f64(props, "throughput"),
+        };
+    }
+    Ok(ad)
+}
+
+fn parse_conversation(s: &str) -> ConversationType {
+    match s {
+        "ask-all" => ConversationType::AskAll,
+        "ask-one" => ConversationType::AskOne,
+        "subscribe" => ConversationType::Subscribe,
+        "update" => ConversationType::Update,
+        "tell" => ConversationType::Tell,
+        "delegation" => ConversationType::Delegation,
+        "forwarding" => ConversationType::Forwarding,
+        "emergent" => ConversationType::Emergent,
+        other => ConversationType::Other(other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broker advertisement
+// ---------------------------------------------------------------------
+
+/// Encodes a broker advertisement as `(broker-advertisement ...)`.
+pub fn broker_advertisement_to_sexpr(ad: &BrokerAdvertisement) -> SExpr {
+    let mut items = vec![advertisement_to_sexpr(&ad.base)];
+    items.push(atoms("consortia", ad.consortia.iter().cloned()));
+    items.push(section(
+        "specialization",
+        vec![
+            atoms(
+                "agent-types",
+                ad.specialization.agent_types.iter().map(|t| t.to_string()),
+            ),
+            atoms("ontologies", ad.specialization.ontologies.iter().cloned()),
+            texts("restrictions", ad.specialization.restrictions.iter().cloned()),
+        ],
+    ));
+    section("broker-advertisement", items)
+}
+
+/// Decodes a `(broker-advertisement ...)` payload.
+pub fn broker_advertisement_from_sexpr(e: &SExpr) -> Result<BrokerAdvertisement, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("broker-advertisement must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("broker-advertisement") {
+        return Err(err("expected (broker-advertisement ...)"));
+    }
+    let items = &list[1..];
+    let base_expr = items
+        .iter()
+        .find(|e| {
+            e.as_list()
+                .and_then(|l| l.first())
+                .and_then(SExpr::as_atom)
+                .map(|h| h == "advertisement")
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| err("broker-advertisement missing base advertisement"))?;
+    let base = advertisement_from_sexpr(base_expr)?;
+    let mut ad = BrokerAdvertisement::new(base);
+    if let Some(cons) = find(items, "consortia") {
+        ad.consortia = text_items(cons).into_iter().collect();
+    }
+    if let Some(spec) = find(items, "specialization") {
+        let mut s = BrokerSpecialization::default();
+        if let Some(tys) = find(spec, "agent-types") {
+            s.agent_types = text_items(tys)
+                .into_iter()
+                .map(|t| t.parse().expect("AgentType parsing is infallible"))
+                .collect();
+        }
+        if let Some(os) = find(spec, "ontologies") {
+            s.ontologies = text_items(os).into_iter().collect();
+        }
+        if let Some(rs) = find(spec, "restrictions") {
+            s.restrictions = text_items(rs);
+        }
+        ad.specialization = s;
+    }
+    Ok(ad)
+}
+
+// ---------------------------------------------------------------------
+// Service query + search request
+// ---------------------------------------------------------------------
+
+/// Encodes a service query as `(service-query ...)`.
+pub fn service_query_to_sexpr(q: &ServiceQuery) -> SExpr {
+    let mut items = Vec::new();
+    if let Some(t) = &q.agent_type {
+        items.push(section("type", vec![SExpr::atom(t.to_string())]));
+    }
+    if let Some(n) = &q.agent_name {
+        items.push(section("name", vec![SExpr::atom(n.as_str())]));
+    }
+    if let Some(l) = &q.query_language {
+        items.push(texts("query-language", [l.clone()]));
+    }
+    if let Some(l) = &q.communication_language {
+        items.push(texts("comm-language", [l.clone()]));
+    }
+    if !q.conversations.is_empty() {
+        items.push(atoms("conversations", q.conversations.iter().map(|c| c.to_string())));
+    }
+    if !q.capabilities.is_empty() {
+        items.push(atoms("capabilities", q.capabilities.iter().map(|c| c.as_str().to_string())));
+    }
+    if let Some(o) = &q.ontology {
+        items.push(section("ontology", vec![SExpr::atom(o.as_str())]));
+    }
+    if !q.classes.is_empty() {
+        items.push(atoms("classes", q.classes.iter().cloned()));
+    }
+    if !q.slots.is_empty() {
+        items.push(atoms("slots", q.slots.iter().cloned()));
+    }
+    if !q.constraints.is_trivial() {
+        items.push(constraints_to_sexpr(&q.constraints));
+    }
+    if let Some(t) = q.max_response_time {
+        items.push(section("max-response-time", vec![SExpr::atom(t.to_string())]));
+    }
+    if let Some(m) = q.require_mobile {
+        items.push(section("require-mobile", vec![SExpr::atom(m.to_string())]));
+    }
+    if let Some(c) = q.require_cloneable {
+        items.push(section("require-cloneable", vec![SExpr::atom(c.to_string())]));
+    }
+    if let Some(n) = q.max_matches {
+        items.push(section("max-matches", vec![SExpr::atom(n.to_string())]));
+    }
+    section("service-query", items)
+}
+
+/// Decodes a `(service-query ...)` payload.
+pub fn service_query_from_sexpr(e: &SExpr) -> Result<ServiceQuery, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("service-query must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("service-query") {
+        return Err(err("expected (service-query ...)"));
+    }
+    let items = &list[1..];
+    let mut q = ServiceQuery::any();
+    if let Some(t) = one_text(items, "type") {
+        q.agent_type = Some(t.parse().expect("AgentType parsing is infallible"));
+    }
+    q.agent_name = one_text(items, "name");
+    q.query_language = one_text(items, "query-language");
+    q.communication_language = one_text(items, "comm-language");
+    if let Some(convs) = find(items, "conversations") {
+        q.conversations = text_items(convs).iter().map(|s| parse_conversation(s)).collect();
+    }
+    if let Some(caps) = find(items, "capabilities") {
+        q.capabilities = text_items(caps).into_iter().map(Capability::new).collect();
+    }
+    q.ontology = one_text(items, "ontology");
+    if let Some(cs) = find(items, "classes") {
+        q.classes = text_items(cs).into_iter().collect();
+    }
+    if let Some(ss) = find(items, "slots") {
+        q.slots = text_items(ss).into_iter().collect();
+    }
+    q.constraints = constraints_from(items)?;
+    q.max_response_time = one_f64(items, "max-response-time");
+    q.require_mobile = one_bool(items, "require-mobile");
+    q.require_cloneable = one_bool(items, "require-cloneable");
+    q.max_matches = one_text(items, "max-matches").and_then(|t| t.parse().ok());
+    Ok(q)
+}
+
+/// A broker search request: the query, the §4.3 policy, and the visited
+/// list ("we keep a list of brokers that a request has been forwarded to
+/// and pass this list along with the message").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    pub query: ServiceQuery,
+    pub policy: SearchPolicy,
+    pub visited: Vec<String>,
+}
+
+/// Encodes a search request as `(broker-search ...)`.
+pub fn search_request_to_sexpr(r: &SearchRequest) -> SExpr {
+    section(
+        "broker-search",
+        vec![
+            service_query_to_sexpr(&r.query),
+            section(
+                "policy",
+                vec![
+                    section("hop-count", vec![SExpr::atom(r.policy.hop_count.to_string())]),
+                    section("follow", vec![SExpr::atom(r.policy.follow.as_str())]),
+                ],
+            ),
+            atoms("visited", r.visited.iter().cloned()),
+        ],
+    )
+}
+
+/// Decodes a `(broker-search ...)` payload.
+pub fn search_request_from_sexpr(e: &SExpr) -> Result<SearchRequest, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("broker-search must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("broker-search") {
+        return Err(err("expected (broker-search ...)"));
+    }
+    let items = &list[1..];
+    let query_expr = items
+        .iter()
+        .find(|e| {
+            e.as_list()
+                .and_then(|l| l.first())
+                .and_then(SExpr::as_atom)
+                .map(|h| h == "service-query")
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| err("broker-search missing service-query"))?;
+    let query = service_query_from_sexpr(query_expr)?;
+    let policy = match find(items, "policy") {
+        None => SearchPolicy::default_for(query.max_matches),
+        Some(p) => SearchPolicy {
+            hop_count: one_text(p, "hop-count")
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("policy missing hop-count"))?,
+            follow: one_text(p, "follow")
+                .as_deref()
+                .and_then(FollowOption::parse)
+                .ok_or_else(|| err("policy missing follow option"))?,
+        },
+    };
+    let visited = find(items, "visited").map(text_items).unwrap_or_default();
+    Ok(SearchRequest { query, policy, visited })
+}
+
+// ---------------------------------------------------------------------
+// Match results
+// ---------------------------------------------------------------------
+
+/// Encodes match results as `(matches (match ...) ...)`.
+pub fn matches_to_sexpr(matches: &[MatchResult]) -> SExpr {
+    section(
+        "matches",
+        matches
+            .iter()
+            .map(|m| {
+                let mut items = vec![
+                    section("name", vec![SExpr::atom(m.name.as_str())]),
+                    section("address", vec![SExpr::string(m.address.as_str())]),
+                    section("score", vec![SExpr::atom(m.score.to_string())]),
+                ];
+                if let Some(t) = m.estimated_response_time {
+                    items.push(section("response-time", vec![SExpr::atom(t.to_string())]));
+                }
+                if let Some(o) = &m.ontology {
+                    items.push(section("ontology", vec![SExpr::atom(o.as_str())]));
+                }
+                if !m.classes.is_empty() {
+                    items.push(atoms("classes", m.classes.iter().cloned()));
+                }
+                if !m.slots.is_empty() {
+                    items.push(atoms("slots", m.slots.iter().cloned()));
+                }
+                if !m.keys.is_empty() {
+                    items.push(atoms("keys", m.keys.iter().cloned()));
+                }
+                section("match", items)
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a `(matches ...)` payload.
+pub fn matches_from_sexpr(e: &SExpr) -> Result<Vec<MatchResult>, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("matches must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("matches") {
+        return Err(err("expected (matches ...)"));
+    }
+    let mut out = Vec::new();
+    for m in find_all(&list[1..], "match") {
+        out.push(MatchResult {
+            name: one_text(m, "name").ok_or_else(|| err("match missing name"))?,
+            address: one_text(m, "address").ok_or_else(|| err("match missing address"))?,
+            score: one_text(m, "score")
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("match missing score"))?,
+            estimated_response_time: one_f64(m, "response-time"),
+            ontology: one_text(m, "ontology"),
+            classes: find(m, "classes").map(text_items).unwrap_or_default(),
+            slots: find(m, "slots").map(text_items).unwrap_or_default(),
+            keys: find(m, "keys").map(text_items).unwrap_or_default(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_constraint::Predicate;
+
+    fn sample_ad() -> Advertisement {
+        Advertisement::new(AgentLocation::new(
+            "ResourceAgent5",
+            "tcp://b1.mcc.com:4356",
+            AgentType::Resource,
+        ))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::Subscribe, ConversationType::AskAll])
+                .with_capabilities(["relational-query-processing", "subscription"])
+                .with_capability_restriction("no statistical aggregation")
+                .with_content(
+                    OntologyContent::new("healthcare")
+                        .with_classes(["diagnosis", "patient"])
+                        .with_slots(["diagnosis.code", "patient.age"])
+                        .with_keys(["patient.id"])
+                        .with_fragment("patient", Fragment::vertical(["id", "age"]))
+                        .with_fragment(
+                            "diagnosis",
+                            Fragment::horizontal(Conjunction::from_predicates(vec![
+                                Predicate::eq("diagnosis.code", "40W"),
+                            ])),
+                        )
+                        .with_constraints(Conjunction::from_predicates(vec![
+                            Predicate::between("patient.age", 43, 75),
+                        ])),
+                ),
+        )
+        .with_properties(AgentProperties {
+            mobile: false,
+            cloneable: true,
+            estimated_response_time: Some(5.0),
+            throughput: Some(2.5),
+        })
+    }
+
+    #[test]
+    fn advertisement_round_trips() {
+        let ad = sample_ad();
+        let e = advertisement_to_sexpr(&ad);
+        // Through text, as it would cross a real wire.
+        let text = e.to_string();
+        let parsed = SExpr::parse(&text).unwrap();
+        let back = advertisement_from_sexpr(&parsed).unwrap();
+        assert_eq!(back, ad);
+    }
+
+    #[test]
+    fn broker_advertisement_round_trips() {
+        let mut ad = BrokerAdvertisement::new(
+            Advertisement::new(AgentLocation::new("b1", "tcp://h:1", AgentType::Broker))
+                .with_syntactic(SyntacticInfo::new(["LDL"], ["KQML"])),
+        );
+        ad.consortia = ["alpha".to_string(), "beta".to_string()].into_iter().collect();
+        ad.specialization.ontologies.insert("healthcare".into());
+        ad.specialization.agent_types.insert(AgentType::Resource);
+        ad.specialization.restrictions.push("patients only".into());
+        let text = broker_advertisement_to_sexpr(&ad).to_string();
+        let back = broker_advertisement_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ad);
+    }
+
+    #[test]
+    fn service_query_round_trips() {
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_query_language("SQL 2.0")
+            .with_communication_language("KQML")
+            .with_conversation(ConversationType::AskAll)
+            .with_capability("select")
+            .with_ontology("healthcare")
+            .with_classes(["patient"])
+            .with_slots(["patient.age"])
+            .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                "patient.age",
+                25,
+                65,
+            )]))
+            .with_max_response_time(10.0)
+            .with_mobility(false)
+            .with_cloneability(true)
+            .one();
+        let text = service_query_to_sexpr(&q).to_string();
+        let back = service_query_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn empty_service_query_round_trips() {
+        let q = ServiceQuery::any();
+        let back = service_query_from_sexpr(&service_query_to_sexpr(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn search_request_round_trips() {
+        let r = SearchRequest {
+            query: ServiceQuery::for_agent_type(AgentType::Resource),
+            policy: SearchPolicy { hop_count: 3, follow: FollowOption::UntilMatch },
+            visited: vec!["b1".into(), "b2".into()],
+        };
+        let text = search_request_to_sexpr(&r).to_string();
+        let back = search_request_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn matches_round_trip() {
+        let ms = vec![
+            MatchResult {
+                name: "db1".into(),
+                address: "tcp://h:1".into(),
+                score: 7,
+                estimated_response_time: Some(5.0),
+                ontology: Some("healthcare".into()),
+                classes: vec!["patient".into(), "diagnosis".into()],
+                slots: vec!["patient.age".into()],
+                keys: vec!["patient.id".into()],
+            },
+            MatchResult {
+                name: "db2".into(),
+                address: "tcp://h:2".into(),
+                score: 4,
+                estimated_response_time: None,
+                ..MatchResult::default()
+            },
+        ];
+        let text = matches_to_sexpr(&ms).to_string();
+        let back = matches_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ms);
+        // Empty list round-trips too.
+        assert_eq!(matches_from_sexpr(&matches_to_sexpr(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn decoding_rejects_wrong_heads() {
+        let e = SExpr::parse("(nonsense)").unwrap();
+        assert!(advertisement_from_sexpr(&e).is_err());
+        assert!(service_query_from_sexpr(&e).is_err());
+        assert!(search_request_from_sexpr(&e).is_err());
+        assert!(matches_from_sexpr(&e).is_err());
+        assert!(broker_advertisement_from_sexpr(&e).is_err());
+        assert!(advertisement_from_sexpr(&SExpr::atom("x")).is_err());
+    }
+
+    #[test]
+    fn decoding_requires_mandatory_fields() {
+        let e = SExpr::parse("(advertisement (name x))").unwrap();
+        assert!(advertisement_from_sexpr(&e).is_err()); // missing address
+        let e = SExpr::parse("(matches (match (name x)))").unwrap();
+        assert!(matches_from_sexpr(&e).is_err()); // missing address/score
+    }
+}

@@ -1,0 +1,200 @@
+//! Compilation of advertisements into LDL facts, and the matchmaking rule
+//! program the broker's reasoning engine runs over them.
+//!
+//! The fact schema:
+//!
+//! ```text
+//! agent(Name, Type)           % agent name and type
+//! lang(Name, "SQL 2.0")       % interface query language
+//! comm(Name, "KQML")          % communication language
+//! conv(Name, ask-all)         % supported conversation type
+//! cap(Name, Cap)              % advertised capability
+//! onto(Name, Onto)            % supported ontology
+//! class(Name, Onto, Class)    % supported ontology class
+//! slot(Name, Onto, Slot)      % supported ontology slot
+//! isa_cap(Parent, Child)      % capability-taxonomy edge (Fig. 2)
+//! isa_class(Onto, Sup, Sub)   % domain class-hierarchy edge
+//! ```
+//!
+//! The derived predicates give the subsumption reasoning of §2.1:
+//! `provides(Agent, Req)` holds when an advertised capability covers the
+//! requested one, and `contributes_class(Agent, Onto, Req)` when the agent
+//! holds the requested class, a superclass of it (full coverage), or a
+//! subclass of it (partial contribution — the class-hierarchy query stream).
+
+use infosleuth_ldl::{parse_rules, Const, Database, LdlParseError, Program, Rule};
+use infosleuth_ontology::{Advertisement, Ontology, Taxonomy};
+
+/// Compiles advertisements plus taxonomy knowledge into an extensional
+/// database for the matchmaking program.
+pub fn compile_facts<'a, A, O>(
+    agents: A,
+    capability_taxonomy: &Taxonomy,
+    ontologies: O,
+) -> Database
+where
+    A: IntoIterator<Item = &'a Advertisement>,
+    O: IntoIterator<Item = &'a Ontology>,
+{
+    let mut db = Database::new();
+    for ad in agents {
+        let name = Const::sym(&ad.location.name);
+        db.assert("agent", vec![name.clone(), Const::sym(ad.location.agent_type.to_string())]);
+        for l in &ad.syntactic.query_languages {
+            db.assert("lang", vec![name.clone(), Const::str(l.clone())]);
+        }
+        for l in &ad.syntactic.communication_languages {
+            db.assert("comm", vec![name.clone(), Const::str(l.clone())]);
+        }
+        for c in &ad.semantic.conversations {
+            db.assert("conv", vec![name.clone(), Const::sym(c.to_string())]);
+        }
+        for c in &ad.semantic.capabilities {
+            db.assert("cap", vec![name.clone(), Const::sym(c.as_str())]);
+        }
+        for content in &ad.semantic.content {
+            let onto = Const::sym(&content.ontology);
+            db.assert("onto", vec![name.clone(), onto.clone()]);
+            for class in &content.classes {
+                db.assert("class", vec![name.clone(), onto.clone(), Const::sym(class)]);
+            }
+            for slot in &content.slots {
+                db.assert("slot", vec![name.clone(), onto.clone(), Const::sym(slot)]);
+            }
+        }
+    }
+    // Capability-taxonomy edges.
+    for node in capability_taxonomy.nodes() {
+        for child in capability_taxonomy.children_of(node) {
+            db.assert("isa_cap", vec![Const::sym(node), Const::sym(child)]);
+        }
+    }
+    // Domain class hierarchies.
+    for o in ontologies {
+        let onto = Const::sym(&o.name);
+        for class in o.class_names() {
+            for child in o.hierarchy().children_of(class) {
+                db.assert(
+                    "isa_class",
+                    vec![onto.clone(), Const::sym(class), Const::sym(child)],
+                );
+            }
+        }
+    }
+    db
+}
+
+/// The standard matchmaking rule base extended with derived-concept rules
+/// (§2.1: the broker "can reason over class-subclasses and derived
+/// concepts relationships"). Fails if the combined base is not
+/// stratifiable or a derived rule is unsafe.
+pub fn matchmaking_program_with(derived: &[Rule]) -> Result<Program, LdlParseError> {
+    let mut rules: Vec<Rule> = matchmaking_program().rules().to_vec();
+    rules.extend(derived.iter().cloned());
+    Program::new(rules)
+        .map_err(|e| LdlParseError { message: e.to_string(), position: 0 })
+}
+
+/// The broker's matchmaking rule base.
+pub fn matchmaking_program() -> Program {
+    parse_rules(
+        r#"
+        % Transitive closure of the capability taxonomy (Fig. 2).
+        cap_desc(P, C) :- isa_cap(P, C).
+        cap_desc(P, C) :- isa_cap(P, B), cap_desc(B, C).
+
+        % "if an agent does all query processing, then it certainly does
+        % relational query processing and could process a simple select"
+        provides(A, R) :- cap(A, R).
+        provides(A, R) :- cap(A, Adv), cap_desc(Adv, R).
+
+        % Transitive closure of each domain class hierarchy.
+        class_desc(O, P, C) :- isa_class(O, P, C).
+        class_desc(O, P, C) :- isa_class(O, P, B), class_desc(O, B, C).
+
+        % Full coverage: the agent holds the class or an ancestor of it.
+        serves_class(A, O, R) :- class(A, O, R).
+        serves_class(A, O, R) :- class(A, O, Adv), class_desc(O, Adv, R).
+
+        % Contribution: full coverage, or a subclass of the request (the
+        % agent holds part of the requested class's extent).
+        contributes_class(A, O, R) :- serves_class(A, O, R).
+        contributes_class(A, O, R) :- class(A, O, Adv), class_desc(O, R, Adv).
+        "#,
+    )
+    .expect("matchmaking rule base parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_ldl::parse_query;
+    use infosleuth_ontology::{
+        paper_class_ontology, standard_capability_taxonomy, AgentLocation, AgentType,
+        Capability, OntologyContent, SemanticInfo, SyntacticInfo,
+    };
+
+    fn resource(name: &str, classes: &[&str]) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_capabilities([Capability::relational_query_processing()])
+                    .with_content(
+                        OntologyContent::new("paper-classes").with_classes(classes.to_vec()),
+                    ),
+            )
+    }
+
+    #[test]
+    fn capability_subsumption_via_rules() {
+        let mut general = resource("g", &["C1"]);
+        general.semantic.capabilities.clear();
+        general.semantic.capabilities.insert(Capability::query_processing());
+        let mut narrow = resource("n", &["C1"]);
+        narrow.semantic.capabilities.clear();
+        narrow.semantic.capabilities.insert(Capability::select());
+
+        let tax = standard_capability_taxonomy();
+        let onto = paper_class_ontology();
+        let db = compile_facts([&general, &narrow], &tax, [&onto]);
+        let model = matchmaking_program().saturate(&db).unwrap();
+        // The general agent provides select; the narrow one does not
+        // provide full query processing.
+        assert!(model.holds(&parse_query("provides(g, select)").unwrap()));
+        assert!(model.holds(&parse_query("provides(g, join)").unwrap()));
+        assert!(model.holds(&parse_query("provides(n, select)").unwrap()));
+        assert!(!model.holds(&parse_query("provides(n, query-processing)").unwrap()));
+        assert!(!model.holds(&parse_query("provides(n, join)").unwrap()));
+    }
+
+    #[test]
+    fn class_hierarchy_contribution() {
+        // db1 holds C2 (the whole class); db2 holds only subclass C2a.
+        let db1 = resource("db1", &["C2"]);
+        let db2 = resource("db2", &["C2a"]);
+        let tax = standard_capability_taxonomy();
+        let onto = paper_class_ontology();
+        let db = compile_facts([&db1, &db2], &tax, [&onto]);
+        let model = matchmaking_program().saturate(&db).unwrap();
+        // Request for C2a: db1 serves it fully (C2 is an ancestor); db2
+        // serves it exactly.
+        assert!(model.holds(&parse_query("serves_class(db1, paper-classes, 'C2a')").unwrap()));
+        assert!(model.holds(&parse_query("serves_class(db2, paper-classes, 'C2a')").unwrap()));
+        // Request for C2: db2 cannot serve all of it, but contributes.
+        assert!(!model.holds(&parse_query("serves_class(db2, paper-classes, 'C2')").unwrap()));
+        assert!(model
+            .holds(&parse_query("contributes_class(db2, paper-classes, 'C2')").unwrap()));
+        assert!(model.holds(&parse_query("serves_class(db1, paper-classes, 'C2')").unwrap()));
+    }
+
+    #[test]
+    fn languages_and_conversations_become_facts() {
+        let ad = resource("r", &["C1"]);
+        let tax = standard_capability_taxonomy();
+        let db = compile_facts([&ad], &tax, []);
+        assert!(db.contains("lang", &[Const::sym("r"), Const::str("SQL 2.0")]));
+        assert!(db.contains("comm", &[Const::sym("r"), Const::str("KQML")]));
+        assert!(db.contains("agent", &[Const::sym("r"), Const::sym("resource")]));
+    }
+}

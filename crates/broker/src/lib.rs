@@ -1,0 +1,46 @@
+//! The InfoSleuth broker: repository, combined syntactic + semantic
+//! matchmaking, and peer-to-peer multibrokering.
+//!
+//! "The broker agent maintains a knowledge base of information that other
+//! agents have advertised about themselves, and uses this knowledge to
+//! match agents with requested services." (§2.1)
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`Repository`] — the broker repository of Figures 3–4: validated
+//!   advertisements, compiled into LDL facts for the reasoning engine.
+//! * [`Matchmaker`] — combined brokering: a *syntactic* filter (languages,
+//!   conversation types, agent type), then *semantic* reasoning over the
+//!   capability taxonomy, domain ontologies (class hierarchies, fragments),
+//!   and data constraints; finally ranking so that a better semantic match
+//!   (the "MRQ2" example of §2.2) sorts first.
+//! * [`SearchPolicy`] / [`FollowOption`] — the inter-broker search policy of
+//!   §4.3, modelled on the CORBA trading service: a hop count and a follow
+//!   option, plus a visited list for loop prevention.
+//! * [`BrokerObjective`] — broker specialization (§3.2): general-purpose
+//!   brokers accept everything; specialized brokers accept advertisements
+//!   that fit their domains and forward or reject the rest.
+//! * [`BrokerAgent`] — the live agent: a message loop speaking KQML over
+//!   the agent bus, handling advertise / unadvertise / update / ping /
+//!   ask-all / ask-one, and collaborating with peer brokers on searches.
+//! * [`codec`] — SExpr encodings of advertisements, service queries, and
+//!   match lists, so everything that crosses the bus is a real KQML message.
+
+pub mod codec;
+
+mod broker_agent;
+mod facts;
+mod matchmaker;
+mod objective;
+mod policy;
+mod repository;
+
+pub use broker_agent::{
+    advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from,
+    BrokerAgent, BrokerConfig, BrokerHandle,
+};
+pub use facts::{compile_facts, matchmaking_program, matchmaking_program_with};
+pub use matchmaker::{MatchResult, Matchmaker};
+pub use objective::{AdmissionDecision, BrokerObjective};
+pub use policy::{FollowOption, SearchPolicy};
+pub use repository::{Repository, RepositoryError};

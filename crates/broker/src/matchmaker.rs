@@ -1,0 +1,669 @@
+//! Combined syntactic + semantic matchmaking with ranking.
+//!
+//! "If a broker fails to take into account syntactic constraints, the
+//! recommended agent will be unable to understand the message it receives.
+//! If a broker fails to take into account semantic constraints, the
+//! recommended agent may perform some action different than the one
+//! intended." (§2.3) — so the matchmaker always applies both, in that
+//! order. The two `use_*` knobs exist for the ablation benchmarks only.
+
+use crate::repository::Repository;
+use infosleuth_ldl::{Atom, Literal, Saturated, Term};
+use infosleuth_ontology::{Advertisement, OntologyContent, ServiceQuery};
+use serde::{Deserialize, Serialize};
+
+/// One recommended agent, with the ranking score that ordered it and the
+/// §2.4 *result format* fields: the matched ontology plus the agent's
+/// available classes, slots, and keys (`?available-classes,
+/// ?available-class-slots, ?class-keys` in the paper's query).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MatchResult {
+    pub name: String,
+    pub address: String,
+    pub score: u32,
+    pub estimated_response_time: Option<f64>,
+    /// The ontology of the content record that satisfied the query.
+    pub ontology: Option<String>,
+    /// Advertised classes of that content record.
+    pub classes: Vec<String>,
+    /// Advertised slots of that content record.
+    pub slots: Vec<String>,
+    /// Advertised class keys of that content record.
+    pub keys: Vec<String>,
+}
+
+/// Internal per-agent match outcome: the ranking score and which content
+/// record carried the semantic match.
+struct MatchOutcome {
+    score: u32,
+    content_ontology: Option<String>,
+}
+
+/// The matchmaking engine. The flags disable layers for ablation studies;
+/// production brokers keep both on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Matchmaker {
+    /// Apply semantic reasoning (capabilities, content, constraints).
+    pub use_semantic: bool,
+    /// Apply data-constraint overlap pruning (subset of semantic layer).
+    pub use_constraints: bool,
+}
+
+impl Default for Matchmaker {
+    fn default() -> Self {
+        Matchmaker { use_semantic: true, use_constraints: true }
+    }
+}
+
+/// Score weights (see the ranking rationale in the module tests): exact
+/// matches beat hierarchy-covered matches beat partial contributions.
+const SCORE_CLASS_EXACT: u32 = 3;
+const SCORE_CLASS_COVERED: u32 = 2;
+const SCORE_CLASS_PARTIAL: u32 = 1;
+const SCORE_CAP_EXACT: u32 = 2;
+const SCORE_CAP_COVERED: u32 = 1;
+const SCORE_CONSTRAINT_COVERS_REQUEST: u32 = 3;
+const SCORE_CONSTRAINT_SPECIALIST: u32 = 2;
+const SCORE_CONSTRAINT_OVERLAP: u32 = 1;
+
+impl Matchmaker {
+    /// Matches a service query against the repository, returning
+    /// recommendations ordered best-first (score descending, then name).
+    /// Truncated to `query.max_matches` when set.
+    pub fn match_query(&self, repo: &mut Repository, query: &ServiceQuery) -> Vec<MatchResult> {
+        let model = repo.saturated();
+        let mut results: Vec<MatchResult> = Vec::new();
+        for ad in repo.agents() {
+            if let Some(name) = &query.agent_name {
+                if name != &ad.location.name {
+                    continue;
+                }
+            }
+            if let Some(outcome) = self.score_agent(ad, query, &model) {
+                let content = outcome
+                    .content_ontology
+                    .as_deref()
+                    .and_then(|o| ad.semantic.content_for(o));
+                results.push(MatchResult {
+                    name: ad.location.name.clone(),
+                    address: ad.location.address.clone(),
+                    score: outcome.score,
+                    estimated_response_time: ad.properties.estimated_response_time,
+                    ontology: outcome.content_ontology,
+                    classes: content
+                        .map(|c| c.classes.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    slots: content
+                        .map(|c| c.slots.iter().cloned().collect())
+                        .unwrap_or_default(),
+                    keys: content
+                        .map(|c| c.keys.iter().cloned().collect())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+        results.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
+        if let Some(n) = query.max_matches {
+            results.truncate(n);
+        }
+        results
+    }
+
+    /// Scores one advertisement against the query; `None` means no match.
+    fn score_agent(
+        &self,
+        ad: &Advertisement,
+        query: &ServiceQuery,
+        model: &Saturated,
+    ) -> Option<MatchOutcome> {
+        // ---- Syntactic layer -------------------------------------------
+        if let Some(t) = &query.agent_type {
+            if t != &ad.location.agent_type {
+                return None;
+            }
+        }
+        if let Some(lang) = &query.query_language {
+            if !ad.syntactic.query_languages.contains(lang) {
+                return None;
+            }
+        }
+        if let Some(lang) = &query.communication_language {
+            if !ad.syntactic.communication_languages.contains(lang) {
+                return None;
+            }
+        }
+        for conv in &query.conversations {
+            if !ad.semantic.conversations.contains(conv) {
+                return None;
+            }
+        }
+        let mut score = 1; // base score for a syntactic match
+        let mut content_ontology = None;
+        if !self.use_semantic {
+            return Some(MatchOutcome { score, content_ontology });
+        }
+
+        // ---- Semantic layer: capabilities ------------------------------
+        let agent = Term::constant(ad.location.name.as_str());
+        for cap in &query.capabilities {
+            if ad.semantic.capabilities.contains(cap) {
+                score += SCORE_CAP_EXACT;
+            } else if model.holds(&[Literal::Pos(Atom::new(
+                "provides",
+                vec![agent.clone(), Term::constant(cap.as_str())],
+            ))]) {
+                score += SCORE_CAP_COVERED;
+            } else {
+                return None;
+            }
+        }
+
+        // ---- Semantic layer: content -----------------------------------
+        let needs_content = query.ontology.is_some() || !query.classes.is_empty();
+        if needs_content {
+            // Pick the best-scoring content record that satisfies the query.
+            let candidates: Vec<&OntologyContent> = match &query.ontology {
+                Some(o) => ad.semantic.content.iter().filter(|c| &c.ontology == o).collect(),
+                None => ad.semantic.content.iter().collect(),
+            };
+            let (best_score, best_ontology) = candidates
+                .iter()
+                .filter_map(|c| {
+                    self.score_content(ad, c, query, model)
+                        .map(|s| (s, c.ontology.clone()))
+                })
+                .max_by_key(|(s, _)| *s)?;
+            score += best_score;
+            content_ontology = Some(best_ontology);
+        } else if self.use_constraints && !query.constraints.is_trivial() {
+            // No specific ontology/classes requested, but data constraints
+            // given: any advertised content must not rule out overlap.
+            if !ad.semantic.content.is_empty()
+                && !ad
+                    .semantic
+                    .content
+                    .iter()
+                    .any(|c| c.constraints.overlaps(&query.constraints))
+            {
+                return None;
+            }
+        }
+
+        // ---- Properties -------------------------------------------------
+        if let Some(mobile) = query.require_mobile {
+            if ad.properties.mobile != mobile {
+                return None;
+            }
+        }
+        if let Some(cloneable) = query.require_cloneable {
+            if ad.properties.cloneable != cloneable {
+                return None;
+            }
+        }
+        if let Some(max) = query.max_response_time {
+            if let Some(est) = ad.properties.estimated_response_time {
+                if est > max {
+                    return None;
+                }
+            }
+        }
+        Some(MatchOutcome { score, content_ontology })
+    }
+
+    /// Scores one content record; `None` means this record cannot serve the
+    /// query.
+    fn score_content(
+        &self,
+        ad: &Advertisement,
+        content: &OntologyContent,
+        query: &ServiceQuery,
+        model: &Saturated,
+    ) -> Option<u32> {
+        let mut score = 0;
+        let agent = Term::constant(ad.location.name.as_str());
+        let onto = Term::constant(content.ontology.as_str());
+
+        // Classes: every requested class must at least receive a partial
+        // contribution (the MRQ combines fragments and subclasses).
+        for class in &query.classes {
+            let class_t = Term::constant(class.as_str());
+            if content.classes.contains(class) {
+                score += SCORE_CLASS_EXACT;
+            } else if model.holds(&[Literal::Pos(Atom::new(
+                "serves_class",
+                vec![agent.clone(), onto.clone(), class_t.clone()],
+            ))]) {
+                score += SCORE_CLASS_COVERED;
+            } else if model.holds(&[Literal::Pos(Atom::new(
+                "contributes_class",
+                vec![agent.clone(), onto.clone(), class_t],
+            ))]) {
+                score += SCORE_CLASS_PARTIAL;
+            } else {
+                return None;
+            }
+        }
+
+        // Slots: when both sides list slots, they must overlap (bare and
+        // qualified spellings both accepted).
+        if !query.slots.is_empty() && !content.slots.is_empty() {
+            let bare = |s: &str| s.rsplit('.').next().unwrap_or(s).to_string();
+            let advertised: std::collections::BTreeSet<String> =
+                content.slots.iter().map(|s| bare(s)).collect();
+            if !query.slots.iter().any(|s| advertised.contains(&bare(s))) {
+                return None;
+            }
+        }
+
+        // Fragments: a fragment advertised for a requested class must be
+        // able to contribute to the request.
+        let requested_slots: Vec<String> = query.slots.iter().cloned().collect();
+        for (class, frag) in &content.fragments {
+            if query.classes.contains(class)
+                && !frag.contributes_to(&requested_slots, &query.constraints)
+            {
+                return None;
+            }
+        }
+
+        // Data constraints.
+        if self.use_constraints && !query.constraints.is_trivial() {
+            if !content.constraints.overlaps(&query.constraints) {
+                return None;
+            }
+            if query.constraints.implies(&content.constraints) {
+                // The advertised restriction covers the entire request.
+                score += SCORE_CONSTRAINT_COVERS_REQUEST;
+            } else if content.constraints.implies(&query.constraints) {
+                // The agent is a specialist wholly inside the request.
+                score += SCORE_CONSTRAINT_SPECIALIST;
+            } else {
+                score += SCORE_CONSTRAINT_OVERLAP;
+            }
+        }
+        Some(score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_constraint::{Conjunction, Predicate};
+    use infosleuth_ontology::{
+        healthcare_ontology, paper_class_ontology, AgentLocation, AgentProperties, AgentType,
+        Capability, ConversationType, Fragment, SemanticInfo, SyntacticInfo,
+    };
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.register_ontology(paper_class_ontology());
+        r.register_ontology(healthcare_ontology());
+        r
+    }
+
+    fn resource(name: &str, classes: &[&str]) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([ConversationType::AskAll])
+                    .with_capabilities([Capability::relational_query_processing()])
+                    .with_content(
+                        OntologyContent::new("paper-classes").with_classes(classes.to_vec()),
+                    ),
+            )
+    }
+
+    /// The §2.2 walkthrough: DB1 holds C1+C2, DB2 holds C2+C3.
+    fn walkthrough_repo() -> Repository {
+        let mut r = repo();
+        r.advertise(resource("db1", &["C1", "C2"])).unwrap();
+        r.advertise(resource("db2", &["C2", "C3"])).unwrap();
+        let mrq = Advertisement::new(AgentLocation::new(
+            "mrq",
+            "tcp://h:2",
+            AgentType::MultiResourceQuery,
+        ))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::AskAll])
+                .with_capabilities([Capability::multiresource_query_processing()]),
+        );
+        r.advertise(mrq).unwrap();
+        r
+    }
+
+    #[test]
+    fn figure6_query_for_mrq_agent() {
+        let mut r = walkthrough_repo();
+        let q = ServiceQuery::for_agent_type(AgentType::MultiResourceQuery)
+            .with_query_language("SQL 2.0")
+            .with_capability(Capability::multiresource_query_processing())
+            .one();
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "mrq");
+    }
+
+    #[test]
+    fn figure7_query_for_resources_holding_c2() {
+        let mut r = walkthrough_repo();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_query_language("SQL 2.0")
+            .with_ontology("paper-classes")
+            .with_classes(["C2"]);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["db1", "db2"]);
+        // "if the original query had been for class C3, then only DB2
+        // would have been returned."
+        let q3 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_query_language("SQL 2.0")
+            .with_ontology("paper-classes")
+            .with_classes(["C3"]);
+        let m3 = Matchmaker::default().match_query(&mut r, &q3);
+        assert_eq!(m3.len(), 1);
+        assert_eq!(m3[0].name, "db2");
+    }
+
+    #[test]
+    fn mrq2_better_semantic_match_ranks_first() {
+        // "agent MRQ2 … specializes in queries over the class C2 …
+        // MRQ2 agent would be recommended … because it has a better
+        // semantic match to the request than does agent MRQ."
+        let mut r = walkthrough_repo();
+        let mrq2 = Advertisement::new(AgentLocation::new(
+            "mrq2",
+            "tcp://h:3",
+            AgentType::MultiResourceQuery,
+        ))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::AskAll])
+                .with_capabilities([Capability::multiresource_query_processing()])
+                .with_content(OntologyContent::new("paper-classes").with_classes(["C2"])),
+        );
+        r.advertise(mrq2).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::MultiResourceQuery)
+            .with_query_language("SQL 2.0")
+            .with_capability(Capability::multiresource_query_processing())
+            .with_ontology("paper-classes")
+            .with_classes(["C2"])
+            .one();
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "mrq2");
+    }
+
+    #[test]
+    fn syntactic_mismatches_filter_out() {
+        let mut r = repo();
+        let mut oql_agent = resource("oql", &["C1"]);
+        oql_agent.syntactic = SyntacticInfo::new(["OQL"], ["KQML"]);
+        r.advertise(oql_agent).unwrap();
+        r.advertise(resource("sql", &["C1"])).unwrap();
+        // "one agent expects its input in SQL, while the other expects its
+        // input in a relational subset of OQL … the semantics are not
+        // sufficient to distinguish."
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).with_query_language("SQL 2.0");
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "sql");
+    }
+
+    #[test]
+    fn conversation_requirements_filter() {
+        let mut r = repo();
+        r.advertise(resource("ra", &["C1"])).unwrap(); // ask-all only
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_conversation(ConversationType::Subscribe);
+        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_conversation(ConversationType::AskAll);
+        assert_eq!(Matchmaker::default().match_query(&mut r, &q2).len(), 1);
+    }
+
+    #[test]
+    fn capability_subsumption_respects_hierarchy_direction() {
+        let mut r = repo();
+        let mut general = resource("general", &["C1"]);
+        general.semantic.capabilities =
+            [Capability::query_processing()].into_iter().collect();
+        let mut select_only = resource("selector", &["C1"]);
+        select_only.semantic.capabilities = [Capability::select()].into_iter().collect();
+        r.advertise(general).unwrap();
+        r.advertise(select_only).unwrap();
+        // Request select: both qualify.
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_capability(Capability::select());
+        assert_eq!(Matchmaker::default().match_query(&mut r, &q).len(), 2);
+        // Request join: only the general agent qualifies.
+        let q =
+            ServiceQuery::for_agent_type(AgentType::Resource).with_capability(Capability::join());
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "general");
+        // Exact capability scores above covered capability.
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_capability(Capability::select());
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m[0].name, "selector");
+    }
+
+    #[test]
+    fn paper_24_constraint_example() {
+        // ResourceAgent5 advertises ages 43..=75; query asks 25..=65 +
+        // diagnosis code 40W. "The reasoning engine would match the agent."
+        let mut r = repo();
+        let ra5 = Advertisement::new(AgentLocation::new(
+            "ResourceAgent5",
+            "tcp://b1.mcc.com:4356",
+            AgentType::Resource,
+        ))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([
+                    ConversationType::Subscribe,
+                    ConversationType::Update,
+                    ConversationType::AskAll,
+                ])
+                .with_capabilities([
+                    Capability::relational_query_processing(),
+                    Capability::subscription(),
+                ])
+                .with_content(
+                    OntologyContent::new("healthcare")
+                        .with_classes(["diagnosis", "patient"])
+                        .with_slots(["diagnosis.code", "patient.age"])
+                        .with_keys(["patient.id"])
+                        .with_constraints(Conjunction::from_predicates(vec![
+                            Predicate::between("patient.age", 43, 75),
+                        ])),
+                ),
+        )
+        .with_properties(AgentProperties {
+            estimated_response_time: Some(5.0),
+            ..AgentProperties::default()
+        });
+        r.advertise(ra5).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_query_language("SQL 2.0")
+            .with_ontology("healthcare")
+            .with_constraints(Conjunction::from_predicates(vec![
+                Predicate::between("patient.age", 25, 65),
+                Predicate::eq("patient.diagnosis_code", "40W"),
+            ]));
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "ResourceAgent5");
+        assert_eq!(m[0].address, "tcp://b1.mcc.com:4356");
+        assert_eq!(m[0].estimated_response_time, Some(5.0));
+        // The §2.4 result format: ?available-classes,
+        // ?available-class-slots, ?class-keys come back with the match.
+        assert_eq!(m[0].ontology.as_deref(), Some("healthcare"));
+        assert_eq!(m[0].classes, vec!["diagnosis", "patient"]);
+        assert_eq!(m[0].slots, vec!["diagnosis.code", "patient.age"]);
+        assert_eq!(m[0].keys, vec!["patient.id"]);
+        // Disjoint ages: no recommendation.
+        let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("healthcare")
+            .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                "patient.age",
+                1,
+                10,
+            )]));
+        assert!(Matchmaker::default().match_query(&mut r, &q2).is_empty());
+    }
+
+    #[test]
+    fn constraint_specificity_orders_results() {
+        let mut r = repo();
+        let make = |name: &str, lo: i64, hi: i64| {
+            let mut ad = resource(name, &[]);
+            ad.semantic.content = vec![OntologyContent::new("healthcare")
+                .with_classes(["patient"])
+                .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                    "patient.age",
+                    lo,
+                    hi,
+                )]))];
+            ad
+        };
+        r.advertise(make("wide", 0, 120)).unwrap(); // covers whole request
+        r.advertise(make("narrow", 40, 50)).unwrap(); // specialist inside
+        r.advertise(make("partial", 60, 90)).unwrap(); // mere overlap
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("healthcare")
+            .with_classes(["patient"])
+            .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                "patient.age",
+                30,
+                70,
+            )]));
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["wide", "narrow", "partial"]);
+    }
+
+    #[test]
+    fn class_hierarchy_matching() {
+        let mut r = repo();
+        r.advertise(resource("whole", &["C2"])).unwrap();
+        r.advertise(resource("part", &["C2a"])).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C2"]);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
+        // Exact holder first, subclass contributor second.
+        assert_eq!(names, vec!["whole", "part"]);
+        // Query for the subclass: the superclass holder serves it fully.
+        let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C2a"]);
+        let m2 = Matchmaker::default().match_query(&mut r, &q2);
+        let names2: Vec<&str> = m2.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names2, vec!["part", "whole"]);
+    }
+
+    #[test]
+    fn vertical_fragments_must_contribute() {
+        let mut r = repo();
+        let mut frag_agent = resource("frag", &["C1"]);
+        frag_agent.semantic.content = vec![OntologyContent::new("paper-classes")
+            .with_classes(["C1"])
+            .with_slots(["C1.id", "C1.a"])
+            .with_fragment("C1", Fragment::vertical(["id", "a"]))];
+        r.advertise(frag_agent).unwrap();
+        // Request slot `b`: the fragment holds only id+a → no match.
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"])
+            .with_slots(["b"]);
+        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        // Request slot `a`: match.
+        let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"])
+            .with_slots(["a"]);
+        assert_eq!(Matchmaker::default().match_query(&mut r, &q2).len(), 1);
+    }
+
+    #[test]
+    fn response_time_bound_filters() {
+        let mut r = repo();
+        let mut slow = resource("slow", &["C1"]);
+        slow.properties.estimated_response_time = Some(30.0);
+        let mut fast = resource("fast", &["C1"]);
+        fast.properties.estimated_response_time = Some(2.0);
+        r.advertise(slow).unwrap();
+        r.advertise(fast).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).with_max_response_time(10.0);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "fast");
+    }
+
+    #[test]
+    fn adaptivity_properties_filter() {
+        // Fig. 9 lists adaptivity ("cloneable, mobile") among the semantic
+        // information the broker may use; the §2.4 agent advertises
+        // `non-mobile`.
+        let mut r = repo();
+        let mut mobile = resource("rover", &["C1"]);
+        mobile.properties.mobile = true;
+        let mut fixed = resource("anchor", &["C1"]);
+        fixed.properties.mobile = false;
+        fixed.properties.cloneable = true;
+        r.advertise(mobile).unwrap();
+        r.advertise(fixed).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).with_mobility(true);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "rover");
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).with_mobility(false);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "anchor");
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).with_cloneability(true);
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "anchor");
+    }
+
+    #[test]
+    fn max_matches_truncates() {
+        let mut r = repo();
+        for i in 0..5 {
+            r.advertise(resource(&format!("ra{i}"), &["C1"])).unwrap();
+        }
+        let q = ServiceQuery::for_agent_type(AgentType::Resource).one();
+        assert_eq!(Matchmaker::default().match_query(&mut r, &q).len(), 1);
+    }
+
+    #[test]
+    fn ablation_syntactic_only_ignores_semantics() {
+        let mut r = repo();
+        r.advertise(resource("ra", &["C1"])).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_capability(Capability::data_mining()); // not advertised
+        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        let syntactic_only = Matchmaker { use_semantic: false, use_constraints: false };
+        assert_eq!(syntactic_only.match_query(&mut r, &q).len(), 1);
+    }
+
+    #[test]
+    fn agent_name_lookup() {
+        let mut r = repo();
+        r.advertise(resource("ra1", &["C1"])).unwrap();
+        r.advertise(resource("ra2", &["C1"])).unwrap();
+        let mut q = ServiceQuery::for_agent_type(AgentType::Resource);
+        q.agent_name = Some("ra2".into());
+        let m = Matchmaker::default().match_query(&mut r, &q);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "ra2");
+    }
+}

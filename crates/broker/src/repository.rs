@@ -1,0 +1,415 @@
+//! The broker repository (Figures 3–4).
+//!
+//! "One of the primary jobs of a broker is to maintain a repository
+//! containing current and correct information about operational agents and
+//! the services they can provide." Advertisements are validated on receipt
+//! ("the broker validates and translates the advertisement into a format
+//! that its reasoning engine can understand and asserts it in its
+//! repository") and compiled into LDL facts on demand.
+
+use crate::facts::{compile_facts, matchmaking_program_with};
+use infosleuth_agent::AgentAddress;
+use infosleuth_ldl::{parse_rules, LdlParseError, Rule, Saturated};
+use infosleuth_ontology::{
+    standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, Taxonomy,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Validation errors for incoming advertisements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepositoryError {
+    EmptyAgentName,
+    InvalidAddress { agent: String, address: String, reason: String },
+    UnknownCapability { agent: String, capability: String },
+    UnsatisfiableConstraints { agent: String, ontology: String },
+    InvalidFragment { agent: String, class: String, reason: String },
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepositoryError::EmptyAgentName => write!(f, "advertisement has empty agent name"),
+            RepositoryError::InvalidAddress { agent, address, reason } => {
+                write!(f, "agent '{agent}' has invalid address '{address}': {reason}")
+            }
+            RepositoryError::UnknownCapability { agent, capability } => {
+                write!(f, "agent '{agent}' advertises unknown capability '{capability}'")
+            }
+            RepositoryError::UnsatisfiableConstraints { agent, ontology } => {
+                write!(f, "agent '{agent}' advertises unsatisfiable constraints for ontology '{ontology}'")
+            }
+            RepositoryError::InvalidFragment { agent, class, reason } => {
+                write!(f, "agent '{agent}' advertises invalid fragment of class '{class}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+/// One broker's knowledge base: agent advertisements, peer broker
+/// advertisements, the capability taxonomy, and the domain ontologies the
+/// broker can reason over. The compiled + saturated LDL model is cached and
+/// invalidated on every mutation.
+#[derive(Clone)]
+pub struct Repository {
+    agents: BTreeMap<String, Advertisement>,
+    brokers: BTreeMap<String, BrokerAdvertisement>,
+    capability_taxonomy: Taxonomy,
+    ontologies: BTreeMap<String, Ontology>,
+    /// Extra LDL rules defining derived concepts (§2.1), appended to the
+    /// standard matchmaking rule base.
+    derived_rules: Vec<Rule>,
+    saturated: Option<Arc<Saturated>>,
+}
+
+impl Repository {
+    /// A repository reasoning over the standard capability taxonomy.
+    pub fn new() -> Self {
+        Self::with_capability_taxonomy(standard_capability_taxonomy())
+    }
+
+    pub fn with_capability_taxonomy(capability_taxonomy: Taxonomy) -> Self {
+        Repository {
+            agents: BTreeMap::new(),
+            brokers: BTreeMap::new(),
+            capability_taxonomy,
+            ontologies: BTreeMap::new(),
+            derived_rules: Vec::new(),
+            saturated: None,
+        }
+    }
+
+    /// Registers a domain ontology so the broker "can reason over
+    /// class-subclasses and derived concepts relationships".
+    pub fn register_ontology(&mut self, ontology: Ontology) {
+        self.ontologies.insert(ontology.name.clone(), ontology);
+        self.saturated = None;
+    }
+
+    pub fn ontology(&self, name: &str) -> Option<&Ontology> {
+        self.ontologies.get(name)
+    }
+
+    pub fn ontologies(&self) -> impl Iterator<Item = &Ontology> {
+        self.ontologies.values()
+    }
+
+    pub fn capability_taxonomy(&self) -> &Taxonomy {
+        &self.capability_taxonomy
+    }
+
+    /// Registers LDL rules defining *derived concepts* over the fact schema
+    /// (see [`crate::compile_facts`]) — e.g. a capability implied by
+    /// another capability, or a class membership derived from advertised
+    /// content:
+    ///
+    /// ```text
+    /// cap(A, polling) :- cap(A, subscription).
+    /// class(A, healthcare, senior_patient) :- class(A, healthcare, patient).
+    /// ```
+    ///
+    /// The combined rule base must remain stratifiable; this is verified
+    /// here, so a successful registration can never fail later saturation.
+    pub fn register_derived_rules(&mut self, rules_text: &str) -> Result<(), LdlParseError> {
+        let program = parse_rules(rules_text)?;
+        let mut candidate = self.derived_rules.clone();
+        candidate.extend(program.rules().iter().cloned());
+        crate::facts::matchmaking_program_with(&candidate)?;
+        self.derived_rules = candidate;
+        self.saturated = None;
+        Ok(())
+    }
+
+    /// Validates an advertisement against the repository's knowledge.
+    pub fn validate(&self, ad: &Advertisement) -> Result<(), RepositoryError> {
+        if ad.location.name.trim().is_empty() {
+            return Err(RepositoryError::EmptyAgentName);
+        }
+        if let Err(e) = AgentAddress::parse(&ad.location.address) {
+            return Err(RepositoryError::InvalidAddress {
+                agent: ad.location.name.clone(),
+                address: ad.location.address.clone(),
+                reason: e.to_string(),
+            });
+        }
+        for cap in &ad.semantic.capabilities {
+            if !self.capability_taxonomy.contains(cap.as_str()) {
+                return Err(RepositoryError::UnknownCapability {
+                    agent: ad.location.name.clone(),
+                    capability: cap.as_str().to_string(),
+                });
+            }
+        }
+        for content in &ad.semantic.content {
+            if !content.constraints.is_satisfiable() {
+                return Err(RepositoryError::UnsatisfiableConstraints {
+                    agent: ad.location.name.clone(),
+                    ontology: content.ontology.clone(),
+                });
+            }
+            // Fragments can only be checked against known ontologies.
+            if let Some(onto) = self.ontologies.get(&content.ontology) {
+                for (class, frag) in &content.fragments {
+                    if let Err(e) = onto.validate_fragment(class, frag) {
+                        return Err(RepositoryError::InvalidFragment {
+                            agent: ad.location.name.clone(),
+                            class: class.clone(),
+                            reason: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores an advertisement (insert or update — "when an agent's set of
+    /// available services changes, the agent may update its advertisement").
+    pub fn advertise(&mut self, ad: Advertisement) -> Result<(), RepositoryError> {
+        self.validate(&ad)?;
+        self.agents.insert(ad.location.name.clone(), ad);
+        self.saturated = None;
+        Ok(())
+    }
+
+    /// Removes an agent's advertisement ("when an agent goes offline, it
+    /// first unregisters itself from the broker"; the broker also removes
+    /// agents whose pings fail). Returns whether it was present.
+    pub fn unadvertise(&mut self, agent: &str) -> bool {
+        let removed = self.agents.remove(agent).is_some();
+        if removed {
+            self.saturated = None;
+        }
+        removed
+    }
+
+    /// Stores a peer broker's advertisement (Fig. 13 content).
+    pub fn advertise_broker(&mut self, ad: BrokerAdvertisement) -> Result<(), RepositoryError> {
+        self.validate(&ad.base)?;
+        self.brokers.insert(ad.base.location.name.clone(), ad);
+        // Broker advertisements do not participate in agent matchmaking
+        // facts, so the saturation cache stays valid.
+        Ok(())
+    }
+
+    pub fn unadvertise_broker(&mut self, broker: &str) -> bool {
+        self.brokers.remove(broker).is_some()
+    }
+
+    pub fn advertisement(&self, agent: &str) -> Option<&Advertisement> {
+        self.agents.get(agent)
+    }
+
+    pub fn contains_agent(&self, agent: &str) -> bool {
+        self.agents.contains_key(agent)
+    }
+
+    pub fn agents(&self) -> impl Iterator<Item = &Advertisement> {
+        self.agents.values()
+    }
+
+    pub fn agent_names(&self) -> impl Iterator<Item = &str> {
+        self.agents.keys().map(String::as_str)
+    }
+
+    pub fn broker_advertisements(&self) -> impl Iterator<Item = &BrokerAdvertisement> {
+        self.brokers.values()
+    }
+
+    pub fn peer_brokers(&self) -> Vec<String> {
+        self.brokers.keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Total advertised bytes — what the simulator charges reasoning time
+    /// against (1 second per megabyte of advertisements).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.agents.values().map(Advertisement::approx_size_bytes).sum()
+    }
+
+    /// The saturated LDL model of this repository (compiled and cached; the
+    /// cache is invalidated whenever the repository changes).
+    pub fn saturated(&mut self) -> Arc<Saturated> {
+        if let Some(s) = &self.saturated {
+            return Arc::clone(s);
+        }
+        let facts = compile_facts(
+            self.agents.values(),
+            &self.capability_taxonomy,
+            self.ontologies.values(),
+        );
+        let program = matchmaking_program_with(&self.derived_rules)
+            .expect("combined base verified stratifiable at registration time");
+        let model = program
+            .saturate(&facts)
+            .expect("matchmaking program is stratified");
+        let arc = Arc::new(model);
+        self.saturated = Some(Arc::clone(&arc));
+        arc
+    }
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
+}
+
+impl fmt::Debug for Repository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Repository")
+            .field("agents", &self.agents.keys().collect::<Vec<_>>())
+            .field("brokers", &self.brokers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_constraint::{Conjunction, Predicate};
+    use infosleuth_ontology::{
+        healthcare_ontology, AgentLocation, AgentType, Capability, Fragment, OntologyContent,
+        SemanticInfo, SyntacticInfo,
+    };
+
+    fn valid_ad(name: &str) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1000", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_capabilities([Capability::relational_query_processing()]),
+            )
+    }
+
+    #[test]
+    fn advertise_unadvertise_round_trip() {
+        let mut repo = Repository::new();
+        repo.advertise(valid_ad("ra1")).unwrap();
+        assert!(repo.contains_agent("ra1"));
+        assert_eq!(repo.len(), 1);
+        assert!(repo.unadvertise("ra1"));
+        assert!(!repo.unadvertise("ra1"));
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn update_replaces_advertisement() {
+        let mut repo = Repository::new();
+        repo.advertise(valid_ad("ra1")).unwrap();
+        let mut updated = valid_ad("ra1");
+        updated.properties.estimated_response_time = Some(9.0);
+        repo.advertise(updated).unwrap();
+        assert_eq!(repo.len(), 1);
+        assert_eq!(
+            repo.advertisement("ra1").unwrap().properties.estimated_response_time,
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_advertisements() {
+        let repo = Repository::new();
+        let mut bad = valid_ad(" ");
+        assert_eq!(repo.validate(&bad), Err(RepositoryError::EmptyAgentName));
+        bad = valid_ad("x");
+        bad.location.address = "nowhere".into();
+        assert!(matches!(repo.validate(&bad), Err(RepositoryError::InvalidAddress { .. })));
+        bad = valid_ad("x");
+        bad.semantic.capabilities.insert(Capability::new("quantum-foo"));
+        assert!(matches!(
+            repo.validate(&bad),
+            Err(RepositoryError::UnknownCapability { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_unsatisfiable_constraints() {
+        let repo = Repository::new();
+        let mut bad = valid_ad("x");
+        bad.semantic.content.push(
+            OntologyContent::new("healthcare").with_constraints(Conjunction::from_predicates(
+                vec![Predicate::gt("age", 10), Predicate::lt("age", 5)],
+            )),
+        );
+        assert!(matches!(
+            repo.validate(&bad),
+            Err(RepositoryError::UnsatisfiableConstraints { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_checks_fragments_against_known_ontologies() {
+        let mut repo = Repository::new();
+        repo.register_ontology(healthcare_ontology());
+        let mut bad = valid_ad("x");
+        bad.semantic.content.push(
+            OntologyContent::new("healthcare")
+                .with_fragment("patient", Fragment::vertical(["no_such_slot"])),
+        );
+        assert!(matches!(repo.validate(&bad), Err(RepositoryError::InvalidFragment { .. })));
+        // Fragments of unknown ontologies pass through (the broker cannot
+        // check what it does not know).
+        let mut unknown = valid_ad("y");
+        unknown.semantic.content.push(
+            OntologyContent::new("mystery")
+                .with_fragment("thing", Fragment::vertical(["whatever"])),
+        );
+        assert!(repo.validate(&unknown).is_ok());
+    }
+
+    #[test]
+    fn saturation_cache_invalidated_on_change() {
+        let mut repo = Repository::new();
+        repo.advertise(valid_ad("ra1")).unwrap();
+        let s1 = repo.saturated();
+        let s1_again = repo.saturated();
+        assert!(Arc::ptr_eq(&s1, &s1_again));
+        repo.advertise(valid_ad("ra2")).unwrap();
+        let s2 = repo.saturated();
+        assert!(!Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn derived_concept_rules_extend_the_model() {
+        let mut repo = Repository::new();
+        // "An agent that accepts subscriptions can be polled."
+        repo.register_derived_rules("cap(A, polling) :- cap(A, subscription).").unwrap();
+        let mut ad = valid_ad("ra1");
+        ad.semantic.capabilities.insert(infosleuth_ontology::Capability::subscription());
+        repo.advertise(ad).unwrap();
+        let model = repo.saturated();
+        let goals = infosleuth_ldl::parse_query("provides(ra1, polling)").unwrap();
+        assert!(model.holds(&goals));
+        // Bad rules are rejected at registration.
+        assert!(repo.register_derived_rules("p(X, Y) :- q(X).").is_err());
+        // Rules that break stratification *in combination with the standard
+        // base* are also rejected at registration.
+        assert!(repo
+            .register_derived_rules("cap(A, x) :- agent(A, resource), not provides(A, y).")
+            .is_err());
+    }
+
+    #[test]
+    fn broker_advertisements_are_separate() {
+        let mut repo = Repository::new();
+        let b = BrokerAdvertisement::new(
+            Advertisement::new(AgentLocation::new("b2", "tcp://h:2000", AgentType::Broker)),
+        );
+        repo.advertise_broker(b).unwrap();
+        assert_eq!(repo.peer_brokers(), vec!["b2"]);
+        assert!(repo.is_empty()); // not an agent advertisement
+        assert!(repo.unadvertise_broker("b2"));
+        assert!(!repo.unadvertise_broker("b2"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Constraint algebra for InfoSleuth semantic brokering.
+//!
+//! Resource agents advertise *restrictions* on the content they hold (e.g.
+//! "patient age between 43 and 75") and service queries carry *data
+//! constraints* (e.g. "patient age between 25 and 65 and diagnosis code =
+//! '40W'"). The broker must decide whether an advertised restriction
+//! **overlaps** a requested constraint — and, for ranking, whether one
+//! **implies** the other. This crate provides the value model, interval and
+//! set algebra, per-slot domains, and normalized conjunctions that the
+//! broker's reasoning engine uses for that decision.
+//!
+//! # Example
+//!
+//! ```
+//! use infosleuth_constraint::{Conjunction, Predicate, Value};
+//!
+//! // ResourceAgent5 advertises: patient age between 43 and 75.
+//! let advertised = Conjunction::from_predicates(vec![
+//!     Predicate::between("patient.age", Value::Int(43), Value::Int(75)),
+//! ]);
+//! // A query asks for patients between 25 and 65 with diagnosis code 40W.
+//! let requested = Conjunction::from_predicates(vec![
+//!     Predicate::between("patient.age", Value::Int(25), Value::Int(65)),
+//!     Predicate::eq("patient.diagnosis_code", Value::str("40W")),
+//! ]);
+//! // Ages 43..=65 satisfy both, so the broker recommends the agent.
+//! assert!(advertised.overlaps(&requested));
+//! // But the advertisement does not imply the request (43..=75 ⊄ 25..=65).
+//! assert!(!advertised.implies(&requested));
+//! ```
+
+mod conjunction;
+mod domain;
+mod parse;
+mod predicate;
+mod range;
+mod value;
+
+pub use conjunction::Conjunction;
+pub use domain::SlotDomain;
+pub use parse::{parse_conjunction, ParseError};
+pub use predicate::{CompareOp, Predicate};
+pub use range::{Bound, Range};
+pub use value::Value;

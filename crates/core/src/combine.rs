@@ -1,0 +1,427 @@
+//! The MRQ agent's result-combination logic.
+//!
+//! The multiresource query agent "forwards a query to these two agents,
+//! receives the responses, assembles the result". Contributions for one
+//! class can be:
+//!
+//! * replicas or horizontal fragments (same columns) — combined by
+//!   **union** with duplicate elimination;
+//! * vertical fragments (different column subsets, sharing the class key)
+//!   — combined by **join on the key**;
+//! * subclass extents (the `CH` stream) — resource agents answer a
+//!   superclass query with their subclass rows, so these also arrive as
+//!   same-column unions.
+//!
+//! The merged extent is normalized to bare column names so the MRQ can run
+//! the user's original relational plan against the assembled catalog.
+
+use infosleuth_constraint::Value;
+use infosleuth_ontology::Ontology;
+use infosleuth_relquery::{Column, Table};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Error combining contributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineError {
+    /// No resource contributed anything for the class.
+    NoContributions { class: String },
+    /// Vertical fragments cannot be rejoined without the class key.
+    MissingKey { class: String },
+    /// Subclass extents share no common columns and cannot be unioned.
+    IncompatibleExtents { class: String },
+}
+
+impl fmt::Display for CombineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineError::NoContributions { class } => {
+                write!(f, "no resource agent contributed data for class '{class}'")
+            }
+            CombineError::MissingKey { class } => {
+                write!(f, "vertical fragments of '{class}' lack the class key and cannot be joined")
+            }
+            CombineError::IncompatibleExtents { class } => {
+                write!(f, "subclass extents of '{class}' share no columns and cannot be unioned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// Strips qualification: `patient.age` → `age`.
+fn bare(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+/// Rebuilds a table with bare column names; duplicate bare names keep the
+/// first occurrence.
+fn normalize(class: &str, t: &Table) -> Table {
+    let mut keep: Vec<usize> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut columns = Vec::new();
+    for (i, c) in t.columns().iter().enumerate() {
+        let b = bare(&c.name).to_string();
+        if seen.insert(b.clone()) {
+            keep.push(i);
+            columns.push(Column::new(b, c.value_type));
+        }
+    }
+    let mut out = Table::new(class.to_string(), columns);
+    for row in t.rows() {
+        let projected: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+        out.push_row(projected).expect("schema derived from source");
+    }
+    out
+}
+
+/// Unions tables with identical (bare) column sets, deduplicating rows.
+fn union_group(class: &str, tables: &[Table]) -> Table {
+    let first = &tables[0];
+    let mut out = Table::new(class.to_string(), first.columns().to_vec());
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    // Later tables may order columns differently; realign to the first.
+    let order: Vec<String> = first.columns().iter().map(|c| c.name.clone()).collect();
+    for t in tables {
+        let idx: Vec<usize> = order
+            .iter()
+            .map(|c| t.column_index(c).expect("grouped by identical column sets"))
+            .collect();
+        for row in t.rows() {
+            let aligned: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(aligned.clone()) {
+                out.push_row(aligned).expect("aligned to group schema");
+            }
+        }
+    }
+    out
+}
+
+/// Joins two vertical fragments on the key column, keeping the key once.
+fn join_fragments(class: &str, key: &str, left: &Table, right: &Table) -> Table {
+    let li = left.column_index(key).expect("caller checked key presence");
+    let ri = right.column_index(key).expect("caller checked key presence");
+    let mut columns = left.columns().to_vec();
+    for (i, c) in right.columns().iter().enumerate() {
+        if i != ri && !columns.iter().any(|lc| lc.name == c.name) {
+            columns.push(c.clone());
+        }
+    }
+    let keep_right: Vec<usize> = right
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != ri && !left.columns().iter().any(|lc| lc.name == c.name))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Table::new(class.to_string(), columns);
+    let mut built: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        built.entry(&row[ri]).or_default().push(i);
+    }
+    for lrow in left.rows() {
+        if let Some(matches) = built.get(&lrow[li]) {
+            for &r in matches {
+                let mut joined = lrow.clone();
+                joined.extend(keep_right.iter().map(|&i| right.rows()[r][i].clone()));
+                out.push_row(joined).expect("concatenated fragment schemas");
+            }
+        }
+    }
+    out
+}
+
+/// Merges fragments of *one concrete class* (same source-class name):
+/// same-column contributions union; distinct column subsets (vertical
+/// fragments) join on the class key.
+fn merge_one_class(
+    class: &str,
+    contributions: Vec<Table>,
+    ontology: Option<&Ontology>,
+) -> Result<Table, CombineError> {
+    // Group by column-name set.
+    let mut groups: BTreeMap<Vec<String>, Vec<Table>> = BTreeMap::new();
+    for t in contributions {
+        let mut cols: Vec<String> = t.columns().iter().map(|c| c.name.clone()).collect();
+        cols.sort();
+        groups.entry(cols).or_default().push(t);
+    }
+    let mut merged: Vec<Table> =
+        groups.values().map(|g| union_group(class, g)).collect();
+    if merged.len() == 1 {
+        return Ok(merged.pop().expect("one group"));
+    }
+    // Vertical fragments: join successive groups on the class key.
+    let key = ontology
+        .and_then(|o| o.class(class))
+        .and_then(|c| c.key_slots().next().map(|s| s.name.clone()))
+        .unwrap_or_else(|| "id".to_string());
+    let mut iter = merged.into_iter();
+    let mut acc = iter.next().expect("non-empty contributions");
+    if acc.column_index(&key).is_none() {
+        return Err(CombineError::MissingKey { class: class.to_string() });
+    }
+    for next in iter {
+        if next.column_index(&key).is_none() {
+            return Err(CombineError::MissingKey { class: class.to_string() });
+        }
+        acc = join_fragments(class, &key, &acc, &next);
+    }
+    Ok(acc)
+}
+
+/// Merges all contributions for one requested class into a single extent.
+///
+/// Contributions are first partitioned by the class they actually
+/// represent (the reply table's name — a resource answering a superclass
+/// query with subclass rows names the table after the subclass). Within a
+/// partition, fragments union/join per `merge_one_class`; across
+/// partitions (subclass extents under a hierarchy query), the extents
+/// union over their common columns.
+pub fn merge_class_extent(
+    class: &str,
+    contributions: Vec<Table>,
+    ontology: Option<&Ontology>,
+) -> Result<Table, CombineError> {
+    if contributions.is_empty() {
+        return Err(CombineError::NoContributions { class: class.to_string() });
+    }
+    // Partition by source class, preserving discovery order.
+    let mut order: Vec<String> = Vec::new();
+    let mut partitions: BTreeMap<String, Vec<Table>> = BTreeMap::new();
+    for t in contributions {
+        let source = if t.name.is_empty() { class.to_string() } else { t.name.clone() };
+        if !order.contains(&source) {
+            order.push(source.clone());
+        }
+        partitions.entry(source.clone()).or_default().push(normalize(&source, &t));
+    }
+    let mut extents = Vec::with_capacity(order.len());
+    for source in &order {
+        let tables = partitions.remove(source).expect("partition recorded");
+        extents.push(merge_one_class(source, tables, ontology)?);
+    }
+    if extents.len() == 1 {
+        let mut only = extents.pop().expect("one extent");
+        only.name = class.to_string();
+        return Ok(only);
+    }
+    // Hierarchy union: project every subclass extent onto the columns they
+    // all share (in the first extent's order), then union with dedup.
+    let common: Vec<Column> = extents[0]
+        .columns()
+        .iter()
+        .filter(|c| extents[1..].iter().all(|e| e.column_index(&c.name).is_some()))
+        .cloned()
+        .collect();
+    if common.is_empty() {
+        return Err(CombineError::IncompatibleExtents { class: class.to_string() });
+    }
+    let mut out = Table::new(class.to_string(), common.clone());
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    for e in &extents {
+        let idx: Vec<usize> = common
+            .iter()
+            .map(|c| e.column_index(&c.name).expect("common column present"))
+            .collect();
+        for row in e.rows() {
+            let projected: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(projected.clone()) {
+                out.push_row(projected).expect("projected onto common schema");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_ontology::{healthcare_ontology, ValueType};
+
+    fn t(name: &str, cols: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> Table {
+        let mut table =
+            Table::new(name, cols.iter().map(|(n, vt)| Column::new(*n, *vt)).collect());
+        for r in rows {
+            table.push_row(r).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn horizontal_contributions_union_and_dedup() {
+        // DB1 and DB2 both hold C2 rows (Figure 7); overlapping rows appear
+        // once.
+        let a = t(
+            "C2",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
+        );
+        let b = t(
+            "C2",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(2), Value::Int(20)], vec![Value::Int(3), Value::Int(30)]],
+        );
+        let merged = merge_class_extent("C2", vec![a, b], None).unwrap();
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn qualified_columns_are_normalized() {
+        let a = t(
+            "patient",
+            &[("patient.id", ValueType::Int), ("patient.age", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(50)]],
+        );
+        let merged = merge_class_extent("patient", vec![a], None).unwrap();
+        assert_eq!(merged.columns()[0].name, "id");
+        assert_eq!(merged.columns()[1].name, "age");
+    }
+
+    #[test]
+    fn union_aligns_permuted_columns() {
+        let a = t(
+            "C",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(10)]],
+        );
+        let b = t(
+            "C",
+            &[("a", ValueType::Int), ("id", ValueType::Int)],
+            vec![vec![Value::Int(20), Value::Int(2)]],
+        );
+        let merged = merge_class_extent("C", vec![a, b], None).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.value(1, "id"), Some(&Value::Int(2)));
+        assert_eq!(merged.value(1, "a"), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn vertical_fragments_join_on_key() {
+        let onto = healthcare_ontology();
+        // Fragment 1: id + name; fragment 2: id + age.
+        let f1 = t(
+            "patient",
+            &[("id", ValueType::Int), ("name", ValueType::Str)],
+            vec![
+                vec![Value::Int(1), Value::str("ann")],
+                vec![Value::Int(2), Value::str("bob")],
+            ],
+        );
+        let f2 = t(
+            "patient",
+            &[("id", ValueType::Int), ("age", ValueType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(50)],
+                vec![Value::Int(2), Value::Int(61)],
+            ],
+        );
+        let merged = merge_class_extent("patient", vec![f1, f2], Some(&onto)).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.columns().len(), 3); // id, name, age (key kept once)
+        assert_eq!(merged.value(0, "name"), Some(&Value::str("ann")));
+        assert_eq!(merged.value(0, "age"), Some(&Value::Int(50)));
+    }
+
+    #[test]
+    fn fragmentation_and_replication_combined() {
+        // FH-style: fragment 1 arrives from two resources (union first),
+        // then joins with fragment 2.
+        let f1a = t(
+            "patient",
+            &[("id", ValueType::Int), ("name", ValueType::Str)],
+            vec![vec![Value::Int(1), Value::str("ann")]],
+        );
+        let f1b = t(
+            "patient",
+            &[("id", ValueType::Int), ("name", ValueType::Str)],
+            vec![vec![Value::Int(2), Value::str("bob")]],
+        );
+        let f2 = t(
+            "patient",
+            &[("id", ValueType::Int), ("age", ValueType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(50)],
+                vec![Value::Int(2), Value::Int(61)],
+            ],
+        );
+        let onto = healthcare_ontology();
+        let merged =
+            merge_class_extent("patient", vec![f1a, f1b, f2], Some(&onto)).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.value(1, "age"), Some(&Value::Int(61)));
+    }
+
+    #[test]
+    fn subclass_extents_union_not_join() {
+        // A hierarchy query over C2 receives a C2a extent and a C2b
+        // extent with disjoint keys: they must union, never key-join.
+        let a = t(
+            "C2a",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(10)]],
+        );
+        let b = t(
+            "C2b",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(9), Value::Int(90)]],
+        );
+        let merged = merge_class_extent("C2", vec![a, b], None).unwrap();
+        assert_eq!(merged.name, "C2");
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn fragmented_subclass_joins_before_hierarchy_union() {
+        // C2a arrives as two vertical fragments; C2b arrives whole. The
+        // fragments must join first, then union with C2b over the common
+        // columns.
+        let f1 = t(
+            "C2a",
+            &[("id", ValueType::Int), ("a", ValueType::Int)],
+            vec![vec![Value::Int(1), Value::Int(10)]],
+        );
+        let f2 = t(
+            "C2a",
+            &[("id", ValueType::Int), ("b", ValueType::Str)],
+            vec![vec![Value::Int(1), Value::str("one")]],
+        );
+        let whole = t(
+            "C2b",
+            &[("id", ValueType::Int), ("a", ValueType::Int), ("b", ValueType::Str)],
+            vec![vec![Value::Int(9), Value::Int(90), Value::str("nine")]],
+        );
+        let merged = merge_class_extent("C2", vec![f1, f2, whole], None).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.columns().len(), 3);
+    }
+
+    #[test]
+    fn incompatible_subclass_extents_error() {
+        let a = t("X1", &[("p", ValueType::Int)], vec![vec![Value::Int(1)]]);
+        let b = t("X2", &[("q", ValueType::Int)], vec![vec![Value::Int(2)]]);
+        assert!(matches!(
+            merge_class_extent("X", vec![a, b], None),
+            Err(CombineError::IncompatibleExtents { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let f1 = t("x", &[("a", ValueType::Int)], vec![vec![Value::Int(1)]]);
+        let f2 = t("x", &[("b", ValueType::Int)], vec![vec![Value::Int(2)]]);
+        assert!(matches!(
+            merge_class_extent("x", vec![f1, f2], None),
+            Err(CombineError::MissingKey { .. })
+        ));
+    }
+
+    #[test]
+    fn no_contributions_is_an_error() {
+        assert!(matches!(
+            merge_class_extent("x", vec![], None),
+            Err(CombineError::NoContributions { .. })
+        ));
+    }
+}

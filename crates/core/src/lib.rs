@@ -1,0 +1,80 @@
+//! # InfoSleuth: semantic brokering over dynamic heterogeneous sources
+//!
+//! A from-scratch Rust reproduction of the system described in *"Scalable
+//! Semantic Brokering over Dynamic Heterogeneous Data Sources in
+//! InfoSleuth"* (Nodine, Bohrer, Ngu, Cassandra — ICDE 1999): an
+//! agent-based information discovery and retrieval system whose brokers
+//! reason over both the **syntax** and the **semantics** of explicitly
+//! advertised agent capabilities, and collaborate peer-to-peer
+//! (**multibrokering**) for robustness and scalability.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use infosleuth_core::{Community, ResourceDef};
+//! use infosleuth_core::ontology::paper_class_ontology;
+//! use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
+//!
+//! let ontology = paper_class_ontology();
+//! let mut catalog = Catalog::new();
+//! catalog.insert(generate_table(&ontology, &GenSpec::new("C2", 8, 42)).unwrap());
+//!
+//! let community = Community::builder()
+//!     .with_ontology(ontology)
+//!     .add_broker("broker-1")
+//!     .add_resource(ResourceDef::new("db1-resource-agent", "paper-classes", catalog))
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut mhn = community.user("mhn-user-agent").unwrap();
+//! let result = mhn.submit_sql("select * from C2", Some("paper-classes")).unwrap();
+//! assert_eq!(result.len(), 8);
+//! community.shutdown();
+//! ```
+//!
+//! ## Crate map
+//!
+//! | layer | crate | re-exported as |
+//! |-------|-------|----------------|
+//! | constraint algebra | `infosleuth-constraint` | [`constraint`] |
+//! | ontologies & service ontology | `infosleuth-ontology` | [`ontology`] |
+//! | KQML messages | `infosleuth-kqml` | [`kqml`] |
+//! | LDL deductive engine | `infosleuth-ldl` | [`ldl`] |
+//! | SQL subset + relational substrate | `infosleuth-relquery` | [`relquery`] |
+//! | agent bus & liveness | `infosleuth-agent` | [`agent`] |
+//! | broker & multibrokering | `infosleuth-broker` | [`broker`] |
+//! | evaluation simulator | `infosleuth-sim` | [`sim`] |
+//!
+//! This crate adds the community-level agents the paper's walkthroughs use:
+//! resource agents ([`ResourceDef`]), the multiresource query agent, the
+//! ontology agent, and user agents ([`UserAgent`]), wired together by
+//! [`Community`].
+
+pub mod combine;
+pub mod community;
+pub mod monitor_agent;
+pub mod mrq_agent;
+pub mod ontology_agent;
+pub mod resource_agent;
+pub mod tablecodec;
+pub mod user_agent;
+
+pub use combine::{merge_class_extent, CombineError};
+pub use community::{Community, CommunityBuilder, ResourceDef};
+pub use monitor_agent::{
+    monitor_advertisement, spawn_monitor_agent, MonitorAgentHandle, MonitorSpec,
+};
+pub use mrq_agent::{mrq_advertisement, spawn_mrq_agent, MrqAgentHandle, MrqSpec};
+pub use ontology_agent::{spawn_ontology_agent, OntologyAgentHandle};
+pub use resource_agent::{spawn_resource_agent, ResourceAgentHandle, ResourceSpec};
+pub use user_agent::{UserAgent, UserAgentError};
+
+// Substrate re-exports, so downstream users depend on one crate.
+pub use infosleuth_agent as agent;
+pub use infosleuth_broker as broker;
+pub use infosleuth_constraint as constraint;
+pub use infosleuth_kqml as kqml;
+pub use infosleuth_ldl as ldl;
+pub use infosleuth_ontology as ontology;
+pub use infosleuth_relquery as relquery;
+pub use infosleuth_sim as sim;

@@ -1,0 +1,233 @@
+//! The monitor agent (Figure 1): standing-query notifications across the
+//! community.
+//!
+//! InfoSleuth's motivating examples are monitoring tasks — "Notify me when
+//! the cost of hospital stays for a Caesarian delivery significantly
+//! deviates from the expected cost." A user agent sends the monitor agent a
+//! `subscribe` with an SQL standing query; the monitor locates every
+//! resource agent that can contribute (through the broker, like the MRQ
+//! agent), opens subscriptions with each of them, and relays their change
+//! notifications back to the user, tagging each with the originating
+//! resource.
+
+use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_broker::query_broker;
+use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_ontology::{
+    Advertisement, AgentLocation, AgentType, Capability, ConversationType, SemanticInfo,
+    ServiceQuery, SyntacticInfo,
+};
+use infosleuth_relquery::{parse_select, plan, referenced_classes};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for the monitor agent.
+pub struct MonitorSpec {
+    pub name: String,
+    pub address: String,
+    pub brokers: Vec<String>,
+    pub timeout: Duration,
+}
+
+/// The monitor agent's standard advertisement.
+pub fn monitor_advertisement(name: &str, address: &str) -> Advertisement {
+    Advertisement::new(AgentLocation::new(name, address, AgentType::Monitor))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::Subscribe, ConversationType::Tell])
+                .with_capabilities([Capability::subscription(), Capability::notification()]),
+        )
+}
+
+/// Handle to a running monitor agent.
+pub struct MonitorAgentHandle {
+    name: String,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MonitorAgentHandle {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MonitorAgentHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One upstream subscription held at a resource agent, mapped back to the
+/// downstream subscriber.
+struct Relay {
+    subscriber: String,
+    downstream_id: String,
+    resource: String,
+}
+
+/// Spawns the monitor agent: advertises to every broker, then serves
+/// `subscribe` requests and relays notifications.
+pub fn spawn_monitor_agent(bus: &Bus, spec: MonitorSpec) -> Result<MonitorAgentHandle, BusError> {
+    let mut endpoint = bus.register(&spec.name)?;
+    let ad = monitor_advertisement(&spec.name, &spec.address);
+    for broker in &spec.brokers {
+        let _ = infosleuth_broker::advertise_to(&mut endpoint, broker, &ad, spec.timeout);
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let name = spec.name.clone();
+    let thread = std::thread::spawn(move || run_loop(endpoint, spec, flag));
+    Ok(MonitorAgentHandle { name, shutdown, thread: Some(thread) })
+}
+
+fn run_loop(mut endpoint: Endpoint, spec: MonitorSpec, shutdown: Arc<AtomicBool>) {
+    // Upstream subscription id → downstream relay target.
+    let mut relays: HashMap<String, Relay> = HashMap::new();
+    let mut seq = 0u64;
+    while !shutdown.load(Ordering::Relaxed) {
+        let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
+            continue;
+        };
+        match env.message.performative {
+            Performative::Ping => {
+                let reply = env.message.reply_skeleton(Performative::Reply);
+                let _ = endpoint.send(&env.from, reply);
+            }
+            Performative::Subscribe => {
+                seq += 1;
+                let reply =
+                    open_subscription(&mut endpoint, &spec, &env, seq, &mut relays);
+                let _ = endpoint.send(&env.from, reply);
+            }
+            Performative::Tell => {
+                // A notification from a resource agent: relay downstream.
+                let Some(upstream_id) = env.message.in_reply_to() else {
+                    continue;
+                };
+                if let Some(relay) = relays.get(upstream_id) {
+                    let mut fwd = Message::new(Performative::Tell)
+                        .with_in_reply_to(relay.downstream_id.clone());
+                    if let Some(content) = env.message.content() {
+                        fwd.set("content", content.clone());
+                    }
+                    // Provenance: which resource changed.
+                    fwd.set("resource", SExpr::atom(relay.resource.as_str()));
+                    let _ = endpoint.send(&relay.subscriber, fwd);
+                }
+            }
+            _ => {
+                let reply = env
+                    .message
+                    .reply_skeleton(Performative::Error)
+                    .with_content(SExpr::string("monitor agent accepts subscribe only"));
+                let _ = endpoint.send(&env.from, reply);
+            }
+        }
+    }
+    endpoint.unregister();
+}
+
+/// Locates contributing resources for a standing query and subscribes to
+/// each; returns the downstream acknowledgement.
+fn open_subscription(
+    endpoint: &mut Endpoint,
+    spec: &MonitorSpec,
+    env: &infosleuth_agent::Envelope,
+    seq: u64,
+    relays: &mut HashMap<String, Relay>,
+) -> Message {
+    let Some(sql) = env.message.content().and_then(SExpr::as_text).map(str::to_string)
+    else {
+        return env
+            .message
+            .reply_skeleton(Performative::Error)
+            .with_content(SExpr::string("expected SQL content"));
+    };
+    let stmt = match parse_select(&sql) {
+        Ok(s) => s,
+        Err(e) => {
+            return env
+                .message
+                .reply_skeleton(Performative::Error)
+                .with_content(SExpr::string(e.to_string()))
+        }
+    };
+    let classes = referenced_classes(&plan(&stmt));
+    // One service query covering all referenced classes.
+    let mut query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_query_language("SQL 2.0")
+        .with_classes(classes.iter().map(String::as_str));
+    if let Some(o) = env.message.ontology() {
+        query = query.with_ontology(o);
+    }
+    let mut matches = Vec::new();
+    for broker in &spec.brokers {
+        if let Ok(m) = query_broker(endpoint, broker, &query, None, spec.timeout) {
+            if !m.is_empty() {
+                matches = m;
+                break;
+            }
+        }
+    }
+    if matches.is_empty() {
+        return env.message.reply_skeleton(Performative::Sorry).with_content(SExpr::string(
+            format!("no resource agents found for classes {classes:?}"),
+        ));
+    }
+    let downstream_id = env
+        .message
+        .reply_with()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("mon-{seq}"));
+    let mut opened = 0;
+    for m in &matches {
+        let sub = Message::new(Performative::Subscribe)
+            .with_language("SQL 2.0")
+            .with_content(SExpr::string(sql.clone()));
+        match endpoint.request(&m.name, sub, spec.timeout) {
+            Ok(ack) if ack.performative == Performative::Tell => {
+                let upstream_id = ack
+                    .content()
+                    .and_then(SExpr::as_text)
+                    .unwrap_or_default()
+                    .to_string();
+                if !upstream_id.is_empty() {
+                    relays.insert(
+                        upstream_id,
+                        Relay {
+                            subscriber: env.from.clone(),
+                            downstream_id: downstream_id.clone(),
+                            resource: m.name.clone(),
+                        },
+                    );
+                    opened += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if opened == 0 {
+        return env
+            .message
+            .reply_skeleton(Performative::Sorry)
+            .with_content(SExpr::string("no resource accepted the subscription"));
+    }
+    env.message
+        .reply_skeleton(Performative::Tell)
+        .with_content(SExpr::atom(downstream_id))
+        .with("resources", SExpr::Atom(opened.to_string()))
+}

@@ -1,0 +1,148 @@
+//! The ontology agent: serves the community's common ontologies.
+//!
+//! "These agents service requests over a set of common ontologies, accessed
+//! via the ontology agents." Agents ask it for class and slot definitions
+//! by name; the reply carries a structured `(ontology ...)` payload.
+
+use infosleuth_agent::{Bus, BusError};
+use infosleuth_kqml::{Performative, SExpr};
+use infosleuth_ontology::Ontology;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Encodes an ontology's structure (names, classes, slots, hierarchy).
+pub fn ontology_to_sexpr(o: &Ontology) -> SExpr {
+    let mut items = vec![SExpr::atom("ontology"), SExpr::atom(o.name.as_str())];
+    for class in o.classes() {
+        let mut c = vec![SExpr::atom("class"), SExpr::atom(class.name.as_str())];
+        for parent in o.hierarchy().parents_of(&class.name) {
+            c.push(SExpr::list([SExpr::atom("isa"), SExpr::atom(parent)]));
+        }
+        for slot in &class.slots {
+            let mut s = vec![
+                SExpr::atom("slot"),
+                SExpr::atom(slot.name.as_str()),
+                SExpr::atom(slot.value_type.to_string()),
+            ];
+            if slot.is_key {
+                s.push(SExpr::atom("key"));
+            }
+            c.push(SExpr::List(s));
+        }
+        items.push(SExpr::List(c));
+    }
+    SExpr::List(items)
+}
+
+/// Handle to a running ontology agent.
+pub struct OntologyAgentHandle {
+    name: String,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OntologyAgentHandle {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OntologyAgentHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns an ontology agent serving the given ontologies. `ask-one` with an
+/// ontology-name atom as content returns the definition; unknown names get
+/// `sorry`.
+pub fn spawn_ontology_agent(
+    bus: &Bus,
+    name: impl Into<String>,
+    ontologies: Vec<Arc<Ontology>>,
+) -> Result<OntologyAgentHandle, BusError> {
+    let name = name.into();
+    let mut endpoint = bus.register(&name)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::spawn(move || {
+        while !flag.load(Ordering::Relaxed) {
+            let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
+                continue;
+            };
+            let reply = match env.message.performative {
+                Performative::Ping => env.message.reply_skeleton(Performative::Reply),
+                Performative::AskOne | Performative::AskAll => {
+                    let wanted = env.message.content().and_then(SExpr::as_text);
+                    match wanted.and_then(|w| ontologies.iter().find(|o| o.name == w)) {
+                        Some(o) => env
+                            .message
+                            .reply_skeleton(Performative::Reply)
+                            .with_content(ontology_to_sexpr(o)),
+                        None => env.message.reply_skeleton(Performative::Sorry),
+                    }
+                }
+                _ => env
+                    .message
+                    .reply_skeleton(Performative::Error)
+                    .with_content(SExpr::string("ontology agent answers ask-one only")),
+            };
+            let _ = endpoint.send(&env.from, reply);
+        }
+        endpoint.unregister();
+    });
+    Ok(OntologyAgentHandle { name, shutdown, thread: Some(thread) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_agent::Bus;
+    use infosleuth_kqml::Message;
+    use infosleuth_ontology::healthcare_ontology;
+
+    #[test]
+    fn serves_ontology_definitions() {
+        let bus = Bus::new();
+        let handle = spawn_ontology_agent(
+            &bus,
+            "ontology-agent",
+            vec![Arc::new(healthcare_ontology())],
+        )
+        .unwrap();
+        let mut client = bus.register("client").unwrap();
+        let reply = client
+            .request(
+                "ontology-agent",
+                Message::new(Performative::AskOne).with_content(SExpr::atom("healthcare")),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        let text = reply.content().unwrap().to_string();
+        assert!(text.contains("patient"));
+        assert!(text.contains("(isa provider)")); // podiatrist is-a provider
+        assert!(text.contains("key"));
+        // Unknown ontology → sorry.
+        let reply = client
+            .request(
+                "ontology-agent",
+                Message::new(Performative::AskOne).with_content(SExpr::atom("nope")),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Sorry);
+        handle.stop();
+    }
+}

@@ -1,0 +1,218 @@
+//! SExpr wire encoding for relational result tables.
+//!
+//! Resource agents answer SQL queries with a `(table ...)` payload inside a
+//! KQML `reply`:
+//!
+//! ```text
+//! (table patient
+//!   (columns (id int) (name string) (age int))
+//!   (row 1 "ann" 50)
+//!   (row 2 "bob" 61))
+//! ```
+
+use infosleuth_constraint::Value;
+use infosleuth_kqml::SExpr;
+use infosleuth_ontology::ValueType;
+use infosleuth_relquery::{Column, Table};
+use std::fmt;
+
+/// Error decoding a `(table ...)` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableCodecError(pub String);
+
+impl fmt::Display for TableCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TableCodecError {}
+
+fn err(m: impl Into<String>) -> TableCodecError {
+    TableCodecError(m.into())
+}
+
+fn value_to_sexpr(v: &Value) -> SExpr {
+    match v {
+        Value::Int(i) => SExpr::Atom(i.to_string()),
+        Value::Float(f) => SExpr::Atom(format!("{f:?}")), // keeps .0 on integral floats
+        Value::Str(s) => SExpr::Str(s.clone()),
+        Value::Bool(b) => SExpr::Atom(b.to_string()),
+    }
+}
+
+fn value_from_sexpr(e: &SExpr, vt: ValueType) -> Result<Value, TableCodecError> {
+    match (vt, e) {
+        (ValueType::Str, SExpr::Str(s)) => Ok(Value::Str(s.clone())),
+        (ValueType::Int, SExpr::Atom(a)) => {
+            a.parse().map(Value::Int).map_err(|_| err(format!("bad int '{a}'")))
+        }
+        (ValueType::Float, SExpr::Atom(a)) => {
+            a.parse().map(Value::Float).map_err(|_| err(format!("bad float '{a}'")))
+        }
+        (ValueType::Bool, SExpr::Atom(a)) => {
+            a.parse().map(Value::Bool).map_err(|_| err(format!("bad bool '{a}'")))
+        }
+        _ => Err(err(format!("value {e} does not fit column type {vt}"))),
+    }
+}
+
+fn type_name(vt: ValueType) -> &'static str {
+    match vt {
+        ValueType::Int => "int",
+        ValueType::Float => "float",
+        ValueType::Str => "string",
+        ValueType::Bool => "bool",
+    }
+}
+
+fn type_from_name(s: &str) -> Result<ValueType, TableCodecError> {
+    Ok(match s {
+        "int" => ValueType::Int,
+        "float" => ValueType::Float,
+        "string" => ValueType::Str,
+        "bool" => ValueType::Bool,
+        other => return Err(err(format!("unknown column type '{other}'"))),
+    })
+}
+
+/// Encodes a table as `(table name (columns ...) (row ...) ...)`.
+pub fn table_to_sexpr(t: &Table) -> SExpr {
+    let mut items = vec![SExpr::atom("table"), SExpr::atom(t.name.as_str())];
+    let cols: Vec<SExpr> = t
+        .columns()
+        .iter()
+        .map(|c| {
+            SExpr::list([SExpr::atom(c.name.as_str()), SExpr::atom(type_name(c.value_type))])
+        })
+        .collect();
+    let mut col_list = vec![SExpr::atom("columns")];
+    col_list.extend(cols);
+    items.push(SExpr::List(col_list));
+    for row in t.rows() {
+        let mut r = vec![SExpr::atom("row")];
+        r.extend(row.iter().map(value_to_sexpr));
+        items.push(SExpr::List(r));
+    }
+    SExpr::List(items)
+}
+
+/// Option-returning variant of [`table_from_sexpr`], convenient in
+/// `and_then` chains.
+pub fn table_from_sexpr_ok(e: &SExpr) -> Option<Table> {
+    table_from_sexpr(e).ok()
+}
+
+/// Decodes a `(table ...)` payload.
+pub fn table_from_sexpr(e: &SExpr) -> Result<Table, TableCodecError> {
+    let items = e.as_list().ok_or_else(|| err("table must be a list"))?;
+    if items.first().and_then(SExpr::as_atom) != Some("table") {
+        return Err(err("expected (table ...)"));
+    }
+    let name = items
+        .get(1)
+        .and_then(SExpr::as_atom)
+        .ok_or_else(|| err("table missing name"))?;
+    let col_list = items
+        .get(2)
+        .and_then(SExpr::as_list)
+        .filter(|l| l.first().and_then(SExpr::as_atom) == Some("columns"))
+        .ok_or_else(|| err("table missing (columns ...)"))?;
+    let mut columns = Vec::new();
+    for c in &col_list[1..] {
+        let pair = c.as_list().ok_or_else(|| err("column must be (name type)"))?;
+        let cname = pair
+            .first()
+            .and_then(SExpr::as_atom)
+            .ok_or_else(|| err("column missing name"))?;
+        let vt = type_from_name(
+            pair.get(1).and_then(SExpr::as_atom).ok_or_else(|| err("column missing type"))?,
+        )?;
+        columns.push(Column::new(cname, vt));
+    }
+    let types: Vec<ValueType> = columns.iter().map(|c| c.value_type).collect();
+    let mut table = Table::new(name, columns);
+    for row_expr in &items[3..] {
+        let row_list = row_expr
+            .as_list()
+            .filter(|l| l.first().and_then(SExpr::as_atom) == Some("row"))
+            .ok_or_else(|| err("expected (row ...)"))?;
+        if row_list.len() - 1 != types.len() {
+            return Err(err("row arity mismatch"));
+        }
+        let mut row = Vec::with_capacity(types.len());
+        for (cell, vt) in row_list[1..].iter().zip(&types) {
+            row.push(value_from_sexpr(cell, *vt)?);
+        }
+        table.push_row(row).map_err(|e| err(e.to_string()))?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "patient",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Str),
+                Column::new("score", ValueType::Float),
+                Column::new("active", ValueType::Bool),
+            ],
+        );
+        t.push_row(vec![
+            Value::Int(1),
+            Value::str("ann with spaces"),
+            Value::Float(2.5),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        t.push_row(vec![Value::Int(-2), Value::str(""), Value::Float(3.0), Value::Bool(false)])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = sample();
+        let text = table_to_sexpr(&t).to_string();
+        let back = table_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new("empty", vec![Column::new("x", ValueType::Int)]);
+        let back = table_from_sexpr(&table_to_sexpr(&t)).unwrap();
+        assert_eq!(back, t);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let mut t = Table::new("m", vec![Column::new("cost", ValueType::Float)]);
+        t.push_row(vec![Value::Float(100.0)]).unwrap();
+        let back = table_from_sexpr(&table_to_sexpr(&t)).unwrap();
+        assert!(matches!(back.rows()[0][0], Value::Float(f) if f == 100.0));
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        for bad in [
+            "(tabel x (columns))",
+            "(table)",
+            "(table t (rows))",
+            "(table t (columns (x unknown-type)))",
+            "(table t (columns (x int)) (row 1 2))",
+            "(table t (columns (x int)) (row \"notint\"))",
+        ] {
+            assert!(
+                table_from_sexpr(&SExpr::parse(bad).unwrap()).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+}

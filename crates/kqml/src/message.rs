@@ -1,0 +1,398 @@
+//! KQML message model.
+
+use crate::{SExpr, SExprError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A KQML performative — the speech-act verb of a message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Performative {
+    /// Announce a capability to a broker.
+    Advertise,
+    /// Withdraw a previous advertisement.
+    Unadvertise,
+    /// Replace a previous advertisement with updated content.
+    Update,
+    /// Ask for all answers.
+    AskAll,
+    /// Ask for a single answer.
+    AskOne,
+    /// Assert an answer or fact.
+    Tell,
+    /// Direct reply carrying results.
+    Reply,
+    /// "I understood you, but have no answer."
+    Sorry,
+    /// Protocol or processing error.
+    Error,
+    /// Open a standing query (monitoring / notification).
+    Subscribe,
+    /// Ask a broker to *forward* the embedded request to one matching agent.
+    BrokerOne,
+    /// Ask a broker to *recommend* all matching agents.
+    RecruitAll,
+    /// Ask a broker to *recommend* one matching agent.
+    RecruitOne,
+    /// Liveness probe ("broker ping", §4.2.2).
+    Ping,
+    /// Any other verb.
+    Other(String),
+}
+
+impl Performative {
+    pub fn as_str(&self) -> &str {
+        match self {
+            Performative::Advertise => "advertise",
+            Performative::Unadvertise => "unadvertise",
+            Performative::Update => "update",
+            Performative::AskAll => "ask-all",
+            Performative::AskOne => "ask-one",
+            Performative::Tell => "tell",
+            Performative::Reply => "reply",
+            Performative::Sorry => "sorry",
+            Performative::Error => "error",
+            Performative::Subscribe => "subscribe",
+            Performative::BrokerOne => "broker-one",
+            Performative::RecruitAll => "recruit-all",
+            Performative::RecruitOne => "recruit-one",
+            Performative::Ping => "ping",
+            Performative::Other(s) => s,
+        }
+    }
+}
+
+impl From<&str> for Performative {
+    fn from(s: &str) -> Self {
+        match s {
+            "advertise" => Performative::Advertise,
+            "unadvertise" => Performative::Unadvertise,
+            "update" => Performative::Update,
+            "ask-all" => Performative::AskAll,
+            "ask-one" => Performative::AskOne,
+            "tell" => Performative::Tell,
+            "reply" => Performative::Reply,
+            "sorry" => Performative::Sorry,
+            "error" => Performative::Error,
+            "subscribe" => Performative::Subscribe,
+            "broker-one" => Performative::BrokerOne,
+            "recruit-all" => Performative::RecruitAll,
+            "recruit-one" => Performative::RecruitOne,
+            "ping" => Performative::Ping,
+            other => Performative::Other(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Performative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Errors produced when converting text to a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KqmlError {
+    Syntax(SExprError),
+    /// The message is not a `(performative :kw value ...)` list.
+    Malformed(String),
+}
+
+impl fmt::Display for KqmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KqmlError::Syntax(e) => write!(f, "{e}"),
+            KqmlError::Malformed(m) => write!(f, "malformed KQML message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KqmlError {}
+
+impl From<SExprError> for KqmlError {
+    fn from(e: SExprError) -> Self {
+        KqmlError::Syntax(e)
+    }
+}
+
+/// Chooses the s-expression form for a parameter value: a bare atom when
+/// the text survives atom tokenization, a quoted string otherwise (e.g.
+/// `SQL 2.0`, which contains a space).
+fn token(s: String) -> SExpr {
+    let needs_quoting =
+        s.is_empty() || s.chars().any(|c| c.is_whitespace() || "();\"".contains(c));
+    if needs_quoting {
+        SExpr::Str(s)
+    } else {
+        SExpr::Atom(s)
+    }
+}
+
+/// A KQML message: a performative plus keyword parameters.
+///
+/// Parameter order is preserved for faithful round-tripping; lookup is by
+/// keyword (without the leading `:`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    pub performative: Performative,
+    params: Vec<(String, SExpr)>,
+}
+
+impl Message {
+    pub fn new(performative: Performative) -> Self {
+        Message { performative, params: Vec::new() }
+    }
+
+    /// Sets (or replaces) a keyword parameter. `key` omits the leading `:`.
+    pub fn with(mut self, key: impl Into<String>, value: SExpr) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    pub fn set(&mut self, key: impl Into<String>, value: SExpr) {
+        let key = key.into();
+        debug_assert!(!key.starts_with(':'), "param keys omit the leading ':'");
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key, value));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&SExpr> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Text of a parameter that is an atom or string.
+    pub fn get_text(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(SExpr::as_text)
+    }
+
+    pub fn params(&self) -> impl Iterator<Item = (&str, &SExpr)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    // Conventional accessors for the reserved KQML parameter names.
+
+    pub fn sender(&self) -> Option<&str> {
+        self.get_text("sender")
+    }
+
+    pub fn receiver(&self) -> Option<&str> {
+        self.get_text("receiver")
+    }
+
+    pub fn content(&self) -> Option<&SExpr> {
+        self.get("content")
+    }
+
+    pub fn language(&self) -> Option<&str> {
+        self.get_text("language")
+    }
+
+    pub fn ontology(&self) -> Option<&str> {
+        self.get_text("ontology")
+    }
+
+    pub fn reply_with(&self) -> Option<&str> {
+        self.get_text("reply-with")
+    }
+
+    pub fn in_reply_to(&self) -> Option<&str> {
+        self.get_text("in-reply-to")
+    }
+
+    pub fn with_sender(self, s: impl Into<String>) -> Self {
+        self.with("sender", token(s.into()))
+    }
+
+    pub fn with_receiver(self, s: impl Into<String>) -> Self {
+        self.with("receiver", token(s.into()))
+    }
+
+    pub fn with_content(self, c: SExpr) -> Self {
+        self.with("content", c)
+    }
+
+    pub fn with_language(self, s: impl Into<String>) -> Self {
+        self.with("language", token(s.into()))
+    }
+
+    pub fn with_ontology(self, s: impl Into<String>) -> Self {
+        self.with("ontology", token(s.into()))
+    }
+
+    pub fn with_reply_with(self, s: impl Into<String>) -> Self {
+        self.with("reply-with", token(s.into()))
+    }
+
+    pub fn with_in_reply_to(self, s: impl Into<String>) -> Self {
+        self.with("in-reply-to", token(s.into()))
+    }
+
+    /// Builds a reply skeleton: `reply` performative, sender/receiver
+    /// swapped, `in-reply-to` copied from this message's `reply-with`.
+    pub fn reply_skeleton(&self, performative: Performative) -> Message {
+        let mut m = Message::new(performative);
+        if let Some(r) = self.receiver() {
+            m.set("sender", token(r.to_string()));
+        }
+        if let Some(s) = self.sender() {
+            m.set("receiver", token(s.to_string()));
+        }
+        if let Some(rw) = self.reply_with() {
+            m.set("in-reply-to", token(rw.to_string()));
+        }
+        m
+    }
+
+    /// The message as an s-expression.
+    pub fn to_sexpr(&self) -> SExpr {
+        let mut items = vec![SExpr::atom(self.performative.as_str())];
+        for (k, v) in &self.params {
+            items.push(SExpr::Atom(format!(":{k}")));
+            items.push(v.clone());
+        }
+        SExpr::List(items)
+    }
+
+    /// Parses a message from its textual s-expression form.
+    pub fn parse(src: &str) -> Result<Message, KqmlError> {
+        Self::from_sexpr(&SExpr::parse(src)?)
+    }
+
+    pub fn from_sexpr(e: &SExpr) -> Result<Message, KqmlError> {
+        let items = e
+            .as_list()
+            .ok_or_else(|| KqmlError::Malformed("message must be a list".into()))?;
+        let mut it = items.iter();
+        let head = it
+            .next()
+            .and_then(SExpr::as_atom)
+            .ok_or_else(|| KqmlError::Malformed("missing performative".into()))?;
+        let mut msg = Message::new(Performative::from(head));
+        while let Some(kw) = it.next() {
+            let kw = kw
+                .as_atom()
+                .filter(|s| s.starts_with(':'))
+                .ok_or_else(|| KqmlError::Malformed(format!("expected keyword, got {kw}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| KqmlError::Malformed(format!("keyword {kw} missing value")))?;
+            msg.set(&kw[1..], value.clone());
+        }
+        Ok(msg)
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_sexpr().wire_size()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sexpr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Message {
+        Message::new(Performative::AskAll)
+            .with_sender("mhn-user-agent")
+            .with_receiver("broker-1")
+            .with_language("SQL")
+            .with_ontology("paper-classes")
+            .with_reply_with("q1")
+            .with_content(SExpr::string("select * from C2"))
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let m = sample();
+        let text = m.to_string();
+        let back = Message::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.sender(), Some("mhn-user-agent"));
+        assert_eq!(back.content(), Some(&SExpr::string("select * from C2")));
+    }
+
+    #[test]
+    fn performative_round_trips() {
+        for p in [
+            "advertise",
+            "unadvertise",
+            "update",
+            "ask-all",
+            "ask-one",
+            "tell",
+            "reply",
+            "sorry",
+            "error",
+            "subscribe",
+            "broker-one",
+            "recruit-all",
+            "recruit-one",
+            "ping",
+            "register",
+        ] {
+            let perf = Performative::from(p);
+            assert_eq!(perf.as_str(), p);
+        }
+    }
+
+    #[test]
+    fn parameters_with_spaces_round_trip() {
+        // `SQL 2.0` contains a space and must survive the wire as a
+        // quoted string, not a broken atom.
+        let m = Message::new(Performative::AskOne)
+            .with_language("SQL 2.0")
+            .with_ontology("my ontology");
+        let back = Message::parse(&m.to_string()).unwrap();
+        assert_eq!(back.language(), Some("SQL 2.0"));
+        assert_eq!(back.ontology(), Some("my ontology"));
+    }
+
+    #[test]
+    fn reply_skeleton_swaps_roles() {
+        let m = sample();
+        let r = m.reply_skeleton(Performative::Reply);
+        assert_eq!(r.sender(), Some("broker-1"));
+        assert_eq!(r.receiver(), Some("mhn-user-agent"));
+        assert_eq!(r.in_reply_to(), Some("q1"));
+        assert_eq!(r.performative, Performative::Reply);
+    }
+
+    #[test]
+    fn set_replaces_existing_param() {
+        let mut m = sample();
+        m.set("language", SExpr::atom("LDL"));
+        assert_eq!(m.language(), Some("LDL"));
+        assert_eq!(m.params().filter(|(k, _)| *k == "language").count(), 1);
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        assert!(Message::parse("ask-all").is_err()); // not a list
+        assert!(Message::parse("(ask-all :sender)").is_err()); // dangling kw
+        assert!(Message::parse("((x) :a b)").is_err()); // list head
+        assert!(Message::parse("(tell a b)").is_err()); // non-keyword param
+    }
+
+    #[test]
+    fn structured_content() {
+        let m = Message::new(Performative::Advertise).with_content(SExpr::list([
+            SExpr::atom("capabilities"),
+            SExpr::atom("relational-query-processing"),
+        ]));
+        let back = Message::parse(&m.to_string()).unwrap();
+        assert_eq!(back.content().unwrap().as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wire_size_counts_params() {
+        assert!(sample().wire_size() > Message::new(Performative::AskAll).wire_size());
+    }
+}

@@ -1,0 +1,181 @@
+//! The extensional database: ground facts indexed by predicate.
+
+use crate::term::{Atom, Const};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A set of ground facts, indexed by predicate name.
+///
+/// The broker keeps one `Database` per repository snapshot: advertisement
+/// records compile into facts like `agent_capability(ra5, subscription)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    facts: BTreeMap<String, HashSet<Vec<Const>>>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Asserts a fact. Returns `true` if it was new.
+    pub fn assert(&mut self, pred: impl Into<String>, tuple: Vec<Const>) -> bool {
+        self.facts.entry(pred.into()).or_default().insert(tuple)
+    }
+
+    /// Asserts a ground atom.
+    pub fn assert_atom(&mut self, atom: &Atom) -> Result<bool, String> {
+        let tuple = atom
+            .ground(&crate::term::Bindings::new())
+            .ok_or_else(|| format!("atom {atom} is not ground"))?;
+        Ok(self.assert(atom.pred.clone(), tuple))
+    }
+
+    /// Parses and asserts a textual fact like `isa(relational, select).`
+    pub fn assert_str(&mut self, src: &str) -> Result<bool, crate::LdlParseError> {
+        let atom = crate::parse_atom(src.trim_end_matches('.'))?;
+        self.assert_atom(&atom).map_err(|m| crate::LdlParseError { message: m, position: 0 })
+    }
+
+    /// Removes a fact. Returns `true` if it was present.
+    pub fn retract(&mut self, pred: &str, tuple: &[Const]) -> bool {
+        match self.facts.get_mut(pred) {
+            Some(set) => set.remove(tuple),
+            None => false,
+        }
+    }
+
+    /// Removes every fact of a predicate whose tuple satisfies `keep == false`.
+    pub fn retract_where(&mut self, pred: &str, mut drop: impl FnMut(&[Const]) -> bool) -> usize {
+        match self.facts.get_mut(pred) {
+            Some(set) => {
+                let before = set.len();
+                set.retain(|t| !drop(t));
+                before - set.len()
+            }
+            None => 0,
+        }
+    }
+
+    pub fn contains(&self, pred: &str, tuple: &[Const]) -> bool {
+        self.facts.get(pred).map(|s| s.contains(tuple)).unwrap_or(false)
+    }
+
+    /// All tuples of a predicate.
+    pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Const>> {
+        self.facts.get(pred).into_iter().flatten()
+    }
+
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.facts.keys().map(String::as_str)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(HashSet::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges another database into this one, returning how many facts were new.
+    pub fn merge(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (pred, tuples) in &other.facts {
+            let set = self.facts.entry(pred.clone()).or_default();
+            for t in tuples {
+                if set.insert(t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pred, tuples) in &self.facts {
+            let mut sorted: Vec<_> = tuples.iter().collect();
+            sorted.sort();
+            for t in sorted {
+                write!(f, "{pred}(")?;
+                for (i, c) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_and_contains() {
+        let mut db = Database::new();
+        assert!(db.assert("p", vec![Const::int(1)]));
+        assert!(!db.assert("p", vec![Const::int(1)])); // duplicate
+        assert!(db.contains("p", &[Const::int(1)]));
+        assert!(!db.contains("p", &[Const::int(2)]));
+        assert!(!db.contains("q", &[Const::int(1)]));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn retract() {
+        let mut db = Database::new();
+        db.assert("p", vec![Const::int(1)]);
+        db.assert("p", vec![Const::int(2)]);
+        assert!(db.retract("p", &[Const::int(1)]));
+        assert!(!db.retract("p", &[Const::int(1)]));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn retract_where_filters() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.assert("p", vec![Const::int(i), Const::sym("x")]);
+        }
+        let removed = db.retract_where("p", |t| matches!(t[0], Const::Int(i) if i % 2 == 0));
+        assert_eq!(removed, 5);
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn merge_counts_new_facts() {
+        let mut a = Database::new();
+        a.assert("p", vec![Const::int(1)]);
+        let mut b = Database::new();
+        b.assert("p", vec![Const::int(1)]);
+        b.assert("p", vec![Const::int(2)]);
+        b.assert("q", vec![Const::sym("z")]);
+        assert_eq!(a.merge(&b), 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn assert_str_parses_facts() {
+        let mut db = Database::new();
+        db.assert_str("isa(relational, select).").unwrap();
+        assert!(db.contains("isa", &[Const::sym("relational"), Const::sym("select")]));
+        assert!(db.assert_str("p(X).").is_err()); // not ground
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let mut db = Database::new();
+        db.assert("b", vec![Const::int(2)]);
+        db.assert("a", vec![Const::int(1)]);
+        let text = db.to_string();
+        assert_eq!(text, "a(1).\nb(2).\n");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the taxonomy: the subsumption relation the broker's
+//! capability and class-hierarchy reasoning is built on must be a strict
+//! partial order that agrees with graph reachability.
+
+use infosleuth_ontology::Taxonomy;
+use proptest::prelude::*;
+
+/// A random forest over up to 12 nodes, built so construction never fails:
+/// each node attaches under a previously-created node (or becomes a root),
+/// with a few extra cross edges added where they do not create cycles.
+fn arb_taxonomy() -> impl Strategy<Value = Taxonomy> {
+    (
+        proptest::collection::vec(proptest::option::of(0usize..12), 1..12),
+        proptest::collection::vec((0usize..12, 0usize..12), 0..8),
+    )
+        .prop_map(|(parents, extra_edges)| {
+            let mut t = Taxonomy::new();
+            for (i, parent) in parents.iter().enumerate() {
+                let name = format!("n{i}");
+                match parent {
+                    Some(p) if *p < i => {
+                        t.add_child(format!("n{p}"), name).expect("parent exists")
+                    }
+                    _ => t.add_root(name).expect("fresh node"),
+                }
+            }
+            for (a, b) in extra_edges {
+                if a < parents.len() && b < parents.len() && a != b {
+                    // add_edge rejects cycles on its own.
+                    let _ = t.add_edge(format!("n{a}"), format!("n{b}"));
+                }
+            }
+            t
+        })
+}
+
+proptest! {
+    /// Strict descendance is irreflexive and antisymmetric (a DAG).
+    #[test]
+    fn descendance_is_a_strict_order(t in arb_taxonomy()) {
+        let nodes: Vec<String> = t.nodes().map(str::to_string).collect();
+        for a in &nodes {
+            prop_assert!(!t.is_descendant(a, a), "{a} descends from itself");
+            for b in &nodes {
+                if t.is_descendant(a, b) {
+                    prop_assert!(
+                        !t.is_descendant(b, a),
+                        "cycle: {a} <-> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Descendance is transitive.
+    #[test]
+    fn descendance_is_transitive(t in arb_taxonomy()) {
+        let nodes: Vec<String> = t.nodes().map(str::to_string).collect();
+        for a in &nodes {
+            for b in &nodes {
+                if !t.is_descendant(a, b) {
+                    continue;
+                }
+                for c in &nodes {
+                    if t.is_descendant(b, c) {
+                        prop_assert!(t.is_descendant(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ancestors` and `descendants` are inverse views of the same relation.
+    #[test]
+    fn ancestors_and_descendants_are_inverse(t in arb_taxonomy()) {
+        let nodes: Vec<String> = t.nodes().map(str::to_string).collect();
+        for a in &nodes {
+            for anc in t.ancestors(a) {
+                prop_assert!(t.descendants(&anc).contains(a));
+                prop_assert!(t.is_descendant(a, &anc));
+            }
+            for desc in t.descendants(a) {
+                prop_assert!(t.ancestors(&desc).contains(a));
+            }
+        }
+    }
+
+    /// `closure_pairs` is exactly reflexivity plus strict descendance.
+    #[test]
+    fn closure_pairs_match_descendance(t in arb_taxonomy()) {
+        let pairs: std::collections::BTreeSet<(String, String)> =
+            t.closure_pairs().into_iter().collect();
+        let nodes: Vec<String> = t.nodes().map(str::to_string).collect();
+        for a in &nodes {
+            for b in &nodes {
+                let expected = a == b || t.is_descendant(b, a);
+                prop_assert_eq!(
+                    pairs.contains(&(a.clone(), b.clone())),
+                    expected,
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    /// Depth is 0 exactly at roots and parents are always shallower-or-equal
+    /// along some path (depth = shortest path to a root).
+    #[test]
+    fn depth_is_shortest_root_distance(t in arb_taxonomy()) {
+        for node in t.nodes() {
+            let d = t.depth(node).expect("declared node has a depth");
+            let parents: Vec<&str> = t.parents_of(node).collect();
+            if parents.is_empty() {
+                prop_assert_eq!(d, 0);
+            } else {
+                let best = parents
+                    .iter()
+                    .map(|p| t.depth(p).expect("parent declared"))
+                    .min()
+                    .expect("non-empty parents");
+                prop_assert_eq!(d, best + 1);
+            }
+        }
+    }
+}

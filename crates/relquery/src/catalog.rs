@@ -1,0 +1,77 @@
+//! The catalog of tables a resource agent holds.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of tables — the "structured database" behind one
+/// resource agent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Inserts (or replaces) a table under its own name.
+    pub fn insert(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total approximate size of all tables in bytes.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.tables.values().map(Table::approx_size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use infosleuth_ontology::ValueType;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = Catalog::new();
+        c.insert(Table::new("t", vec![Column::new("x", ValueType::Int)]));
+        assert!(c.table("t").is_some());
+        assert!(c.table("u").is_none());
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["t"]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_single_entry() {
+        let mut c = Catalog::new();
+        c.insert(Table::new("t", vec![Column::new("x", ValueType::Int)]));
+        c.insert(Table::new("t", vec![Column::new("y", ValueType::Str)]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().columns()[0].name, "y");
+    }
+}

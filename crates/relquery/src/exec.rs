@@ -1,0 +1,482 @@
+//! Plan execution over in-memory tables.
+
+use crate::ast::{AggFunc, Aggregate};
+use crate::catalog::Catalog;
+use crate::plan::LogicalPlan;
+use crate::table::{Column, Table};
+use infosleuth_constraint::{Conjunction, Value};
+use infosleuth_ontology::ValueType;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    UnknownClass(String),
+    UnknownColumn(String),
+    /// UNION arms with different arity.
+    UnionArity { left: usize, right: usize },
+    /// An aggregate over a non-numeric column, or similar misuse.
+    Aggregate(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownClass(c) => write!(f, "unknown class '{c}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::UnionArity { left, right } => {
+                write!(f, "UNION arms have different arity ({left} vs {right})")
+            }
+            ExecError::Aggregate(m) => write!(f, "aggregate error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes a plan against a catalog, producing a result table.
+///
+/// Scans qualify column names as `class.column` so that joins never
+/// produce ambiguous schemas; predicates and projections may use either
+/// bare or qualified spellings ([`Table::column_index`] accepts both — when
+/// a bare name is ambiguous after a join, the leftmost column wins).
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Table, ExecError> {
+    match plan {
+        LogicalPlan::Scan { class } => {
+            let base =
+                catalog.table(class).ok_or_else(|| ExecError::UnknownClass(class.clone()))?;
+            let columns = base
+                .columns()
+                .iter()
+                .map(|c| Column::new(format!("{class}.{}", c.name), c.value_type))
+                .collect();
+            let mut out = Table::new(class.clone(), columns);
+            for row in base.rows() {
+                out.push_row(row.clone()).expect("schema copied from source");
+            }
+            Ok(out)
+        }
+        LogicalPlan::Select { predicate, input } => {
+            let table = execute(input, catalog)?;
+            filter(&table, predicate)
+        }
+        LogicalPlan::Project { columns, input } => {
+            let table = execute(input, catalog)?;
+            let mut idxs = Vec::with_capacity(columns.len());
+            for c in columns {
+                idxs.push(
+                    table.column_index(c).ok_or_else(|| ExecError::UnknownColumn(c.clone()))?,
+                );
+            }
+            let out_cols: Vec<Column> =
+                idxs.iter().map(|&i| table.columns()[i].clone()).collect();
+            let mut out = Table::new(table.name.clone(), out_cols);
+            for row in table.rows() {
+                let projected: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
+                out.push_row(projected).expect("columns selected from source schema");
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join { left, right, left_col, right_col } => {
+            let lt = execute(left, catalog)?;
+            let rt = execute(right, catalog)?;
+            // The join condition columns may appear on either side; resolve
+            // flexibly, as SQL users write `a.x = b.y` in either order.
+            let (li, ri) = match (lt.column_index(left_col), rt.column_index(right_col)) {
+                (Some(l), Some(r)) => (l, r),
+                _ => match (lt.column_index(right_col), rt.column_index(left_col)) {
+                    (Some(l), Some(r)) => (l, r),
+                    _ => {
+                        return Err(ExecError::UnknownColumn(format!(
+                            "{left_col} = {right_col}"
+                        )))
+                    }
+                },
+            };
+            // Hash join: build on the smaller side.
+            let mut out_cols = lt.columns().to_vec();
+            out_cols.extend(rt.columns().iter().cloned());
+            let mut out = Table::new(format!("{}_{}", lt.name, rt.name), out_cols);
+            let mut built: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (i, row) in rt.rows().iter().enumerate() {
+                built.entry(&row[ri]).or_default().push(i);
+            }
+            for lrow in lt.rows() {
+                if let Some(matches) = built.get(&lrow[li]) {
+                    for &ri_row in matches {
+                        let mut joined = lrow.clone();
+                        joined.extend(rt.rows()[ri_row].iter().cloned());
+                        out.push_row(joined).expect("concatenated schemas");
+                    }
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+            let table = execute(input, catalog)?;
+            aggregate(&table, group_by, aggregates)
+        }
+        LogicalPlan::Union { left, right } => {
+            let lt = execute(left, catalog)?;
+            let rt = execute(right, catalog)?;
+            if lt.columns().len() != rt.columns().len() {
+                return Err(ExecError::UnionArity {
+                    left: lt.columns().len(),
+                    right: rt.columns().len(),
+                });
+            }
+            let mut out = Table::new(lt.name.clone(), lt.columns().to_vec());
+            let mut seen: std::collections::HashSet<&[Value]> = std::collections::HashSet::new();
+            for row in lt.rows().iter().chain(rt.rows()) {
+                if seen.insert(row.as_slice()) {
+                    out.push_row(row.clone()).expect("rows from compatible arms");
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Evaluates grouped statistical aggregation over a materialized input.
+fn aggregate(
+    table: &Table,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> Result<Table, ExecError> {
+    // Resolve grouping and aggregate columns.
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| table.column_index(c).ok_or_else(|| ExecError::UnknownColumn(c.clone())))
+        .collect::<Result<_, _>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| match &a.column {
+            None => Ok(None),
+            Some(c) => table
+                .column_index(c)
+                .map(Some)
+                .ok_or_else(|| ExecError::UnknownColumn(c.clone())),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Output schema: grouping columns, then one column per aggregate.
+    let mut columns: Vec<Column> =
+        group_idx.iter().map(|&i| table.columns()[i].clone()).collect();
+    for (a, idx) in aggregates.iter().zip(&agg_idx) {
+        let name = match &a.column {
+            None => format!("{}(*)", a.func.as_str()),
+            Some(c) => format!("{}({c})", a.func.as_str()),
+        };
+        let input_type = idx.map(|i| table.columns()[i].value_type);
+        let vt = match a.func {
+            AggFunc::Count => ValueType::Int,
+            AggFunc::Avg => ValueType::Float,
+            AggFunc::Sum => match input_type {
+                Some(ValueType::Int) => ValueType::Int,
+                Some(ValueType::Float) => ValueType::Float,
+                other => {
+                    return Err(ExecError::Aggregate(format!(
+                        "sum over non-numeric column ({other:?})"
+                    )))
+                }
+            },
+            AggFunc::Min | AggFunc::Max => input_type.ok_or_else(|| {
+                ExecError::Aggregate("min/max need a column".to_string())
+            })?,
+        };
+        if matches!(a.func, AggFunc::Avg)
+            && !matches!(input_type, Some(ValueType::Int | ValueType::Float))
+        {
+            return Err(ExecError::Aggregate("avg over non-numeric column".to_string()));
+        }
+        columns.push(Column::new(name, vt));
+    }
+
+    /// Per-group accumulator for one aggregate.
+    #[derive(Clone)]
+    struct Acc {
+        count: u64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    let fresh = Acc { count: 0, sum: 0.0, min: None, max: None };
+
+    // Group rows, preserving first-seen group order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    for row in table.rows() {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            vec![fresh.clone(); aggregates.len()]
+        });
+        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs.iter_mut()) {
+            acc.count += 1;
+            if let Some(i) = idx {
+                let v = &row[*i];
+                if matches!(a.func, AggFunc::Sum | AggFunc::Avg) {
+                    acc.sum += match v {
+                        Value::Int(n) => *n as f64,
+                        Value::Float(x) => *x,
+                        other => {
+                            return Err(ExecError::Aggregate(format!(
+                                "cannot sum value {other}"
+                            )))
+                        }
+                    };
+                }
+                let lower = acc
+                    .min
+                    .as_ref()
+                    .map(|m| matches!(v.partial_cmp(m), Some(std::cmp::Ordering::Less)))
+                    .unwrap_or(true);
+                if lower {
+                    acc.min = Some(v.clone());
+                }
+                let higher = acc
+                    .max
+                    .as_ref()
+                    .map(|m| matches!(v.partial_cmp(m), Some(std::cmp::Ordering::Greater)))
+                    .unwrap_or(true);
+                if higher {
+                    acc.max = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    // Global aggregation with no rows still yields one row of zero counts
+    // (SQL semantics); grouped aggregation yields no rows.
+    if order.is_empty() && group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), vec![fresh; aggregates.len()]);
+    }
+
+    let mut out = Table::new(table.name.clone(), columns);
+    for key in order {
+        let accs = &groups[&key];
+        let mut row = key.clone();
+        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs) {
+            let value = match a.func {
+                AggFunc::Count => Value::Int(acc.count as i64),
+                AggFunc::Sum => {
+                    let int_input = idx
+                        .map(|i| table.columns()[i].value_type == ValueType::Int)
+                        .unwrap_or(false);
+                    if int_input {
+                        Value::Int(acc.sum as i64)
+                    } else {
+                        Value::Float(acc.sum)
+                    }
+                }
+                AggFunc::Avg => {
+                    if acc.count == 0 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Float(acc.sum / acc.count as f64)
+                    }
+                }
+                AggFunc::Min => acc.min.clone().unwrap_or(Value::Int(0)),
+                AggFunc::Max => acc.max.clone().unwrap_or(Value::Int(0)),
+            };
+            row.push(value);
+        }
+        out.push_row(row).map_err(|e| ExecError::Aggregate(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Filters rows of a table by a conjunction, matching constraint slots to
+/// columns by qualified or bare name.
+fn filter(table: &Table, predicate: &Conjunction) -> Result<Table, ExecError> {
+    // Precompute: constrained slot → column index.
+    let mut slot_idx = Vec::new();
+    for slot in predicate.constrained_slots() {
+        let idx = table
+            .column_index(slot)
+            .ok_or_else(|| ExecError::UnknownColumn(slot.to_string()))?;
+        slot_idx.push((slot.to_string(), idx));
+    }
+    let mut out = Table::new(table.name.clone(), table.columns().to_vec());
+    for row in table.rows() {
+        let assignment: BTreeMap<String, Value> =
+            slot_idx.iter().map(|(s, i)| (s.clone(), row[*i].clone())).collect();
+        if predicate.matches(&assignment) {
+            out.push_row(row.clone()).expect("schema copied from source");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::plan::plan;
+    use infosleuth_ontology::ValueType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut patient = Table::new(
+            "patient",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Str),
+                Column::new("age", ValueType::Int),
+            ],
+        );
+        patient.push_row(vec![Value::Int(1), Value::str("ann"), Value::Int(50)]).unwrap();
+        patient.push_row(vec![Value::Int(2), Value::str("bob"), Value::Int(30)]).unwrap();
+        patient.push_row(vec![Value::Int(3), Value::str("cyd"), Value::Int(70)]).unwrap();
+        cat.insert(patient);
+        let mut diag = Table::new(
+            "diagnosis",
+            vec![
+                Column::new("patient_id", ValueType::Int),
+                Column::new("code", ValueType::Str),
+            ],
+        );
+        diag.push_row(vec![Value::Int(1), Value::str("40W")]).unwrap();
+        diag.push_row(vec![Value::Int(3), Value::str("12K")]).unwrap();
+        diag.push_row(vec![Value::Int(3), Value::str("40W")]).unwrap();
+        cat.insert(diag);
+        cat
+    }
+
+    fn run(sql: &str) -> Table {
+        execute(&plan(&parse_select(sql).unwrap()), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn scan_qualifies_columns() {
+        let t = run("select * from patient");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.columns()[0].name, "patient.id");
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let t = run("select * from patient where age between 40 and 75");
+        assert_eq!(t.len(), 2);
+        let t = run("select * from patient where name = 'bob'");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, "age"), Some(&Value::Int(30)));
+    }
+
+    #[test]
+    fn projection_narrows_schema() {
+        let t = run("select name from patient where age > 40");
+        assert_eq!(t.columns().len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let t = run(
+            "select * from patient join diagnosis on patient.id = diagnosis.patient_id",
+        );
+        assert_eq!(t.len(), 3); // ann x 1, cyd x 2
+        assert_eq!(t.columns().len(), 5);
+        // Filter on joined result.
+        let t = run(
+            "select name from patient join diagnosis on patient.id = diagnosis.patient_id \
+             where code = '40W'",
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_condition_order_is_flexible() {
+        let t = run(
+            "select * from patient join diagnosis on diagnosis.patient_id = patient.id",
+        );
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn union_deduplicates() {
+        let t = run("select name from patient union select name from patient");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let stmt = parse_select("select name from patient union select * from patient").unwrap();
+        let err = execute(&plan(&stmt), &catalog()).unwrap_err();
+        assert!(matches!(err, ExecError::UnionArity { left: 1, right: 3 }));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let t = run("select count(*), sum(age), avg(age), min(age), max(age) from patient");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, "count(*)"), Some(&Value::Int(3)));
+        assert_eq!(t.value(0, "sum(age)"), Some(&Value::Int(150)));
+        assert_eq!(t.value(0, "avg(age)"), Some(&Value::Float(50.0)));
+        assert_eq!(t.value(0, "min(age)"), Some(&Value::Int(30)));
+        assert_eq!(t.value(0, "max(age)"), Some(&Value::Int(70)));
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let t = run(
+            "select code, count(*) from diagnosis group by code",
+        );
+        assert_eq!(t.len(), 2); // 40W, 12K
+        let w = (0..t.len())
+            .find(|&i| t.value(i, "code") == Some(&Value::str("40W")))
+            .expect("40W group present");
+        assert_eq!(t.value(w, "count(*)"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn aggregate_after_filter() {
+        let t = run("select count(*) from patient where age > 40");
+        assert_eq!(t.value(0, "count(*)"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn empty_global_aggregate_returns_zero_row() {
+        let t = run("select count(*) from patient where age > 999");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, "count(*)"), Some(&Value::Int(0)));
+        // Grouped: no groups at all.
+        let t = run("select name, count(*) from patient where age > 999 group by name");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn aggregate_type_errors() {
+        let stmt = parse_select("select sum(name) from patient").unwrap();
+        assert!(matches!(
+            execute(&plan(&stmt), &catalog()),
+            Err(ExecError::Aggregate(_))
+        ));
+        let stmt = parse_select("select count(height) from patient").unwrap();
+        assert!(matches!(
+            execute(&plan(&stmt), &catalog()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_class_and_column_errors() {
+        let stmt = parse_select("select * from ghosts").unwrap();
+        assert!(matches!(
+            execute(&plan(&stmt), &catalog()),
+            Err(ExecError::UnknownClass(_))
+        ));
+        let stmt = parse_select("select height from patient").unwrap();
+        assert!(matches!(
+            execute(&plan(&stmt), &catalog()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+        let stmt = parse_select("select * from patient where height = 1").unwrap();
+        assert!(matches!(
+            execute(&plan(&stmt), &catalog()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+}

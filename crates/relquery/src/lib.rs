@@ -1,0 +1,39 @@
+//! SQL-subset query language and in-memory relational substrate.
+//!
+//! InfoSleuth resource agents "serve as interface to external information
+//! sources" — in the paper's experiments, SQL databases holding classes of
+//! the common ontology. This crate is that substrate, built from scratch:
+//!
+//! * a tokenizer and recursive-descent parser for the SQL 2.0 subset the
+//!   paper exercises: `SELECT cols FROM class [JOIN class ON a = b]
+//!   [WHERE conjunction] [UNION SELECT ...]`;
+//! * a relational-algebra [`LogicalPlan`] (scan / select / project / join /
+//!   union — exactly the Fig. 2 capability leaves);
+//! * [`required_capabilities`] and [`referenced_classes`] — the analysis the
+//!   MRQ agent runs to decide which resource agents to ask the broker for;
+//! * an executor over in-memory typed [`Table`]s with hash joins;
+//! * deterministic synthetic data generation for experiments.
+//!
+//! ```
+//! use infosleuth_relquery::{parse_select, plan, referenced_classes};
+//!
+//! let stmt = parse_select("select * from C2 where a between 1 and 10").unwrap();
+//! let plan = plan(&stmt);
+//! assert_eq!(referenced_classes(&plan), vec!["C2".to_string()]);
+//! ```
+
+mod ast;
+mod catalog;
+mod exec;
+mod gen;
+mod parser;
+mod plan;
+mod table;
+
+pub use ast::{JoinClause, Projection, SelectStmt};
+pub use catalog::Catalog;
+pub use exec::{execute, ExecError};
+pub use gen::{generate_table, GenSpec};
+pub use parser::{parse_select, SqlError};
+pub use plan::{plan, referenced_classes, required_capabilities, LogicalPlan};
+pub use table::{Column, Row, Table, TableError};

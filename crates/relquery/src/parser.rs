@@ -1,0 +1,499 @@
+//! Tokenizer and recursive-descent parser for the SQL 2.0 subset.
+
+use crate::ast::{AggFunc, Aggregate, JoinClause, Projection, SelectStmt};
+use infosleuth_constraint::{Conjunction, Predicate, Value};
+use std::fmt;
+
+/// Error produced when a query cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Op(String),
+    Star,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
+    let b = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    let err = |pos: usize, m: &str| SqlError { message: m.into(), position: pos };
+    while pos < b.len() {
+        let start = pos;
+        match b[pos] {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'*' => {
+                pos += 1;
+                out.push((Tok::Star, start));
+            }
+            b'(' => {
+                pos += 1;
+                out.push((Tok::LParen, start));
+            }
+            b')' => {
+                pos += 1;
+                out.push((Tok::RParen, start));
+            }
+            b',' => {
+                pos += 1;
+                out.push((Tok::Comma, start));
+            }
+            b'\'' => {
+                pos += 1;
+                let s = pos;
+                while pos < b.len() && b[pos] != b'\'' {
+                    pos += 1;
+                }
+                if pos >= b.len() {
+                    return Err(err(start, "unterminated string literal"));
+                }
+                let text = std::str::from_utf8(&b[s..pos])
+                    .map_err(|_| err(s, "invalid utf-8"))?
+                    .to_string();
+                pos += 1;
+                out.push((Tok::Str(text), start));
+            }
+            b'=' => {
+                pos += 1;
+                out.push((Tok::Op("=".into()), start));
+            }
+            b'<' | b'>' | b'!' => {
+                let mut op = (b[pos] as char).to_string();
+                pos += 1;
+                if pos < b.len() && (b[pos] == b'=' || b[pos] == b'>') {
+                    op.push(b[pos] as char);
+                    pos += 1;
+                }
+                if op == "!" {
+                    return Err(err(start, "expected '=' after '!'"));
+                }
+                let op = if op == "<>" { "!=".into() } else { op };
+                out.push((Tok::Op(op), start));
+            }
+            b'0'..=b'9' | b'-' => {
+                let s = pos;
+                pos += 1;
+                let mut is_float = false;
+                while pos < b.len() {
+                    match b[pos] {
+                        b'0'..=b'9' => pos += 1,
+                        b'.' if !is_float && pos + 1 < b.len() && b[pos + 1].is_ascii_digit() => {
+                            is_float = true;
+                            pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&b[s..pos]).expect("ascii number");
+                if is_float {
+                    out.push((Tok::Float(text.parse().map_err(|_| err(s, "bad float"))?), start));
+                } else {
+                    out.push((Tok::Int(text.parse().map_err(|_| err(s, "bad int"))?), start));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let s = pos;
+                // Identifiers allow dots for qualification: patient.age
+                while pos < b.len()
+                    && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_' || b[pos] == b'.')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&b[s..pos]).expect("ascii ident").to_string();
+                out.push((Tok::Ident(text), start));
+            }
+            other => return Err(err(pos, &format!("unexpected character {:?}", other as char))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(t, _)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.idx).map(|(_, p)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, m: impl Into<String>) -> SqlError {
+        SqlError { message: m.into(), position: self.pos() }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.peek_kw(kw) {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Float(f)) => Ok(Value::Float(f)),
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            _ => Err(self.err("expected literal value")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("select")?;
+        // Select list: `*`, or columns and aggregates.
+        let mut projections = Vec::new();
+        let mut aggregates = Vec::new();
+        if matches!(self.peek(), Some(Tok::Star)) {
+            self.next();
+        } else {
+            loop {
+                // `func(col)` / `func(*)` when the name is an aggregate
+                // function followed by '('.
+                let is_agg = matches!(
+                    (self.peek(), self.toks.get(self.idx + 1).map(|(t, _)| t)),
+                    (Some(Tok::Ident(name)), Some(Tok::LParen))
+                        if AggFunc::parse(name).is_some()
+                );
+                if is_agg {
+                    let func = match self.next() {
+                        Some(Tok::Ident(name)) => {
+                            AggFunc::parse(&name).expect("checked by lookahead")
+                        }
+                        _ => unreachable!("lookahead saw an identifier"),
+                    };
+                    self.next(); // '('
+                    let column = if matches!(self.peek(), Some(Tok::Star)) {
+                        self.next();
+                        if func != AggFunc::Count {
+                            return Err(self.err("only count(*) takes '*'"));
+                        }
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    };
+                    match self.next() {
+                        Some(Tok::RParen) => {}
+                        _ => return Err(self.err("expected ')'")),
+                    }
+                    aggregates.push(Aggregate { func, column });
+                } else {
+                    projections.push(Projection { column: self.ident()? });
+                }
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+        // Joins.
+        let mut joins = Vec::new();
+        while self.peek_kw("join") {
+            self.next();
+            let table = self.ident()?;
+            self.expect_kw("on")?;
+            let left_col = self.ident()?;
+            match self.next() {
+                Some(Tok::Op(op)) if op == "=" => {}
+                _ => return Err(self.err("expected '=' in join condition")),
+            }
+            let right_col = self.ident()?;
+            joins.push(JoinClause { table, left_col, right_col });
+        }
+        // Where.
+        let where_clause = if self.peek_kw("where") {
+            self.next();
+            self.conjunction()?
+        } else {
+            Conjunction::always()
+        };
+        // Group by.
+        let mut group_by = Vec::new();
+        if self.peek_kw("group") {
+            self.next();
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.ident()?);
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        if !group_by.is_empty() && aggregates.is_empty() {
+            return Err(self.err("GROUP BY requires at least one aggregate"));
+        }
+        if !aggregates.is_empty() {
+            // Plain projected columns must be grouping columns.
+            for p in &projections {
+                if !group_by.contains(&p.column) {
+                    return Err(self
+                        .err(format!("column '{}' must appear in GROUP BY", p.column)));
+                }
+            }
+        }
+        // Union.
+        let union = if self.peek_kw("union") {
+            self.next();
+            Some(Box::new(self.select()?))
+        } else {
+            None
+        };
+        Ok(SelectStmt { projections, aggregates, group_by, from, joins, where_clause, union })
+    }
+
+    fn conjunction(&mut self) -> Result<Conjunction, SqlError> {
+        let mut preds = vec![self.predicate()?];
+        while self.peek_kw("and") {
+            self.next();
+            preds.push(self.predicate()?);
+        }
+        Ok(Conjunction::from_predicates(preds))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        // Optional parentheses around a single predicate.
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.next();
+            let p = self.predicate()?;
+            match self.next() {
+                Some(Tok::RParen) => return Ok(p),
+                _ => return Err(self.err("expected ')'")),
+            }
+        }
+        let column = self.ident()?;
+        match self.peek().cloned() {
+            Some(Tok::Op(op)) => {
+                self.next();
+                let v = self.value()?;
+                Ok(match op.as_str() {
+                    "=" => Predicate::eq(column, v),
+                    "!=" => Predicate::ne(column, v),
+                    "<" => Predicate::lt(column, v),
+                    "<=" => Predicate::le(column, v),
+                    ">" => Predicate::gt(column, v),
+                    ">=" => Predicate::ge(column, v),
+                    other => return Err(self.err(format!("unknown operator '{other}'"))),
+                })
+            }
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("between") => {
+                self.next();
+                let lo = self.value()?;
+                self.expect_kw("and")?;
+                let hi = self.value()?;
+                Ok(Predicate::between(column, lo, hi))
+            }
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("in") => {
+                self.next();
+                Ok(Predicate::is_in(column, self.value_list()?))
+            }
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("not") => {
+                self.next();
+                self.expect_kw("in")?;
+                Ok(Predicate::not_in(column, self.value_list()?))
+            }
+            _ => Err(self.err("expected comparison in WHERE clause")),
+        }
+    }
+
+    fn value_list(&mut self) -> Result<Vec<Value>, SqlError> {
+        match self.next() {
+            Some(Tok::LParen) => {}
+            _ => return Err(self.err("expected '('")),
+        }
+        let mut vals = vec![self.value()?];
+        loop {
+            match self.next() {
+                Some(Tok::Comma) => vals.push(self.value()?),
+                Some(Tok::RParen) => break,
+                _ => return Err(self.err("expected ',' or ')'")),
+            }
+        }
+        Ok(vals)
+    }
+}
+
+/// Parses a `SELECT` statement (with optional `JOIN`/`WHERE`/`UNION`).
+pub fn parse_select(src: &str) -> Result<SelectStmt, SqlError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, idx: 0 };
+    let stmt = p.select()?;
+    if p.idx != p.toks.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_constraint::Value;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let s = parse_select("select * from C2").unwrap();
+        assert!(s.is_star());
+        assert_eq!(s.from, "C2");
+        assert!(s.joins.is_empty());
+        assert!(s.where_clause.is_trivial());
+        assert!(s.union.is_none());
+    }
+
+    #[test]
+    fn parses_projections() {
+        let s = parse_select("select id, name from patient").unwrap();
+        assert_eq!(s.projections.len(), 2);
+        assert_eq!(s.projections[0].column, "id");
+    }
+
+    #[test]
+    fn parses_where_conjunction() {
+        let s = parse_select(
+            "select * from patient where age between 25 and 65 and diagnosis_code = '40W'",
+        )
+        .unwrap();
+        assert!(s.where_clause.domain("age").contains(&Value::Int(30)));
+        assert!(s.where_clause.domain("diagnosis_code").contains(&Value::str("40W")));
+    }
+
+    #[test]
+    fn parses_parenthesized_predicates() {
+        let s = parse_select("select * from p where (age >= 10) and (age <= 20)").unwrap();
+        assert!(s.where_clause.domain("age").contains(&Value::Int(15)));
+        assert!(!s.where_clause.domain("age").contains(&Value::Int(25)));
+    }
+
+    #[test]
+    fn parses_join() {
+        let s = parse_select(
+            "select * from patient join diagnosis on patient.id = diagnosis.patient_id",
+        )
+        .unwrap();
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table, "diagnosis");
+        assert_eq!(s.joins[0].left_col, "patient.id");
+        assert_eq!(s.tables(), vec!["patient", "diagnosis"]);
+    }
+
+    #[test]
+    fn parses_union_chain() {
+        let s = parse_select("select * from C2a union select * from C2b union select * from C2")
+            .unwrap();
+        assert_eq!(s.tables(), vec!["C2a", "C2b", "C2"]);
+        assert!(s.union.as_ref().unwrap().union.is_some());
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let s =
+            parse_select("select * from provider where city in ('Dallas', 'Houston')").unwrap();
+        assert!(s.where_clause.domain("city").contains(&Value::str("Dallas")));
+        let s = parse_select("select * from provider where city not in ('Austin')").unwrap();
+        assert!(!s.where_clause.domain("city").contains(&Value::str("Austin")));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let s = parse_select("SELECT * FROM C2 WHERE a BETWEEN 1 AND 2 UNION SELECT * FROM C3")
+            .unwrap();
+        assert_eq!(s.tables(), vec!["C2", "C3"]);
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let s = parse_select("select * from t where x > -5 and y <= 2.5").unwrap();
+        assert!(s.where_clause.domain("x").contains(&Value::Int(0)));
+        assert!(s.where_clause.domain("y").contains(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let s = parse_select("select count(*) from patient").unwrap();
+        assert!(s.has_aggregates());
+        assert_eq!(s.aggregates[0].func, AggFunc::Count);
+        assert_eq!(s.aggregates[0].column, None);
+        let s = parse_select(
+            "select procedure, count(*), avg(cost), max(days) from hospital_stay              group by procedure",
+        )
+        .unwrap();
+        assert_eq!(s.aggregates.len(), 3);
+        assert_eq!(s.group_by, vec!["procedure"]);
+        assert_eq!(s.projections.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        assert!(parse_select("select sum(*) from t").is_err());
+        assert!(parse_select("select count(* from t").is_err());
+        assert!(parse_select("select a from t group by a").is_err()); // no aggregate
+        assert!(parse_select("select a, count(*) from t").is_err()); // a not grouped
+        assert!(parse_select("select count(*) from t group by").is_err());
+    }
+
+    #[test]
+    fn count_is_not_reserved_as_a_column_name() {
+        // `count` without '(' parses as an ordinary column.
+        let s = parse_select("select count from t").unwrap();
+        assert_eq!(s.projections[0].column, "count");
+        assert!(!s.has_aggregates());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_select("select from C2").is_err());
+        assert!(parse_select("select * C2").is_err());
+        assert!(parse_select("select * from").is_err());
+        assert!(parse_select("select * from C2 where").is_err());
+        assert!(parse_select("select * from C2 where a ~ 1").is_err());
+        assert!(parse_select("select * from C2 extra").is_err());
+        assert!(parse_select("select * from a join b on x < y").is_err());
+        assert!(parse_select("select * from t where s = 'oops").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the relational substrate: algebraic laws the MRQ
+//! agent's assembly logic depends on.
+
+use infosleuth_constraint::{Conjunction, Predicate, Value};
+use infosleuth_ontology::ValueType;
+use infosleuth_relquery::{execute, parse_select, plan, Catalog, Column, LogicalPlan, Table};
+use proptest::prelude::*;
+
+/// A random small C-style table: columns (id, a, b).
+fn arb_table(name: &'static str) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0i64..20, -10i64..10, "[a-c]{1}"), 0..12).prop_map(move |rows| {
+        let mut t = Table::new(
+            name,
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("a", ValueType::Int),
+                Column::new("b", ValueType::Str),
+            ],
+        );
+        for (id, a, b) in rows {
+            t.push_row(vec![Value::Int(id), Value::Int(a), Value::Str(b)])
+                .expect("schema matches");
+        }
+        t
+    })
+}
+
+fn catalog(tables: Vec<Table>) -> Catalog {
+    let mut c = Catalog::new();
+    for t in tables {
+        c.insert(t);
+    }
+    c
+}
+
+fn scan(class: &str) -> LogicalPlan {
+    LogicalPlan::Scan { class: class.to_string() }
+}
+
+fn select(pred: Conjunction, input: LogicalPlan) -> LogicalPlan {
+    LogicalPlan::Select { predicate: pred, input: Box::new(input) }
+}
+
+fn project(cols: &[&str], input: LogicalPlan) -> LogicalPlan {
+    LogicalPlan::Project {
+        columns: cols.iter().map(|c| c.to_string()).collect(),
+        input: Box::new(input),
+    }
+}
+
+fn union(l: LogicalPlan, r: LogicalPlan) -> LogicalPlan {
+    LogicalPlan::Union { left: Box::new(l), right: Box::new(r) }
+}
+
+proptest! {
+    /// σ_p(σ_q(T)) == σ_q(σ_p(T)): selection commutes.
+    #[test]
+    fn selections_commute(t in arb_table("T"), lo in -10i64..10, hi in -10i64..10) {
+        let cat = catalog(vec![t]);
+        let p = Conjunction::from_predicates(vec![Predicate::ge("a", lo)]);
+        let q = Conjunction::from_predicates(vec![Predicate::le("a", hi)]);
+        let pq = execute(&select(p.clone(), select(q.clone(), scan("T"))), &cat).unwrap();
+        let qp = execute(&select(q, select(p, scan("T"))), &cat).unwrap();
+        prop_assert_eq!(pq.rows(), qp.rows());
+    }
+
+    /// Selection then projection == projection then selection when the
+    /// predicate only uses projected columns.
+    #[test]
+    fn select_project_commute(t in arb_table("T"), lo in -10i64..10) {
+        let cat = catalog(vec![t]);
+        let p = Conjunction::from_predicates(vec![Predicate::ge("a", lo)]);
+        let sp = execute(&select(p.clone(), project(&["id", "a"], scan("T"))), &cat).unwrap();
+        let ps = execute(&project(&["id", "a"], select(p, scan("T"))), &cat).unwrap();
+        prop_assert_eq!(sp.rows(), ps.rows());
+    }
+
+    /// Union is commutative and idempotent up to row sets.
+    #[test]
+    fn union_laws(a in arb_table("A"), b in arb_table("B")) {
+        let cat = catalog(vec![a, b]);
+        let ab = execute(&union(scan("A"), scan("B")), &cat).unwrap();
+        let ba = execute(&union(scan("B"), scan("A")), &cat).unwrap();
+        let mut ab_rows: Vec<_> = ab.rows().to_vec();
+        let mut ba_rows: Vec<_> = ba.rows().to_vec();
+        ab_rows.sort();
+        ba_rows.sort();
+        prop_assert_eq!(ab_rows, ba_rows);
+        // Idempotence: A ∪ A == distinct(A).
+        let aa = execute(&union(scan("A"), scan("A")), &cat).unwrap();
+        let mut distinct: Vec<_> = cat.table("A").unwrap().rows().to_vec();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(aa.len(), distinct.len());
+    }
+
+    /// Executing a filter equals filtering executed rows.
+    #[test]
+    fn selection_is_row_filter(t in arb_table("T"), lo in -10i64..10) {
+        let cat = catalog(vec![t.clone()]);
+        let p = Conjunction::from_predicates(vec![Predicate::ge("a", lo)]);
+        let result = execute(&select(p, scan("T")), &cat).unwrap();
+        let expected: Vec<_> = t
+            .rows()
+            .iter()
+            .filter(|r| matches!(r[1], Value::Int(a) if a >= lo))
+            .cloned()
+            .collect();
+        prop_assert_eq!(result.rows(), expected.as_slice());
+    }
+
+    /// Join with itself on the key returns at least every distinct key
+    /// pairing (reflexive join sanity; duplicate ids multiply).
+    #[test]
+    fn self_join_on_key(t in arb_table("T")) {
+        let cat = catalog(vec![t.clone()]);
+        let j = LogicalPlan::Join {
+            left: Box::new(scan("T")),
+            right: Box::new(scan("T")),
+            left_col: "T.id".to_string(),
+            right_col: "T.id".to_string(),
+        };
+        let result = execute(&j, &cat).unwrap();
+        // Row count = Σ over ids of (count(id))².
+        use std::collections::HashMap;
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for r in t.rows() {
+            if let Value::Int(id) = r[0] {
+                *counts.entry(id).or_default() += 1;
+            }
+        }
+        let expected: usize = counts.values().map(|c| c * c).sum();
+        prop_assert_eq!(result.len(), expected);
+    }
+
+    /// SQL text → parse → plan → execute agrees with hand-built plans.
+    #[test]
+    fn sql_text_matches_hand_built_plan(t in arb_table("T"), lo in -10i64..10) {
+        let cat = catalog(vec![t]);
+        let sql = format!("select id, a from T where a >= {lo}");
+        let from_text = execute(&plan(&parse_select(&sql).unwrap()), &cat).unwrap();
+        let hand = execute(
+            &project(&["id", "a"], select(
+                Conjunction::from_predicates(vec![Predicate::ge("a", lo)]),
+                scan("T"),
+            )),
+            &cat,
+        )
+        .unwrap();
+        prop_assert_eq!(from_text.rows(), hand.rows());
+    }
+}

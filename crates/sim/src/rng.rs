@@ -1,0 +1,129 @@
+//! Seeded random sampling for the simulation: exponential inter-arrival
+//! and failure times, bounded Gaussians for query complexity and coverage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulator's random source. Deterministic per seed.
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    pub fn seeded(seed: u64) -> Self {
+        SimRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.rng.random_range(0..n)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Exponentially distributed sample with the given mean ("queries to a
+    /// broker at times that are exponentially distributed"; also failure
+    /// and repair times). Inverse-CDF sampling.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.rng.random::<f64>();
+        // Guard against ln(0).
+        -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Gaussian with the given mean and *variance*, truncated to
+    /// `[lo, hi]` by resampling ("randomly generated according to bounded
+    /// Gaussian distribution; we put bounds on the Gaussian to ensure we
+    /// always get a positive number").
+    pub fn bounded_gaussian(&mut self, mean: f64, variance: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty truncation interval");
+        let sd = variance.sqrt();
+        for _ in 0..64 {
+            let x = mean + sd * self.standard_normal();
+            if x >= lo && x <= hi {
+                return x;
+            }
+        }
+        // Pathological parameters: clamp rather than loop forever.
+        mean.clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::seeded(7);
+        let mut b = SimRng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.exponential(10.0), b.exponential(10.0));
+        }
+        let mut c = SimRng::seeded(8);
+        assert_ne!(SimRng::seeded(7).uniform(), { c.uniform() });
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seeded(42);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exponential(30.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 30.0).abs() < 1.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = SimRng::seeded(1);
+        for _ in 0..1000 {
+            assert!(r.exponential(0.001) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_gaussian_respects_bounds_and_mean() {
+        let mut r = SimRng::seeded(9);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            // The paper's complexity distribution: Gaussian(1.0, 0.1) > 0.
+            let x = r.bounded_gaussian(1.0, 0.1, 0.0, 10.0);
+            assert!(x > 0.0 && x <= 10.0);
+            total += x;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn coverage_distribution_stays_in_unit_interval() {
+        let mut r = SimRng::seeded(3);
+        for _ in 0..1000 {
+            // The paper's coverage: Gaussian(0.1, 0.05) bounded to (0, 1].
+            let x = r.bounded_gaussian(0.1, 0.05, 1e-9, 1.0);
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut r = SimRng::seeded(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.index(4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

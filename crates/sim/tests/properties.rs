@@ -1,0 +1,105 @@
+//! Property tests for the discrete-event engine and the experiment
+//! drivers' determinism.
+
+use infosleuth_sim::engine::{LinkModel, SimCore};
+use infosleuth_sim::strategies::{run_broker_sim, BrokerSimConfig, Strategy as BrokerStrategy};
+use infosleuth_sim::SimParams;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    At(f64),
+    Exec { proc_idx: usize, work: f64 },
+    Send { size_kb: f64, local: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..100.0).prop_map(Op::At),
+        ((0usize..3), 0.0f64..50.0).prop_map(|(proc_idx, work)| Op::Exec { proc_idx, work }),
+        ((0.0f64..500.0), any::<bool>()).prop_map(|(size_kb, local)| Op::Send {
+            size_kb,
+            local
+        }),
+    ]
+}
+
+proptest! {
+    /// Events always pop in nondecreasing time order, whatever the mix of
+    /// timers, processor completions, and message deliveries.
+    #[test]
+    fn event_times_are_monotone(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut sim: SimCore<usize> =
+            SimCore::new(LinkModel { bandwidth_kb_per_s: 1500.0, latency_s: 0.05 });
+        let procs = [sim.add_processor(1.0), sim.add_processor(2.0), sim.add_processor(0.5)];
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::At(d) => sim.at(*d, i),
+                Op::Exec { proc_idx, work } => sim.exec(procs[*proc_idx], *work, i),
+                Op::Send { size_kb, local } => sim.send(*size_kb, *local, i),
+            }
+        }
+        let mut last = 0.0;
+        let mut popped = 0;
+        while let Some((t, _)) = sim.next_event() {
+            prop_assert!(t >= last, "time went backwards: {t} < {last}");
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, ops.len());
+    }
+
+    /// Per-processor completions respect FIFO submission order.
+    #[test]
+    fn processor_completions_are_fifo(works in proptest::collection::vec(0.1f64..20.0, 1..20)) {
+        let mut sim: SimCore<usize> =
+            SimCore::new(LinkModel { bandwidth_kb_per_s: 1500.0, latency_s: 0.05 });
+        let p = sim.add_processor(1.0);
+        for (i, w) in works.iter().enumerate() {
+            sim.exec(p, *w, i);
+        }
+        let mut expected = 0;
+        let mut clock = 0.0;
+        while let Some((t, tag)) = sim.next_event() {
+            prop_assert_eq!(tag, expected);
+            // Completion time is the running sum of work.
+            clock += works[expected];
+            prop_assert!((t - clock).abs() < 1e-9, "completion at {t}, expected {clock}");
+            expected += 1;
+        }
+        prop_assert_eq!(expected, works.len());
+    }
+
+    /// Whole simulation runs are deterministic per seed and differ across
+    /// seeds (almost surely, given enough queries).
+    #[test]
+    fn broker_sim_is_deterministic(seed in 0u64..1000) {
+        let mut cfg = BrokerSimConfig::new(16, 4, BrokerStrategy::Specialized);
+        cfg.mean_query_interval_s = 60.0;
+        cfg.params = SimParams { sim_duration_s: 1800.0, runs: 1, ..SimParams::default() };
+        cfg.seed = seed;
+        let a = run_broker_sim(cfg.clone());
+        let b = run_broker_sim(cfg);
+        prop_assert_eq!(a.issued, b.issued);
+        prop_assert_eq!(a.replied, b.replied);
+        prop_assert_eq!(a.response.mean(), b.response.mean());
+        prop_assert_eq!(a.response.max(), b.response.max());
+    }
+
+    /// With reliable brokers, every issued query is eventually answered,
+    /// under every strategy.
+    #[test]
+    fn reliable_runs_answer_everything(
+        seed in 0u64..200,
+        strategy_pick in 0usize..3,
+    ) {
+        let strategy = [BrokerStrategy::Single, BrokerStrategy::Replicated, BrokerStrategy::Specialized]
+            [strategy_pick];
+        let mut cfg = BrokerSimConfig::new(16, 4, strategy);
+        cfg.mean_query_interval_s = 90.0;
+        cfg.params = SimParams { sim_duration_s: 1800.0, runs: 1, ..SimParams::default() };
+        cfg.seed = seed;
+        let r = run_broker_sim(cfg);
+        prop_assert_eq!(r.issued, r.replied);
+    }
+}

@@ -1,0 +1,101 @@
+//! The §2.4 worked example: semantic brokering with data constraints over
+//! the healthcare ontology.
+//!
+//! `ResourceAgent5` advertises patients **between 43 and 75**; a second
+//! agent covers patients **under 40**. A query for patients between 25 and
+//! 65 with a given diagnosis overlaps *both* advertisements, so the broker
+//! recommends both; a query for patients over 80 overlaps neither, and the
+//! broker correctly recommends nobody — that is the constraint reasoning
+//! the paper's broker runs in LDL.
+
+use infosleuth_core::broker::{query_broker, Matchmaker};
+use infosleuth_core::constraint::{parse_conjunction, Conjunction, Predicate};
+use infosleuth_core::ontology::{healthcare_ontology, AgentType, ServiceQuery};
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
+use infosleuth_core::{Community, ResourceDef};
+use infosleuth_examples::display;
+use std::time::Duration;
+
+fn patients(seed: u64, constraint: &Conjunction) -> Catalog {
+    let ontology = healthcare_ontology();
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        generate_table(
+            &ontology,
+            &GenSpec::new("patient", 12, seed).with_constraint(constraint.clone()),
+        )
+        .expect("patient table generates"),
+    );
+    catalog
+}
+
+fn main() {
+    // ResourceAgent5: "patient data is restricted to patients between the
+    // age of 43 and 75".
+    let seniors = parse_conjunction("patient.age between 43 and 75").expect("parses");
+    // A second agent covering younger patients.
+    let juniors = parse_conjunction("patient.age between 1 and 39").expect("parses");
+
+    let community = Community::builder()
+        .with_ontology(healthcare_ontology())
+        .add_broker("broker-agent")
+        .add_resource(
+            ResourceDef::new("ResourceAgent5", "healthcare", patients(5, &seniors))
+                .with_constraints(seniors.clone()),
+        )
+        .add_resource(
+            ResourceDef::new("ResourceAgent9", "healthcare", patients(9, &juniors))
+                .with_constraints(juniors.clone()),
+        )
+        .build()
+        .expect("community starts");
+
+    // Ask the broker directly, as QueryAgent2 does in §2.4.
+    let bus = community.bus();
+    let mut query_agent = bus.register("QueryAgent2").expect("fresh name");
+    let timeout = Duration::from_secs(5);
+
+    println!("Broker recommendations (constraint reasoning):\n");
+    for (label, lo, hi) in [
+        ("patients between 25 and 65", 25, 65), // overlaps both agents
+        ("patients between 50 and 60", 50, 60), // seniors only
+        ("patients between 80 and 99", 80, 99), // nobody
+    ] {
+        let query = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_query_language("SQL 2.0")
+            .with_ontology("healthcare")
+            .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                "patient.age",
+                lo,
+                hi,
+            )]));
+        let matches = query_broker(&mut query_agent, "broker-agent", &query, None, timeout)
+            .expect("broker answers");
+        let names: Vec<&str> = matches.iter().map(|m| m.name.as_str()).collect();
+        println!("  {label:32} -> {names:?}");
+    }
+
+    // End-to-end: the user's SQL carries the same constraint and the MRQ
+    // only receives rows satisfying it.
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let result = user
+        .submit_sql(
+            "select id, age from patient where age between 25 and 65",
+            Some("healthcare"),
+        )
+        .expect("query answers");
+    display("\npatients aged 25..=65 across both agents", &result);
+    for i in 0..result.len() {
+        let age = match result.value(i, "age").expect("age column") {
+            infosleuth_core::constraint::Value::Int(a) => *a,
+            other => panic!("age should be an int, got {other}"),
+        };
+        assert!((25..=65).contains(&age), "row {i} violates the constraint");
+    }
+
+    // The ranking prefers the better semantic match: an agent whose whole
+    // advertised range lies inside the request scores as a specialist.
+    println!("(ranking weights: {:?})", Matchmaker::default());
+    community.shutdown();
+    println!("done.");
+}

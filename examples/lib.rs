@@ -1,0 +1,21 @@
+//! Shared helpers for the InfoSleuth examples.
+//!
+//! Run any example with `cargo run -p infosleuth-examples --bin <name>`:
+//!
+//! * `quickstart` — the §2.2 walkthrough: advertise, discover, query.
+//! * `healthcare` — the §2.4 worked example: constraint-based semantic
+//!   matching over the healthcare ontology.
+//! * `multibroker_failover` — redundant advertising surviving a broker
+//!   failure (§4.2).
+//! * `specialization` — specialized brokers forwarding out-of-domain
+//!   advertisements (§3.2).
+
+use infosleuth_core::relquery::Table;
+
+/// Pretty-prints a result table with a row count, as a user agent's
+/// "graphical display" stand-in.
+pub fn display(title: &str, table: &Table) {
+    println!("--- {title} ({} rows) ---", table.len());
+    print!("{table}");
+    println!();
+}

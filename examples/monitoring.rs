@@ -1,0 +1,100 @@
+//! The paper's motivating scenario (§1.1): *"Notify me when the cost of
+//! hospital stays for a Caesarian delivery significantly deviates from the
+//! expected cost."*
+//!
+//! A standing query flows through the community's monitor agent: it
+//! locates the contributing resource agents via the broker, subscribes to
+//! each, and relays change notifications back. We then insert new
+//! hospital-stay records at the resource agent and watch the notifications
+//! arrive.
+
+use infosleuth_core::constraint::Value;
+use infosleuth_core::kqml::{Message, Performative, SExpr};
+use infosleuth_core::ontology::healthcare_ontology;
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec, Table};
+use infosleuth_core::tablecodec::{table_from_sexpr, table_to_sexpr};
+use infosleuth_core::{Community, ResourceDef};
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn main() {
+    let ontology = healthcare_ontology();
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        generate_table(&ontology, &GenSpec::new("hospital_stay", 10, 42))
+            .expect("stays generate"),
+    );
+
+    let community = Community::builder()
+        .with_ontology(ontology)
+        .add_broker("broker-agent")
+        .add_resource(ResourceDef::new("hospital-ra", "healthcare", catalog))
+        .build()
+        .expect("community starts");
+
+    let mut mhn = community.bus().register("mhn-watcher").expect("fresh name");
+
+    // "Notify me about expensive Caesarian stays."
+    let standing_query =
+        "select * from hospital_stay where procedure = 'caesarian' and cost > 10000";
+    println!("subscribing: {standing_query}\n");
+    let ack = mhn
+        .request(
+            "monitor-agent",
+            Message::new(Performative::Subscribe)
+                .with_language("SQL 2.0")
+                .with_ontology("healthcare")
+                .with_content(SExpr::string(standing_query)),
+            T,
+        )
+        .expect("monitor acknowledges");
+    assert_eq!(ack.performative, Performative::Tell);
+    println!(
+        "monitor accepted the standing query across {} resource agent(s)",
+        ack.get_text("resources").unwrap_or("?")
+    );
+
+    // Initial snapshot: no generated stay matches the unusual procedure.
+    let snapshot = mhn.recv_timeout(T).expect("initial snapshot");
+    let t0 = table_from_sexpr(snapshot.message.content().expect("table")).expect("decodes");
+    println!("initial snapshot: {} matching stay(s)\n", t0.len());
+
+    // A new expensive Caesarian stay lands in the hospital database…
+    let schema = generate_table(&healthcare_ontology(), &GenSpec::new("hospital_stay", 0, 0))
+        .expect("schema generates");
+    let mut new_rows = Table::new("hospital_stay", schema.columns().to_vec());
+    new_rows
+        .push_row(vec![
+            Value::Int(999),
+            Value::Int(17),
+            Value::str("caesarian"),
+            Value::Float(23_500.0),
+            Value::Int(4),
+        ])
+        .expect("row matches schema");
+    println!("inserting: caesarian stay at $23,500…");
+    let ack = mhn
+        .request(
+            "hospital-ra",
+            Message::new(Performative::Update).with_content(table_to_sexpr(&new_rows)),
+            T,
+        )
+        .expect("update lands");
+    assert_eq!(ack.performative, Performative::Tell);
+
+    // …and the notification arrives.
+    let notification = mhn.recv_timeout(T).expect("notification relayed");
+    let t1 =
+        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    println!(
+        "NOTIFICATION from {}: {} matching stay(s) now",
+        notification.message.get_text("resource").unwrap_or("?"),
+        t1.len()
+    );
+    assert_eq!(t1.len(), 1);
+    print!("{t1}");
+
+    community.shutdown();
+    println!("\ndone.");
+}

@@ -1,0 +1,88 @@
+//! Robust multibrokering (§4.2): redundant advertising survives a broker
+//! failure.
+//!
+//! Three brokers form a consortium. A resource agent advertises to **two**
+//! of them (redundancy 2). When the agent's primary broker dies, queries
+//! entering the community through any surviving broker still locate the
+//! agent — "given that there was a redundant advertisement, the agent will
+//! still be visible to other agents in the system via the remaining
+//! brokers."
+
+use infosleuth_core::agent::ping;
+use infosleuth_core::broker::query_broker;
+use infosleuth_core::ontology::{paper_class_ontology, AgentType, ServiceQuery};
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
+use infosleuth_core::{Community, ResourceDef};
+use std::time::Duration;
+
+fn main() {
+    let ontology = paper_class_ontology();
+    let mut catalog = Catalog::new();
+    catalog
+        .insert(generate_table(&ontology, &GenSpec::new("C1", 6, 7)).expect("C1 generates"));
+
+    let mut community = Community::builder()
+        .with_ontology(ontology)
+        .add_broker("broker-1")
+        .add_broker("broker-2")
+        .add_broker("broker-3")
+        .add_resource(
+            ResourceDef::new("ra-redundant", "paper-classes", catalog).with_redundancy(2),
+        )
+        .build()
+        .expect("community starts");
+
+    let timeout = Duration::from_secs(5);
+    let mut probe = community.bus().register("probe-agent").expect("fresh name");
+    let query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C1"]);
+
+    // Before the failure: every broker can locate the agent (directly or
+    // via the inter-broker search).
+    println!("before failure:");
+    for broker in ["broker-1", "broker-2", "broker-3"] {
+        let found = query_broker(&mut probe, broker, &query, None, timeout)
+            .expect("broker answers")
+            .len();
+        println!("  {broker} locates {found} agent(s)");
+        assert_eq!(found, 1);
+    }
+
+    // Find a broker actually holding the advertisement and kill it.
+    let holder = ["broker-1", "broker-2", "broker-3"]
+        .into_iter()
+        .find(|b| ping(&mut probe, b, Some("ra-redundant"), timeout) == Ok(true))
+        .expect("someone holds the advertisement");
+    println!("\nkilling {holder} (it holds ra-redundant's advertisement)…");
+    assert!(community.stop_broker(holder));
+
+    // The dead broker no longer answers; the survivors still find the
+    // agent thanks to the redundant advertisement.
+    assert!(
+        ping(&mut probe, holder, None, Duration::from_millis(200)).is_err(),
+        "{holder} should be gone"
+    );
+    println!("\nafter failure:");
+    let mut located = 0;
+    for broker in ["broker-1", "broker-2", "broker-3"] {
+        if broker == holder {
+            continue;
+        }
+        let found = query_broker(&mut probe, broker, &query, None, timeout)
+            .expect("surviving broker answers")
+            .len();
+        println!("  {broker} locates {found} agent(s)");
+        located += found;
+    }
+    assert!(located >= 1, "the agent must remain visible");
+
+    // And the full query pipeline still works through the survivors.
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let result = user
+        .submit_sql("select * from C1", Some("paper-classes"))
+        .expect("query still answers after the failure");
+    println!("\nquery after failover returned {} rows — community survived.", result.len());
+    assert_eq!(result.len(), 6);
+    community.shutdown();
+}

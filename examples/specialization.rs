@@ -1,0 +1,124 @@
+//! Broker specialization (§3.2): "an agent should take care to ensure that
+//! it advertises to brokers that best represent its interests. For example,
+//! if a food supplier agent advertises to a broker that only brokers
+//! healthcare information, the broker should forward it to a broker that
+//! can deal with food suppliers."
+//!
+//! A healthcare-specialized broker and a general-purpose broker share a
+//! consortium. The healthcare resource is accepted by the specialist; the
+//! food-supplier advertisement is declined with a forward-to suggestion,
+//! lands on the generalist, and the inter-broker search still finds both.
+
+use infosleuth_core::broker::{
+    advertise_to, query_broker, BrokerAgent, BrokerConfig, BrokerObjective, Repository,
+};
+use infosleuth_core::kqml::{Message, Performative, SExpr};
+use infosleuth_core::ontology::{
+    healthcare_ontology, AgentLocation, AgentType, Capability, ClassDef, ConversationType,
+    Ontology, OntologyContent, SemanticInfo, ServiceQuery, SlotDef, SyntacticInfo, ValueType,
+    Advertisement,
+};
+use infosleuth_core::agent::Bus;
+use infosleuth_core::broker::codec;
+use std::time::Duration;
+
+fn food_ontology() -> Ontology {
+    let mut o = Ontology::new("food");
+    o.add_class(ClassDef::new(
+        "supplier",
+        vec![SlotDef::key("id", ValueType::Int), SlotDef::new("city", ValueType::Str)],
+    ))
+    .expect("fresh ontology");
+    o
+}
+
+fn resource_ad(name: &str, ontology: &str, class: &str) -> Advertisement {
+    Advertisement::new(AgentLocation::new(name, "tcp://h:4000", AgentType::Resource))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::AskAll])
+                .with_capabilities([Capability::relational_query_processing()])
+                .with_content(OntologyContent::new(ontology).with_classes([class])),
+        )
+}
+
+fn main() {
+    let bus = Bus::new();
+    let timeout = Duration::from_secs(5);
+
+    // The specialist only brokers healthcare information.
+    let mut health_repo = Repository::new();
+    health_repo.register_ontology(healthcare_ontology());
+    let health_broker = BrokerAgent::spawn(
+        &bus,
+        BrokerConfig::new("health-broker", "tcp://hb.mcc.com:5001")
+            .with_objective(BrokerObjective::specialized(["healthcare"]))
+            .with_consortia(["demo-consortium"]),
+        health_repo,
+    )
+    .expect("specialist spawns");
+
+    // The consortium's mandatory general-purpose broker.
+    let mut general_repo = Repository::new();
+    general_repo.register_ontology(healthcare_ontology());
+    general_repo.register_ontology(food_ontology());
+    let general_broker = BrokerAgent::spawn(
+        &bus,
+        BrokerConfig::new("general-broker", "tcp://gb.mcc.com:5002")
+            .with_consortia(["demo-consortium"]),
+        general_repo,
+    )
+    .expect("generalist spawns");
+    infosleuth_core::broker::interconnect(&[&health_broker, &general_broker])
+        .expect("consortium forms");
+
+    let mut agent = bus.register("setup-agent").expect("fresh name");
+
+    // 1. A healthcare resource is welcome at the specialist.
+    let hc = resource_ad("hospital-ra", "healthcare", "patient");
+    assert!(advertise_to(&mut agent, "health-broker", &hc, timeout).expect("reachable"));
+    println!("health-broker ACCEPTED hospital-ra (healthcare fits its specialty)");
+
+    // 2. A food supplier is declined with a forwarding suggestion.
+    let food = resource_ad("food-ra", "food", "supplier");
+    let reply = agent
+        .request(
+            "health-broker",
+            Message::new(Performative::Advertise)
+                .with_content(codec::advertisement_to_sexpr(&food)),
+            timeout,
+        )
+        .expect("specialist answers");
+    assert_eq!(reply.performative, Performative::Sorry);
+    let suggestions = reply.content().and_then(SExpr::as_list).expect("forward-to list");
+    println!(
+        "health-broker DECLINED food-ra, suggesting {:?}",
+        &suggestions[1..]
+    );
+    assert!(suggestions[1..].contains(&SExpr::atom("general-broker")));
+
+    // 3. The agent follows the suggestion.
+    assert!(advertise_to(&mut agent, "general-broker", &food, timeout).expect("reachable"));
+    println!("general-broker ACCEPTED food-ra\n");
+
+    // 4. Collaborative matchmaking finds both, whichever broker is asked.
+    for (label, ontology, class) in
+        [("healthcare/patient", "healthcare", "patient"), ("food/supplier", "food", "supplier")]
+    {
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology(ontology)
+            .with_classes([class]);
+        let via_specialist = query_broker(&mut agent, "health-broker", &q, None, timeout)
+            .expect("specialist answers");
+        println!(
+            "asked health-broker for {label:20} -> {:?}",
+            via_specialist.iter().map(|m| m.name.as_str()).collect::<Vec<_>>()
+        );
+        assert_eq!(via_specialist.len(), 1, "{label} should be located via the consortium");
+    }
+
+    health_broker.stop();
+    general_broker.stop();
+    println!("\ndone.");
+}

@@ -1,0 +1,31 @@
+//! Shared fixtures for the integration tests.
+
+use infosleuth_core::ontology::{paper_class_ontology, Ontology};
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec, Table};
+
+/// Generates a catalog holding the given classes with `rows` rows each.
+pub fn catalog_of(ontology: &Ontology, classes: &[(&str, usize, u64)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (class, rows, seed) in classes {
+        catalog.insert(
+            generate_table(ontology, &GenSpec::new(*class, *rows, *seed))
+                .unwrap_or_else(|e| panic!("generating {class}: {e}")),
+        );
+    }
+    catalog
+}
+
+/// The paper-classes ontology (C1, C2 with subclasses C2a/C2b, C3).
+pub fn paper_ontology() -> Ontology {
+    paper_class_ontology()
+}
+
+/// Collects a column of integer values from a result table.
+pub fn int_column(table: &Table, column: &str) -> Vec<i64> {
+    (0..table.len())
+        .map(|i| match table.value(i, column) {
+            Some(infosleuth_core::constraint::Value::Int(v)) => *v,
+            other => panic!("expected int in {column}, got {other:?}"),
+        })
+        .collect()
+}

@@ -1,0 +1,215 @@
+//! Multibrokering integration: consortium search, search policies,
+//! redundant advertising, failover, and specialization routing on the live
+//! system.
+
+use infosleuth_core::agent::ping;
+use infosleuth_core::broker::{
+    advertise_to, query_broker, BrokerAgent, BrokerConfig, BrokerObjective, FollowOption,
+    Repository, SearchPolicy,
+};
+use infosleuth_core::ontology::{AgentType, ServiceQuery};
+use infosleuth_core::{Community, ResourceDef};
+use infosleuth_integration_tests::{catalog_of, paper_ontology};
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+/// Three-broker community; each resource advertises to exactly one broker
+/// (redundancy 1), so cross-broker queries require collaboration.
+fn consortium() -> Community {
+    let o = paper_ontology();
+    Community::builder()
+        .with_ontology(paper_ontology())
+        .add_broker("broker-1")
+        .add_broker("broker-2")
+        .add_broker("broker-3")
+        .add_resource(ResourceDef::new("ra-c1", "paper-classes", catalog_of(&o, &[("C1", 3, 1)])))
+        .add_resource(ResourceDef::new("ra-c2", "paper-classes", catalog_of(&o, &[("C2", 3, 2)])))
+        .add_resource(ResourceDef::new("ra-c3", "paper-classes", catalog_of(&o, &[("C3", 3, 3)])))
+        .build()
+        .expect("community starts")
+}
+
+/// Which broker holds an agent's advertisement locally.
+fn holder(community: &Community, agent: &str) -> String {
+    let mut probe = community
+        .bus()
+        .register(format!("holder-probe-{agent}"))
+        .expect("fresh name");
+    community
+        .broker_names()
+        .iter()
+        .find(|b| ping(&mut probe, b, Some(agent), T) == Ok(true))
+        .expect("some broker holds the advertisement")
+        .clone()
+}
+
+#[test]
+fn collaborative_search_finds_remote_agents() {
+    let community = consortium();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    // Whatever broker we ask, every class is locatable (hop 1 reaches the
+    // full consortium).
+    for class in ["C1", "C2", "C3"] {
+        for broker in community.broker_names() {
+            let q = ServiceQuery::for_agent_type(AgentType::Resource)
+                .with_ontology("paper-classes")
+                .with_classes([class]);
+            let m = query_broker(&mut probe, broker, &q, None, T).expect("broker answers");
+            assert_eq!(m.len(), 1, "{broker} should locate the {class} resource");
+        }
+    }
+    community.shutdown();
+}
+
+#[test]
+fn local_only_policy_respects_repository_boundaries() {
+    let community = consortium();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let ra_c1_home = holder(&community, "ra-c1");
+    let q = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C1"]);
+    // Asking the holder locally succeeds; asking anyone else locally fails.
+    let local = Some(SearchPolicy::local());
+    let at_home =
+        query_broker(&mut probe, &ra_c1_home, &q, local, T).expect("broker answers");
+    assert_eq!(at_home.len(), 1);
+    for broker in community.broker_names() {
+        if broker != &ra_c1_home {
+            let elsewhere =
+                query_broker(&mut probe, broker, &q, local, T).expect("broker answers");
+            assert!(elsewhere.is_empty(), "{broker} should not know ra-c1 locally");
+        }
+    }
+    community.shutdown();
+}
+
+#[test]
+fn until_match_policy_stops_at_first_hit() {
+    let community = consortium();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let q = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C2"])
+        .one();
+    let policy = Some(SearchPolicy { hop_count: 1, follow: FollowOption::UntilMatch });
+    for broker in community.broker_names() {
+        let m = query_broker(&mut probe, broker, &q, policy, T).expect("broker answers");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "ra-c2");
+    }
+    community.shutdown();
+}
+
+#[test]
+fn redundant_advertising_survives_broker_death() {
+    let o = paper_ontology();
+    let mut community = Community::builder()
+        .with_ontology(paper_ontology())
+        .add_broker("broker-1")
+        .add_broker("broker-2")
+        .add_broker("broker-3")
+        .add_resource(
+            ResourceDef::new("ra-hot", "paper-classes", catalog_of(&o, &[("C1", 4, 9)]))
+                .with_redundancy(2),
+        )
+        .build()
+        .expect("community starts");
+    let victim = holder(&community, "ra-hot");
+    assert!(community.stop_broker(&victim));
+    // A surviving broker still locates the agent through the redundant
+    // advertisement (directly or via its living peer).
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let q = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C1"]);
+    let survivor = community
+        .broker_names()
+        .iter()
+        .find(|b| **b != victim)
+        .expect("two brokers survive")
+        .clone();
+    let m = query_broker(&mut probe, &survivor, &q, None, T).expect("survivor answers");
+    assert_eq!(m.len(), 1, "redundant advertisement keeps the agent visible");
+    // End-to-end query still works.
+    let mut user = community.user("user").expect("connects");
+    let r = user.submit_sql("select * from C1", Some("paper-classes")).expect("answers");
+    assert_eq!(r.len(), 4);
+    community.shutdown();
+}
+
+#[test]
+fn unadvertise_removes_visibility_everywhere_reachable() {
+    let community = consortium();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let home = holder(&community, "ra-c3");
+    assert!(
+        infosleuth_core::broker::unadvertise_from(&mut probe, &home, "ra-c3", T)
+            .expect("broker answers")
+    );
+    let q = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C3"]);
+    for broker in community.broker_names() {
+        let m = query_broker(&mut probe, broker, &q, None, T).expect("broker answers");
+        assert!(m.is_empty(), "{broker} should no longer locate ra-c3");
+    }
+    community.shutdown();
+}
+
+#[test]
+fn specialized_broker_community_routes_advertisements() {
+    // Hand-built consortium: one specialist + one generalist.
+    let bus = infosleuth_core::agent::Bus::new();
+    let mut spec_repo = Repository::new();
+    spec_repo.register_ontology(paper_ontology());
+    let specialist = BrokerAgent::spawn(
+        &bus,
+        BrokerConfig::new("spec-broker", "tcp://s.mcc.com:5001")
+            .with_objective(BrokerObjective::specialized(["paper-classes"])),
+        spec_repo,
+    )
+    .expect("specialist spawns");
+    let mut gen_repo = Repository::new();
+    gen_repo.register_ontology(paper_ontology());
+    let generalist = BrokerAgent::spawn(
+        &bus,
+        BrokerConfig::new("gen-broker", "tcp://g.mcc.com:5002"),
+        gen_repo,
+    )
+    .expect("generalist spawns");
+    infosleuth_core::broker::interconnect(&[&specialist, &generalist]).expect("mesh");
+
+    let mut agent = bus.register("adv-agent").expect("fresh name");
+    // In-domain advertisement → accepted by the specialist.
+    let in_domain = infosleuth_core::ontology::Advertisement::new(
+        infosleuth_core::ontology::AgentLocation::new("in-ra", "tcp://h:1", AgentType::Resource),
+    )
+    .with_semantic(
+        infosleuth_core::ontology::SemanticInfo::default().with_content(
+            infosleuth_core::ontology::OntologyContent::new("paper-classes")
+                .with_classes(["C1"]),
+        ),
+    );
+    assert!(advertise_to(&mut agent, "spec-broker", &in_domain, T).expect("reachable"));
+    // Out-of-domain advertisement → declined by the specialist, accepted by
+    // the generalist.
+    let out_of_domain = infosleuth_core::ontology::Advertisement::new(
+        infosleuth_core::ontology::AgentLocation::new("out-ra", "tcp://h:2", AgentType::Resource),
+    )
+    .with_semantic(
+        infosleuth_core::ontology::SemanticInfo::default().with_content(
+            infosleuth_core::ontology::OntologyContent::new("weather").with_classes(["storm"]),
+        ),
+    );
+    assert!(!advertise_to(&mut agent, "spec-broker", &out_of_domain, T).expect("reachable"));
+    assert!(advertise_to(&mut agent, "gen-broker", &out_of_domain, T).expect("reachable"));
+    // Both remain findable through either broker.
+    let q = ServiceQuery::for_agent_type(AgentType::Resource).with_ontology("weather");
+    let m = query_broker(&mut agent, "spec-broker", &q, None, T).expect("answers");
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].name, "out-ra");
+    specialist.stop();
+    generalist.stop();
+}

@@ -1,0 +1,243 @@
+//! Monitoring conversations (§1.1 "performing polling and notification for
+//! monitoring changes in data") and the §4.2.2 maintenance loop, on the
+//! live system.
+
+use infosleuth_core::agent::{ping, Bus};
+use infosleuth_core::broker::{query_broker, BrokerAgent, BrokerConfig, Repository};
+use infosleuth_core::constraint::Value;
+use infosleuth_core::ontology::{
+    paper_class_ontology, Advertisement, AgentLocation, AgentType, ServiceQuery, ValueType,
+};
+use infosleuth_core::relquery::{Catalog, Column, Table};
+use infosleuth_core::resource_agent::{spawn_resource_agent, ResourceSpec};
+use infosleuth_core::tablecodec::{table_from_sexpr, table_to_sexpr};
+use infosleuth_core::kqml::{Message, Performative, SExpr};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn c1_table(rows: &[(i64, i64)]) -> Table {
+    let mut t = Table::new(
+        "C1",
+        vec![Column::new("id", ValueType::Int), Column::new("a", ValueType::Int)],
+    );
+    for (id, a) in rows {
+        t.push_row(vec![Value::Int(*id), Value::Int(*a)]).expect("schema matches");
+    }
+    t
+}
+
+fn spec(name: &str, table: Table) -> ResourceSpec {
+    let mut catalog = Catalog::new();
+    catalog.insert(table);
+    ResourceSpec {
+        advertisement: Advertisement::new(AgentLocation::new(
+            name,
+            "tcp://h:4000",
+            AgentType::Resource,
+        )),
+        catalog,
+        ontology: Arc::new(paper_class_ontology()),
+        redundancy: 1,
+        maintenance_interval: None,
+        timeout: T,
+    }
+}
+
+#[test]
+fn subscribe_receives_snapshot_then_change_notifications() {
+    let bus = Bus::new();
+    let agent = spawn_resource_agent(&bus, spec("ra-sub", c1_table(&[(1, 10)])), &[], T)
+        .expect("agent spawns");
+    let mut client = bus.register("subscriber").expect("fresh name");
+
+    // Subscribe to a standing query.
+    let ack = client
+        .request(
+            "ra-sub",
+            Message::new(Performative::Subscribe)
+                .with_language("SQL 2.0")
+                .with_content(SExpr::string("select * from C1 where a >= 10")),
+            T,
+        )
+        .expect("subscription acknowledged");
+    assert_eq!(ack.performative, Performative::Tell);
+    let sub_id = ack.content().and_then(SExpr::as_text).expect("id returned").to_string();
+
+    // Initial snapshot arrives as a tell tagged with the subscription id.
+    let snapshot = client.recv_timeout(T).expect("initial snapshot");
+    assert_eq!(snapshot.message.performative, Performative::Tell);
+    assert_eq!(snapshot.message.in_reply_to(), Some(sub_id.as_str()));
+    let table = table_from_sexpr(snapshot.message.content().expect("table")).expect("decodes");
+    assert_eq!(table.len(), 1);
+
+    // Insert a matching row via `update`: ack + notification.
+    let update = Message::new(Performative::Update)
+        .with_content(table_to_sexpr(&c1_table(&[(2, 50)])));
+    let ack = client.request("ra-sub", update, T).expect("update acknowledged");
+    assert_eq!(ack.performative, Performative::Tell);
+    let notification = client.recv_timeout(T).expect("change notification");
+    assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
+    let table =
+        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    assert_eq!(table.len(), 2, "both matching rows in the new result");
+
+    // A non-matching insert changes nothing: ack but no notification.
+    let update = Message::new(Performative::Update)
+        .with_content(table_to_sexpr(&c1_table(&[(3, 1)])));
+    let ack = client.request("ra-sub", update, T).expect("update acknowledged");
+    assert_eq!(ack.performative, Performative::Tell);
+    assert!(
+        client.recv_timeout(Duration::from_millis(200)).is_none(),
+        "no notification for a row outside the subscription's constraint"
+    );
+    agent.stop();
+}
+
+#[test]
+fn update_to_unknown_table_is_an_error() {
+    let bus = Bus::new();
+    let agent = spawn_resource_agent(&bus, spec("ra-upd", c1_table(&[])), &[], T)
+        .expect("agent spawns");
+    let mut client = bus.register("writer").expect("fresh name");
+    let mut bogus = Table::new("Nope", vec![Column::new("x", ValueType::Int)]);
+    bogus.push_row(vec![Value::Int(1)]).expect("schema matches");
+    let reply = client
+        .request(
+            "ra-upd",
+            Message::new(Performative::Update).with_content(table_to_sexpr(&bogus)),
+            T,
+        )
+        .expect("agent answers");
+    assert_eq!(reply.performative, Performative::Error);
+    agent.stop();
+}
+
+#[test]
+fn monitor_agent_relays_change_notifications() {
+    // The paper's motivating scenario: "Notify me when …" — a standing
+    // query through the community's monitor agent.
+    let o = paper_class_ontology();
+    let mut catalog = Catalog::new();
+    catalog.insert(c1_table(&[(1, 10)]));
+    drop(o);
+    let community = infosleuth_core::Community::builder()
+        .with_ontology(paper_class_ontology())
+        .add_broker("broker-agent")
+        .add_resource(infosleuth_core::ResourceDef::new(
+            "ra-watched",
+            "paper-classes",
+            catalog,
+        ))
+        .build()
+        .expect("community starts");
+    let mut watcher = community.bus().register("watcher").expect("fresh name");
+
+    // Subscribe through the monitor agent.
+    let ack = watcher
+        .request(
+            "monitor-agent",
+            Message::new(Performative::Subscribe)
+                .with_language("SQL 2.0")
+                .with_ontology("paper-classes")
+                .with_content(SExpr::string("select * from C1 where a >= 10")),
+            T,
+        )
+        .expect("monitor acknowledges");
+    assert_eq!(ack.performative, Performative::Tell, "ack: {ack}");
+    let sub_id = ack.content().and_then(SExpr::as_text).expect("id").to_string();
+
+    // Initial snapshot relayed from the resource.
+    let snapshot = watcher.recv_timeout(T).expect("initial snapshot relayed");
+    assert_eq!(snapshot.message.in_reply_to(), Some(sub_id.as_str()));
+    assert_eq!(snapshot.message.get_text("resource"), Some("ra-watched"));
+    let t0 = table_from_sexpr(snapshot.message.content().expect("table")).expect("decodes");
+    assert_eq!(t0.len(), 1);
+
+    // Change the data at the resource: the watcher hears about it.
+    let update = Message::new(Performative::Update)
+        .with_content(table_to_sexpr(&c1_table(&[(7, 70)])));
+    let ack = watcher.request("ra-watched", update, T).expect("update acknowledged");
+    assert_eq!(ack.performative, Performative::Tell);
+    let notification = watcher.recv_timeout(T).expect("change relayed");
+    assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
+    let t1 =
+        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    assert_eq!(t1.len(), 2);
+
+    // A standing query over an unknown class is declined.
+    let nope = watcher
+        .request(
+            "monitor-agent",
+            Message::new(Performative::Subscribe)
+                .with_language("SQL 2.0")
+                .with_ontology("paper-classes")
+                .with_content(SExpr::string("select * from Ghost")),
+            T,
+        )
+        .expect("monitor answers");
+    assert_eq!(nope.performative, Performative::Sorry);
+    community.shutdown();
+}
+
+#[test]
+fn maintenance_readvertises_after_broker_failure() {
+    let bus = Bus::new();
+    let fast_ping = Duration::from_millis(50);
+    let mk_broker = |name: &str| {
+        let mut repo = Repository::new();
+        repo.register_ontology(paper_class_ontology());
+        BrokerAgent::spawn(
+            &bus,
+            BrokerConfig::new(name, format!("tcp://{name}.mcc.com:5100"))
+                .with_ping_interval(None), // isolate the *agent's* maintenance
+            repo,
+        )
+        .expect("broker spawns")
+    };
+    let b1 = mk_broker("broker-1");
+    let b2 = mk_broker("broker-2");
+    infosleuth_core::broker::interconnect(&[&b1, &b2]).expect("mesh");
+
+    // The agent prefers broker-1 first (redundancy 1 → it lands there) and
+    // runs fast maintenance.
+    let mut agent_spec = spec("ra-moving", c1_table(&[(1, 10)]));
+    agent_spec.maintenance_interval = Some(fast_ping);
+    agent_spec.timeout = Duration::from_millis(300);
+    let agent = spawn_resource_agent(
+        &bus,
+        agent_spec,
+        &["broker-1".to_string(), "broker-2".to_string()],
+        T,
+    )
+    .expect("agent spawns");
+    b1.with_repository(|r| assert!(r.contains_agent("ra-moving")));
+    b2.with_repository(|r| assert!(!r.contains_agent("ra-moving")));
+
+    // Kill the holding broker; the agent's §4.2.2 loop must notice and
+    // re-advertise to broker-2.
+    b1.stop();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if b2.with_repository(|r| r.contains_agent("ra-moving")) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "agent never re-advertised to the surviving broker"
+        );
+        std::thread::yield_now();
+    }
+    // The agent is findable again through broker-2.
+    let mut probe = bus.register("probe").expect("fresh name");
+    assert_eq!(ping(&mut probe, "broker-2", Some("ra-moving"), T), Ok(true));
+    // (the minimal test advertisement carries no content, so match on
+    // agent type alone)
+    let q = ServiceQuery::for_agent_type(AgentType::Resource);
+    let m = query_broker(&mut probe, "broker-2", &q, None, T).expect("broker answers");
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].name, "ra-moving");
+    agent.stop();
+    b2.stop();
+}

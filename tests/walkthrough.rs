@@ -1,0 +1,158 @@
+//! The §2.2 walkthrough (Figures 5–7) as an executable integration test:
+//! agents advertise to the broker, the user agent finds the MRQ agent, the
+//! MRQ agent finds the resource agents per class, and results assemble.
+
+use infosleuth_core::broker::query_broker;
+use infosleuth_core::ontology::{AgentType, Capability, ServiceQuery};
+use infosleuth_core::{Community, ResourceDef};
+use infosleuth_integration_tests::{catalog_of, int_column, paper_ontology};
+use std::time::Duration;
+
+fn walkthrough_community() -> Community {
+    let o = paper_ontology();
+    Community::builder()
+        .with_ontology(paper_ontology())
+        .add_broker("broker-agent")
+        .add_resource(ResourceDef::new(
+            "db1-resource-agent",
+            "paper-classes",
+            catalog_of(&o, &[("C1", 4, 1), ("C2", 4, 2)]),
+        ))
+        .add_resource(ResourceDef::new(
+            "db2-resource-agent",
+            "paper-classes",
+            catalog_of(&o, &[("C2", 3, 3), ("C3", 5, 4)]),
+        ))
+        .build()
+        .expect("community starts")
+}
+
+#[test]
+fn figure5_advertisements_reach_the_broker() {
+    let community = walkthrough_community();
+    let broker = &community.brokers()[0];
+    broker.with_repository(|repo| {
+        assert!(repo.contains_agent("db1-resource-agent"));
+        assert!(repo.contains_agent("db2-resource-agent"));
+        assert!(repo.contains_agent("mrq-agent"));
+    });
+    community.shutdown();
+}
+
+#[test]
+fn figure6_user_agent_locates_the_mrq_agent() {
+    let community = walkthrough_community();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let q = ServiceQuery::for_agent_type(AgentType::MultiResourceQuery)
+        .with_query_language("SQL 2.0")
+        .with_capability(Capability::multiresource_query_processing())
+        .one();
+    let matches =
+        query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
+            .expect("broker answers");
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].name, "mrq-agent");
+    community.shutdown();
+}
+
+#[test]
+fn figure7_broker_returns_both_resources_for_c2() {
+    let community = walkthrough_community();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let q = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_query_language("SQL 2.0")
+        .with_ontology("paper-classes")
+        .with_classes(["C2"]);
+    let matches =
+        query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
+            .expect("broker answers");
+    let mut names: Vec<&str> = matches.iter().map(|m| m.name.as_str()).collect();
+    names.sort();
+    assert_eq!(names, vec!["db1-resource-agent", "db2-resource-agent"]);
+    // "if the original query had been for class C3, then only DB2…"
+    let q3 = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_query_language("SQL 2.0")
+        .with_ontology("paper-classes")
+        .with_classes(["C3"]);
+    let matches =
+        query_broker(&mut probe, "broker-agent", &q3, None, Duration::from_secs(5))
+            .expect("broker answers");
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].name, "db2-resource-agent");
+    community.shutdown();
+}
+
+#[test]
+fn end_to_end_query_unions_both_extents() {
+    let community = walkthrough_community();
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let c2 = user.submit_sql("select * from C2", Some("paper-classes")).expect("answers");
+    // DB1 has keys 1..=4, DB2 has keys 1..=3 with different payloads: the
+    // union keeps distinct rows from both.
+    assert!(c2.len() >= 4, "expected at least DB1's extent, got {}", c2.len());
+    let c3 = user.submit_sql("select * from C3", Some("paper-classes")).expect("answers");
+    assert_eq!(c3.len(), 5);
+    assert_eq!(int_column(&c3, "id"), vec![1, 2, 3, 4, 5]);
+    community.shutdown();
+}
+
+#[test]
+fn statistical_aggregation_runs_at_the_mrq() {
+    // §1: a resource agent "can do query processing of relational algebra
+    // queries, but it cannot do any statistical aggregation within those
+    // queries" — the MRQ agent performs the aggregation over the
+    // assembled extents instead.
+    let community = walkthrough_community();
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let counted = user
+        .submit_sql("select count(*) from C3", Some("paper-classes"))
+        .expect("aggregate answers");
+    assert_eq!(counted.len(), 1);
+    assert_eq!(
+        counted.value(0, "count(*)"),
+        Some(&infosleuth_core::constraint::Value::Int(5))
+    );
+    let grouped = user
+        .submit_sql("select id, count(*) from C2 group by id", Some("paper-classes"))
+        .expect("grouped aggregate answers");
+    assert!(!grouped.is_empty());
+    community.shutdown();
+}
+
+#[test]
+fn only_aggregation_capable_agents_match_aggregate_requests() {
+    // The broker distinguishes agents by the statistical-aggregation
+    // capability: only the MRQ agent advertises it.
+    use infosleuth_core::broker::query_broker;
+    use infosleuth_core::ontology::Capability;
+    let community = walkthrough_community();
+    let mut probe = community.bus().register("probe").expect("fresh name");
+    let q = ServiceQuery::any()
+        .with_capability(Capability::statistical_aggregation());
+    let m = query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
+        .expect("broker answers");
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].name, "mrq-agent");
+    community.shutdown();
+}
+
+#[test]
+fn unknown_class_yields_clean_error() {
+    let community = walkthrough_community();
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let err = user.submit_sql("select * from Nonexistent", Some("paper-classes"));
+    assert!(err.is_err(), "querying a class nobody holds must fail cleanly");
+    community.shutdown();
+}
+
+#[test]
+fn projections_and_filters_run_through_the_pipeline() {
+    let community = walkthrough_community();
+    let mut user = community.user("mhn-user-agent").expect("user connects");
+    let result = user
+        .submit_sql("select id from C3 where id <= 2", Some("paper-classes"))
+        .expect("answers");
+    assert_eq!(result.columns().len(), 1);
+    assert_eq!(int_column(&result, "id"), vec![1, 2]);
+    community.shutdown();
+}
