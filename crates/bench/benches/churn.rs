@@ -1,12 +1,14 @@
-//! Broker matchmaking latency: repository-size sweep and the
-//! syntactic-vs-semantic ablation called out in DESIGN.md.
+//! Repository churn: interleaved advertise / unadvertise / match, the
+//! workload the incremental model maintenance exists for. Compares the
+//! incremental path (delta saturation + delete-and-rederive) against the
+//! pre-existing full-resaturation fallback at several repository sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_ontology::{
     healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
-    ConversationType, OntologyContent, SemanticInfo, SyntacticInfo, ServiceQuery,
+    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
 
@@ -33,13 +35,13 @@ fn resource_ad(i: usize) -> Advertisement {
     )
 }
 
-fn repo_of(n: usize) -> Repository {
+fn repo_of(n: usize, incremental: bool) -> Repository {
     let mut repo = Repository::new();
     repo.register_ontology(healthcare_ontology());
+    repo.set_incremental(incremental);
     for i in 0..n {
         repo.advertise(resource_ad(i)).expect("valid advertisement");
     }
-    // Pre-saturate so the bench measures matching, not rule evaluation.
     repo.saturated();
     repo
 }
@@ -56,54 +58,49 @@ fn query() -> ServiceQuery {
         )]))
 }
 
-fn bench_repository_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matchmaking/repository-size");
-    for n in [8usize, 32, 128, 512] {
-        let mut repo = repo_of(n);
-        let q = query();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(Matchmaker::default().match_query_mut(&mut repo, &q)))
-        });
-    }
-    group.finish();
+/// One churn step: drop an agent, advertise a replacement, run a match.
+fn churn_step(repo: &mut Repository, mm: &Matchmaker, q: &ServiceQuery, step: usize, n: usize) {
+    let victim = step % n;
+    repo.unadvertise(&format!("ra{victim}"));
+    repo.advertise(resource_ad(victim)).expect("valid advertisement");
+    black_box(mm.match_query_mut(repo, q));
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matchmaking/ablation");
-    let mut repo = repo_of(128);
+fn bench_churn(c: &mut Criterion) {
+    let mm = Matchmaker::default();
     let q = query();
-    for (label, mm) in [
-        ("syntactic-only", Matchmaker { use_semantic: false, use_constraints: false }),
-        ("semantic-no-constraints", Matchmaker { use_semantic: true, use_constraints: false }),
-        ("full", Matchmaker::default()),
-    ] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(mm.match_query_mut(&mut repo, &q)))
-        });
-    }
-    group.finish();
-}
 
-fn bench_saturation(c: &mut Criterion) {
-    // Cost of recompiling + saturating the rule base after a repository
-    // change (what an advertise/unadvertise invalidates).
-    let mut group = c.benchmark_group("matchmaking/saturation");
-    group.sample_size(20);
-    for n in [32usize, 128] {
+    let mut group = c.benchmark_group("churn/incremental");
+    for n in [100usize, 1_000, 10_000] {
+        let mut repo = repo_of(n, true);
+        let mut step = 0usize;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let repo = repo_of(n);
-            b.iter_batched(
-                || repo.clone(),
-                |mut r| {
-                    r.advertise(resource_ad(n + 9999)).expect("valid");
-                    black_box(r.saturated())
-                },
-                criterion::BatchSize::SmallInput,
-            )
+            b.iter(|| {
+                churn_step(&mut repo, &mm, &q, step, n);
+                step += 1;
+            })
+        });
+    }
+    group.finish();
+
+    // The fallback path: every advertise/unadvertise drops the cached
+    // model, so each match pays a full recompile + saturation. 10k agents
+    // is omitted here (one step takes seconds); the `churn` harness binary
+    // covers it with an explicit step budget.
+    let mut group = c.benchmark_group("churn/full-resaturation");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        let mut repo = repo_of(n, false);
+        let mut step = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                churn_step(&mut repo, &mm, &q, step, n);
+                step += 1;
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_repository_sizes, bench_ablation, bench_saturation);
+criterion_group!(benches, bench_churn);
 criterion_main!(benches);

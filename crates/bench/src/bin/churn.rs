@@ -1,0 +1,134 @@
+//! Churn harness: measures interleaved advertise/unadvertise/match
+//! throughput with incremental model maintenance on and off, and writes
+//! the results to `BENCH_churn.json` for tracking across revisions.
+//!
+//! One churn step = unadvertise an agent + advertise a replacement + run
+//! one service query. With maintenance off, every step invalidates the
+//! cached saturated model and the query pays a full recompile + saturate;
+//! with it on, the model is patched by delta saturation (additions) and
+//! delete-and-rederive (retractions).
+
+use infosleuth_broker::{Matchmaker, Repository};
+use infosleuth_constraint::{Conjunction, Predicate};
+use infosleuth_ontology::{
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
+    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn resource_ad(i: usize) -> Advertisement {
+    let lo = (i % 50) as i64;
+    Advertisement::new(AgentLocation::new(
+        format!("ra{i}"),
+        format!("tcp://h{i}.mcc.com:{}", 4000 + (i % 1000)),
+        AgentType::Resource,
+    ))
+    .with_syntactic(SyntacticInfo::sql_kqml())
+    .with_semantic(
+        SemanticInfo::default()
+            .with_conversations([ConversationType::AskAll])
+            .with_capabilities([Capability::relational_query_processing()])
+            .with_content(
+                OntologyContent::new("healthcare")
+                    .with_classes(["patient", "diagnosis"])
+                    .with_slots(["patient.age", "diagnosis.code"])
+                    .with_constraints(Conjunction::from_predicates(vec![
+                        Predicate::between("patient.age", lo, lo + 30),
+                    ])),
+            ),
+    )
+}
+
+fn repo_of(n: usize, incremental: bool) -> Repository {
+    let mut repo = Repository::new();
+    repo.register_ontology(healthcare_ontology());
+    repo.set_incremental(incremental);
+    for i in 0..n {
+        repo.advertise(resource_ad(i)).expect("valid advertisement");
+    }
+    repo.saturated();
+    repo
+}
+
+fn query() -> ServiceQuery {
+    ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_query_language("SQL 2.0")
+        .with_ontology("healthcare")
+        .with_classes(["patient"])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+            "patient.age",
+            25,
+            65,
+        )]))
+}
+
+/// Runs churn steps until the step cap or the time budget is hit
+/// (always at least two steps) and returns mean nanoseconds per step.
+fn measure(n: usize, incremental: bool, max_steps: usize, budget: Duration) -> (f64, usize) {
+    let mut repo = repo_of(n, incremental);
+    let mm = Matchmaker::default();
+    let q = query();
+    let mut steps = 0usize;
+    let start = Instant::now();
+    while steps < max_steps && (steps < 2 || start.elapsed() < budget) {
+        let victim = steps % n;
+        repo.unadvertise(&format!("ra{victim}"));
+        repo.advertise(resource_ad(victim)).expect("valid advertisement");
+        black_box(mm.match_query_mut(&mut repo, &q));
+        steps += 1;
+    }
+    (start.elapsed().as_nanos() as f64 / steps as f64, steps)
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000] };
+    let (inc_steps, full_steps) = if quick { (100, 5) } else { (500, 30) };
+    let budget = Duration::from_secs(if quick { 5 } else { 60 });
+
+    println!("=== Repository churn: incremental vs full-resaturation maintenance ===");
+    println!("one step = unadvertise + advertise + match{}", if quick { " [--quick]" } else { "" });
+    println!();
+    println!("  agents   incremental/step   full-resat/step   speedup");
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let (inc_ns, inc_n) = measure(n, true, inc_steps, budget);
+        let (full_ns, full_n) = measure(n, false, full_steps, budget);
+        let speedup = full_ns / inc_ns;
+        println!(
+            "  {n:6}   {:>16}   {:>15}   {speedup:6.1}x",
+            human(inc_ns),
+            human(full_ns),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"agents\": {}, \"incremental_ns_per_step\": {:.0}, ",
+                "\"incremental_steps\": {}, \"full_ns_per_step\": {:.0}, ",
+                "\"full_steps\": {}, \"speedup\": {:.2}}}"
+            ),
+            n, inc_ns, inc_n, full_ns, full_n, speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"churn\",\n  \"step\": \"unadvertise + advertise + match\",\n  \"quick\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        quick,
+        rows.join(",\n")
+    );
+    let path = "BENCH_churn.json";
+    std::fs::write(path, &json).expect("write BENCH_churn.json");
+    println!();
+    println!("(wrote {path})");
+}

@@ -499,7 +499,7 @@ fn collaborative_search(shared: &Shared, request: &codec::SearchRequest) -> Vec<
     untruncated.max_matches = None;
     let mut matches = {
         let mut repo = shared.repo.lock();
-        shared.config.matchmaker.match_query(&mut repo, &untruncated)
+        shared.config.matchmaker.match_query_mut(&mut repo, &untruncated)
     };
 
     if request.policy.should_expand(matches.len()) {

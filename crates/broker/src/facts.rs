@@ -36,33 +36,57 @@ where
     A: IntoIterator<Item = &'a Advertisement>,
     O: IntoIterator<Item = &'a Ontology>,
 {
-    let mut db = Database::new();
+    let mut db = compile_global_facts(capability_taxonomy, ontologies);
     for ad in agents {
-        let name = Const::sym(&ad.location.name);
-        db.assert("agent", vec![name.clone(), Const::sym(ad.location.agent_type.to_string())]);
-        for l in &ad.syntactic.query_languages {
-            db.assert("lang", vec![name.clone(), Const::str(l.clone())]);
+        assert_agent_facts(&mut db, ad);
+    }
+    db
+}
+
+/// Compiles just one advertisement's facts — the delta that asserting or
+/// retracting that advertisement applies to the extensional database.
+/// Every tuple leads with the agent name, so two agents' fact sets are
+/// disjoint and an agent's facts can be added or subtracted independently.
+pub fn compile_agent_facts(ad: &Advertisement) -> Database {
+    let mut db = Database::new();
+    assert_agent_facts(&mut db, ad);
+    db
+}
+
+fn assert_agent_facts(db: &mut Database, ad: &Advertisement) {
+    let name = Const::sym(&ad.location.name);
+    db.assert("agent", vec![name.clone(), Const::sym(ad.location.agent_type.to_string())]);
+    for l in &ad.syntactic.query_languages {
+        db.assert("lang", vec![name.clone(), Const::str(l.clone())]);
+    }
+    for l in &ad.syntactic.communication_languages {
+        db.assert("comm", vec![name.clone(), Const::str(l.clone())]);
+    }
+    for c in &ad.semantic.conversations {
+        db.assert("conv", vec![name.clone(), Const::sym(c.to_string())]);
+    }
+    for c in &ad.semantic.capabilities {
+        db.assert("cap", vec![name.clone(), Const::sym(c.as_str())]);
+    }
+    for content in &ad.semantic.content {
+        let onto = Const::sym(&content.ontology);
+        db.assert("onto", vec![name.clone(), onto.clone()]);
+        for class in &content.classes {
+            db.assert("class", vec![name.clone(), onto.clone(), Const::sym(class)]);
         }
-        for l in &ad.syntactic.communication_languages {
-            db.assert("comm", vec![name.clone(), Const::str(l.clone())]);
-        }
-        for c in &ad.semantic.conversations {
-            db.assert("conv", vec![name.clone(), Const::sym(c.to_string())]);
-        }
-        for c in &ad.semantic.capabilities {
-            db.assert("cap", vec![name.clone(), Const::sym(c.as_str())]);
-        }
-        for content in &ad.semantic.content {
-            let onto = Const::sym(&content.ontology);
-            db.assert("onto", vec![name.clone(), onto.clone()]);
-            for class in &content.classes {
-                db.assert("class", vec![name.clone(), onto.clone(), Const::sym(class)]);
-            }
-            for slot in &content.slots {
-                db.assert("slot", vec![name.clone(), onto.clone(), Const::sym(slot)]);
-            }
+        for slot in &content.slots {
+            db.assert("slot", vec![name.clone(), onto.clone(), Const::sym(slot)]);
         }
     }
+}
+
+/// Compiles the advertisement-independent facts: the capability taxonomy
+/// and the domain class hierarchies.
+pub fn compile_global_facts<'a, O>(capability_taxonomy: &Taxonomy, ontologies: O) -> Database
+where
+    O: IntoIterator<Item = &'a Ontology>,
+{
+    let mut db = Database::new();
     // Capability-taxonomy edges.
     for node in capability_taxonomy.nodes() {
         for child in capability_taxonomy.children_of(node) {

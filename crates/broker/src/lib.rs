@@ -39,8 +39,11 @@ pub use broker_agent::{
     advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from,
     BrokerAgent, BrokerConfig, BrokerHandle,
 };
-pub use facts::{compile_facts, matchmaking_program, matchmaking_program_with};
+pub use facts::{
+    compile_agent_facts, compile_facts, compile_global_facts, matchmaking_program,
+    matchmaking_program_with,
+};
 pub use matchmaker::{MatchResult, Matchmaker};
 pub use objective::{AdmissionDecision, BrokerObjective};
 pub use policy::{FollowOption, SearchPolicy};
-pub use repository::{Repository, RepositoryError};
+pub use repository::{MaintenanceStats, Repository, RepositoryError};

@@ -11,6 +11,7 @@ use crate::repository::Repository;
 use infosleuth_ldl::{Atom, Literal, Saturated, Term};
 use infosleuth_ontology::{Advertisement, OntologyContent, ServiceQuery};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// One recommended agent, with the ranking score that ordered it and the
 /// §2.4 *result format* fields: the matched ontology plus the agent's
@@ -33,10 +34,11 @@ pub struct MatchResult {
 }
 
 /// Internal per-agent match outcome: the ranking score and which content
-/// record carried the semantic match.
-struct MatchOutcome {
+/// record carried the semantic match. Borrows the ontology name from the
+/// advertisement; it is cloned once, for the winning record only.
+struct MatchOutcome<'a> {
     score: u32,
-    content_ontology: Option<String>,
+    content_ontology: Option<&'a str>,
 }
 
 /// The matchmaking engine. The flags disable layers for ablation studies;
@@ -66,56 +68,191 @@ const SCORE_CONSTRAINT_COVERS_REQUEST: u32 = 3;
 const SCORE_CONSTRAINT_SPECIALIST: u32 = 2;
 const SCORE_CONSTRAINT_OVERLAP: u32 = 1;
 
+/// Candidate sets at least this large are scored across a scoped thread
+/// pool; below it, thread spawn overhead dominates the scoring work.
+const PARALLEL_SCORING_THRESHOLD: usize = 64;
+const MAX_SCORING_THREADS: usize = 8;
+
 impl Matchmaker {
     /// Matches a service query against the repository, returning
     /// recommendations ordered best-first (score descending, then name).
     /// Truncated to `query.max_matches` when set.
-    pub fn match_query(&self, repo: &mut Repository, query: &ServiceQuery) -> Vec<MatchResult> {
-        let model = repo.saturated();
-        let mut results: Vec<MatchResult> = Vec::new();
-        for ad in repo.agents() {
-            if let Some(name) = &query.agent_name {
-                if name != &ad.location.name {
-                    continue;
-                }
-            }
-            if let Some(outcome) = self.score_agent(ad, query, &model) {
-                let content = outcome
-                    .content_ontology
-                    .as_deref()
-                    .and_then(|o| ad.semantic.content_for(o));
-                results.push(MatchResult {
-                    name: ad.location.name.clone(),
-                    address: ad.location.address.clone(),
-                    score: outcome.score,
-                    estimated_response_time: ad.properties.estimated_response_time,
-                    ontology: outcome.content_ontology,
-                    classes: content
-                        .map(|c| c.classes.iter().cloned().collect())
-                        .unwrap_or_default(),
-                    slots: content
-                        .map(|c| c.slots.iter().cloned().collect())
-                        .unwrap_or_default(),
-                    keys: content
-                        .map(|c| c.keys.iter().cloned().collect())
-                        .unwrap_or_default(),
-                });
-            }
-        }
-        results.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
-        if let Some(n) = query.max_matches {
-            results.truncate(n);
-        }
-        results
+    ///
+    /// Read-only: takes the saturated model explicitly (see
+    /// [`Repository::saturated`]) so concurrent matchmaking never needs
+    /// `&mut Repository`. Candidates are narrowed through the repository's
+    /// inverted indexes before scoring, and large candidate sets are
+    /// scored in parallel; both are behavior-preserving (see
+    /// [`match_query_linear`](Self::match_query_linear), the pre-index
+    /// reference path).
+    pub fn match_query(
+        &self,
+        repo: &Repository,
+        model: &Saturated,
+        query: &ServiceQuery,
+    ) -> Vec<MatchResult> {
+        let candidates = self.candidates(repo, query);
+        let results = if candidates.len() >= PARALLEL_SCORING_THRESHOLD {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_SCORING_THREADS);
+            let chunk = candidates.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|ads| {
+                        s.spawn(move || {
+                            ads.iter()
+                                .filter_map(|ad| self.score_candidate(ad, query, model))
+                                .collect::<Vec<MatchResult>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring thread panicked"))
+                    .collect()
+            })
+        } else {
+            candidates
+                .iter()
+                .filter_map(|ad| self.score_candidate(ad, query, model))
+                .collect()
+        };
+        rank(results, query)
     }
 
-    /// Scores one advertisement against the query; `None` means no match.
-    fn score_agent(
+    /// Convenience wrapper that saturates (or reuses) the repository's
+    /// cached model first — the call shape mutation-path callers want.
+    pub fn match_query_mut(
+        &self,
+        repo: &mut Repository,
+        query: &ServiceQuery,
+    ) -> Vec<MatchResult> {
+        let model = repo.saturated();
+        self.match_query(repo, &model, query)
+    }
+
+    /// The pre-index reference path: score every advertisement serially.
+    /// Kept as the correctness oracle for the indexed/parallel
+    /// [`match_query`](Self::match_query); tests assert both agree.
+    #[doc(hidden)]
+    pub fn match_query_linear(
+        &self,
+        repo: &Repository,
+        model: &Saturated,
+        query: &ServiceQuery,
+    ) -> Vec<MatchResult> {
+        let results = repo
+            .agents()
+            .filter(|ad| match &query.agent_name {
+                Some(name) => name == &ad.location.name,
+                None => true,
+            })
+            .filter_map(|ad| self.score_candidate(ad, query, model))
+            .collect();
+        rank(results, query)
+    }
+
+    /// Narrows the scoring set through the repository's inverted indexes.
+    /// Each pushed set is a sound over-approximation of the agents that
+    /// can match one query dimension; their intersection still contains
+    /// every true match. Dimensions that cannot be soundly pruned (no
+    /// index, derived rules in play, semantic layer disabled) simply do
+    /// not push a set; with no sets at all this degrades to the full scan.
+    fn candidates<'r>(&self, repo: &'r Repository, query: &ServiceQuery) -> Vec<&'r Advertisement> {
+        if let Some(name) = &query.agent_name {
+            return repo.advertisement(name).into_iter().collect();
+        }
+        let mut sets: Vec<BTreeSet<&str>> = Vec::new();
+        // Conversation requirements are matched verbatim against the
+        // advertisement, so the index is exact.
+        for conv in &query.conversations {
+            sets.push(repo.agents_with_conversation(&conv.to_string()).collect());
+        }
+        if self.use_semantic {
+            // A required ontology means only content records of that
+            // ontology can carry the semantic match.
+            if let Some(onto) = &query.ontology {
+                sets.push(repo.agents_with_ontology(onto).collect());
+                // Each requested class must be advertised exactly, via an
+                // advertised ancestor (full coverage), or an advertised
+                // descendant (partial contribution). Derived rules can
+                // invent class memberships the index never saw, so this
+                // pruning is disabled when any are registered.
+                if !repo.has_derived_rules() {
+                    for class in &query.classes {
+                        let mut set: BTreeSet<&str> =
+                            repo.agents_with_class(onto, class).collect();
+                        if let Some(o) = repo.ontology(onto) {
+                            let hierarchy = o.hierarchy();
+                            for rel in hierarchy
+                                .ancestors(class)
+                                .into_iter()
+                                .chain(hierarchy.descendants(class))
+                            {
+                                set.extend(repo.agents_with_class(onto, &rel));
+                            }
+                        }
+                        sets.push(set);
+                    }
+                }
+            }
+            // A required capability is provided only by agents advertising
+            // it or an ancestor of it in the capability taxonomy — unless
+            // derived rules can grant capabilities indirectly.
+            if !repo.has_derived_rules() {
+                for cap in &query.capabilities {
+                    let mut set: BTreeSet<&str> =
+                        repo.agents_with_capability(cap.as_str()).collect();
+                    for anc in repo.capability_taxonomy().ancestors(cap.as_str()) {
+                        set.extend(repo.agents_with_capability(&anc));
+                    }
+                    sets.push(set);
+                }
+            }
+        }
+        let Some(mut acc) = sets.pop() else {
+            return repo.agents().collect();
+        };
+        for set in sets {
+            acc.retain(|name| set.contains(name));
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc.into_iter().filter_map(|name| repo.advertisement(name)).collect()
+    }
+
+    /// Scores one advertisement and assembles its result row.
+    fn score_candidate(
         &self,
         ad: &Advertisement,
         query: &ServiceQuery,
         model: &Saturated,
-    ) -> Option<MatchOutcome> {
+    ) -> Option<MatchResult> {
+        let outcome = self.score_agent(ad, query, model)?;
+        let content = outcome.content_ontology.and_then(|o| ad.semantic.content_for(o));
+        Some(MatchResult {
+            name: ad.location.name.clone(),
+            address: ad.location.address.clone(),
+            score: outcome.score,
+            estimated_response_time: ad.properties.estimated_response_time,
+            ontology: outcome.content_ontology.map(str::to_string),
+            classes: content.map(|c| c.classes.iter().cloned().collect()).unwrap_or_default(),
+            slots: content.map(|c| c.slots.iter().cloned().collect()).unwrap_or_default(),
+            keys: content.map(|c| c.keys.iter().cloned().collect()).unwrap_or_default(),
+        })
+    }
+
+    /// Scores one advertisement against the query; `None` means no match.
+    fn score_agent<'a>(
+        &self,
+        ad: &'a Advertisement,
+        query: &ServiceQuery,
+        model: &Saturated,
+    ) -> Option<MatchOutcome<'a>> {
         // ---- Syntactic layer -------------------------------------------
         if let Some(t) = &query.agent_type {
             if t != &ad.location.agent_type {
@@ -169,8 +306,8 @@ impl Matchmaker {
             let (best_score, best_ontology) = candidates
                 .iter()
                 .filter_map(|c| {
-                    self.score_content(ad, c, query, model)
-                        .map(|s| (s, c.ontology.clone()))
+                    self.score_content(&agent, c, query, model)
+                        .map(|s| (s, c.ontology.as_str()))
                 })
                 .max_by_key(|(s, _)| *s)?;
             score += best_score;
@@ -211,16 +348,15 @@ impl Matchmaker {
     }
 
     /// Scores one content record; `None` means this record cannot serve the
-    /// query.
+    /// query. The agent's name term is built once per agent by the caller.
     fn score_content(
         &self,
-        ad: &Advertisement,
+        agent: &Term,
         content: &OntologyContent,
         query: &ServiceQuery,
         model: &Saturated,
     ) -> Option<u32> {
         let mut score = 0;
-        let agent = Term::constant(ad.location.name.as_str());
         let onto = Term::constant(content.ontology.as_str());
 
         // Classes: every requested class must at least receive a partial
@@ -285,6 +421,17 @@ impl Matchmaker {
     }
 }
 
+/// Orders results best-first (score descending, then name — a total order,
+/// so parallel scoring cannot perturb the output) and applies the
+/// requested truncation.
+fn rank(mut results: Vec<MatchResult>, query: &ServiceQuery) -> Vec<MatchResult> {
+    results.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
+    if let Some(n) = query.max_matches {
+        results.truncate(n);
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,7 +488,7 @@ mod tests {
             .with_query_language("SQL 2.0")
             .with_capability(Capability::multiresource_query_processing())
             .one();
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "mrq");
     }
@@ -353,7 +500,7 @@ mod tests {
             .with_query_language("SQL 2.0")
             .with_ontology("paper-classes")
             .with_classes(["C2"]);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["db1", "db2"]);
         // "if the original query had been for class C3, then only DB2
@@ -362,7 +509,7 @@ mod tests {
             .with_query_language("SQL 2.0")
             .with_ontology("paper-classes")
             .with_classes(["C3"]);
-        let m3 = Matchmaker::default().match_query(&mut r, &q3);
+        let m3 = Matchmaker::default().match_query_mut(&mut r, &q3);
         assert_eq!(m3.len(), 1);
         assert_eq!(m3[0].name, "db2");
     }
@@ -392,7 +539,7 @@ mod tests {
             .with_ontology("paper-classes")
             .with_classes(["C2"])
             .one();
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "mrq2");
     }
@@ -408,7 +555,7 @@ mod tests {
         // input in a relational subset of OQL … the semantics are not
         // sufficient to distinguish."
         let q = ServiceQuery::for_agent_type(AgentType::Resource).with_query_language("SQL 2.0");
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "sql");
     }
@@ -419,10 +566,10 @@ mod tests {
         r.advertise(resource("ra", &["C1"])).unwrap(); // ask-all only
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_conversation(ConversationType::Subscribe);
-        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        assert!(Matchmaker::default().match_query_mut(&mut r, &q).is_empty());
         let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_conversation(ConversationType::AskAll);
-        assert_eq!(Matchmaker::default().match_query(&mut r, &q2).len(), 1);
+        assert_eq!(Matchmaker::default().match_query_mut(&mut r, &q2).len(), 1);
     }
 
     #[test]
@@ -438,17 +585,17 @@ mod tests {
         // Request select: both qualify.
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_capability(Capability::select());
-        assert_eq!(Matchmaker::default().match_query(&mut r, &q).len(), 2);
+        assert_eq!(Matchmaker::default().match_query_mut(&mut r, &q).len(), 2);
         // Request join: only the general agent qualifies.
         let q =
             ServiceQuery::for_agent_type(AgentType::Resource).with_capability(Capability::join());
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "general");
         // Exact capability scores above covered capability.
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_capability(Capability::select());
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m[0].name, "selector");
     }
 
@@ -496,7 +643,7 @@ mod tests {
                 Predicate::between("patient.age", 25, 65),
                 Predicate::eq("patient.diagnosis_code", "40W"),
             ]));
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "ResourceAgent5");
         assert_eq!(m[0].address, "tcp://b1.mcc.com:4356");
@@ -515,7 +662,7 @@ mod tests {
                 1,
                 10,
             )]));
-        assert!(Matchmaker::default().match_query(&mut r, &q2).is_empty());
+        assert!(Matchmaker::default().match_query_mut(&mut r, &q2).is_empty());
     }
 
     #[test]
@@ -543,7 +690,7 @@ mod tests {
                 30,
                 70,
             )]));
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["wide", "narrow", "partial"]);
     }
@@ -556,7 +703,7 @@ mod tests {
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_ontology("paper-classes")
             .with_classes(["C2"]);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         let names: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
         // Exact holder first, subclass contributor second.
         assert_eq!(names, vec!["whole", "part"]);
@@ -564,7 +711,7 @@ mod tests {
         let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_ontology("paper-classes")
             .with_classes(["C2a"]);
-        let m2 = Matchmaker::default().match_query(&mut r, &q2);
+        let m2 = Matchmaker::default().match_query_mut(&mut r, &q2);
         let names2: Vec<&str> = m2.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names2, vec!["part", "whole"]);
     }
@@ -583,13 +730,13 @@ mod tests {
             .with_ontology("paper-classes")
             .with_classes(["C1"])
             .with_slots(["b"]);
-        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        assert!(Matchmaker::default().match_query_mut(&mut r, &q).is_empty());
         // Request slot `a`: match.
         let q2 = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_ontology("paper-classes")
             .with_classes(["C1"])
             .with_slots(["a"]);
-        assert_eq!(Matchmaker::default().match_query(&mut r, &q2).len(), 1);
+        assert_eq!(Matchmaker::default().match_query_mut(&mut r, &q2).len(), 1);
     }
 
     #[test]
@@ -602,7 +749,7 @@ mod tests {
         r.advertise(slow).unwrap();
         r.advertise(fast).unwrap();
         let q = ServiceQuery::for_agent_type(AgentType::Resource).with_max_response_time(10.0);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "fast");
     }
@@ -621,15 +768,15 @@ mod tests {
         r.advertise(mobile).unwrap();
         r.advertise(fixed).unwrap();
         let q = ServiceQuery::for_agent_type(AgentType::Resource).with_mobility(true);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "rover");
         let q = ServiceQuery::for_agent_type(AgentType::Resource).with_mobility(false);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "anchor");
         let q = ServiceQuery::for_agent_type(AgentType::Resource).with_cloneability(true);
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "anchor");
     }
@@ -641,7 +788,7 @@ mod tests {
             r.advertise(resource(&format!("ra{i}"), &["C1"])).unwrap();
         }
         let q = ServiceQuery::for_agent_type(AgentType::Resource).one();
-        assert_eq!(Matchmaker::default().match_query(&mut r, &q).len(), 1);
+        assert_eq!(Matchmaker::default().match_query_mut(&mut r, &q).len(), 1);
     }
 
     #[test]
@@ -650,9 +797,9 @@ mod tests {
         r.advertise(resource("ra", &["C1"])).unwrap();
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_capability(Capability::data_mining()); // not advertised
-        assert!(Matchmaker::default().match_query(&mut r, &q).is_empty());
+        assert!(Matchmaker::default().match_query_mut(&mut r, &q).is_empty());
         let syntactic_only = Matchmaker { use_semantic: false, use_constraints: false };
-        assert_eq!(syntactic_only.match_query(&mut r, &q).len(), 1);
+        assert_eq!(syntactic_only.match_query_mut(&mut r, &q).len(), 1);
     }
 
     #[test]
@@ -662,7 +809,7 @@ mod tests {
         r.advertise(resource("ra2", &["C1"])).unwrap();
         let mut q = ServiceQuery::for_agent_type(AgentType::Resource);
         q.agent_name = Some("ra2".into());
-        let m = Matchmaker::default().match_query(&mut r, &q);
+        let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "ra2");
     }

@@ -7,13 +7,13 @@
 //! that its reasoning engine can understand and asserts it in its
 //! repository") and compiled into LDL facts on demand.
 
-use crate::facts::{compile_facts, matchmaking_program_with};
+use crate::facts::{compile_agent_facts, compile_global_facts, matchmaking_program_with};
 use infosleuth_agent::AgentAddress;
-use infosleuth_ldl::{parse_rules, LdlParseError, Rule, Saturated};
+use infosleuth_ldl::{parse_rules, Database, LdlParseError, Program, Rule, Saturated};
 use infosleuth_ontology::{
     standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, Taxonomy,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -49,10 +49,90 @@ impl fmt::Display for RepositoryError {
 
 impl std::error::Error for RepositoryError {}
 
+/// Counters for how the cached saturated model has been maintained —
+/// useful for verifying that a churn workload actually stays on the
+/// incremental path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Cached model patched in place by delta saturation / DRed.
+    pub incremental_updates: u64,
+    /// Model rebuilt from the full EDB (cold cache or invalidation).
+    pub full_recomputes: u64,
+    /// Incremental maintenance refused (negation in derived rules) and the
+    /// cache was dropped instead.
+    pub fallbacks: u64,
+}
+
+/// Inverted indexes over the advertisements, maintained on every
+/// advertise/unadvertise so matchmaking can enumerate candidate agents
+/// for a query dimension instead of scanning the whole repository.
+#[derive(Clone, Default)]
+struct AdIndex {
+    by_capability: HashMap<String, BTreeSet<String>>,
+    by_ontology: HashMap<String, BTreeSet<String>>,
+    /// `(ontology, class)` → agents advertising that class.
+    by_class: HashMap<(String, String), BTreeSet<String>>,
+    by_conversation: HashMap<String, BTreeSet<String>>,
+}
+
+impl AdIndex {
+    fn insert(&mut self, ad: &Advertisement) {
+        let name = &ad.location.name;
+        for c in &ad.semantic.capabilities {
+            self.by_capability.entry(c.as_str().to_string()).or_default().insert(name.clone());
+        }
+        for c in &ad.semantic.conversations {
+            self.by_conversation.entry(c.to_string()).or_default().insert(name.clone());
+        }
+        for content in &ad.semantic.content {
+            self.by_ontology.entry(content.ontology.clone()).or_default().insert(name.clone());
+            for class in &content.classes {
+                self.by_class
+                    .entry((content.ontology.clone(), class.clone()))
+                    .or_default()
+                    .insert(name.clone());
+            }
+        }
+    }
+
+    fn remove(&mut self, ad: &Advertisement) {
+        let name = &ad.location.name;
+        fn drop_from<K: std::hash::Hash + Eq>(
+            map: &mut HashMap<K, BTreeSet<String>>,
+            key: K,
+            name: &str,
+        ) {
+            if let Some(set) = map.get_mut(&key) {
+                set.remove(name);
+                if set.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+        for c in &ad.semantic.capabilities {
+            drop_from(&mut self.by_capability, c.as_str().to_string(), name);
+        }
+        for c in &ad.semantic.conversations {
+            drop_from(&mut self.by_conversation, c.to_string(), name);
+        }
+        for content in &ad.semantic.content {
+            drop_from(&mut self.by_ontology, content.ontology.clone(), name);
+            for class in &content.classes {
+                drop_from(&mut self.by_class, (content.ontology.clone(), class.clone()), name);
+            }
+        }
+    }
+}
+
 /// One broker's knowledge base: agent advertisements, peer broker
 /// advertisements, the capability taxonomy, and the domain ontologies the
-/// broker can reason over. The compiled + saturated LDL model is cached and
-/// invalidated on every mutation.
+/// broker can reason over.
+///
+/// The compiled extensional database and its saturated LDL model are
+/// cached; advertise/unadvertise patch both incrementally (delta
+/// saturation for assertions, delete-and-rederive for retractions)
+/// instead of invalidating the model, falling back to a full recompute
+/// when the rule base makes incremental maintenance unsound.
 #[derive(Clone)]
 pub struct Repository {
     agents: BTreeMap<String, Advertisement>,
@@ -62,7 +142,14 @@ pub struct Repository {
     /// Extra LDL rules defining derived concepts (§2.1), appended to the
     /// standard matchmaking rule base.
     derived_rules: Vec<Rule>,
+    /// The compiled EDB, kept in sync with every mutation.
+    edb: Database,
+    /// The compiled rule program (standard base + derived rules).
+    program: Option<Arc<Program>>,
+    index: AdIndex,
     saturated: Option<Arc<Saturated>>,
+    incremental: bool,
+    stats: MaintenanceStats,
 }
 
 impl Repository {
@@ -72,13 +159,19 @@ impl Repository {
     }
 
     pub fn with_capability_taxonomy(capability_taxonomy: Taxonomy) -> Self {
+        let edb = compile_global_facts(&capability_taxonomy, []);
         Repository {
             agents: BTreeMap::new(),
             brokers: BTreeMap::new(),
             capability_taxonomy,
             ontologies: BTreeMap::new(),
             derived_rules: Vec::new(),
+            edb,
+            program: None,
+            index: AdIndex::default(),
             saturated: None,
+            incremental: true,
+            stats: MaintenanceStats::default(),
         }
     }
 
@@ -86,7 +179,18 @@ impl Repository {
     /// class-subclasses and derived concepts relationships".
     pub fn register_ontology(&mut self, ontology: Ontology) {
         self.ontologies.insert(ontology.name.clone(), ontology);
+        // Global hierarchy facts changed: rebuild the EDB and drop the
+        // model (ontology registration is rare; churn is advertisements).
+        self.rebuild_edb();
         self.saturated = None;
+    }
+
+    fn rebuild_edb(&mut self) {
+        let mut edb = compile_global_facts(&self.capability_taxonomy, self.ontologies.values());
+        for ad in self.agents.values() {
+            edb.merge(&compile_agent_facts(ad));
+        }
+        self.edb = edb;
     }
 
     pub fn ontology(&self, name: &str) -> Option<&Ontology> {
@@ -119,6 +223,7 @@ impl Repository {
         candidate.extend(program.rules().iter().cloned());
         crate::facts::matchmaking_program_with(&candidate)?;
         self.derived_rules = candidate;
+        self.program = None;
         self.saturated = None;
         Ok(())
     }
@@ -168,10 +273,25 @@ impl Repository {
 
     /// Stores an advertisement (insert or update — "when an agent's set of
     /// available services changes, the agent may update its advertisement").
+    ///
+    /// The cached saturated model is patched incrementally: the previous
+    /// advertisement's facts (if any) are retracted via delete-and-rederive
+    /// and the new ones propagated via delta saturation.
     pub fn advertise(&mut self, ad: Advertisement) -> Result<(), RepositoryError> {
         self.validate(&ad)?;
-        self.agents.insert(ad.location.name.clone(), ad);
-        self.saturated = None;
+        let added = compile_agent_facts(&ad);
+        let removed = match self.agents.insert(ad.location.name.clone(), ad.clone()) {
+            Some(old) => {
+                self.index.remove(&old);
+                let old_facts = compile_agent_facts(&old);
+                self.edb.subtract(&old_facts);
+                Some(old_facts)
+            }
+            None => None,
+        };
+        self.index.insert(&ad);
+        self.edb.merge(&added);
+        self.patch_model(removed.as_ref(), Some(&added));
         Ok(())
     }
 
@@ -179,11 +299,52 @@ impl Repository {
     /// first unregisters itself from the broker"; the broker also removes
     /// agents whose pings fail). Returns whether it was present.
     pub fn unadvertise(&mut self, agent: &str) -> bool {
-        let removed = self.agents.remove(agent).is_some();
-        if removed {
-            self.saturated = None;
+        match self.agents.remove(agent) {
+            Some(old) => {
+                self.index.remove(&old);
+                let old_facts = compile_agent_facts(&old);
+                self.edb.subtract(&old_facts);
+                self.patch_model(Some(&old_facts), None);
+                true
+            }
+            None => false,
         }
-        removed
+    }
+
+    /// Applies a fact delta to the cached saturated model. With no cached
+    /// model there is nothing to patch — the next [`saturated`](Self::saturated)
+    /// call recomputes from the (already updated) EDB. When incremental
+    /// maintenance is disabled or refused (negation in derived rules), the
+    /// cache is dropped instead.
+    fn patch_model(&mut self, removed: Option<&Database>, added: Option<&Database>) {
+        let Some(mut cached) = self.saturated.take() else { return };
+        if !self.incremental {
+            return;
+        }
+        let program = self.program();
+        if program.has_negation() {
+            // The in-place patches would refuse anyway; drop the cache so
+            // the next read resaturates, and record the fallback.
+            self.stats.fallbacks += 1;
+            return;
+        }
+        // Patch in place when no other handle holds the model (the common
+        // case — readers drop their `Arc` after matching); otherwise
+        // `make_mut` copies once, which is still no worse than before.
+        let model = Arc::make_mut(&mut cached);
+        let mut ok = true;
+        if let Some(facts) = removed {
+            ok = ok && model.remove_facts_mut(&program, facts);
+        }
+        if let Some(facts) = added {
+            ok = ok && model.add_facts_mut(&program, facts);
+        }
+        if ok {
+            self.stats.incremental_updates += 1;
+            self.saturated = Some(cached);
+        } else {
+            self.stats.fallbacks += 1;
+        }
     }
 
     /// Stores a peer broker's advertisement (Fig. 13 content).
@@ -237,25 +398,87 @@ impl Repository {
         self.agents.values().map(Advertisement::approx_size_bytes).sum()
     }
 
-    /// The saturated LDL model of this repository (compiled and cached; the
-    /// cache is invalidated whenever the repository changes).
+    /// The compiled rule program (standard matchmaking base plus derived
+    /// rules), cached until the derived rules change.
+    pub fn program(&mut self) -> Arc<Program> {
+        if let Some(p) = &self.program {
+            return Arc::clone(p);
+        }
+        let program = Arc::new(
+            matchmaking_program_with(&self.derived_rules)
+                .expect("combined base verified stratifiable at registration time"),
+        );
+        self.program = Some(Arc::clone(&program));
+        program
+    }
+
+    /// The saturated LDL model of this repository. Served from cache when
+    /// possible; the cache is maintained incrementally across
+    /// advertise/unadvertise and recomputed from the EDB otherwise.
     pub fn saturated(&mut self) -> Arc<Saturated> {
         if let Some(s) = &self.saturated {
             return Arc::clone(s);
         }
-        let facts = compile_facts(
-            self.agents.values(),
-            &self.capability_taxonomy,
-            self.ontologies.values(),
-        );
-        let program = matchmaking_program_with(&self.derived_rules)
-            .expect("combined base verified stratifiable at registration time");
-        let model = program
-            .saturate(&facts)
-            .expect("matchmaking program is stratified");
+        let program = self.program();
+        let model = program.saturate(&self.edb).expect("matchmaking program is stratified");
+        self.stats.full_recomputes += 1;
         let arc = Arc::new(model);
         self.saturated = Some(Arc::clone(&arc));
         arc
+    }
+
+    /// The compiled extensional database (advertisement facts plus
+    /// taxonomy and class-hierarchy facts), always in sync with the
+    /// repository contents.
+    pub fn edb(&self) -> &Database {
+        &self.edb
+    }
+
+    /// Enables or disables incremental model maintenance. With it off,
+    /// every mutation invalidates the cached model and the next
+    /// [`saturated`](Self::saturated) call pays a full recompute — the
+    /// pre-optimization behavior, kept as a correctness oracle and for
+    /// benchmarking.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// How the cached model has been maintained so far.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Whether the derived-concept rule base permits candidate pruning
+    /// through the capability/class indexes. Derived rules can make an
+    /// agent provide capabilities or classes it never advertised, so any
+    /// index-based pruning over those dimensions must be disabled.
+    pub fn has_derived_rules(&self) -> bool {
+        !self.derived_rules.is_empty()
+    }
+
+    /// Agents advertising capability `cap` (exact, pre-subsumption).
+    pub fn agents_with_capability(&self, cap: &str) -> impl Iterator<Item = &str> {
+        self.index.by_capability.get(cap).into_iter().flatten().map(String::as_str)
+    }
+
+    /// Agents advertising content for ontology `onto`.
+    pub fn agents_with_ontology(&self, onto: &str) -> impl Iterator<Item = &str> {
+        self.index.by_ontology.get(onto).into_iter().flatten().map(String::as_str)
+    }
+
+    /// Agents advertising class `class` of ontology `onto`.
+    pub fn agents_with_class(&self, onto: &str, class: &str) -> impl Iterator<Item = &str> {
+        self.index
+            .by_class
+            .get(&(onto.to_string(), class.to_string()))
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// Agents supporting conversation type `conv`.
+    pub fn agents_with_conversation(&self, conv: &str) -> impl Iterator<Item = &str> {
+        self.index.by_conversation.get(conv).into_iter().flatten().map(String::as_str)
     }
 }
 

@@ -1,16 +1,63 @@
-//! The extensional database: ground facts indexed by predicate.
+//! The extensional database: ground facts indexed by predicate and,
+//! within a predicate, grouped by first argument.
 
 use crate::term::{Atom, Const};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// A set of ground facts, indexed by predicate name.
+/// One predicate's tuples, grouped by first argument so that probes with
+/// a bound first argument (the common shape in matchmaking: the agent
+/// name leads every per-agent fact) touch only their group. Nullary
+/// tuples live under the `None` key.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Relation {
+    by_first: HashMap<Option<Const>, HashSet<Vec<Const>>>,
+    count: usize,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Vec<Const>) -> bool {
+        let key = tuple.first().cloned();
+        let fresh = self.by_first.entry(key).or_default().insert(tuple);
+        if fresh {
+            self.count += 1;
+        }
+        fresh
+    }
+
+    fn remove(&mut self, tuple: &[Const]) -> bool {
+        let key = tuple.first().cloned();
+        if let Some(group) = self.by_first.get_mut(&key) {
+            if group.remove(tuple) {
+                self.count -= 1;
+                if group.is_empty() {
+                    self.by_first.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn contains(&self, tuple: &[Const]) -> bool {
+        self.by_first
+            .get(&tuple.first().cloned())
+            .is_some_and(|g| g.contains(tuple))
+    }
+
+    fn tuples(&self) -> impl Iterator<Item = &Vec<Const>> {
+        self.by_first.values().flatten()
+    }
+}
+
+/// A set of ground facts, indexed by predicate name and first argument.
 ///
 /// The broker keeps one `Database` per repository snapshot: advertisement
 /// records compile into facts like `agent_capability(ra5, subscription)`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Database {
-    facts: BTreeMap<String, HashSet<Vec<Const>>>,
+    facts: BTreeMap<String, Relation>,
 }
 
 impl Database {
@@ -39,31 +86,49 @@ impl Database {
 
     /// Removes a fact. Returns `true` if it was present.
     pub fn retract(&mut self, pred: &str, tuple: &[Const]) -> bool {
-        match self.facts.get_mut(pred) {
-            Some(set) => set.remove(tuple),
-            None => false,
+        let Some(rel) = self.facts.get_mut(pred) else { return false };
+        let removed = rel.remove(tuple);
+        if removed && rel.count == 0 {
+            self.facts.remove(pred);
         }
+        removed
     }
 
-    /// Removes every fact of a predicate whose tuple satisfies `keep == false`.
+    /// Removes every fact of a predicate whose tuple satisfies `drop`.
     pub fn retract_where(&mut self, pred: &str, mut drop: impl FnMut(&[Const]) -> bool) -> usize {
-        match self.facts.get_mut(pred) {
-            Some(set) => {
-                let before = set.len();
-                set.retain(|t| !drop(t));
-                before - set.len()
-            }
-            None => 0,
+        let Some(rel) = self.facts.get_mut(pred) else { return 0 };
+        let doomed: Vec<Vec<Const>> =
+            rel.tuples().filter(|t| drop(t)).cloned().collect();
+        for t in &doomed {
+            rel.remove(t);
         }
+        if rel.count == 0 {
+            self.facts.remove(pred);
+        }
+        doomed.len()
     }
 
     pub fn contains(&self, pred: &str, tuple: &[Const]) -> bool {
-        self.facts.get(pred).map(|s| s.contains(tuple)).unwrap_or(false)
+        self.facts.get(pred).is_some_and(|r| r.contains(tuple))
     }
 
     /// All tuples of a predicate.
     pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Const>> {
-        self.facts.get(pred).into_iter().flatten()
+        self.facts.get(pred).into_iter().flat_map(Relation::tuples)
+    }
+
+    /// Tuples of a predicate whose first argument equals `first` — a hash
+    /// group lookup, not a scan. Nullary tuples are never returned.
+    pub fn tuples_with_first<'a>(
+        &'a self,
+        pred: &str,
+        first: &Const,
+    ) -> impl Iterator<Item = &'a Vec<Const>> {
+        self.facts
+            .get(pred)
+            .and_then(|r| r.by_first.get(&Some(first.clone())))
+            .into_iter()
+            .flatten()
     }
 
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
@@ -72,7 +137,7 @@ impl Database {
 
     /// Total number of facts.
     pub fn len(&self) -> usize {
-        self.facts.values().map(HashSet::len).sum()
+        self.facts.values().map(|r| r.count).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -82,22 +147,43 @@ impl Database {
     /// Merges another database into this one, returning how many facts were new.
     pub fn merge(&mut self, other: &Database) -> usize {
         let mut added = 0;
-        for (pred, tuples) in &other.facts {
-            let set = self.facts.entry(pred.clone()).or_default();
-            for t in tuples {
-                if set.insert(t.clone()) {
+        for (pred, rel) in &other.facts {
+            let target = self.facts.entry(pred.clone()).or_default();
+            for t in rel.tuples() {
+                if target.insert(t.clone()) {
                     added += 1;
                 }
             }
         }
         added
     }
+
+    /// Removes every fact of `other` from this database, returning how
+    /// many were actually present.
+    pub fn subtract(&mut self, other: &Database) -> usize {
+        let mut removed = 0;
+        for (pred, rel) in &other.facts {
+            for t in rel.tuples() {
+                if self.retract(pred, t) {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates every `(predicate, tuple)` pair.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Vec<Const>)> {
+        self.facts
+            .iter()
+            .flat_map(|(pred, rel)| rel.tuples().map(move |t| (pred.as_str(), t)))
+    }
 }
 
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (pred, tuples) in &self.facts {
-            let mut sorted: Vec<_> = tuples.iter().collect();
+        for (pred, rel) in &self.facts {
+            let mut sorted: Vec<_> = rel.tuples().collect();
             sorted.sort();
             for t in sorted {
                 write!(f, "{pred}(")?;
@@ -163,6 +249,21 @@ mod tests {
     }
 
     #[test]
+    fn subtract_inverts_merge() {
+        let mut a = Database::new();
+        a.assert("p", vec![Const::int(1)]);
+        let snapshot = a.clone();
+        let mut b = Database::new();
+        b.assert("p", vec![Const::int(2)]);
+        b.assert("q", vec![Const::sym("z")]);
+        a.merge(&b);
+        assert_eq!(a.subtract(&b), 2);
+        assert_eq!(a, snapshot);
+        // Subtracting facts that are absent is a no-op.
+        assert_eq!(a.subtract(&b), 0);
+    }
+
+    #[test]
     fn assert_str_parses_facts() {
         let mut db = Database::new();
         db.assert_str("isa(relational, select).").unwrap();
@@ -177,5 +278,39 @@ mod tests {
         db.assert("a", vec![Const::int(1)]);
         let text = db.to_string();
         assert_eq!(text, "a(1).\nb(2).\n");
+    }
+
+    #[test]
+    fn first_arg_groups_probe_without_scanning() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.assert("cap", vec![Const::sym(format!("a{i}")), Const::int(i)]);
+        }
+        let hits: Vec<_> = db.tuples_with_first("cap", &Const::sym("a3")).collect();
+        assert_eq!(hits, vec![&vec![Const::sym("a3"), Const::int(3)]]);
+        assert!(db.tuples_with_first("cap", &Const::sym("zz")).next().is_none());
+        assert!(db.tuples_with_first("nope", &Const::sym("a3")).next().is_none());
+    }
+
+    #[test]
+    fn retract_leaves_no_empty_residue() {
+        // Structural equality must not distinguish "never asserted" from
+        // "asserted then retracted" — incremental maintenance relies on it.
+        let mut db = Database::new();
+        db.assert("p", vec![Const::sym("a"), Const::int(1)]);
+        db.retract("p", &[Const::sym("a"), Const::int(1)]);
+        assert_eq!(db, Database::new());
+        assert_eq!(db.predicates().count(), 0);
+    }
+
+    #[test]
+    fn iter_walks_every_fact() {
+        let mut db = Database::new();
+        db.assert("p", vec![Const::int(1)]);
+        db.assert("q", vec![Const::sym("a"), Const::int(2)]);
+        let mut seen: Vec<String> =
+            db.iter().map(|(p, t)| format!("{p}/{}", t.len())).collect();
+        seen.sort();
+        assert_eq!(seen, vec!["p/1", "q/2"]);
     }
 }

@@ -705,10 +705,11 @@ mod tests {
         // single broker's repository, it will take a minimum of [32]
         // seconds to respond to a query."
         let r = run_broker_sim(quick(Strategy::Single, 120.0));
-        // Complexity ~ Gaussian(1.0, 0.1) can dip below 1, so the observed
-        // minimum sits somewhat below the 32 s nominal scan time; the mean
-        // must not.
-        assert!(r.response.min() >= 10.0, "min {}", r.response.min());
+        // Complexity ~ Gaussian(1.0, 0.1) can dip below 1 (sd ~ 0.32, and
+        // the truncation floor is 0), so the observed minimum sits well
+        // below the 32 s nominal scan time; the mean must not. Keep the
+        // min bound loose enough to survive a ~3-sigma dip on any seed.
+        assert!(r.response.min() >= 2.0, "min {}", r.response.min());
         assert!(r.response.mean() >= 25.0, "mean {}", r.response.mean());
     }
 

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the bench crate uses, with a
+//! real (if simple) wall-clock measurement loop: warm-up, then timed
+//! batches until a target measurement time elapses, reporting mean
+//! ns/iter. No statistics beyond the mean, no HTML reports. `--quick` (or
+//! `CRITERION_QUICK=1`) shrinks the measurement window for smoke runs.
+//! See `vendor/README.md` for why this stub exists.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Converts anything usable as a benchmark label into the printed id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement loop handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly until the measurement window is
+    /// spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-call estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        // Batch enough calls that each timed batch is ~1/10 of the window.
+        let per_batch =
+            ((self.measurement_time.as_secs_f64() / 10.0) / estimate.as_secs_f64()).ceil();
+        let per_batch = (per_batch as u64).clamp(1, 1 << 20);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement_time.as_secs_f64() / estimate.as_secs_f64()).ceil();
+        let budget_iters = (budget_iters as u64).clamp(1, 1 << 16);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..budget_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn measurement_time() -> Duration {
+    if quick_mode() { Duration::from_millis(20) } else { Duration::from_millis(300) }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { measurement_time: measurement_time(), mean_ns: 0.0, iters: 0 };
+    f(&mut b);
+    println!("{id:<60} time: {:>12}   ({} iters)", human(b.mean_ns), b.iters);
+}
+
+/// The top-level harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b =
+            Bencher { measurement_time: Duration::from_millis(5), mean_ns: 0.0, iters: 0 };
+        b.iter(|| black_box(21u64 * 2));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(12.3), "12.3 ns");
+        assert_eq!(human(12_300.0), "12.30 µs");
+        assert_eq!(human(12_300_000.0), "12.30 ms");
+    }
+}

@@ -1,0 +1,614 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple and regex-string strategies, `Just`, `any`,
+//! `prop_oneof!`, `proptest::collection::{vec, btree_set}`,
+//! `proptest::option::of`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name), there is **no shrinking**
+//! (a failure reports the case number and panics with the assertion
+//! message), and regex strategies support only the character-class +
+//! quantifier subset the tests use. See `vendor/README.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The per-case random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        self.0.random_range(0..bound.max(1))
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+}
+
+/// A value generator. Upstream proptest separates strategies from value
+/// trees (for shrinking); without shrinking a strategy is just a sampler.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy: at each of `depth` levels, generation
+    /// chooses between the leaf strategy and one application of `branch`
+    /// to the previous level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = Union::new(vec![leaf.clone(), branch(level).boxed()]).boxed();
+        }
+        level
+    }
+}
+
+/// Object-safe strategy handle; cheap to clone.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted alternative strategies — the
+/// engine behind `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.f64_unit()
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- Range strategies --------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- Tuple strategies --------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- Regex-subset string strategies ------------------------------------
+
+/// One regex atom: a set of candidate chars plus a repetition range.
+struct RegexPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset the tests use: literals, `[a-z0-9_-]` classes,
+/// and `{n}` / `{n,m}` quantifiers (plus `?`, `*`, `+` for good measure,
+/// with a small implicit cap).
+fn parse_regex_subset(pattern: &str) -> Vec<RegexPiece> {
+    let mut pieces = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in it.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' => {
+                            // Range if a start char precedes and an end
+                            // char follows; trailing '-' is a literal.
+                            prev = match prev {
+                                Some(start) => {
+                                    set.pop();
+                                    // Peek consumed in next iteration via
+                                    // marker: store sentinel range start.
+                                    set.push('\u{0}');
+                                    set.push(start);
+                                    None
+                                }
+                                None => {
+                                    set.push('-');
+                                    None
+                                }
+                            };
+                        }
+                        d => {
+                            // Complete a pending range sentinel?
+                            if set.len() >= 2 && set[set.len() - 2] == '\u{0}' {
+                                let start = set.pop().unwrap();
+                                set.pop(); // sentinel
+                                for code in (start as u32)..=(d as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                                prev = None;
+                            } else {
+                                set.push(d);
+                                prev = Some(d);
+                            }
+                        }
+                    }
+                }
+                // Unfinished "a-" at the very end: keep both literally.
+                if set.len() >= 2 && set[set.len() - 2] == '\u{0}' {
+                    let start = set.pop().unwrap();
+                    set.pop();
+                    set.push(start);
+                    set.push('-');
+                }
+                set
+            }
+            '\\' => vec![it.next().unwrap_or('\\')],
+            other => vec![other],
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(8))
+                    }
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(RegexPiece { chars, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_regex_subset(self) {
+            let n = piece.min + rng.usize_below(piece.max - piece.min + 1);
+            for _ in 0..n {
+                if piece.chars.is_empty() {
+                    continue;
+                }
+                out.push(piece.chars[rng.usize_below(piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---- Collections and option --------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let n = self.size.start + rng.usize_below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` whose size lands in `size` when the element domain
+    /// allows; duplicate draws are retried a bounded number of times.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let target = self.size.start + rng.usize_below(span);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---- Test runner -------------------------------------------------------
+
+/// Number of cases per property (`PROPTEST_CASES` overrides).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `body` over `cases()` generated inputs; panics (with the case
+/// index) on the first failure. No shrinking.
+pub fn run_cases(name: &str, body: impl Fn(&mut TestRng)) {
+    let base = seed_for(name);
+    for case in 0..cases() {
+        let mut rng = TestRng::from_seed(base.wrapping_add(case));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest case {case}/{} failed for '{name}' (seed {base})", cases());
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+// ---- Macros ------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-c]{1}".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(("a"..="c").contains(&s.as_str()), "bad sample {s}");
+            let t = "[a-z][a-z0-9_-]{0,12}".generate(&mut rng);
+            assert!(!t.is_empty() && t.len() <= 13);
+            let mut chars = t.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'
+                || c == '-'));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = collection::vec((0u8..8, -5i64..=5, "[a-b]{1}"), 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            for (a, b, s) in &v {
+                assert!(*a < 8);
+                assert!((-5..=5).contains(b));
+                assert!(s == "a" || s == "b");
+            }
+        }
+    }
+
+    #[test]
+    fn union_and_recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 5, |inner| {
+            collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::from_seed(3);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::from_seed(4);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        /// The proptest! macro itself: args bind, asserts run.
+        #[test]
+        fn macro_smoke(a in 0u8..8, b in any::<bool>()) {
+            prop_assert!(a < 8);
+            prop_assert_eq!(b & !b, false, "contradiction with {}", a);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on wire-adjacent types
+//! but performs all actual encoding through its own KQML/SExpr codecs, so
+//! no serialization machinery is required to build or test. This stub
+//! provides the trait names (for bounds) and re-exports the no-op derive
+//! macros. If real serialization is ever needed, swap this crate for
+//! upstream serde — call sites are source-compatible. See
+//! `vendor/README.md`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

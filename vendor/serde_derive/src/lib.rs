@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stub. They accept (and ignore) `#[serde(...)]` attributes and expand to
+//! nothing: the workspace never uses the serde traits as bounds, only as
+//! derive annotations marking wire-adjacent types.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
