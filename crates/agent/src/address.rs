@@ -106,4 +106,55 @@ mod tests {
         assert_eq!(AgentAddress::parse("tcp://:80"), Err(AddressError::EmptyHost));
         assert!(AgentAddress::parse("tcp://host:70000").is_err());
     }
+
+    #[test]
+    fn rejects_more_malformed_addresses() {
+        assert_eq!(AgentAddress::parse(""), Err(AddressError::MissingScheme));
+        assert_eq!(AgentAddress::parse("tcp://"), Err(AddressError::MissingPort));
+        assert_eq!(AgentAddress::parse("://host:80"), Err(AddressError::UnsupportedScheme(String::new())));
+        assert_eq!(
+            AgentAddress::parse("udp://host:80"),
+            Err(AddressError::UnsupportedScheme("udp".into()))
+        );
+        assert_eq!(AgentAddress::parse("tcp://host:"), Err(AddressError::InvalidPort(String::new())));
+        assert_eq!(
+            AgentAddress::parse("tcp://host:-1"),
+            Err(AddressError::InvalidPort("-1".into()))
+        );
+        assert_eq!(
+            AgentAddress::parse("tcp://host:80 "),
+            Err(AddressError::InvalidPort("80 ".into()))
+        );
+    }
+
+    #[test]
+    fn ipv6_style_hosts_keep_the_last_colon_as_port() {
+        // rsplit_once means the final colon segment is always the port.
+        let a = AgentAddress::parse("tcp://::1:4356").unwrap();
+        assert_eq!(a.host, "::1");
+        assert_eq!(a.port, 4356);
+    }
+
+    #[test]
+    fn round_trips_every_generated_address() {
+        for (host, port) in [
+            ("b1.mcc.com", 4356u16),
+            ("127.0.0.1", 1),
+            ("localhost", u16::MAX),
+            ("a", 80),
+        ] {
+            let a = AgentAddress::tcp(host, port);
+            let b: AgentAddress = a.to_string().parse().unwrap();
+            assert_eq!(a, b, "round trip of {a}");
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        // The Display impls carry the offending fragment for diagnostics.
+        let e = AgentAddress::parse("http://x:1").unwrap_err();
+        assert!(e.to_string().contains("http"));
+        let e = AgentAddress::parse("tcp://host:nope").unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
 }

@@ -1,61 +1,26 @@
-//! The in-process message bus and per-agent endpoints.
+//! The in-process [`Transport`]: a shared registry of agent mailboxes.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{
+    mailbox, BusError, Envelope, Mailbox, MailboxSender, Transport, TransportExt,
+};
 use infosleuth_kqml::Message;
 use parking_lot::RwLock;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// A delivered message with its envelope metadata.
-#[derive(Debug, Clone)]
-pub struct Envelope {
-    pub from: String,
-    pub to: String,
-    pub message: Message,
-}
-
-/// Errors from bus operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BusError {
-    /// No agent with that name is registered (it never existed, has
-    /// unregistered, or has "died") — the transport-layer connection
-    /// failure of §4.2.2.
-    UnknownAgent(String),
-    /// The agent name is already taken.
-    DuplicateAgent(String),
-    /// No reply arrived within the timeout.
-    Timeout { waiting_on: String },
-    /// The local endpoint was shut down.
-    Closed,
-}
-
-impl fmt::Display for BusError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BusError::UnknownAgent(a) => write!(f, "no agent '{a}' registered on the bus"),
-            BusError::DuplicateAgent(a) => write!(f, "agent name '{a}' already registered"),
-            BusError::Timeout { waiting_on } => {
-                write!(f, "timed out waiting for a reply from '{waiting_on}'")
-            }
-            BusError::Closed => write!(f, "endpoint is closed"),
-        }
-    }
-}
-
-impl std::error::Error for BusError {}
 
 #[derive(Default)]
 struct Registry {
-    mailboxes: HashMap<String, Sender<Envelope>>,
+    mailboxes: HashMap<String, MailboxSender>,
 }
 
 /// The shared in-process transport: a registry of agent mailboxes.
 ///
 /// `Bus` is cheap to clone (it is an `Arc` internally); all clones see the
-/// same registry.
+/// same registry. It is one of two [`Transport`] implementations — the
+/// other is the networked [`TcpTransport`](crate::TcpTransport) — and the
+/// default for single-process communities and tests.
 #[derive(Clone, Default)]
 pub struct Bus {
     registry: Arc<RwLock<Registry>>,
@@ -67,17 +32,15 @@ impl Bus {
         Bus::default()
     }
 
+    /// This bus as a shareable transport trait object.
+    pub fn as_transport(&self) -> Arc<dyn Transport> {
+        Arc::new(self.clone())
+    }
+
     /// Registers an agent and returns its endpoint. Names must be unique —
     /// the service ontology requires a "unique identifier for the agent".
-    pub fn register(&self, name: impl Into<String>) -> Result<Endpoint, BusError> {
-        let name = name.into();
-        let mut reg = self.registry.write();
-        if reg.mailboxes.contains_key(&name) {
-            return Err(BusError::DuplicateAgent(name));
-        }
-        let (tx, rx) = unbounded();
-        reg.mailboxes.insert(name.clone(), tx);
-        Ok(Endpoint { name, bus: self.clone(), rx, pending: VecDeque::new() })
+    pub fn register(&self, name: impl Into<String>) -> Result<crate::Endpoint, BusError> {
+        self.as_transport().endpoint(name)
     }
 
     /// Removes an agent from the bus. Subsequent sends to it fail exactly
@@ -107,8 +70,7 @@ impl Bus {
             .mailboxes
             .get(to)
             .ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
-        tx.send(Envelope { from: from.to_string(), to: to.to_string(), message })
-            .map_err(|_| BusError::UnknownAgent(to.to_string()))
+        tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
     }
 
     /// A fresh conversation id (for `:reply-with`).
@@ -118,95 +80,41 @@ impl Bus {
     }
 }
 
+impl Transport for Bus {
+    fn open_mailbox(&self, name: &str) -> Result<Mailbox, BusError> {
+        let mut reg = self.registry.write();
+        if reg.mailboxes.contains_key(name) {
+            return Err(BusError::DuplicateAgent(name.to_string()));
+        }
+        let (tx, rx) = mailbox();
+        reg.mailboxes.insert(name.to_string(), tx);
+        Ok(rx)
+    }
+
+    fn unregister(&self, name: &str) -> bool {
+        Bus::unregister(self, name)
+    }
+
+    fn is_registered(&self, name: &str) -> bool {
+        Bus::is_registered(self, name)
+    }
+
+    fn agents(&self) -> Vec<String> {
+        Bus::agents(self)
+    }
+
+    fn send(&self, from: &str, to: &str, message: Message) -> Result<(), BusError> {
+        Bus::send(self, from, to, message)
+    }
+
+    fn next_conversation_id(&self, prefix: &str) -> String {
+        Bus::next_conversation_id(self, prefix)
+    }
+}
+
 impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Bus").field("agents", &self.agents()).finish()
-    }
-}
-
-/// One agent's connection to the bus: a name, an inbox, and send helpers.
-pub struct Endpoint {
-    name: String,
-    bus: Bus,
-    rx: Receiver<Envelope>,
-    /// Messages received while waiting for a specific reply; drained by the
-    /// next plain `recv`.
-    pending: VecDeque<Envelope>,
-}
-
-impl Endpoint {
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    pub fn bus(&self) -> &Bus {
-        &self.bus
-    }
-
-    /// Sends a message, stamping `:sender`.
-    pub fn send(&self, to: &str, mut message: Message) -> Result<(), BusError> {
-        message.set("sender", infosleuth_kqml::SExpr::atom(&self.name));
-        message.set("receiver", infosleuth_kqml::SExpr::atom(to));
-        self.bus.send(&self.name, to, message)
-    }
-
-    /// Receives the next message, if one is queued.
-    pub fn try_recv(&mut self) -> Option<Envelope> {
-        if let Some(e) = self.pending.pop_front() {
-            return Some(e);
-        }
-        self.rx.try_recv().ok()
-    }
-
-    /// Receives the next message, waiting up to `timeout`.
-    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Envelope> {
-        if let Some(e) = self.pending.pop_front() {
-            return Some(e);
-        }
-        self.rx.recv_timeout(timeout).ok()
-    }
-
-    /// Request/reply: sends `message` with a fresh `:reply-with` id and
-    /// waits for the message whose `:in-reply-to` matches. Unrelated
-    /// messages that arrive meanwhile are buffered for later `recv` calls.
-    pub fn request(
-        &mut self,
-        to: &str,
-        mut message: Message,
-        timeout: Duration,
-    ) -> Result<Message, BusError> {
-        let id = self.bus.next_conversation_id(&self.name);
-        message.set("reply-with", infosleuth_kqml::SExpr::atom(&id));
-        self.send(to, message)?;
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(BusError::Timeout { waiting_on: to.to_string() });
-            }
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) => {
-                    if env.message.in_reply_to() == Some(id.as_str()) {
-                        return Ok(env.message);
-                    }
-                    self.pending.push_back(env);
-                }
-                Err(_) => return Err(BusError::Timeout { waiting_on: to.to_string() }),
-            }
-        }
-    }
-
-    /// Unregisters this endpoint from the bus (an explicit, clean exit;
-    /// dropping the endpoint without calling this models a crash where the
-    /// stale mailbox entry lingers until someone notices the agent is gone).
-    pub fn unregister(self) {
-        self.bus.unregister(&self.name);
-    }
-}
-
-impl fmt::Debug for Endpoint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint").field("name", &self.name).finish()
     }
 }
 
@@ -214,6 +122,7 @@ impl fmt::Debug for Endpoint {
 mod tests {
     use super::*;
     use infosleuth_kqml::{Performative, SExpr};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn register_send_receive() {
@@ -296,6 +205,56 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, BusError::Timeout { .. }));
+    }
+
+    #[test]
+    fn request_fails_fast_when_peer_unregisters() {
+        // A peer that dies mid-conversation is reported as UnknownAgent well
+        // before the full timeout elapses (§4.2.2 transport-layer failure),
+        // instead of leaving the requester to wait out the deadline.
+        let bus = Bus::new();
+        let mut client = bus.register("client").unwrap();
+        let doomed = bus.register("doomed").unwrap();
+        let bus2 = bus.clone();
+        let t = std::thread::spawn(move || {
+            // Receive the request, then die without replying.
+            let mut ep = doomed;
+            let _ = ep.recv_timeout(Duration::from_secs(2));
+            ep.unregister();
+            drop(bus2);
+        });
+        let started = Instant::now();
+        let err = client
+            .request("doomed", Message::new(Performative::AskOne), Duration::from_secs(30))
+            .unwrap_err();
+        assert!(matches!(err, BusError::UnknownAgent(_)), "got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "fail-fast took {:?}",
+            started.elapsed()
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn request_honors_last_gasp_reply_from_dying_peer() {
+        // If the peer replies and then immediately unregisters, the reply
+        // still wins over the death notice.
+        let bus = Bus::new();
+        let mut client = bus.register("client").unwrap();
+        let server = bus.register("server").unwrap();
+        let t = std::thread::spawn(move || {
+            let mut ep = server;
+            let env = ep.recv_timeout(Duration::from_secs(2)).unwrap();
+            let reply = env.message.reply_skeleton(Performative::Reply);
+            ep.send(&env.from, reply).unwrap();
+            ep.unregister();
+        });
+        let reply = client
+            .request("server", Message::new(Performative::AskOne), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        t.join().unwrap();
     }
 
     #[test]

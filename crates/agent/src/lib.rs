@@ -1,24 +1,40 @@
-//! Agent infrastructure: addresses, the message bus, mailboxes, liveness
-//! pings, and the known/connected broker lists of §4.2.
+//! Agent infrastructure: addresses, pluggable transports, the shared
+//! agent runtime, liveness pings, and the known/connected broker lists of
+//! §4.2.
 //!
-//! The paper's agents talked KQML over TCP between Sparc workstations. This
-//! crate provides the equivalent in-process fabric: every agent registers a
-//! mailbox on a [`Bus`] under its unique name; [`Endpoint`]s send KQML
+//! The paper's agents talked KQML over TCP between Sparc workstations.
+//! This crate provides both halves of that story behind one [`Transport`]
+//! trait: the in-process [`Bus`] (the default for tests and single-node
+//! communities) and the [`TcpTransport`] (length-prefixed KQML frames to
+//! the `tcp://host:port` addresses of Fig. 8). Every agent registers a
+//! mailbox under its unique name; [`Endpoint`]s send KQML
 //! [`Message`](infosleuth_kqml::Message)s, run request/reply conversations
-//! with timeouts, and detect dead peers exactly the way the paper describes
-//! ("either the transport layer will fail to make the connection to the
-//! broker or the broker will fail to respond").
+//! with timeouts, and detect dead peers exactly the way the paper
+//! describes ("either the transport layer will fail to make the
+//! connection to the broker or the broker will fail to respond").
 //!
-//! Agent *addresses* keep the paper's syntax (`tcp://b1.mcc.com:4356`) so
-//! that advertisements carry realistic contact directions even though
-//! delivery is in-process.
+//! Agents themselves are hosted on an [`AgentRuntime`]: a shared event
+//! loop with a bounded worker pool, per-agent in-flight caps for
+//! backpressure, and non-overlapping periodic ticks — replacing the
+//! seed's one-thread-per-agent-plus-one-thread-per-message design.
 
 mod address;
 mod broker_lists;
 mod bus;
 mod ping;
+mod runtime;
+mod tcp;
+mod transport;
 
 pub use address::{AgentAddress, AddressError};
 pub use broker_lists::{BrokerLists, ReadvertisePlan};
-pub use bus::{Bus, BusError, Endpoint, Envelope};
+pub use bus::Bus;
 pub use ping::ping;
+pub use runtime::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, RuntimeConfig, LOG_ONTOLOGY,
+};
+pub use tcp::TcpTransport;
+pub use transport::{
+    mailbox, BusError, Endpoint, Envelope, Mailbox, MailboxSender, Requester, Transport,
+    TransportError, TransportExt,
+};

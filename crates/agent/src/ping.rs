@@ -1,6 +1,6 @@
 //! The "broker ping" of §4.2.2.
 
-use crate::bus::{BusError, Endpoint};
+use crate::transport::{BusError, Requester};
 use infosleuth_kqml::{Message, Performative, SExpr};
 use std::time::Duration;
 
@@ -13,12 +13,15 @@ use std::time::Duration;
 /// information about the agent that is doing the querying, [the agent] will
 /// receive a reply containing no matches."
 ///
+/// Works from any [`Requester`] — an owned [`Endpoint`](crate::Endpoint)
+/// or a runtime [`AgentContext`](crate::AgentContext) reference.
+///
 /// Returns:
 /// * `Ok(true)` — the target replied and (if asked) still knows `about`;
 /// * `Ok(false)` — the target replied but no longer knows `about`;
 /// * `Err(_)` — transport failure or timeout: the target is presumed dead.
-pub fn ping(
-    endpoint: &mut Endpoint,
+pub fn ping<R: Requester>(
+    requester: &mut R,
     target: &str,
     about: Option<&str>,
     timeout: Duration,
@@ -27,7 +30,7 @@ pub fn ping(
     if let Some(agent) = about {
         msg.set("content", SExpr::atom(agent));
     }
-    let reply = endpoint.request(target, msg, timeout)?;
+    let reply = requester.request(target, msg, timeout)?;
     match reply.performative {
         // `sorry` = alive but holding no information about the agent.
         Performative::Sorry => Ok(false),

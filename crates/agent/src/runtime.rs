@@ -1,0 +1,728 @@
+//! The shared agent runtime: one event loop and a bounded worker pool
+//! hosting many agents on one [`Transport`].
+//!
+//! The seed gave every agent a dedicated loop thread and spawned an
+//! unbounded thread per incoming envelope (and per liveness sweep). The
+//! runtime replaces all of that: agents are [`AgentBehavior`]s whose
+//! `on_message` handlers run on a fixed pool, with a per-agent in-flight
+//! cap for backpressure (excess messages simply wait in the transport
+//! mailbox) and periodic `on_tick` callbacks that never overlap
+//! themselves. Handlers may block on request/reply conversations — that
+//! is why the pool is sized above one; every request carries a timeout,
+//! so a saturated pool degrades to slow, never to stuck.
+
+use crate::transport::{
+    Envelope, Requester, Transport, TransportError, TransportExt,
+};
+use infosleuth_kqml::{Message, Performative, SExpr};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ontology tag on delivery-failure log tells sent to the monitor agent.
+pub const LOG_ONTOLOGY: &str = "infosleuth-log";
+
+/// Tuning knobs for an [`AgentRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads shared by every hosted agent. Must be at least 2
+    /// when hosted agents query each other (a request from agent A to
+    /// agent B needs a free worker to run B's handler while A's blocks).
+    pub workers: usize,
+    /// Maximum envelopes of one agent being handled concurrently. Excess
+    /// traffic queues in the transport mailbox — this is the backpressure
+    /// boundary.
+    pub per_agent_inflight: usize,
+    /// How often the event loop polls mailboxes and tick deadlines.
+    pub poll_interval: Duration,
+    /// Agent name to notify (best-effort `tell`, ontology
+    /// [`LOG_ONTOLOGY`]) whenever a hosted agent's send fails.
+    pub monitor: Option<String>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 8,
+            per_agent_inflight: 4,
+            poll_interval: Duration::from_millis(2),
+            monitor: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_per_agent_inflight(mut self, cap: usize) -> Self {
+        self.per_agent_inflight = cap.max(1);
+        self
+    }
+
+    pub fn with_monitor(mut self, monitor: impl Into<String>) -> Self {
+        self.monitor = Some(monitor.into());
+        self
+    }
+}
+
+/// An agent hosted on the runtime: a message handler plus optional
+/// periodic maintenance.
+///
+/// Handlers receive `&self` and run concurrently (up to the per-agent
+/// in-flight cap), so behaviors guard their state internally — exactly
+/// like the seed's thread-per-envelope agents did, minus the unbounded
+/// spawning.
+pub trait AgentBehavior: Send + Sync + 'static {
+    /// Handles one delivered envelope. Runs on a pool worker; may block
+    /// on (timeout-bounded) requests.
+    fn on_message(&self, ctx: &AgentContext, env: Envelope);
+
+    /// If `Some`, [`AgentBehavior::on_tick`] fires roughly this often.
+    fn tick_interval(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Periodic maintenance (liveness sweeps, readvertising, subscription
+    /// refresh). A tick never overlaps a previous tick of the same agent.
+    fn on_tick(&self, _ctx: &AgentContext) {}
+
+    /// Called once when the agent is stopped and its in-flight work has
+    /// drained.
+    fn on_stop(&self, _ctx: &AgentContext) {}
+}
+
+/// The runtime-provided face of the transport for one hosted agent:
+/// sends that stamp the agent's name and account for delivery failures,
+/// and request/reply conversations over ephemeral endpoints.
+pub struct AgentContext {
+    name: String,
+    transport: Arc<dyn Transport>,
+    worker_seq: AtomicU64,
+    delivery_failures: AtomicU64,
+    monitor: Option<String>,
+}
+
+impl AgentContext {
+    fn new(name: String, transport: Arc<dyn Transport>, monitor: Option<String>) -> Self {
+        AgentContext {
+            name,
+            transport,
+            worker_seq: AtomicU64::new(0),
+            delivery_failures: AtomicU64::new(0),
+            monitor,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Sends a message as this agent. A failure is *counted* (and
+    /// reported to the configured monitor agent) rather than silently
+    /// dropped: a peer that cannot be reached is exactly the §4.2.2 death
+    /// signal the brokers act on.
+    pub fn send(&self, to: &str, mut message: Message) -> Result<(), TransportError> {
+        message.set("sender", SExpr::atom(&self.name));
+        message.set("receiver", SExpr::atom(to));
+        let performative = message.performative.clone();
+        match self.transport.send(&self.name, to, message) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_delivery_failure(to, performative);
+                Err(e)
+            }
+        }
+    }
+
+    /// Records a failed delivery and notifies the monitor agent
+    /// (best-effort; monitor logging never recurses or counts itself).
+    pub fn note_delivery_failure(&self, to: &str, performative: Performative) {
+        let count = self.delivery_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(monitor) = &self.monitor {
+            if monitor != &self.name && monitor != to {
+                let mut log = Message::new(Performative::Tell).with_content(SExpr::list(vec![
+                    SExpr::atom("delivery-failure"),
+                    SExpr::atom(&self.name),
+                    SExpr::atom(to),
+                    SExpr::Atom(performative.to_string()),
+                    SExpr::Atom(count.to_string()),
+                ]));
+                log.set("sender", SExpr::atom(&self.name));
+                log.set("receiver", SExpr::atom(monitor));
+                log.set("ontology", SExpr::atom(LOG_ONTOLOGY));
+                let _ = self.transport.send(&self.name, monitor, log);
+            }
+        }
+    }
+
+    /// Total sends by this agent that the transport refused.
+    pub fn delivery_failures(&self) -> u64 {
+        self.delivery_failures.load(Ordering::Relaxed)
+    }
+
+    /// Runs a request/reply conversation through a fresh ephemeral
+    /// endpoint (`{name}.w{seq}`), so concurrent handlers never steal
+    /// each other's replies.
+    pub fn request(
+        &self,
+        to: &str,
+        message: Message,
+        timeout: Duration,
+    ) -> Result<Message, TransportError> {
+        let mut ep = self.ephemeral_endpoint()?;
+        let result = ep.request(to, message, timeout);
+        ep.unregister();
+        if matches!(result, Err(TransportError::UnknownAgent(_) | TransportError::Io(_))) {
+            // The request never reached (or never came back from) the
+            // peer; account for it like any other failed delivery.
+            self.note_delivery_failure(to, Performative::AskOne);
+        }
+        result
+    }
+
+    /// A fresh uniquely-named endpoint for a side conversation.
+    pub fn ephemeral_endpoint(&self) -> Result<crate::Endpoint, TransportError> {
+        loop {
+            let seq = self.worker_seq.fetch_add(1, Ordering::Relaxed);
+            match self.transport.endpoint(format!("{}.w{seq}", self.name)) {
+                Err(TransportError::DuplicateAgent(_)) => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Requester for &AgentContext {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn request(
+        &mut self,
+        to: &str,
+        message: Message,
+        timeout: Duration,
+    ) -> Result<Message, TransportError> {
+        AgentContext::request(self, to, message, timeout)
+    }
+}
+
+struct AgentSlot {
+    name: String,
+    behavior: Arc<dyn AgentBehavior>,
+    ctx: Arc<AgentContext>,
+    /// Only the event loop pulls from the mailbox; the mutex makes the
+    /// single-consumer receiver shareable inside the `Arc`.
+    mailbox: Mutex<crate::transport::Mailbox>,
+    inflight: AtomicUsize,
+    tick_running: AtomicBool,
+    stopped: AtomicBool,
+    finalized: AtomicBool,
+    last_tick: Mutex<Instant>,
+}
+
+impl AgentSlot {
+    fn idle(&self) -> bool {
+        self.inflight.load(Ordering::Acquire) == 0
+            && !self.tick_running.load(Ordering::Acquire)
+    }
+}
+
+enum Job {
+    Message(Arc<AgentSlot>, Envelope),
+    Tick(Arc<AgentSlot>),
+}
+
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    available: Condvar,
+}
+
+struct JobQueueInner {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new(JobQueueInner { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return;
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+struct RuntimeShared {
+    transport: Arc<dyn Transport>,
+    config: RuntimeConfig,
+    slots: Mutex<Vec<Arc<AgentSlot>>>,
+    queue: JobQueue,
+    shutting_down: AtomicBool,
+}
+
+/// A shared event loop hosting many agents over one transport.
+///
+/// Cheap to clone; all clones drive the same loop. Dropping the last
+/// clone shuts the runtime down.
+#[derive(Clone)]
+pub struct AgentRuntime {
+    shared: Arc<RuntimeShared>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AgentRuntime {
+    pub fn new(transport: Arc<dyn Transport>, config: RuntimeConfig) -> Self {
+        let shared = Arc::new(RuntimeShared {
+            transport,
+            config,
+            slots: Mutex::new(Vec::new()),
+            queue: JobQueue::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn runtime worker"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("runtime-loop".to_string())
+                    .spawn(move || event_loop(&shared))
+                    .expect("spawn runtime event loop"),
+            );
+        }
+        AgentRuntime { shared, threads: Arc::new(Mutex::new(threads)) }
+    }
+
+    /// The transport every hosted agent is registered on.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.shared.transport
+    }
+
+    /// Registers `name` on the transport and hosts `behavior` under it.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        behavior: Arc<dyn AgentBehavior>,
+    ) -> Result<AgentHandle, TransportError> {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let name = name.into();
+        let mailbox = self.shared.transport.open_mailbox(&name)?;
+        let ctx = Arc::new(AgentContext::new(
+            name.clone(),
+            Arc::clone(&self.shared.transport),
+            self.shared.config.monitor.clone(),
+        ));
+        let slot = Arc::new(AgentSlot {
+            name: name.clone(),
+            behavior,
+            ctx,
+            mailbox: Mutex::new(mailbox),
+            inflight: AtomicUsize::new(0),
+            tick_running: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            finalized: AtomicBool::new(false),
+            last_tick: Mutex::new(Instant::now()),
+        });
+        self.shared.slots.lock().unwrap().push(Arc::clone(&slot));
+        Ok(AgentHandle { slot, transport: Arc::clone(&self.shared.transport) })
+    }
+
+    /// Stops every hosted agent and joins the worker pool. Agents are
+    /// unregistered *first*, so any handler blocked in a request on a
+    /// sibling fails fast with `UnknownAgent` instead of waiting out its
+    /// timeout.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let slots: Vec<_> = self.shared.slots.lock().unwrap().clone();
+        for slot in &slots {
+            slot.stopped.store(true, Ordering::Release);
+            self.shared.transport.unregister(&slot.name);
+        }
+        self.shared.queue.close();
+        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+        // Workers are gone; finalize anything the event loop didn't.
+        for slot in &slots {
+            if !slot.finalized.swap(true, Ordering::AcqRel) {
+                slot.behavior.on_stop(&slot.ctx);
+            }
+        }
+        self.shared.slots.lock().unwrap().clear();
+    }
+}
+
+impl Drop for AgentRuntime {
+    fn drop(&mut self) {
+        // Only the final clone tears the runtime down.
+        if Arc::strong_count(&self.shared) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+/// A hosted agent. Stopping (or dropping) the handle unregisters the
+/// agent immediately — in-flight handlers finish on the pool, exactly
+/// like the seed's detached per-envelope threads.
+pub struct AgentHandle {
+    slot: Arc<AgentSlot>,
+    transport: Arc<dyn Transport>,
+}
+
+impl AgentHandle {
+    pub fn name(&self) -> &str {
+        &self.slot.name
+    }
+
+    /// The agent's runtime context (for sends/requests from outside a
+    /// handler, and for reading the delivery-failure counter).
+    pub fn ctx(&self) -> &Arc<AgentContext> {
+        &self.slot.ctx
+    }
+
+    /// Total sends by this agent that the transport refused.
+    pub fn delivery_failures(&self) -> u64 {
+        self.slot.ctx.delivery_failures()
+    }
+
+    /// Unregisters the agent and stops dispatching to it. Idempotent.
+    pub fn stop(&self) {
+        if !self.slot.stopped.swap(true, Ordering::AcqRel) {
+            self.transport.unregister(&self.slot.name);
+        }
+    }
+}
+
+impl Drop for AgentHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &RuntimeShared) {
+    while let Some(job) = shared.queue.pop() {
+        match job {
+            Job::Message(slot, env) => {
+                slot.behavior.on_message(&slot.ctx, env);
+                slot.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Job::Tick(slot) => {
+                slot.behavior.on_tick(&slot.ctx);
+                slot.tick_running.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+fn event_loop(shared: &RuntimeShared) {
+    let cap = shared.config.per_agent_inflight;
+    loop {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let slots: Vec<_> = shared.slots.lock().unwrap().clone();
+        let mut dispatched = false;
+        let mut any_removed = false;
+        for slot in &slots {
+            if slot.stopped.load(Ordering::Acquire) {
+                if slot.idle() && !slot.finalized.swap(true, Ordering::AcqRel) {
+                    slot.behavior.on_stop(&slot.ctx);
+                    any_removed = true;
+                }
+                continue;
+            }
+            // Pull messages while under the in-flight cap; the rest wait
+            // in the transport mailbox (backpressure).
+            while slot.inflight.load(Ordering::Acquire) < cap {
+                let env = slot.mailbox.lock().unwrap().try_recv();
+                match env {
+                    Some(env) => {
+                        slot.inflight.fetch_add(1, Ordering::AcqRel);
+                        shared.queue.push(Job::Message(Arc::clone(slot), env));
+                        dispatched = true;
+                    }
+                    None => break,
+                }
+            }
+            if let Some(interval) = slot.behavior.tick_interval() {
+                let due = {
+                    let last = slot.last_tick.lock().unwrap();
+                    last.elapsed() >= interval
+                };
+                if due && !slot.tick_running.swap(true, Ordering::AcqRel) {
+                    *slot.last_tick.lock().unwrap() = Instant::now();
+                    shared.queue.push(Job::Tick(Arc::clone(slot)));
+                    dispatched = true;
+                }
+            }
+        }
+        if any_removed {
+            shared
+                .slots
+                .lock()
+                .unwrap()
+                .retain(|s| !s.finalized.load(Ordering::Acquire));
+        }
+        if !dispatched {
+            std::thread::sleep(shared.config.poll_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bus;
+    use infosleuth_kqml::{Message, Performative, SExpr};
+
+    struct Echo;
+
+    impl AgentBehavior for Echo {
+        fn on_message(&self, ctx: &AgentContext, env: Envelope) {
+            if env.message.reply_with().is_some() {
+                let reply = env
+                    .message
+                    .reply_skeleton(Performative::Reply)
+                    .with_content(env.message.content().cloned().unwrap_or(SExpr::atom("nil")));
+                let _ = ctx.send(&env.from, reply);
+            }
+        }
+    }
+
+    fn runtime_on_bus(config: RuntimeConfig) -> (Bus, AgentRuntime) {
+        let bus = Bus::new();
+        let rt = AgentRuntime::new(bus.as_transport(), config);
+        (bus, rt)
+    }
+
+    #[test]
+    fn hosted_agent_replies_to_requests() {
+        let (bus, rt) = runtime_on_bus(RuntimeConfig::default());
+        let _echo = rt.spawn("echo", Arc::new(Echo)).unwrap();
+        let mut client = bus.register("client").unwrap();
+        let reply = client
+            .request(
+                "echo",
+                Message::new(Performative::AskOne).with_content(SExpr::atom("hi")),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content(), Some(&SExpr::atom("hi")));
+        rt.shutdown();
+    }
+
+    struct Slow {
+        concurrent: AtomicUsize,
+        peak: AtomicUsize,
+        handled: AtomicUsize,
+    }
+
+    impl AgentBehavior for Slow {
+        fn on_message(&self, _ctx: &AgentContext, _env: Envelope) {
+            let now = self.concurrent.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak.fetch_max(now, Ordering::AcqRel);
+            std::thread::sleep(Duration::from_millis(10));
+            self.concurrent.fetch_sub(1, Ordering::AcqRel);
+            self.handled.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    #[test]
+    fn per_agent_inflight_cap_bounds_concurrency() {
+        let (bus, rt) = runtime_on_bus(
+            RuntimeConfig::default().with_workers(8).with_per_agent_inflight(2),
+        );
+        let slow = Arc::new(Slow {
+            concurrent: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            handled: AtomicUsize::new(0),
+        });
+        let _h = rt.spawn("slow", Arc::clone(&slow) as Arc<dyn AgentBehavior>).unwrap();
+        let client = bus.register("client").unwrap();
+        for i in 0..12 {
+            client
+                .send("slow", Message::new(Performative::Tell).with_content(SExpr::Atom(i.to_string())))
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while slow.handled.load(Ordering::Acquire) < 12 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(slow.handled.load(Ordering::Acquire), 12, "all envelopes handled");
+        assert!(
+            slow.peak.load(Ordering::Acquire) <= 2,
+            "in-flight cap exceeded: peak {}",
+            slow.peak.load(Ordering::Acquire)
+        );
+        rt.shutdown();
+    }
+
+    struct Ticker {
+        concurrent: AtomicUsize,
+        overlapped: AtomicBool,
+        ticks: AtomicUsize,
+    }
+
+    impl AgentBehavior for Ticker {
+        fn on_message(&self, _ctx: &AgentContext, _env: Envelope) {}
+
+        fn tick_interval(&self) -> Option<Duration> {
+            Some(Duration::from_millis(5))
+        }
+
+        fn on_tick(&self, _ctx: &AgentContext) {
+            if self.concurrent.fetch_add(1, Ordering::AcqRel) > 0 {
+                self.overlapped.store(true, Ordering::Release);
+            }
+            // Longer than the interval: overlap would occur without the
+            // tick_running latch.
+            std::thread::sleep(Duration::from_millis(15));
+            self.concurrent.fetch_sub(1, Ordering::AcqRel);
+            self.ticks.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    #[test]
+    fn ticks_fire_and_never_overlap() {
+        let (_bus, rt) = runtime_on_bus(RuntimeConfig::default());
+        let ticker = Arc::new(Ticker {
+            concurrent: AtomicUsize::new(0),
+            overlapped: AtomicBool::new(false),
+            ticks: AtomicUsize::new(0),
+        });
+        let _h = rt.spawn("ticker", Arc::clone(&ticker) as Arc<dyn AgentBehavior>).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while ticker.ticks.load(Ordering::Acquire) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ticker.ticks.load(Ordering::Acquire) >= 3, "ticks fired");
+        assert!(!ticker.overlapped.load(Ordering::Acquire), "ticks overlapped");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stop_unregisters_immediately() {
+        let (bus, rt) = runtime_on_bus(RuntimeConfig::default());
+        let h = rt.spawn("echo", Arc::new(Echo)).unwrap();
+        assert!(bus.is_registered("echo"));
+        h.stop();
+        assert!(!bus.is_registered("echo"));
+        let client = bus.register("client").unwrap();
+        assert!(client.send("echo", Message::new(Performative::Tell)).is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn delivery_failures_are_counted_and_logged_to_monitor() {
+        let (bus, rt) =
+            runtime_on_bus(RuntimeConfig::default().with_monitor("monitor"));
+        let mut monitor = bus.register("monitor").unwrap();
+        let h = rt.spawn("talker", Arc::new(Echo)).unwrap();
+        assert_eq!(h.delivery_failures(), 0);
+        let err = h.ctx().send("ghost", Message::new(Performative::Tell)).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownAgent(_)));
+        assert_eq!(h.delivery_failures(), 1);
+        let env = monitor.recv_timeout(Duration::from_secs(1)).expect("monitor notified");
+        assert_eq!(env.message.get_text("ontology"), Some(LOG_ONTOLOGY));
+        let items = match env.message.content() {
+            Some(SExpr::List(items)) => items.clone(),
+            other => panic!("unexpected log content: {other:?}"),
+        };
+        assert_eq!(items[0], SExpr::atom("delivery-failure"));
+        assert_eq!(items[1], SExpr::atom("talker"));
+        assert_eq!(items[2], SExpr::atom("ghost"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_intra_runtime_requests() {
+        // Two hosted agents, one blocked in a long request on the other's
+        // silence: shutdown unregisters both, so the blocked request
+        // fails fast and shutdown returns well before the timeout.
+        struct Waiter;
+        impl AgentBehavior for Waiter {
+            fn on_message(&self, ctx: &AgentContext, env: Envelope) {
+                if env.message.content() == Some(&SExpr::atom("go")) {
+                    // "silent" never answers; a 30s timeout would hang
+                    // shutdown if fail-fast didn't work.
+                    let _ = ctx.request(
+                        "silent",
+                        Message::new(Performative::AskOne),
+                        Duration::from_secs(30),
+                    );
+                }
+            }
+        }
+        struct Mute;
+        impl AgentBehavior for Mute {
+            fn on_message(&self, _ctx: &AgentContext, _env: Envelope) {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        let (bus, rt) = runtime_on_bus(RuntimeConfig::default());
+        let _w = rt.spawn("waiter", Arc::new(Waiter)).unwrap();
+        let _s = rt.spawn("silent", Arc::new(Mute)).unwrap();
+        let client = bus.register("client").unwrap();
+        client
+            .send("waiter", Message::new(Performative::Tell).with_content(SExpr::atom("go")))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        rt.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}",
+            started.elapsed()
+        );
+    }
+}

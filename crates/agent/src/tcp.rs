@@ -1,0 +1,558 @@
+//! The networked [`Transport`]: length-prefixed KQML frames over TCP.
+//!
+//! This is the deployment story the paper actually ran — agents on
+//! distinct machines exchanging KQML over TCP, each reachable at the
+//! `tcp://host:port` "directions" carried in its advertisement (Fig. 8).
+//! One `TcpTransport` is one *node*: it binds a listener, hosts a local
+//! registry of agent mailboxes, and holds a routing table mapping remote
+//! agent names to their [`AgentAddress`]es.
+//!
+//! ## Framing
+//!
+//! Each send opens a short-lived connection carrying exactly one frame
+//! and one acknowledgement byte:
+//!
+//! ```text
+//! u32 BE  payload length (everything after these 4 bytes)
+//! u16 BE  sender-name length, then that many UTF-8 bytes
+//! u16 BE  receiver-name length, then that many UTF-8 bytes
+//! ...     the KQML message, rendered as text (Message round-trips
+//!         losslessly through its Display/parse pair)
+//! ```
+//!
+//! The receiver answers one byte: `0` = delivered, `1` = no such agent
+//! here (surfaces as [`TransportError::UnknownAgent`], preserving the
+//! in-proc `Bus` semantics for dead peers), `2` = malformed frame.
+
+use crate::address::AgentAddress;
+use crate::transport::{
+    mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError,
+};
+use infosleuth_kqml::Message;
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const ACK_OK: u8 = 0;
+const ACK_UNKNOWN_AGENT: u8 = 1;
+const ACK_MALFORMED: u8 = 2;
+
+/// Refuse frames above this size; a wild length prefix must not make the
+/// receiver allocate unboundedly.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Inbound connections waiting for a handler thread.
+struct ConnQueue {
+    inner: Mutex<ConnQueueInner>,
+    available: Condvar,
+}
+
+struct ConnQueueInner {
+    conns: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(ConnQueueInner { conns: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: TcpStream) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return;
+        }
+        inner.conns.push_back(conn);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(conn) = inner.conns.pop_front() {
+                return Some(conn);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+struct TcpShared {
+    registry: RwLock<HashMap<String, MailboxSender>>,
+    routes: RwLock<HashMap<String, AgentAddress>>,
+    conn_queue: ConnQueue,
+    shutdown: AtomicBool,
+}
+
+/// One node of a distributed deployment: local mailboxes plus TCP
+/// delivery to routed remote agents.
+pub struct TcpTransport {
+    shared: Arc<TcpShared>,
+    local_addr: SocketAddr,
+    conversation_counter: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Binds a listener (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop plus a small frame-handler pool.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Arc<TcpTransport>> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(TcpShared {
+            registry: RwLock::new(HashMap::new()),
+            routes: RwLock::new(HashMap::new()),
+            conn_queue: ConnQueue::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-accept-{}", local_addr.port()))
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        for i in 0..2 {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-handler-{}-{i}", local_addr.port()))
+                    .spawn(move || handler_loop(&shared))?,
+            );
+        }
+        Ok(Arc::new(TcpTransport {
+            shared,
+            local_addr,
+            conversation_counter: AtomicU64::new(0),
+            threads: Mutex::new(threads),
+        }))
+    }
+
+    /// The bound listener address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This node's contact directions, as carried in advertisements.
+    pub fn address(&self) -> AgentAddress {
+        AgentAddress::tcp(self.local_addr.ip().to_string(), self.local_addr.port())
+    }
+
+    /// Routes a remote agent name to the node that hosts it. Sends to
+    /// `name` connect there; the hosting node still decides whether the
+    /// agent is actually alive.
+    pub fn add_route(&self, name: impl Into<String>, address: AgentAddress) {
+        self.shared.routes.write().insert(name.into(), address);
+    }
+
+    /// Drops a route (e.g. after the remote node is decommissioned).
+    pub fn remove_route(&self, name: &str) -> bool {
+        self.shared.routes.write().remove(name).is_some()
+    }
+
+    /// Resolves `name` to a routed address: exact match first, then
+    /// progressively stripped `.suffix` components. An agent's ephemeral
+    /// request endpoints (`broker-1.w3`) live on the same node as the
+    /// agent itself, so the route for `broker-1` covers them — replies to
+    /// cross-node requests need no per-conversation route entries.
+    fn lookup_route(&self, name: &str) -> Option<AgentAddress> {
+        let routes = self.shared.routes.read();
+        let mut candidate = name;
+        loop {
+            if let Some(address) = routes.get(candidate) {
+                return Some(address.clone());
+            }
+            candidate = candidate.rsplit_once('.')?.0;
+        }
+    }
+
+    /// Stops the accept loop and handler pool. Local mailboxes survive
+    /// until dropped, but no new frames arrive.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.conn_queue.close();
+        // Nudge the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open_mailbox(&self, name: &str) -> Result<Mailbox, TransportError> {
+        let mut reg = self.shared.registry.write();
+        if reg.contains_key(name) {
+            return Err(TransportError::DuplicateAgent(name.to_string()));
+        }
+        let (tx, rx) = mailbox();
+        reg.insert(name.to_string(), tx);
+        Ok(rx)
+    }
+
+    fn unregister(&self, name: &str) -> bool {
+        self.shared.registry.write().remove(name).is_some()
+    }
+
+    fn is_registered(&self, name: &str) -> bool {
+        // A routed remote agent counts as reachable: its death is only
+        // discoverable at send time (ack 1 / refused connection), exactly
+        // the paper's "the transport layer will fail to make the
+        // connection".
+        self.shared.registry.read().contains_key(name) || self.lookup_route(name).is_some()
+    }
+
+    fn agents(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.registry.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError> {
+        // Local fast path: same-node agents never touch a socket.
+        {
+            let reg = self.shared.registry.read();
+            if let Some(tx) = reg.get(to) {
+                return tx.deliver(Envelope {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    message,
+                });
+            }
+        }
+        let address = self
+            .lookup_route(to)
+            .ok_or_else(|| TransportError::UnknownAgent(to.to_string()))?;
+        send_frame(&address, from, to, &message)
+    }
+
+    fn next_conversation_id(&self, prefix: &str) -> String {
+        // The node's port disambiguates ids minted on different nodes of
+        // one deployment.
+        let n = self.conversation_counter.fetch_add(1, Ordering::Relaxed);
+        format!("{prefix}-{}-{n}", self.local_addr.port())
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("local_addr", &self.local_addr)
+            .field("agents", &Transport::agents(self))
+            .finish()
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+/// Connects to `address`, writes one frame, and interprets the ack byte.
+fn send_frame(
+    address: &AgentAddress,
+    from: &str,
+    to: &str,
+    message: &Message,
+) -> Result<(), TransportError> {
+    let sock_addr = (address.host.as_str(), address.port)
+        .to_socket_addrs()
+        .map_err(io_err)?
+        .next()
+        .ok_or_else(|| TransportError::Io(format!("unresolvable host '{}'", address.host)))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT).map_err(io_err)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+
+    let text = message.to_string();
+    let from_bytes = from.as_bytes();
+    let to_bytes = to.as_bytes();
+    if from_bytes.len() > u16::MAX as usize || to_bytes.len() > u16::MAX as usize {
+        return Err(TransportError::Io("agent name too long for frame".into()));
+    }
+    let payload_len = 2 + from_bytes.len() + 2 + to_bytes.len() + text.len();
+    if payload_len as u64 > MAX_FRAME as u64 {
+        return Err(TransportError::Io(format!("frame too large ({payload_len} bytes)")));
+    }
+    let mut frame = Vec::with_capacity(4 + payload_len);
+    frame.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    frame.extend_from_slice(&(from_bytes.len() as u16).to_be_bytes());
+    frame.extend_from_slice(from_bytes);
+    frame.extend_from_slice(&(to_bytes.len() as u16).to_be_bytes());
+    frame.extend_from_slice(to_bytes);
+    frame.extend_from_slice(text.as_bytes());
+    stream.write_all(&frame).map_err(io_err)?;
+    stream.flush().map_err(io_err)?;
+
+    let mut ack = [0u8; 1];
+    stream.read_exact(&mut ack).map_err(io_err)?;
+    match ack[0] {
+        ACK_OK => Ok(()),
+        ACK_UNKNOWN_AGENT => Err(TransportError::UnknownAgent(to.to_string())),
+        other => Err(TransportError::Io(format!("peer rejected frame (ack {other})"))),
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &TcpShared) {
+    loop {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.conn_queue.push(conn);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handler_loop(shared: &TcpShared) {
+    while let Some(mut conn) = shared.conn_queue.pop() {
+        let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
+        let ack = match read_frame(&mut conn) {
+            Ok((from, to, message)) => {
+                let reg = shared.registry.read();
+                match reg.get(&to) {
+                    Some(tx) if tx.deliver(Envelope { from, to: to.clone(), message }).is_ok() => {
+                        ACK_OK
+                    }
+                    _ => ACK_UNKNOWN_AGENT,
+                }
+            }
+            Err(_) => ACK_MALFORMED,
+        };
+        let _ = conn.write_all(&[ack]);
+    }
+}
+
+/// Reads and decodes one frame; any structural problem is an error (the
+/// caller answers `ACK_MALFORMED`).
+fn read_frame(conn: &mut TcpStream) -> Result<(String, String, Message), TransportError> {
+    let mut len_buf = [0u8; 4];
+    conn.read_exact(&mut len_buf).map_err(io_err)?;
+    let payload_len = u32::from_be_bytes(len_buf);
+    if payload_len > MAX_FRAME {
+        return Err(TransportError::Io(format!("oversized frame ({payload_len} bytes)")));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    conn.read_exact(&mut payload).map_err(io_err)?;
+
+    let mut cursor = 0usize;
+    let from_len = u16::from_be_bytes(take(&payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let from = String::from_utf8(take(&payload, &mut cursor, from_len)?.to_vec())
+        .map_err(|_| TransportError::Io("non-utf8 sender name".into()))?;
+    let to_len = u16::from_be_bytes(take(&payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let to = String::from_utf8(take(&payload, &mut cursor, to_len)?.to_vec())
+        .map_err(|_| TransportError::Io("non-utf8 receiver name".into()))?;
+    let text = std::str::from_utf8(&payload[cursor..])
+        .map_err(|_| TransportError::Io("non-utf8 message body".into()))?;
+    let message = Message::parse(text)
+        .map_err(|e| TransportError::Io(format!("unparseable KQML body: {e}")))?;
+    Ok((from, to, message))
+}
+
+/// Advances `cursor` by `n` bytes into `payload`, bounds-checked.
+fn take<'a>(
+    payload: &'a [u8],
+    cursor: &mut usize,
+    n: usize,
+) -> Result<&'a [u8], TransportError> {
+    let end = cursor
+        .checked_add(n)
+        .filter(|&e| e <= payload.len())
+        .ok_or_else(|| TransportError::Io("truncated frame".into()))?;
+    let slice = &payload[*cursor..end];
+    *cursor = end;
+    Ok(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportExt;
+    use infosleuth_kqml::{Performative, SExpr};
+
+    fn node() -> Arc<TcpTransport> {
+        TcpTransport::bind("127.0.0.1:0").expect("bind localhost")
+    }
+
+    fn as_dyn(node: &Arc<TcpTransport>) -> Arc<dyn Transport> {
+        Arc::clone(node) as Arc<dyn Transport>
+    }
+
+    #[test]
+    fn local_delivery_without_routes() {
+        let n = node();
+        let t = as_dyn(&n);
+        let a = t.endpoint("a").unwrap();
+        let mut b = t.endpoint("b").unwrap();
+        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi")))
+            .unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, "a");
+        assert_eq!(env.message.content(), Some(&SExpr::atom("hi")));
+    }
+
+    #[test]
+    fn cross_node_delivery_and_reply() {
+        let n1 = node();
+        let n2 = node();
+        n1.add_route("server", n2.address());
+        n2.add_route("client", n1.address());
+        let t1 = as_dyn(&n1);
+        let t2 = as_dyn(&n2);
+        let mut client = t1.endpoint("client").unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut server = t2.endpoint("server").unwrap();
+            let env = server.recv_timeout(Duration::from_secs(5)).unwrap();
+            let reply = env
+                .message
+                .reply_skeleton(Performative::Reply)
+                .with_content(SExpr::atom("pong"));
+            server.send(&env.from, reply).unwrap();
+        });
+        // Give the server thread a moment to register its mailbox.
+        std::thread::sleep(Duration::from_millis(50));
+        let reply = client
+            .request(
+                "server",
+                Message::new(Performative::AskOne).with_content(SExpr::atom("ping")),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(reply.content(), Some(&SExpr::atom("pong")));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn routes_cover_dotted_ephemeral_endpoints() {
+        // A route for "client" must also deliver to "client.w0": runtime
+        // agents answer cross-node requests through ephemeral reply
+        // endpoints that share the requester's node.
+        let n1 = node();
+        let n2 = node();
+        n2.add_route("client", n1.address());
+        let t1 = as_dyn(&n1);
+        let t2 = as_dyn(&n2);
+        let mut ephemeral = t1.endpoint("client.w0").unwrap();
+        let server = t2.endpoint("server").unwrap();
+        server
+            .send("client.w0", Message::new(Performative::Reply).with_content(SExpr::atom("ok")))
+            .unwrap();
+        let env = ephemeral.recv_timeout(Duration::from_secs(2)).expect("routed via prefix");
+        assert_eq!(env.message.content(), Some(&SExpr::atom("ok")));
+        // No route stem at all still fails.
+        assert!(matches!(
+            t2.send("server", "stranger.w0", Message::new(Performative::Tell)).unwrap_err(),
+            TransportError::UnknownAgent(_)
+        ));
+    }
+
+    #[test]
+    fn message_params_survive_the_wire() {
+        let n1 = node();
+        let n2 = node();
+        n1.add_route("sink", n2.address());
+        let t1 = as_dyn(&n1);
+        let t2 = as_dyn(&n2);
+        let sender = t1.endpoint("src").unwrap();
+        let mut sink = t2.endpoint("sink").unwrap();
+        let mut msg = Message::new(Performative::Advertise)
+            .with_content(SExpr::list(vec![SExpr::atom("svc"), SExpr::atom("x")]));
+        msg.set("ontology", SExpr::atom("infosleuth-services"));
+        msg.set("language", SExpr::atom("KQML"));
+        sender.send("sink", msg).unwrap();
+        let env = sink.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, "src");
+        assert_eq!(env.message.performative, Performative::Advertise);
+        assert_eq!(env.message.get_text("ontology"), Some("infosleuth-services"));
+        assert_eq!(env.message.sender(), Some("src"));
+        assert_eq!(
+            env.message.content(),
+            Some(&SExpr::list(vec![SExpr::atom("svc"), SExpr::atom("x")]))
+        );
+    }
+
+    #[test]
+    fn send_to_unrouted_name_is_unknown_agent() {
+        let n = node();
+        let t = as_dyn(&n);
+        let a = t.endpoint("a").unwrap();
+        let err = a.send("nowhere", Message::new(Performative::Tell)).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownAgent(_)));
+    }
+
+    #[test]
+    fn send_to_dead_remote_agent_is_unknown_agent() {
+        let n1 = node();
+        let n2 = node();
+        n1.add_route("ghost", n2.address());
+        let t1 = as_dyn(&n1);
+        let a = t1.endpoint("a").unwrap();
+        // The remote node is up but hosts no such agent: ack byte 1.
+        let err = a.send("ghost", Message::new(Performative::Tell)).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownAgent(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn send_to_downed_node_is_io_error() {
+        let n1 = node();
+        let dead = node();
+        let dead_address = dead.address();
+        dead.shutdown();
+        drop(dead);
+        n1.add_route("ghost", dead_address);
+        let t1 = as_dyn(&n1);
+        let a = t1.endpoint("a").unwrap();
+        let err = a.send("ghost", Message::new(Performative::Tell)).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Io(_) | TransportError::UnknownAgent(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn conversation_ids_are_node_unique() {
+        let n1 = node();
+        let n2 = node();
+        let a = Transport::next_conversation_id(&*n1, "x");
+        let b = Transport::next_conversation_id(&*n2, "x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,314 @@
+//! The pluggable transport fabric: errors, envelopes, mailboxes, the
+//! [`Transport`] trait, and the transport-generic [`Endpoint`].
+//!
+//! The paper's agents exchanged KQML over TCP between Sparc workstations;
+//! our seed hardwired every agent to the in-process [`Bus`](crate::Bus).
+//! This module extracts the contract both share: a *transport* is a named
+//! registry of agent mailboxes with point-to-point KQML delivery. Two
+//! implementations exist — the in-process [`Bus`](crate::Bus) and the
+//! length-prefixed [`TcpTransport`](crate::TcpTransport) — and every agent
+//! above this layer (broker, resource, ontology, monitor, MRQ, user) is
+//! written against `Arc<dyn Transport>`, so a community can be deployed
+//! in-process or across machines without touching agent code.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use infosleuth_kqml::Message;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A delivered message with its envelope metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub from: String,
+    pub to: String,
+    pub message: Message,
+}
+
+/// Errors from transport operations.
+///
+/// This generalizes the seed's `BusError` (which remains available as a
+/// type alias): in-process delivery failures and TCP connection failures
+/// surface through the same variants, because §4.2.2 treats them alike —
+/// "either the transport layer will fail to make the connection to the
+/// broker or the broker will fail to respond".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No agent with that name is reachable (it never existed, has
+    /// unregistered, or has "died") — the transport-layer connection
+    /// failure of §4.2.2.
+    UnknownAgent(String),
+    /// The agent name is already taken.
+    DuplicateAgent(String),
+    /// No reply arrived within the timeout.
+    Timeout { waiting_on: String },
+    /// The local endpoint was shut down.
+    Closed,
+    /// A wire-level failure (socket error, malformed frame, refused
+    /// connection) on a networked transport.
+    Io(String),
+}
+
+/// The seed's name for transport errors; every existing signature keeps
+/// compiling.
+pub type BusError = TransportError;
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownAgent(a) => {
+                write!(f, "no agent '{a}' reachable on the transport")
+            }
+            TransportError::DuplicateAgent(a) => {
+                write!(f, "agent name '{a}' already registered")
+            }
+            TransportError::Timeout { waiting_on } => {
+                write!(f, "timed out waiting for a reply from '{waiting_on}'")
+            }
+            TransportError::Closed => write!(f, "endpoint is closed"),
+            TransportError::Io(e) => write!(f, "transport i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The receiving half of one agent's registered mailbox.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+}
+
+/// The delivery half of a mailbox, held inside a transport's registry.
+#[derive(Clone)]
+pub struct MailboxSender {
+    tx: Sender<Envelope>,
+}
+
+/// Creates a fresh (delivery, receive) mailbox pair.
+pub fn mailbox() -> (MailboxSender, Mailbox) {
+    let (tx, rx) = unbounded();
+    (MailboxSender { tx }, Mailbox { rx })
+}
+
+impl MailboxSender {
+    /// Delivers an envelope; fails if the receiving half is gone.
+    pub fn deliver(&self, env: Envelope) -> Result<(), TransportError> {
+        let to = env.to.clone();
+        self.tx.send(env).map_err(|_| TransportError::UnknownAgent(to))
+    }
+}
+
+impl Mailbox {
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mailbox").finish_non_exhaustive()
+    }
+}
+
+/// A message transport: a registry of named agent mailboxes with
+/// point-to-point KQML delivery.
+///
+/// `register`/`unregister`/`send`/`recv` semantics shared by every
+/// implementation:
+///
+/// * names are unique per transport (the service ontology requires a
+///   "unique identifier for the agent");
+/// * sends to an unknown or unregistered name fail with
+///   [`TransportError::UnknownAgent`], modelling agent death;
+/// * delivery within one transport preserves per-sender order; no
+///   cross-sender ordering is guaranteed.
+pub trait Transport: Send + Sync + 'static {
+    /// Registers an agent name and returns its mailbox.
+    fn open_mailbox(&self, name: &str) -> Result<Mailbox, TransportError>;
+
+    /// Removes an agent. Subsequent sends to it fail exactly like sends to
+    /// an agent that never existed. Returns whether the name was present.
+    fn unregister(&self, name: &str) -> bool;
+
+    /// Whether an agent is currently reachable. For networked transports
+    /// this may answer from routing knowledge only (a remote peer's death
+    /// is discovered at send time, not here).
+    fn is_registered(&self, name: &str) -> bool;
+
+    /// Locally registered agent names, sorted.
+    fn agents(&self) -> Vec<String>;
+
+    /// Delivers a message. Fails if the recipient is not reachable.
+    fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError>;
+
+    /// A fresh conversation id (for `:reply-with`), unique across every
+    /// node of the deployment.
+    fn next_conversation_id(&self, prefix: &str) -> String;
+}
+
+/// Extension methods on shared transports.
+pub trait TransportExt {
+    /// Registers an agent and returns a full [`Endpoint`] (mailbox plus
+    /// send/request helpers) bound to this transport.
+    fn endpoint(&self, name: impl Into<String>) -> Result<Endpoint, TransportError>;
+}
+
+impl TransportExt for Arc<dyn Transport> {
+    fn endpoint(&self, name: impl Into<String>) -> Result<Endpoint, TransportError> {
+        let name = name.into();
+        let mailbox = self.open_mailbox(&name)?;
+        Ok(Endpoint { name, transport: Arc::clone(self), mailbox, pending: VecDeque::new() })
+    }
+}
+
+/// Anything that can run a KQML request/reply conversation under a name:
+/// an owned [`Endpoint`], or a runtime
+/// [`AgentContext`](crate::AgentContext) that conjures ephemeral reply
+/// endpoints per call. Client helpers (`ping`, `advertise_to`,
+/// `query_broker`, …) are written against this trait so they work from
+/// both.
+pub trait Requester {
+    /// The requesting agent's name.
+    fn name(&self) -> &str;
+
+    /// Sends `message` with a fresh `:reply-with` id and waits for the
+    /// matching `:in-reply-to` reply.
+    fn request(
+        &mut self,
+        to: &str,
+        message: Message,
+        timeout: Duration,
+    ) -> Result<Message, TransportError>;
+}
+
+/// How often a waiting `request` re-checks that its peer still exists, so
+/// a peer that unregisters mid-conversation fails fast instead of
+/// consuming the full timeout.
+const LIVENESS_PROBE: Duration = Duration::from_millis(25);
+
+/// One agent's connection to a transport: a name, an inbox, and send
+/// helpers.
+pub struct Endpoint {
+    name: String,
+    transport: Arc<dyn Transport>,
+    mailbox: Mailbox,
+    /// Messages received while waiting for a specific reply; drained by the
+    /// next plain `recv`.
+    pending: VecDeque<Envelope>,
+}
+
+impl Endpoint {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transport this endpoint is registered on.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Sends a message, stamping `:sender` and `:receiver`.
+    pub fn send(&self, to: &str, mut message: Message) -> Result<(), TransportError> {
+        message.set("sender", infosleuth_kqml::SExpr::atom(&self.name));
+        message.set("receiver", infosleuth_kqml::SExpr::atom(to));
+        self.transport.send(&self.name, to, message)
+    }
+
+    /// Receives the next message, if one is queued.
+    pub fn try_recv(&mut self) -> Option<Envelope> {
+        if let Some(e) = self.pending.pop_front() {
+            return Some(e);
+        }
+        self.mailbox.try_recv()
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Envelope> {
+        if let Some(e) = self.pending.pop_front() {
+            return Some(e);
+        }
+        self.mailbox.recv_timeout(timeout)
+    }
+
+    /// Request/reply: sends `message` with a fresh `:reply-with` id and
+    /// waits for the message whose `:in-reply-to` matches. Unrelated
+    /// messages that arrive meanwhile are buffered for later `recv` calls.
+    ///
+    /// If the peer unregisters from the transport while we wait, the call
+    /// fails fast with [`TransportError::UnknownAgent`] instead of waiting
+    /// out the full timeout (any reply the peer managed to send before
+    /// dying is still honored).
+    pub fn request(
+        &mut self,
+        to: &str,
+        mut message: Message,
+        timeout: Duration,
+    ) -> Result<Message, TransportError> {
+        let id = self.transport.next_conversation_id(&self.name);
+        message.set("reply-with", infosleuth_kqml::SExpr::atom(&id));
+        self.send(to, message)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout { waiting_on: to.to_string() });
+            }
+            match self.mailbox.recv_timeout(remaining.min(LIVENESS_PROBE)) {
+                Some(env) => {
+                    if env.message.in_reply_to() == Some(id.as_str()) {
+                        return Ok(env.message);
+                    }
+                    self.pending.push_back(env);
+                }
+                None => {
+                    if !self.transport.is_registered(to) {
+                        // The peer's mailbox is gone. Drain any last-gasp
+                        // reply it sent before unregistering, then report
+                        // it dead.
+                        while let Some(env) = self.mailbox.try_recv() {
+                            if env.message.in_reply_to() == Some(id.as_str()) {
+                                return Ok(env.message);
+                            }
+                            self.pending.push_back(env);
+                        }
+                        return Err(TransportError::UnknownAgent(to.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unregisters this endpoint from the transport (an explicit, clean
+    /// exit; dropping the endpoint without calling this models a crash
+    /// where the stale mailbox entry lingers until someone notices the
+    /// agent is gone).
+    pub fn unregister(self) {
+        self.transport.unregister(&self.name);
+    }
+}
+
+impl Requester for Endpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn request(
+        &mut self,
+        to: &str,
+        message: Message,
+        timeout: Duration,
+    ) -> Result<Message, TransportError> {
+        Endpoint::request(self, to, message, timeout)
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("name", &self.name).finish()
+    }
+}

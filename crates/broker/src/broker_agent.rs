@@ -1,21 +1,26 @@
-//! The live broker agent: a KQML message loop over the agent bus.
+//! The live broker agent, hosted on the shared [`AgentRuntime`].
 //!
 //! Handles the conversations of Figures 3–4 (advertise / query) plus the
 //! multibroker machinery of §4: broker-to-broker advertising, inter-broker
 //! search with hop counts, follow options and visited-list loop prevention,
 //! liveness pings, and specialization-based admission.
 //!
-//! Each incoming message is handled on its own worker thread so that a
-//! broker blocked waiting on a peer's reply never stops serving its own
+//! Incoming messages are handled concurrently on the runtime's bounded
+//! worker pool (up to the per-agent in-flight cap) so that a broker
+//! blocked waiting on a peer's reply never stops serving its own
 //! repository — forwarded searches between mutually-querying brokers would
-//! otherwise deadlock.
+//! otherwise deadlock. The liveness sweep runs as the behavior's periodic
+//! tick, which the runtime guarantees never overlaps itself.
 
 use crate::codec;
 use crate::matchmaker::{MatchResult, Matchmaker};
 use crate::objective::{AdmissionDecision, BrokerObjective};
 use crate::policy::SearchPolicy;
 use crate::repository::Repository;
-use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_agent::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Requester,
+    RuntimeConfig, Transport,
+};
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{
     Advertisement, AgentLocation, AgentType, BrokerAdvertisement, BrokerSpecialization,
@@ -23,7 +28,6 @@ use infosleuth_ontology::{
 };
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -103,51 +107,75 @@ impl BrokerConfig {
 struct Shared {
     config: BrokerConfig,
     repo: Mutex<Repository>,
-    bus: Bus,
-    shutdown: AtomicBool,
-    worker_seq: AtomicU64,
 }
 
-/// The broker agent. Construct with [`BrokerAgent::spawn`].
+/// The broker's [`AgentBehavior`]: message dispatch plus the liveness
+/// sweep as its periodic tick.
+struct BrokerBehavior {
+    shared: Arc<Shared>,
+}
+
+impl AgentBehavior for BrokerBehavior {
+    fn on_message(&self, ctx: &AgentContext, env: infosleuth_agent::Envelope) {
+        handle_envelope(&self.shared, ctx, env);
+    }
+
+    fn tick_interval(&self) -> Option<Duration> {
+        self.shared.config.ping_interval
+    }
+
+    fn on_tick(&self, ctx: &AgentContext) {
+        liveness_sweep(&self.shared, ctx);
+    }
+}
+
+/// The broker agent. Construct with [`BrokerAgent::spawn`] (in-proc bus),
+/// [`BrokerAgent::spawn_over`] (any transport, private runtime), or
+/// [`BrokerAgent::spawn_on`] (an existing shared runtime).
 pub struct BrokerAgent;
 
 /// A handle to a running broker: stop it, connect it to peers, inspect its
-/// repository.
+/// repository and delivery-failure count.
 pub struct BrokerHandle {
     shared: Arc<Shared>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    agent: AgentHandle,
+    /// Present when this broker owns a private runtime (the `spawn` /
+    /// `spawn_over` paths); dropped last so in-flight handlers wind down
+    /// after the agent is unregistered.
+    _runtime: Option<AgentRuntime>,
 }
 
 impl BrokerAgent {
-    /// Registers the broker on the bus and starts its message loop.
+    /// Registers the broker on the in-process bus with a private runtime.
     pub fn spawn(bus: &Bus, config: BrokerConfig, repo: Repository) -> Result<BrokerHandle, BusError> {
-        let mut endpoint = bus.register(&config.name)?;
-        let shared = Arc::new(Shared {
-            config,
-            repo: Mutex::new(repo),
-            bus: bus.clone(),
-            shutdown: AtomicBool::new(false),
-            worker_seq: AtomicU64::new(0),
-        });
-        let loop_shared = Arc::clone(&shared);
-        let thread = std::thread::spawn(move || {
-            let mut last_sweep = std::time::Instant::now();
-            while !loop_shared.shutdown.load(Ordering::Relaxed) {
-                if let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) {
-                    let worker_shared = Arc::clone(&loop_shared);
-                    std::thread::spawn(move || handle_envelope(&worker_shared, env));
-                }
-                if let Some(interval) = loop_shared.config.ping_interval {
-                    if last_sweep.elapsed() >= interval {
-                        last_sweep = std::time::Instant::now();
-                        let sweep_shared = Arc::clone(&loop_shared);
-                        std::thread::spawn(move || liveness_sweep(&sweep_shared));
-                    }
-                }
-            }
-            endpoint.unregister();
-        });
-        Ok(BrokerHandle { shared, thread: Some(thread) })
+        BrokerAgent::spawn_over(bus.as_transport(), config, repo)
+    }
+
+    /// Registers the broker on any transport with a private runtime.
+    pub fn spawn_over(
+        transport: Arc<dyn Transport>,
+        config: BrokerConfig,
+        repo: Repository,
+    ) -> Result<BrokerHandle, BusError> {
+        // A broker needs concurrent handlers (mutually-querying peers) but
+        // not a big pool when it runs alone.
+        let runtime = AgentRuntime::new(transport, RuntimeConfig::default().with_workers(4));
+        let mut handle = BrokerAgent::spawn_on(&runtime, config, repo)?;
+        handle._runtime = Some(runtime);
+        Ok(handle)
+    }
+
+    /// Hosts the broker on an existing runtime (the shared-community and
+    /// multi-agent-per-node deployments).
+    pub fn spawn_on(
+        runtime: &AgentRuntime,
+        config: BrokerConfig,
+        repo: Repository,
+    ) -> Result<BrokerHandle, BusError> {
+        let shared = Arc::new(Shared { config, repo: Mutex::new(repo) });
+        let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
+        let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
+        Ok(BrokerHandle { shared, agent, _runtime: None })
     }
 }
 
@@ -162,42 +190,36 @@ impl BrokerHandle {
         f(&mut self.shared.repo.lock())
     }
 
+    /// Sends by this broker that the transport refused (each one was also
+    /// reported to the runtime's monitor agent, when configured).
+    pub fn delivery_failures(&self) -> u64 {
+        self.agent.delivery_failures()
+    }
+
     /// Advertises this broker to a peer broker and stores the peer's
     /// reciprocal advertisement, so both ends know each other (the
     /// bidirectional arrows of Figure 11).
     pub fn connect_peer(&self, peer: &str) -> Result<(), BusError> {
-        let mut ep = ephemeral_endpoint(&self.shared)?;
+        let ctx = self.agent.ctx();
         let my_ad = self.shared.config.broker_advertisement();
         let msg = Message::new(Performative::Advertise)
             .with_ontology("infosleuth-service")
             .with_content(codec::broker_advertisement_to_sexpr(&my_ad));
-        let reply = ep.request(peer, msg, self.shared.config.peer_timeout)?;
+        let reply = ctx.request(peer, msg, self.shared.config.peer_timeout)?;
         if let Some(content) = reply.content() {
             if let Ok(peer_ad) = codec::broker_advertisement_from_sexpr(content) {
                 let _ = self.shared.repo.lock().advertise_broker(peer_ad);
             }
         }
-        ep.unregister();
         Ok(())
     }
 
-    /// Stops the broker cleanly: the message loop exits and the broker's
-    /// mailbox is removed from the bus (subsequent sends fail like sends to
-    /// a dead process).
-    pub fn stop(mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for BrokerHandle {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Stops the broker cleanly: the broker's mailbox is removed from the
+    /// transport (subsequent sends fail like sends to a dead process) and
+    /// no further messages are dispatched to it.
+    pub fn stop(self) {
+        self.agent.stop();
+        // Drop order then shuts down the private runtime, if any.
     }
 }
 
@@ -214,21 +236,17 @@ pub fn interconnect(brokers: &[&BrokerHandle]) -> Result<(), BusError> {
     Ok(())
 }
 
-fn ephemeral_endpoint(shared: &Shared) -> Result<Endpoint, BusError> {
-    let seq = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
-    shared.bus.register(format!("{}.w{}", shared.config.name, seq))
-}
-
-/// Sends `reply` as the broker (not as the worker's ephemeral endpoint).
-fn reply_as_broker(shared: &Shared, to: &str, mut reply: Message) {
-    reply.set("sender", SExpr::atom(&shared.config.name));
-    reply.set("receiver", SExpr::atom(to));
-    let _ = shared.bus.send(&shared.config.name, to, reply);
+/// Sends `reply` as the broker (not as a worker's ephemeral endpoint).
+/// A refused delivery is no longer silently swallowed: the context counts
+/// it in the broker's delivery-failure stat and reports it to the
+/// runtime's monitor agent.
+fn reply_as_broker(ctx: &AgentContext, to: &str, reply: Message) {
+    let _ = ctx.send(to, reply);
 }
 
 /// Pings every advertised agent and removes the ones that no longer
 /// respond — the repository-maintenance half of §2.2's lifecycle.
-fn liveness_sweep(shared: &Shared) {
+fn liveness_sweep(shared: &Shared, ctx: &AgentContext) {
     let agents: Vec<String> = {
         let repo = shared.repo.lock();
         repo.agent_names().map(str::to_string).collect()
@@ -236,17 +254,16 @@ fn liveness_sweep(shared: &Shared) {
     if agents.is_empty() {
         return;
     }
-    let Ok(mut ep) = ephemeral_endpoint(shared) else {
-        return;
-    };
     let mut dead = Vec::new();
     for agent in agents {
         let probe = Message::new(Performative::Ping);
-        if ep.request(&agent, probe, shared.config.peer_timeout).is_err() {
+        // A probe the transport refuses counts as a delivery failure (and
+        // is reported to the monitor) in addition to marking the agent
+        // dead — the sweep no longer swallows send errors.
+        if ctx.request(&agent, probe, shared.config.peer_timeout).is_err() {
             dead.push(agent);
         }
     }
-    ep.unregister();
     if !dead.is_empty() {
         let mut repo = shared.repo.lock();
         for agent in dead {
@@ -255,15 +272,15 @@ fn liveness_sweep(shared: &Shared) {
     }
 }
 
-fn handle_envelope(shared: &Shared, env: infosleuth_agent::Envelope) {
+fn handle_envelope(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::Envelope) {
     let msg = &env.message;
     match msg.performative {
-        Performative::Advertise | Performative::Update => handle_advertise(shared, &env),
-        Performative::Unadvertise => handle_unadvertise(shared, &env),
-        Performative::Ping => handle_ping(shared, &env),
-        Performative::AskAll | Performative::RecruitAll => handle_query(shared, &env, None),
-        Performative::AskOne | Performative::RecruitOne => handle_query(shared, &env, Some(1)),
-        Performative::BrokerOne => handle_broker_one(shared, &env),
+        Performative::Advertise | Performative::Update => handle_advertise(shared, ctx, &env),
+        Performative::Unadvertise => handle_unadvertise(shared, ctx, &env),
+        Performative::Ping => handle_ping(shared, ctx, &env),
+        Performative::AskAll | Performative::RecruitAll => handle_query(shared, ctx, &env, None),
+        Performative::AskOne | Performative::RecruitOne => handle_query(shared, ctx, &env, Some(1)),
+        Performative::BrokerOne => handle_broker_one(shared, ctx, &env),
         _ => {
             let reply = msg
                 .reply_skeleton(Performative::Error)
@@ -271,18 +288,18 @@ fn handle_envelope(shared: &Shared, env: infosleuth_agent::Envelope) {
                     "unsupported performative '{}'",
                     msg.performative
                 )));
-            reply_as_broker(shared, &env.from, reply);
+            reply_as_broker(ctx, &env.from, reply);
         }
     }
 }
 
-fn handle_advertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
+fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
     let Some(content) = env.message.content() else {
         let reply = env
             .message
             .reply_skeleton(Performative::Error)
             .with_content(SExpr::string("advertise without content"));
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
         return;
     };
     // Peer broker advertising itself?
@@ -302,7 +319,7 @@ fn handle_advertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
                 .reply_skeleton(Performative::Sorry)
                 .with_content(SExpr::string(e.to_string())),
         };
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
         return;
     }
     match codec::advertisement_from_sexpr(content) {
@@ -344,19 +361,19 @@ fn handle_advertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
                         .with_content(SExpr::List(items))
                 }
             };
-            reply_as_broker(shared, &env.from, reply);
+            reply_as_broker(ctx, &env.from, reply);
         }
         Err(e) => {
             let reply = env
                 .message
                 .reply_skeleton(Performative::Error)
                 .with_content(SExpr::string(e.to_string()));
-            reply_as_broker(shared, &env.from, reply);
+            reply_as_broker(ctx, &env.from, reply);
         }
     }
 }
 
-fn handle_unadvertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
+fn handle_unadvertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
     // Content is the agent name (atom) or absent (sender unadvertises
     // itself).
     let name = env
@@ -370,10 +387,10 @@ fn handle_unadvertise(shared: &Shared, env: &infosleuth_agent::Envelope) {
         repo.unadvertise(&name) || repo.unadvertise_broker(&name)
     };
     let perf = if removed { Performative::Tell } else { Performative::Sorry };
-    reply_as_broker(shared, &env.from, env.message.reply_skeleton(perf));
+    reply_as_broker(ctx, &env.from, env.message.reply_skeleton(perf));
 }
 
-fn handle_ping(shared: &Shared, env: &infosleuth_agent::Envelope) {
+fn handle_ping(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
     // "In the event that a broker is alive but does not have information
     // about the agent that is doing the querying, [it] will receive a reply
     // containing no matches" — modelled as `sorry`.
@@ -388,16 +405,16 @@ fn handle_ping(shared: &Shared, env: &infosleuth_agent::Envelope) {
         }
         None => Performative::Reply,
     };
-    reply_as_broker(shared, &env.from, env.message.reply_skeleton(perf));
+    reply_as_broker(ctx, &env.from, env.message.reply_skeleton(perf));
 }
 
-fn handle_query(shared: &Shared, env: &infosleuth_agent::Envelope, force_max: Option<usize>) {
+fn handle_query(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope, force_max: Option<usize>) {
     let Some(content) = env.message.content() else {
         let reply = env
             .message
             .reply_skeleton(Performative::Error)
             .with_content(SExpr::string("query without content"));
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
         return;
     };
     // Accept either a full broker-search or a bare service-query.
@@ -420,7 +437,7 @@ fn handle_query(shared: &Shared, env: &infosleuth_agent::Envelope, force_max: Op
                     .message
                     .reply_skeleton(Performative::Error)
                     .with_content(SExpr::string(e.to_string()));
-                reply_as_broker(shared, &env.from, reply);
+                reply_as_broker(ctx, &env.from, reply);
                 return;
             }
         },
@@ -434,13 +451,13 @@ fn handle_query(shared: &Shared, env: &infosleuth_agent::Envelope, force_max: Op
         let perf = if matches.is_empty() { Performative::Sorry } else { Performative::Reply };
         let reply =
             env.message.reply_skeleton(perf).with_content(codec::matches_to_sexpr(&matches));
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
         return;
     }
-    let matches = collaborative_search(shared, &request);
+    let matches = collaborative_search(shared, ctx, &request);
     let perf = if matches.is_empty() { Performative::Sorry } else { Performative::Reply };
     let reply = env.message.reply_skeleton(perf).with_content(codec::matches_to_sexpr(&matches));
-    reply_as_broker(shared, &env.from, reply);
+    reply_as_broker(ctx, &env.from, reply);
 }
 
 /// Answers "which brokers are available (for this domain)?" from the local
@@ -491,7 +508,7 @@ fn broker_discovery(shared: &Shared, query: &ServiceQuery) -> Vec<MatchResult> {
 /// request is forwarded to relevant other brokers … The response to the
 /// broker query contains the union of all agents which have advertised to
 /// some broker that the broker query reached, and which match the request."
-fn collaborative_search(shared: &Shared, request: &codec::SearchRequest) -> Vec<MatchResult> {
+fn collaborative_search(shared: &Shared, ctx: &AgentContext, request: &codec::SearchRequest) -> Vec<MatchResult> {
     // Local matches first. For the expansion decision we must consider
     // matches *without* the max_matches truncation, so run untruncated and
     // truncate at the very end.
@@ -540,7 +557,7 @@ fn collaborative_search(shared: &Shared, request: &codec::SearchRequest) -> Vec<
                 visited,
             };
             for peer in peers {
-                match forward_to_peer(shared, &peer, &forwarded) {
+                match forward_to_peer(shared, ctx, &peer, &forwarded) {
                     Ok(peer_matches) => {
                         matches.extend(peer_matches);
                         if !matches.is_empty()
@@ -584,16 +601,14 @@ fn collaborative_search(shared: &Shared, request: &codec::SearchRequest) -> Vec<
 
 fn forward_to_peer(
     shared: &Shared,
+    ctx: &AgentContext,
     peer: &str,
     request: &codec::SearchRequest,
 ) -> Result<Vec<MatchResult>, BusError> {
-    let mut ep = ephemeral_endpoint(shared)?;
     let msg = Message::new(Performative::AskAll)
         .with_ontology("infosleuth-service")
         .with_content(codec::search_request_to_sexpr(request));
-    let reply = ep.request(peer, msg, shared.config.peer_timeout);
-    ep.unregister();
-    let reply = reply?;
+    let reply = ctx.request(peer, msg, shared.config.peer_timeout)?;
     match reply.content() {
         Some(content) => Ok(codec::matches_from_sexpr(content).unwrap_or_default()),
         None => Ok(Vec::new()),
@@ -605,19 +620,19 @@ fn forward_to_peer(
 /// one matching agent, forwards the embedded message to it, and relays the
 /// answer back to the requester. Content shape:
 /// `(broker-one (service-query ...) (message "<kqml text>"))`.
-fn handle_broker_one(shared: &Shared, env: &infosleuth_agent::Envelope) {
-    let fail = |shared: &Shared, reason: String| {
+fn handle_broker_one(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    let fail = |reason: String| {
         let reply = env
             .message
             .reply_skeleton(Performative::Error)
             .with_content(SExpr::string(reason));
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
     };
     let Some(items) = env.message.content().and_then(SExpr::as_list) else {
-        return fail(shared, "broker-one expects (broker-one (service-query ...) (message ...))".into());
+        return fail("broker-one expects (broker-one (service-query ...) (message ...))".into());
     };
     if items.first().and_then(SExpr::as_atom) != Some("broker-one") {
-        return fail(shared, "expected (broker-one ...) content".into());
+        return fail("expected (broker-one ...) content".into());
     }
     let Some(query_expr) = items.iter().find(|e| {
         e.as_list()
@@ -626,11 +641,11 @@ fn handle_broker_one(shared: &Shared, env: &infosleuth_agent::Envelope) {
             .map(|h| h == "service-query")
             .unwrap_or(false)
     }) else {
-        return fail(shared, "broker-one missing service-query".into());
+        return fail("broker-one missing service-query".into());
     };
     let mut query = match codec::service_query_from_sexpr(query_expr) {
         Ok(q) => q,
-        Err(e) => return fail(shared, e.to_string()),
+        Err(e) => return fail(e.to_string()),
     };
     query.max_matches = Some(1);
     let Some(embedded_text) = items
@@ -644,11 +659,11 @@ fn handle_broker_one(shared: &Shared, env: &infosleuth_agent::Envelope) {
             }
         })
     else {
-        return fail(shared, "broker-one missing embedded message".into());
+        return fail("broker-one missing embedded message".into());
     };
     let embedded = match Message::parse(embedded_text) {
         Ok(m) => m,
-        Err(e) => return fail(shared, format!("embedded message: {e}")),
+        Err(e) => return fail(format!("embedded message: {e}")),
     };
     // Find one provider (collaboratively, per the until-match default).
     let request = codec::SearchRequest {
@@ -656,28 +671,23 @@ fn handle_broker_one(shared: &Shared, env: &infosleuth_agent::Envelope) {
         policy: SearchPolicy::default_for(Some(1)),
         visited: Vec::new(),
     };
-    let matches = collaborative_search(shared, &request);
+    let matches = collaborative_search(shared, ctx, &request);
     let Some(target) = matches.first() else {
         let reply = env.message.reply_skeleton(Performative::Sorry);
-        reply_as_broker(shared, &env.from, reply);
+        reply_as_broker(ctx, &env.from, reply);
         return;
     };
     // Forward and relay.
-    let Ok(mut ep) = ephemeral_endpoint(shared) else {
-        return fail(shared, "broker busy".into());
-    };
-    let forwarded = ep.request(&target.name, embedded, shared.config.peer_timeout);
-    ep.unregister();
-    match forwarded {
+    match ctx.request(&target.name, embedded, shared.config.peer_timeout) {
         Ok(answer) => {
             let mut relay = env.message.reply_skeleton(answer.performative.clone());
             if let Some(content) = answer.content() {
                 relay.set("content", content.clone());
             }
             relay.set("language", SExpr::atom("KQML"));
-            reply_as_broker(shared, &env.from, relay);
+            reply_as_broker(ctx, &env.from, relay);
         }
-        Err(e) => fail(shared, format!("provider '{}' failed: {e}", target.name)),
+        Err(e) => fail(format!("provider '{}' failed: {e}", target.name)),
     }
 }
 
@@ -696,8 +706,8 @@ pub fn broker_one_content(query: &ServiceQuery, embedded: &Message) -> SExpr {
 
 /// Advertises an agent to a broker; `Ok(true)` = accepted, `Ok(false)` =
 /// declined (specialization mismatch or validation failure).
-pub fn advertise_to(
-    ep: &mut Endpoint,
+pub fn advertise_to<R: Requester>(
+    ep: &mut R,
     broker: &str,
     ad: &Advertisement,
     timeout: Duration,
@@ -710,8 +720,8 @@ pub fn advertise_to(
 }
 
 /// Withdraws an agent's advertisement from a broker.
-pub fn unadvertise_from(
-    ep: &mut Endpoint,
+pub fn unadvertise_from<R: Requester>(
+    ep: &mut R,
     broker: &str,
     agent: &str,
     timeout: Duration,
@@ -724,8 +734,8 @@ pub fn unadvertise_from(
 /// Queries a broker for matching agents, optionally overriding the search
 /// policy ("the requesting agent can then specify the policies under which
 /// it wishes for the broker to initiate an inter-broker search").
-pub fn query_broker(
-    ep: &mut Endpoint,
+pub fn query_broker<R: Requester>(
+    ep: &mut R,
     broker: &str,
     query: &ServiceQuery,
     policy: Option<SearchPolicy>,
@@ -1109,6 +1119,46 @@ mod tests {
             assert!(!r.contains_agent("doomed-ra"));
         });
         broker.stop();
+    }
+
+    #[test]
+    fn failed_liveness_probes_are_counted_and_reported() {
+        // A dead advertised agent makes the sweep's ping fail at the
+        // transport: that failure must show up in the broker's
+        // delivery-failure stat AND reach the monitor agent as a log tell
+        // (instead of being silently swallowed as in the seed).
+        let bus = Bus::new();
+        let runtime = AgentRuntime::new(
+            bus.as_transport(),
+            RuntimeConfig::default().with_monitor("monitor-agent"),
+        );
+        let mut monitor = bus.register("monitor-agent").unwrap();
+        let broker = BrokerAgent::spawn_on(
+            &runtime,
+            BrokerConfig::new("broker1", "tcp://b1.mcc.com:5500")
+                .with_ping_interval(Some(Duration::from_millis(50))),
+            Repository::new(),
+        )
+        .unwrap();
+        let mut doomed = bus.register("doomed-ra").unwrap();
+        advertise_to(&mut doomed, "broker1", &resource_ad("doomed-ra", &[]), T).unwrap();
+        assert_eq!(broker.delivery_failures(), 0);
+        doomed.unregister();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while broker.delivery_failures() == 0 {
+            assert!(std::time::Instant::now() < deadline, "sweep never failed a probe");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let env = monitor
+            .recv_timeout(Duration::from_secs(2))
+            .expect("monitor receives the delivery-failure log");
+        assert_eq!(env.message.get_text("ontology"), Some(infosleuth_agent::LOG_ONTOLOGY));
+        let items = env.message.content().and_then(SExpr::as_list).unwrap().to_vec();
+        assert_eq!(items[0], SExpr::atom("delivery-failure"));
+        assert_eq!(items[1], SExpr::atom("broker1"));
+        assert_eq!(items[2], SExpr::atom("doomed-ra"));
+        broker.stop();
+        runtime.shutdown();
     }
 
     #[test]

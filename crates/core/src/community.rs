@@ -1,18 +1,22 @@
 //! Assembling a complete InfoSleuth agent community.
 //!
 //! A community (Figure 1) is brokers + core agents (MRQ, ontology agent) +
-//! resource agents + user agents, all sharing one message bus. The builder
-//! wires everything: brokers spawn and interconnect into a consortium,
-//! resource agents advertise with the configured redundancy, the MRQ agent
-//! advertises to every broker, and user agents connect with the broker
-//! list as their preferred brokers.
+//! resource agents + user agents, all hosted on **one shared
+//! [`AgentRuntime`]** over one [`Transport`] (the in-proc bus by default;
+//! a [`TcpTransport`](infosleuth_agent::TcpTransport) node via
+//! [`CommunityBuilder::with_transport`]). The builder wires everything:
+//! brokers spawn and interconnect into a consortium, resource agents
+//! advertise with the configured redundancy, the MRQ agent advertises to
+//! every broker, and user agents connect with the broker list as their
+//! preferred brokers. The monitor agent doubles as the community's
+//! delivery-failure sink.
 
-use crate::monitor_agent::{spawn_monitor_agent, MonitorAgentHandle, MonitorSpec};
-use crate::mrq_agent::{spawn_mrq_agent, MrqAgentHandle, MrqSpec};
-use crate::ontology_agent::{spawn_ontology_agent, OntologyAgentHandle};
-use crate::resource_agent::{spawn_resource_agent, ResourceAgentHandle, ResourceSpec};
+use crate::monitor_agent::{spawn_monitor_agent_on, MonitorAgentHandle, MonitorSpec};
+use crate::mrq_agent::{spawn_mrq_agent_on, MrqAgentHandle, MrqSpec};
+use crate::ontology_agent::{spawn_ontology_agent_on, OntologyAgentHandle};
+use crate::resource_agent::{spawn_resource_agent_on, ResourceAgentHandle, ResourceSpec};
 use crate::user_agent::UserAgent;
-use infosleuth_agent::{Bus, BusError};
+use infosleuth_agent::{AgentRuntime, Bus, BusError, RuntimeConfig, Transport};
 use infosleuth_broker::{BrokerAgent, BrokerConfig, BrokerHandle, Repository};
 use infosleuth_constraint::Conjunction;
 use infosleuth_ontology::{
@@ -76,7 +80,9 @@ impl ResourceDef {
     }
 
     /// Derives the agent's advertisement from its catalog and ontology.
-    fn advertisement(&self, ontology: &Ontology, port: u16) -> Advertisement {
+    /// Public so distributed deployments can build a [`ResourceSpec`]
+    /// without going through [`CommunityBuilder`].
+    pub fn advertisement(&self, ontology: &Ontology, port: u16) -> Advertisement {
         let classes: BTreeSet<String> =
             self.catalog.names().map(str::to_string).collect();
         let mut slots = BTreeSet::new();
@@ -124,6 +130,7 @@ pub struct CommunityBuilder {
     broker_configs: Vec<BrokerConfig>,
     resources: Vec<ResourceDef>,
     timeout: Duration,
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl Default for CommunityBuilder {
@@ -133,6 +140,7 @@ impl Default for CommunityBuilder {
             broker_configs: Vec::new(),
             resources: Vec::new(),
             timeout: Duration::from_secs(5),
+            transport: None,
         }
     }
 }
@@ -172,13 +180,42 @@ impl CommunityBuilder {
         self
     }
 
-    /// Spawns everything and returns the running community.
+    /// Hosts the community on the given transport (e.g. a
+    /// [`TcpTransport`](infosleuth_agent::TcpTransport) node) instead of
+    /// a fresh in-proc bus. [`Community::bus`] is unavailable on a custom
+    /// transport; use [`Community::transport`].
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Spawns everything on one shared runtime and returns the running
+    /// community.
     pub fn build(self) -> Result<Community, BusError> {
         assert!(
             !self.broker_configs.is_empty(),
             "a community needs at least one broker"
         );
-        let bus = Bus::new();
+        let (bus, transport) = match self.transport {
+            Some(t) => (None, t),
+            None => {
+                let bus = Bus::new();
+                let t = bus.as_transport();
+                (Some(bus), t)
+            }
+        };
+        // One runtime for the whole community. Workers are sized so that
+        // the deepest request chain (user → MRQ → broker → broker peer,
+        // plus resource fan-out and liveness sweeps) always finds a free
+        // worker; requests are timeout-bounded, so an undersized pool
+        // degrades to slow rather than stuck.
+        let agent_count = self.broker_configs.len() + self.resources.len() + 3;
+        let runtime = AgentRuntime::new(
+            Arc::clone(&transport),
+            RuntimeConfig::default()
+                .with_workers((4 + 2 * agent_count).min(48))
+                .with_monitor("monitor-agent"),
+        );
         // Brokers first; they form one fully-interconnected consortium.
         let mut brokers = Vec::new();
         for config in self.broker_configs {
@@ -186,7 +223,7 @@ impl CommunityBuilder {
             for o in &self.ontologies {
                 repo.register_ontology((**o).clone());
             }
-            brokers.push(BrokerAgent::spawn(&bus, config, repo)?);
+            brokers.push(BrokerAgent::spawn_on(&runtime, config, repo)?);
         }
         {
             let refs: Vec<&BrokerHandle> = brokers.iter().collect();
@@ -195,25 +232,26 @@ impl CommunityBuilder {
         let broker_names: Vec<String> =
             brokers.iter().map(|b| b.name().to_string()).collect();
 
-        // Core agents.
+        // Core agents. The monitor comes first so delivery failures during
+        // the rest of the bring-up already have a sink.
+        let monitor = spawn_monitor_agent_on(
+            &runtime,
+            MonitorSpec {
+                name: "monitor-agent".into(),
+                address: "tcp://monitor.mcc.com:6001".into(),
+                brokers: broker_names.clone(),
+                timeout: self.timeout,
+            },
+        )?;
         let ontology_agent =
-            spawn_ontology_agent(&bus, "ontology-agent", self.ontologies.clone())?;
-        let mrq = spawn_mrq_agent(
-            &bus,
+            spawn_ontology_agent_on(&runtime, "ontology-agent", self.ontologies.clone())?;
+        let mrq = spawn_mrq_agent_on(
+            &runtime,
             MrqSpec {
                 name: "mrq-agent".into(),
                 address: "tcp://mrq.mcc.com:6000".into(),
                 brokers: broker_names.clone(),
                 ontologies: self.ontologies.clone(),
-                timeout: self.timeout,
-            },
-        )?;
-        let monitor = spawn_monitor_agent(
-            &bus,
-            MonitorSpec {
-                name: "monitor-agent".into(),
-                address: "tcp://monitor.mcc.com:6001".into(),
-                brokers: broker_names.clone(),
                 timeout: self.timeout,
             },
         )?;
@@ -236,11 +274,13 @@ impl CommunityBuilder {
                 maintenance_interval: def.maintenance_interval,
                 timeout: self.timeout,
             };
-            resources.push(spawn_resource_agent(&bus, spec, &broker_names, self.timeout)?);
+            resources.push(spawn_resource_agent_on(&runtime, spec, &broker_names, self.timeout)?);
         }
 
         Ok(Community {
             bus,
+            transport,
+            runtime,
             brokers,
             broker_names,
             resources,
@@ -254,7 +294,9 @@ impl CommunityBuilder {
 
 /// A running InfoSleuth community.
 pub struct Community {
-    bus: Bus,
+    bus: Option<Bus>,
+    transport: Arc<dyn Transport>,
+    runtime: AgentRuntime,
     brokers: Vec<BrokerHandle>,
     broker_names: Vec<String>,
     resources: Vec<ResourceAgentHandle>,
@@ -269,9 +311,24 @@ impl Community {
         CommunityBuilder::default()
     }
 
-    /// The shared message bus (for spawning additional custom agents).
+    /// The shared in-proc message bus (for spawning additional custom
+    /// agents). Panics when the community was built on a custom
+    /// transport; use [`Community::transport`] there.
     pub fn bus(&self) -> &Bus {
-        &self.bus
+        self.bus
+            .as_ref()
+            .expect("community was built with a custom transport; use transport()")
+    }
+
+    /// The transport every community agent is registered on.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// The shared runtime hosting the community's agents (for spawning
+    /// additional hosted agents).
+    pub fn runtime(&self) -> &AgentRuntime {
+        &self.runtime
     }
 
     pub fn broker_names(&self) -> &[String] {
@@ -282,10 +339,30 @@ impl Community {
         &self.brokers
     }
 
+    /// The monitor agent's handle — the community's delivery-failure log.
+    pub fn monitor(&self) -> Option<&MonitorAgentHandle> {
+        self.monitor.as_ref()
+    }
+
+    /// Total delivery failures across the community's brokers and
+    /// resource agents: sends the transport refused, §4.2.2's death
+    /// signal. A healthy community reports 0.
+    pub fn delivery_failures(&self) -> u64 {
+        let broker_failures: u64 = self.brokers.iter().map(|b| b.delivery_failures()).sum();
+        let resource_failures: u64 =
+            self.resources.iter().map(|r| r.delivery_failures()).sum();
+        broker_failures + resource_failures
+    }
+
     /// Connects a new user agent to the community; its preferred brokers
     /// are all of the community's brokers, in order.
     pub fn user(&self, name: impl Into<String>) -> Result<UserAgent, BusError> {
-        UserAgent::connect(&self.bus, name, self.broker_names.clone(), self.timeout)
+        UserAgent::connect_over(
+            Arc::clone(&self.transport),
+            name,
+            self.broker_names.clone(),
+            self.timeout,
+        )
     }
 
     /// Stops a broker (simulating failure or clean shutdown); the rest of
@@ -328,5 +405,6 @@ impl Community {
         for b in self.brokers.drain(..) {
             b.stop();
         }
+        self.runtime.shutdown();
     }
 }

@@ -62,11 +62,16 @@ pub mod user_agent;
 pub use combine::{merge_class_extent, CombineError};
 pub use community::{Community, CommunityBuilder, ResourceDef};
 pub use monitor_agent::{
-    monitor_advertisement, spawn_monitor_agent, MonitorAgentHandle, MonitorSpec,
+    monitor_advertisement, spawn_monitor_agent, spawn_monitor_agent_on, DeliveryFailure,
+    MonitorAgentHandle, MonitorSpec,
 };
-pub use mrq_agent::{mrq_advertisement, spawn_mrq_agent, MrqAgentHandle, MrqSpec};
-pub use ontology_agent::{spawn_ontology_agent, OntologyAgentHandle};
-pub use resource_agent::{spawn_resource_agent, ResourceAgentHandle, ResourceSpec};
+pub use mrq_agent::{
+    mrq_advertisement, spawn_mrq_agent, spawn_mrq_agent_on, MrqAgentHandle, MrqSpec,
+};
+pub use ontology_agent::{spawn_ontology_agent, spawn_ontology_agent_on, OntologyAgentHandle};
+pub use resource_agent::{
+    spawn_resource_agent, spawn_resource_agent_on, ResourceAgentHandle, ResourceSpec,
+};
 pub use user_agent::{UserAgent, UserAgentError};
 
 // Substrate re-exports, so downstream users depend on one crate.

@@ -9,8 +9,17 @@
 //! agent), opens subscriptions with each of them, and relays their change
 //! notifications back to the user, tagging each with the originating
 //! resource.
+//!
+//! The monitor is also the community's delivery-failure sink: every agent
+//! hosted on an [`AgentRuntime`] configured with this monitor reports
+//! failed sends here as `tell`s tagged with [`LOG_ONTOLOGY`], and the
+//! handle exposes the accumulated log — the observable form of §4.2.2's
+//! "the transport layer will fail to make the connection".
 
-use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_agent::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
+    RuntimeConfig, LOG_ONTOLOGY,
+};
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{
@@ -18,8 +27,8 @@ use infosleuth_ontology::{
     ServiceQuery, SyntacticInfo,
 };
 use infosleuth_relquery::{parse_select, plan, referenced_classes};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,11 +51,25 @@ pub fn monitor_advertisement(name: &str, address: &str) -> Advertisement {
         )
 }
 
+/// One recorded delivery failure, as reported by a sending agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryFailure {
+    /// The agent whose send was refused.
+    pub agent: String,
+    /// The unreachable peer.
+    pub peer: String,
+    /// The performative of the message that could not be delivered.
+    pub performative: String,
+    /// The sender's running failure count at the time of the report.
+    pub count: u64,
+}
+
 /// Handle to a running monitor agent.
 pub struct MonitorAgentHandle {
     name: String,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    agent: AgentHandle,
+    log: Arc<Mutex<Vec<DeliveryFailure>>>,
+    _runtime: Option<AgentRuntime>,
 }
 
 impl MonitorAgentHandle {
@@ -54,20 +77,23 @@ impl MonitorAgentHandle {
         &self.name
     }
 
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Every delivery failure reported to this monitor so far.
+    pub fn delivery_log(&self) -> Vec<DeliveryFailure> {
+        self.log.lock().clone()
     }
-}
 
-impl Drop for MonitorAgentHandle {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Number of delivery-failure reports received.
+    pub fn delivery_failure_reports(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Sends by the monitor itself that the transport refused.
+    pub fn delivery_failures(&self) -> u64 {
+        self.agent.delivery_failures()
+    }
+
+    pub fn stop(self) {
+        self.agent.stop();
     }
 }
 
@@ -79,46 +105,48 @@ struct Relay {
     resource: String,
 }
 
-/// Spawns the monitor agent: advertises to every broker, then serves
-/// `subscribe` requests and relays notifications.
-pub fn spawn_monitor_agent(bus: &Bus, spec: MonitorSpec) -> Result<MonitorAgentHandle, BusError> {
-    let mut endpoint = bus.register(&spec.name)?;
-    let ad = monitor_advertisement(&spec.name, &spec.address);
-    for broker in &spec.brokers {
-        let _ = infosleuth_broker::advertise_to(&mut endpoint, broker, &ad, spec.timeout);
-    }
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&shutdown);
-    let name = spec.name.clone();
-    let thread = std::thread::spawn(move || run_loop(endpoint, spec, flag));
-    Ok(MonitorAgentHandle { name, shutdown, thread: Some(thread) })
+struct MonitorState {
+    relays: HashMap<String, Relay>,
+    seq: u64,
 }
 
-fn run_loop(mut endpoint: Endpoint, spec: MonitorSpec, shutdown: Arc<AtomicBool>) {
-    // Upstream subscription id → downstream relay target.
-    let mut relays: HashMap<String, Relay> = HashMap::new();
-    let mut seq = 0u64;
-    while !shutdown.load(Ordering::Relaxed) {
-        let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
-            continue;
-        };
+struct MonitorBehavior {
+    spec: MonitorSpec,
+    state: Mutex<MonitorState>,
+    log: Arc<Mutex<Vec<DeliveryFailure>>>,
+}
+
+impl AgentBehavior for MonitorBehavior {
+    fn on_message(&self, ctx: &AgentContext, env: Envelope) {
         match env.message.performative {
             Performative::Ping => {
                 let reply = env.message.reply_skeleton(Performative::Reply);
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
             Performative::Subscribe => {
-                seq += 1;
+                let mut state = self.state.lock();
+                state.seq += 1;
+                let seq = state.seq;
                 let reply =
-                    open_subscription(&mut endpoint, &spec, &env, seq, &mut relays);
-                let _ = endpoint.send(&env.from, reply);
+                    open_subscription(ctx, &self.spec, &env, seq, &mut state.relays);
+                drop(state);
+                let _ = ctx.send(&env.from, reply);
             }
             Performative::Tell => {
+                // A delivery-failure report from the runtime (satellite of
+                // §4.2.2): absorb it into the log rather than relaying.
+                if env.message.get_text("ontology") == Some(LOG_ONTOLOGY) {
+                    if let Some(report) = parse_delivery_failure(&env.message) {
+                        self.log.lock().push(report);
+                    }
+                    return;
+                }
                 // A notification from a resource agent: relay downstream.
                 let Some(upstream_id) = env.message.in_reply_to() else {
-                    continue;
+                    return;
                 };
-                if let Some(relay) = relays.get(upstream_id) {
+                let state = self.state.lock();
+                if let Some(relay) = state.relays.get(upstream_id) {
                     let mut fwd = Message::new(Performative::Tell)
                         .with_in_reply_to(relay.downstream_id.clone());
                     if let Some(content) = env.message.content() {
@@ -126,7 +154,7 @@ fn run_loop(mut endpoint: Endpoint, spec: MonitorSpec, shutdown: Arc<AtomicBool>
                     }
                     // Provenance: which resource changed.
                     fwd.set("resource", SExpr::atom(relay.resource.as_str()));
-                    let _ = endpoint.send(&relay.subscriber, fwd);
+                    let _ = ctx.send(&relay.subscriber, fwd);
                 }
             }
             _ => {
@@ -134,19 +162,72 @@ fn run_loop(mut endpoint: Endpoint, spec: MonitorSpec, shutdown: Arc<AtomicBool>
                     .message
                     .reply_skeleton(Performative::Error)
                     .with_content(SExpr::string("monitor agent accepts subscribe only"));
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
         }
     }
-    endpoint.unregister();
+}
+
+/// Decodes a `(delivery-failure <agent> <peer> <performative> <count>)`
+/// log payload.
+fn parse_delivery_failure(msg: &Message) -> Option<DeliveryFailure> {
+    let SExpr::List(items) = msg.content()? else {
+        return None;
+    };
+    let mut texts = items.iter().map(SExpr::as_text);
+    if texts.next()? != Some("delivery-failure") {
+        return None;
+    }
+    Some(DeliveryFailure {
+        agent: texts.next()??.to_string(),
+        peer: texts.next()??.to_string(),
+        performative: texts.next()??.to_string(),
+        count: texts.next()??.parse().ok()?,
+    })
+}
+
+/// Spawns the monitor agent on its own private runtime over the bus.
+pub fn spawn_monitor_agent(bus: &Bus, spec: MonitorSpec) -> Result<MonitorAgentHandle, BusError> {
+    let runtime =
+        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let mut handle = spawn_monitor_agent_on(&runtime, spec)?;
+    handle._runtime = Some(runtime);
+    Ok(handle)
+}
+
+/// Spawns the monitor agent on a shared [`AgentRuntime`]: advertises to
+/// every broker, then serves `subscribe` requests, relays notifications,
+/// and accumulates delivery-failure reports.
+pub fn spawn_monitor_agent_on(
+    runtime: &AgentRuntime,
+    spec: MonitorSpec,
+) -> Result<MonitorAgentHandle, BusError> {
+    let name = spec.name.clone();
+    let ad = monitor_advertisement(&spec.name, &spec.address);
+    let brokers = spec.brokers.clone();
+    let timeout = spec.timeout;
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let behavior = Arc::new(MonitorBehavior {
+        spec,
+        state: Mutex::new(MonitorState { relays: HashMap::new(), seq: 0 }),
+        log: Arc::clone(&log),
+    });
+    let agent = runtime.spawn(&name, behavior)?;
+    {
+        let mut requester = &**agent.ctx();
+        for broker in &brokers {
+            let _ = infosleuth_broker::advertise_to(&mut requester, broker, &ad, timeout);
+        }
+    }
+    Ok(MonitorAgentHandle { name, agent, log, _runtime: None })
 }
 
 /// Locates contributing resources for a standing query and subscribes to
 /// each; returns the downstream acknowledgement.
 fn open_subscription(
-    endpoint: &mut Endpoint,
+    ctx: &AgentContext,
     spec: &MonitorSpec,
-    env: &infosleuth_agent::Envelope,
+    env: &Envelope,
     seq: u64,
     relays: &mut HashMap<String, Relay>,
 ) -> Message {
@@ -174,9 +255,10 @@ fn open_subscription(
     if let Some(o) = env.message.ontology() {
         query = query.with_ontology(o);
     }
+    let mut requester = ctx;
     let mut matches = Vec::new();
     for broker in &spec.brokers {
-        if let Ok(m) = query_broker(endpoint, broker, &query, None, spec.timeout) {
+        if let Ok(m) = query_broker(&mut requester, broker, &query, None, spec.timeout) {
             if !m.is_empty() {
                 matches = m;
                 break;
@@ -195,10 +277,13 @@ fn open_subscription(
         .unwrap_or_else(|| format!("mon-{seq}"));
     let mut opened = 0;
     for m in &matches {
+        // `reply-to`: notifications must flow to the monitor's own
+        // mailbox, not the ephemeral endpoint carrying this request.
         let sub = Message::new(Performative::Subscribe)
             .with_language("SQL 2.0")
+            .with("reply-to", SExpr::atom(ctx.name()))
             .with_content(SExpr::string(sql.clone()));
-        match endpoint.request(&m.name, sub, spec.timeout) {
+        match ctx.request(&m.name, sub, spec.timeout) {
             Ok(ack) if ack.performative == Performative::Tell => {
                 let upstream_id = ack
                     .content()
@@ -206,10 +291,15 @@ fn open_subscription(
                     .unwrap_or_default()
                     .to_string();
                 if !upstream_id.is_empty() {
+                    let subscriber = env
+                        .message
+                        .get_text("reply-to")
+                        .unwrap_or(&env.from)
+                        .to_string();
                     relays.insert(
                         upstream_id,
                         Relay {
-                            subscriber: env.from.clone(),
+                            subscriber,
                             downstream_id: downstream_id.clone(),
                             resource: m.name.clone(),
                         },
@@ -230,4 +320,77 @@ fn open_subscription(
         .reply_skeleton(Performative::Tell)
         .with_content(SExpr::atom(downstream_id))
         .with("resources", SExpr::Atom(opened.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_delivery_failure_reports() {
+        let msg = Message::new(Performative::Tell)
+            .with_ontology(LOG_ONTOLOGY)
+            .with_content(SExpr::list(vec![
+                SExpr::atom("delivery-failure"),
+                SExpr::atom("broker-1"),
+                SExpr::atom("dead-ra"),
+                SExpr::atom("ping"),
+                SExpr::atom("3"),
+            ]));
+        let report = parse_delivery_failure(&msg).expect("parses");
+        assert_eq!(
+            report,
+            DeliveryFailure {
+                agent: "broker-1".into(),
+                peer: "dead-ra".into(),
+                performative: "ping".into(),
+                count: 3,
+            }
+        );
+        // Malformed payloads are ignored, not crashes.
+        let junk = Message::new(Performative::Tell).with_content(SExpr::atom("nope"));
+        assert_eq!(parse_delivery_failure(&junk), None);
+    }
+
+    #[test]
+    fn absorbs_runtime_failure_reports_into_the_log() {
+        use infosleuth_agent::RuntimeConfig;
+        let bus = Bus::new();
+        let runtime = AgentRuntime::new(
+            bus.as_transport(),
+            RuntimeConfig::default().with_monitor("monitor-agent"),
+        );
+        let monitor = spawn_monitor_agent_on(
+            &runtime,
+            MonitorSpec {
+                name: "monitor-agent".into(),
+                address: "tcp://monitor.mcc.com:6001".into(),
+                brokers: vec![],
+                timeout: Duration::from_millis(200),
+            },
+        )
+        .unwrap();
+        struct Talker;
+        impl AgentBehavior for Talker {
+            fn on_message(&self, ctx: &AgentContext, _env: Envelope) {
+                let _ = ctx.send("ghost-agent", Message::new(Performative::Ping));
+            }
+        }
+        let talker = runtime.spawn("talker", Arc::new(Talker)).unwrap();
+        bus.register("poker")
+            .unwrap()
+            .send("talker", Message::new(Performative::Tell))
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while monitor.delivery_failure_reports() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let log = monitor.delivery_log();
+        assert!(!log.is_empty(), "monitor never received the failure report");
+        assert_eq!(log[0].agent, "talker");
+        assert_eq!(log[0].peer, "ghost-agent");
+        assert_eq!(talker.delivery_failures(), 1);
+        monitor.stop();
+        runtime.shutdown();
+    }
 }

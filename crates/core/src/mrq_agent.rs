@@ -15,7 +15,10 @@
 
 use crate::combine::merge_class_extent;
 use crate::tablecodec;
-use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_agent::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
+    RuntimeConfig,
+};
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{
@@ -24,7 +27,6 @@ use infosleuth_ontology::{
 };
 use infosleuth_relquery::{execute, parse_select, plan, referenced_classes, Catalog, Table};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,8 +62,8 @@ pub fn mrq_advertisement(name: &str, address: &str) -> Advertisement {
 /// Handle to a running MRQ agent.
 pub struct MrqAgentHandle {
     name: String,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    agent: AgentHandle,
+    _runtime: Option<AgentRuntime>,
 }
 
 impl MrqAgentHandle {
@@ -69,75 +71,82 @@ impl MrqAgentHandle {
         &self.name
     }
 
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Sends by this agent that the transport refused.
+    pub fn delivery_failures(&self) -> u64 {
+        self.agent.delivery_failures()
+    }
+
+    pub fn stop(self) {
+        self.agent.stop();
     }
 }
 
-impl Drop for MrqAgentHandle {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
+struct MrqBehavior {
+    spec: MrqSpec,
 }
 
-/// Spawns the MRQ agent: advertises to every configured broker, then
-/// serves SQL `ask-all` queries.
-pub fn spawn_mrq_agent(bus: &Bus, spec: MrqSpec) -> Result<MrqAgentHandle, BusError> {
-    let mut endpoint = bus.register(&spec.name)?;
-    let ad = mrq_advertisement(&spec.name, &spec.address);
-    for broker in &spec.brokers {
-        let _ = infosleuth_broker::advertise_to(&mut endpoint, broker, &ad, spec.timeout);
-    }
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&shutdown);
-    let name = spec.name.clone();
-    let thread = std::thread::spawn(move || run_loop(endpoint, spec, flag));
-    Ok(MrqAgentHandle { name, shutdown, thread: Some(thread) })
-}
-
-fn run_loop(mut endpoint: Endpoint, spec: MrqSpec, shutdown: Arc<AtomicBool>) {
-    while !shutdown.load(Ordering::Relaxed) {
-        let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
-            continue;
-        };
+impl AgentBehavior for MrqBehavior {
+    fn on_message(&self, ctx: &AgentContext, env: Envelope) {
         match env.message.performative {
             Performative::Ping => {
                 let reply = env.message.reply_skeleton(Performative::Reply);
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
             Performative::AskAll | Performative::AskOne => {
                 let reply = match env.message.content().and_then(SExpr::as_text) {
                     Some(sql) => {
                         let sql = sql.to_string();
-                        answer(&mut endpoint, &spec, &sql, &env.message)
+                        answer(ctx, &self.spec, &sql, &env.message)
                     }
                     None => env
                         .message
                         .reply_skeleton(Performative::Error)
                         .with_content(SExpr::string("expected SQL content")),
                 };
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
             _ => {
                 let reply = env
                     .message
                     .reply_skeleton(Performative::Error)
                     .with_content(SExpr::string("MRQ agent answers SQL ask-all only"));
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
         }
     }
-    endpoint.unregister();
+}
+
+/// Spawns the MRQ agent on its own private runtime over the bus.
+pub fn spawn_mrq_agent(bus: &Bus, spec: MrqSpec) -> Result<MrqAgentHandle, BusError> {
+    let runtime =
+        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(4));
+    let mut handle = spawn_mrq_agent_on(&runtime, spec)?;
+    handle._runtime = Some(runtime);
+    Ok(handle)
+}
+
+/// Spawns the MRQ agent on a shared [`AgentRuntime`]: advertises to every
+/// configured broker, then serves SQL `ask-all` queries.
+pub fn spawn_mrq_agent_on(
+    runtime: &AgentRuntime,
+    spec: MrqSpec,
+) -> Result<MrqAgentHandle, BusError> {
+    let name = spec.name.clone();
+    let ad = mrq_advertisement(&spec.name, &spec.address);
+    let brokers = spec.brokers.clone();
+    let timeout = spec.timeout;
+    let agent = runtime.spawn(&name, Arc::new(MrqBehavior { spec }))?;
+    {
+        let mut requester = &**agent.ctx();
+        for broker in &brokers {
+            let _ = infosleuth_broker::advertise_to(&mut requester, broker, &ad, timeout);
+        }
+    }
+    Ok(MrqAgentHandle { name, agent, _runtime: None })
 }
 
 /// Full multiresource answering pipeline for one SQL query.
-fn answer(endpoint: &mut Endpoint, spec: &MrqSpec, sql: &str, msg: &Message) -> Message {
+fn answer(ctx: &AgentContext, spec: &MrqSpec, sql: &str, msg: &Message) -> Message {
     let stmt = match parse_select(sql) {
         Ok(s) => s,
         Err(e) => {
@@ -155,7 +164,7 @@ fn answer(endpoint: &mut Endpoint, spec: &MrqSpec, sql: &str, msg: &Message) -> 
     let mut catalog = Catalog::new();
     for class in &classes {
         let ontology = ontology_for_class(spec, requested_ontology.as_deref(), class);
-        match assemble_class(endpoint, spec, class, ontology.as_deref(), &stmt.where_clause) {
+        match assemble_class(ctx, spec, class, ontology.as_deref(), &stmt.where_clause) {
             Ok(table) => catalog.insert(table),
             Err(reason) => {
                 return msg.reply_skeleton(Performative::Sorry).with_content(SExpr::string(reason))
@@ -186,7 +195,7 @@ fn ontology_for_class(
 /// Locates contributors for one class via the brokers and merges their
 /// contributions into one extent.
 fn assemble_class(
-    endpoint: &mut Endpoint,
+    ctx: &AgentContext,
     spec: &MrqSpec,
     class: &str,
     ontology: Option<&Ontology>,
@@ -201,9 +210,10 @@ fn assemble_class(
         query = query.with_ontology(o.name.clone());
     }
     // Ask brokers in order until one answers (redundant connectivity).
+    let mut requester = ctx;
     let mut matches = Vec::new();
     for broker in &spec.brokers {
-        match query_broker(endpoint, broker, &query, None, spec.timeout) {
+        match query_broker(&mut requester, broker, &query, None, spec.timeout) {
             Ok(m) if !m.is_empty() => {
                 matches = m;
                 break;
@@ -221,7 +231,7 @@ fn assemble_class(
         let ask = Message::new(Performative::AskAll)
             .with_language("SQL 2.0")
             .with_content(SExpr::string(sql.clone()));
-        if let Ok(reply) = endpoint.request(&m.name, ask, spec.timeout) {
+        if let Ok(reply) = ctx.request(&m.name, ask, spec.timeout) {
             if reply.performative == Performative::Reply {
                 if let Some(content) = reply.content() {
                     if let Ok(table) = tablecodec::table_from_sexpr(content) {

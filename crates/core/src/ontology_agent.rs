@@ -2,14 +2,17 @@
 //!
 //! "These agents service requests over a set of common ontologies, accessed
 //! via the ontology agents." Agents ask it for class and slot definitions
-//! by name; the reply carries a structured `(ontology ...)` payload.
+//! by name; the reply carries a structured `(ontology ...)` payload. The
+//! agent is stateless, so it is the simplest possible
+//! [`AgentBehavior`]: one message in, one reply out.
 
-use infosleuth_agent::{Bus, BusError};
+use infosleuth_agent::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
+    RuntimeConfig,
+};
 use infosleuth_kqml::{Performative, SExpr};
 use infosleuth_ontology::Ontology;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Encodes an ontology's structure (names, classes, slots, hierarchy).
 pub fn ontology_to_sexpr(o: &Ontology) -> SExpr {
@@ -38,8 +41,8 @@ pub fn ontology_to_sexpr(o: &Ontology) -> SExpr {
 /// Handle to a running ontology agent.
 pub struct OntologyAgentHandle {
     name: String,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    agent: AgentHandle,
+    _runtime: Option<AgentRuntime>,
 }
 
 impl OntologyAgentHandle {
@@ -47,62 +50,67 @@ impl OntologyAgentHandle {
         &self.name
     }
 
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Sends by this agent that the transport refused.
+    pub fn delivery_failures(&self) -> u64 {
+        self.agent.delivery_failures()
+    }
+
+    pub fn stop(self) {
+        self.agent.stop();
     }
 }
 
-impl Drop for OntologyAgentHandle {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+struct OntologyBehavior {
+    ontologies: Vec<Arc<Ontology>>,
+}
+
+impl AgentBehavior for OntologyBehavior {
+    fn on_message(&self, ctx: &AgentContext, env: Envelope) {
+        let reply = match env.message.performative {
+            Performative::Ping => env.message.reply_skeleton(Performative::Reply),
+            Performative::AskOne | Performative::AskAll => {
+                let wanted = env.message.content().and_then(SExpr::as_text);
+                match wanted.and_then(|w| self.ontologies.iter().find(|o| o.name == w)) {
+                    Some(o) => env
+                        .message
+                        .reply_skeleton(Performative::Reply)
+                        .with_content(ontology_to_sexpr(o)),
+                    None => env.message.reply_skeleton(Performative::Sorry),
+                }
+            }
+            _ => env
+                .message
+                .reply_skeleton(Performative::Error)
+                .with_content(SExpr::string("ontology agent answers ask-one only")),
+        };
+        let _ = ctx.send(&env.from, reply);
     }
 }
 
-/// Spawns an ontology agent serving the given ontologies. `ask-one` with an
-/// ontology-name atom as content returns the definition; unknown names get
-/// `sorry`.
+/// Spawns an ontology agent on its own private runtime over the bus.
+/// `ask-one` with an ontology-name atom as content returns the
+/// definition; unknown names get `sorry`.
 pub fn spawn_ontology_agent(
     bus: &Bus,
     name: impl Into<String>,
     ontologies: Vec<Arc<Ontology>>,
 ) -> Result<OntologyAgentHandle, BusError> {
+    let runtime =
+        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let mut handle = spawn_ontology_agent_on(&runtime, name, ontologies)?;
+    handle._runtime = Some(runtime);
+    Ok(handle)
+}
+
+/// Spawns an ontology agent on a shared [`AgentRuntime`].
+pub fn spawn_ontology_agent_on(
+    runtime: &AgentRuntime,
+    name: impl Into<String>,
+    ontologies: Vec<Arc<Ontology>>,
+) -> Result<OntologyAgentHandle, BusError> {
     let name = name.into();
-    let mut endpoint = bus.register(&name)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&shutdown);
-    let thread = std::thread::spawn(move || {
-        while !flag.load(Ordering::Relaxed) {
-            let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
-                continue;
-            };
-            let reply = match env.message.performative {
-                Performative::Ping => env.message.reply_skeleton(Performative::Reply),
-                Performative::AskOne | Performative::AskAll => {
-                    let wanted = env.message.content().and_then(SExpr::as_text);
-                    match wanted.and_then(|w| ontologies.iter().find(|o| o.name == w)) {
-                        Some(o) => env
-                            .message
-                            .reply_skeleton(Performative::Reply)
-                            .with_content(ontology_to_sexpr(o)),
-                        None => env.message.reply_skeleton(Performative::Sorry),
-                    }
-                }
-                _ => env
-                    .message
-                    .reply_skeleton(Performative::Error)
-                    .with_content(SExpr::string("ontology agent answers ask-one only")),
-            };
-            let _ = endpoint.send(&env.from, reply);
-        }
-        endpoint.unregister();
-    });
-    Ok(OntologyAgentHandle { name, shutdown, thread: Some(thread) })
+    let agent = runtime.spawn(&name, Arc::new(OntologyBehavior { ontologies }))?;
+    Ok(OntologyAgentHandle { name, agent, _runtime: None })
 }
 
 #[cfg(test)]
@@ -111,6 +119,7 @@ mod tests {
     use infosleuth_agent::Bus;
     use infosleuth_kqml::Message;
     use infosleuth_ontology::healthcare_ontology;
+    use std::time::Duration;
 
     #[test]
     fn serves_ontology_definitions() {

@@ -4,15 +4,19 @@
 //! proxies for structured or semi-structured repositories." Each one wraps
 //! an in-memory relational [`Catalog`], advertises its content to brokers
 //! (with redundancy, per §4.2), answers SQL `ask-all` queries, and responds
-//! to pings.
+//! to pings. Resource agents are hosted on an [`AgentRuntime`]; §4.2.2
+//! broker maintenance runs as the agent's periodic tick.
 
 use crate::tablecodec;
-use infosleuth_agent::{BrokerLists, Bus, BusError, Endpoint};
+use infosleuth_agent::{
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, BrokerLists, Bus, BusError, Envelope,
+    Requester, RuntimeConfig,
+};
 use infosleuth_broker::advertise_to;
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{Advertisement, Ontology};
 use infosleuth_relquery::{execute, parse_select, plan, Catalog, LogicalPlan, Table};
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,8 +45,8 @@ pub struct ResourceSpec {
 /// Handle to a running resource agent.
 pub struct ResourceAgentHandle {
     name: String,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    agent: AgentHandle,
+    _runtime: Option<AgentRuntime>,
 }
 
 impl ResourceAgentHandle {
@@ -50,60 +54,14 @@ impl ResourceAgentHandle {
         &self.name
     }
 
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Sends by this agent the transport refused (dead brokers, vanished
+    /// subscribers).
+    pub fn delivery_failures(&self) -> u64 {
+        self.agent.delivery_failures()
     }
-}
 
-impl Drop for ResourceAgentHandle {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-/// Spawns a resource agent: registers on the bus, advertises to brokers
-/// per the spec's redundancy, then serves queries.
-pub fn spawn_resource_agent(
-    bus: &Bus,
-    spec: ResourceSpec,
-    brokers: &[String],
-    timeout: Duration,
-) -> Result<ResourceAgentHandle, BusError> {
-    let name = spec.advertisement.location.name.clone();
-    let mut endpoint = bus.register(&name)?;
-    let mut lists = BrokerLists::new(brokers.iter().cloned(), spec.redundancy);
-    advertise_per_plan(&mut endpoint, &mut lists, &spec.advertisement, timeout);
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&shutdown);
-    let thread = std::thread::spawn(move || {
-        run_loop(endpoint, spec, lists, flag);
-    });
-    Ok(ResourceAgentHandle { name, shutdown, thread: Some(thread) })
-}
-
-/// Advertises to brokers following the §4.2 plan until redundancy is met
-/// or candidates run out.
-fn advertise_per_plan(
-    endpoint: &mut Endpoint,
-    lists: &mut BrokerLists,
-    ad: &Advertisement,
-    timeout: Duration,
-) {
-    let plan = lists.plan_readvertise();
-    for broker in plan.advertise_to {
-        if !lists.needs_advertising() {
-            break; // redundancy target met
-        }
-        match advertise_to(endpoint, &broker, ad, timeout) {
-            Ok(true) => lists.record_advertised(&broker),
-            Ok(false) | Err(_) => lists.record_lost(&broker),
-        }
+    pub fn stop(self) {
+        self.agent.stop();
     }
 }
 
@@ -116,39 +74,38 @@ struct Subscription {
     last: Option<Table>,
 }
 
-fn run_loop(
-    mut endpoint: Endpoint,
-    mut spec: ResourceSpec,
-    mut lists: BrokerLists,
-    shutdown: Arc<AtomicBool>,
-) {
-    let mut subscriptions: Vec<Subscription> = Vec::new();
-    let mut sub_seq = 0u64;
-    let mut last_maintenance = std::time::Instant::now();
-    while !shutdown.load(Ordering::Relaxed) {
-        if let Some(interval) = spec.maintenance_interval {
-            if last_maintenance.elapsed() >= interval {
-                last_maintenance = std::time::Instant::now();
-                maintain_broker_connections(&mut endpoint, &mut lists, &spec);
-            }
-        }
-        let Some(env) = endpoint.recv_timeout(Duration::from_millis(20)) else {
-            continue;
-        };
+/// Mutable state guarded as one unit, so each handler sees (and leaves)
+/// a consistent catalog + broker-list + subscription picture — the same
+/// serialization the seed's single loop thread provided.
+struct ResourceState {
+    spec: ResourceSpec,
+    lists: BrokerLists,
+    subscriptions: Vec<Subscription>,
+    sub_seq: u64,
+}
+
+struct ResourceBehavior {
+    maintenance_interval: Option<Duration>,
+    state: Mutex<ResourceState>,
+}
+
+impl AgentBehavior for ResourceBehavior {
+    fn on_message(&self, ctx: &AgentContext, env: Envelope) {
+        let mut state = self.state.lock();
         match env.message.performative {
             Performative::Ping => {
                 let reply = env.message.reply_skeleton(Performative::Reply);
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
             Performative::AskAll | Performative::AskOne => {
                 let reply = match env.message.content().and_then(SExpr::as_text) {
-                    Some(sql) => answer_sql(&spec, sql, &env.message),
+                    Some(sql) => answer_sql(&state.spec, sql, &env.message),
                     None => env
                         .message
                         .reply_skeleton(Performative::Error)
                         .with_content(SExpr::string("expected SQL content")),
                 };
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
             Performative::Subscribe => {
                 let Some(sql) = env.message.content().and_then(SExpr::as_text) else {
@@ -156,18 +113,26 @@ fn run_loop(
                         .message
                         .reply_skeleton(Performative::Error)
                         .with_content(SExpr::string("expected SQL content"));
-                    let _ = endpoint.send(&env.from, reply);
-                    continue;
+                    let _ = ctx.send(&env.from, reply);
+                    return;
                 };
-                sub_seq += 1;
+                state.sub_seq += 1;
                 let id = env
                     .message
                     .reply_with()
                     .map(str::to_string)
-                    .unwrap_or_else(|| format!("sub-{sub_seq}"));
+                    .unwrap_or_else(|| format!("sub-{}", state.sub_seq));
+                // Notifications go to the message's `reply-to` when set:
+                // a subscriber that asked through a request-scoped
+                // endpoint names its long-lived mailbox there.
+                let subscriber = env
+                    .message
+                    .get_text("reply-to")
+                    .unwrap_or(&env.from)
+                    .to_string();
                 let mut sub = Subscription {
                     id: id.clone(),
-                    subscriber: env.from.clone(),
+                    subscriber,
                     sql: sql.to_string(),
                     last: None,
                 };
@@ -176,14 +141,14 @@ fn run_loop(
                     .message
                     .reply_skeleton(Performative::Tell)
                     .with_content(SExpr::atom(id));
-                let _ = endpoint.send(&env.from, ack);
-                notify_if_changed(&mut endpoint, &spec, &mut sub);
-                subscriptions.push(sub);
+                let _ = ctx.send(&env.from, ack);
+                notify_if_changed(ctx, &state.spec, &mut sub);
+                state.subscriptions.push(sub);
             }
             Performative::Update => {
                 let reply = match env.message.content().and_then(tablecodec::table_from_sexpr_ok)
                 {
-                    Some(rows) => match apply_update(&mut spec, &rows) {
+                    Some(rows) => match apply_update(&mut state.spec, &rows) {
                         Ok(n) => env
                             .message
                             .reply_skeleton(Performative::Tell)
@@ -199,10 +164,11 @@ fn run_loop(
                         .with_content(SExpr::string("expected (table ...) content")),
                 };
                 let ok = reply.performative == Performative::Tell;
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
                 if ok {
-                    for sub in &mut subscriptions {
-                        notify_if_changed(&mut endpoint, &spec, sub);
+                    let ResourceState { spec, subscriptions, .. } = &mut *state;
+                    for sub in subscriptions.iter_mut() {
+                        notify_if_changed(ctx, spec, sub);
                     }
                 }
             }
@@ -213,30 +179,106 @@ fn run_loop(
                     .with_content(SExpr::string(
                         "resource agents answer SQL ask-all/subscribe/update only",
                     ));
-                let _ = endpoint.send(&env.from, reply);
+                let _ = ctx.send(&env.from, reply);
             }
         }
     }
-    endpoint.unregister();
+
+    fn tick_interval(&self) -> Option<Duration> {
+        self.maintenance_interval
+    }
+
+    fn on_tick(&self, ctx: &AgentContext) {
+        let mut state = self.state.lock();
+        let ResourceState { spec, lists, .. } = &mut *state;
+        let mut requester = ctx;
+        maintain_broker_connections(&mut requester, lists, spec);
+    }
+}
+
+/// Spawns a resource agent on its own private runtime over the bus:
+/// registers, advertises to brokers per the spec's redundancy, then
+/// serves queries.
+pub fn spawn_resource_agent(
+    bus: &Bus,
+    spec: ResourceSpec,
+    brokers: &[String],
+    timeout: Duration,
+) -> Result<ResourceAgentHandle, BusError> {
+    let runtime =
+        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let mut handle = spawn_resource_agent_on(&runtime, spec, brokers, timeout)?;
+    handle._runtime = Some(runtime);
+    Ok(handle)
+}
+
+/// Spawns a resource agent on a shared [`AgentRuntime`].
+pub fn spawn_resource_agent_on(
+    runtime: &AgentRuntime,
+    spec: ResourceSpec,
+    brokers: &[String],
+    timeout: Duration,
+) -> Result<ResourceAgentHandle, BusError> {
+    let name = spec.advertisement.location.name.clone();
+    let lists = BrokerLists::new(brokers.iter().cloned(), spec.redundancy);
+    let behavior = Arc::new(ResourceBehavior {
+        maintenance_interval: spec.maintenance_interval,
+        state: Mutex::new(ResourceState {
+            spec,
+            lists,
+            subscriptions: Vec::new(),
+            sub_seq: 0,
+        }),
+    });
+    let agent = runtime.spawn(&name, Arc::clone(&behavior) as Arc<dyn AgentBehavior>)?;
+    {
+        // Initial advertising, synchronously, so callers see a connected
+        // agent as soon as the spawn returns.
+        let mut state = behavior.state.lock();
+        let ResourceState { spec, lists, .. } = &mut *state;
+        let mut requester = &**agent.ctx();
+        advertise_per_plan(&mut requester, lists, &spec.advertisement, timeout);
+    }
+    Ok(ResourceAgentHandle { name, agent, _runtime: None })
+}
+
+/// Advertises to brokers following the §4.2 plan until redundancy is met
+/// or candidates run out.
+fn advertise_per_plan<R: Requester>(
+    requester: &mut R,
+    lists: &mut BrokerLists,
+    ad: &Advertisement,
+    timeout: Duration,
+) {
+    let plan = lists.plan_readvertise();
+    for broker in plan.advertise_to {
+        if !lists.needs_advertising() {
+            break; // redundancy target met
+        }
+        match advertise_to(requester, &broker, ad, timeout) {
+            Ok(true) => lists.record_advertised(&broker),
+            Ok(false) | Err(_) => lists.record_lost(&broker),
+        }
+    }
 }
 
 /// §4.2.2: ping each connected broker about ourselves; drop brokers that
 /// died or forgot us; re-advertise to restore the redundancy target.
-fn maintain_broker_connections(
-    endpoint: &mut Endpoint,
+fn maintain_broker_connections<R: Requester>(
+    requester: &mut R,
     lists: &mut BrokerLists,
     spec: &ResourceSpec,
 ) {
     let connected: Vec<String> = lists.connected().map(str::to_string).collect();
     let me = spec.advertisement.location.name.clone();
     for broker in connected {
-        match infosleuth_agent::ping(endpoint, &broker, Some(&me), spec.timeout) {
+        match infosleuth_agent::ping(requester, &broker, Some(&me), spec.timeout) {
             Ok(true) => {}
             Ok(false) => lists.record_forgotten(&broker),
             Err(_) => lists.record_lost(&broker),
         }
     }
-    advertise_per_plan(endpoint, lists, &spec.advertisement, spec.timeout);
+    advertise_per_plan(requester, lists, &spec.advertisement, spec.timeout);
 }
 
 /// Appends incoming rows to the named local table, aligning columns by
@@ -265,7 +307,7 @@ fn apply_update(spec: &mut ResourceSpec, rows: &Table) -> Result<usize, String> 
 
 /// Re-evaluates a subscription; when the result changed, sends the
 /// subscriber a `tell` notification tagged with the subscription id.
-fn notify_if_changed(endpoint: &mut Endpoint, spec: &ResourceSpec, sub: &mut Subscription) {
+fn notify_if_changed(ctx: &AgentContext, spec: &ResourceSpec, sub: &mut Subscription) {
     let Ok(stmt) = parse_select(&sub.sql) else {
         return;
     };
@@ -279,7 +321,7 @@ fn notify_if_changed(endpoint: &mut Endpoint, spec: &ResourceSpec, sub: &mut Sub
     let notification = Message::new(Performative::Tell)
         .with_in_reply_to(sub.id.clone())
         .with_content(tablecodec::table_to_sexpr(&result));
-    let _ = endpoint.send(&sub.subscriber, notification);
+    let _ = ctx.send(&sub.subscriber, notification);
     sub.last = Some(result);
 }
 
@@ -477,5 +519,40 @@ mod tests {
         );
         handle.stop();
         assert!(!bus.is_registered("ra-test"));
+    }
+
+    #[test]
+    fn hosted_agent_serves_subscriptions_on_shared_runtime() {
+        use infosleuth_agent::{AgentRuntime, RuntimeConfig};
+        let bus = Bus::new();
+        let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default());
+        let spec = spec_with(vec![table("C2", vec![(1, 10)])]);
+        let handle =
+            spawn_resource_agent_on(&runtime, spec, &[], Duration::from_secs(1)).unwrap();
+        let mut client = bus.register("subscriber").unwrap();
+        let ack = client
+            .request(
+                "ra-test",
+                Message::new(Performative::Subscribe)
+                    .with_language("SQL 2.0")
+                    .with_content(SExpr::string("select * from C2")),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(ack.performative, Performative::Tell);
+        // The initial snapshot follows the ack.
+        let snapshot = client.recv_timeout(Duration::from_secs(2)).expect("initial snapshot");
+        let t = tablecodec::table_from_sexpr(snapshot.message.content().unwrap()).unwrap();
+        assert_eq!(t.len(), 1);
+        // An update triggers a change notification.
+        let update = Message::new(Performative::Update)
+            .with_content(tablecodec::table_to_sexpr(&table("C2", vec![(2, 20)])));
+        let reply = client.request("ra-test", update, Duration::from_secs(2)).unwrap();
+        assert_eq!(reply.performative, Performative::Tell);
+        let notify = client.recv_timeout(Duration::from_secs(2)).expect("change notification");
+        let t = tablecodec::table_from_sexpr(notify.message.content().unwrap()).unwrap();
+        assert_eq!(t.len(), 2);
+        handle.stop();
+        runtime.shutdown();
     }
 }

@@ -6,7 +6,7 @@
 //! and returns the assembled result.
 
 use crate::tablecodec;
-use infosleuth_agent::{Bus, BusError, Endpoint};
+use infosleuth_agent::{Bus, BusError, Endpoint, Transport, TransportExt};
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{AgentType, Capability, ServiceQuery};
@@ -64,7 +64,18 @@ impl UserAgent {
         brokers: Vec<String>,
         timeout: Duration,
     ) -> Result<UserAgent, BusError> {
-        let endpoint = bus.register(name.into())?;
+        UserAgent::connect_over(bus.as_transport(), name, brokers, timeout)
+    }
+
+    /// Registers a user agent on any [`Transport`] (in-proc bus or TCP
+    /// node) with its preferred brokers.
+    pub fn connect_over(
+        transport: std::sync::Arc<dyn Transport>,
+        name: impl Into<String>,
+        brokers: Vec<String>,
+        timeout: Duration,
+    ) -> Result<UserAgent, BusError> {
+        let endpoint = transport.endpoint(name.into())?;
         Ok(UserAgent { endpoint, brokers, timeout })
     }
 

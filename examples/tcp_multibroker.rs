@@ -1,0 +1,209 @@
+//! Distributed multibrokering (§4) over real sockets: two TCP transport
+//! nodes on localhost, each hosting part of the community, run the same
+//! advertise → collaborative-search → query walkthrough the in-proc bus
+//! runs — and must do so without a single swallowed delivery failure.
+//!
+//! ```text
+//! node A (127.0.0.1:<pa>)          node B (127.0.0.1:<pb>)
+//!   broker-1                         broker-2
+//!   monitor-agent                    ra-c2   (holds class C2)
+//!   mrq-agent
+//!   ra-c1   (holds class C1)
+//!   mhn-user
+//! ```
+//!
+//! Exits non-zero if any agent counted a delivery failure, so CI can run
+//! this binary as a smoke test for the TCP transport.
+
+use infosleuth_core::agent::{
+    AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt,
+};
+use infosleuth_core::broker::{
+    interconnect, query_broker, BrokerAgent, BrokerConfig, Repository, SearchPolicy,
+};
+use infosleuth_core::ontology::{paper_class_ontology, AgentType, Ontology, ServiceQuery};
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
+use infosleuth_core::{
+    spawn_monitor_agent_on, spawn_mrq_agent_on, spawn_resource_agent_on, MonitorSpec, MrqSpec,
+    ResourceDef, ResourceSpec, UserAgent,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn repo(ontology: &Arc<Ontology>) -> Repository {
+    let mut r = Repository::new();
+    r.register_ontology(ontology.as_ref().clone());
+    r
+}
+
+/// One single-class resource agent spec, its advertisement derived the
+/// same way [`infosleuth_core::Community`] derives them.
+fn resource_spec(
+    name: &str,
+    class: &str,
+    rows: usize,
+    seed: u64,
+    ontology: &Arc<Ontology>,
+    port: u16,
+) -> ResourceSpec {
+    let mut catalog = Catalog::new();
+    catalog.insert(generate_table(ontology, &GenSpec::new(class, rows, seed)).expect("generates"));
+    let def = ResourceDef::new(name, ontology.name.clone(), catalog);
+    let advertisement = def.advertisement(ontology, port);
+    ResourceSpec {
+        advertisement,
+        catalog: def.catalog,
+        ontology: Arc::clone(ontology),
+        redundancy: 1,
+        maintenance_interval: None,
+        timeout: T,
+    }
+}
+
+fn main() -> ExitCode {
+    let ontology = Arc::new(paper_class_ontology());
+
+    // --- Two transport nodes, like two machines on a LAN. -------------
+    let node_a = TcpTransport::bind("127.0.0.1:0").expect("bind node A");
+    let node_b = TcpTransport::bind("127.0.0.1:0").expect("bind node B");
+    println!("node A listens on {}", node_a.local_addr());
+    println!("node B listens on {}", node_b.local_addr());
+    // Static routing tables: who lives where. Ephemeral request
+    // endpoints ("broker-1.w3") are covered by the base-name routes.
+    node_a.add_route("broker-2", node_b.address());
+    node_a.add_route("ra-c2", node_b.address());
+    for agent in ["broker-1", "monitor-agent", "mrq-agent", "ra-c1", "mhn-user", "probe"] {
+        node_b.add_route(agent, node_a.address());
+    }
+
+    // --- One runtime per node; both report failures to the monitor. ---
+    let runtime_a = AgentRuntime::new(
+        Arc::clone(&node_a) as Arc<dyn Transport>,
+        RuntimeConfig::default().with_workers(8).with_monitor("monitor-agent"),
+    );
+    let runtime_b = AgentRuntime::new(
+        Arc::clone(&node_b) as Arc<dyn Transport>,
+        RuntimeConfig::default().with_workers(4).with_monitor("monitor-agent"),
+    );
+
+    // --- Brokers, one per node, interconnected across the socket. -----
+    let b1 = BrokerAgent::spawn_on(
+        &runtime_a,
+        BrokerConfig::new("broker-1", "tcp://b1.mcc.com:5001").with_ping_interval(None),
+        repo(&ontology),
+    )
+    .expect("broker-1 spawns");
+    let b2 = BrokerAgent::spawn_on(
+        &runtime_b,
+        BrokerConfig::new("broker-2", "tcp://b2.mcc.com:5002").with_ping_interval(None),
+        repo(&ontology),
+    )
+    .expect("broker-2 spawns");
+    interconnect(&[&b1, &b2]).expect("consortium forms across TCP");
+    println!("broker-1 (node A) ⇄ broker-2 (node B) interconnected");
+
+    let brokers = vec!["broker-1".to_string(), "broker-2".to_string()];
+    let monitor = spawn_monitor_agent_on(
+        &runtime_a,
+        MonitorSpec {
+            name: "monitor-agent".into(),
+            address: "tcp://monitor.mcc.com:6100".into(),
+            brokers: brokers.clone(),
+            timeout: T,
+        },
+    )
+    .expect("monitor spawns");
+    let mrq = spawn_mrq_agent_on(
+        &runtime_a,
+        MrqSpec {
+            name: "mrq-agent".into(),
+            address: "tcp://mrq.mcc.com:6000".into(),
+            brokers: brokers.clone(),
+            ontologies: vec![Arc::clone(&ontology)],
+            timeout: T,
+        },
+    )
+    .expect("mrq spawns");
+    // ra-c1 advertises to broker-1 (its node's broker), ra-c2 to
+    // broker-2 — so finding the *other* class always takes an
+    // inter-broker hop over the socket.
+    let ra1 = spawn_resource_agent_on(
+        &runtime_a,
+        resource_spec("ra-c1", "C1", 6, 7, &ontology, 7001),
+        &brokers[..1],
+        T,
+    )
+    .expect("ra-c1 spawns");
+    let ra2 = spawn_resource_agent_on(
+        &runtime_b,
+        resource_spec("ra-c2", "C2", 8, 42, &ontology, 7002),
+        &brokers[1..],
+        T,
+    )
+    .expect("ra-c2 spawns");
+
+    // --- §4 walkthrough: discovery crosses brokers, hence nodes. -------
+    let mut probe = (Arc::clone(&node_a) as Arc<dyn Transport>)
+        .endpoint("probe")
+        .expect("fresh name");
+    let c2_query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C2"]);
+    let found = query_broker(&mut probe, "broker-1", &c2_query, None, T).expect("answers");
+    println!("broker-1 locates C2 collaboratively: {:?}", names(&found));
+    assert_eq!(names(&found), ["ra-c2"], "cross-node search finds ra-c2");
+    let local =
+        query_broker(&mut probe, "broker-1", &c2_query, Some(SearchPolicy::local()), T)
+            .expect("answers");
+    println!("broker-1 locates C2 locally: {:?}", names(&local));
+    assert!(local.is_empty(), "ra-c2 is not advertised on broker-1");
+
+    // --- Full query pipeline: user on A, data on both nodes. ----------
+    let mut user = UserAgent::connect_over(
+        Arc::clone(&node_a) as Arc<dyn Transport>,
+        "mhn-user",
+        brokers.clone(),
+        T,
+    )
+    .expect("user connects");
+    for (sql, want) in [("select * from C1", 6), ("select * from C2", 8)] {
+        let table = user.submit_sql(sql, Some("paper-classes")).expect("query answers");
+        println!("`{sql}` → {} rows (via mrq-agent on node A)", table.len());
+        assert_eq!(table.len(), want);
+    }
+
+    // --- Smoke gate: the whole run must be delivery-failure free. -----
+    let reported = monitor.delivery_failure_reports() as u64;
+    let counted = b1.delivery_failures()
+        + b2.delivery_failures()
+        + mrq.delivery_failures()
+        + ra1.delivery_failures()
+        + ra2.delivery_failures()
+        + monitor.delivery_failures();
+    println!("delivery failures: {counted} counted locally, {reported} reported to monitor");
+
+    b1.stop();
+    b2.stop();
+    mrq.stop();
+    ra1.stop();
+    ra2.stop();
+    monitor.stop();
+    runtime_a.shutdown();
+    runtime_b.shutdown();
+
+    if counted + reported > 0 {
+        eprintln!("FAIL: {} delivery failure(s) during the walkthrough", counted + reported);
+        return ExitCode::FAILURE;
+    }
+    println!("distributed walkthrough matched the in-proc behavior; no lost messages.");
+    ExitCode::SUCCESS
+}
+
+fn names(matches: &[infosleuth_core::broker::MatchResult]) -> Vec<&str> {
+    let mut names: Vec<&str> = matches.iter().map(|m| m.name.as_str()).collect();
+    names.sort();
+    names
+}

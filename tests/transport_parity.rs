@@ -1,0 +1,205 @@
+//! Transport parity: the §4 multibroker walkthrough must behave
+//! identically whether the community talks over the in-proc [`Bus`] or
+//! over TCP between two nodes. Match results, policy behavior,
+//! unadvertise propagation, and final repository state are compared
+//! structurally.
+
+use infosleuth_core::agent::{Bus, TcpTransport, Transport, TransportExt};
+use infosleuth_core::broker::{
+    advertise_to, query_broker, unadvertise_from, BrokerAgent, BrokerConfig, BrokerHandle,
+    FollowOption, Repository, SearchPolicy,
+};
+use infosleuth_core::ontology::{
+    Advertisement, AgentLocation, AgentType, OntologyContent, SemanticInfo, ServiceQuery,
+};
+use infosleuth_integration_tests::paper_ontology;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn repo() -> Repository {
+    let mut r = Repository::new();
+    r.register_ontology(paper_ontology());
+    r
+}
+
+fn broker_config(name: &str, port: u16) -> BrokerConfig {
+    // Liveness sweeps are disabled: the walkthrough compares discovery
+    // behavior, not failure detection (covered elsewhere).
+    BrokerConfig::new(name, format!("tcp://{name}.mcc.com:{port}")).with_ping_interval(None)
+}
+
+fn resource_ad(name: &str, class: &str) -> Advertisement {
+    Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource)).with_semantic(
+        SemanticInfo::default()
+            .with_content(OntologyContent::new("paper-classes").with_classes([class])),
+    )
+}
+
+fn class_query(class: &str) -> ServiceQuery {
+    ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes([class])
+}
+
+fn sorted_names(matches: Vec<infosleuth_core::broker::MatchResult>) -> Vec<String> {
+    let mut names: Vec<String> = matches.into_iter().map(|m| m.name).collect();
+    names.sort();
+    names
+}
+
+/// Everything observable about one walkthrough run, in comparable form.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Collaborative C2 search through broker-1 then broker-2.
+    collaborative_c2: Vec<Vec<String>>,
+    /// Local-only C2 search at broker-1 (which does not hold it).
+    local_c2_at_b1: Vec<String>,
+    /// Until-match C1 search through broker-2.
+    until_match_c1: Vec<String>,
+    /// Whether broker-1 honored the ra-c3 unadvertise.
+    unadvertised: bool,
+    /// C3 search through broker-2 after the unadvertise.
+    c3_after_unadvertise: Vec<String>,
+    /// Per broker: (name, sorted advertised agents, sorted peer brokers).
+    repositories: Vec<(String, Vec<String>, Vec<String>)>,
+}
+
+/// Runs the §4 walkthrough: three resources advertise unevenly across an
+/// interconnected two-broker consortium, then a probe exercises
+/// collaborative search, search policies, and unadvertising.
+fn run_walkthrough(
+    agents_node: &Arc<dyn Transport>,
+    b1: &BrokerHandle,
+    b2: &BrokerHandle,
+) -> Outcome {
+    infosleuth_core::broker::interconnect(&[b1, b2]).expect("consortium forms");
+    let mut probe = agents_node.endpoint("probe").expect("fresh name");
+    // The resource agents exist as live mailboxes; their advertisements
+    // land on different brokers (redundancy 1), so cross-broker search
+    // requires collaboration.
+    let _ra1 = agents_node.endpoint("ra-c1").expect("fresh name");
+    let _ra2 = agents_node.endpoint("ra-c2").expect("fresh name");
+    let _ra3 = agents_node.endpoint("ra-c3").expect("fresh name");
+    for (broker, name, class) in [
+        ("broker-1", "ra-c1", "C1"),
+        ("broker-2", "ra-c2", "C2"),
+        ("broker-1", "ra-c3", "C3"),
+    ] {
+        let accepted = advertise_to(&mut probe, broker, &resource_ad(name, class), T)
+            .expect("broker answers");
+        assert!(accepted, "{name} advertises to {broker}");
+    }
+
+    let collaborative_c2 = ["broker-1", "broker-2"]
+        .iter()
+        .map(|b| {
+            sorted_names(
+                query_broker(&mut probe, b, &class_query("C2"), None, T).expect("broker answers"),
+            )
+        })
+        .collect();
+    let local_c2_at_b1 = sorted_names(
+        query_broker(&mut probe, "broker-1", &class_query("C2"), Some(SearchPolicy::local()), T)
+            .expect("broker answers"),
+    );
+    let until_match_c1 = sorted_names(
+        query_broker(
+            &mut probe,
+            "broker-2",
+            &class_query("C1").one(),
+            Some(SearchPolicy { hop_count: 1, follow: FollowOption::UntilMatch }),
+            T,
+        )
+        .expect("broker answers"),
+    );
+    let unadvertised =
+        unadvertise_from(&mut probe, "broker-1", "ra-c3", T).expect("broker answers");
+    let c3_after_unadvertise = sorted_names(
+        query_broker(&mut probe, "broker-2", &class_query("C3"), None, T)
+            .expect("broker answers"),
+    );
+    let repositories = [b1, b2]
+        .iter()
+        .map(|b| {
+            b.with_repository(|r| {
+                let mut agents: Vec<String> =
+                    r.agents().map(|a| a.location.name.clone()).collect();
+                agents.sort();
+                let mut peers: Vec<String> =
+                    r.peer_brokers().iter().map(|p| p.to_string()).collect();
+                peers.sort();
+                (b.name().to_string(), agents, peers)
+            })
+        })
+        .collect();
+    Outcome {
+        collaborative_c2,
+        local_c2_at_b1,
+        until_match_c1,
+        unadvertised,
+        c3_after_unadvertise,
+        repositories,
+    }
+}
+
+fn run_over_bus() -> Outcome {
+    let bus = Bus::new();
+    let b1 = BrokerAgent::spawn(&bus, broker_config("broker-1", 5001), repo())
+        .expect("broker-1 spawns");
+    let b2 = BrokerAgent::spawn(&bus, broker_config("broker-2", 5002), repo())
+        .expect("broker-2 spawns");
+    let outcome = run_walkthrough(&bus.as_transport(), &b1, &b2);
+    b1.stop();
+    b2.stop();
+    outcome
+}
+
+fn run_over_tcp() -> Outcome {
+    // Two nodes on localhost: broker-1 + all non-broker agents on node A,
+    // broker-2 alone on node B — every broker conversation crosses a
+    // real socket.
+    let node_a = TcpTransport::bind("127.0.0.1:0").expect("bind node A");
+    let node_b = TcpTransport::bind("127.0.0.1:0").expect("bind node B");
+    node_a.add_route("broker-2", node_b.address());
+    for agent in ["broker-1", "probe", "ra-c1", "ra-c2", "ra-c3"] {
+        node_b.add_route(agent, node_a.address());
+    }
+    let b1 = BrokerAgent::spawn_over(
+        Arc::clone(&node_a) as Arc<dyn Transport>,
+        broker_config("broker-1", 5001),
+        repo(),
+    )
+    .expect("broker-1 spawns");
+    let b2 = BrokerAgent::spawn_over(
+        Arc::clone(&node_b) as Arc<dyn Transport>,
+        broker_config("broker-2", 5002),
+        repo(),
+    )
+    .expect("broker-2 spawns");
+    let outcome =
+        run_walkthrough(&(Arc::clone(&node_a) as Arc<dyn Transport>), &b1, &b2);
+    b1.stop();
+    b2.stop();
+    outcome
+}
+
+#[test]
+fn multibroker_walkthrough_is_transport_agnostic() {
+    let over_bus = run_over_bus();
+    let over_tcp = run_over_tcp();
+    // The walkthrough's own expectations hold...
+    assert_eq!(
+        over_bus.collaborative_c2,
+        vec![vec!["ra-c2".to_string()], vec!["ra-c2".to_string()]],
+        "both brokers locate ra-c2 collaboratively"
+    );
+    assert!(over_bus.local_c2_at_b1.is_empty(), "broker-1 does not hold ra-c2 locally");
+    assert_eq!(over_bus.until_match_c1, vec!["ra-c1".to_string()]);
+    assert!(over_bus.unadvertised);
+    assert!(over_bus.c3_after_unadvertise.is_empty(), "unadvertise is global");
+    // ...and the TCP deployment is indistinguishable, repositories
+    // included.
+    assert_eq!(over_bus, over_tcp);
+}
