@@ -52,8 +52,7 @@ impl AgentAddress {
         if host.is_empty() {
             return Err(AddressError::EmptyHost);
         }
-        let port: u16 =
-            port.parse().map_err(|_| AddressError::InvalidPort(port.to_string()))?;
+        let port: u16 = port.parse().map_err(|_| AddressError::InvalidPort(port.to_string()))?;
         Ok(AgentAddress { scheme: scheme.to_string(), host: host.to_string(), port })
     }
 }
@@ -111,12 +110,18 @@ mod tests {
     fn rejects_more_malformed_addresses() {
         assert_eq!(AgentAddress::parse(""), Err(AddressError::MissingScheme));
         assert_eq!(AgentAddress::parse("tcp://"), Err(AddressError::MissingPort));
-        assert_eq!(AgentAddress::parse("://host:80"), Err(AddressError::UnsupportedScheme(String::new())));
+        assert_eq!(
+            AgentAddress::parse("://host:80"),
+            Err(AddressError::UnsupportedScheme(String::new()))
+        );
         assert_eq!(
             AgentAddress::parse("udp://host:80"),
             Err(AddressError::UnsupportedScheme("udp".into()))
         );
-        assert_eq!(AgentAddress::parse("tcp://host:"), Err(AddressError::InvalidPort(String::new())));
+        assert_eq!(
+            AgentAddress::parse("tcp://host:"),
+            Err(AddressError::InvalidPort(String::new()))
+        );
         assert_eq!(
             AgentAddress::parse("tcp://host:-1"),
             Err(AddressError::InvalidPort("-1".into()))
@@ -137,12 +142,9 @@ mod tests {
 
     #[test]
     fn round_trips_every_generated_address() {
-        for (host, port) in [
-            ("b1.mcc.com", 4356u16),
-            ("127.0.0.1", 1),
-            ("localhost", u16::MAX),
-            ("a", 80),
-        ] {
+        for (host, port) in
+            [("b1.mcc.com", 4356u16), ("127.0.0.1", 1), ("localhost", u16::MAX), ("a", 80)]
+        {
             let a = AgentAddress::tcp(host, port);
             let b: AgentAddress = a.to_string().parse().unwrap();
             assert_eq!(a, b, "round trip of {a}");

@@ -124,12 +124,8 @@ impl BrokerLists {
         if !self.needs_advertising() {
             return ReadvertisePlan { advertise_to: Vec::new(), dormant: false };
         }
-        let advertise_to: Vec<String> = self
-            .known
-            .iter()
-            .filter(|b| !self.connected.contains(*b))
-            .cloned()
-            .collect();
+        let advertise_to: Vec<String> =
+            self.known.iter().filter(|b| !self.connected.contains(*b)).cloned().collect();
         let dormant = advertise_to.is_empty() && self.connected.is_empty();
         ReadvertisePlan { advertise_to, dormant }
     }

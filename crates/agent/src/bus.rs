@@ -57,8 +57,7 @@ impl Bus {
 
     /// Registered agent names, sorted.
     pub fn agents(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.registry.read().mailboxes.keys().cloned().collect();
+        let mut names: Vec<String> = self.registry.read().mailboxes.keys().cloned().collect();
         names.sort();
         names
     }
@@ -66,10 +65,7 @@ impl Bus {
     /// Delivers a message. Fails if the recipient is not registered.
     pub fn send(&self, from: &str, to: &str, message: Message) -> Result<(), BusError> {
         let reg = self.registry.read();
-        let tx = reg
-            .mailboxes
-            .get(to)
-            .ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
+        let tx = reg.mailboxes.get(to).ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
         tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
     }
 
@@ -129,8 +125,7 @@ mod tests {
         let bus = Bus::new();
         let a = bus.register("a").unwrap();
         let mut b = bus.register("b").unwrap();
-        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi")))
-            .unwrap();
+        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi"))).unwrap();
         let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(env.from, "a");
         assert_eq!(env.message.sender(), Some("a"));
@@ -171,10 +166,8 @@ mod tests {
         let server = std::thread::spawn(move || {
             let mut server = bus2.register("server").unwrap();
             let env = server.recv_timeout(Duration::from_secs(2)).unwrap();
-            let reply = env
-                .message
-                .reply_skeleton(Performative::Reply)
-                .with_content(SExpr::atom("answer"));
+            let reply =
+                env.message.reply_skeleton(Performative::Reply).with_content(SExpr::atom("answer"));
             server.send(&env.from, reply).unwrap();
         });
         // Wait for the server to register.
@@ -198,11 +191,7 @@ mod tests {
         let mut client = bus.register("client").unwrap();
         let _silent = bus.register("silent").unwrap();
         let err = client
-            .request(
-                "silent",
-                Message::new(Performative::AskOne),
-                Duration::from_millis(30),
-            )
+            .request("silent", Message::new(Performative::AskOne), Duration::from_millis(30))
             .unwrap_err();
         assert!(matches!(err, BusError::Timeout { .. }));
     }

@@ -18,6 +18,8 @@
 //! backpressure, and non-overlapping periodic ticks — replacing the
 //! seed's one-thread-per-agent-plus-one-thread-per-message design.
 
+#![forbid(unsafe_code)]
+
 mod address;
 mod broker_lists;
 mod bus;
@@ -26,7 +28,7 @@ mod runtime;
 mod tcp;
 mod transport;
 
-pub use address::{AgentAddress, AddressError};
+pub use address::{AddressError, AgentAddress};
 pub use broker_lists::{BrokerLists, ReadvertisePlan};
 pub use bus::Bus;
 pub use ping::ping;

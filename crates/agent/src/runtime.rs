@@ -11,9 +11,7 @@
 //! is why the pool is sized above one; every request carries a timeout,
 //! so a saturated pool degrades to slow, never to stuck.
 
-use crate::transport::{
-    Envelope, Requester, Transport, TransportError, TransportExt,
-};
+use crate::transport::{Envelope, Requester, Transport, TransportError, TransportExt};
 use infosleuth_kqml::{Message, Performative, SExpr};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -232,8 +230,7 @@ struct AgentSlot {
 
 impl AgentSlot {
     fn idle(&self) -> bool {
-        self.inflight.load(Ordering::Acquire) == 0
-            && !self.tick_running.load(Ordering::Acquire)
+        self.inflight.load(Ordering::Acquire) == 0 && !self.tick_running.load(Ordering::Acquire)
     }
 }
 
@@ -507,11 +504,7 @@ fn event_loop(shared: &RuntimeShared) {
             }
         }
         if any_removed {
-            shared
-                .slots
-                .lock()
-                .unwrap()
-                .retain(|s| !s.finalized.load(Ordering::Acquire));
+            shared.slots.lock().unwrap().retain(|s| !s.finalized.load(Ordering::Acquire));
         }
         if !dispatched {
             std::thread::sleep(shared.config.poll_interval);
@@ -579,9 +572,8 @@ mod tests {
 
     #[test]
     fn per_agent_inflight_cap_bounds_concurrency() {
-        let (bus, rt) = runtime_on_bus(
-            RuntimeConfig::default().with_workers(8).with_per_agent_inflight(2),
-        );
+        let (bus, rt) =
+            runtime_on_bus(RuntimeConfig::default().with_workers(8).with_per_agent_inflight(2));
         let slow = Arc::new(Slow {
             concurrent: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
@@ -591,7 +583,10 @@ mod tests {
         let client = bus.register("client").unwrap();
         for i in 0..12 {
             client
-                .send("slow", Message::new(Performative::Tell).with_content(SExpr::Atom(i.to_string())))
+                .send(
+                    "slow",
+                    Message::new(Performative::Tell).with_content(SExpr::Atom(i.to_string())),
+                )
                 .unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -664,8 +659,7 @@ mod tests {
 
     #[test]
     fn delivery_failures_are_counted_and_logged_to_monitor() {
-        let (bus, rt) =
-            runtime_on_bus(RuntimeConfig::default().with_monitor("monitor"));
+        let (bus, rt) = runtime_on_bus(RuntimeConfig::default().with_monitor("monitor"));
         let mut monitor = bus.register("monitor").unwrap();
         let h = rt.spawn("talker", Arc::new(Echo)).unwrap();
         assert_eq!(h.delivery_failures(), 0);

@@ -25,9 +25,7 @@
 //! in-proc `Bus` semantics for dead peers), `2` = malformed frame.
 
 use crate::address::AgentAddress;
-use crate::transport::{
-    mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError,
-};
+use crate::transport::{mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError};
 use infosleuth_kqml::Message;
 use parking_lot::RwLock;
 use std::collections::{HashMap, VecDeque};
@@ -251,9 +249,8 @@ impl Transport for TcpTransport {
                 });
             }
         }
-        let address = self
-            .lookup_route(to)
-            .ok_or_else(|| TransportError::UnknownAgent(to.to_string()))?;
+        let address =
+            self.lookup_route(to).ok_or_else(|| TransportError::UnknownAgent(to.to_string()))?;
         send_frame(&address, from, to, &message)
     }
 
@@ -388,11 +385,7 @@ fn read_frame(conn: &mut TcpStream) -> Result<(String, String, Message), Transpo
 }
 
 /// Advances `cursor` by `n` bytes into `payload`, bounds-checked.
-fn take<'a>(
-    payload: &'a [u8],
-    cursor: &mut usize,
-    n: usize,
-) -> Result<&'a [u8], TransportError> {
+fn take<'a>(payload: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], TransportError> {
     let end = cursor
         .checked_add(n)
         .filter(|&e| e <= payload.len())
@@ -422,8 +415,7 @@ mod tests {
         let t = as_dyn(&n);
         let a = t.endpoint("a").unwrap();
         let mut b = t.endpoint("b").unwrap();
-        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi")))
-            .unwrap();
+        a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi"))).unwrap();
         let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(env.from, "a");
         assert_eq!(env.message.content(), Some(&SExpr::atom("hi")));
@@ -441,10 +433,8 @@ mod tests {
         let handle = std::thread::spawn(move || {
             let mut server = t2.endpoint("server").unwrap();
             let env = server.recv_timeout(Duration::from_secs(5)).unwrap();
-            let reply = env
-                .message
-                .reply_skeleton(Performative::Reply)
-                .with_content(SExpr::atom("pong"));
+            let reply =
+                env.message.reply_skeleton(Performative::Reply).with_content(SExpr::atom("pong"));
             server.send(&env.from, reply).unwrap();
         });
         // Give the server thread a moment to register its mailbox.

@@ -1,0 +1,227 @@
+//! KQML conformance checks.
+//!
+//! Two entry points: [`analyze_message`] checks a concrete message for
+//! performative/parameter well-formedness, and [`analyze_template`] checks
+//! a conversation template (a pattern with `?var` wildcards) for
+//! structural problems that would make it unmatchable.
+
+use crate::diag::{Code, Diagnostic, Report};
+use infosleuth_kqml::{Message, Performative, SExpr, Template};
+use std::collections::BTreeSet;
+
+/// Reserved parameters whose values must be textual (an atom or a string),
+/// per the KQML parameter conventions. Keys omit the leading `:`, matching
+/// [`Message::params`].
+const TEXT_RESERVED: &[&str] =
+    &["sender", "receiver", "language", "ontology", "reply-with", "in-reply-to"];
+
+/// Performatives that carry a request or assertion and therefore need a
+/// `:content` parameter.
+const NEEDS_CONTENT: &[Performative] = &[
+    Performative::Advertise,
+    Performative::Update,
+    Performative::AskAll,
+    Performative::AskOne,
+    Performative::Tell,
+    Performative::Subscribe,
+    Performative::BrokerOne,
+    Performative::RecruitAll,
+    Performative::RecruitOne,
+];
+
+/// Checks one message. The report origin is the performative.
+pub fn analyze_message(msg: &Message) -> Report {
+    let mut report = Report::new(format!("kqml:{}", msg.performative.as_str()));
+    if let Performative::Other(p) = &msg.performative {
+        report.push(Diagnostic::warning(
+            Code::UnknownPerformative,
+            format!("performative '{p}' is not a standard InfoSleuth performative"),
+        ));
+    }
+    if NEEDS_CONTENT.contains(&msg.performative) && msg.content().is_none() {
+        report.push(
+            Diagnostic::new(
+                Code::MissingParameter,
+                format!("'{}' message has no :content parameter", msg.performative.as_str()),
+            )
+            .with_note("a content-bearing performative without :content cannot be acted on"),
+        );
+    }
+    if matches!(msg.performative, Performative::Reply | Performative::Sorry)
+        && msg.in_reply_to().is_none()
+    {
+        report.push(
+            Diagnostic::new(
+                Code::MissingParameter,
+                format!("'{}' message has no :in-reply-to parameter", msg.performative.as_str()),
+            )
+            .with_note("the requester cannot correlate this response with its query"),
+        );
+    }
+    for (key, value) in msg.params() {
+        if TEXT_RESERVED.contains(&key) && value.as_text().is_none() {
+            report.push(Diagnostic::new(
+                Code::NonTextReservedParameter,
+                format!("reserved parameter ':{key}' must be an atom or string, got '{value}'"),
+            ));
+        }
+    }
+    report.sorted()
+}
+
+/// Checks one conversation template pattern.
+pub fn analyze_template(origin: &str, template: &Template) -> Report {
+    let mut report = Report::new(origin);
+    check_pattern(template.pattern(), &mut report);
+    report.sorted()
+}
+
+fn check_pattern(pattern: &SExpr, report: &mut Report) {
+    let Some(items) = pattern.as_list() else {
+        report.push(Diagnostic::new(
+            Code::MalformedTemplate,
+            format!("template pattern must be a list, got '{pattern}'"),
+        ));
+        return;
+    };
+    let Some(head) = items.first() else {
+        report.push(Diagnostic::new(
+            Code::MalformedTemplate,
+            "template pattern is an empty list".to_string(),
+        ));
+        return;
+    };
+    match head {
+        SExpr::Atom(_) if head.is_variable() => {}
+        SExpr::Atom(name) => {
+            if matches!(Performative::from(name.as_str()), Performative::Other(_)) {
+                report.push(Diagnostic::warning(
+                    Code::UnknownPerformative,
+                    format!("template head '{name}' is not a standard InfoSleuth performative"),
+                ));
+            }
+        }
+        other => {
+            report.push(Diagnostic::new(
+                Code::MalformedTemplate,
+                format!("template head must be a performative atom or a variable, got '{other}'"),
+            ));
+        }
+    }
+    // After the head: alternating `:keyword value` pairs.
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut rest = &items[1..];
+    while let Some((key, tail)) = rest.split_first() {
+        let Some(name) = key.as_atom().filter(|_| key.is_keyword()) else {
+            report.push(Diagnostic::new(
+                Code::MalformedTemplate,
+                format!("expected a :keyword parameter name, got '{key}'"),
+            ));
+            return;
+        };
+        if !seen.insert(name) {
+            report.push(Diagnostic::new(
+                Code::MalformedTemplate,
+                format!("duplicate parameter '{name}' in template"),
+            ));
+        }
+        let Some((_value, tail)) = tail.split_first() else {
+            report.push(Diagnostic::new(
+                Code::MalformedTemplate,
+                format!("parameter '{name}' has no value (dangling keyword at end of template)"),
+            ));
+            return;
+        };
+        rest = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn wellformed_ask_all_is_clean() {
+        let msg = Message::parse(
+            r#"(ask-all :sender ua1 :receiver broker :language "LDL" :content (run C2))"#,
+        )
+        .unwrap();
+        let r = analyze_message(&msg);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unknown_performative_is_is030_warning() {
+        let msg = Message::new(Performative::Other("achieve".into()));
+        let r = analyze_message(&msg);
+        assert_eq!(r.codes(), vec![Code::UnknownPerformative]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn missing_content_is_is031() {
+        let msg = Message::new(Performative::AskOne).with_sender("ua1");
+        let r = analyze_message(&msg);
+        assert_eq!(r.codes(), vec![Code::MissingParameter]);
+    }
+
+    #[test]
+    fn reply_without_in_reply_to_is_is031() {
+        let msg = Message::new(Performative::Reply).with_sender("broker");
+        let r = analyze_message(&msg);
+        assert_eq!(r.codes(), vec![Code::MissingParameter]);
+        // A correlated reply is fine.
+        let ok = Message::new(Performative::Reply).with_in_reply_to("q1");
+        assert!(analyze_message(&ok).is_clean());
+    }
+
+    #[test]
+    fn non_text_reserved_parameter_is_is033() {
+        let msg = Message::new(Performative::Tell)
+            .with_content(SExpr::atom("x"))
+            .with("sender", SExpr::list([SExpr::atom("not"), SExpr::atom("text")]));
+        let r = analyze_message(&msg);
+        assert_eq!(r.codes(), vec![Code::NonTextReservedParameter]);
+    }
+
+    #[test]
+    fn wellformed_template_is_clean() {
+        let t = Template::parse("(ask-all :sender ?who :content ?q)").unwrap();
+        assert!(analyze_template("t", &t).is_clean());
+        // A variable head matches any performative; also fine.
+        let t = Template::parse("(?perf :sender ?who)").unwrap();
+        assert!(analyze_template("t", &t).is_clean());
+    }
+
+    #[test]
+    fn dangling_keyword_is_is032() {
+        let t = Template::parse("(ask-all :sender ?who :content)").unwrap();
+        let r = analyze_template("t", &t);
+        assert_eq!(r.codes(), vec![Code::MalformedTemplate]);
+    }
+
+    #[test]
+    fn duplicate_and_nonkeyword_params_are_is032() {
+        let t = Template::parse("(tell :content a :content b)").unwrap();
+        assert_eq!(analyze_template("t", &t).codes(), vec![Code::MalformedTemplate]);
+        let t = Template::parse("(tell stray a)").unwrap();
+        assert_eq!(analyze_template("t", &t).codes(), vec![Code::MalformedTemplate]);
+    }
+
+    #[test]
+    fn unknown_template_head_is_is030() {
+        let t = Template::parse("(achieve :content ?x)").unwrap();
+        let r = analyze_template("t", &t);
+        assert_eq!(r.codes(), vec![Code::UnknownPerformative]);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn non_list_template_is_is032() {
+        let t = Template::new(SExpr::atom("tell"));
+        let r = analyze_template("t", &t);
+        assert_eq!(r.codes(), vec![Code::MalformedTemplate]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Static analysis for the InfoSleuth reproduction: a diagnostics
+//! framework plus three passes.
+//!
+//! - [`ldl_pass`] — LDL rule programs: safety/range-restriction,
+//!   stratified negation (reporting the precise negative cycle),
+//!   dependency hygiene (undefined predicates, unreachable rules, arity
+//!   clashes), and built-in argument sanity.
+//! - [`ad_pass`] — advertisements: unsatisfiable constraints, classes and
+//!   slots unknown to the declared ontology, unknown capabilities, invalid
+//!   fragments, and subsumption by an already-registered advertisement.
+//! - [`kqml_pass`] — KQML messages and conversation templates:
+//!   performative and parameter well-formedness.
+//!
+//! Every pass returns a [`Report`] of [`Diagnostic`]s carrying a stable
+//! `IS0xx` [`Code`], a severity, and (where the input has source text) a
+//! byte-offset [`Span`]. Reports render human-readable (with carets into
+//! the source) or as JSON, and sort deterministically.
+//!
+//! The broker uses these passes to reject bad advertisements and rule
+//! deltas at admission time; the `infosleuth-lint` binary runs them over
+//! every shipped artifact and over the regression corpus in
+//! `tests/lint_corpus/`.
+
+#![forbid(unsafe_code)]
+
+pub mod ad_pass;
+pub mod diag;
+pub mod kqml_pass;
+pub mod ldl_pass;
+
+pub use ad_pass::{analyze_advertisement, AdContext};
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use kqml_pass::{analyze_message, analyze_template};
+pub use ldl_pass::{analyze_ldl_source, analyze_rules, LdlEnv};

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_ontology::{
-    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
-    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType,
+    OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
 
@@ -28,9 +28,11 @@ fn resource_ad(i: usize) -> Advertisement {
                 OntologyContent::new("healthcare")
                     .with_classes(["patient", "diagnosis"])
                     .with_slots(["patient.age", "diagnosis.code"])
-                    .with_constraints(Conjunction::from_predicates(vec![
-                        Predicate::between("patient.age", lo, lo + 30),
-                    ])),
+                    .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                        "patient.age",
+                        lo,
+                        lo + 30,
+                    )])),
             ),
     )
 }

@@ -3,14 +3,14 @@
 //! until-match, and hop counts over a broker chain).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use infosleuth_agent::Bus;
 use infosleuth_broker::{
     advertise_to, interconnect, query_broker, BrokerAgent, BrokerConfig, BrokerHandle,
     FollowOption, Repository, SearchPolicy,
 };
-use infosleuth_agent::Bus;
 use infosleuth_ontology::{
-    paper_class_ontology, Advertisement, AgentLocation, AgentType, Capability,
-    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+    paper_class_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType,
+    OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
 use std::time::Duration;

@@ -17,12 +17,9 @@ fn bench_parse_print(c: &mut Criterion) {
 }
 
 fn bench_template_match(c: &mut Criterion) {
-    let template =
-        Template::parse("(ask-all :language SQL :content ?query)").expect("parses");
+    let template = Template::parse("(ask-all :language SQL :content ?query)").expect("parses");
     let msg = Message::parse(SAMPLE).expect("parses");
-    c.bench_function("kqml/template-match", |b| {
-        b.iter(|| black_box(template.match_message(&msg)))
-    });
+    c.bench_function("kqml/template-match", |b| b.iter(|| black_box(template.match_message(&msg))));
 }
 
 criterion_group!(benches, bench_parse_print, bench_template_match);

@@ -11,20 +11,15 @@ fn chain_db(n: usize) -> Database {
     for i in 0..n {
         db.assert("edge", vec![Const::sym(format!("n{i}")), Const::sym(format!("n{}", i + 1))]);
         if i % 4 == 0 {
-            db.assert(
-                "edge",
-                vec![Const::sym(format!("n{i}")), Const::sym(format!("m{i}"))],
-            );
+            db.assert("edge", vec![Const::sym(format!("n{i}")), Const::sym(format!("m{i}"))]);
         }
     }
     db
 }
 
 fn bench_semi_naive_vs_naive(c: &mut Criterion) {
-    let program = parse_rules(
-        "reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).",
-    )
-    .expect("program parses");
+    let program = parse_rules("reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).")
+        .expect("program parses");
     let mut group = c.benchmark_group("ldl/closure");
     group.sample_size(20);
     for n in [16usize, 48] {
@@ -40,10 +35,8 @@ fn bench_semi_naive_vs_naive(c: &mut Criterion) {
 }
 
 fn bench_query(c: &mut Criterion) {
-    let program = parse_rules(
-        "reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).",
-    )
-    .expect("program parses");
+    let program = parse_rules("reach(X,Y) :- edge(X,Y). reach(X,Y) :- edge(X,Z), reach(Z,Y).")
+        .expect("program parses");
     let model = program.saturate(&chain_db(48)).expect("stratified");
     let goals = parse_query("reach(n0, X), X != n1").expect("query parses");
     c.bench_function("ldl/query", |b| b.iter(|| black_box(model.query(&goals))));

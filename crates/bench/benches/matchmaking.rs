@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_ontology::{
-    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
-    ConversationType, OntologyContent, SemanticInfo, SyntacticInfo, ServiceQuery,
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType,
+    OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
 
@@ -26,9 +26,11 @@ fn resource_ad(i: usize) -> Advertisement {
                 OntologyContent::new("healthcare")
                     .with_classes(["patient", "diagnosis"])
                     .with_slots(["patient.age", "diagnosis.code"])
-                    .with_constraints(Conjunction::from_predicates(vec![
-                        Predicate::between("patient.age", lo, lo + 30),
-                    ])),
+                    .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                        "patient.age",
+                        lo,
+                        lo + 30,
+                    )])),
             ),
     )
 }
@@ -77,9 +79,7 @@ fn bench_ablation(c: &mut Criterion) {
         ("semantic-no-constraints", Matchmaker { use_semantic: true, use_constraints: false }),
         ("full", Matchmaker::default()),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(mm.match_query_mut(&mut repo, &q)))
-        });
+        group.bench_function(label, |b| b.iter(|| black_box(mm.match_query_mut(&mut repo, &q))));
     }
     group.finish();
 }

@@ -35,8 +35,7 @@ fn bench_execute(c: &mut Criterion) {
             .unwrap(),
         );
         let union = plan(
-            &parse_select("select id from patient union select patient_id from diagnosis")
-                .unwrap(),
+            &parse_select("select id from patient union select patient_id from diagnosis").unwrap(),
         );
         group.bench_with_input(BenchmarkId::new("select", rows), &rows, |b, _| {
             b.iter(|| black_box(execute(&select, &cat).expect("executes")))

@@ -11,8 +11,8 @@
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_ontology::{
-    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability,
-    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType,
+    OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -33,9 +33,11 @@ fn resource_ad(i: usize) -> Advertisement {
                 OntologyContent::new("healthcare")
                     .with_classes(["patient", "diagnosis"])
                     .with_slots(["patient.age", "diagnosis.code"])
-                    .with_constraints(Conjunction::from_predicates(vec![
-                        Predicate::between("patient.age", lo, lo + 30),
-                    ])),
+                    .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                        "patient.age",
+                        lo,
+                        lo + 30,
+                    )])),
             ),
     )
 }
@@ -107,11 +109,7 @@ fn main() {
         let (inc_ns, inc_n) = measure(n, true, inc_steps, budget);
         let (full_ns, full_n) = measure(n, false, full_steps, budget);
         let speedup = full_ns / inc_ns;
-        println!(
-            "  {n:6}   {:>16}   {:>15}   {speedup:6.1}x",
-            human(inc_ns),
-            human(full_ns),
-        );
+        println!("  {n:6}   {:>16}   {:>15}   {speedup:6.1}x", human(inc_ns), human(full_ns),);
         rows.push(format!(
             concat!(
                 "    {{\"agents\": {}, \"incremental_ns_per_step\": {:.0}, ",

@@ -10,9 +10,7 @@
 //! reply latency. This harness measures both sides of the trade.
 
 use infosleuth_bench::{header, parse_args};
-use infosleuth_core::sim::strategies::{
-    run_averaged, BrokerSimConfig, Fanout, Strategy,
-};
+use infosleuth_core::sim::strategies::{run_averaged, BrokerSimConfig, Fanout, Strategy};
 
 fn main() {
     let opts = parse_args();
@@ -25,16 +23,11 @@ fn main() {
     for brokers in [8usize, 32, 64] {
         for interval in [5.0, 10.0, 20.0, 40.0] {
             let mut row = format!("  {brokers:7}  {interval:11.0}");
-            for fanout in [Fanout::Star, Fanout::Tree { degree: 2 }, Fanout::Tree { degree: 4 }]
-            {
-                let mut cfg =
-                    BrokerSimConfig::new(brokers * 4, brokers, Strategy::Specialized);
+            for fanout in [Fanout::Star, Fanout::Tree { degree: 2 }, Fanout::Tree { degree: 4 }] {
+                let mut cfg = BrokerSimConfig::new(brokers * 4, brokers, Strategy::Specialized);
                 cfg.mean_query_interval_s = interval;
                 cfg.fanout = fanout;
-                cfg.params = infosleuth_core::sim::SimParams {
-                    advert_mb: 0.25,
-                    ..opts.params
-                };
+                cfg.params = infosleuth_core::sim::SimParams { advert_mb: 0.25, ..opts.params };
                 cfg.seed = opts.seed;
                 let r = run_averaged(cfg);
                 row.push_str(&format!("  {:11.1}", r.response.mean()));

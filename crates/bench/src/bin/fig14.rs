@@ -17,11 +17,8 @@ fn main() {
     header("Figure 14: single vs replicated vs specialized brokering", &opts);
     println!("  mean-interval(s)   single(s)  replicated(s)  specialized(s)");
     for interval in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
-        let [single, replicated, specialized] =
-            figure14_point(interval, opts.params, opts.seed);
-        println!(
-            "  {interval:15.0}   {single:9.1}  {replicated:13.1}  {specialized:14.1}"
-        );
+        let [single, replicated, specialized] = figure14_point(interval, opts.params, opts.seed);
+        println!("  {interval:15.0}   {single:9.1}  {replicated:13.1}  {specialized:14.1}");
     }
     println!();
     println!("(single saturates at fast rates; replicated/specialized stay bounded;");

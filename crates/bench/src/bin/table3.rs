@@ -35,18 +35,12 @@ fn main() {
 
     println!("Table 3 — ratio multibroker/single (measured | paper):");
     let columns = ["4A", "DA", "SA", "VF", "FH", "CH"];
-    println!(
-        "  expt  {}",
-        columns.map(|c| format!("{c:>15}")).join("")
-    );
+    println!("  expt  {}", columns.map(|c| format!("{c:>15}")).join(""));
     for expt in 1..=5 {
         let measured = table3_ratios(expt, opts.params, opts.seed);
         let mut row = format!("  {expt:4}  ");
         for col in columns {
-            let m = measured
-                .iter()
-                .find(|(s, _)| s.label() == col)
-                .map(|(_, r)| *r);
+            let m = measured.iter().find(|(s, _)| s.label() == col).map(|(_, r)| *r);
             let p = paper_table3(expt, col);
             let cell = match (m, p) {
                 (Some(m), Some(p)) => format!("{} |{}", fmt(m), fmt(p)),

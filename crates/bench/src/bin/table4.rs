@@ -16,9 +16,7 @@ fn main() {
     let measured = table4_ratios(opts.params, opts.seed);
     println!("  stream   measured |  paper");
     for (stream, ratio) in &measured {
-        let p = paper_table4(stream.label())
-            .map(fmt)
-            .unwrap_or_else(|| "   --".to_string());
+        let p = paper_table4(stream.label()).map(fmt).unwrap_or_else(|| "   --".to_string());
         println!("  {:6}   {} | {}", stream.label(), fmt(*ratio), p);
     }
     let all_below_one = measured.iter().all(|(_, r)| *r < 1.0);

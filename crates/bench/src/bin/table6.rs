@@ -23,11 +23,7 @@ fn main() {
             .expect("paper row present");
         let mut line = format!("  {fail:>12.0}");
         for (cell, paper_v) in row.iter().zip(paper.iter()) {
-            line.push_str(&format!(
-                " {}|{:6.2}%",
-                fmt_pct(cell.located_fraction),
-                paper_v
-            ));
+            line.push_str(&format!(" {}|{:6.2}%", fmt_pct(cell.located_fraction), paper_v));
         }
         println!("{line}");
     }

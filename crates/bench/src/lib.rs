@@ -11,6 +11,8 @@
 //! All binaries accept `--quick` for a fast smoke run (shorter simulated
 //! time, fewer seeds) and `--seed N` to change the base seed.
 
+#![forbid(unsafe_code)]
+
 use infosleuth_sim::SimParams;
 
 /// The paper's Table 3 values: `(experiment, stream label, ratio)`.
@@ -37,14 +39,8 @@ pub const PAPER_TABLE3: &[(usize, &str, f64)] = &[
 ];
 
 /// The paper's Table 4 values (experiment 6): `(stream label, ratio)`.
-pub const PAPER_TABLE4: &[(&str, f64)] = &[
-    ("4A", 0.86),
-    ("DA", 0.86),
-    ("SA", 0.87),
-    ("VF", 0.74),
-    ("FH", 0.60),
-    ("CH", 0.29),
-];
+pub const PAPER_TABLE4: &[(&str, f64)] =
+    &[("4A", 0.86), ("DA", 0.86), ("SA", 0.87), ("VF", 0.74), ("FH", 0.60), ("CH", 0.29)];
 
 /// The paper's Table 5: reply percentage by (failure mean, redundancy 1–5).
 pub const PAPER_TABLE5: &[(f64, [f64; 5])] = &[
@@ -64,10 +60,7 @@ pub const PAPER_TABLE6: &[(f64, [f64; 5])] = &[
 
 /// Paper value for one Table 3 cell, if reported.
 pub fn paper_table3(expt: usize, stream: &str) -> Option<f64> {
-    PAPER_TABLE3
-        .iter()
-        .find(|(e, s, _)| *e == expt && *s == stream)
-        .map(|(_, _, v)| *v)
+    PAPER_TABLE3.iter().find(|(e, s, _)| *e == expt && *s == stream).map(|(_, _, v)| *v)
 }
 
 /// Paper value for one Table 4 cell.

@@ -147,7 +147,11 @@ pub struct BrokerHandle {
 
 impl BrokerAgent {
     /// Registers the broker on the in-process bus with a private runtime.
-    pub fn spawn(bus: &Bus, config: BrokerConfig, repo: Repository) -> Result<BrokerHandle, BusError> {
+    pub fn spawn(
+        bus: &Bus,
+        config: BrokerConfig,
+        repo: Repository,
+    ) -> Result<BrokerHandle, BusError> {
         BrokerAgent::spawn_over(bus.as_transport(), config, repo)
     }
 
@@ -282,12 +286,9 @@ fn handle_envelope(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::E
         Performative::AskOne | Performative::RecruitOne => handle_query(shared, ctx, &env, Some(1)),
         Performative::BrokerOne => handle_broker_one(shared, ctx, &env),
         _ => {
-            let reply = msg
-                .reply_skeleton(Performative::Error)
-                .with_content(SExpr::string(format!(
-                    "unsupported performative '{}'",
-                    msg.performative
-                )));
+            let reply = msg.reply_skeleton(Performative::Error).with_content(SExpr::string(
+                format!("unsupported performative '{}'", msg.performative),
+            ));
             reply_as_broker(ctx, &env.from, reply);
         }
     }
@@ -356,9 +357,7 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
                     // when it has suggestions.
                     let mut items = vec![SExpr::atom("forward-to")];
                     items.extend(candidates.iter().map(|c| SExpr::atom(c.as_str())));
-                    env.message
-                        .reply_skeleton(Performative::Sorry)
-                        .with_content(SExpr::List(items))
+                    env.message.reply_skeleton(Performative::Sorry).with_content(SExpr::List(items))
                 }
             };
             reply_as_broker(ctx, &env.from, reply);
@@ -408,7 +407,12 @@ fn handle_ping(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Enve
     reply_as_broker(ctx, &env.from, env.message.reply_skeleton(perf));
 }
 
-fn handle_query(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope, force_max: Option<usize>) {
+fn handle_query(
+    shared: &Shared,
+    ctx: &AgentContext,
+    env: &infosleuth_agent::Envelope,
+    force_max: Option<usize>,
+) {
     let Some(content) = env.message.content() else {
         let reply = env
             .message
@@ -508,7 +512,11 @@ fn broker_discovery(shared: &Shared, query: &ServiceQuery) -> Vec<MatchResult> {
 /// request is forwarded to relevant other brokers … The response to the
 /// broker query contains the union of all agents which have advertised to
 /// some broker that the broker query reached, and which match the request."
-fn collaborative_search(shared: &Shared, ctx: &AgentContext, request: &codec::SearchRequest) -> Vec<MatchResult> {
+fn collaborative_search(
+    shared: &Shared,
+    ctx: &AgentContext,
+    request: &codec::SearchRequest,
+) -> Vec<MatchResult> {
     // Local matches first. For the expansion decision we must consider
     // matches *without* the max_matches truncation, so run untruncated and
     // truncate at the very end.
@@ -622,10 +630,8 @@ fn forward_to_peer(
 /// `(broker-one (service-query ...) (message "<kqml text>"))`.
 fn handle_broker_one(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
     let fail = |reason: String| {
-        let reply = env
-            .message
-            .reply_skeleton(Performative::Error)
-            .with_content(SExpr::string(reason));
+        let reply =
+            env.message.reply_skeleton(Performative::Error).with_content(SExpr::string(reason));
         reply_as_broker(ctx, &env.from, reply);
     };
     let Some(items) = env.message.content().and_then(SExpr::as_list) else {
@@ -648,17 +654,14 @@ fn handle_broker_one(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent
         Err(e) => return fail(e.to_string()),
     };
     query.max_matches = Some(1);
-    let Some(embedded_text) = items
-        .iter()
-        .find_map(|e| {
-            let l = e.as_list()?;
-            if l.first()?.as_atom()? == "message" {
-                l.get(1)?.as_text()
-            } else {
-                None
-            }
-        })
-    else {
+    let Some(embedded_text) = items.iter().find_map(|e| {
+        let l = e.as_list()?;
+        if l.first()?.as_atom()? == "message" {
+            l.get(1)?.as_text()
+        } else {
+            None
+        }
+    }) else {
         return fail("broker-one missing embedded message".into());
     };
     let embedded = match Message::parse(embedded_text) {
@@ -826,22 +829,39 @@ mod tests {
     }
 
     #[test]
+    fn analysis_rejection_sorry_carries_diagnostics() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut agent = bus.register("client").unwrap();
+        // 'C9' is not a class of the registered paper ontology: the static
+        // analyzer rejects with IS021 and the sorry carries the report.
+        let bad = resource_ad("ra1", &["C9"]);
+        let msg =
+            Message::new(Performative::Advertise).with_content(codec::advertisement_to_sexpr(&bad));
+        let reply = agent.request("broker1", msg, T).unwrap();
+        assert_eq!(reply.performative, Performative::Sorry);
+        let text = reply.content().and_then(|c| c.as_text()).unwrap_or_default();
+        assert!(text.contains("IS021"), "sorry lacks diagnostic: {text}");
+        broker.stop();
+    }
+
+    #[test]
     fn ping_semantics() {
         let bus = Bus::new();
         let broker = spawn_broker(&bus, "broker1");
         let mut agent = bus.register("ra1").unwrap();
         advertise_to(&mut agent, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
-        assert_eq!(
-            infosleuth_agent::ping(&mut agent, "broker1", Some("ra1"), T),
-            Ok(true)
-        );
-        assert_eq!(
-            infosleuth_agent::ping(&mut agent, "broker1", Some("ghost"), T),
-            Ok(false)
-        );
+        assert_eq!(infosleuth_agent::ping(&mut agent, "broker1", Some("ra1"), T), Ok(true));
+        assert_eq!(infosleuth_agent::ping(&mut agent, "broker1", Some("ghost"), T), Ok(false));
         broker.stop();
         // Dead broker: transport error.
-        assert!(infosleuth_agent::ping(&mut agent, "broker1", Some("ra1"), Duration::from_millis(100)).is_err());
+        assert!(infosleuth_agent::ping(
+            &mut agent,
+            "broker1",
+            Some("ra1"),
+            Duration::from_millis(100)
+        )
+        .is_err());
     }
 
     #[test]
@@ -858,8 +878,7 @@ mod tests {
             .with_ontology("paper-classes")
             .with_classes(["C2"]);
         // Local-only sees one agent.
-        let local =
-            query_broker(&mut ra1, "broker1", &q, Some(SearchPolicy::local()), T).unwrap();
+        let local = query_broker(&mut ra1, "broker1", &q, Some(SearchPolicy::local()), T).unwrap();
         assert_eq!(local.len(), 1);
         // Default policy (hop 1, all repositories) sees both.
         let all = query_broker(&mut ra1, "broker1", &q, None, T).unwrap();
@@ -1017,7 +1036,7 @@ mod tests {
         let hc = query_broker(&mut agent, "general-broker", &q, None, T).unwrap();
         assert_eq!(hc[0].name, "health-broker");
         assert_eq!(hc.len(), 2); // generalist still serves any domain
-        // Food domain: the healthcare specialist is excluded.
+                                 // Food domain: the healthcare specialist is excluded.
         let q = ServiceQuery::for_agent_type(AgentType::Broker).with_ontology("food");
         let food = query_broker(&mut agent, "general-broker", &q, None, T).unwrap();
         let names: Vec<&str> = food.iter().map(|m| m.name.as_str()).collect();
@@ -1097,7 +1116,7 @@ mod tests {
             assert!(r.contains_agent("doomed-ra"));
         });
         doomed.unregister(); // the agent "fails" without unregistering
-        // Keep the live agent answering pings while the sweep runs.
+                             // Keep the live agent answering pings while the sweep runs.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
             if let Some(env) = live.recv_timeout(Duration::from_millis(20)) {
@@ -1109,10 +1128,7 @@ mod tests {
             if pruned {
                 break;
             }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "sweep never pruned the dead agent"
-            );
+            assert!(std::time::Instant::now() < deadline, "sweep never pruned the dead agent");
         }
         broker.with_repository(|r| {
             assert!(r.contains_agent("live-ra"), "live agent must survive the sweep");
@@ -1197,11 +1213,7 @@ mod tests {
         let msg = Message::new(Performative::BrokerOne)
             .with_content(super::broker_one_content(&q, &embedded));
         let reply = client.request("broker1", msg, T).unwrap();
-        assert_eq!(
-            reply.performative,
-            Performative::Reply,
-            "unexpected reply: {reply}"
-        );
+        assert_eq!(reply.performative, Performative::Reply, "unexpected reply: {reply}");
         assert_eq!(reply.content(), Some(&SExpr::string("42 rows")));
         provider.join().unwrap();
         // No provider for an unknown class → sorry.
@@ -1220,8 +1232,7 @@ mod tests {
         let bus = Bus::new();
         let broker = spawn_broker(&bus, "broker1");
         let mut client = bus.register("client").unwrap();
-        let msg = Message::new(Performative::BrokerOne)
-            .with_content(SExpr::atom("nonsense"));
+        let msg = Message::new(Performative::BrokerOne).with_content(SExpr::atom("nonsense"));
         let reply = client.request("broker1", msg, T).unwrap();
         assert_eq!(reply.performative, Performative::Error);
         broker.stop();
@@ -1232,9 +1243,7 @@ mod tests {
         let bus = Bus::new();
         let broker = spawn_broker(&bus, "broker1");
         let mut agent = bus.register("client").unwrap();
-        let reply = agent
-            .request("broker1", Message::new(Performative::Subscribe), T)
-            .unwrap();
+        let reply = agent.request("broker1", Message::new(Performative::Subscribe), T).unwrap();
         assert_eq!(reply.performative, Performative::Error);
         broker.stop();
     }

@@ -95,9 +95,7 @@ fn constraints_to_sexpr(c: &Conjunction) -> SExpr {
 fn constraints_from(items: &[SExpr]) -> Result<Conjunction, CodecError> {
     match one_text(items, "constraints") {
         None => Ok(Conjunction::always()),
-        Some(text) => {
-            parse_conjunction(&text).map_err(|e| err(format!("bad constraints: {e}")))
-        }
+        Some(text) => parse_conjunction(&text).map_err(|e| err(format!("bad constraints: {e}"))),
     }
 }
 
@@ -153,8 +151,7 @@ fn content_from(items: &[SExpr]) -> Result<OntologyContent, CodecError> {
     if let Some(frags) = find(items, "fragments") {
         for f in frags {
             let list = f.as_list().ok_or_else(|| err("fragment must be a list"))?;
-            let kind =
-                list.first().and_then(SExpr::as_atom).ok_or_else(|| err("fragment kind"))?;
+            let kind = list.first().and_then(SExpr::as_atom).ok_or_else(|| err("fragment kind"))?;
             let class = list
                 .get(1)
                 .and_then(SExpr::as_text)
@@ -224,8 +221,7 @@ pub fn advertisement_from_sexpr(e: &SExpr) -> Result<Advertisement, CodecError> 
     }
     let items = &list[1..];
     let name = one_text(items, "name").ok_or_else(|| err("advertisement missing name"))?;
-    let address =
-        one_text(items, "address").ok_or_else(|| err("advertisement missing address"))?;
+    let address = one_text(items, "address").ok_or_else(|| err("advertisement missing address"))?;
     let agent_type: AgentType = one_text(items, "type")
         .ok_or_else(|| err("advertisement missing type"))?
         .parse()
@@ -237,10 +233,8 @@ pub fn advertisement_from_sexpr(e: &SExpr) -> Result<Advertisement, CodecError> 
     );
     let mut sem = SemanticInfo::default();
     if let Some(convs) = find(items, "conversations") {
-        sem.conversations = text_items(convs)
-            .into_iter()
-            .map(|s| parse_conversation(&s))
-            .collect::<BTreeSet<_>>();
+        sem.conversations =
+            text_items(convs).into_iter().map(|s| parse_conversation(&s)).collect::<BTreeSet<_>>();
     }
     if let Some(caps) = find(items, "capabilities") {
         sem.capabilities = text_items(caps).into_iter().map(Capability::new).collect();
@@ -288,10 +282,7 @@ pub fn broker_advertisement_to_sexpr(ad: &BrokerAdvertisement) -> SExpr {
     items.push(section(
         "specialization",
         vec![
-            atoms(
-                "agent-types",
-                ad.specialization.agent_types.iter().map(|t| t.to_string()),
-            ),
+            atoms("agent-types", ad.specialization.agent_types.iter().map(|t| t.to_string())),
             atoms("ontologies", ad.specialization.ontologies.iter().cloned()),
             texts("restrictions", ad.specialization.restrictions.iter().cloned()),
         ],
@@ -579,9 +570,11 @@ mod tests {
                                 Predicate::eq("diagnosis.code", "40W"),
                             ])),
                         )
-                        .with_constraints(Conjunction::from_predicates(vec![
-                            Predicate::between("patient.age", 43, 75),
-                        ])),
+                        .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                            "patient.age",
+                            43,
+                            75,
+                        )])),
                 ),
         )
         .with_properties(AgentProperties {

@@ -27,11 +27,7 @@ use infosleuth_ontology::{Advertisement, Ontology, Taxonomy};
 
 /// Compiles advertisements plus taxonomy knowledge into an extensional
 /// database for the matchmaking program.
-pub fn compile_facts<'a, A, O>(
-    agents: A,
-    capability_taxonomy: &Taxonomy,
-    ontologies: O,
-) -> Database
+pub fn compile_facts<'a, A, O>(agents: A, capability_taxonomy: &Taxonomy, ontologies: O) -> Database
 where
     A: IntoIterator<Item = &'a Advertisement>,
     O: IntoIterator<Item = &'a Ontology>,
@@ -98,10 +94,7 @@ where
         let onto = Const::sym(&o.name);
         for class in o.class_names() {
             for child in o.hierarchy().children_of(class) {
-                db.assert(
-                    "isa_class",
-                    vec![onto.clone(), Const::sym(class), Const::sym(child)],
-                );
+                db.assert("isa_class", vec![onto.clone(), Const::sym(class), Const::sym(child)]);
             }
         }
     }
@@ -115,14 +108,14 @@ where
 pub fn matchmaking_program_with(derived: &[Rule]) -> Result<Program, LdlParseError> {
     let mut rules: Vec<Rule> = matchmaking_program().rules().to_vec();
     rules.extend(derived.iter().cloned());
-    Program::new(rules)
-        .map_err(|e| LdlParseError { message: e.to_string(), position: 0 })
+    Program::new(rules).map_err(|e| LdlParseError { message: e.to_string(), position: 0 })
 }
 
-/// The broker's matchmaking rule base.
-pub fn matchmaking_program() -> Program {
-    parse_rules(
-        r#"
+/// The textual source of the standard matchmaking rule base. Exposed so
+/// tooling (`infosleuth-lint`) can analyze the shipped rules with source
+/// spans instead of re-rendering the compiled program.
+pub fn matchmaking_rules_text() -> &'static str {
+    r#"
         % Transitive closure of the capability taxonomy (Fig. 2).
         cap_desc(P, C) :- isa_cap(P, C).
         cap_desc(P, C) :- isa_cap(P, B), cap_desc(B, C).
@@ -144,9 +137,53 @@ pub fn matchmaking_program() -> Program {
         % agent holds part of the requested class's extent).
         contributes_class(A, O, R) :- serves_class(A, O, R).
         contributes_class(A, O, R) :- class(A, O, Adv), class_desc(O, R, Adv).
-        "#,
-    )
-    .expect("matchmaking rule base parses")
+        "#
+}
+
+/// The broker's matchmaking rule base.
+pub fn matchmaking_program() -> Program {
+    parse_rules(matchmaking_rules_text()).expect("matchmaking rule base parses")
+}
+
+/// The extensional fact schema the broker compiles advertisements into:
+/// `(predicate, arity)` pairs, matching [`compile_facts`].
+pub fn edb_schema() -> [(&'static str, usize); 10] {
+    [
+        ("agent", 2),
+        ("lang", 2),
+        ("comm", 2),
+        ("conv", 2),
+        ("cap", 2),
+        ("onto", 2),
+        ("class", 3),
+        ("slot", 3),
+        ("isa_cap", 2),
+        ("isa_class", 3),
+    ]
+}
+
+/// The derived predicates of the standard matchmaking base, with arities.
+/// Derived-concept rule deltas may consume these as if they were given.
+pub fn derived_schema() -> [(&'static str, usize); 5] {
+    [
+        ("cap_desc", 2),
+        ("provides", 2),
+        ("class_desc", 3),
+        ("serves_class", 3),
+        ("contributes_class", 3),
+    ]
+}
+
+/// The analysis environment for rule deltas registered against the
+/// matchmaking base: the EDB schema plus the base's derived predicates
+/// count as defined, and any of them is a legitimate head for a delta
+/// rule (the base consumes the EDB predicates, so feeding one is useful
+/// work, not dead code).
+pub fn matchmaking_env() -> infosleuth_analysis::LdlEnv {
+    let known = edb_schema().into_iter().chain(derived_schema());
+    infosleuth_analysis::LdlEnv::permissive()
+        .with_edb(known.clone().map(|(name, arity)| (name.to_string(), arity)))
+        .with_roots(known.map(|(name, _)| name.to_string()))
 }
 
 #[cfg(test)]
@@ -154,8 +191,8 @@ mod tests {
     use super::*;
     use infosleuth_ldl::parse_query;
     use infosleuth_ontology::{
-        paper_class_ontology, standard_capability_taxonomy, AgentLocation, AgentType,
-        Capability, OntologyContent, SemanticInfo, SyntacticInfo,
+        paper_class_ontology, standard_capability_taxonomy, AgentLocation, AgentType, Capability,
+        OntologyContent, SemanticInfo, SyntacticInfo,
     };
 
     fn resource(name: &str, classes: &[&str]) -> Advertisement {
@@ -207,8 +244,7 @@ mod tests {
         assert!(model.holds(&parse_query("serves_class(db2, paper-classes, 'C2a')").unwrap()));
         // Request for C2: db2 cannot serve all of it, but contributes.
         assert!(!model.holds(&parse_query("serves_class(db2, paper-classes, 'C2')").unwrap()));
-        assert!(model
-            .holds(&parse_query("contributes_class(db2, paper-classes, 'C2')").unwrap()));
+        assert!(model.holds(&parse_query("contributes_class(db2, paper-classes, 'C2')").unwrap()));
         assert!(model.holds(&parse_query("serves_class(db1, paper-classes, 'C2')").unwrap()));
     }
 

@@ -26,6 +26,8 @@
 //! * [`codec`] — SExpr encodings of advertisements, service queries, and
 //!   match lists, so everything that crosses the bus is a real KQML message.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 
 mod broker_agent;
@@ -36,12 +38,12 @@ mod policy;
 mod repository;
 
 pub use broker_agent::{
-    advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from,
-    BrokerAgent, BrokerConfig, BrokerHandle,
+    advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from, BrokerAgent,
+    BrokerConfig, BrokerHandle,
 };
 pub use facts::{
-    compile_agent_facts, compile_facts, compile_global_facts, matchmaking_program,
-    matchmaking_program_with,
+    compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
+    matchmaking_env, matchmaking_program, matchmaking_program_with, matchmaking_rules_text,
 };
 pub use matchmaker::{MatchResult, Matchmaker};
 pub use objective::{AdmissionDecision, BrokerObjective};

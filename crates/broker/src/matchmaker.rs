@@ -115,21 +115,14 @@ impl Matchmaker {
                     .collect()
             })
         } else {
-            candidates
-                .iter()
-                .filter_map(|ad| self.score_candidate(ad, query, model))
-                .collect()
+            candidates.iter().filter_map(|ad| self.score_candidate(ad, query, model)).collect()
         };
         rank(results, query)
     }
 
     /// Convenience wrapper that saturates (or reuses) the repository's
     /// cached model first — the call shape mutation-path callers want.
-    pub fn match_query_mut(
-        &self,
-        repo: &mut Repository,
-        query: &ServiceQuery,
-    ) -> Vec<MatchResult> {
+    pub fn match_query_mut(&self, repo: &mut Repository, query: &ServiceQuery) -> Vec<MatchResult> {
         let model = repo.saturated();
         self.match_query(repo, &model, query)
     }
@@ -183,8 +176,7 @@ impl Matchmaker {
                 // pruning is disabled when any are registered.
                 if !repo.has_derived_rules() {
                     for class in &query.classes {
-                        let mut set: BTreeSet<&str> =
-                            repo.agents_with_class(onto, class).collect();
+                        let mut set: BTreeSet<&str> = repo.agents_with_class(onto, class).collect();
                         if let Some(o) = repo.ontology(onto) {
                             let hierarchy = o.hierarchy();
                             for rel in hierarchy
@@ -306,8 +298,7 @@ impl Matchmaker {
             let (best_score, best_ontology) = candidates
                 .iter()
                 .filter_map(|c| {
-                    self.score_content(&agent, c, query, model)
-                        .map(|s| (s, c.ontology.as_str()))
+                    self.score_content(&agent, c, query, model).map(|s| (s, c.ontology.as_str()))
                 })
                 .max_by_key(|(s, _)| *s)?;
             score += best_score;
@@ -316,11 +307,7 @@ impl Matchmaker {
             // No specific ontology/classes requested, but data constraints
             // given: any advertised content must not rule out overlap.
             if !ad.semantic.content.is_empty()
-                && !ad
-                    .semantic
-                    .content
-                    .iter()
-                    .any(|c| c.constraints.overlaps(&query.constraints))
+                && !ad.semantic.content.iter().any(|c| c.constraints.overlaps(&query.constraints))
             {
                 return None;
             }
@@ -576,15 +563,14 @@ mod tests {
     fn capability_subsumption_respects_hierarchy_direction() {
         let mut r = repo();
         let mut general = resource("general", &["C1"]);
-        general.semantic.capabilities =
-            [Capability::query_processing()].into_iter().collect();
+        general.semantic.capabilities = [Capability::query_processing()].into_iter().collect();
         let mut select_only = resource("selector", &["C1"]);
         select_only.semantic.capabilities = [Capability::select()].into_iter().collect();
         r.advertise(general).unwrap();
         r.advertise(select_only).unwrap();
         // Request select: both qualify.
-        let q = ServiceQuery::for_agent_type(AgentType::Resource)
-            .with_capability(Capability::select());
+        let q =
+            ServiceQuery::for_agent_type(AgentType::Resource).with_capability(Capability::select());
         assert_eq!(Matchmaker::default().match_query_mut(&mut r, &q).len(), 2);
         // Request join: only the general agent qualifies.
         let q =
@@ -593,8 +579,8 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].name, "general");
         // Exact capability scores above covered capability.
-        let q = ServiceQuery::for_agent_type(AgentType::Resource)
-            .with_capability(Capability::select());
+        let q =
+            ServiceQuery::for_agent_type(AgentType::Resource).with_capability(Capability::select());
         let m = Matchmaker::default().match_query_mut(&mut r, &q);
         assert_eq!(m[0].name, "selector");
     }
@@ -604,37 +590,38 @@ mod tests {
         // ResourceAgent5 advertises ages 43..=75; query asks 25..=65 +
         // diagnosis code 40W. "The reasoning engine would match the agent."
         let mut r = repo();
-        let ra5 = Advertisement::new(AgentLocation::new(
-            "ResourceAgent5",
-            "tcp://b1.mcc.com:4356",
-            AgentType::Resource,
-        ))
-        .with_syntactic(SyntacticInfo::sql_kqml())
-        .with_semantic(
-            SemanticInfo::default()
-                .with_conversations([
-                    ConversationType::Subscribe,
-                    ConversationType::Update,
-                    ConversationType::AskAll,
-                ])
-                .with_capabilities([
-                    Capability::relational_query_processing(),
-                    Capability::subscription(),
-                ])
-                .with_content(
-                    OntologyContent::new("healthcare")
-                        .with_classes(["diagnosis", "patient"])
-                        .with_slots(["diagnosis.code", "patient.age"])
-                        .with_keys(["patient.id"])
-                        .with_constraints(Conjunction::from_predicates(vec![
-                            Predicate::between("patient.age", 43, 75),
-                        ])),
-                ),
-        )
-        .with_properties(AgentProperties {
-            estimated_response_time: Some(5.0),
-            ..AgentProperties::default()
-        });
+        let ra5 =
+            Advertisement::new(AgentLocation::new(
+                "ResourceAgent5",
+                "tcp://b1.mcc.com:4356",
+                AgentType::Resource,
+            ))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([
+                        ConversationType::Subscribe,
+                        ConversationType::Update,
+                        ConversationType::AskAll,
+                    ])
+                    .with_capabilities([
+                        Capability::relational_query_processing(),
+                        Capability::subscription(),
+                    ])
+                    .with_content(
+                        OntologyContent::new("healthcare")
+                            .with_classes(["diagnosis", "patient"])
+                            .with_slots(["diagnosis.code", "patient.age"])
+                            .with_keys(["patient.id"])
+                            .with_constraints(Conjunction::from_predicates(vec![
+                                Predicate::between("patient.age", 43, 75),
+                            ])),
+                    ),
+            )
+            .with_properties(AgentProperties {
+                estimated_response_time: Some(5.0),
+                ..AgentProperties::default()
+            });
         r.advertise(ra5).unwrap();
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_query_language("SQL 2.0")

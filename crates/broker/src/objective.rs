@@ -59,8 +59,7 @@ impl BrokerObjective {
                 if content.is_empty() {
                     return 1.0;
                 }
-                let inside =
-                    content.iter().filter(|c| ontologies.contains(&c.ontology)).count();
+                let inside = content.iter().filter(|c| ontologies.contains(&c.ontology)).count();
                 inside as f64 / content.len() as f64
             }
         }
@@ -69,11 +68,7 @@ impl BrokerObjective {
     /// Decides whether to accept an advertisement. `peer_fits` maps peer
     /// broker names to whether that peer's advertised specialty covers the
     /// advertisement (computed by the caller from broker advertisements).
-    pub fn admit(
-        &self,
-        ad: &Advertisement,
-        peer_fits: &[(String, f64)],
-    ) -> AdmissionDecision {
+    pub fn admit(&self, ad: &Advertisement, peer_fits: &[(String, f64)]) -> AdmissionDecision {
         if self.fit(ad) > 0.0 {
             return AdmissionDecision::Accept;
         }
@@ -82,9 +77,7 @@ impl BrokerObjective {
         candidates.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
-        AdmissionDecision::Forward {
-            candidates: candidates.into_iter().map(|(n, _)| n).collect(),
-        }
+        AdmissionDecision::Forward { candidates: candidates.into_iter().map(|(n, _)| n).collect() }
     }
 
     pub fn is_general_purpose(&self) -> bool {
@@ -129,10 +122,7 @@ mod tests {
         assert_eq!(obj.fit(&ad_with_ontologies(&["healthcare"])), 1.0);
         assert_eq!(obj.fit(&ad_with_ontologies(&["healthcare", "food"])), 0.5);
         assert_eq!(obj.fit(&ad_with_ontologies(&["food"])), 0.0);
-        assert_eq!(
-            obj.admit(&ad_with_ontologies(&["healthcare"]), &[]),
-            AdmissionDecision::Accept
-        );
+        assert_eq!(obj.admit(&ad_with_ontologies(&["healthcare"]), &[]), AdmissionDecision::Accept);
     }
 
     #[test]

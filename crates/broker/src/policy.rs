@@ -131,11 +131,8 @@ mod tests {
 
     #[test]
     fn follow_option_text_round_trips() {
-        for f in [
-            FollowOption::LocalOnly,
-            FollowOption::AllRepositories,
-            FollowOption::UntilMatch,
-        ] {
+        for f in [FollowOption::LocalOnly, FollowOption::AllRepositories, FollowOption::UntilMatch]
+        {
             assert_eq!(FollowOption::parse(f.as_str()), Some(f));
         }
         assert_eq!(FollowOption::parse("bogus"), None);

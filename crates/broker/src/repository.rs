@@ -7,8 +7,11 @@
 //! that its reasoning engine can understand and asserts it in its
 //! repository") and compiled into LDL facts on demand.
 
-use crate::facts::{compile_agent_facts, compile_global_facts, matchmaking_program_with};
+use crate::facts::{
+    compile_agent_facts, compile_global_facts, matchmaking_env, matchmaking_program_with,
+};
 use infosleuth_agent::AgentAddress;
+use infosleuth_analysis::{analyze_advertisement, analyze_ldl_source, AdContext, Report, Severity};
 use infosleuth_ldl::{parse_rules, Database, LdlParseError, Program, Rule, Saturated};
 use infosleuth_ontology::{
     standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, Taxonomy,
@@ -21,10 +24,31 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq)]
 pub enum RepositoryError {
     EmptyAgentName,
-    InvalidAddress { agent: String, address: String, reason: String },
-    UnknownCapability { agent: String, capability: String },
-    UnsatisfiableConstraints { agent: String, ontology: String },
-    InvalidFragment { agent: String, class: String, reason: String },
+    InvalidAddress {
+        agent: String,
+        address: String,
+        reason: String,
+    },
+    UnknownCapability {
+        agent: String,
+        capability: String,
+    },
+    UnsatisfiableConstraints {
+        agent: String,
+        ontology: String,
+    },
+    InvalidFragment {
+        agent: String,
+        class: String,
+        reason: String,
+    },
+    /// The static analyzer found error-severity diagnostics; the rendered
+    /// report rides in the broker's `sorry` so the advertiser can see the
+    /// exact `IS0xx` findings.
+    Rejected {
+        agent: String,
+        report: String,
+    },
 }
 
 impl fmt::Display for RepositoryError {
@@ -41,7 +65,13 @@ impl fmt::Display for RepositoryError {
                 write!(f, "agent '{agent}' advertises unsatisfiable constraints for ontology '{ontology}'")
             }
             RepositoryError::InvalidFragment { agent, class, reason } => {
-                write!(f, "agent '{agent}' advertises invalid fragment of class '{class}': {reason}")
+                write!(
+                    f,
+                    "agent '{agent}' advertises invalid fragment of class '{class}': {reason}"
+                )
+            }
+            RepositoryError::Rejected { agent, report } => {
+                write!(f, "advertisement from '{agent}' rejected by analysis:\n{report}")
             }
         }
     }
@@ -218,14 +248,51 @@ impl Repository {
     /// The combined rule base must remain stratifiable; this is verified
     /// here, so a successful registration can never fail later saturation.
     pub fn register_derived_rules(&mut self, rules_text: &str) -> Result<(), LdlParseError> {
+        // Static analysis first: unsafe rules, undefined predicates, arity
+        // clashes with the fact schema, and negation cycles inside the
+        // delta all come back as rendered IS0xx diagnostics.
+        let report = self.analyze_derived_rules(rules_text);
+        if report.has_errors() {
+            let position = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .and_then(|d| d.span)
+                .map(|s| s.start)
+                .unwrap_or(0);
+            return Err(LdlParseError { message: report.render_human(Some(rules_text)), position });
+        }
         let program = parse_rules(rules_text)?;
         let mut candidate = self.derived_rules.clone();
         candidate.extend(program.rules().iter().cloned());
+        // Backstop: the *combined* base must stay stratifiable — a delta
+        // that is clean in isolation can still close a negative cycle
+        // through the standard rules.
         crate::facts::matchmaking_program_with(&candidate)?;
         self.derived_rules = candidate;
         self.program = None;
         self.saturated = None;
         Ok(())
+    }
+
+    /// Statically analyzes a derived-concept rule delta against the
+    /// matchmaking fact schema, without registering it.
+    pub fn analyze_derived_rules(&self, rules_text: &str) -> Report {
+        analyze_ldl_source("derived-rules", rules_text, &matchmaking_env())
+    }
+
+    /// Statically analyzes an advertisement against everything this
+    /// repository knows (taxonomy, registered ontologies, and any
+    /// advertisement already registered for the same agent), without
+    /// storing it.
+    pub fn analyze(&self, ad: &Advertisement) -> Report {
+        let mut ctx = AdContext::new()
+            .with_taxonomy(&self.capability_taxonomy)
+            .with_ontologies(self.ontologies.values());
+        if let Some(old) = self.agents.get(&ad.location.name) {
+            ctx = ctx.with_registered(old);
+        }
+        analyze_advertisement(ad, &ctx)
     }
 
     /// Validates an advertisement against the repository's knowledge.
@@ -279,6 +346,17 @@ impl Repository {
     /// and the new ones propagated via delta saturation.
     pub fn advertise(&mut self, ad: Advertisement) -> Result<(), RepositoryError> {
         self.validate(&ad)?;
+        // Deeper static analysis: classes/slots unknown to a registered
+        // ontology and other error-severity findings reject the
+        // advertisement with the rendered report; warnings (e.g. IS024
+        // subsumption) never reject.
+        let report = self.analyze(&ad);
+        if report.has_errors() {
+            return Err(RepositoryError::Rejected {
+                agent: ad.location.name.clone(),
+                report: report.render_human(None),
+            });
+        }
         let added = compile_agent_facts(&ad);
         let removed = match self.agents.insert(ad.location.name.clone(), ad.clone()) {
             Some(old) => {
@@ -550,21 +628,16 @@ mod tests {
         assert!(matches!(repo.validate(&bad), Err(RepositoryError::InvalidAddress { .. })));
         bad = valid_ad("x");
         bad.semantic.capabilities.insert(Capability::new("quantum-foo"));
-        assert!(matches!(
-            repo.validate(&bad),
-            Err(RepositoryError::UnknownCapability { .. })
-        ));
+        assert!(matches!(repo.validate(&bad), Err(RepositoryError::UnknownCapability { .. })));
     }
 
     #[test]
     fn validation_rejects_unsatisfiable_constraints() {
         let repo = Repository::new();
         let mut bad = valid_ad("x");
-        bad.semantic.content.push(
-            OntologyContent::new("healthcare").with_constraints(Conjunction::from_predicates(
-                vec![Predicate::gt("age", 10), Predicate::lt("age", 5)],
-            )),
-        );
+        bad.semantic.content.push(OntologyContent::new("healthcare").with_constraints(
+            Conjunction::from_predicates(vec![Predicate::gt("age", 10), Predicate::lt("age", 5)]),
+        ));
         assert!(matches!(
             repo.validate(&bad),
             Err(RepositoryError::UnsatisfiableConstraints { .. })
@@ -624,11 +697,70 @@ mod tests {
     }
 
     #[test]
+    fn analysis_rejects_unknown_class_with_rendered_diagnostic() {
+        let mut repo = Repository::new();
+        repo.register_ontology(healthcare_ontology());
+        let mut bad = valid_ad("x");
+        bad.semantic.content.push(
+            OntologyContent::new("healthcare")
+                .with_classes(["martian"])
+                .with_slots(["patient.blood_type"]),
+        );
+        let err = repo.advertise(bad).unwrap_err();
+        let RepositoryError::Rejected { agent, report } = &err else {
+            panic!("expected analysis rejection, got {err:?}");
+        };
+        assert_eq!(agent, "x");
+        assert!(report.contains("IS021"), "missing IS021 in:\n{report}");
+        assert!(report.contains("IS022"), "missing IS022 in:\n{report}");
+        assert!(!repo.contains_agent("x"));
+        // The rendered report travels with Display — the broker's `sorry`
+        // path forwards exactly this text.
+        assert!(err.to_string().contains("IS021"));
+    }
+
+    #[test]
+    fn analysis_warnings_do_not_reject() {
+        let mut repo = Repository::new();
+        repo.register_ontology(healthcare_ontology());
+        let mut ad = valid_ad("ra5");
+        ad.semantic.content.push(
+            OntologyContent::new("healthcare").with_classes(["patient"]).with_constraints(
+                Conjunction::from_predicates(vec![Predicate::between("patient.age", 43, 75)]),
+            ),
+        );
+        repo.advertise(ad.clone()).unwrap();
+        // Re-advertising the same content is subsumed (IS024) — a warning,
+        // so the update is still accepted.
+        let report = repo.analyze(&ad);
+        assert!(!report.has_errors());
+        assert!(report.codes().contains(&infosleuth_analysis::Code::SubsumedAdvertisement));
+        repo.advertise(ad).unwrap();
+        assert!(repo.contains_agent("ra5"));
+    }
+
+    #[test]
+    fn derived_rule_rejections_carry_diagnostics() {
+        let mut repo = Repository::new();
+        // Undefined predicate in the body → IS011.
+        let err = repo.register_derived_rules("cap(A, x) :- mystery(A).").unwrap_err();
+        assert!(err.message.contains("IS011"), "{}", err.message);
+        // Arity clash with the fact schema → IS013.
+        let err = repo.register_derived_rules("cap(A) :- agent(A, resource).").unwrap_err();
+        assert!(err.message.contains("IS013"), "{}", err.message);
+        // Unsafe head variable → IS002.
+        let err = repo.register_derived_rules("cap(A, X) :- agent(A, resource).").unwrap_err();
+        assert!(err.message.contains("IS002"), "{}", err.message);
+    }
+
+    #[test]
     fn broker_advertisements_are_separate() {
         let mut repo = Repository::new();
-        let b = BrokerAdvertisement::new(
-            Advertisement::new(AgentLocation::new("b2", "tcp://h:2000", AgentType::Broker)),
-        );
+        let b = BrokerAdvertisement::new(Advertisement::new(AgentLocation::new(
+            "b2",
+            "tcp://h:2000",
+            AgentType::Broker,
+        )));
         repo.advertise_broker(b).unwrap();
         assert_eq!(repo.peer_brokers(), vec!["b2"]);
         assert!(repo.is_empty()); // not an agent advertisement

@@ -11,8 +11,8 @@
 use infosleuth_broker::{compile_facts, matchmaking_program, Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_ontology::{
-    healthcare_ontology, paper_class_ontology, Advertisement, AgentLocation, AgentType,
-    Capability, ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
+    healthcare_ontology, paper_class_ontology, Advertisement, AgentLocation, AgentType, Capability,
+    ConversationType, OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 
 struct XorShift(u64);
@@ -62,8 +62,8 @@ fn random_ad(rng: &mut XorShift, i: usize) -> Advertisement {
             2 => vec!["C2a", "C3"],
             _ => vec!["C1", "C2"],
         };
-        semantic = semantic
-            .with_content(OntologyContent::new("paper-classes").with_classes(classes));
+        semantic =
+            semantic.with_content(OntologyContent::new("paper-classes").with_classes(classes));
     }
     if rng.below(3) == 0 {
         let lo = rng.below(60) as i64;
@@ -157,17 +157,14 @@ fn walkthrough_repo() -> Repository {
     let mut r = fresh_repo();
     r.advertise(resource("db1", &["C1", "C2"])).unwrap();
     r.advertise(resource("db2", &["C2", "C3"])).unwrap();
-    let mrq = Advertisement::new(AgentLocation::new(
-        "mrq",
-        "tcp://h:2",
-        AgentType::MultiResourceQuery,
-    ))
-    .with_syntactic(SyntacticInfo::sql_kqml())
-    .with_semantic(
-        SemanticInfo::default()
-            .with_conversations([ConversationType::AskAll])
-            .with_capabilities([Capability::multiresource_query_processing()]),
-    );
+    let mrq =
+        Advertisement::new(AgentLocation::new("mrq", "tcp://h:2", AgentType::MultiResourceQuery))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([ConversationType::AskAll])
+                    .with_capabilities([Capability::multiresource_query_processing()]),
+            );
     r.advertise(mrq).unwrap();
     r
 }
@@ -285,17 +282,14 @@ fn derived_rules_disable_pruning_but_not_correctness() {
     let mut repo = fresh_repo();
     // Subscription implies pollability — a capability never advertised.
     repo.register_derived_rules("cap(A, polling) :- cap(A, subscription).").unwrap();
-    let subscriber = Advertisement::new(AgentLocation::new(
-        "sub1",
-        "tcp://h:9",
-        AgentType::Resource,
-    ))
-    .with_syntactic(SyntacticInfo::sql_kqml())
-    .with_semantic(
-        SemanticInfo::default()
-            .with_conversations([ConversationType::Subscribe])
-            .with_capabilities([Capability::subscription()]),
-    );
+    let subscriber =
+        Advertisement::new(AgentLocation::new("sub1", "tcp://h:9", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([ConversationType::Subscribe])
+                    .with_capabilities([Capability::subscription()]),
+            );
     repo.advertise(subscriber).unwrap();
     let model = repo.saturated();
     let mm = Matchmaker::default();

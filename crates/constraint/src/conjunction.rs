@@ -145,9 +145,9 @@ impl Conjunction {
     /// conjunction. Slots absent from the assignment fail closed-world:
     /// a constrained slot must be present.
     pub fn matches(&self, assignment: &BTreeMap<String, Value>) -> bool {
-        self.slots.iter().all(|(slot, dom)| {
-            assignment.get(slot).map(|v| dom.contains(v)).unwrap_or(false)
-        })
+        self.slots
+            .iter()
+            .all(|(slot, dom)| assignment.get(slot).map(|v| dom.contains(v)).unwrap_or(false))
     }
 }
 
@@ -175,11 +175,8 @@ mod tests {
         // ResourceAgent5 advertises ages 43..=75; the query wants 25..=65
         // with diagnosis code 40W. The paper says the reasoning engine
         // *would* match ResourceAgent5.
-        let advertised = Conjunction::from_predicates(vec![Predicate::between(
-            "patient.age",
-            43,
-            75,
-        )]);
+        let advertised =
+            Conjunction::from_predicates(vec![Predicate::between("patient.age", 43, 75)]);
         let requested = Conjunction::from_predicates(vec![
             Predicate::between("patient.age", 25, 65),
             Predicate::eq("patient.diagnosis_code", "40W"),
@@ -190,11 +187,8 @@ mod tests {
 
     #[test]
     fn disjoint_ranges_block_overlap() {
-        let advertised = Conjunction::from_predicates(vec![Predicate::between(
-            "patient.age",
-            43,
-            75,
-        )]);
+        let advertised =
+            Conjunction::from_predicates(vec![Predicate::between("patient.age", 43, 75)]);
         let requested =
             Conjunction::from_predicates(vec![Predicate::between("patient.age", 10, 20)]);
         assert!(!advertised.overlaps(&requested));
@@ -208,15 +202,9 @@ mod tests {
             Predicate::eq("provider.specialty", "podiatrist"),
             Predicate::is_in("provider.city", ["Dallas", "Houston"]),
         ]);
-        let austin = Conjunction::from_predicates(vec![Predicate::eq(
-            "provider.city",
-            "Austin",
-        )]);
+        let austin = Conjunction::from_predicates(vec![Predicate::eq("provider.city", "Austin")]);
         assert!(!advertised.overlaps(&austin));
-        let dallas = Conjunction::from_predicates(vec![Predicate::eq(
-            "provider.city",
-            "Dallas",
-        )]);
+        let dallas = Conjunction::from_predicates(vec![Predicate::eq("provider.city", "Dallas")]);
         assert!(advertised.overlaps(&dallas));
     }
 
@@ -259,10 +247,7 @@ mod tests {
 
     #[test]
     fn unsat_conjunction_detected() {
-        let c = Conjunction::from_predicates(vec![
-            Predicate::gt("a", 10),
-            Predicate::lt("a", 5),
-        ]);
+        let c = Conjunction::from_predicates(vec![Predicate::gt("a", 10), Predicate::lt("a", 5)]);
         assert!(!c.is_satisfiable());
         // And it implies anything.
         assert!(c.implies(&Conjunction::from_predicates(vec![Predicate::eq("b", 1)])));

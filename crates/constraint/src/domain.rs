@@ -176,10 +176,7 @@ impl SlotDomain {
             return false;
         }
         // Every value other denies must already be denied (or out of range) in self.
-        other
-            .excluded
-            .iter()
-            .all(|v| self.excluded.contains(v) || !self.range.contains(v))
+        other.excluded.iter().all(|v| self.excluded.contains(v) || !self.range.contains(v))
     }
 }
 
@@ -224,10 +221,7 @@ mod tests {
 
     #[test]
     fn range_and_in_set_combine() {
-        let d = dom(&[
-            Predicate::between("s", 1, 10),
-            Predicate::is_in("s", [2i64, 5, 20]),
-        ]);
+        let d = dom(&[Predicate::between("s", 1, 10), Predicate::is_in("s", [2i64, 5, 20])]);
         assert!(d.contains(&Value::Int(2)));
         assert!(d.contains(&Value::Int(5)));
         assert!(!d.contains(&Value::Int(20))); // outside range
@@ -237,10 +231,7 @@ mod tests {
 
     #[test]
     fn contradictory_in_sets_are_unsat() {
-        let d = dom(&[
-            Predicate::is_in("s", ["a", "b"]),
-            Predicate::is_in("s", ["c"]),
-        ]);
+        let d = dom(&[Predicate::is_in("s", ["a", "b"]), Predicate::is_in("s", ["c"])]);
         assert!(!d.is_satisfiable());
     }
 
@@ -252,15 +243,9 @@ mod tests {
 
     #[test]
     fn small_int_interval_fully_excluded_is_unsat() {
-        let d = dom(&[
-            Predicate::between("s", 1, 3),
-            Predicate::not_in("s", [1i64, 2, 3]),
-        ]);
+        let d = dom(&[Predicate::between("s", 1, 3), Predicate::not_in("s", [1i64, 2, 3])]);
         assert!(!d.is_satisfiable());
-        let d2 = dom(&[
-            Predicate::between("s", 1, 3),
-            Predicate::not_in("s", [1i64, 3]),
-        ]);
+        let d2 = dom(&[Predicate::between("s", 1, 3), Predicate::not_in("s", [1i64, 3])]);
         assert!(d2.is_satisfiable());
         assert!(d2.contains(&Value::Int(2)));
     }

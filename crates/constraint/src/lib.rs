@@ -29,6 +29,8 @@
 //! assert!(!advertised.implies(&requested));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod conjunction;
 mod domain;
 mod parse;

@@ -136,8 +136,7 @@ impl<'a> Lexer<'a> {
                             text.parse().map_err(|_| self.error("invalid float literal"))?;
                         out.push((Tok::Float(v), start));
                     } else {
-                        let v: i64 =
-                            text.parse().map_err(|_| self.error("invalid int literal"))?;
+                        let v: i64 = text.parse().map_err(|_| self.error("invalid int literal"))?;
                         out.push((Tok::Int(v), start));
                     }
                 }

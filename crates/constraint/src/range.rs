@@ -130,10 +130,7 @@ impl Range {
 
     /// The intersection of two intervals (may be unsatisfiable).
     pub fn intersect(&self, other: &Range) -> Range {
-        Range {
-            lo: tighter_lo(&self.lo, &other.lo),
-            hi: tighter_hi(&self.hi, &other.hi),
-        }
+        Range { lo: tighter_lo(&self.lo, &other.lo), hi: tighter_hi(&self.hi, &other.hi) }
     }
 
     /// Whether the two intervals share at least one value.
@@ -302,10 +299,7 @@ mod tests {
         let r = Range { lo: Bound::Excl(int(3)), hi: Bound::Excl(int(4)) };
         assert!(!r.is_satisfiable());
         // (3.0, 4.0) over floats is non-empty.
-        let r = Range {
-            lo: Bound::Excl(Value::Float(3.0)),
-            hi: Bound::Excl(Value::Float(4.0)),
-        };
+        let r = Range { lo: Bound::Excl(Value::Float(3.0)), hi: Bound::Excl(Value::Float(4.0)) };
         assert!(r.is_satisfiable());
     }
 

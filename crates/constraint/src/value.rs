@@ -57,7 +57,6 @@ impl Value {
             _ => None,
         }
     }
-
 }
 
 impl PartialEq for Value {

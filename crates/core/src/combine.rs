@@ -147,8 +147,7 @@ fn merge_one_class(
         cols.sort();
         groups.entry(cols).or_default().push(t);
     }
-    let mut merged: Vec<Table> =
-        groups.values().map(|g| union_group(class, g)).collect();
+    let mut merged: Vec<Table> = groups.values().map(|g| union_group(class, g)).collect();
     if merged.len() == 1 {
         return Ok(merged.pop().expect("one group"));
     }
@@ -241,8 +240,7 @@ mod tests {
     use infosleuth_ontology::{healthcare_ontology, ValueType};
 
     fn t(name: &str, cols: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> Table {
-        let mut table =
-            Table::new(name, cols.iter().map(|(n, vt)| Column::new(*n, *vt)).collect());
+        let mut table = Table::new(name, cols.iter().map(|(n, vt)| Column::new(*n, *vt)).collect());
         for r in rows {
             table.push_row(r).unwrap();
         }
@@ -304,18 +302,12 @@ mod tests {
         let f1 = t(
             "patient",
             &[("id", ValueType::Int), ("name", ValueType::Str)],
-            vec![
-                vec![Value::Int(1), Value::str("ann")],
-                vec![Value::Int(2), Value::str("bob")],
-            ],
+            vec![vec![Value::Int(1), Value::str("ann")], vec![Value::Int(2), Value::str("bob")]],
         );
         let f2 = t(
             "patient",
             &[("id", ValueType::Int), ("age", ValueType::Int)],
-            vec![
-                vec![Value::Int(1), Value::Int(50)],
-                vec![Value::Int(2), Value::Int(61)],
-            ],
+            vec![vec![Value::Int(1), Value::Int(50)], vec![Value::Int(2), Value::Int(61)]],
         );
         let merged = merge_class_extent("patient", vec![f1, f2], Some(&onto)).unwrap();
         assert_eq!(merged.len(), 2);
@@ -341,14 +333,10 @@ mod tests {
         let f2 = t(
             "patient",
             &[("id", ValueType::Int), ("age", ValueType::Int)],
-            vec![
-                vec![Value::Int(1), Value::Int(50)],
-                vec![Value::Int(2), Value::Int(61)],
-            ],
+            vec![vec![Value::Int(1), Value::Int(50)], vec![Value::Int(2), Value::Int(61)]],
         );
         let onto = healthcare_ontology();
-        let merged =
-            merge_class_extent("patient", vec![f1a, f1b, f2], Some(&onto)).unwrap();
+        let merged = merge_class_extent("patient", vec![f1a, f1b, f2], Some(&onto)).unwrap();
         assert_eq!(merged.len(), 2);
         assert_eq!(merged.value(1, "age"), Some(&Value::Int(61)));
     }

@@ -83,8 +83,7 @@ impl ResourceDef {
     /// Public so distributed deployments can build a [`ResourceSpec`]
     /// without going through [`CommunityBuilder`].
     pub fn advertisement(&self, ontology: &Ontology, port: u16) -> Advertisement {
-        let classes: BTreeSet<String> =
-            self.catalog.names().map(str::to_string).collect();
+        let classes: BTreeSet<String> = self.catalog.names().map(str::to_string).collect();
         let mut slots = BTreeSet::new();
         let mut keys = BTreeSet::new();
         for table in self.catalog.tables() {
@@ -192,10 +191,7 @@ impl CommunityBuilder {
     /// Spawns everything on one shared runtime and returns the running
     /// community.
     pub fn build(self) -> Result<Community, BusError> {
-        assert!(
-            !self.broker_configs.is_empty(),
-            "a community needs at least one broker"
-        );
+        assert!(!self.broker_configs.is_empty(), "a community needs at least one broker");
         let (bus, transport) = match self.transport {
             Some(t) => (None, t),
             None => {
@@ -229,8 +225,7 @@ impl CommunityBuilder {
             let refs: Vec<&BrokerHandle> = brokers.iter().collect();
             infosleuth_broker::interconnect(&refs)?;
         }
-        let broker_names: Vec<String> =
-            brokers.iter().map(|b| b.name().to_string()).collect();
+        let broker_names: Vec<String> = brokers.iter().map(|b| b.name().to_string()).collect();
 
         // Core agents. The monitor comes first so delivery failures during
         // the rest of the bring-up already have a sink.
@@ -263,7 +258,9 @@ impl CommunityBuilder {
                 .ontologies
                 .iter()
                 .find(|o| o.name == def.ontology)
-                .unwrap_or_else(|| panic!("resource '{}' references unknown ontology '{}'", def.name, def.ontology))
+                .unwrap_or_else(|| {
+                    panic!("resource '{}' references unknown ontology '{}'", def.name, def.ontology)
+                })
                 .clone();
             let ad = def.advertisement(&ontology, 7000 + i as u16);
             let spec = ResourceSpec {
@@ -315,9 +312,7 @@ impl Community {
     /// agents). Panics when the community was built on a custom
     /// transport; use [`Community::transport`] there.
     pub fn bus(&self) -> &Bus {
-        self.bus
-            .as_ref()
-            .expect("community was built with a custom transport; use transport()")
+        self.bus.as_ref().expect("community was built with a custom transport; use transport()")
     }
 
     /// The transport every community agent is registered on.
@@ -349,8 +344,7 @@ impl Community {
     /// signal. A healthy community reports 0.
     pub fn delivery_failures(&self) -> u64 {
         let broker_failures: u64 = self.brokers.iter().map(|b| b.delivery_failures()).sum();
-        let resource_failures: u64 =
-            self.resources.iter().map(|r| r.delivery_failures()).sum();
+        let resource_failures: u64 = self.resources.iter().map(|r| r.delivery_failures()).sum();
         broker_failures + resource_failures
     }
 

@@ -50,6 +50,8 @@
 //! ontology agent, and user agents ([`UserAgent`]), wired together by
 //! [`Community`].
 
+#![forbid(unsafe_code)]
+
 pub mod combine;
 pub mod community;
 pub mod monitor_agent;

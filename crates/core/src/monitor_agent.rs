@@ -17,8 +17,8 @@
 //! "the transport layer will fail to make the connection".
 
 use infosleuth_agent::{
-    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
-    RuntimeConfig, LOG_ONTOLOGY,
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope, RuntimeConfig,
+    LOG_ONTOLOGY,
 };
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
@@ -127,8 +127,7 @@ impl AgentBehavior for MonitorBehavior {
                 let mut state = self.state.lock();
                 state.seq += 1;
                 let seq = state.seq;
-                let reply =
-                    open_subscription(ctx, &self.spec, &env, seq, &mut state.relays);
+                let reply = open_subscription(ctx, &self.spec, &env, seq, &mut state.relays);
                 drop(state);
                 let _ = ctx.send(&env.from, reply);
             }
@@ -188,8 +187,7 @@ fn parse_delivery_failure(msg: &Message) -> Option<DeliveryFailure> {
 
 /// Spawns the monitor agent on its own private runtime over the bus.
 pub fn spawn_monitor_agent(bus: &Bus, spec: MonitorSpec) -> Result<MonitorAgentHandle, BusError> {
-    let runtime =
-        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
     let mut handle = spawn_monitor_agent_on(&runtime, spec)?;
     handle._runtime = Some(runtime);
     Ok(handle)
@@ -231,8 +229,7 @@ fn open_subscription(
     seq: u64,
     relays: &mut HashMap<String, Relay>,
 ) -> Message {
-    let Some(sql) = env.message.content().and_then(SExpr::as_text).map(str::to_string)
-    else {
+    let Some(sql) = env.message.content().and_then(SExpr::as_text).map(str::to_string) else {
         return env
             .message
             .reply_skeleton(Performative::Error)
@@ -270,11 +267,8 @@ fn open_subscription(
             format!("no resource agents found for classes {classes:?}"),
         ));
     }
-    let downstream_id = env
-        .message
-        .reply_with()
-        .map(str::to_string)
-        .unwrap_or_else(|| format!("mon-{seq}"));
+    let downstream_id =
+        env.message.reply_with().map(str::to_string).unwrap_or_else(|| format!("mon-{seq}"));
     let mut opened = 0;
     for m in &matches {
         // `reply-to`: notifications must flow to the monitor's own
@@ -285,17 +279,11 @@ fn open_subscription(
             .with_content(SExpr::string(sql.clone()));
         match ctx.request(&m.name, sub, spec.timeout) {
             Ok(ack) if ack.performative == Performative::Tell => {
-                let upstream_id = ack
-                    .content()
-                    .and_then(SExpr::as_text)
-                    .unwrap_or_default()
-                    .to_string();
+                let upstream_id =
+                    ack.content().and_then(SExpr::as_text).unwrap_or_default().to_string();
                 if !upstream_id.is_empty() {
-                    let subscriber = env
-                        .message
-                        .get_text("reply-to")
-                        .unwrap_or(&env.from)
-                        .to_string();
+                    let subscriber =
+                        env.message.get_text("reply-to").unwrap_or(&env.from).to_string();
                     relays.insert(
                         upstream_id,
                         Relay {
@@ -328,15 +316,15 @@ mod tests {
 
     #[test]
     fn parses_delivery_failure_reports() {
-        let msg = Message::new(Performative::Tell)
-            .with_ontology(LOG_ONTOLOGY)
-            .with_content(SExpr::list(vec![
+        let msg = Message::new(Performative::Tell).with_ontology(LOG_ONTOLOGY).with_content(
+            SExpr::list(vec![
                 SExpr::atom("delivery-failure"),
                 SExpr::atom("broker-1"),
                 SExpr::atom("dead-ra"),
                 SExpr::atom("ping"),
                 SExpr::atom("3"),
-            ]));
+            ]),
+        );
         let report = parse_delivery_failure(&msg).expect("parses");
         assert_eq!(
             report,
@@ -377,10 +365,7 @@ mod tests {
             }
         }
         let talker = runtime.spawn("talker", Arc::new(Talker)).unwrap();
-        bus.register("poker")
-            .unwrap()
-            .send("talker", Message::new(Performative::Tell))
-            .unwrap();
+        bus.register("poker").unwrap().send("talker", Message::new(Performative::Tell)).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(3);
         while monitor.delivery_failure_reports() == 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

@@ -16,14 +16,13 @@
 use crate::combine::merge_class_extent;
 use crate::tablecodec;
 use infosleuth_agent::{
-    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
-    RuntimeConfig,
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope, RuntimeConfig,
 };
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_ontology::{
-    Advertisement, AgentLocation, AgentType, Capability, ConversationType, Ontology,
-    SemanticInfo, ServiceQuery, SyntacticInfo,
+    Advertisement, AgentLocation, AgentType, Capability, ConversationType, Ontology, SemanticInfo,
+    ServiceQuery, SyntacticInfo,
 };
 use infosleuth_relquery::{execute, parse_select, plan, referenced_classes, Catalog, Table};
 use std::collections::BTreeMap;
@@ -118,8 +117,7 @@ impl AgentBehavior for MrqBehavior {
 
 /// Spawns the MRQ agent on its own private runtime over the bus.
 pub fn spawn_mrq_agent(bus: &Bus, spec: MrqSpec) -> Result<MrqAgentHandle, BusError> {
-    let runtime =
-        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(4));
+    let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(4));
     let mut handle = spawn_mrq_agent_on(&runtime, spec)?;
     handle._runtime = Some(runtime);
     Ok(handle)

@@ -7,8 +7,7 @@
 //! [`AgentBehavior`]: one message in, one reply out.
 
 use infosleuth_agent::{
-    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope,
-    RuntimeConfig,
+    AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope, RuntimeConfig,
 };
 use infosleuth_kqml::{Performative, SExpr};
 use infosleuth_ontology::Ontology;
@@ -95,8 +94,7 @@ pub fn spawn_ontology_agent(
     name: impl Into<String>,
     ontologies: Vec<Arc<Ontology>>,
 ) -> Result<OntologyAgentHandle, BusError> {
-    let runtime =
-        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
     let mut handle = spawn_ontology_agent_on(&runtime, name, ontologies)?;
     handle._runtime = Some(runtime);
     Ok(handle)
@@ -124,12 +122,9 @@ mod tests {
     #[test]
     fn serves_ontology_definitions() {
         let bus = Bus::new();
-        let handle = spawn_ontology_agent(
-            &bus,
-            "ontology-agent",
-            vec![Arc::new(healthcare_ontology())],
-        )
-        .unwrap();
+        let handle =
+            spawn_ontology_agent(&bus, "ontology-agent", vec![Arc::new(healthcare_ontology())])
+                .unwrap();
         let mut client = bus.register("client").unwrap();
         let reply = client
             .request(

@@ -125,29 +125,18 @@ impl AgentBehavior for ResourceBehavior {
                 // Notifications go to the message's `reply-to` when set:
                 // a subscriber that asked through a request-scoped
                 // endpoint names its long-lived mailbox there.
-                let subscriber = env
-                    .message
-                    .get_text("reply-to")
-                    .unwrap_or(&env.from)
-                    .to_string();
-                let mut sub = Subscription {
-                    id: id.clone(),
-                    subscriber,
-                    sql: sql.to_string(),
-                    last: None,
-                };
+                let subscriber = env.message.get_text("reply-to").unwrap_or(&env.from).to_string();
+                let mut sub =
+                    Subscription { id: id.clone(), subscriber, sql: sql.to_string(), last: None };
                 // Acknowledge, then deliver the initial snapshot.
-                let ack = env
-                    .message
-                    .reply_skeleton(Performative::Tell)
-                    .with_content(SExpr::atom(id));
+                let ack =
+                    env.message.reply_skeleton(Performative::Tell).with_content(SExpr::atom(id));
                 let _ = ctx.send(&env.from, ack);
                 notify_if_changed(ctx, &state.spec, &mut sub);
                 state.subscriptions.push(sub);
             }
             Performative::Update => {
-                let reply = match env.message.content().and_then(tablecodec::table_from_sexpr_ok)
-                {
+                let reply = match env.message.content().and_then(tablecodec::table_from_sexpr_ok) {
                     Some(rows) => match apply_update(&mut state.spec, &rows) {
                         Ok(n) => env
                             .message
@@ -173,12 +162,9 @@ impl AgentBehavior for ResourceBehavior {
                 }
             }
             _ => {
-                let reply = env
-                    .message
-                    .reply_skeleton(Performative::Error)
-                    .with_content(SExpr::string(
-                        "resource agents answer SQL ask-all/subscribe/update only",
-                    ));
+                let reply = env.message.reply_skeleton(Performative::Error).with_content(
+                    SExpr::string("resource agents answer SQL ask-all/subscribe/update only"),
+                );
                 let _ = ctx.send(&env.from, reply);
             }
         }
@@ -205,8 +191,7 @@ pub fn spawn_resource_agent(
     brokers: &[String],
     timeout: Duration,
 ) -> Result<ResourceAgentHandle, BusError> {
-    let runtime =
-        AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+    let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
     let mut handle = spawn_resource_agent_on(&runtime, spec, brokers, timeout)?;
     handle._runtime = Some(runtime);
     Ok(handle)
@@ -223,12 +208,7 @@ pub fn spawn_resource_agent_on(
     let lists = BrokerLists::new(brokers.iter().cloned(), spec.redundancy);
     let behavior = Arc::new(ResourceBehavior {
         maintenance_interval: spec.maintenance_interval,
-        state: Mutex::new(ResourceState {
-            spec,
-            lists,
-            subscriptions: Vec::new(),
-            sub_seq: 0,
-        }),
+        state: Mutex::new(ResourceState { spec, lists, subscriptions: Vec::new(), sub_seq: 0 }),
     });
     let agent = runtime.spawn(&name, Arc::clone(&behavior) as Arc<dyn AgentBehavior>)?;
     {
@@ -292,8 +272,7 @@ fn apply_update(spec: &mut ResourceSpec, rows: &Table) -> Result<usize, String> 
         .columns()
         .iter()
         .map(|c| {
-            rows.column_index(&c.name)
-                .ok_or_else(|| format!("update missing column '{}'", c.name))
+            rows.column_index(&c.name).ok_or_else(|| format!("update missing column '{}'", c.name))
         })
         .collect::<Result<_, _>>()?;
     let mut inserted = 0;
@@ -338,9 +317,9 @@ fn answer_sql(spec: &ResourceSpec, sql: &str, msg: &Message) -> Message {
     };
     let logical = resolve_scans(&plan(&stmt), spec);
     match execute(&logical, &spec.catalog) {
-        Ok(table) => msg
-            .reply_skeleton(Performative::Reply)
-            .with_content(tablecodec::table_to_sexpr(&table)),
+        Ok(table) => {
+            msg.reply_skeleton(Performative::Reply).with_content(tablecodec::table_to_sexpr(&table))
+        }
         Err(e) => {
             // No local contribution (e.g. a fragment asked for a column it
             // does not hold): `sorry`, not an error — the MRQ treats it as
@@ -464,10 +443,7 @@ mod tests {
     fn resolves_superclass_scan_to_subclass_tables() {
         // The CH stream: the agent holds C2a and C2b; a query over C2
         // returns the union of both extents.
-        let spec = spec_with(vec![
-            table("C2a", vec![(1, 10)]),
-            table("C2b", vec![(2, 20)]),
-        ]);
+        let spec = spec_with(vec![table("C2a", vec![(1, 10)]), table("C2b", vec![(2, 20)])]);
         let reply = ask(&spec, "select * from C2");
         assert_eq!(reply.performative, Performative::Reply);
         let t = tablecodec::table_from_sexpr(reply.content().unwrap()).unwrap();
@@ -527,8 +503,7 @@ mod tests {
         let bus = Bus::new();
         let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default());
         let spec = spec_with(vec![table("C2", vec![(1, 10)])]);
-        let handle =
-            spawn_resource_agent_on(&runtime, spec, &[], Duration::from_secs(1)).unwrap();
+        let handle = spawn_resource_agent_on(&runtime, spec, &[], Duration::from_secs(1)).unwrap();
         let mut client = bus.register("subscriber").unwrap();
         let ack = client
             .request(

@@ -82,9 +82,7 @@ pub fn table_to_sexpr(t: &Table) -> SExpr {
     let cols: Vec<SExpr> = t
         .columns()
         .iter()
-        .map(|c| {
-            SExpr::list([SExpr::atom(c.name.as_str()), SExpr::atom(type_name(c.value_type))])
-        })
+        .map(|c| SExpr::list([SExpr::atom(c.name.as_str()), SExpr::atom(type_name(c.value_type))]))
         .collect();
     let mut col_list = vec![SExpr::atom("columns")];
     col_list.extend(cols);
@@ -109,10 +107,7 @@ pub fn table_from_sexpr(e: &SExpr) -> Result<Table, TableCodecError> {
     if items.first().and_then(SExpr::as_atom) != Some("table") {
         return Err(err("expected (table ...)"));
     }
-    let name = items
-        .get(1)
-        .and_then(SExpr::as_atom)
-        .ok_or_else(|| err("table missing name"))?;
+    let name = items.get(1).and_then(SExpr::as_atom).ok_or_else(|| err("table missing name"))?;
     let col_list = items
         .get(2)
         .and_then(SExpr::as_list)
@@ -121,10 +116,8 @@ pub fn table_from_sexpr(e: &SExpr) -> Result<Table, TableCodecError> {
     let mut columns = Vec::new();
     for c in &col_list[1..] {
         let pair = c.as_list().ok_or_else(|| err("column must be (name type)"))?;
-        let cname = pair
-            .first()
-            .and_then(SExpr::as_atom)
-            .ok_or_else(|| err("column missing name"))?;
+        let cname =
+            pair.first().and_then(SExpr::as_atom).ok_or_else(|| err("column missing name"))?;
         let vt = type_from_name(
             pair.get(1).and_then(SExpr::as_atom).ok_or_else(|| err("column missing type"))?,
         )?;
@@ -209,10 +202,7 @@ mod tests {
             "(table t (columns (x int)) (row 1 2))",
             "(table t (columns (x int)) (row \"notint\"))",
         ] {
-            assert!(
-                table_from_sexpr(&SExpr::parse(bad).unwrap()).is_err(),
-                "should reject {bad}"
-            );
+            assert!(table_from_sexpr(&SExpr::parse(bad).unwrap()).is_err(), "should reject {bad}");
         }
     }
 }

@@ -121,11 +121,8 @@ impl UserAgent {
                     .map_err(|e| UserAgentError::BadReply(e.to_string()))
             }
             _ => {
-                let reason = reply
-                    .content()
-                    .and_then(SExpr::as_text)
-                    .unwrap_or("unspecified")
-                    .to_string();
+                let reason =
+                    reply.content().and_then(SExpr::as_text).unwrap_or("unspecified").to_string();
                 Err(UserAgentError::QueryFailed(reason))
             }
         }
@@ -168,13 +165,9 @@ mod tests {
             Repository::new(),
         )
         .expect("broker spawns");
-        let mut user = UserAgent::connect(
-            &bus,
-            "user",
-            vec!["empty-broker".into()],
-            Duration::from_secs(2),
-        )
-        .expect("connects");
+        let mut user =
+            UserAgent::connect(&bus, "user", vec!["empty-broker".into()], Duration::from_secs(2))
+                .expect("connects");
         let err = user.submit_sql("select * from C1", None).unwrap_err();
         assert_eq!(err, UserAgentError::NoQueryAgent);
         broker.stop();

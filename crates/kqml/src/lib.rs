@@ -23,10 +23,12 @@
 //! request and an agent takes place when the agent's advertisement unifies
 //! with the performative specified in the broker or recruit message."
 
+#![forbid(unsafe_code)]
+
 mod message;
 mod sexpr;
 mod template;
 
 pub use message::{KqmlError, Message, Performative};
 pub use sexpr::{SExpr, SExprError};
-pub use template::{unify, Bindings, Template};
+pub use template::{standard_templates, unify, Bindings, Template};

@@ -118,8 +118,7 @@ impl From<SExprError> for KqmlError {
 /// the text survives atom tokenization, a quoted string otherwise (e.g.
 /// `SQL 2.0`, which contains a space).
 fn token(s: String) -> SExpr {
-    let needs_quoting =
-        s.is_empty() || s.chars().any(|c| c.is_whitespace() || "();\"".contains(c));
+    let needs_quoting = s.is_empty() || s.chars().any(|c| c.is_whitespace() || "();\"".contains(c));
     if needs_quoting {
         SExpr::Str(s)
     } else {
@@ -261,9 +260,8 @@ impl Message {
     }
 
     pub fn from_sexpr(e: &SExpr) -> Result<Message, KqmlError> {
-        let items = e
-            .as_list()
-            .ok_or_else(|| KqmlError::Malformed("message must be a list".into()))?;
+        let items =
+            e.as_list().ok_or_else(|| KqmlError::Malformed("message must be a list".into()))?;
         let mut it = items.iter();
         let head = it
             .next()

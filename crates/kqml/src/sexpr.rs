@@ -171,10 +171,9 @@ impl<'a> Reader<'a> {
                                 b'n' => out.push('\n'),
                                 b't' => out.push('\t'),
                                 other => {
-                                    return Err(self.error(format!(
-                                        "unknown escape '\\{}'",
-                                        other as char
-                                    )))
+                                    return Err(
+                                        self.error(format!("unknown escape '\\{}'", other as char))
+                                    )
                                 }
                             }
                             self.pos += 1;

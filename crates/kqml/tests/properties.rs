@@ -52,17 +52,15 @@ fn arb_performative() -> impl Strategy<Value = Performative> {
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        arb_performative(),
-        proptest::collection::vec((arb_atom_text(), arb_sexpr()), 0..6),
-    )
-        .prop_map(|(perf, params)| {
+    (arb_performative(), proptest::collection::vec((arb_atom_text(), arb_sexpr()), 0..6)).prop_map(
+        |(perf, params)| {
             let mut m = Message::new(perf);
             for (k, v) in params {
                 m.set(k, v);
             }
             m
-        })
+        },
+    )
 }
 
 proptest! {

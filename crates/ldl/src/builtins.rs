@@ -79,10 +79,7 @@ pub fn interval_overlaps(a_lo: &Const, a_hi: &Const, b_lo: &Const, b_hi: &Const)
         Some(_) => a_hi,
         None => return false,
     };
-    matches!(
-        lo.compare(hi),
-        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
-    )
+    matches!(lo.compare(hi), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
 }
 
 #[cfg(test)]

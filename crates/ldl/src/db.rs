@@ -2,18 +2,28 @@
 //! within a predicate, grouped by first argument.
 
 use crate::term::{Atom, Const};
-use std::collections::{HashMap, HashSet};
 use std::collections::BTreeMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// One predicate's tuples, grouped by first argument so that probes with
 /// a bound first argument (the common shape in matchmaking: the agent
 /// name leads every per-agent fact) touch only their group. Nullary
 /// tuples live under the `None` key.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 struct Relation {
     by_first: HashMap<Option<Const>, HashSet<Vec<Const>>>,
     count: usize,
+}
+
+// Hand-written so that dumps are deterministic: the derived impl walks the
+// HashMap in hash order, which varies run to run and breaks golden tests.
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tuples: Vec<&Vec<Const>> = self.tuples().collect();
+        tuples.sort();
+        f.debug_struct("Relation").field("tuples", &tuples).field("count", &self.count).finish()
+    }
 }
 
 impl Relation {
@@ -41,9 +51,7 @@ impl Relation {
     }
 
     fn contains(&self, tuple: &[Const]) -> bool {
-        self.by_first
-            .get(&tuple.first().cloned())
-            .is_some_and(|g| g.contains(tuple))
+        self.by_first.get(&tuple.first().cloned()).is_some_and(|g| g.contains(tuple))
     }
 
     fn tuples(&self) -> impl Iterator<Item = &Vec<Const>> {
@@ -97,8 +105,7 @@ impl Database {
     /// Removes every fact of a predicate whose tuple satisfies `drop`.
     pub fn retract_where(&mut self, pred: &str, mut drop: impl FnMut(&[Const]) -> bool) -> usize {
         let Some(rel) = self.facts.get_mut(pred) else { return 0 };
-        let doomed: Vec<Vec<Const>> =
-            rel.tuples().filter(|t| drop(t)).cloned().collect();
+        let doomed: Vec<Vec<Const>> = rel.tuples().filter(|t| drop(t)).cloned().collect();
         for t in &doomed {
             rel.remove(t);
         }
@@ -174,9 +181,7 @@ impl Database {
 
     /// Iterates every `(predicate, tuple)` pair.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Vec<Const>)> {
-        self.facts
-            .iter()
-            .flat_map(|(pred, rel)| rel.tuples().map(move |t| (pred.as_str(), t)))
+        self.facts.iter().flat_map(|(pred, rel)| rel.tuples().map(move |t| (pred.as_str(), t)))
     }
 }
 
@@ -308,8 +313,7 @@ mod tests {
         let mut db = Database::new();
         db.assert("p", vec![Const::int(1)]);
         db.assert("q", vec![Const::sym("a"), Const::int(2)]);
-        let mut seen: Vec<String> =
-            db.iter().map(|(p, t)| format!("{p}/{}", t.len())).collect();
+        let mut seen: Vec<String> = db.iter().map(|(p, t)| format!("{p}/{}", t.len())).collect();
         seen.sort();
         assert_eq!(seen, vec!["p/1", "q/2"]);
     }

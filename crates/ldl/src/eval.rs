@@ -10,6 +10,7 @@ impl Program {
     /// Computes the full model of the program over an extensional database,
     /// stratum by stratum, using semi-naive evaluation within each stratum.
     pub fn saturate(&self, edb: &Database) -> Result<Saturated, crate::ProgramError> {
+        self.validate()?;
         let mut db = edb.clone();
         for stratum in 0..self.num_strata() {
             let rules: Vec<&Rule> = self.rules_in_stratum(stratum).collect();
@@ -48,6 +49,7 @@ impl Program {
     /// optimization (still stratified for negation). Used by tests and the
     /// `ldl` ablation bench to validate semi-naive evaluation.
     pub fn saturate_naive(&self, edb: &Database) -> Result<Saturated, crate::ProgramError> {
+        self.validate()?;
         let mut db = edb.clone();
         for stratum in 0..self.num_strata() {
             let rules: Vec<&Rule> = self.rules_in_stratum(stratum).collect();
@@ -74,9 +76,7 @@ impl Program {
     /// monotone in the EDB; `Cmp`/`Overlaps` builtins are pure filters and
     /// do not break monotonicity.
     pub fn has_negation(&self) -> bool {
-        self.rules()
-            .iter()
-            .any(|r| r.body.iter().any(|l| matches!(l, Literal::Neg(_))))
+        self.rules().iter().any(|r| r.body.iter().any(|l| matches!(l, Literal::Neg(_))))
     }
 }
 
@@ -303,9 +303,7 @@ fn eval_rule(rule: &Rule, db: &Database, delta: Option<&Database>) -> Vec<Vec<Co
         // literals is preserved, so builtins and negation still see every
         // binding they saw before, plus possibly more.
         let order: Vec<usize> = match delta_pos {
-            Some(d) => std::iter::once(d)
-                .chain((0..rule.body.len()).filter(|&i| i != d))
-                .collect(),
+            Some(d) => std::iter::once(d).chain((0..rule.body.len()).filter(|&i| i != d)).collect(),
             None => (0..rule.body.len()).collect(),
         };
         let mut envs = vec![Bindings::new()];
@@ -382,8 +380,7 @@ fn step_literal(
         }
         Literal::Cmp { op, lhs, rhs } => {
             for env in envs {
-                if let (Term::Const(a), Term::Const(b)) = (lhs.resolve(&env), rhs.resolve(&env))
-                {
+                if let (Term::Const(a), Term::Const(b)) = (lhs.resolve(&env), rhs.resolve(&env)) {
                     if op.eval(&a, &b) {
                         out.push(env);
                     }
@@ -431,8 +428,7 @@ mod tests {
 
     #[test]
     fn transitive_closure() {
-        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).")
-            .unwrap();
+        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).").unwrap();
         let db = edges(&[("a", "b"), ("b", "c"), ("c", "d")]);
         let s = p.saturate(&db).unwrap();
         let answers = s.query(&parse_query("path(a, X)").unwrap());
@@ -444,10 +440,7 @@ mod tests {
 
     #[test]
     fn semi_naive_equals_naive() {
-        let p = parse_rules(
-            "path(X,Y) :- edge(X,Y). path(X,Y) :- path(X,Z), path(Z,Y).",
-        )
-        .unwrap();
+        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- path(X,Z), path(Z,Y).").unwrap();
         // A small dense graph with cycles.
         let db = edges(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "d")]);
         let semi = p.saturate(&db).unwrap();
@@ -457,8 +450,7 @@ mod tests {
 
     #[test]
     fn cyclic_graph_terminates() {
-        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).")
-            .unwrap();
+        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).").unwrap();
         let db = edges(&[("a", "b"), ("b", "a")]);
         let s = p.saturate(&db).unwrap();
         assert_eq!(s.db().tuples("path").count(), 4); // aa ab ba bb

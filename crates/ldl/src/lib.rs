@@ -30,6 +30,8 @@
 //! assert_eq!(answers.len(), 2); // relational, select
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builtins;
 mod db;
 mod eval;
@@ -41,7 +43,10 @@ mod term;
 pub use builtins::CmpOp;
 pub use db::Database;
 pub use eval::Saturated;
-pub use parse::{parse_atom, parse_query, parse_rule, parse_rules, LdlParseError};
+pub use parse::{
+    parse_atom, parse_query, parse_rule, parse_rules, parse_rules_spanned, LdlParseError,
+    SpannedRule,
+};
 pub use program::{Program, ProgramError};
 pub use rule::{Literal, Rule, RuleError};
 pub use term::{Atom, Bindings, Const, Term};

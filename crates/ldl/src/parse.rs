@@ -152,10 +152,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LdlParseError> {
                 }
                 let text = std::str::from_utf8(&b[s..pos]).expect("ascii digits");
                 if is_float {
-                    out.push((
-                        Tok::Float(text.parse().map_err(|_| err(s, "bad float"))?),
-                        start,
-                    ));
+                    out.push((Tok::Float(text.parse().map_err(|_| err(s, "bad float"))?), start));
                 } else {
                     out.push((Tok::Int(text.parse().map_err(|_| err(s, "bad int"))?), start));
                 }
@@ -279,15 +276,19 @@ impl P {
         }
         let lhs = self.term()?;
         let op = match self.next() {
-            Some(Tok::Op(op)) => CmpOp::parse(&op)
-                .ok_or_else(|| self.err(format!("unknown comparison '{op}'")))?,
+            Some(Tok::Op(op)) => {
+                CmpOp::parse(&op).ok_or_else(|| self.err(format!("unknown comparison '{op}'")))?
+            }
             _ => return Err(self.err("expected comparison operator")),
         };
         let rhs = self.term()?;
         Ok(Literal::Cmp { op, lhs, rhs })
     }
 
-    fn rule(&mut self) -> Result<Rule, LdlParseError> {
+    /// Parses one rule syntactically, without the safety check, returning
+    /// the byte span `[start, end)` it occupies in the source.
+    fn rule_raw(&mut self) -> Result<(Rule, usize, usize), LdlParseError> {
+        let start = self.pos();
         let head = self.atom()?;
         let mut body = Vec::new();
         match self.next() {
@@ -302,7 +303,16 @@ impl P {
             },
             _ => return Err(self.err("expected ':-' or '.'")),
         }
-        Rule::checked(head, body).map_err(|e| LdlParseError { message: e.to_string(), position: 0 })
+        // The last consumed token is the terminating '.' (1 byte wide).
+        let end = self.toks.get(self.idx - 1).map(|(_, p)| p + 1).unwrap_or(start);
+        Ok((Rule::unchecked(head, body), start, end))
+    }
+
+    fn rule(&mut self) -> Result<Rule, LdlParseError> {
+        let (rule, start, _) = self.rule_raw()?;
+        rule.check_safety()
+            .map_err(|e| LdlParseError { message: e.to_string(), position: start })?;
+        Ok(rule)
     }
 }
 
@@ -338,6 +348,31 @@ pub fn parse_rules(src: &str) -> Result<Program, LdlParseError> {
         rules.push(p.rule()?);
     }
     Program::new(rules).map_err(|e| LdlParseError { message: e.to_string(), position: 0 })
+}
+
+/// A rule together with the byte span `[start, end)` it occupies in the
+/// source text it was parsed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedRule {
+    pub rule: Rule,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Parses a whole program *syntactically only* — no safety or
+/// stratification checking — keeping each rule's source span. This is the
+/// entry point for static analysis tooling that wants to report every
+/// semantic problem with a span instead of failing on the first one;
+/// syntax errors still abort (there is nothing meaningful to analyze).
+pub fn parse_rules_spanned(src: &str) -> Result<Vec<SpannedRule>, LdlParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, idx: 0 };
+    let mut rules = Vec::new();
+    while p.idx < p.toks.len() {
+        let (rule, start, end) = p.rule_raw()?;
+        rules.push(SpannedRule { rule, start, end });
+    }
+    Ok(rules)
 }
 
 /// Parses a conjunctive query: comma-separated literals, no trailing dot.
@@ -402,8 +437,7 @@ mod tests {
 
     #[test]
     fn parses_overlaps() {
-        let r =
-            parse_rule("m(A) :- r(A, L, H), overlaps(L, H, 25, 65).").unwrap();
+        let r = parse_rule("m(A) :- r(A, L, H), overlaps(L, H, 25, 65).").unwrap();
         assert!(matches!(r.body[1], Literal::Overlaps { .. }));
         assert!(parse_rule("m(A) :- r(A, L, H), overlaps(L, H, 25).").is_err());
     }

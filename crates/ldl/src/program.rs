@@ -9,6 +9,11 @@ use std::fmt;
 pub enum ProgramError {
     /// The program has a cycle through negation and cannot be stratified.
     NotStratifiable { predicate: String },
+    /// A rule violates safety (range restriction). `Rule` implements
+    /// `Deserialize`, so a program assembled from deserialized rules can
+    /// contain rules that never went through [`Rule::checked`]; `validate`
+    /// (and therefore `saturate`) catches them here.
+    UnsafeRule { detail: String },
 }
 
 impl fmt::Display for ProgramError {
@@ -17,6 +22,7 @@ impl fmt::Display for ProgramError {
             ProgramError::NotStratifiable { predicate } => {
                 write!(f, "program is not stratifiable: recursion through negation involving '{predicate}'")
             }
+            ProgramError::UnsafeRule { detail } => write!(f, "{detail}"),
         }
     }
 }
@@ -41,19 +47,26 @@ pub struct Program {
 impl Program {
     /// Builds a program from rules, checking stratifiability.
     pub fn new(rules: Vec<Rule>) -> Result<Program, ProgramError> {
+        let (strata, num_strata) = Self::stratify(&rules)?;
+        Ok(Program { rules, strata, num_strata })
+    }
+
+    /// Computes the stratum assignment, or rejects the rule set as
+    /// unstratifiable.
+    fn stratify(rules: &[Rule]) -> Result<(BTreeMap<String, usize>, usize), ProgramError> {
         let mut strata: BTreeMap<String, usize> = BTreeMap::new();
-        for r in &rules {
+        for r in rules {
             strata.entry(r.head.pred.clone()).or_insert(0);
             for (dep, _) in r.dependencies() {
                 strata.entry(dep.to_string()).or_insert(0);
             }
         }
         let max_stratum = strata.len(); // any valid stratification fits
-        // Fixpoint over the constraints.
+                                        // Fixpoint over the constraints.
         let mut changed = true;
         while changed {
             changed = false;
-            for r in &rules {
+            for r in rules {
                 let head = r.head.pred.clone();
                 for (dep, negated) in r.dependencies() {
                     let dep_s = strata[dep];
@@ -70,7 +83,22 @@ impl Program {
             }
         }
         let num_strata = strata.values().copied().max().map(|m| m + 1).unwrap_or(1);
-        Ok(Program { rules, strata, num_strata })
+        Ok((strata, num_strata))
+    }
+
+    /// Revalidates the program: every rule must be safe (range restricted)
+    /// and the rule set stratifiable. The parser and `Program::new` enforce
+    /// stratification, but `Rule` implements `Deserialize`, so a program
+    /// built from deserialized rules can smuggle in unsafe rules that
+    /// never saw [`Rule::checked`]. [`Program::saturate`] calls this before
+    /// evaluating; external admission pipelines (the broker) call it on
+    /// rule deltas before accepting them.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for r in &self.rules {
+            r.check_safety().map_err(|e| ProgramError::UnsafeRule { detail: e.to_string() })?;
+        }
+        Self::stratify(&self.rules)?;
+        Ok(())
     }
 
     pub fn rules(&self) -> &[Rule] {
@@ -107,8 +135,7 @@ mod tests {
 
     #[test]
     fn positive_recursion_is_one_stratum() {
-        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).")
-            .unwrap();
+        let p = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).").unwrap();
         assert_eq!(p.num_strata(), 1);
         assert_eq!(p.stratum_of("path"), 0);
         assert_eq!(p.stratum_of("edge"), 0);
@@ -131,17 +158,14 @@ mod tests {
     fn recursion_through_negation_rejected() {
         let err = parse_rules("p(X) :- q(X), not p(X).").unwrap_err();
         assert!(err.to_string().contains("not stratifiable"));
-        let err2 =
-            parse_rules("a(X) :- c(X), not b(X). b(X) :- c(X), not a(X).").unwrap_err();
+        let err2 = parse_rules("a(X) :- c(X), not b(X). b(X) :- c(X), not a(X).").unwrap_err();
         assert!(err2.to_string().contains("not stratifiable"));
     }
 
     #[test]
     fn chained_negation_builds_multiple_strata() {
-        let p = parse_rules(
-            "b(X) :- e(X), not a(X). c(X) :- e(X), not b(X). a(X) :- e0(X).",
-        )
-        .unwrap();
+        let p =
+            parse_rules("b(X) :- e(X), not a(X). c(X) :- e(X), not b(X). a(X) :- e0(X).").unwrap();
         assert_eq!(p.stratum_of("a"), 0);
         assert_eq!(p.stratum_of("b"), 1);
         assert_eq!(p.stratum_of("c"), 2);

@@ -32,13 +32,10 @@ impl Literal {
         }
         match self {
             Literal::Pos(a) | Literal::Neg(a) => a.vars().collect(),
-            Literal::Cmp { lhs, rhs, .. } => {
-                [lhs, rhs].into_iter().filter_map(term_var).collect()
+            Literal::Cmp { lhs, rhs, .. } => [lhs, rhs].into_iter().filter_map(term_var).collect(),
+            Literal::Overlaps { a_lo, a_hi, b_lo, b_hi } => {
+                [a_lo, a_hi, b_lo, b_hi].into_iter().filter_map(term_var).collect()
             }
-            Literal::Overlaps { a_lo, a_hi, b_lo, b_hi } => [a_lo, a_hi, b_lo, b_hi]
-                .into_iter()
-                .filter_map(term_var)
-                .collect(),
         }
     }
 }
@@ -95,7 +92,26 @@ impl Rule {
     /// must appear in some positive body literal.
     pub fn checked(head: Atom, body: Vec<Literal>) -> Result<Rule, RuleError> {
         let rule = Rule { head, body };
-        let positive: BTreeSet<&str> = rule
+        rule.check_safety()?;
+        Ok(rule)
+    }
+
+    /// Builds a rule without checking safety. For analysis tooling that
+    /// wants to *report* safety violations (with source spans) rather than
+    /// fail on construction. Evaluating an unchecked unsafe rule derives
+    /// nothing rather than crashing, but [`crate::Program::validate`]
+    /// rejects such programs before `saturate` runs.
+    pub fn unchecked(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Re-runs the safety (range restriction) check on an already-built
+    /// rule: every head variable and every variable used in a negated or
+    /// builtin literal must appear in some positive body literal. `Rule`
+    /// implements `Deserialize`, so rules arriving over a wire bypass
+    /// [`Rule::checked`]; this is the revalidation entry point.
+    pub fn check_safety(&self) -> Result<(), RuleError> {
+        let positive: BTreeSet<&str> = self
             .body
             .iter()
             .filter_map(|l| match l {
@@ -104,33 +120,33 @@ impl Rule {
             })
             .flatten()
             .collect();
-        for v in rule.head.vars() {
+        for v in self.head.vars() {
             if !positive.contains(v) {
                 return Err(RuleError::UnsafeHeadVar {
-                    rule: rule.to_string(),
+                    rule: self.to_string(),
                     var: v.to_string(),
                 });
             }
         }
-        for lit in &rule.body {
+        for lit in &self.body {
             if matches!(lit, Literal::Pos(_)) {
                 continue;
             }
             for v in lit.vars() {
                 if !positive.contains(v) {
                     return Err(RuleError::UnboundVar {
-                        rule: rule.to_string(),
+                        rule: self.to_string(),
                         var: v.to_string(),
                     });
                 }
             }
         }
-        Ok(rule)
+        Ok(())
     }
 
     /// Predicates this rule depends on, tagged with whether the dependency
     /// is through negation.
-    pub(crate) fn dependencies(&self) -> impl Iterator<Item = (&str, bool)> {
+    pub fn dependencies(&self) -> impl Iterator<Item = (&str, bool)> {
         self.body.iter().filter_map(|l| match l {
             Literal::Pos(a) => Some((a.pred.as_str(), false)),
             Literal::Neg(a) => Some((a.pred.as_str(), true)),
@@ -168,20 +184,14 @@ mod tests {
     fn safe_rule_accepted() {
         let r = Rule::checked(
             atom("path", &["X", "Y"]),
-            vec![
-                Literal::Pos(atom("edge", &["X", "Z"])),
-                Literal::Pos(atom("path", &["Z", "Y"])),
-            ],
+            vec![Literal::Pos(atom("edge", &["X", "Z"])), Literal::Pos(atom("path", &["Z", "Y"]))],
         );
         assert!(r.is_ok());
     }
 
     #[test]
     fn unsafe_head_var_rejected() {
-        let r = Rule::checked(
-            atom("p", &["X", "Y"]),
-            vec![Literal::Pos(atom("q", &["X"]))],
-        );
+        let r = Rule::checked(atom("p", &["X", "Y"]), vec![Literal::Pos(atom("q", &["X"]))]);
         assert!(matches!(r, Err(RuleError::UnsafeHeadVar { var, .. }) if var == "Y"));
     }
 
@@ -189,10 +199,7 @@ mod tests {
     fn unbound_negation_var_rejected() {
         let r = Rule::checked(
             atom("p", &["X"]),
-            vec![
-                Literal::Pos(atom("q", &["X"])),
-                Literal::Neg(atom("r", &["Y"])),
-            ],
+            vec![Literal::Pos(atom("q", &["X"])), Literal::Neg(atom("r", &["Y"]))],
         );
         assert!(matches!(r, Err(RuleError::UnboundVar { var, .. }) if var == "Y"));
     }
@@ -215,11 +222,7 @@ mod tests {
             atom("p", &["X"]),
             vec![
                 Literal::Pos(atom("q", &["X"])),
-                Literal::Cmp {
-                    op: CmpOp::Lt,
-                    lhs: Term::var("X"),
-                    rhs: Term::constant(10i64),
-                },
+                Literal::Cmp { op: CmpOp::Lt, lhs: Term::var("X"), rhs: Term::constant(10i64) },
             ],
         );
         assert!(r.is_ok());

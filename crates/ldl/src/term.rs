@@ -224,14 +224,8 @@ mod tests {
 
     #[test]
     fn const_comparisons() {
-        assert_eq!(
-            Const::int(2).compare(&Const::float(2.5)),
-            Some(std::cmp::Ordering::Less)
-        );
-        assert_eq!(
-            Const::sym("a").compare(&Const::sym("b")),
-            Some(std::cmp::Ordering::Less)
-        );
+        assert_eq!(Const::int(2).compare(&Const::float(2.5)), Some(std::cmp::Ordering::Less));
+        assert_eq!(Const::sym("a").compare(&Const::sym("b")), Some(std::cmp::Ordering::Less));
         assert_eq!(Const::sym("a").compare(&Const::int(1)), None);
         assert_eq!(Const::str("a").compare(&Const::sym("a")), None);
     }

@@ -79,13 +79,10 @@ impl Churn {
                 delta.assert("edge", e.clone());
                 self.edb.assert("edge", e);
             }
-            self.model = self
-                .model
-                .add_facts(&self.program, &delta)
-                .expect("program is negation-free");
+            self.model =
+                self.model.add_facts(&self.program, &delta).expect("program is negation-free");
         } else {
-            let present: Vec<Vec<Const>> =
-                self.edb.tuples("edge").cloned().collect();
+            let present: Vec<Vec<Const>> = self.edb.tuples("edge").cloned().collect();
             if present.is_empty() {
                 return;
             }
@@ -94,10 +91,8 @@ impl Churn {
                 delta.assert("edge", e.clone());
                 self.edb.retract("edge", &e);
             }
-            self.model = self
-                .model
-                .remove_facts(&self.program, &delta)
-                .expect("program is negation-free");
+            self.model =
+                self.model.remove_facts(&self.program, &delta).expect("program is negation-free");
         }
         let oracle = self.program.saturate(&self.edb).unwrap();
         assert_eq!(
@@ -143,8 +138,8 @@ fn add_then_remove_round_trips_to_original_model() {
 
 #[test]
 fn removal_keeps_facts_with_alternative_support() {
-    let program = parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).")
-        .unwrap();
+    let program =
+        parse_rules("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).").unwrap();
     let mut edb = Database::new();
     // Two routes from a to c: direct, and via b.
     edb.assert("edge", vec![Const::sym("a"), Const::sym("c")]);
@@ -161,8 +156,7 @@ fn removal_keeps_facts_with_alternative_support() {
 
 #[test]
 fn negation_refuses_incremental_maintenance() {
-    let program =
-        parse_rules("p(X) :- e(X). q(X) :- e(X), not f(X).").unwrap();
+    let program = parse_rules("p(X) :- e(X). q(X) :- e(X), not f(X).").unwrap();
     let mut edb = Database::new();
     edb.assert("e", vec![Const::sym("a")]);
     let model = program.saturate(&edb).unwrap();

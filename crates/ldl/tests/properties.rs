@@ -13,10 +13,7 @@ fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8)>> {
 fn edge_db(edges: &[(u8, u8)]) -> Database {
     let mut db = Database::new();
     for (a, b) in edges {
-        db.assert(
-            "edge",
-            vec![Const::sym(format!("n{a}")), Const::sym(format!("n{b}"))],
-        );
+        db.assert("edge", vec![Const::sym(format!("n{a}")), Const::sym(format!("n{b}"))]);
     }
     db
 }

@@ -1,0 +1,203 @@
+//! The lint driver behind the `infosleuth-lint` binary.
+//!
+//! Two modes:
+//!
+//! - [`lint_repo`] analyzes every artifact the repository ships — the
+//!   broker's matchmaking rule base, representative example-scenario
+//!   advertisements derived over the sample ontologies exactly the way
+//!   the `Community` builder derives them, the monitor agent's
+//!   advertisement, and the standard KQML conversation templates. A clean
+//!   tree reports zero diagnostics.
+//! - [`lint_corpus`] runs the analyzers over a directory of deliberately
+//!   broken inputs (`*.ldl`, `*.ad`, `*.kqml`) and compares each file's
+//!   diagnostics against its `*.expected` fixture, one `IS0xx` code per
+//!   line. This is the analyzer's own regression suite.
+
+#![forbid(unsafe_code)]
+
+use infosleuth_analysis::{
+    analyze_advertisement, analyze_ldl_source, analyze_message, analyze_template, AdContext, Code,
+    Diagnostic, Report, Span,
+};
+use infosleuth_core::broker::codec;
+use infosleuth_core::constraint::parse_conjunction;
+use infosleuth_core::kqml::{standard_templates, Message, SExpr};
+use infosleuth_core::ontology::{
+    healthcare_ontology, paper_class_ontology, standard_capability_taxonomy, Ontology,
+};
+use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
+use infosleuth_core::{monitor_advertisement, ResourceDef};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyzes every shipped artifact; one report per artifact, in a stable
+/// order. The tree is healthy iff every report is clean.
+pub fn lint_repo() -> Vec<Report> {
+    let mut reports = Vec::new();
+
+    // The broker's matchmaking rule base, against its own fact schema.
+    reports.push(analyze_ldl_source(
+        "broker/matchmaking-rules",
+        infosleuth_core::broker::matchmaking_rules_text(),
+        &infosleuth_core::broker::matchmaking_env(),
+    ));
+
+    // Example-scenario advertisements, derived from resource catalogs the
+    // same way `Community` derives them, checked against the ontology they
+    // declare.
+    let tax = standard_capability_taxonomy();
+    let healthcare = healthcare_ontology();
+    let paper = paper_class_ontology();
+    let ctx = AdContext::new().with_taxonomy(&tax).with_ontologies([&healthcare, &paper]);
+    for ad in example_advertisements(&healthcare, &paper) {
+        reports.push(analyze_advertisement(&ad, &ctx));
+    }
+
+    // The standard KQML conversation templates.
+    for (name, template) in standard_templates() {
+        reports.push(analyze_template(&format!("kqml/template/{name}"), &template));
+    }
+    reports
+}
+
+/// The advertisements the shipped example scenarios register: one resource
+/// agent per sample ontology (every class, §2.4's age constraint on the
+/// healthcare one) plus the monitor agent.
+fn example_advertisements(
+    healthcare: &Ontology,
+    paper: &Ontology,
+) -> Vec<infosleuth_core::ontology::Advertisement> {
+    let seniors = parse_conjunction("patient.age between 43 and 75").expect("parses");
+    let ra5 = ResourceDef::new("ResourceAgent5", "healthcare", full_catalog(healthcare))
+        .with_constraints(seniors)
+        .advertisement(healthcare, 6005);
+    let db1 = ResourceDef::new("db1-resource-agent", "paper-classes", full_catalog(paper))
+        .advertisement(paper, 6001);
+    let monitor = monitor_advertisement("monitor-agent", "tcp://monitor.mcc.com:4000");
+    vec![ra5, db1, monitor]
+}
+
+/// A catalog holding a small generated extent of every class.
+fn full_catalog(ontology: &Ontology) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut classes: Vec<&str> = ontology.class_names().collect();
+    classes.sort_unstable();
+    for (i, class) in classes.into_iter().enumerate() {
+        catalog.insert(
+            generate_table(ontology, &GenSpec::new(class, 4, i as u64 + 1))
+                .expect("sample class generates"),
+        );
+    }
+    catalog
+}
+
+/// One corpus file's outcome: the diagnostics the analyzer produced vs the
+/// codes the fixture expects.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    pub path: PathBuf,
+    pub expected: Vec<String>,
+    pub actual: Vec<String>,
+    pub report: Report,
+}
+
+impl CorpusCase {
+    pub fn passed(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// Runs the analyzers over every `*.ldl`, `*.ad`, and `*.kqml` file in
+/// `dir` and compares against the `*.expected` fixtures. An `.ldl` file
+/// whose first line contains `% env: matchmaking` is analyzed against the
+/// broker's fact schema; others are analyzed permissively.
+pub fn lint_corpus(dir: &Path) -> io::Result<Vec<CorpusCase>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("ldl" | "ad" | "kqml")))
+        .collect();
+    paths.sort();
+    let tax = standard_capability_taxonomy();
+    let healthcare = healthcare_ontology();
+    let paper = paper_class_ontology();
+    let ctx = AdContext::new().with_taxonomy(&tax).with_ontologies([&healthcare, &paper]);
+    let mut cases = Vec::new();
+    for path in paths {
+        let src = fs::read_to_string(&path)?;
+        let origin = path.file_name().and_then(|n| n.to_str()).unwrap_or("corpus").to_string();
+        let report = match path.extension().and_then(|e| e.to_str()) {
+            Some("ldl") => analyze_corpus_ldl(&origin, &src),
+            Some("ad") => analyze_corpus_ad(&origin, &src, &ctx),
+            Some("kqml") => analyze_corpus_kqml(&origin, &src),
+            _ => unreachable!("filtered above"),
+        };
+        let expected = read_expected(&path.with_extension("expected"))?;
+        let mut actual: Vec<String> =
+            report.diagnostics.iter().map(|d| d.code.as_str().to_string()).collect();
+        actual.sort();
+        cases.push(CorpusCase { path, expected, actual, report });
+    }
+    Ok(cases)
+}
+
+fn analyze_corpus_ldl(origin: &str, src: &str) -> Report {
+    let env = if src.lines().next().is_some_and(|l| l.contains("% env: matchmaking")) {
+        infosleuth_core::broker::matchmaking_env()
+    } else {
+        infosleuth_analysis::LdlEnv::permissive()
+    };
+    analyze_ldl_source(origin, src, &env)
+}
+
+fn analyze_corpus_ad(origin: &str, src: &str, ctx: &AdContext<'_>) -> Report {
+    let parsed = SExpr::parse(src)
+        .map_err(|e| e.to_string())
+        .and_then(|e| codec::advertisement_from_sexpr(&e).map_err(|e| e.to_string()));
+    match parsed {
+        Ok(ad) => {
+            let mut report = analyze_advertisement(&ad, ctx);
+            report.origin = origin.to_string();
+            report
+        }
+        Err(message) => {
+            let mut report = Report::new(origin);
+            report.push(Diagnostic::new(Code::SyntaxError, message).with_span(Span::point(0)));
+            report
+        }
+    }
+}
+
+fn analyze_corpus_kqml(origin: &str, src: &str) -> Report {
+    match Message::parse(src.trim()) {
+        Ok(msg) => {
+            let mut report = analyze_message(&msg);
+            report.origin = origin.to_string();
+            report
+        }
+        Err(e) => {
+            let mut report = Report::new(origin);
+            report
+                .push(Diagnostic::new(Code::SyntaxError, e.to_string()).with_span(Span::point(0)));
+            report
+        }
+    }
+}
+
+/// Reads an `.expected` fixture: one `IS0xx` code per line; `#` comments
+/// and blank lines are ignored. A missing file means "expected clean".
+fn read_expected(path: &Path) -> io::Result<Vec<String>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut codes: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    codes.sort();
+    Ok(codes)
+}

@@ -1,0 +1,110 @@
+//! `infosleuth-lint` — static analysis over the shipped artifacts and the
+//! regression corpus.
+//!
+//! ```text
+//! infosleuth-lint [--json]                 lint every shipped artifact
+//! infosleuth-lint [--json] --corpus DIR    run the expected-diagnostic corpus
+//! ```
+//!
+//! Repo mode exits nonzero if *any* diagnostic (including warnings) is
+//! reported — the shipped tree must be spotless. Corpus mode exits nonzero
+//! if any file's diagnostics differ from its `.expected` fixture.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut corpus: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--corpus" => match args.next() {
+                Some(dir) => corpus = Some(PathBuf::from(dir)),
+                None => return usage("--corpus needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: infosleuth-lint [--json] [--corpus DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    match corpus {
+        Some(dir) => run_corpus(&dir, json),
+        None => run_repo(json),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("infosleuth-lint: {problem}");
+    eprintln!("usage: infosleuth-lint [--json] [--corpus DIR]");
+    ExitCode::from(2)
+}
+
+fn run_repo(json: bool) -> ExitCode {
+    let reports = infosleuth_lint::lint_repo();
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    if json {
+        let items: Vec<String> = reports.iter().map(|r| r.render_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for report in &reports {
+            if report.is_clean() {
+                println!("ok    {}", report.origin);
+            } else {
+                print!("{}", report.render_human(None));
+            }
+        }
+        println!("{} artifact(s) checked, {} diagnostic(s)", reports.len(), total);
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_corpus(dir: &std::path::Path, json: bool) -> ExitCode {
+    let cases = match infosleuth_lint::lint_corpus(dir) {
+        Ok(cases) => cases,
+        Err(e) => {
+            eprintln!("infosleuth-lint: cannot read corpus {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    if cases.is_empty() {
+        eprintln!("infosleuth-lint: no corpus files in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut failed = 0usize;
+    if json {
+        let items: Vec<String> = cases.iter().map(|c| c.report.render_json()).collect();
+        println!("[{}]", items.join(","));
+        failed = cases.iter().filter(|c| !c.passed()).count();
+    } else {
+        for case in &cases {
+            if case.passed() {
+                println!("PASS  {}  [{}]", case.path.display(), case.actual.join(", "));
+            } else {
+                failed += 1;
+                println!(
+                    "FAIL  {}  expected [{}], got [{}]",
+                    case.path.display(),
+                    case.expected.join(", "),
+                    case.actual.join(", ")
+                );
+                print!("{}", case.report.render_human(None));
+            }
+        }
+        println!("{} corpus case(s), {} failure(s)", cases.len(), failed);
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

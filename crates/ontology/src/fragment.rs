@@ -43,8 +43,7 @@ impl Fragment {
     pub fn contributes_to(&self, requested_slots: &[String], requested: &Conjunction) -> bool {
         match self {
             Fragment::Vertical { slots } => {
-                requested_slots.is_empty()
-                    || requested_slots.iter().any(|r| slots.contains(r))
+                requested_slots.is_empty() || requested_slots.iter().any(|r| slots.contains(r))
             }
             Fragment::Horizontal { constraint } => constraint.overlaps(requested),
         }
@@ -78,9 +77,11 @@ mod tests {
 
     #[test]
     fn horizontal_fragment_contributes_on_constraint_overlap() {
-        let frag = Fragment::horizontal(Conjunction::from_predicates(vec![
-            Predicate::between("patient.age", 43, 75),
-        ]));
+        let frag = Fragment::horizontal(Conjunction::from_predicates(vec![Predicate::between(
+            "patient.age",
+            43,
+            75,
+        )]));
         let req = Conjunction::from_predicates(vec![Predicate::between("patient.age", 25, 65)]);
         assert!(frag.contributes_to(&[], &req));
         let miss = Conjunction::from_predicates(vec![Predicate::between("patient.age", 1, 10)]);
@@ -90,9 +91,7 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Fragment::vertical(["a", "b"]).to_string(), "vertical(a, b)");
-        let frag = Fragment::horizontal(Conjunction::from_predicates(vec![Predicate::eq(
-            "x", 1,
-        )]));
+        let frag = Fragment::horizontal(Conjunction::from_predicates(vec![Predicate::eq("x", 1)]));
         assert_eq!(frag.to_string(), "horizontal(x in [1, 1])");
     }
 }

@@ -16,6 +16,8 @@
 //!   records that flow between agents and brokers;
 //! * the sample healthcare ontology used across the paper's examples.
 
+#![forbid(unsafe_code)]
+
 mod capability;
 mod fragment;
 mod model;

@@ -124,11 +124,7 @@ impl Ontology {
     }
 
     /// Adds a class as a subclass of an existing class.
-    pub fn add_subclass(
-        &mut self,
-        superclass: &str,
-        class: ClassDef,
-    ) -> Result<(), OntologyError> {
+    pub fn add_subclass(&mut self, superclass: &str, class: ClassDef) -> Result<(), OntologyError> {
         if self.classes.contains_key(&class.name) {
             return Err(OntologyError::DuplicateClass(class.name));
         }

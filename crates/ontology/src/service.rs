@@ -319,7 +319,13 @@ impl Advertisement {
         n += self.semantic.conversations.len() * 12;
         for c in &self.semantic.content {
             n += c.ontology.len() + 8;
-            n += c.classes.iter().chain(c.slots.iter()).chain(c.keys.iter()).map(|s| s.len() + 8).sum::<usize>();
+            n += c
+                .classes
+                .iter()
+                .chain(c.slots.iter())
+                .chain(c.keys.iter())
+                .map(|s| s.len() + 8)
+                .sum::<usize>();
             n += c.fragments.len() * 32;
             n += c.constraints.to_string().len();
         }
@@ -528,9 +534,11 @@ mod tests {
                         .with_classes(["diagnosis", "patient"])
                         .with_slots(["diagnosis.code", "patient.age"])
                         .with_keys(["patient.id"])
-                        .with_constraints(Conjunction::from_predicates(vec![
-                            Predicate::between("patient.age", 43, 75),
-                        ])),
+                        .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                            "patient.age",
+                            43,
+                            75,
+                        )])),
                 ),
         )
         .with_properties(AgentProperties {

@@ -296,23 +296,14 @@ mod tests {
             t.add_edge("select", "query-processing"),
             Err(TaxonomyError::Cycle("query-processing".to_string()))
         );
-        assert_eq!(
-            t.add_edge("select", "select"),
-            Err(TaxonomyError::Cycle("select".to_string()))
-        );
+        assert_eq!(t.add_edge("select", "select"), Err(TaxonomyError::Cycle("select".to_string())));
     }
 
     #[test]
     fn unknown_and_duplicate_nodes_are_rejected() {
         let mut t = fig2();
-        assert!(matches!(
-            t.add_child("missing", "x"),
-            Err(TaxonomyError::UnknownNode(_))
-        ));
-        assert!(matches!(
-            t.add_child("relational", "select"),
-            Err(TaxonomyError::Duplicate(_))
-        ));
+        assert!(matches!(t.add_child("missing", "x"), Err(TaxonomyError::UnknownNode(_))));
+        assert!(matches!(t.add_child("relational", "select"), Err(TaxonomyError::Duplicate(_))));
         assert!(matches!(t.add_root("relational"), Err(TaxonomyError::Duplicate(_))));
         assert!(matches!(t.add_edge("relational", "missing"), Err(TaxonomyError::UnknownNode(_))));
     }

@@ -18,9 +18,7 @@ fn arb_taxonomy() -> impl Strategy<Value = Taxonomy> {
             for (i, parent) in parents.iter().enumerate() {
                 let name = format!("n{i}");
                 match parent {
-                    Some(p) if *p < i => {
-                        t.add_child(format!("n{p}"), name).expect("parent exists")
-                    }
+                    Some(p) if *p < i => t.add_child(format!("n{p}"), name).expect("parent exists"),
                     _ => t.add_root(name).expect("fresh node"),
                 }
             }

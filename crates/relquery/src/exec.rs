@@ -15,7 +15,10 @@ pub enum ExecError {
     UnknownClass(String),
     UnknownColumn(String),
     /// UNION arms with different arity.
-    UnionArity { left: usize, right: usize },
+    UnionArity {
+        left: usize,
+        right: usize,
+    },
     /// An aggregate over a non-numeric column, or similar misuse.
     Aggregate(String),
 }
@@ -69,8 +72,7 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Table, ExecError
                     table.column_index(c).ok_or_else(|| ExecError::UnknownColumn(c.clone()))?,
                 );
             }
-            let out_cols: Vec<Column> =
-                idxs.iter().map(|&i| table.columns()[i].clone()).collect();
+            let out_cols: Vec<Column> = idxs.iter().map(|&i| table.columns()[i].clone()).collect();
             let mut out = Table::new(table.name.clone(), out_cols);
             for row in table.rows() {
                 let projected: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
@@ -87,11 +89,7 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Table, ExecError
                 (Some(l), Some(r)) => (l, r),
                 _ => match (lt.column_index(right_col), rt.column_index(left_col)) {
                     (Some(l), Some(r)) => (l, r),
-                    _ => {
-                        return Err(ExecError::UnknownColumn(format!(
-                            "{left_col} = {right_col}"
-                        )))
-                    }
+                    _ => return Err(ExecError::UnknownColumn(format!("{left_col} = {right_col}"))),
                 },
             };
             // Hash join: build on the smaller side.
@@ -153,16 +151,14 @@ fn aggregate(
         .iter()
         .map(|a| match &a.column {
             None => Ok(None),
-            Some(c) => table
-                .column_index(c)
-                .map(Some)
-                .ok_or_else(|| ExecError::UnknownColumn(c.clone())),
+            Some(c) => {
+                table.column_index(c).map(Some).ok_or_else(|| ExecError::UnknownColumn(c.clone()))
+            }
         })
         .collect::<Result<_, _>>()?;
 
     // Output schema: grouping columns, then one column per aggregate.
-    let mut columns: Vec<Column> =
-        group_idx.iter().map(|&i| table.columns()[i].clone()).collect();
+    let mut columns: Vec<Column> = group_idx.iter().map(|&i| table.columns()[i].clone()).collect();
     for (a, idx) in aggregates.iter().zip(&agg_idx) {
         let name = match &a.column {
             None => format!("{}(*)", a.func.as_str()),
@@ -181,9 +177,8 @@ fn aggregate(
                     )))
                 }
             },
-            AggFunc::Min | AggFunc::Max => input_type.ok_or_else(|| {
-                ExecError::Aggregate("min/max need a column".to_string())
-            })?,
+            AggFunc::Min | AggFunc::Max => input_type
+                .ok_or_else(|| ExecError::Aggregate("min/max need a column".to_string()))?,
         };
         if matches!(a.func, AggFunc::Avg)
             && !matches!(input_type, Some(ValueType::Int | ValueType::Float))
@@ -221,9 +216,7 @@ fn aggregate(
                         Value::Int(n) => *n as f64,
                         Value::Float(x) => *x,
                         other => {
-                            return Err(ExecError::Aggregate(format!(
-                                "cannot sum value {other}"
-                            )))
+                            return Err(ExecError::Aggregate(format!("cannot sum value {other}")))
                         }
                     };
                 }
@@ -294,9 +287,8 @@ fn filter(table: &Table, predicate: &Conjunction) -> Result<Table, ExecError> {
     // Precompute: constrained slot → column index.
     let mut slot_idx = Vec::new();
     for slot in predicate.constrained_slots() {
-        let idx = table
-            .column_index(slot)
-            .ok_or_else(|| ExecError::UnknownColumn(slot.to_string()))?;
+        let idx =
+            table.column_index(slot).ok_or_else(|| ExecError::UnknownColumn(slot.to_string()))?;
         slot_idx.push((slot.to_string(), idx));
     }
     let mut out = Table::new(table.name.clone(), table.columns().to_vec());
@@ -333,10 +325,7 @@ mod tests {
         cat.insert(patient);
         let mut diag = Table::new(
             "diagnosis",
-            vec![
-                Column::new("patient_id", ValueType::Int),
-                Column::new("code", ValueType::Str),
-            ],
+            vec![Column::new("patient_id", ValueType::Int), Column::new("code", ValueType::Str)],
         );
         diag.push_row(vec![Value::Int(1), Value::str("40W")]).unwrap();
         diag.push_row(vec![Value::Int(3), Value::str("12K")]).unwrap();
@@ -374,24 +363,19 @@ mod tests {
 
     #[test]
     fn hash_join_matches_keys() {
-        let t = run(
-            "select * from patient join diagnosis on patient.id = diagnosis.patient_id",
-        );
+        let t = run("select * from patient join diagnosis on patient.id = diagnosis.patient_id");
         assert_eq!(t.len(), 3); // ann x 1, cyd x 2
         assert_eq!(t.columns().len(), 5);
         // Filter on joined result.
-        let t = run(
-            "select name from patient join diagnosis on patient.id = diagnosis.patient_id \
-             where code = '40W'",
-        );
+        let t =
+            run("select name from patient join diagnosis on patient.id = diagnosis.patient_id \
+             where code = '40W'");
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn join_condition_order_is_flexible() {
-        let t = run(
-            "select * from patient join diagnosis on diagnosis.patient_id = patient.id",
-        );
+        let t = run("select * from patient join diagnosis on diagnosis.patient_id = patient.id");
         assert_eq!(t.len(), 3);
     }
 
@@ -421,9 +405,7 @@ mod tests {
 
     #[test]
     fn grouped_aggregates() {
-        let t = run(
-            "select code, count(*) from diagnosis group by code",
-        );
+        let t = run("select code, count(*) from diagnosis group by code");
         assert_eq!(t.len(), 2); // 40W, 12K
         let w = (0..t.len())
             .find(|&i| t.value(i, "code") == Some(&Value::str("40W")))
@@ -450,33 +432,18 @@ mod tests {
     #[test]
     fn aggregate_type_errors() {
         let stmt = parse_select("select sum(name) from patient").unwrap();
-        assert!(matches!(
-            execute(&plan(&stmt), &catalog()),
-            Err(ExecError::Aggregate(_))
-        ));
+        assert!(matches!(execute(&plan(&stmt), &catalog()), Err(ExecError::Aggregate(_))));
         let stmt = parse_select("select count(height) from patient").unwrap();
-        assert!(matches!(
-            execute(&plan(&stmt), &catalog()),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(execute(&plan(&stmt), &catalog()), Err(ExecError::UnknownColumn(_))));
     }
 
     #[test]
     fn unknown_class_and_column_errors() {
         let stmt = parse_select("select * from ghosts").unwrap();
-        assert!(matches!(
-            execute(&plan(&stmt), &catalog()),
-            Err(ExecError::UnknownClass(_))
-        ));
+        assert!(matches!(execute(&plan(&stmt), &catalog()), Err(ExecError::UnknownClass(_))));
         let stmt = parse_select("select height from patient").unwrap();
-        assert!(matches!(
-            execute(&plan(&stmt), &catalog()),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(execute(&plan(&stmt), &catalog()), Err(ExecError::UnknownColumn(_))));
         let stmt = parse_select("select * from patient where height = 1").unwrap();
-        assert!(matches!(
-            execute(&plan(&stmt), &catalog()),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(execute(&plan(&stmt), &catalog()), Err(ExecError::UnknownColumn(_))));
     }
 }

@@ -92,8 +92,10 @@ fn sample_slot(
     };
     // Finite allow-set: pick a member.
     if let Some(allowed) = &dom.allowed {
-        let candidates: Vec<&Value> =
-            allowed.iter().filter(|v| dom.range.contains(v) && !dom.excluded.contains(*v)).collect();
+        let candidates: Vec<&Value> = allowed
+            .iter()
+            .filter(|v| dom.range.contains(v) && !dom.excluded.contains(*v))
+            .collect();
         if !candidates.is_empty() {
             return candidates[rng.random_range(0..candidates.len())].clone();
         }
@@ -179,9 +181,10 @@ mod tests {
     #[test]
     fn honours_range_constraints() {
         let o = healthcare_ontology();
-        let spec = GenSpec::new("patient", 50, 1).with_constraint(Conjunction::from_predicates(
-            vec![Predicate::between("patient.age", 43, 75)],
-        ));
+        let spec =
+            GenSpec::new("patient", 50, 1).with_constraint(Conjunction::from_predicates(vec![
+                Predicate::between("patient.age", 43, 75),
+            ]));
         let t = generate_table(&o, &spec).unwrap();
         for i in 0..t.len() {
             let age = match t.value(i, "age").unwrap() {
@@ -195,9 +198,10 @@ mod tests {
     #[test]
     fn honours_set_constraints() {
         let o = healthcare_ontology();
-        let spec = GenSpec::new("provider", 30, 2).with_constraint(Conjunction::from_predicates(
-            vec![Predicate::is_in("provider.city", ["Dallas", "Houston"])],
-        ));
+        let spec =
+            GenSpec::new("provider", 30, 2).with_constraint(Conjunction::from_predicates(vec![
+                Predicate::is_in("provider.city", ["Dallas", "Houston"]),
+            ]));
         let t = generate_table(&o, &spec).unwrap();
         for i in 0..t.len() {
             let city = t.value(i, "city").unwrap();

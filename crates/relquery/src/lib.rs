@@ -22,6 +22,8 @@
 //! assert_eq!(referenced_classes(&plan), vec!["C2".to_string()]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod catalog;
 mod exec;

@@ -274,8 +274,7 @@ impl P {
             // Plain projected columns must be grouping columns.
             for p in &projections {
                 if !group_by.contains(&p.column) {
-                    return Err(self
-                        .err(format!("column '{}' must appear in GROUP BY", p.column)));
+                    return Err(self.err(format!("column '{}' must appear in GROUP BY", p.column)));
                 }
             }
         }
@@ -432,8 +431,7 @@ mod tests {
 
     #[test]
     fn parses_in_and_not_in() {
-        let s =
-            parse_select("select * from provider where city in ('Dallas', 'Houston')").unwrap();
+        let s = parse_select("select * from provider where city in ('Dallas', 'Houston')").unwrap();
         assert!(s.where_clause.domain("city").contains(&Value::str("Dallas")));
         let s = parse_select("select * from provider where city not in ('Austin')").unwrap();
         assert!(!s.where_clause.domain("city").contains(&Value::str("Austin")));

@@ -18,20 +18,11 @@ pub enum LogicalPlan {
     /// Keep only the named columns.
     Project { columns: Vec<String>, input: Box<LogicalPlan> },
     /// Equi-join on `left_col = right_col`.
-    Join {
-        left: Box<LogicalPlan>,
-        right: Box<LogicalPlan>,
-        left_col: String,
-        right_col: String,
-    },
+    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, left_col: String, right_col: String },
     /// Set union (deduplicating).
     Union { left: Box<LogicalPlan>, right: Box<LogicalPlan> },
     /// Statistical aggregation with optional grouping.
-    Aggregate {
-        group_by: Vec<String>,
-        aggregates: Vec<Aggregate>,
-        input: Box<LogicalPlan>,
-    },
+    Aggregate { group_by: Vec<String>, aggregates: Vec<Aggregate>, input: Box<LogicalPlan> },
 }
 
 impl LogicalPlan {
@@ -78,11 +69,7 @@ impl fmt::Display for LogicalPlan {
                     let aggs: Vec<String> = aggregates
                         .iter()
                         .map(|a| {
-                            format!(
-                                "{}({})",
-                                a.func.as_str(),
-                                a.column.as_deref().unwrap_or("*")
-                            )
+                            format!("{}({})", a.func.as_str(), a.column.as_deref().unwrap_or("*"))
                         })
                         .collect();
                     if group_by.is_empty() {
@@ -209,7 +196,8 @@ mod tests {
 
     #[test]
     fn projection_and_join_capabilities() {
-        let p = plan_of("select id from patient join diagnosis on patient.id = diagnosis.patient_id");
+        let p =
+            plan_of("select id from patient join diagnosis on patient.id = diagnosis.patient_id");
         let caps = required_capabilities(&p);
         assert!(caps.contains(&Capability::project()));
         assert!(caps.contains(&Capability::join()));

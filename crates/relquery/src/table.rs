@@ -84,18 +84,13 @@ impl Table {
         if let Some(i) = self.columns.iter().position(|c| c.name == name) {
             return Some(i);
         }
-        self.columns
-            .iter()
-            .position(|c| c.name == bare || c.name.rsplit('.').next() == Some(bare))
+        self.columns.iter().position(|c| c.name == bare || c.name.rsplit('.').next() == Some(bare))
     }
 
     /// Appends a row, checking arity and value kinds.
     pub fn push_row(&mut self, row: Row) -> Result<(), TableError> {
         if row.len() != self.columns.len() {
-            return Err(TableError::ArityMismatch {
-                expected: self.columns.len(),
-                got: row.len(),
-            });
+            return Err(TableError::ArityMismatch { expected: self.columns.len(), got: row.len() });
         }
         for (col, v) in self.columns.iter().zip(&row) {
             let ok = matches!(
@@ -189,10 +184,7 @@ mod tests {
     #[test]
     fn arity_and_type_checks() {
         let mut t = patients();
-        assert!(matches!(
-            t.push_row(vec![Value::Int(3)]),
-            Err(TableError::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.push_row(vec![Value::Int(3)]), Err(TableError::ArityMismatch { .. })));
         assert!(matches!(
             t.push_row(vec![Value::str("x"), Value::str("y"), Value::Int(1)]),
             Err(TableError::TypeMismatch { .. })

@@ -18,8 +18,7 @@ fn arb_table(name: &'static str) -> impl Strategy<Value = Table> {
             ],
         );
         for (id, a, b) in rows {
-            t.push_row(vec![Value::Int(id), Value::Int(a), Value::Str(b)])
-                .expect("schema matches");
+            t.push_row(vec![Value::Int(id), Value::Int(a), Value::Str(b)]).expect("schema matches");
         }
         t
     })

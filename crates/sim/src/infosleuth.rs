@@ -173,28 +173,68 @@ impl InfoSleuthConfig {
 
 #[derive(Debug, Clone)]
 enum Ev {
-    Arrival { stream_idx: usize },
+    Arrival {
+        stream_idx: usize,
+    },
     /// User agent's MRQ-lookup arrives at its broker.
-    LookupRecv { qid: usize },
-    LookupDone { qid: usize },
+    LookupRecv {
+        qid: usize,
+    },
+    LookupDone {
+        qid: usize,
+    },
     /// Lookup reply back at the user agent; it forwards the SQL to the MRQ.
-    UserGotMrq { qid: usize },
-    MrqRecv { qid: usize },
-    MrqParsed { qid: usize },
+    UserGotMrq {
+        qid: usize,
+    },
+    MrqRecv {
+        qid: usize,
+    },
+    MrqParsed {
+        qid: usize,
+    },
     /// The MRQ's resource-lookup arrives at a broker.
-    ResLookupRecv { qid: usize },
-    ResLookupLocalDone { qid: usize },
-    PeerRecv { qid: usize, peer: usize },
-    PeerDone { qid: usize, peer: usize },
-    PeerReply { qid: usize },
+    ResLookupRecv {
+        qid: usize,
+    },
+    ResLookupLocalDone {
+        qid: usize,
+    },
+    PeerRecv {
+        qid: usize,
+        peer: usize,
+    },
+    PeerDone {
+        qid: usize,
+        peer: usize,
+    },
+    PeerReply {
+        qid: usize,
+    },
     /// Resource list back at the MRQ; it fans the query out.
-    BrokerReplyAtMrq { qid: usize },
-    ResourceRecv { qid: usize, slot: usize },
-    ResourceDone { qid: usize, slot: usize },
-    ResultAtMrq { qid: usize },
-    MrqCombined { qid: usize },
-    UserRecv { qid: usize },
-    UserDisplayed { qid: usize },
+    BrokerReplyAtMrq {
+        qid: usize,
+    },
+    ResourceRecv {
+        qid: usize,
+        slot: usize,
+    },
+    ResourceDone {
+        qid: usize,
+        slot: usize,
+    },
+    ResultAtMrq {
+        qid: usize,
+    },
+    MrqCombined {
+        qid: usize,
+    },
+    UserRecv {
+        qid: usize,
+    },
+    UserDisplayed {
+        qid: usize,
+    },
 }
 
 struct Query {
@@ -290,8 +330,7 @@ pub fn run_infosleuth(cfg: InfoSleuthConfig) -> BTreeMap<Stream, RunningStats> {
             affine_broker.insert(s, 0);
         }
     }
-    let repo_mb: Vec<f64> =
-        adverts_per_broker.iter().map(|&n| n as f64 * cfg.advert_mb).collect();
+    let repo_mb: Vec<f64> = adverts_per_broker.iter().map(|&n| n as f64 * cfg.advert_mb).collect();
 
     let mut sim = Sim {
         cfg,
@@ -346,11 +385,7 @@ impl Sim {
                 self.core.exec(self.mrq_proc, self.cfg.mrq_parse_s, Ev::MrqParsed { qid });
             }
             Ev::MrqParsed { qid } => {
-                self.core.send(
-                    self.cfg.params.query_kb,
-                    !self.remote(),
-                    Ev::ResLookupRecv { qid },
-                );
+                self.core.send(self.cfg.params.query_kb, !self.remote(), Ev::ResLookupRecv { qid });
             }
             Ev::ResLookupRecv { qid } => self.on_resource_lookup(qid),
             Ev::ResLookupLocalDone { qid } => self.on_resource_lookup_local_done(qid),
@@ -374,11 +409,7 @@ impl Sim {
                 let work = q.complexity
                     * self.cfg.resource_data_mb
                     * self.cfg.params.resource_query_s_per_mb;
-                self.core.exec(
-                    self.resource_procs[slot],
-                    work,
-                    Ev::ResourceDone { qid, slot },
-                );
+                self.core.exec(self.resource_procs[slot], work, Ev::ResourceDone { qid, slot });
             }
             Ev::ResourceDone { qid, slot } => {
                 let coverage = self.rng.bounded_gaussian(
@@ -456,8 +487,7 @@ impl Sim {
             let affine = self.affine_broker[&q.stream];
             if affine == broker {
                 let work = self.broker_reason(broker, q.complexity);
-                self.core
-                    .exec(self.broker_procs[broker], work, Ev::ResLookupLocalDone { qid });
+                self.core.exec(self.broker_procs[broker], work, Ev::ResLookupLocalDone { qid });
             } else {
                 let rule_out = self.cfg.broker_msg_handling_s;
                 self.queries[qid].pending_peers = 1;
@@ -532,10 +562,7 @@ pub fn table3_ratios(expt: usize, params: SimParams, seed: u64) -> Vec<(Stream, 
             multi.entry(s).or_default().merge(&stats);
         }
     }
-    streams
-        .iter()
-        .map(|s| (*s, multi[s].mean() / single[s].mean()))
-        .collect()
+    streams.iter().map(|s| (*s, multi[s].mean() / single[s].mean())).collect()
 }
 
 /// Table 4 (experiment 6): the specialized/unspecialized multibroker
@@ -560,10 +587,7 @@ pub fn table4_ratios(params: SimParams, seed: u64) -> Vec<(Stream, f64)> {
             spec.entry(s).or_default().merge(&stats);
         }
     }
-    streams
-        .iter()
-        .map(|s| (*s, spec[s].mean() / plain[s].mean()))
-        .collect()
+    streams.iter().map(|s| (*s, spec[s].mean() / plain[s].mean())).collect()
 }
 
 #[cfg(test)]
@@ -580,9 +604,8 @@ mod tests {
     fn table2_stream_and_resource_counts() {
         assert_eq!(experiment_streams(1), vec![Stream::FourA]);
         assert_eq!(experiment_streams(5).len(), 6);
-        let counts: Vec<usize> = (1..=5)
-            .map(|e| experiment_resource_count(&experiment_streams(e)))
-            .collect();
+        let counts: Vec<usize> =
+            (1..=5).map(|e| experiment_resource_count(&experiment_streams(e))).collect();
         assert_eq!(counts, vec![4, 4, 8, 12, 16]);
     }
 
@@ -610,10 +633,7 @@ mod tests {
         // make it at best marginally slower (Table 3 row 1: 1.00).
         let ratios = table3_ratios(1, quick(), 1);
         let (_, ratio) = ratios[0];
-        assert!(
-            (0.85..1.4).contains(&ratio),
-            "experiment 1 ratio {ratio} should be near 1.0"
-        );
+        assert!((0.85..1.4).contains(&ratio), "experiment 1 ratio {ratio} should be near 1.0");
     }
 
     #[test]

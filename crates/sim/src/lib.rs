@@ -24,6 +24,8 @@
 //! Every run is deterministic for a given seed; experiment drivers average
 //! several seeds, as the authors averaged repeated runs.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod infosleuth;
 pub mod metrics;

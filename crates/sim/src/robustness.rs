@@ -84,9 +84,7 @@ pub fn robustness_cell(
 pub fn robustness_grid(params: SimParams, seed: u64) -> Vec<Vec<RobustnessCell>> {
     FAILURE_MEANS
         .iter()
-        .map(|&f| {
-            REDUNDANCY.iter().map(|&k| robustness_cell(f, k, params, seed)).collect()
-        })
+        .map(|&f| REDUNDANCY.iter().map(|&k| robustness_cell(f, k, params, seed)).collect())
         .collect()
 }
 

@@ -61,12 +61,7 @@ pub fn scalability_point(
 pub fn figure17(params: SimParams, seed: u64) -> Vec<Vec<ScalabilityPoint>> {
     QUERY_FREQUENCIES
         .iter()
-        .map(|&qf| {
-            RESOURCE_SIZES
-                .iter()
-                .map(|&r| scalability_point(r, qf, params, seed))
-                .collect()
-        })
+        .map(|&qf| RESOURCE_SIZES.iter().map(|&r| scalability_point(r, qf, params, seed)).collect())
         .collect()
 }
 
@@ -95,8 +90,12 @@ mod tests {
         // the response time anywhere near 5x.
         let small = scalability_point(40, 60.0, quick(), 1);
         let large = scalability_point(200, 60.0, quick(), 1);
-        assert!(large.mean_response_s < 3.0 * small.mean_response_s,
-            "response exploded: {} -> {}", small.mean_response_s, large.mean_response_s);
+        assert!(
+            large.mean_response_s < 3.0 * small.mean_response_s,
+            "response exploded: {} -> {}",
+            small.mean_response_s,
+            large.mean_response_s
+        );
     }
 
     #[test]

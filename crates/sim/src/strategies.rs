@@ -144,27 +144,64 @@ enum Ev {
     /// Origin finished local reasoning.
     LocalDone(usize),
     /// Forwarded request delivered at a peer.
-    PeerRecv { qid: usize, peer: usize },
+    PeerRecv {
+        qid: usize,
+        peer: usize,
+    },
     /// Peer finished reasoning.
-    PeerDone { qid: usize, peer: usize },
+    PeerDone {
+        qid: usize,
+        peer: usize,
+    },
     /// Peer reply delivered at origin (before handling cost).
-    PeerReply { qid: usize, peer: usize, matches: usize },
+    PeerReply {
+        qid: usize,
+        peer: usize,
+        matches: usize,
+    },
     /// Origin processed a peer reply.
-    PeerHandled { qid: usize, peer: usize, matches: usize },
+    PeerHandled {
+        qid: usize,
+        peer: usize,
+        matches: usize,
+    },
     /// Origin gave up waiting on a peer.
-    PeerTimeout { qid: usize, peer: usize },
+    PeerTimeout {
+        qid: usize,
+        peer: usize,
+    },
     /// Reply delivered at the query agent.
     AgentRecv(usize),
     /// Tree mode: forwarded request delivered at a tree node.
-    TreeRecv { qid: usize, node: usize },
+    TreeRecv {
+        qid: usize,
+        node: usize,
+    },
     /// Tree mode: node finished its local reasoning.
-    TreeDone { qid: usize, node: usize },
+    TreeDone {
+        qid: usize,
+        node: usize,
+    },
     /// Tree mode: a child's aggregated reply delivered at its parent.
-    TreeReply { qid: usize, parent: usize, child: usize, matches: usize },
+    TreeReply {
+        qid: usize,
+        parent: usize,
+        child: usize,
+        matches: usize,
+    },
     /// Tree mode: parent processed a child reply.
-    TreeHandled { qid: usize, parent: usize, child: usize, matches: usize },
+    TreeHandled {
+        qid: usize,
+        parent: usize,
+        child: usize,
+        matches: usize,
+    },
     /// Tree mode: parent gave up waiting on a child subtree.
-    TreeTimeout { qid: usize, parent: usize, child: usize },
+    TreeTimeout {
+        qid: usize,
+        parent: usize,
+        child: usize,
+    },
 }
 
 struct Query {
@@ -214,8 +251,7 @@ pub fn run_broker_sim(cfg: BrokerSimConfig) -> BrokerSimResult {
     let mut core = SimCore::new(cfg.params.link());
     let procs: Vec<ProcId> = (0..cfg.brokers).map(|_| core.add_processor(1.0)).collect();
 
-    let domains =
-        if cfg.unique_domains { cfg.resources } else { (cfg.resources / 4).max(1) };
+    let domains = if cfg.unique_domains { cfg.resources } else { (cfg.resources / 4).max(1) };
     let mut adverts = vec![vec![0u32; domains]; cfg.brokers];
     let mut domain_brokers = vec![Vec::new(); domains];
     for r in 0..cfg.resources {
@@ -246,9 +282,7 @@ pub fn run_broker_sim(cfg: BrokerSimConfig) -> BrokerSimResult {
     }
     let repo_mb: Vec<f64> = adverts
         .iter()
-        .map(|per_domain| {
-            per_domain.iter().map(|&c| c as f64).sum::<f64>() * cfg.params.advert_mb
-        })
+        .map(|per_domain| per_domain.iter().map(|&c| c as f64).sum::<f64>() * cfg.params.advert_mb)
         .collect();
 
     let mut sim = Sim {
@@ -308,10 +342,7 @@ impl Sim {
                 None => return Vec::new(),
             }
         };
-        (d * ext + 1..=d * ext + d)
-            .filter(|&j| j <= peers.len())
-            .map(|j| peers[j - 1])
-            .collect()
+        (d * ext + 1..=d * ext + d).filter(|&j| j <= peers.len()).map(|j| peers[j - 1]).collect()
     }
 
     /// Height of the subtree rooted at `node` (1 for a leaf) — per-child
@@ -351,8 +382,7 @@ impl Sim {
         self.tree.insert((qid, node), state);
         for child in children {
             self.core.send(self.cfg.params.query_kb, false, Ev::TreeRecv { qid, node: child });
-            let budget =
-                self.cfg.params.timeout_s * self.subtree_height(origin, child) as f64;
+            let budget = self.cfg.params.timeout_s * self.subtree_height(origin, child) as f64;
             self.core.at(budget, Ev::TreeTimeout { qid, parent: node, child });
         }
         self.try_resolve_tree_node(qid, node);
@@ -463,8 +493,7 @@ impl Sim {
                 self.queries[qid].resolved[peer] = true;
                 self.queries[qid].pending -= 1;
                 self.queries[qid].matches += matches;
-                if matches > 0 && self.domain_brokers[self.queries[qid].domain].contains(&peer)
-                {
+                if matches > 0 && self.domain_brokers[self.queries[qid].domain].contains(&peer) {
                     self.queries[qid].located = true;
                 }
                 if self.queries[qid].pending == 0 {
@@ -620,8 +649,7 @@ impl Sim {
             return;
         }
         self.queries[qid].replied = true;
-        let size = (self.queries[qid].matches as f64)
-            * self.cfg.params.broker_result_kb_per_match;
+        let size = (self.queries[qid].matches as f64) * self.cfg.params.broker_result_kb_per_match;
         self.core.send(size.max(0.1), false, Ev::AgentRecv(qid));
     }
 }

@@ -17,10 +17,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0.0f64..100.0).prop_map(Op::At),
         ((0usize..3), 0.0f64..50.0).prop_map(|(proc_idx, work)| Op::Exec { proc_idx, work }),
-        ((0.0f64..500.0), any::<bool>()).prop_map(|(size_kb, local)| Op::Send {
-            size_kb,
-            local
-        }),
+        ((0.0f64..500.0), any::<bool>()).prop_map(|(size_kb, local)| Op::Send { size_kb, local }),
     ]
 }
 

@@ -79,10 +79,7 @@ fn main() {
     // only receives rows satisfying it.
     let mut user = community.user("mhn-user-agent").expect("user connects");
     let result = user
-        .submit_sql(
-            "select id, age from patient where age between 25 and 65",
-            Some("healthcare"),
-        )
+        .submit_sql("select id, age from patient where age between 25 and 65", Some("healthcare"))
         .expect("query answers");
     display("\npatients aged 25..=65 across both agents", &result);
     for i in 0..result.len() {

@@ -10,6 +10,8 @@
 //! * `specialization` — specialized brokers forwarding out-of-domain
 //!   advertisements (§3.2).
 
+#![forbid(unsafe_code)]
+
 use infosleuth_core::relquery::Table;
 
 /// Pretty-prints a result table with a row count, as a user agent's

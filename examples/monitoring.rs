@@ -22,8 +22,7 @@ fn main() {
     let ontology = healthcare_ontology();
     let mut catalog = Catalog::new();
     catalog.insert(
-        generate_table(&ontology, &GenSpec::new("hospital_stay", 10, 42))
-            .expect("stays generate"),
+        generate_table(&ontology, &GenSpec::new("hospital_stay", 10, 42)).expect("stays generate"),
     );
 
     let community = Community::builder()
@@ -85,8 +84,7 @@ fn main() {
 
     // …and the notification arrives.
     let notification = mhn.recv_timeout(T).expect("notification relayed");
-    let t1 =
-        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    let t1 = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
     println!(
         "NOTIFICATION from {}: {} matching stay(s) now",
         notification.message.get_text("resource").unwrap_or("?"),

@@ -18,17 +18,14 @@ use std::time::Duration;
 fn main() {
     let ontology = paper_class_ontology();
     let mut catalog = Catalog::new();
-    catalog
-        .insert(generate_table(&ontology, &GenSpec::new("C1", 6, 7)).expect("C1 generates"));
+    catalog.insert(generate_table(&ontology, &GenSpec::new("C1", 6, 7)).expect("C1 generates"));
 
     let mut community = Community::builder()
         .with_ontology(ontology)
         .add_broker("broker-1")
         .add_broker("broker-2")
         .add_broker("broker-3")
-        .add_resource(
-            ResourceDef::new("ra-redundant", "paper-classes", catalog).with_redundancy(2),
-        )
+        .add_resource(ResourceDef::new("ra-redundant", "paper-classes", catalog).with_redundancy(2))
         .build()
         .expect("community starts");
 
@@ -42,9 +39,8 @@ fn main() {
     // via the inter-broker search).
     println!("before failure:");
     for broker in ["broker-1", "broker-2", "broker-3"] {
-        let found = query_broker(&mut probe, broker, &query, None, timeout)
-            .expect("broker answers")
-            .len();
+        let found =
+            query_broker(&mut probe, broker, &query, None, timeout).expect("broker answers").len();
         println!("  {broker} locates {found} agent(s)");
         assert_eq!(found, 1);
     }

@@ -39,17 +39,13 @@ fn main() {
 
     // Figure 6/7: `select * from C2` reaches both DB1 and DB2; the MRQ
     // agent unions their extents (8 + 6 distinct keyed rows).
-    let c2 = mhn
-        .submit_sql("select * from C2", Some("paper-classes"))
-        .expect("C2 query answers");
+    let c2 = mhn.submit_sql("select * from C2", Some("paper-classes")).expect("C2 query answers");
     display("select * from C2  (DB1 ∪ DB2)", &c2);
     assert!(c2.len() >= 8, "C2 should combine both resources");
 
     // "If the original query had been for class C3, then only DB2 would
     // have been returned."
-    let c3 = mhn
-        .submit_sql("select * from C3", Some("paper-classes"))
-        .expect("C3 query answers");
+    let c3 = mhn.submit_sql("select * from C3", Some("paper-classes")).expect("C3 query answers");
     display("select * from C3  (DB2 only)", &c3);
     assert_eq!(c3.len(), 5);
 

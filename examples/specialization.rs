@@ -9,17 +9,17 @@
 //! food-supplier advertisement is declined with a forward-to suggestion,
 //! lands on the generalist, and the inter-broker search still finds both.
 
+use infosleuth_core::agent::Bus;
+use infosleuth_core::broker::codec;
 use infosleuth_core::broker::{
     advertise_to, query_broker, BrokerAgent, BrokerConfig, BrokerObjective, Repository,
 };
 use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::ontology::{
-    healthcare_ontology, AgentLocation, AgentType, Capability, ClassDef, ConversationType,
-    Ontology, OntologyContent, SemanticInfo, ServiceQuery, SlotDef, SyntacticInfo, ValueType,
-    Advertisement,
+    healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability, ClassDef,
+    ConversationType, Ontology, OntologyContent, SemanticInfo, ServiceQuery, SlotDef,
+    SyntacticInfo, ValueType,
 };
-use infosleuth_core::agent::Bus;
-use infosleuth_core::broker::codec;
 use std::time::Duration;
 
 fn food_ontology() -> Ontology {
@@ -92,10 +92,7 @@ fn main() {
         .expect("specialist answers");
     assert_eq!(reply.performative, Performative::Sorry);
     let suggestions = reply.content().and_then(SExpr::as_list).expect("forward-to list");
-    println!(
-        "health-broker DECLINED food-ra, suggesting {:?}",
-        &suggestions[1..]
-    );
+    println!("health-broker DECLINED food-ra, suggesting {:?}", &suggestions[1..]);
     assert!(suggestions[1..].contains(&SExpr::atom("general-broker")));
 
     // 3. The agent follows the suggestion.

@@ -15,9 +15,7 @@
 //! Exits non-zero if any agent counted a delivery failure, so CI can run
 //! this binary as a smoke test for the TCP transport.
 
-use infosleuth_core::agent::{
-    AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt,
-};
+use infosleuth_core::agent::{AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt};
 use infosleuth_core::broker::{
     interconnect, query_broker, BrokerAgent, BrokerConfig, Repository, SearchPolicy,
 };
@@ -146,18 +144,16 @@ fn main() -> ExitCode {
     .expect("ra-c2 spawns");
 
     // --- §4 walkthrough: discovery crosses brokers, hence nodes. -------
-    let mut probe = (Arc::clone(&node_a) as Arc<dyn Transport>)
-        .endpoint("probe")
-        .expect("fresh name");
+    let mut probe =
+        (Arc::clone(&node_a) as Arc<dyn Transport>).endpoint("probe").expect("fresh name");
     let c2_query = ServiceQuery::for_agent_type(AgentType::Resource)
         .with_ontology("paper-classes")
         .with_classes(["C2"]);
     let found = query_broker(&mut probe, "broker-1", &c2_query, None, T).expect("answers");
     println!("broker-1 locates C2 collaboratively: {:?}", names(&found));
     assert_eq!(names(&found), ["ra-c2"], "cross-node search finds ra-c2");
-    let local =
-        query_broker(&mut probe, "broker-1", &c2_query, Some(SearchPolicy::local()), T)
-            .expect("answers");
+    let local = query_broker(&mut probe, "broker-1", &c2_query, Some(SearchPolicy::local()), T)
+        .expect("answers");
     println!("broker-1 locates C2 locally: {:?}", names(&local));
     assert!(local.is_empty(), "ra-c2 is not advertised on broker-1");
 

@@ -18,20 +18,14 @@ fn healthcare_community() -> Community {
     let juniors = parse_conjunction("patient.age between 1 and 39").expect("parses");
     let mut ra5 = Catalog::new();
     ra5.insert(
-        generate_table(
-            &o,
-            &GenSpec::new("patient", 10, 50).with_constraint(seniors.clone()),
-        )
-        .expect("patients generate"),
+        generate_table(&o, &GenSpec::new("patient", 10, 50).with_constraint(seniors.clone()))
+            .expect("patients generate"),
     );
     ra5.insert(generate_table(&o, &GenSpec::new("diagnosis", 10, 51)).expect("diagnoses"));
     let mut ra9 = Catalog::new();
     ra9.insert(
-        generate_table(
-            &o,
-            &GenSpec::new("patient", 10, 52).with_constraint(juniors.clone()),
-        )
-        .expect("patients generate"),
+        generate_table(&o, &GenSpec::new("patient", 10, 52).with_constraint(juniors.clone()))
+            .expect("patients generate"),
     );
     Community::builder()
         .with_ontology(healthcare_ontology())
@@ -105,10 +99,7 @@ fn constrained_query_returns_only_matching_rows() {
     let community = healthcare_community();
     let mut user = community.user("mhn-user-agent").expect("connects");
     let r = user
-        .submit_sql(
-            "select id, age from patient where age between 25 and 65",
-            Some("healthcare"),
-        )
+        .submit_sql("select id, age from patient where age between 25 and 65", Some("healthcare"))
         .expect("answers");
     assert!(!r.is_empty());
     for i in 0..r.len() {
@@ -144,17 +135,11 @@ fn generated_data_honours_advertised_constraints() {
     // the advertised restriction, so broker reasoning and data agree.
     let o = healthcare_ontology();
     let seniors = parse_conjunction("patient.age between 43 and 75").expect("parses");
-    let t = generate_table(
-        &o,
-        &GenSpec::new("patient", 100, 7).with_constraint(seniors.clone()),
-    )
-    .expect("generates");
+    let t = generate_table(&o, &GenSpec::new("patient", 100, 7).with_constraint(seniors.clone()))
+        .expect("generates");
     for i in 0..t.len() {
         let mut row = std::collections::BTreeMap::new();
-        row.insert(
-            "patient.age".to_string(),
-            t.value(i, "age").expect("age column").clone(),
-        );
+        row.insert("patient.age".to_string(), t.value(i, "age").expect("age column").clone());
         assert!(seniors.matches(&row), "row {i} violates the advertised constraint");
     }
 }

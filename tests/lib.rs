@@ -1,5 +1,7 @@
 //! Shared fixtures for the integration tests.
 
+#![forbid(unsafe_code)]
+
 use infosleuth_core::ontology::{paper_class_ontology, Ontology};
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec, Table};
 

@@ -32,10 +32,7 @@ fn consortium() -> Community {
 
 /// Which broker holds an agent's advertisement locally.
 fn holder(community: &Community, agent: &str) -> String {
-    let mut probe = community
-        .bus()
-        .register(format!("holder-probe-{agent}"))
-        .expect("fresh name");
+    let mut probe = community.bus().register(format!("holder-probe-{agent}")).expect("fresh name");
     community
         .broker_names()
         .iter()
@@ -72,13 +69,11 @@ fn local_only_policy_respects_repository_boundaries() {
         .with_classes(["C1"]);
     // Asking the holder locally succeeds; asking anyone else locally fails.
     let local = Some(SearchPolicy::local());
-    let at_home =
-        query_broker(&mut probe, &ra_c1_home, &q, local, T).expect("broker answers");
+    let at_home = query_broker(&mut probe, &ra_c1_home, &q, local, T).expect("broker answers");
     assert_eq!(at_home.len(), 1);
     for broker in community.broker_names() {
         if broker != &ra_c1_home {
-            let elsewhere =
-                query_broker(&mut probe, broker, &q, local, T).expect("broker answers");
+            let elsewhere = query_broker(&mut probe, broker, &q, local, T).expect("broker answers");
             assert!(elsewhere.is_empty(), "{broker} should not know ra-c1 locally");
         }
     }
@@ -144,10 +139,8 @@ fn unadvertise_removes_visibility_everywhere_reachable() {
     let community = consortium();
     let mut probe = community.bus().register("probe").expect("fresh name");
     let home = holder(&community, "ra-c3");
-    assert!(
-        infosleuth_core::broker::unadvertise_from(&mut probe, &home, "ra-c3", T)
-            .expect("broker answers")
-    );
+    assert!(infosleuth_core::broker::unadvertise_from(&mut probe, &home, "ra-c3", T)
+        .expect("broker answers"));
     let q = ServiceQuery::for_agent_type(AgentType::Resource)
         .with_ontology("paper-classes")
         .with_classes(["C3"]);
@@ -173,12 +166,9 @@ fn specialized_broker_community_routes_advertisements() {
     .expect("specialist spawns");
     let mut gen_repo = Repository::new();
     gen_repo.register_ontology(paper_ontology());
-    let generalist = BrokerAgent::spawn(
-        &bus,
-        BrokerConfig::new("gen-broker", "tcp://g.mcc.com:5002"),
-        gen_repo,
-    )
-    .expect("generalist spawns");
+    let generalist =
+        BrokerAgent::spawn(&bus, BrokerConfig::new("gen-broker", "tcp://g.mcc.com:5002"), gen_repo)
+            .expect("generalist spawns");
     infosleuth_core::broker::interconnect(&[&specialist, &generalist]).expect("mesh");
 
     let mut agent = bus.register("adv-agent").expect("fresh name");
@@ -186,23 +176,18 @@ fn specialized_broker_community_routes_advertisements() {
     let in_domain = infosleuth_core::ontology::Advertisement::new(
         infosleuth_core::ontology::AgentLocation::new("in-ra", "tcp://h:1", AgentType::Resource),
     )
-    .with_semantic(
-        infosleuth_core::ontology::SemanticInfo::default().with_content(
-            infosleuth_core::ontology::OntologyContent::new("paper-classes")
-                .with_classes(["C1"]),
-        ),
-    );
+    .with_semantic(infosleuth_core::ontology::SemanticInfo::default().with_content(
+        infosleuth_core::ontology::OntologyContent::new("paper-classes").with_classes(["C1"]),
+    ));
     assert!(advertise_to(&mut agent, "spec-broker", &in_domain, T).expect("reachable"));
     // Out-of-domain advertisement → declined by the specialist, accepted by
     // the generalist.
     let out_of_domain = infosleuth_core::ontology::Advertisement::new(
         infosleuth_core::ontology::AgentLocation::new("out-ra", "tcp://h:2", AgentType::Resource),
     )
-    .with_semantic(
-        infosleuth_core::ontology::SemanticInfo::default().with_content(
-            infosleuth_core::ontology::OntologyContent::new("weather").with_classes(["storm"]),
-        ),
-    );
+    .with_semantic(infosleuth_core::ontology::SemanticInfo::default().with_content(
+        infosleuth_core::ontology::OntologyContent::new("weather").with_classes(["storm"]),
+    ));
     assert!(!advertise_to(&mut agent, "spec-broker", &out_of_domain, T).expect("reachable"));
     assert!(advertise_to(&mut agent, "gen-broker", &out_of_domain, T).expect("reachable"));
     // Both remain findable through either broker.

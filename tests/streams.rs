@@ -20,21 +20,15 @@ fn class_table(name: &str, rows: &[(i64, i64, &str, f64)]) -> Table {
         ],
     );
     for (id, a, b, c) in rows {
-        t.push_row(vec![
-            Value::Int(*id),
-            Value::Int(*a),
-            Value::str(*b),
-            Value::Float(*c),
-        ])
-        .expect("schema matches");
+        t.push_row(vec![Value::Int(*id), Value::Int(*a), Value::str(*b), Value::Float(*c)])
+            .expect("schema matches");
     }
     t
 }
 
 /// A vertical fragment holding only the key plus some columns.
 fn fragment_table(name: &str, columns: &[(&str, ValueType)], rows: Vec<Vec<Value>>) -> Table {
-    let mut t =
-        Table::new(name, columns.iter().map(|(n, vt)| Column::new(*n, *vt)).collect());
+    let mut t = Table::new(name, columns.iter().map(|(n, vt)| Column::new(*n, *vt)).collect());
     for r in rows {
         t.push_row(r).expect("schema matches");
     }
@@ -65,17 +59,12 @@ fn da_and_4a_streams_horizontal_split() {
         vec![(4, 40, "w", 3.5)],
         vec![(5, 50, "v", 4.5)],
     ];
-    let mut builder = Community::builder()
-        .with_ontology(paper_ontology())
-        .add_broker("broker-agent");
+    let mut builder =
+        Community::builder().with_ontology(paper_ontology()).add_broker("broker-agent");
     for (i, rows) in parts.iter().enumerate() {
         let mut cat = Catalog::new();
         cat.insert(class_table("C2", rows));
-        builder = builder.add_resource(ResourceDef::new(
-            format!("ra{i}"),
-            "paper-classes",
-            cat,
-        ));
+        builder = builder.add_resource(ResourceDef::new(format!("ra{i}"), "paper-classes", cat));
     }
     let community = builder.build().expect("community starts");
     let mut user = community.user("user").expect("connects");
@@ -94,10 +83,7 @@ fn vf_stream_vertical_fragments_rejoin_on_key() {
     let f1 = fragment_table(
         "C1",
         &[("id", ValueType::Int), ("a", ValueType::Int)],
-        vec![
-            vec![Value::Int(1), Value::Int(10)],
-            vec![Value::Int(2), Value::Int(20)],
-        ],
+        vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
     );
     let f2 = fragment_table(
         "C1",

@@ -5,23 +5,21 @@
 use infosleuth_core::agent::{ping, Bus};
 use infosleuth_core::broker::{query_broker, BrokerAgent, BrokerConfig, Repository};
 use infosleuth_core::constraint::Value;
+use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::ontology::{
     paper_class_ontology, Advertisement, AgentLocation, AgentType, ServiceQuery, ValueType,
 };
 use infosleuth_core::relquery::{Catalog, Column, Table};
 use infosleuth_core::resource_agent::{spawn_resource_agent, ResourceSpec};
 use infosleuth_core::tablecodec::{table_from_sexpr, table_to_sexpr};
-use infosleuth_core::kqml::{Message, Performative, SExpr};
 use std::sync::Arc;
 use std::time::Duration;
 
 const T: Duration = Duration::from_secs(5);
 
 fn c1_table(rows: &[(i64, i64)]) -> Table {
-    let mut t = Table::new(
-        "C1",
-        vec![Column::new("id", ValueType::Int), Column::new("a", ValueType::Int)],
-    );
+    let mut t =
+        Table::new("C1", vec![Column::new("id", ValueType::Int), Column::new("a", ValueType::Int)]);
     for (id, a) in rows {
         t.push_row(vec![Value::Int(*id), Value::Int(*a)]).expect("schema matches");
     }
@@ -73,19 +71,18 @@ fn subscribe_receives_snapshot_then_change_notifications() {
     assert_eq!(table.len(), 1);
 
     // Insert a matching row via `update`: ack + notification.
-    let update = Message::new(Performative::Update)
-        .with_content(table_to_sexpr(&c1_table(&[(2, 50)])));
+    let update =
+        Message::new(Performative::Update).with_content(table_to_sexpr(&c1_table(&[(2, 50)])));
     let ack = client.request("ra-sub", update, T).expect("update acknowledged");
     assert_eq!(ack.performative, Performative::Tell);
     let notification = client.recv_timeout(T).expect("change notification");
     assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
-    let table =
-        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    let table = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
     assert_eq!(table.len(), 2, "both matching rows in the new result");
 
     // A non-matching insert changes nothing: ack but no notification.
-    let update = Message::new(Performative::Update)
-        .with_content(table_to_sexpr(&c1_table(&[(3, 1)])));
+    let update =
+        Message::new(Performative::Update).with_content(table_to_sexpr(&c1_table(&[(3, 1)])));
     let ack = client.request("ra-sub", update, T).expect("update acknowledged");
     assert_eq!(ack.performative, Performative::Tell);
     assert!(
@@ -98,8 +95,8 @@ fn subscribe_receives_snapshot_then_change_notifications() {
 #[test]
 fn update_to_unknown_table_is_an_error() {
     let bus = Bus::new();
-    let agent = spawn_resource_agent(&bus, spec("ra-upd", c1_table(&[])), &[], T)
-        .expect("agent spawns");
+    let agent =
+        spawn_resource_agent(&bus, spec("ra-upd", c1_table(&[])), &[], T).expect("agent spawns");
     let mut client = bus.register("writer").expect("fresh name");
     let mut bogus = Table::new("Nope", vec![Column::new("x", ValueType::Int)]);
     bogus.push_row(vec![Value::Int(1)]).expect("schema matches");
@@ -125,11 +122,7 @@ fn monitor_agent_relays_change_notifications() {
     let community = infosleuth_core::Community::builder()
         .with_ontology(paper_class_ontology())
         .add_broker("broker-agent")
-        .add_resource(infosleuth_core::ResourceDef::new(
-            "ra-watched",
-            "paper-classes",
-            catalog,
-        ))
+        .add_resource(infosleuth_core::ResourceDef::new("ra-watched", "paper-classes", catalog))
         .build()
         .expect("community starts");
     let mut watcher = community.bus().register("watcher").expect("fresh name");
@@ -156,14 +149,13 @@ fn monitor_agent_relays_change_notifications() {
     assert_eq!(t0.len(), 1);
 
     // Change the data at the resource: the watcher hears about it.
-    let update = Message::new(Performative::Update)
-        .with_content(table_to_sexpr(&c1_table(&[(7, 70)])));
+    let update =
+        Message::new(Performative::Update).with_content(table_to_sexpr(&c1_table(&[(7, 70)])));
     let ack = watcher.request("ra-watched", update, T).expect("update acknowledged");
     assert_eq!(ack.performative, Performative::Tell);
     let notification = watcher.recv_timeout(T).expect("change relayed");
     assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
-    let t1 =
-        table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    let t1 = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
     assert_eq!(t1.len(), 2);
 
     // A standing query over an unknown class is declined.
@@ -190,8 +182,7 @@ fn maintenance_readvertises_after_broker_failure() {
         repo.register_ontology(paper_class_ontology());
         BrokerAgent::spawn(
             &bus,
-            BrokerConfig::new(name, format!("tcp://{name}.mcc.com:5100"))
-                .with_ping_interval(None), // isolate the *agent's* maintenance
+            BrokerConfig::new(name, format!("tcp://{name}.mcc.com:5100")).with_ping_interval(None), // isolate the *agent's* maintenance
             repo,
         )
         .expect("broker spawns")

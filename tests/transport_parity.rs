@@ -82,13 +82,11 @@ fn run_walkthrough(
     let _ra1 = agents_node.endpoint("ra-c1").expect("fresh name");
     let _ra2 = agents_node.endpoint("ra-c2").expect("fresh name");
     let _ra3 = agents_node.endpoint("ra-c3").expect("fresh name");
-    for (broker, name, class) in [
-        ("broker-1", "ra-c1", "C1"),
-        ("broker-2", "ra-c2", "C2"),
-        ("broker-1", "ra-c3", "C3"),
-    ] {
-        let accepted = advertise_to(&mut probe, broker, &resource_ad(name, class), T)
-            .expect("broker answers");
+    for (broker, name, class) in
+        [("broker-1", "ra-c1", "C1"), ("broker-2", "ra-c2", "C2"), ("broker-1", "ra-c3", "C3")]
+    {
+        let accepted =
+            advertise_to(&mut probe, broker, &resource_ad(name, class), T).expect("broker answers");
         assert!(accepted, "{name} advertises to {broker}");
     }
 
@@ -117,15 +115,13 @@ fn run_walkthrough(
     let unadvertised =
         unadvertise_from(&mut probe, "broker-1", "ra-c3", T).expect("broker answers");
     let c3_after_unadvertise = sorted_names(
-        query_broker(&mut probe, "broker-2", &class_query("C3"), None, T)
-            .expect("broker answers"),
+        query_broker(&mut probe, "broker-2", &class_query("C3"), None, T).expect("broker answers"),
     );
     let repositories = [b1, b2]
         .iter()
         .map(|b| {
             b.with_repository(|r| {
-                let mut agents: Vec<String> =
-                    r.agents().map(|a| a.location.name.clone()).collect();
+                let mut agents: Vec<String> = r.agents().map(|a| a.location.name.clone()).collect();
                 agents.sort();
                 let mut peers: Vec<String> =
                     r.peer_brokers().iter().map(|p| p.to_string()).collect();
@@ -146,10 +142,10 @@ fn run_walkthrough(
 
 fn run_over_bus() -> Outcome {
     let bus = Bus::new();
-    let b1 = BrokerAgent::spawn(&bus, broker_config("broker-1", 5001), repo())
-        .expect("broker-1 spawns");
-    let b2 = BrokerAgent::spawn(&bus, broker_config("broker-2", 5002), repo())
-        .expect("broker-2 spawns");
+    let b1 =
+        BrokerAgent::spawn(&bus, broker_config("broker-1", 5001), repo()).expect("broker-1 spawns");
+    let b2 =
+        BrokerAgent::spawn(&bus, broker_config("broker-2", 5002), repo()).expect("broker-2 spawns");
     let outcome = run_walkthrough(&bus.as_transport(), &b1, &b2);
     b1.stop();
     b2.stop();
@@ -178,8 +174,7 @@ fn run_over_tcp() -> Outcome {
         repo(),
     )
     .expect("broker-2 spawns");
-    let outcome =
-        run_walkthrough(&(Arc::clone(&node_a) as Arc<dyn Transport>), &b1, &b2);
+    let outcome = run_walkthrough(&(Arc::clone(&node_a) as Arc<dyn Transport>), &b1, &b2);
     b1.stop();
     b2.stop();
     outcome

@@ -47,9 +47,8 @@ fn figure6_user_agent_locates_the_mrq_agent() {
         .with_query_language("SQL 2.0")
         .with_capability(Capability::multiresource_query_processing())
         .one();
-    let matches =
-        query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
-            .expect("broker answers");
+    let matches = query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
+        .expect("broker answers");
     assert_eq!(matches.len(), 1);
     assert_eq!(matches[0].name, "mrq-agent");
     community.shutdown();
@@ -63,9 +62,8 @@ fn figure7_broker_returns_both_resources_for_c2() {
         .with_query_language("SQL 2.0")
         .with_ontology("paper-classes")
         .with_classes(["C2"]);
-    let matches =
-        query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
-            .expect("broker answers");
+    let matches = query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
+        .expect("broker answers");
     let mut names: Vec<&str> = matches.iter().map(|m| m.name.as_str()).collect();
     names.sort();
     assert_eq!(names, vec!["db1-resource-agent", "db2-resource-agent"]);
@@ -74,9 +72,8 @@ fn figure7_broker_returns_both_resources_for_c2() {
         .with_query_language("SQL 2.0")
         .with_ontology("paper-classes")
         .with_classes(["C3"]);
-    let matches =
-        query_broker(&mut probe, "broker-agent", &q3, None, Duration::from_secs(5))
-            .expect("broker answers");
+    let matches = query_broker(&mut probe, "broker-agent", &q3, None, Duration::from_secs(5))
+        .expect("broker answers");
     assert_eq!(matches.len(), 1);
     assert_eq!(matches[0].name, "db2-resource-agent");
     community.shutdown();
@@ -108,10 +105,7 @@ fn statistical_aggregation_runs_at_the_mrq() {
         .submit_sql("select count(*) from C3", Some("paper-classes"))
         .expect("aggregate answers");
     assert_eq!(counted.len(), 1);
-    assert_eq!(
-        counted.value(0, "count(*)"),
-        Some(&infosleuth_core::constraint::Value::Int(5))
-    );
+    assert_eq!(counted.value(0, "count(*)"), Some(&infosleuth_core::constraint::Value::Int(5)));
     let grouped = user
         .submit_sql("select id, count(*) from C2 group by id", Some("paper-classes"))
         .expect("grouped aggregate answers");
@@ -127,8 +121,7 @@ fn only_aggregation_capable_agents_match_aggregate_requests() {
     use infosleuth_core::ontology::Capability;
     let community = walkthrough_community();
     let mut probe = community.bus().register("probe").expect("fresh name");
-    let q = ServiceQuery::any()
-        .with_capability(Capability::statistical_aggregation());
+    let q = ServiceQuery::any().with_capability(Capability::statistical_aggregation());
     let m = query_broker(&mut probe, "broker-agent", &q, None, Duration::from_secs(5))
         .expect("broker answers");
     assert_eq!(m.len(), 1);
@@ -149,9 +142,8 @@ fn unknown_class_yields_clean_error() {
 fn projections_and_filters_run_through_the_pipeline() {
     let community = walkthrough_community();
     let mut user = community.user("mhn-user-agent").expect("user connects");
-    let result = user
-        .submit_sql("select id from C3 where id <= 2", Some("paper-classes"))
-        .expect("answers");
+    let result =
+        user.submit_sql("select id from C3 where id <= 2", Some("paper-classes")).expect("answers");
     assert_eq!(result.columns().len(), 1);
     assert_eq!(int_column(&result, "id"), vec![1, 2]);
     community.shutdown();

@@ -130,7 +130,11 @@ fn quick_mode() -> bool {
 }
 
 fn measurement_time() -> Duration {
-    if quick_mode() { Duration::from_millis(20) } else { Duration::from_millis(300) }
+    if quick_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
 }
 
 fn human(ns: f64) -> String {
@@ -234,8 +238,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b =
-            Bencher { measurement_time: Duration::from_millis(5), mean_ns: 0.0, iters: 0 };
+        let mut b = Bencher { measurement_time: Duration::from_millis(5), mean_ns: 0.0, iters: 0 };
         b.iter(|| black_box(21u64 * 2));
         assert!(b.iters > 0);
         assert!(b.mean_ns > 0.0);

@@ -543,10 +543,9 @@ mod tests {
             assert!(!t.is_empty() && t.len() <= 13);
             let mut chars = t.chars();
             assert!(chars.next().unwrap().is_ascii_lowercase());
-            assert!(chars.all(|c| c.is_ascii_lowercase()
-                || c.is_ascii_digit()
-                || c == '_'
-                || c == '-'));
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+            );
         }
     }
 
@@ -573,9 +572,8 @@ mod tests {
             Node(Vec<Tree>),
         }
         let leaf = (0i64..10).prop_map(Tree::Leaf);
-        let strat = leaf.prop_recursive(3, 24, 5, |inner| {
-            collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = leaf
+            .prop_recursive(3, 24, 5, |inner| collection::vec(inner, 0..4).prop_map(Tree::Node));
         fn depth(t: &Tree) -> usize {
             match t {
                 Tree::Leaf(_) => 0,
