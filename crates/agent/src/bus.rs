@@ -1,14 +1,16 @@
 //! The in-process [`Transport`]: a shared registry of agent mailboxes.
 
 use crate::transport::{
-    mailbox, BusError, Envelope, Mailbox, MailboxSender, Transport, TransportExt,
+    mailbox, BusError, Envelope, Mailbox, MailboxSender, Transport, TransportExt, TransportMetrics,
 };
 use infosleuth_kqml::Message;
+use infosleuth_obs::Obs;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 #[derive(Default)]
 struct Registry {
@@ -25,6 +27,7 @@ struct Registry {
 pub struct Bus {
     registry: Arc<RwLock<Registry>>,
     conversation_counter: Arc<AtomicU64>,
+    obs: Arc<RwLock<Option<Arc<TransportMetrics>>>>,
 }
 
 impl Bus {
@@ -62,11 +65,32 @@ impl Bus {
         names
     }
 
+    /// Attaches transport metrics to this bus (and all its clones),
+    /// registered under `transport="bus"` in `obs`.
+    pub fn set_obs(&self, obs: &Arc<Obs>) {
+        *self.obs.write() = Some(TransportMetrics::new(obs, "bus"));
+    }
+
     /// Delivers a message. Fails if the recipient is not registered.
     pub fn send(&self, from: &str, to: &str, message: Message) -> Result<(), BusError> {
-        let reg = self.registry.read();
-        let tx = reg.mailboxes.get(to).ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
-        tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
+        let metrics = self.obs.read().clone();
+        let (bytes, started) = match &metrics {
+            Some(_) => (message.wire_size(), Some(Instant::now())),
+            None => (0, None),
+        };
+        let result = (|| {
+            let reg = self.registry.read();
+            let tx = reg.mailboxes.get(to).ok_or_else(|| BusError::UnknownAgent(to.to_string()))?;
+            tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
+        })();
+        if let (Some(m), Some(started)) = (metrics, started) {
+            m.record_send(to, bytes, started.elapsed(), result.is_ok());
+            if result.is_ok() {
+                // In-proc delivery is also the receipt.
+                m.record_recv(bytes);
+            }
+        }
+        result
     }
 
     /// A fresh conversation id (for `:reply-with`).

@@ -23,6 +23,7 @@
 mod address;
 mod broker_lists;
 mod bus;
+mod obs_report;
 mod ping;
 mod runtime;
 mod tcp;
@@ -31,6 +32,9 @@ mod transport;
 pub use address::{AddressError, AgentAddress};
 pub use broker_lists::{BrokerLists, ReadvertisePlan};
 pub use bus::Bus;
+pub use obs_report::{
+    spawn_obs_reporter, ObsReporter, ObsReporterHandle, METRICS_SNAPSHOT_HEAD, SPANS_HEAD,
+};
 pub use ping::ping;
 pub use runtime::{
     AgentBehavior, AgentContext, AgentHandle, AgentRuntime, RuntimeConfig, LOG_ONTOLOGY,
@@ -38,5 +42,5 @@ pub use runtime::{
 pub use tcp::TcpTransport;
 pub use transport::{
     mailbox, BusError, Endpoint, Envelope, Mailbox, MailboxSender, Requester, Transport,
-    TransportError, TransportExt,
+    TransportError, TransportExt, TransportMetrics,
 };

@@ -1,0 +1,232 @@
+//! Forwarding a runtime's observability data to the monitor agent.
+//!
+//! An [`ObsReporter`] is an ordinary hosted agent: on every tick (and
+//! once more at stop) it snapshots its runtime's metrics registry and
+//! drains the spans buffered since the last flush, then ships both to
+//! the monitor agent as `tell`s tagged with the existing
+//! [`LOG_ONTOLOGY`] — the same channel the runtime already uses for
+//! delivery-failure reports. The monitor merges snapshots from every
+//! reporting runtime and can serve the union as one Prometheus page.
+//!
+//! Wire forms (content of the `tell`s):
+//!
+//! ```text
+//! (metrics-snapshot <source> (metrics …))
+//! (spans (span …) (span …) …)
+//! ```
+
+use crate::runtime::{AgentBehavior, AgentContext, AgentHandle, AgentRuntime, LOG_ONTOLOGY};
+use crate::transport::{Envelope, TransportError};
+use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_obs::{Obs, RingSink};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spans per `(spans …)` tell. Keeps individual frames small even when
+/// a busy runtime accumulated thousands of spans between flushes.
+const SPAN_BATCH: usize = 64;
+
+/// Spans buffered between flushes; older spans are evicted first.
+const SPAN_BUFFER: usize = 8192;
+
+/// Head atom of a forwarded metrics snapshot.
+pub const METRICS_SNAPSHOT_HEAD: &str = "metrics-snapshot";
+
+/// Head atom of a forwarded span batch.
+pub const SPANS_HEAD: &str = "spans";
+
+/// The agent behavior that periodically forwards this runtime's metrics
+/// snapshot and buffered spans to the monitor agent.
+pub struct ObsReporter {
+    obs: Arc<Obs>,
+    monitor: String,
+    source: String,
+    sink: Arc<RingSink>,
+    interval: Duration,
+}
+
+impl ObsReporter {
+    /// Snapshots the registry and drains buffered spans, sending both to
+    /// the monitor. Best-effort: an unreachable monitor only bumps this
+    /// agent's delivery-failure counter.
+    fn flush(&self, ctx: &AgentContext) {
+        let snap = self.obs.registry().snapshot();
+        let msg = Message::new(Performative::Tell).with_ontology(LOG_ONTOLOGY).with_content(
+            SExpr::list(vec![
+                SExpr::atom(METRICS_SNAPSHOT_HEAD),
+                SExpr::atom(&self.source),
+                snap.to_sexpr(),
+            ]),
+        );
+        let _ = ctx.send(&self.monitor, msg);
+        let spans = self.sink.drain();
+        for batch in spans.chunks(SPAN_BATCH) {
+            let mut items = vec![SExpr::atom(SPANS_HEAD)];
+            items.extend(batch.iter().map(|r| r.to_sexpr()));
+            let msg = Message::new(Performative::Tell)
+                .with_ontology(LOG_ONTOLOGY)
+                .with_content(SExpr::list(items));
+            let _ = ctx.send(&self.monitor, msg);
+        }
+    }
+}
+
+impl AgentBehavior for ObsReporter {
+    fn on_message(&self, _ctx: &AgentContext, _env: Envelope) {
+        // The reporter only pushes; anything sent to it is ignored.
+    }
+
+    fn tick_interval(&self) -> Option<Duration> {
+        Some(self.interval)
+    }
+
+    fn on_tick(&self, ctx: &AgentContext) {
+        self.flush(ctx);
+    }
+
+    fn on_stop(&self, ctx: &AgentContext) {
+        // Final flush so short-lived deployments (examples, tests) get
+        // their tail of spans delivered before the runtime goes away.
+        self.flush(ctx);
+    }
+}
+
+/// Handle to a spawned [`ObsReporter`]: flush on demand, stop, and reach
+/// the underlying [`AgentHandle`].
+pub struct ObsReporterHandle {
+    handle: AgentHandle,
+    reporter: Arc<ObsReporter>,
+}
+
+impl ObsReporterHandle {
+    /// Forwards a snapshot + buffered spans right now (in addition to the
+    /// periodic ticks). Useful before scraping the monitor in tests.
+    pub fn flush(&self) {
+        self.reporter.flush(self.handle.ctx());
+    }
+
+    /// Stops the reporter agent (a final flush runs via `on_stop`).
+    pub fn stop(&self) {
+        self.handle.stop();
+    }
+
+    pub fn handle(&self) -> &AgentHandle {
+        &self.handle
+    }
+}
+
+/// Spawns an [`ObsReporter`] named `name` on `runtime`, reporting the
+/// runtime's [`Obs`] bundle to `monitor` every `interval`. The reporter
+/// registers a bounded ring sink on the runtime's tracer, so spans
+/// recorded from this point on are buffered for forwarding; `name` is
+/// also the `source` tag the monitor files the snapshots under.
+pub fn spawn_obs_reporter(
+    runtime: &AgentRuntime,
+    name: impl Into<String>,
+    monitor: impl Into<String>,
+    interval: Duration,
+) -> Result<ObsReporterHandle, TransportError> {
+    let name = name.into();
+    let obs = Arc::clone(runtime.obs());
+    let sink = Arc::new(RingSink::new(SPAN_BUFFER));
+    obs.tracer().add_sink(Arc::clone(&sink) as Arc<dyn infosleuth_obs::SpanSink>);
+    let reporter = Arc::new(ObsReporter {
+        obs,
+        monitor: monitor.into(),
+        source: name.clone(),
+        sink,
+        interval,
+    });
+    let handle = runtime.spawn(name, Arc::clone(&reporter) as Arc<dyn AgentBehavior>)?;
+    Ok(ObsReporterHandle { handle, reporter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Bus;
+    use crate::runtime::RuntimeConfig;
+    use infosleuth_obs::MetricsSnapshot;
+
+    #[test]
+    fn reporter_forwards_snapshot_and_spans() {
+        let bus = Bus::new();
+        let rt = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+        let mut monitor = bus.register("monitor").unwrap();
+        let reporter = spawn_obs_reporter(
+            &rt,
+            "obs.test",
+            "monitor",
+            Duration::from_secs(3600), // effectively: manual flushes only
+        )
+        .unwrap();
+        // Record something observable after the sink is attached (spans
+        // reach sinks when they close) and before flushing.
+        rt.obs().registry().counter("demo_total", &[]).inc();
+        {
+            let _span = rt.obs().tracer().span("demo-span");
+        }
+        reporter.flush();
+
+        let mut saw_snapshot = false;
+        let mut saw_spans = false;
+        while let Some(env) = monitor.recv_timeout(Duration::from_secs(2)) {
+            assert_eq!(env.message.get_text("ontology"), Some(LOG_ONTOLOGY));
+            let items = env.message.content().and_then(SExpr::as_list).unwrap();
+            match items[0].as_atom() {
+                Some(METRICS_SNAPSHOT_HEAD) => {
+                    assert_eq!(items[1].as_atom(), Some("obs.test"));
+                    let snap = MetricsSnapshot::from_sexpr(&items[2]).expect("snapshot decodes");
+                    assert!(snap.samples.iter().any(|s| s.name == "demo_total"));
+                    saw_snapshot = true;
+                }
+                Some(SPANS_HEAD) => {
+                    let decoded: Vec<_> = items[1..]
+                        .iter()
+                        .filter_map(infosleuth_obs::SpanRecord::from_sexpr)
+                        .collect();
+                    assert_eq!(decoded.len(), items.len() - 1, "every span decodes");
+                    if decoded.iter().any(|r| r.name == "demo-span") {
+                        saw_spans = true;
+                    }
+                }
+                other => panic!("unexpected log head {other:?}"),
+            }
+            if saw_snapshot && saw_spans {
+                break;
+            }
+        }
+        assert!(saw_snapshot, "metrics snapshot arrived");
+        assert!(saw_spans, "span batch arrived");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn span_batches_are_bounded() {
+        let bus = Bus::new();
+        let rt = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+        let mut monitor = bus.register("monitor").unwrap();
+        let reporter =
+            spawn_obs_reporter(&rt, "obs.test", "monitor", Duration::from_secs(3600)).unwrap();
+        for i in 0..(SPAN_BATCH * 2 + 5) {
+            let _span = rt.obs().tracer().span(format!("s{i}"));
+        }
+        reporter.flush();
+        let mut total = 0usize;
+        let mut batches = 0usize;
+        while let Some(env) = monitor.recv_timeout(Duration::from_millis(500)) {
+            let items = env.message.content().and_then(SExpr::as_list).unwrap();
+            if items[0].as_atom() == Some(SPANS_HEAD) {
+                assert!(items.len() - 1 <= SPAN_BATCH, "batch within bound");
+                total += items.len() - 1;
+                batches += 1;
+            }
+            if total >= SPAN_BATCH * 2 + 5 {
+                break;
+            }
+        }
+        assert_eq!(total, SPAN_BATCH * 2 + 5, "every span forwarded exactly once");
+        assert!(batches >= 3, "spans split across batches");
+        rt.shutdown();
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::transport::{Envelope, Requester, Transport, TransportError, TransportExt};
 use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_obs::{Counter, Gauge, Histogram, Obs, TraceContext, TRACE_PARAM};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -38,6 +39,11 @@ pub struct RuntimeConfig {
     /// Agent name to notify (best-effort `tell`, ontology
     /// [`LOG_ONTOLOGY`]) whenever a hosted agent's send fails.
     pub monitor: Option<String>,
+    /// Observability bundle shared by the runtime and every hosted
+    /// agent. `None` gives the runtime a private bundle (metrics still
+    /// accumulate; nothing exports unless someone reads
+    /// [`AgentRuntime::obs`]).
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for RuntimeConfig {
@@ -47,6 +53,7 @@ impl Default for RuntimeConfig {
             per_agent_inflight: 4,
             poll_interval: Duration::from_millis(2),
             monitor: None,
+            obs: None,
         }
     }
 }
@@ -65,6 +72,34 @@ impl RuntimeConfig {
     pub fn with_monitor(mut self, monitor: impl Into<String>) -> Self {
         self.monitor = Some(monitor.into());
         self
+    }
+
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+}
+
+/// Handles the runtime itself feeds: dispatch volume, handler latency,
+/// and the depth of the shared job queue.
+struct RuntimeMetrics {
+    dispatch_messages: Counter,
+    dispatch_ticks: Counter,
+    handler_message_seconds: Histogram,
+    handler_tick_seconds: Histogram,
+    queue_depth: Gauge,
+}
+
+impl RuntimeMetrics {
+    fn new(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        RuntimeMetrics {
+            dispatch_messages: reg.counter("runtime_dispatch_total", &[("kind", "message")]),
+            dispatch_ticks: reg.counter("runtime_dispatch_total", &[("kind", "tick")]),
+            handler_message_seconds: reg.latency("runtime_handler_seconds", &[("kind", "message")]),
+            handler_tick_seconds: reg.latency("runtime_handler_seconds", &[("kind", "tick")]),
+            queue_depth: reg.gauge("runtime_queue_depth", &[]),
+        }
     }
 }
 
@@ -101,18 +136,31 @@ pub struct AgentContext {
     name: String,
     transport: Arc<dyn Transport>,
     worker_seq: AtomicU64,
-    delivery_failures: AtomicU64,
+    /// Failed sends, registered as
+    /// `agent_delivery_failures_total{agent=…}` in the runtime's
+    /// metrics registry (the seed kept a bespoke per-handle atomic; the
+    /// registry handle serves both the accessor API and the scrape).
+    delivery_failures: Counter,
     monitor: Option<String>,
+    obs: Arc<Obs>,
 }
 
 impl AgentContext {
-    fn new(name: String, transport: Arc<dyn Transport>, monitor: Option<String>) -> Self {
+    fn new(
+        name: String,
+        transport: Arc<dyn Transport>,
+        monitor: Option<String>,
+        obs: Arc<Obs>,
+    ) -> Self {
+        let delivery_failures =
+            obs.registry().counter("agent_delivery_failures_total", &[("agent", &name)]);
         AgentContext {
             name,
             transport,
             worker_seq: AtomicU64::new(0),
-            delivery_failures: AtomicU64::new(0),
+            delivery_failures,
             monitor,
+            obs,
         }
     }
 
@@ -124,6 +172,21 @@ impl AgentContext {
         &self.transport
     }
 
+    /// The observability bundle this agent reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Stamps the calling thread's active trace context into the
+    /// message as `:x-trace`, unless the caller already attached one.
+    fn stamp_trace(message: &mut Message) {
+        if message.get(TRACE_PARAM).is_none() {
+            if let Some(ctx) = infosleuth_obs::current_context() {
+                message.set(TRACE_PARAM, SExpr::Str(ctx.encode()));
+            }
+        }
+    }
+
     /// Sends a message as this agent. A failure is *counted* (and
     /// reported to the configured monitor agent) rather than silently
     /// dropped: a peer that cannot be reached is exactly the §4.2.2 death
@@ -131,6 +194,7 @@ impl AgentContext {
     pub fn send(&self, to: &str, mut message: Message) -> Result<(), TransportError> {
         message.set("sender", SExpr::atom(&self.name));
         message.set("receiver", SExpr::atom(to));
+        Self::stamp_trace(&mut message);
         let performative = message.performative.clone();
         match self.transport.send(&self.name, to, message) {
             Ok(()) => Ok(()),
@@ -144,7 +208,8 @@ impl AgentContext {
     /// Records a failed delivery and notifies the monitor agent
     /// (best-effort; monitor logging never recurses or counts itself).
     pub fn note_delivery_failure(&self, to: &str, performative: Performative) {
-        let count = self.delivery_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        self.delivery_failures.inc();
+        let count = self.delivery_failures.get();
         if let Some(monitor) = &self.monitor {
             if monitor != &self.name && monitor != to {
                 let mut log = Message::new(Performative::Tell).with_content(SExpr::list(vec![
@@ -164,7 +229,7 @@ impl AgentContext {
 
     /// Total sends by this agent that the transport refused.
     pub fn delivery_failures(&self) -> u64 {
-        self.delivery_failures.load(Ordering::Relaxed)
+        self.delivery_failures.get()
     }
 
     /// Runs a request/reply conversation through a fresh ephemeral
@@ -173,13 +238,19 @@ impl AgentContext {
     pub fn request(
         &self,
         to: &str,
-        message: Message,
+        mut message: Message,
         timeout: Duration,
     ) -> Result<Message, TransportError> {
+        Self::stamp_trace(&mut message);
         let mut ep = self.ephemeral_endpoint()?;
         let result = ep.request(to, message, timeout);
         ep.unregister();
-        if matches!(result, Err(TransportError::UnknownAgent(_) | TransportError::Io(_))) {
+        if matches!(
+            result,
+            Err(TransportError::UnknownAgent(_)
+                | TransportError::NoRoute(_)
+                | TransportError::Io(_))
+        ) {
             // The request never reached (or never came back from) the
             // peer; account for it like any other failed delivery.
             self.note_delivery_failure(to, Performative::AskOne);
@@ -242,6 +313,9 @@ enum Job {
 struct JobQueue {
     inner: Mutex<JobQueueInner>,
     available: Condvar,
+    /// Live depth of the shared queue (`runtime_queue_depth`) — the
+    /// saturation signal for the worker pool.
+    depth: Gauge,
 }
 
 struct JobQueueInner {
@@ -250,10 +324,11 @@ struct JobQueueInner {
 }
 
 impl JobQueue {
-    fn new() -> Self {
+    fn new(depth: Gauge) -> Self {
         JobQueue {
             inner: Mutex::new(JobQueueInner { jobs: VecDeque::new(), shutdown: false }),
             available: Condvar::new(),
+            depth,
         }
     }
 
@@ -263,6 +338,7 @@ impl JobQueue {
             return;
         }
         inner.jobs.push_back(job);
+        self.depth.add(1);
         drop(inner);
         self.available.notify_one();
     }
@@ -271,6 +347,7 @@ impl JobQueue {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
+                self.depth.add(-1);
                 return Some(job);
             }
             if inner.shutdown {
@@ -292,6 +369,8 @@ struct RuntimeShared {
     slots: Mutex<Vec<Arc<AgentSlot>>>,
     queue: JobQueue,
     shutting_down: AtomicBool,
+    obs: Arc<Obs>,
+    metrics: RuntimeMetrics,
 }
 
 /// A shared event loop hosting many agents over one transport.
@@ -306,12 +385,16 @@ pub struct AgentRuntime {
 
 impl AgentRuntime {
     pub fn new(transport: Arc<dyn Transport>, config: RuntimeConfig) -> Self {
+        let obs = config.obs.clone().unwrap_or_default();
+        let metrics = RuntimeMetrics::new(&obs);
         let shared = Arc::new(RuntimeShared {
             transport,
             config,
             slots: Mutex::new(Vec::new()),
-            queue: JobQueue::new(),
+            queue: JobQueue::new(metrics.queue_depth.clone()),
             shutting_down: AtomicBool::new(false),
+            obs,
+            metrics,
         });
         let mut threads = Vec::new();
         for i in 0..shared.config.workers {
@@ -340,6 +423,13 @@ impl AgentRuntime {
         &self.shared.transport
     }
 
+    /// The observability bundle shared by this runtime and every agent
+    /// it hosts (the one from [`RuntimeConfig::with_obs`], or a private
+    /// default).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
+    }
+
     /// Registers `name` on the transport and hosts `behavior` under it.
     pub fn spawn(
         &self,
@@ -355,6 +445,7 @@ impl AgentRuntime {
             name.clone(),
             Arc::clone(&self.shared.transport),
             self.shared.config.monitor.clone(),
+            Arc::clone(&self.shared.obs),
         ));
         let slot = Arc::new(AgentSlot {
             name: name.clone(),
@@ -450,11 +541,31 @@ fn worker_loop(shared: &RuntimeShared) {
     while let Some(job) = shared.queue.pop() {
         match job {
             Job::Message(slot, env) => {
+                // The dispatch span continues the sender's trace when
+                // the envelope carried `:x-trace`, and roots a fresh
+                // one otherwise. Everything the handler does — nested
+                // stage spans, outgoing sends (stamped from the
+                // thread-local context) — hangs off it.
+                let parent = env.message.trace().and_then(TraceContext::parse);
+                let span = shared.obs.tracer().agent_span(
+                    format!("recv:{}", env.message.performative),
+                    &slot.name,
+                    parent,
+                );
+                let started = Instant::now();
                 slot.behavior.on_message(&slot.ctx, env);
+                drop(span);
+                shared.metrics.handler_message_seconds.observe_duration(started.elapsed());
+                shared.metrics.dispatch_messages.inc();
                 slot.inflight.fetch_sub(1, Ordering::AcqRel);
             }
             Job::Tick(slot) => {
+                // Ticks are untraced background maintenance; they only
+                // feed the dispatch metrics.
+                let started = Instant::now();
                 slot.behavior.on_tick(&slot.ctx);
+                shared.metrics.handler_tick_seconds.observe_duration(started.elapsed());
+                shared.metrics.dispatch_ticks.inc();
                 slot.tick_running.store(false, Ordering::Release);
             }
         }

@@ -25,8 +25,11 @@
 //! in-proc `Bus` semantics for dead peers), `2` = malformed frame.
 
 use crate::address::AgentAddress;
-use crate::transport::{mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError};
+use crate::transport::{
+    mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError, TransportMetrics,
+};
 use infosleuth_kqml::Message;
+use infosleuth_obs::Obs;
 use parking_lot::RwLock;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -100,6 +103,7 @@ struct TcpShared {
     routes: RwLock<HashMap<String, AgentAddress>>,
     conn_queue: ConnQueue,
     shutdown: AtomicBool,
+    obs: RwLock<Option<Arc<TransportMetrics>>>,
 }
 
 /// One node of a distributed deployment: local mailboxes plus TCP
@@ -122,6 +126,7 @@ impl TcpTransport {
             routes: RwLock::new(HashMap::new()),
             conn_queue: ConnQueue::new(),
             shutdown: AtomicBool::new(false),
+            obs: RwLock::new(None),
         });
         let mut threads = Vec::new();
         {
@@ -170,17 +175,27 @@ impl TcpTransport {
         self.shared.routes.write().remove(name).is_some()
     }
 
+    /// Attaches transport metrics to this node, registered under
+    /// `transport="tcp"` in `obs`. Covers frame sends, receipts, and
+    /// prefix-fallback route resolutions.
+    pub fn set_obs(&self, obs: &Arc<Obs>) {
+        *self.shared.obs.write() = Some(TransportMetrics::new(obs, "tcp"));
+    }
+
     /// Resolves `name` to a routed address: exact match first, then
     /// progressively stripped `.suffix` components. An agent's ephemeral
     /// request endpoints (`broker-1.w3`) live on the same node as the
     /// agent itself, so the route for `broker-1` covers them — replies to
-    /// cross-node requests need no per-conversation route entries.
-    fn lookup_route(&self, name: &str) -> Option<AgentAddress> {
+    /// cross-node requests need no per-conversation route entries. The
+    /// returned flag says whether the fallback (rather than an exact
+    /// entry) resolved the name; misses return `None` and surface as
+    /// [`TransportError::NoRoute`] at send time.
+    fn lookup_route(&self, name: &str) -> Option<(AgentAddress, bool)> {
         let routes = self.shared.routes.read();
         let mut candidate = name;
         loop {
             if let Some(address) = routes.get(candidate) {
-                return Some(address.clone());
+                return Some((address.clone(), candidate != name));
             }
             candidate = candidate.rsplit_once('.')?.0;
         }
@@ -238,20 +253,42 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError> {
+        let metrics = self.shared.obs.read().clone();
+        let started = metrics.as_ref().map(|_| std::time::Instant::now());
         // Local fast path: same-node agents never touch a socket.
         {
             let reg = self.shared.registry.read();
             if let Some(tx) = reg.get(to) {
-                return tx.deliver(Envelope {
-                    from: from.to_string(),
-                    to: to.to_string(),
-                    message,
-                });
+                let bytes = if metrics.is_some() { message.wire_size() } else { 0 };
+                let result =
+                    tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message });
+                if let (Some(m), Some(started)) = (&metrics, started) {
+                    m.record_send(to, bytes, started.elapsed(), result.is_ok());
+                    if result.is_ok() {
+                        // Same-node delivery is also the receipt.
+                        m.record_recv(bytes);
+                    }
+                }
+                return result;
             }
         }
-        let address =
-            self.lookup_route(to).ok_or_else(|| TransportError::UnknownAgent(to.to_string()))?;
-        send_frame(&address, from, to, &message)
+        let result = match self.lookup_route(to) {
+            // A routing-table gap is a deployment configuration problem,
+            // reported distinctly from a dead-but-routed agent.
+            None => Err(TransportError::NoRoute(to.to_string())),
+            Some((address, used_fallback)) => {
+                if used_fallback {
+                    if let Some(m) = &metrics {
+                        m.record_route_fallback();
+                    }
+                }
+                send_frame(&address, from, to, &message)
+            }
+        };
+        if let (Some(m), Some(started)) = (&metrics, started) {
+            m.record_send(to, message.wire_size(), started.elapsed(), result.is_ok());
+        }
+        result
     }
 
     fn next_conversation_id(&self, prefix: &str) -> String {
@@ -344,6 +381,9 @@ fn handler_loop(shared: &TcpShared) {
         let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
         let ack = match read_frame(&mut conn) {
             Ok((from, to, message)) => {
+                if let Some(m) = shared.obs.read().as_ref() {
+                    m.record_recv(message.wire_size());
+                }
                 let reg = shared.registry.read();
                 match reg.get(&to) {
                     Some(tx) if tx.deliver(Envelope { from, to: to.clone(), message }).is_ok() => {
@@ -467,11 +507,40 @@ mod tests {
             .unwrap();
         let env = ephemeral.recv_timeout(Duration::from_secs(2)).expect("routed via prefix");
         assert_eq!(env.message.content(), Some(&SExpr::atom("ok")));
-        // No route stem at all still fails.
+        // No route stem at all is a distinguishable routing gap, not a
+        // dead agent.
         assert!(matches!(
             t2.send("server", "stranger.w0", Message::new(Performative::Tell)).unwrap_err(),
-            TransportError::UnknownAgent(_)
+            TransportError::NoRoute(_)
         ));
+    }
+
+    #[test]
+    fn prefix_fallback_is_counted_when_metrics_attached() {
+        let n1 = node();
+        let n2 = node();
+        n2.add_route("client", n1.address());
+        let obs = Obs::new();
+        n2.set_obs(&obs);
+        let t1 = as_dyn(&n1);
+        let t2 = as_dyn(&n2);
+        let mut ephemeral = t1.endpoint("client.w4").unwrap();
+        let server = t2.endpoint("server").unwrap();
+        server
+            .send("client.w4", Message::new(Performative::Reply).with_content(SExpr::atom("ok")))
+            .unwrap();
+        assert!(ephemeral.recv_timeout(Duration::from_secs(2)).is_some());
+        let text = obs.registry().render();
+        assert!(
+            text.contains("transport_route_fallback_total{transport=\"tcp\"} 1"),
+            "fallback resolution must be visible: {text}"
+        );
+        // Exact-match routes do not count as fallbacks.
+        server.send("client", Message::new(Performative::Tell)).unwrap_err(); // no mailbox, but routed
+        assert!(obs
+            .registry()
+            .render()
+            .contains("transport_route_fallback_total{transport=\"tcp\"} 1"));
     }
 
     #[test]
@@ -500,12 +569,12 @@ mod tests {
     }
 
     #[test]
-    fn send_to_unrouted_name_is_unknown_agent() {
+    fn send_to_unrouted_name_is_no_route() {
         let n = node();
         let t = as_dyn(&n);
         let a = t.endpoint("a").unwrap();
         let err = a.send("nowhere", Message::new(Performative::Tell)).unwrap_err();
-        assert!(matches!(err, TransportError::UnknownAgent(_)));
+        assert!(matches!(err, TransportError::NoRoute(_)), "got {err:?}");
     }
 
     #[test]

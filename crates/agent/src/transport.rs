@@ -39,6 +39,10 @@ pub enum TransportError {
     /// unregistered, or has "died") — the transport-layer connection
     /// failure of §4.2.2.
     UnknownAgent(String),
+    /// A networked transport has no routing-table entry covering the
+    /// destination — a deployment configuration gap, distinguishable
+    /// from an agent that was reachable and died ([`Self::UnknownAgent`]).
+    NoRoute(String),
     /// The agent name is already taken.
     DuplicateAgent(String),
     /// No reply arrived within the timeout.
@@ -59,6 +63,9 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::UnknownAgent(a) => {
                 write!(f, "no agent '{a}' reachable on the transport")
+            }
+            TransportError::NoRoute(a) => {
+                write!(f, "no route covers destination '{a}' (routing table gap)")
             }
             TransportError::DuplicateAgent(a) => {
                 write!(f, "agent name '{a}' already registered")
@@ -149,6 +156,83 @@ pub trait Transport: Send + Sync + 'static {
     /// A fresh conversation id (for `:reply-with`), unique across every
     /// node of the deployment.
     fn next_conversation_id(&self, prefix: &str) -> String;
+}
+
+/// Shared instrumentation for a transport implementation: counters for
+/// send/recv volume and failures, plus per-destination latency
+/// histograms, all registered in one [`Obs`](infosleuth_obs::Obs)
+/// bundle. Both the in-proc [`Bus`](crate::Bus) and the
+/// [`TcpTransport`](crate::TcpTransport) attach one of these via their
+/// `set_obs` methods.
+pub struct TransportMetrics {
+    send_total: infosleuth_obs::Counter,
+    send_failures: infosleuth_obs::Counter,
+    send_bytes: infosleuth_obs::Counter,
+    recv_total: infosleuth_obs::Counter,
+    recv_bytes: infosleuth_obs::Counter,
+    route_fallback: infosleuth_obs::Counter,
+    transport: &'static str,
+    obs: Arc<infosleuth_obs::Obs>,
+    /// Per-destination-stem latency handles, cached after first use.
+    latency: parking_lot::RwLock<std::collections::BTreeMap<String, infosleuth_obs::Histogram>>,
+}
+
+/// Destinations like `broker-1.w3` are ephemeral per-worker endpoints;
+/// metrics label them by the stable stem (`broker-1`) to bound
+/// cardinality.
+fn dest_stem(to: &str) -> &str {
+    to.split('.').next().unwrap_or(to)
+}
+
+impl TransportMetrics {
+    pub fn new(obs: &Arc<infosleuth_obs::Obs>, transport: &'static str) -> Arc<TransportMetrics> {
+        let labels = [("transport", transport)];
+        let reg = obs.registry();
+        Arc::new(TransportMetrics {
+            send_total: reg.counter("transport_send_total", &labels),
+            send_failures: reg.counter("transport_send_failures_total", &labels),
+            send_bytes: reg.counter("transport_send_bytes_total", &labels),
+            recv_total: reg.counter("transport_recv_total", &labels),
+            recv_bytes: reg.counter("transport_recv_bytes_total", &labels),
+            route_fallback: reg.counter("transport_route_fallback_total", &labels),
+            transport,
+            obs: Arc::clone(obs),
+            latency: parking_lot::RwLock::new(std::collections::BTreeMap::new()),
+        })
+    }
+
+    pub fn record_send(&self, to: &str, bytes: usize, elapsed: Duration, ok: bool) {
+        self.send_total.inc();
+        if ok {
+            self.send_bytes.add(bytes as u64);
+        } else {
+            self.send_failures.inc();
+        }
+        let stem = dest_stem(to);
+        let hist = {
+            let cached = self.latency.read().get(stem).cloned();
+            cached.unwrap_or_else(|| {
+                let h = self.obs.registry().latency(
+                    "transport_send_seconds",
+                    &[("transport", self.transport), ("dest", stem)],
+                );
+                self.latency.write().entry(stem.to_string()).or_insert_with(|| h.clone());
+                h
+            })
+        };
+        hist.observe_duration(elapsed);
+    }
+
+    pub fn record_recv(&self, bytes: usize) {
+        self.recv_total.inc();
+        self.recv_bytes.add(bytes as u64);
+    }
+
+    /// The prefix-fallback route path resolved an ephemeral endpoint
+    /// through its base-name route (see `TcpTransport::lookup_route`).
+    pub fn record_route_fallback(&self) {
+        self.route_fallback.inc();
+    }
 }
 
 /// Extension methods on shared transports.

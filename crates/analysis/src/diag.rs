@@ -80,6 +80,9 @@ pub enum Code {
     MalformedTemplate,
     /// IS033: a reserved KQML parameter holds a non-text value.
     NonTextReservedParameter,
+    /// IS034: a `:x-trace` parameter does not hold a valid encoded
+    /// trace context (`"<trace-hex16>-<span-hex16>"`).
+    InvalidTraceContext,
 }
 
 impl Code {
@@ -104,6 +107,7 @@ impl Code {
             Code::MissingParameter => "IS031",
             Code::MalformedTemplate => "IS032",
             Code::NonTextReservedParameter => "IS033",
+            Code::InvalidTraceContext => "IS034",
         }
     }
 

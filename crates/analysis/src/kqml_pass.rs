@@ -65,6 +65,24 @@ pub fn analyze_message(msg: &Message) -> Report {
                 format!("reserved parameter ':{key}' must be an atom or string, got '{value}'"),
             ));
         }
+        // `:x-trace` is the whitelisted trace-propagation parameter; a
+        // well-formed value is an opaque rider, anything else would
+        // silently break cross-agent trace correlation.
+        if key == infosleuth_obs::TRACE_PARAM {
+            let valid = value.as_text().and_then(infosleuth_obs::TraceContext::parse).is_some();
+            if !valid {
+                report.push(
+                    Diagnostic::new(
+                        Code::InvalidTraceContext,
+                        format!(
+                            ":{key} must encode a trace context as \
+                             \"<trace-hex16>-<span-hex16>\", got '{value}'"
+                        ),
+                    )
+                    .with_note("receivers would drop the context and start an unrelated trace"),
+                );
+            }
+        }
     }
     report.sorted()
 }
@@ -184,6 +202,35 @@ mod tests {
             .with("sender", SExpr::list([SExpr::atom("not"), SExpr::atom("text")]));
         let r = analyze_message(&msg);
         assert_eq!(r.codes(), vec![Code::NonTextReservedParameter]);
+    }
+
+    #[test]
+    fn valid_x_trace_is_whitelisted() {
+        let ctx = infosleuth_obs::TraceContext {
+            trace: infosleuth_obs::TraceId(0xdead_beef_0000_0001),
+            span: infosleuth_obs::SpanId(0x1234_5678_9abc_def0),
+        };
+        let msg = Message::new(Performative::Tell)
+            .with_content(SExpr::atom("x"))
+            .with_trace(ctx.encode());
+        let r = analyze_message(&msg);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn malformed_x_trace_is_is034() {
+        for bad in [
+            SExpr::string("not-a-context"),
+            SExpr::atom("deadbeef"),
+            SExpr::list([SExpr::atom("l")]),
+        ] {
+            let msg = Message::new(Performative::Tell)
+                .with_content(SExpr::atom("x"))
+                .with("x-trace", bad);
+            let r = analyze_message(&msg);
+            assert_eq!(r.codes(), vec![Code::InvalidTraceContext], "{:?}", r.diagnostics);
+            assert!(r.has_errors(), "IS034 blocks");
+        }
     }
 
     #[test]

@@ -10,11 +10,13 @@
 
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
+use infosleuth_obs::{Obs, RingSink, SpanSink};
 use infosleuth_ontology::{
     healthcare_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType,
     OntologyContent, SemanticInfo, ServiceQuery, SyntacticInfo,
 };
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn resource_ad(i: usize) -> Advertisement {
@@ -42,10 +44,13 @@ fn resource_ad(i: usize) -> Advertisement {
     )
 }
 
-fn repo_of(n: usize, incremental: bool) -> Repository {
+fn repo_of(n: usize, incremental: bool, obs: Option<&Arc<Obs>>) -> Repository {
     let mut repo = Repository::new();
     repo.register_ontology(healthcare_ontology());
     repo.set_incremental(incremental);
+    if let Some(obs) = obs {
+        repo.set_obs(obs, "bench-broker");
+    }
     for i in 0..n {
         repo.advertise(resource_ad(i)).expect("valid advertisement");
     }
@@ -67,8 +72,24 @@ fn query() -> ServiceQuery {
 
 /// Runs churn steps until the step cap or the time budget is hit
 /// (always at least two steps) and returns mean nanoseconds per step.
-fn measure(n: usize, incremental: bool, max_steps: usize, budget: Duration) -> (f64, usize) {
-    let mut repo = repo_of(n, incremental);
+/// With `obs` set, the repository runs fully instrumented, as a live
+/// broker would: stage histograms registered plus a bounded ring sink
+/// receiving every pipeline-stage span.
+fn measure(
+    n: usize,
+    incremental: bool,
+    obs: bool,
+    max_steps: usize,
+    budget: Duration,
+) -> (f64, usize) {
+    let bundle = if obs {
+        let o = Obs::new();
+        o.tracer().add_sink(Arc::new(RingSink::new(4096)) as Arc<dyn SpanSink>);
+        Some(o)
+    } else {
+        None
+    };
+    let mut repo = repo_of(n, incremental, bundle.as_ref());
     let mm = Matchmaker::default();
     let q = query();
     let mut steps = 0usize;
@@ -102,21 +123,57 @@ fn main() {
     println!("=== Repository churn: incremental vs full-resaturation maintenance ===");
     println!("one step = unadvertise + advertise + match{}", if quick { " [--quick]" } else { "" });
     println!();
-    println!("  agents   incremental/step   full-resat/step   speedup");
+    println!("  agents   incremental/step   full-resat/step   speedup   +obs/step   obs overhead");
 
+    // The instrumentation overhead (obs on vs off) is small relative to
+    // machine noise, so those two variants run in interleaved passes —
+    // long enough samples per pass that each pass is meaningful, best
+    // per-step time kept — so drift hits both variants alike.
+    let passes = if quick { 1 } else { 5 };
+    let obs_steps_for = |n: usize| {
+        if quick {
+            inc_steps
+        } else {
+            // Aim for seconds-long samples at every size.
+            match n {
+                ..=100 => 5_000,
+                101..=1_000 => 1_000,
+                _ => 150,
+            }
+        }
+    };
     let mut rows = Vec::new();
     for &n in sizes {
-        let (inc_ns, inc_n) = measure(n, true, inc_steps, budget);
-        let (full_ns, full_n) = measure(n, false, full_steps, budget);
+        let (mut inc_ns, mut inc_n) = (f64::INFINITY, 0);
+        let (mut obs_ns, mut obs_n) = (f64::INFINITY, 0);
+        for _ in 0..passes {
+            let (ns, steps) = measure(n, true, false, obs_steps_for(n), budget);
+            if ns < inc_ns {
+                (inc_ns, inc_n) = (ns, steps);
+            }
+            let (ns, steps) = measure(n, true, true, obs_steps_for(n), budget);
+            if ns < obs_ns {
+                (obs_ns, obs_n) = (ns, steps);
+            }
+        }
+        let (full_ns, full_n) = measure(n, false, false, full_steps, budget);
         let speedup = full_ns / inc_ns;
-        println!("  {n:6}   {:>16}   {:>15}   {speedup:6.1}x", human(inc_ns), human(full_ns),);
+        let overhead_pct = (obs_ns / inc_ns - 1.0) * 100.0;
+        println!(
+            "  {n:6}   {:>16}   {:>15}   {speedup:6.1}x   {:>9}   {overhead_pct:+10.1}%",
+            human(inc_ns),
+            human(full_ns),
+            human(obs_ns),
+        );
         rows.push(format!(
             concat!(
                 "    {{\"agents\": {}, \"incremental_ns_per_step\": {:.0}, ",
                 "\"incremental_steps\": {}, \"full_ns_per_step\": {:.0}, ",
-                "\"full_steps\": {}, \"speedup\": {:.2}}}"
+                "\"full_steps\": {}, \"speedup\": {:.2}, ",
+                "\"incremental_obs_ns_per_step\": {:.0}, \"incremental_obs_steps\": {}, ",
+                "\"obs_overhead_pct\": {:.2}}}"
             ),
-            n, inc_ns, inc_n, full_ns, full_n, speedup
+            n, inc_ns, inc_n, full_ns, full_n, speedup, obs_ns, obs_n, overhead_pct
         ));
     }
 

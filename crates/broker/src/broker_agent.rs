@@ -22,6 +22,7 @@ use infosleuth_agent::{
     RuntimeConfig, Transport,
 };
 use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_obs::{Counter, Histogram, Obs};
 use infosleuth_ontology::{
     Advertisement, AgentLocation, AgentType, BrokerAdvertisement, BrokerSpecialization,
     ServiceQuery,
@@ -107,6 +108,37 @@ impl BrokerConfig {
 struct Shared {
     config: BrokerConfig,
     repo: Mutex<Repository>,
+    obs: BrokerObs,
+}
+
+/// The broker's slice of the hosting runtime's metrics registry:
+/// request counters plus the query-side pipeline stages (`parse`,
+/// `scoring`). The repository-side stages (`analysis`, `repository`,
+/// `saturation`) are hooked in via [`Repository::set_obs`].
+struct BrokerObs {
+    obs: Arc<Obs>,
+    match_requests: Counter,
+    advertises: Counter,
+    unadvertises: Counter,
+    parse: Histogram,
+    scoring: Histogram,
+}
+
+impl BrokerObs {
+    fn new(obs: &Arc<Obs>, broker: &str) -> BrokerObs {
+        let reg = obs.registry();
+        let lat = |stage: &str| {
+            reg.latency("broker_stage_seconds", &[("broker", broker), ("stage", stage)])
+        };
+        BrokerObs {
+            obs: Arc::clone(obs),
+            match_requests: reg.counter("broker_match_requests_total", &[("broker", broker)]),
+            advertises: reg.counter("broker_advertise_total", &[("broker", broker)]),
+            unadvertises: reg.counter("broker_unadvertise_total", &[("broker", broker)]),
+            parse: lat("parse"),
+            scoring: lat("scoring"),
+        }
+    }
 }
 
 /// The broker's [`AgentBehavior`]: message dispatch plus the liveness
@@ -174,9 +206,11 @@ impl BrokerAgent {
     pub fn spawn_on(
         runtime: &AgentRuntime,
         config: BrokerConfig,
-        repo: Repository,
+        mut repo: Repository,
     ) -> Result<BrokerHandle, BusError> {
-        let shared = Arc::new(Shared { config, repo: Mutex::new(repo) });
+        repo.set_obs(runtime.obs(), &config.name);
+        let obs = BrokerObs::new(runtime.obs(), &config.name);
+        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), obs });
         let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
         let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
         Ok(BrokerHandle { shared, agent, _runtime: None })
@@ -295,6 +329,7 @@ fn handle_envelope(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::E
 }
 
 fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    shared.obs.advertises.inc();
     let Some(content) = env.message.content() else {
         let reply = env
             .message
@@ -373,6 +408,7 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
 }
 
 fn handle_unadvertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    shared.obs.unadvertises.inc();
     // Content is the agent name (atom) or absent (sender unadvertises
     // itself).
     let name = env
@@ -413,6 +449,7 @@ fn handle_query(
     env: &infosleuth_agent::Envelope,
     force_max: Option<usize>,
 ) {
+    shared.obs.match_requests.inc();
     let Some(content) = env.message.content() else {
         let reply = env
             .message
@@ -422,6 +459,7 @@ fn handle_query(
         return;
     };
     // Accept either a full broker-search or a bare service-query.
+    let parse_timer = shared.obs.obs.stage(&shared.obs.parse, "parse");
     let request = match codec::search_request_from_sexpr(content) {
         Ok(r) => r,
         Err(_) => match codec::service_query_from_sexpr(content) {
@@ -446,6 +484,7 @@ fn handle_query(
             }
         },
     };
+    drop(parse_timer);
     // §4.1 "Agents Discovering Brokers": a query for agents of type
     // `broker` is answered from the peer-broker table (plus this broker
     // itself), filtered by advertised specialization when the requester
@@ -524,7 +563,12 @@ fn collaborative_search(
     untruncated.max_matches = None;
     let mut matches = {
         let mut repo = shared.repo.lock();
-        shared.config.matchmaker.match_query_mut(&mut repo, &untruncated)
+        // Obtaining the model records the "saturation" stage via the
+        // repository's hooks; candidate narrowing + scoring is its own
+        // stage so one ask-all trace shows the full pipeline.
+        let model = repo.saturated();
+        let _t = shared.obs.obs.stage(&shared.obs.scoring, "scoring");
+        shared.config.matchmaker.match_query(&repo, &model, &untruncated)
     };
 
     if request.policy.should_expand(matches.len()) {

@@ -13,6 +13,7 @@ use crate::facts::{
 use infosleuth_agent::AgentAddress;
 use infosleuth_analysis::{analyze_advertisement, analyze_ldl_source, AdContext, Report, Severity};
 use infosleuth_ldl::{parse_rules, Database, LdlParseError, Program, Rule, Saturated};
+use infosleuth_obs::{Histogram, Obs, StageTimer};
 use infosleuth_ontology::{
     standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, Taxonomy,
 };
@@ -180,6 +181,32 @@ pub struct Repository {
     saturated: Option<Arc<Saturated>>,
     incremental: bool,
     stats: MaintenanceStats,
+    /// Stage-timing hooks (see [`Repository::set_obs`]); `None` keeps the
+    /// repository observability-free for standalone use and benchmarks.
+    obs: Option<ObsHooks>,
+}
+
+/// The repository-side pipeline stages, pre-registered as
+/// `broker_stage_seconds{broker,stage}` histograms. Cheap to clone
+/// (everything inside is an `Arc`), which the mutation paths rely on to
+/// open a stage timer without borrowing `self`.
+#[derive(Clone)]
+struct ObsHooks {
+    obs: Arc<Obs>,
+    analysis: Histogram,
+    repository: Histogram,
+    saturation: Histogram,
+}
+
+impl ObsHooks {
+    fn stage(&self, name: &'static str) -> StageTimer {
+        let histogram = match name {
+            "analysis" => &self.analysis,
+            "repository" => &self.repository,
+            _ => &self.saturation,
+        };
+        self.obs.stage(histogram, name)
+    }
 }
 
 impl Repository {
@@ -202,7 +229,24 @@ impl Repository {
             saturated: None,
             incremental: true,
             stats: MaintenanceStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches stage timing: advertise/unadvertise/saturation work is
+    /// recorded as `broker_stage_seconds{broker,stage}` samples (stages
+    /// `analysis`, `repository`, `saturation`) plus matching child spans
+    /// under whatever span is active on the handling thread.
+    pub fn set_obs(&mut self, obs: &Arc<Obs>, broker: &str) {
+        let lat = |stage: &str| {
+            obs.registry().latency("broker_stage_seconds", &[("broker", broker), ("stage", stage)])
+        };
+        self.obs = Some(ObsHooks {
+            obs: Arc::clone(obs),
+            analysis: lat("analysis"),
+            repository: lat("repository"),
+            saturation: lat("saturation"),
+        });
     }
 
     /// Registers a domain ontology so the broker "can reason over
@@ -345,18 +389,23 @@ impl Repository {
     /// advertisement's facts (if any) are retracted via delete-and-rederive
     /// and the new ones propagated via delta saturation.
     pub fn advertise(&mut self, ad: Advertisement) -> Result<(), RepositoryError> {
-        self.validate(&ad)?;
-        // Deeper static analysis: classes/slots unknown to a registered
-        // ontology and other error-severity findings reject the
-        // advertisement with the rendered report; warnings (e.g. IS024
-        // subsumption) never reject.
-        let report = self.analyze(&ad);
-        if report.has_errors() {
-            return Err(RepositoryError::Rejected {
-                agent: ad.location.name.clone(),
-                report: report.render_human(None),
-            });
+        let hooks = self.obs.clone();
+        {
+            let _t = hooks.as_ref().map(|o| o.stage("analysis"));
+            self.validate(&ad)?;
+            // Deeper static analysis: classes/slots unknown to a registered
+            // ontology and other error-severity findings reject the
+            // advertisement with the rendered report; warnings (e.g. IS024
+            // subsumption) never reject.
+            let report = self.analyze(&ad);
+            if report.has_errors() {
+                return Err(RepositoryError::Rejected {
+                    agent: ad.location.name.clone(),
+                    report: report.render_human(None),
+                });
+            }
         }
+        let mutation = hooks.as_ref().map(|o| o.stage("repository"));
         let added = compile_agent_facts(&ad);
         let removed = match self.agents.insert(ad.location.name.clone(), ad.clone()) {
             Some(old) => {
@@ -369,6 +418,7 @@ impl Repository {
         };
         self.index.insert(&ad);
         self.edb.merge(&added);
+        drop(mutation);
         self.patch_model(removed.as_ref(), Some(&added));
         Ok(())
     }
@@ -377,11 +427,14 @@ impl Repository {
     /// first unregisters itself from the broker"; the broker also removes
     /// agents whose pings fail). Returns whether it was present.
     pub fn unadvertise(&mut self, agent: &str) -> bool {
+        let hooks = self.obs.clone();
         match self.agents.remove(agent) {
             Some(old) => {
+                let mutation = hooks.as_ref().map(|o| o.stage("repository"));
                 self.index.remove(&old);
                 let old_facts = compile_agent_facts(&old);
                 self.edb.subtract(&old_facts);
+                drop(mutation);
                 self.patch_model(Some(&old_facts), None);
                 true
             }
@@ -395,6 +448,8 @@ impl Repository {
     /// maintenance is disabled or refused (negation in derived rules), the
     /// cache is dropped instead.
     fn patch_model(&mut self, removed: Option<&Database>, added: Option<&Database>) {
+        let hooks = self.obs.clone();
+        let _t = hooks.as_ref().map(|o| o.stage("saturation"));
         let Some(mut cached) = self.saturated.take() else { return };
         if !self.incremental {
             return;
@@ -494,6 +549,11 @@ impl Repository {
     /// possible; the cache is maintained incrementally across
     /// advertise/unadvertise and recomputed from the EDB otherwise.
     pub fn saturated(&mut self) -> Arc<Saturated> {
+        // Timed even on a cache hit: every query's trace then shows its
+        // (usually near-zero) "saturation" stage, and full recomputes
+        // stand out in the same histogram.
+        let hooks = self.obs.clone();
+        let _t = hooks.as_ref().map(|o| o.stage("saturation"));
         if let Some(s) = &self.saturated {
             return Arc::clone(s);
         }

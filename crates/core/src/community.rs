@@ -236,6 +236,7 @@ impl CommunityBuilder {
                 address: "tcp://monitor.mcc.com:6001".into(),
                 brokers: broker_names.clone(),
                 timeout: self.timeout,
+                scrape_addr: None,
             },
         )?;
         let ontology_agent =

@@ -82,6 +82,7 @@ pub use infosleuth_broker as broker;
 pub use infosleuth_constraint as constraint;
 pub use infosleuth_kqml as kqml;
 pub use infosleuth_ldl as ldl;
+pub use infosleuth_obs as obs;
 pub use infosleuth_ontology as ontology;
 pub use infosleuth_relquery as relquery;
 pub use infosleuth_sim as sim;

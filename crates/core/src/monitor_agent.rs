@@ -10,27 +10,37 @@
 //! notifications back to the user, tagging each with the originating
 //! resource.
 //!
-//! The monitor is also the community's delivery-failure sink: every agent
+//! The monitor is also the community's observability sink. Every agent
 //! hosted on an [`AgentRuntime`] configured with this monitor reports
 //! failed sends here as `tell`s tagged with [`LOG_ONTOLOGY`], and the
 //! handle exposes the accumulated log — the observable form of §4.2.2's
-//! "the transport layer will fail to make the connection".
+//! "the transport layer will fail to make the connection". Runtimes that
+//! spawn an `ObsReporter` additionally forward metrics snapshots and
+//! span batches over the same ontology; the monitor merges the
+//! snapshots per source, reconstructs cross-agent trace trees from the
+//! spans, answers `ask-all` queries over the log ontology, and — when
+//! [`MonitorSpec::scrape_addr`] is set — serves the merged registry as
+//! Prometheus text over HTTP.
 
 use infosleuth_agent::{
     AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope, RuntimeConfig,
-    LOG_ONTOLOGY,
+    LOG_ONTOLOGY, METRICS_SNAPSHOT_HEAD, SPANS_HEAD,
 };
 use infosleuth_broker::query_broker;
 use infosleuth_kqml::{Message, Performative, SExpr};
+use infosleuth_obs::{render_merged, MetricsServer, MetricsSnapshot, SpanRecord};
 use infosleuth_ontology::{
     Advertisement, AgentLocation, AgentType, Capability, ConversationType, SemanticInfo,
     ServiceQuery, SyntacticInfo,
 };
 use infosleuth_relquery::{parse_select, plan, referenced_classes};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Spans retained by the monitor; the oldest are evicted first.
+const SPAN_RETENTION: usize = 8192;
 
 /// Configuration for the monitor agent.
 pub struct MonitorSpec {
@@ -38,6 +48,11 @@ pub struct MonitorSpec {
     pub address: String,
     pub brokers: Vec<String>,
     pub timeout: Duration,
+    /// When set (e.g. `"127.0.0.1:0"`), the monitor serves the merged
+    /// metrics of every reporting runtime as Prometheus text on this
+    /// address; the actually-bound address is
+    /// [`MonitorAgentHandle::scrape_addr`].
+    pub scrape_addr: Option<String>,
 }
 
 /// The monitor agent's standard advertisement.
@@ -64,11 +79,31 @@ pub struct DeliveryFailure {
     pub count: u64,
 }
 
+/// Observability state forwarded by the community's `ObsReporter`s:
+/// the latest metrics snapshot per source, and a bounded span store.
+#[derive(Default)]
+struct ObsStore {
+    snapshots: BTreeMap<String, MetricsSnapshot>,
+    spans: Vec<SpanRecord>,
+}
+
+impl ObsStore {
+    fn push_span(&mut self, record: SpanRecord) {
+        if self.spans.len() >= SPAN_RETENTION {
+            let overflow = self.spans.len() + 1 - SPAN_RETENTION;
+            self.spans.drain(..overflow);
+        }
+        self.spans.push(record);
+    }
+}
+
 /// Handle to a running monitor agent.
 pub struct MonitorAgentHandle {
     name: String,
     agent: AgentHandle,
     log: Arc<Mutex<Vec<DeliveryFailure>>>,
+    obs_store: Arc<Mutex<ObsStore>>,
+    scrape: Option<MetricsServer>,
     _runtime: Option<AgentRuntime>,
 }
 
@@ -92,7 +127,32 @@ impl MonitorAgentHandle {
         self.agent.delivery_failures()
     }
 
+    /// Where the Prometheus scrape endpoint actually bound, when
+    /// [`MonitorSpec::scrape_addr`] was set.
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// The merged metrics of every reporting runtime, rendered as
+    /// Prometheus text (exactly what the scrape endpoint serves).
+    pub fn metrics_text(&self) -> String {
+        render_merged(&self.obs_store.lock().snapshots)
+    }
+
+    /// Sources that have forwarded at least one metrics snapshot.
+    pub fn snapshot_sources(&self) -> Vec<String> {
+        self.obs_store.lock().snapshots.keys().cloned().collect()
+    }
+
+    /// Every span forwarded to this monitor (bounded; oldest evicted).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.obs_store.lock().spans.clone()
+    }
+
     pub fn stop(self) {
+        if let Some(server) = &self.scrape {
+            server.shutdown();
+        }
         self.agent.stop();
     }
 }
@@ -114,6 +174,96 @@ struct MonitorBehavior {
     spec: MonitorSpec,
     state: Mutex<MonitorState>,
     log: Arc<Mutex<Vec<DeliveryFailure>>>,
+    obs_store: Arc<Mutex<ObsStore>>,
+}
+
+impl MonitorBehavior {
+    /// Absorbs a `tell` over the log ontology: a delivery-failure
+    /// report, a forwarded metrics snapshot, or a span batch.
+    fn absorb_log(&self, msg: &Message) {
+        let Some(items) = msg.content().and_then(SExpr::as_list) else { return };
+        match items.first().and_then(SExpr::as_text) {
+            Some("delivery-failure") => {
+                if let Some(report) = parse_delivery_failure(msg) {
+                    self.log.lock().push(report);
+                }
+            }
+            Some(METRICS_SNAPSHOT_HEAD) => {
+                let source = items.get(1).and_then(SExpr::as_text);
+                let snap = items.get(2).and_then(MetricsSnapshot::from_sexpr);
+                if let (Some(source), Some(snap)) = (source, snap) {
+                    self.obs_store.lock().snapshots.insert(source.to_string(), snap);
+                }
+            }
+            Some(SPANS_HEAD) => {
+                let mut store = self.obs_store.lock();
+                for item in &items[1..] {
+                    if let Some(record) = SpanRecord::from_sexpr(item) {
+                        store.push_span(record);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Answers an `ask-all`/`ask-one` over the log ontology:
+    /// `(metrics)`, `(traces)`, `(trace <hex16>)`, or
+    /// `(delivery-failures)`.
+    fn answer_log_query(&self, msg: &Message) -> Message {
+        let items = msg.content().and_then(SExpr::as_list);
+        let head = items.and_then(|l| l.first()).and_then(SExpr::as_text);
+        match head {
+            Some("metrics") => {
+                let text = render_merged(&self.obs_store.lock().snapshots);
+                msg.reply_skeleton(Performative::Reply).with_content(SExpr::string(text))
+            }
+            Some("traces") => {
+                let store = self.obs_store.lock();
+                let mut out = vec![SExpr::atom("traces")];
+                out.extend(
+                    infosleuth_obs::trace_ids(&store.spans)
+                        .iter()
+                        .map(|t| SExpr::atom(t.to_string())),
+                );
+                msg.reply_skeleton(Performative::Reply).with_content(SExpr::list(out))
+            }
+            Some("trace") => {
+                let wanted = items
+                    .and_then(|l| l.get(1))
+                    .and_then(SExpr::as_text)
+                    .unwrap_or_default()
+                    .to_string();
+                let store = self.obs_store.lock();
+                let mut out = vec![SExpr::atom(SPANS_HEAD)];
+                out.extend(
+                    store
+                        .spans
+                        .iter()
+                        .filter(|r| r.trace.to_string() == wanted)
+                        .map(SpanRecord::to_sexpr),
+                );
+                let perf = if out.len() > 1 { Performative::Reply } else { Performative::Sorry };
+                msg.reply_skeleton(perf).with_content(SExpr::list(out))
+            }
+            Some("delivery-failures") => {
+                let log = self.log.lock();
+                let mut out = vec![SExpr::atom("delivery-failures")];
+                out.extend(log.iter().map(|f| {
+                    SExpr::list(vec![
+                        SExpr::atom(&f.agent),
+                        SExpr::atom(&f.peer),
+                        SExpr::atom(&f.performative),
+                        SExpr::Atom(f.count.to_string()),
+                    ])
+                }));
+                msg.reply_skeleton(Performative::Reply).with_content(SExpr::list(out))
+            }
+            _ => msg.reply_skeleton(Performative::Error).with_content(SExpr::string(
+                "log queries: (metrics) | (traces) | (trace <id>) | (delivery-failures)",
+            )),
+        }
+    }
 }
 
 impl AgentBehavior for MonitorBehavior {
@@ -131,13 +281,18 @@ impl AgentBehavior for MonitorBehavior {
                 drop(state);
                 let _ = ctx.send(&env.from, reply);
             }
+            Performative::AskAll | Performative::AskOne
+                if env.message.get_text("ontology") == Some(LOG_ONTOLOGY) =>
+            {
+                let reply = self.answer_log_query(&env.message);
+                let _ = ctx.send(&env.from, reply);
+            }
             Performative::Tell => {
-                // A delivery-failure report from the runtime (satellite of
-                // §4.2.2): absorb it into the log rather than relaying.
+                // An observability report from a runtime (delivery
+                // failure, metrics snapshot, or span batch): absorb it
+                // rather than relaying.
                 if env.message.get_text("ontology") == Some(LOG_ONTOLOGY) {
-                    if let Some(report) = parse_delivery_failure(&env.message) {
-                        self.log.lock().push(report);
-                    }
+                    self.absorb_log(&env.message);
                     return;
                 }
                 // A notification from a resource agent: relay downstream.
@@ -204,12 +359,27 @@ pub fn spawn_monitor_agent_on(
     let ad = monitor_advertisement(&spec.name, &spec.address);
     let brokers = spec.brokers.clone();
     let timeout = spec.timeout;
+    let scrape_addr = spec.scrape_addr.clone();
     let log = Arc::new(Mutex::new(Vec::new()));
+    let obs_store = Arc::new(Mutex::new(ObsStore::default()));
     let behavior = Arc::new(MonitorBehavior {
         spec,
         state: Mutex::new(MonitorState { relays: HashMap::new(), seq: 0 }),
         log: Arc::clone(&log),
+        obs_store: Arc::clone(&obs_store),
     });
+    let scrape = match scrape_addr {
+        Some(addr) => {
+            let store = Arc::clone(&obs_store);
+            let render: infosleuth_obs::http::RenderFn =
+                Arc::new(move || render_merged(&store.lock().snapshots));
+            Some(
+                MetricsServer::serve(addr.as_str(), render)
+                    .map_err(|e| BusError::Io(e.to_string()))?,
+            )
+        }
+        None => None,
+    };
     let agent = runtime.spawn(&name, behavior)?;
     {
         let mut requester = &**agent.ctx();
@@ -217,7 +387,7 @@ pub fn spawn_monitor_agent_on(
             let _ = infosleuth_broker::advertise_to(&mut requester, broker, &ad, timeout);
         }
     }
-    Ok(MonitorAgentHandle { name, agent, log, _runtime: None })
+    Ok(MonitorAgentHandle { name, agent, log, obs_store, scrape, _runtime: None })
 }
 
 /// Locates contributing resources for a standing query and subscribes to
@@ -355,6 +525,7 @@ mod tests {
                 address: "tcp://monitor.mcc.com:6001".into(),
                 brokers: vec![],
                 timeout: Duration::from_millis(200),
+                scrape_addr: None,
             },
         )
         .unwrap();
@@ -375,6 +546,89 @@ mod tests {
         assert_eq!(log[0].agent, "talker");
         assert_eq!(log[0].peer, "ghost-agent");
         assert_eq!(talker.delivery_failures(), 1);
+        monitor.stop();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn aggregates_forwarded_obs_and_serves_scrape_endpoint() {
+        use infosleuth_agent::spawn_obs_reporter;
+        let bus = Bus::new();
+        let runtime =
+            AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+        let monitor = spawn_monitor_agent_on(
+            &runtime,
+            MonitorSpec {
+                name: "monitor-agent".into(),
+                address: "tcp://monitor.mcc.com:6001".into(),
+                brokers: vec![],
+                timeout: Duration::from_millis(200),
+                scrape_addr: Some("127.0.0.1:0".into()),
+            },
+        )
+        .unwrap();
+        let reporter =
+            spawn_obs_reporter(&runtime, "obs.node", "monitor-agent", Duration::from_secs(3600))
+                .unwrap();
+        runtime.obs().registry().counter("demo_total", &[]).inc();
+        {
+            let _span = runtime.obs().tracer().span("demo-span");
+        }
+        reporter.flush();
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while (monitor.snapshot_sources().is_empty()
+            || !monitor.spans().iter().any(|r| r.name == "demo-span"))
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(monitor.snapshot_sources(), vec!["obs.node".to_string()]);
+        assert!(monitor.spans().iter().any(|r| r.name == "demo-span"));
+
+        // The scrape endpoint serves the merged registry, tagged by source.
+        let addr = monitor.scrape_addr().expect("scrape endpoint bound");
+        let body = infosleuth_obs::scrape(&addr.to_string(), Duration::from_secs(2))
+            .expect("scrape succeeds");
+        assert!(body.contains("# TYPE demo_total counter"), "body:\n{body}");
+        assert!(body.contains("demo_total{agent=\"obs.node\"} 1"), "body:\n{body}");
+
+        // The same data is queryable over KQML (ask-all, log ontology).
+        let mut client = bus.register("client").unwrap();
+        let ask = |content: SExpr| {
+            Message::new(Performative::AskAll).with_ontology(LOG_ONTOLOGY).with_content(content)
+        };
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![SExpr::atom("metrics")])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        assert!(reply.content().and_then(SExpr::as_text).unwrap().contains("demo_total"));
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![SExpr::atom("traces")])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let traces = reply.content().and_then(SExpr::as_list).unwrap();
+        assert!(traces.len() >= 2, "at least one trace id listed: {traces:?}");
+        let trace_id = traces[1].as_atom().unwrap().to_string();
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![SExpr::atom("trace"), SExpr::atom(&trace_id)])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        let spans = reply.content().and_then(SExpr::as_list).unwrap();
+        assert!(
+            spans[1..].iter().all(|s| SpanRecord::from_sexpr(s).is_some()),
+            "trace reply is decodable spans"
+        );
         monitor.stop();
         runtime.shutdown();
     }

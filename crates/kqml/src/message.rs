@@ -228,6 +228,18 @@ impl Message {
         self.with("in-reply-to", token(s.into()))
     }
 
+    /// Encoded trace context (`:x-trace`), when one rode along. The
+    /// value format is defined by `infosleuth-obs`; this accessor only
+    /// moves the opaque string.
+    pub fn trace(&self) -> Option<&str> {
+        self.get_text("x-trace")
+    }
+
+    /// Attaches an encoded trace context as `:x-trace`.
+    pub fn with_trace(self, ctx: impl Into<String>) -> Self {
+        self.with("x-trace", SExpr::Str(ctx.into()))
+    }
+
     /// Builds a reply skeleton: `reply` performative, sender/receiver
     /// swapped, `in-reply-to` copied from this message's `reply-with`.
     pub fn reply_skeleton(&self, performative: Performative) -> Message {
@@ -387,6 +399,17 @@ mod tests {
         ]));
         let back = Message::parse(&m.to_string()).unwrap();
         assert_eq!(back.content().unwrap().as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn trace_param_round_trips() {
+        let m = sample().with_trace("00000000000000ab-00000000000000cd");
+        let back = Message::parse(&m.to_string()).unwrap();
+        assert_eq!(back.trace(), Some("00000000000000ab-00000000000000cd"));
+        assert!(sample().trace().is_none());
+        // reply_skeleton deliberately does not copy the trace: replies
+        // to untraced requesters stay untraced.
+        assert!(m.reply_skeleton(Performative::Reply).trace().is_none());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Observability plane for the InfoSleuth reproduction: a lock-cheap
+//! metrics registry with Prometheus text exposition ([`metrics`]), a
+//! span tracer whose context rides KQML messages in the `:x-trace`
+//! parameter ([`trace`]), and a tiny HTTP/1.0 scrape responder
+//! ([`http`]). See DESIGN.md §11.
+//!
+//! One [`Obs`] bundle travels with each [`AgentRuntime`]; everything
+//! hosted on that runtime — transports, brokers, resource agents —
+//! feeds the same registry and tracer, and a reporter agent forwards
+//! snapshots to the monitor agent for community-wide aggregation.
+//!
+//! [`AgentRuntime`]: ../infosleuth_agent/struct.AgentRuntime.html
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod metrics;
+pub mod trace;
+
+pub use http::{scrape, MetricsServer};
+pub use metrics::{
+    default_latency_buckets, quantile_from_buckets, render_merged, Counter, Gauge, Histogram,
+    Labels, MetricsRegistry, MetricsSnapshot, Sample, SampleValue,
+};
+pub use trace::{
+    build_trace_tree, current_context, forest_topology, topology, trace_ids, JsonlSink, RingSink,
+    SpanGuard, SpanId, SpanNode, SpanRecord, SpanSink, TraceContext, TraceId, Tracer,
+};
+
+/// KQML parameter carrying the trace context across agents, written
+/// as `:x-trace "<trace-hex16>-<span-hex16>"` on the wire. The
+/// analysis KQML pass whitelists it (and flags malformed values as
+/// IS034), so traced deployments stay lint-clean.
+pub const TRACE_PARAM: &str = "x-trace";
+
+use std::sync::Arc;
+
+/// One agent-runtime's worth of observability: a shared metrics
+/// registry plus a shared tracer. Cloning shares both.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    registry: MetricsRegistry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// A fresh, empty observability bundle, ready to share.
+    pub fn new() -> Arc<Obs> {
+        Arc::new(Obs::default())
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Opens a pipeline-stage timer: a child span named `stage` plus a
+    /// sample in `histogram` when the returned guard drops.
+    pub fn stage(&self, histogram: &Histogram, stage: &str) -> StageTimer {
+        StageTimer {
+            _span: self.tracer.span(stage.to_string()),
+            histogram: histogram.clone(),
+            started: std::time::Instant::now(),
+        }
+    }
+}
+
+/// RAII guard produced by [`Obs::stage`].
+pub struct StageTimer {
+    _span: SpanGuard,
+    histogram: Histogram,
+    started: std::time::Instant,
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timer_records_span_and_histogram_sample() {
+        let obs = Obs::new();
+        let ring = Arc::new(RingSink::new(8));
+        obs.tracer().add_sink(Arc::clone(&ring) as Arc<dyn SpanSink>);
+        let h = obs.registry().latency("broker_stage_seconds", &[("stage", "saturation")]);
+        {
+            let _outer = obs.tracer().agent_span("recv:advertise", "broker-1", None);
+            let _t = obs.stage(&h, "saturation");
+        }
+        assert_eq!(h.count(), 1);
+        let records = ring.drain();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "saturation");
+        assert_eq!(records[0].parent, Some(records[1].span), "stage nests under dispatch");
+    }
+}

@@ -1,0 +1,635 @@
+//! Lock-cheap metrics: counters, gauges, and fixed-bucket latency
+//! histograms behind a get-or-create registry.
+//!
+//! Handles returned by the registry are cheap `Arc` clones around
+//! atomics; callers cache them once and the hot path is lock-free.
+//! The registry itself is only locked on handle creation and on
+//! snapshot/render, both of which are rare.
+
+use infosleuth_kqml::SExpr;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (never rendered).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, pool sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (never rendered).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed upper bounds (seconds) suited to agent-pipeline latencies:
+/// 100µs up to 10s, roughly exponential.
+pub fn default_latency_buckets() -> Vec<f64> {
+    vec![
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+        5.0, 10.0,
+    ]
+}
+
+struct HistogramInner {
+    /// Finite upper bounds, ascending; an implicit +Inf bucket follows.
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the +Inf overflow slot.
+    counts: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram with quantile estimation by linear
+/// interpolation inside the winning bucket.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum_seconds", &self.sum_seconds())
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn new(mut bounds: Vec<f64>) -> Self {
+        bounds.retain(|b| b.is_finite() && *b > 0.0);
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds,
+            counts,
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// A histogram not attached to any registry (never rendered).
+    pub fn detached() -> Self {
+        Self::new(default_latency_buckets())
+    }
+
+    pub fn observe(&self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds > 0.0 { seconds } else { 0.0 };
+        let idx = self.0.bounds.iter().position(|b| seconds <= *b).unwrap_or(self.0.bounds.len());
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_micros.fetch_add((seconds * 1e6).round() as u64, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Times a closure and records its wall-clock duration.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.observe_duration(start.elapsed());
+        out
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`, interpolated
+    /// linearly within the bucket that crosses the target rank.
+    /// Samples beyond the last finite bound clamp to that bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        quantile_from_buckets(&self.0.bounds, &counts, q)
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    fn load(&self) -> (Vec<f64>, Vec<u64>, u64, u64) {
+        (
+            self.0.bounds.clone(),
+            self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            self.0.sum_micros.load(Ordering::Relaxed),
+            self.0.count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Quantile over per-bucket counts (shared with merged snapshots).
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let prev_cum = cum;
+        cum += c;
+        if (cum as f64) < target || c == 0 {
+            continue;
+        }
+        let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+        let upper = match bounds.get(i) {
+            Some(b) => *b,
+            // +Inf bucket: clamp to the last finite bound.
+            None => return bounds.last().copied().unwrap_or(0.0),
+        };
+        let into = (target - prev_cum as f64) / c as f64;
+        return lower + (upper - lower) * into.clamp(0.0, 1.0);
+    }
+    bounds.last().copied().unwrap_or(0.0)
+}
+
+/// Label pairs, kept sorted for a canonical identity.
+pub type Labels = Vec<(String, String)>;
+
+fn canonical_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Labels,
+}
+
+#[derive(Clone)]
+enum MetricEntry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Get-or-create registry of named metrics. Cloning shares the
+/// underlying map; handles stay valid for the registry's lifetime.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<BTreeMap<MetricKey, MetricEntry>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.inner.read().len())
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name{labels}`. A name/label collision with a
+    /// different metric kind yields a detached handle rather than
+    /// corrupting the registered family.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey { name: name.to_string(), labels: canonical_labels(labels) };
+        if let Some(MetricEntry::Counter(c)) = self.inner.read().get(&key) {
+            return c.clone();
+        }
+        match self
+            .inner
+            .write()
+            .entry(key)
+            .or_insert_with(|| MetricEntry::Counter(Counter::default()))
+        {
+            MetricEntry::Counter(c) => c.clone(),
+            _ => Counter::detached(),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey { name: name.to_string(), labels: canonical_labels(labels) };
+        if let Some(MetricEntry::Gauge(g)) = self.inner.read().get(&key) {
+            return g.clone();
+        }
+        match self.inner.write().entry(key).or_insert_with(|| MetricEntry::Gauge(Gauge::default()))
+        {
+            MetricEntry::Gauge(g) => g.clone(),
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Histogram handle; `bounds` only applies on first creation.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: Vec<f64>) -> Histogram {
+        let key = MetricKey { name: name.to_string(), labels: canonical_labels(labels) };
+        if let Some(MetricEntry::Histogram(h)) = self.inner.read().get(&key) {
+            return h.clone();
+        }
+        match self
+            .inner
+            .write()
+            .entry(key)
+            .or_insert_with(|| MetricEntry::Histogram(Histogram::new(bounds)))
+        {
+            MetricEntry::Histogram(h) => h.clone(),
+            _ => Histogram::detached(),
+        }
+    }
+
+    /// Latency histogram with the default agent-pipeline buckets.
+    pub fn latency(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(name, labels, default_latency_buckets())
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let samples = self
+            .inner
+            .read()
+            .iter()
+            .map(|(key, entry)| Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match entry {
+                    MetricEntry::Counter(c) => SampleValue::Counter(c.get()),
+                    MetricEntry::Gauge(g) => SampleValue::Gauge(g.get()),
+                    MetricEntry::Histogram(h) => {
+                        let (bounds, counts, sum_micros, count) = h.load();
+                        SampleValue::Histogram { bounds, counts, sum_micros, count }
+                    }
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// Prometheus text exposition (v0.0.4) of the live registry.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// One exported metric with its identity and current value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Labels,
+    pub value: SampleValue,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram { bounds: Vec<f64>, counts: Vec<u64>, sum_micros: u64, count: u64 },
+}
+
+impl SampleValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// A serializable point-in-time copy of a registry, the unit the
+/// monitor agent aggregates across the community.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Prometheus text exposition of this snapshot alone.
+    pub fn render(&self) -> String {
+        render_samples(self.samples.iter().map(|s| (s, None)))
+    }
+
+    /// KQML-transportable form:
+    /// `(metrics (counter "name" ((k "v")…) n) (gauge …) (histogram
+    /// "name" (labels…) sum count (bound n)… (inf n)))`.
+    pub fn to_sexpr(&self) -> SExpr {
+        let mut items = vec![SExpr::atom("metrics")];
+        for s in &self.samples {
+            let labels = SExpr::List(
+                s.labels
+                    .iter()
+                    .map(|(k, v)| SExpr::List(vec![SExpr::atom(k.clone()), SExpr::string(v)]))
+                    .collect(),
+            );
+            items.push(match &s.value {
+                SampleValue::Counter(n) => SExpr::List(vec![
+                    SExpr::atom("counter"),
+                    SExpr::string(&s.name),
+                    labels,
+                    SExpr::atom(n.to_string()),
+                ]),
+                SampleValue::Gauge(n) => SExpr::List(vec![
+                    SExpr::atom("gauge"),
+                    SExpr::string(&s.name),
+                    labels,
+                    SExpr::atom(n.to_string()),
+                ]),
+                SampleValue::Histogram { bounds, counts, sum_micros, count } => {
+                    let mut parts = vec![
+                        SExpr::atom("histogram"),
+                        SExpr::string(&s.name),
+                        labels,
+                        SExpr::atom(sum_micros.to_string()),
+                        SExpr::atom(count.to_string()),
+                    ];
+                    for (i, c) in counts.iter().enumerate() {
+                        let bound = match bounds.get(i) {
+                            Some(b) => format!("{b}"),
+                            None => "inf".to_string(),
+                        };
+                        parts.push(SExpr::List(vec![
+                            SExpr::atom(bound),
+                            SExpr::atom(c.to_string()),
+                        ]));
+                    }
+                    SExpr::List(parts)
+                }
+            });
+        }
+        SExpr::List(items)
+    }
+
+    pub fn from_sexpr(expr: &SExpr) -> Option<Self> {
+        let items = expr.as_list()?;
+        if items.first()?.as_atom() != Some("metrics") {
+            return None;
+        }
+        let mut samples = Vec::new();
+        for item in &items[1..] {
+            let parts = item.as_list()?;
+            let kind = parts.first()?.as_atom()?;
+            let name = parts.get(1)?.as_text()?.to_string();
+            let labels = parts
+                .get(2)?
+                .as_list()?
+                .iter()
+                .map(|pair| {
+                    let kv = pair.as_list()?;
+                    Some((kv.first()?.as_atom()?.to_string(), kv.get(1)?.as_text()?.to_string()))
+                })
+                .collect::<Option<Labels>>()?;
+            let value = match kind {
+                "counter" => SampleValue::Counter(parts.get(3)?.as_atom()?.parse().ok()?),
+                "gauge" => SampleValue::Gauge(parts.get(3)?.as_atom()?.parse().ok()?),
+                "histogram" => {
+                    let sum_micros: u64 = parts.get(3)?.as_atom()?.parse().ok()?;
+                    let count: u64 = parts.get(4)?.as_atom()?.parse().ok()?;
+                    let mut bounds = Vec::new();
+                    let mut counts = Vec::new();
+                    for bucket in &parts[5..] {
+                        let kv = bucket.as_list()?;
+                        let bound = kv.first()?.as_atom()?;
+                        if bound != "inf" {
+                            bounds.push(bound.parse().ok()?);
+                        }
+                        counts.push(kv.get(1)?.as_atom()?.parse().ok()?);
+                    }
+                    SampleValue::Histogram { bounds, counts, sum_micros, count }
+                }
+                _ => return None,
+            };
+            samples.push(Sample { name, labels, value });
+        }
+        Some(MetricsSnapshot { samples })
+    }
+}
+
+/// Renders snapshots from many agents as one exposition, tagging every
+/// sample with an `agent` label identifying its source registry.
+pub fn render_merged(sources: &BTreeMap<String, MetricsSnapshot>) -> String {
+    let tagged: Vec<(&Sample, Option<&str>)> = {
+        let mut v: Vec<(&Sample, Option<&str>)> = sources
+            .iter()
+            .flat_map(|(agent, snap)| snap.samples.iter().map(move |s| (s, Some(agent.as_str()))))
+            .collect();
+        // Group families together regardless of source agent.
+        v.sort_by(|a, b| (&a.0.name, a.1, &a.0.labels).cmp(&(&b.0.name, b.1, &b.0.labels)));
+        v
+    };
+    render_samples(tagged.into_iter())
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn format_labels(labels: &Labels, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .chain(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))))
+        .collect();
+    if pairs.is_empty() {
+        return String::new();
+    }
+    pairs.sort();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn render_samples<'a>(samples: impl Iterator<Item = (&'a Sample, Option<&'a str>)>) -> String {
+    let mut out = String::new();
+    let mut typed: std::collections::BTreeSet<String> = Default::default();
+    for (s, agent) in samples {
+        if typed.insert(s.name.clone()) {
+            let _ = writeln!(out, "# TYPE {} {}", s.name, s.value.kind());
+        }
+        let extra: Vec<(&str, &str)> = agent.map(|a| ("agent", a)).into_iter().collect();
+        match &s.value {
+            SampleValue::Counter(n) => {
+                let _ = writeln!(out, "{}{} {}", s.name, format_labels(&s.labels, &extra), n);
+            }
+            SampleValue::Gauge(n) => {
+                let _ = writeln!(out, "{}{} {}", s.name, format_labels(&s.labels, &extra), n);
+            }
+            SampleValue::Histogram { bounds, counts, sum_micros, count } => {
+                let mut cum = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    let le = match bounds.get(i) {
+                        Some(b) => format!("{b}"),
+                        None => "+Inf".to_string(),
+                    };
+                    let mut extra_with_le = extra.clone();
+                    extra_with_le.push(("le", &le));
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        format_labels(&s.labels, &extra_with_le),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    format_labels(&s.labels, &extra),
+                    *sum_micros as f64 / 1e6
+                );
+                let _ =
+                    writeln!(out, "{}_count{} {}", s.name, format_labels(&s.labels, &extra), count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip_through_the_registry() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", &[("agent", "b1")]);
+        c.inc();
+        c.add(2);
+        // Same identity → same underlying atomic.
+        assert_eq!(reg.counter("requests_total", &[("agent", "b1")]).get(), 3);
+        let g = reg.gauge("queue_depth", &[]);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("queue_depth", &[]).get(), 3);
+    }
+
+    #[test]
+    fn kind_collision_yields_detached_handle() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("thing", &[]);
+        c.inc();
+        let g = reg.gauge("thing", &[]);
+        g.set(99);
+        // The registered counter is unharmed.
+        assert_eq!(reg.counter("thing", &[]).get(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            h.observe(0.5); // first bucket
+        }
+        for _ in 0..50 {
+            h.observe(3.0); // third bucket
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        assert!((0.0..=1.0).contains(&p50), "p50={p50}");
+        let p95 = h.p95();
+        assert!((2.0..=4.0).contains(&p95), "p95={p95}");
+        // Overflow clamps to the last finite bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn render_is_prometheus_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sent_total", &[("transport", "tcp")]).add(7);
+        reg.gauge("depth", &[]).set(-2);
+        let h = reg.histogram("lat_seconds", &[], vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        let text = reg.render();
+        assert!(text.contains("# TYPE sent_total counter"), "{text}");
+        assert!(text.contains("sent_total{transport=\"tcp\"} 7"), "{text}");
+        assert!(text.contains("depth -2"), "{text}");
+        assert!(text.contains("# TYPE lat_seconds histogram"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_sexpr_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("a", "x \"quoted\"")]).add(3);
+        reg.gauge("g", &[]).set(-9);
+        reg.histogram("h", &[("broker", "b1")], vec![0.5, 2.0]).observe(1.0);
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_sexpr(&snap.to_sexpr()).expect("parses back");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn merged_render_tags_sources() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.counter("m_total", &[]).add(1);
+        let reg_b = MetricsRegistry::new();
+        reg_b.counter("m_total", &[]).add(2);
+        let mut sources = BTreeMap::new();
+        sources.insert("agent-a".to_string(), reg_a.snapshot());
+        sources.insert("agent-b".to_string(), reg_b.snapshot());
+        let text = render_merged(&sources);
+        assert_eq!(text.matches("# TYPE m_total counter").count(), 1, "{text}");
+        assert!(text.contains("m_total{agent=\"agent-a\"} 1"), "{text}");
+        assert!(text.contains("m_total{agent=\"agent-b\"} 2"), "{text}");
+    }
+}

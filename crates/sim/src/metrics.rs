@@ -1,5 +1,75 @@
 //! Streaming statistics for simulation metrics.
 
+use infosleuth_obs::{default_latency_buckets, quantile_from_buckets};
+
+/// Fixed-bucket percentile tracker for simulated response times,
+/// sharing bucket bounds and interpolation with the live observability
+/// plane's latency histograms (`infosleuth-obs`) — simulated p50/p95/p99
+/// and scraped p50/p95/p99 are computed by the same code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileStats {
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the implicit `+Inf` slot.
+    counts: Vec<u64>,
+}
+
+impl Default for PercentileStats {
+    fn default() -> Self {
+        PercentileStats::new()
+    }
+}
+
+impl PercentileStats {
+    /// Uses the observability plane's default latency buckets
+    /// (100 µs … 10 s).
+    pub fn new() -> Self {
+        PercentileStats::with_bounds(default_latency_buckets())
+    }
+
+    /// `bounds` must be sorted ascending; an extra `+Inf` slot is
+    /// implicit.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        let counts = vec![0; bounds.len() + 1];
+        PercentileStats { bounds, counts }
+    }
+
+    pub fn record(&mut self, seconds: f64) {
+        let slot = self.bounds.partition_point(|b| *b < seconds);
+        self.counts[slot] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Linear-interpolated quantile estimate (`0.0 ..= 1.0`); overflow
+    /// samples clamp to the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bounds, &self.counts, q)
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another tracker into this one (for aggregating across
+    /// seeds). Both must use the same bucket bounds.
+    pub fn merge(&mut self, other: &PercentileStats) {
+        assert_eq!(self.bounds, other.bounds, "bucket bounds must match to merge");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+}
+
 /// Running mean / min / max / variance (Welford's algorithm), used for
 /// response-time series.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -152,5 +222,47 @@ mod tests {
         let mut empty = RunningStats::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentiles_track_a_skewed_distribution() {
+        let mut p = PercentileStats::new();
+        // 90 fast responses (~2 ms) and 10 slow ones (~2 s).
+        for _ in 0..90 {
+            p.record(0.002);
+        }
+        for _ in 0..10 {
+            p.record(2.0);
+        }
+        assert_eq!(p.count(), 100);
+        assert!(p.p50() <= 0.0025, "p50 {} in the fast bucket", p.p50());
+        assert!(p.p95() >= 1.0, "p95 {} reflects the slow tail", p.p95());
+        assert!(p.p99() >= p.p95());
+    }
+
+    #[test]
+    fn percentile_merge_equals_concatenation() {
+        let mut whole = PercentileStats::new();
+        let mut a = PercentileStats::new();
+        let mut b = PercentileStats::new();
+        for i in 0..100 {
+            let x = 0.0001 * (i as f64 + 1.0);
+            whole.record(x);
+            if i < 40 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_finite_bound() {
+        let mut p = PercentileStats::with_bounds(vec![0.1, 1.0]);
+        p.record(50.0);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.quantile(0.99), 1.0);
     }
 }

@@ -6,28 +6,44 @@
 //! ```text
 //! node A (127.0.0.1:<pa>)          node B (127.0.0.1:<pb>)
 //!   broker-1                         broker-2
-//!   monitor-agent                    ra-c2   (holds class C2)
-//!   mrq-agent
+//!   monitor-agent (+ scrape HTTP)    ra-c2   (holds class C2)
+//!   mrq-agent                        obs.node-b (reporter)
 //!   ra-c1   (holds class C1)
 //!   mhn-user
+//!   obs.node-a (reporter)
 //! ```
 //!
-//! Exits non-zero if any agent counted a delivery failure, so CI can run
-//! this binary as a smoke test for the TCP transport.
+//! Both nodes carry an observability bundle: every dispatch and broker
+//! pipeline stage is traced, both transports record send/recv metrics,
+//! and a reporter per node forwards snapshots + spans to the monitor
+//! agent, which serves the merged registry as Prometheus text over HTTP.
+//!
+//! Exits non-zero if any agent counted a delivery failure, if the
+//! monitor cannot produce one connected trace tree spanning at least
+//! three agents (user query → broker → resource agent), if
+//! `broker_match_requests_total` never moved, or if any histogram in the
+//! scrape is empty — so CI can run this binary as a smoke test for the
+//! TCP transport *and* the metrics plane.
 
-use infosleuth_core::agent::{AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt};
+use infosleuth_core::agent::{
+    spawn_obs_reporter, AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt,
+    LOG_ONTOLOGY,
+};
 use infosleuth_core::broker::{
     interconnect, query_broker, BrokerAgent, BrokerConfig, Repository, SearchPolicy,
 };
+use infosleuth_core::kqml::{Message, Performative, SExpr};
+use infosleuth_core::obs::{build_trace_tree, scrape, Obs, SpanNode, SpanRecord};
 use infosleuth_core::ontology::{paper_class_ontology, AgentType, Ontology, ServiceQuery};
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
 use infosleuth_core::{
     spawn_monitor_agent_on, spawn_mrq_agent_on, spawn_resource_agent_on, MonitorSpec, MrqSpec,
     ResourceDef, ResourceSpec, UserAgent,
 };
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const T: Duration = Duration::from_secs(5);
 
@@ -77,14 +93,27 @@ fn main() -> ExitCode {
         node_b.add_route(agent, node_a.address());
     }
 
+    // --- One observability bundle per node: transports and runtimes ---
+    // feed the same per-node registry/tracer.
+    let obs_a = Obs::new();
+    let obs_b = Obs::new();
+    node_a.set_obs(&obs_a);
+    node_b.set_obs(&obs_b);
+
     // --- One runtime per node; both report failures to the monitor. ---
     let runtime_a = AgentRuntime::new(
         Arc::clone(&node_a) as Arc<dyn Transport>,
-        RuntimeConfig::default().with_workers(8).with_monitor("monitor-agent"),
+        RuntimeConfig::default()
+            .with_workers(8)
+            .with_monitor("monitor-agent")
+            .with_obs(Arc::clone(&obs_a)),
     );
     let runtime_b = AgentRuntime::new(
         Arc::clone(&node_b) as Arc<dyn Transport>,
-        RuntimeConfig::default().with_workers(4).with_monitor("monitor-agent"),
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_monitor("monitor-agent")
+            .with_obs(Arc::clone(&obs_b)),
     );
 
     // --- Brokers, one per node, interconnected across the socket. -----
@@ -111,9 +140,19 @@ fn main() -> ExitCode {
             address: "tcp://monitor.mcc.com:6100".into(),
             brokers: brokers.clone(),
             timeout: T,
+            scrape_addr: Some("127.0.0.1:0".into()),
         },
     )
     .expect("monitor spawns");
+    let scrape_addr = monitor.scrape_addr().expect("scrape endpoint bound");
+    println!("monitor scrape endpoint: curl http://{scrape_addr}/metrics");
+    // A reporter per node forwards that node's registry + span buffer to
+    // the monitor; the short interval doubles as tick traffic, so the
+    // tick-handler histograms are exercised too.
+    let rep_a = spawn_obs_reporter(&runtime_a, "obs.node-a", "monitor-agent", T / 100)
+        .expect("reporter A spawns");
+    let rep_b = spawn_obs_reporter(&runtime_b, "obs.node-b", "monitor-agent", T / 100)
+        .expect("reporter B spawns");
     let mrq = spawn_mrq_agent_on(
         &runtime_a,
         MrqSpec {
@@ -171,6 +210,35 @@ fn main() -> ExitCode {
         assert_eq!(table.len(), want);
     }
 
+    // --- Observability gate 1: one connected cross-agent trace. -------
+    // Dispatch spans close a beat after the requester has its reply;
+    // give them a moment, then force a flush from both nodes and wait
+    // for the monitor to file everything.
+    std::thread::sleep(Duration::from_millis(200));
+    rep_a.flush();
+    rep_b.flush();
+    let deadline = Instant::now() + T;
+    while Instant::now() < deadline
+        && (monitor.snapshot_sources().len() < 2 || monitor.spans().is_empty())
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("monitor aggregates sources: {:?}", monitor.snapshot_sources());
+    assert!(monitor.snapshot_sources().len() >= 2, "both node reporters reached the monitor");
+    let tree = retrieve_connected_trace(&mut probe).expect(
+        "the monitor can reconstruct one connected trace tree spanning \
+         user query → broker → resource agent",
+    );
+    println!("cross-agent trace: {}", infosleuth_core::obs::topology(&tree));
+
+    // --- Observability gate 2: the scrape speaks Prometheus. ----------
+    let text = scrape(&scrape_addr.to_string(), T).expect("scrape answers");
+    let matches = sample_total(&text, "broker_match_requests_total");
+    println!("scrape: {} lines, broker_match_requests_total = {matches}", text.lines().count());
+    assert!(matches > 0.0, "broker_match_requests_total is zero in:\n{text}");
+    let empty = empty_histograms(&text);
+    assert!(empty.is_empty(), "empty histograms in scrape: {empty:?}\n{text}");
+
     // --- Smoke gate: the whole run must be delivery-failure free. -----
     let reported = monitor.delivery_failure_reports() as u64;
     let counted = b1.delivery_failures()
@@ -186,6 +254,8 @@ fn main() -> ExitCode {
     mrq.stop();
     ra1.stop();
     ra2.stop();
+    rep_a.stop();
+    rep_b.stop();
     monitor.stop();
     runtime_a.shutdown();
     runtime_b.shutdown();
@@ -202,4 +272,79 @@ fn names(matches: &[infosleuth_core::broker::MatchResult]) -> Vec<&str> {
     let mut names: Vec<&str> = matches.iter().map(|m| m.name.as_str()).collect();
     names.sort();
     names
+}
+
+/// Asks the monitor (over KQML, like any agent would) for its trace ids,
+/// then pulls each trace's spans until it finds one that reassembles
+/// into a *single* tree crossing at least three agents.
+fn retrieve_connected_trace(probe: &mut infosleuth_core::agent::Endpoint) -> Option<SpanNode> {
+    let ask = |content: SExpr| {
+        Message::new(Performative::AskAll).with_ontology(LOG_ONTOLOGY).with_content(content)
+    };
+    let reply = probe
+        .request("monitor-agent", ask(SExpr::list(vec![SExpr::atom("traces")])), T)
+        .expect("monitor lists traces");
+    let ids: Vec<String> = reply
+        .content()
+        .and_then(SExpr::as_list)
+        .map(|l| l.iter().skip(1).filter_map(|e| e.as_text().map(str::to_string)).collect())
+        .unwrap_or_default();
+    for id in &ids {
+        let reply = probe
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![SExpr::atom("trace"), SExpr::atom(id)])),
+                T,
+            )
+            .expect("monitor returns a trace");
+        let spans: Vec<SpanRecord> = reply
+            .content()
+            .and_then(SExpr::as_list)
+            .map(|l| l.iter().skip(1).filter_map(SpanRecord::from_sexpr).collect())
+            .unwrap_or_default();
+        let Some(trace) = spans.first().map(|r| r.trace) else { continue };
+        let mut roots = build_trace_tree(&spans, trace);
+        if roots.len() == 1 && distinct_agents(&roots[0]).len() >= 3 {
+            return Some(roots.remove(0));
+        }
+    }
+    None
+}
+
+fn distinct_agents(node: &SpanNode) -> BTreeSet<&str> {
+    let mut agents: BTreeSet<&str> = BTreeSet::new();
+    agents.insert(node.agent.as_str());
+    for child in &node.children {
+        agents.extend(distinct_agents(child));
+    }
+    agents
+}
+
+/// Sum of every sample of a counter family in Prometheus text, across
+/// all label sets.
+fn sample_total(text: &str, family: &str) -> f64 {
+    text.lines()
+        .filter(|l| {
+            l.strip_prefix(family)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum()
+}
+
+/// Histogram series whose `_count` sample is zero — i.e. registered but
+/// never observed. The exposition only uses the `_count` suffix for
+/// histograms, so this needs no TYPE lookup.
+fn empty_histograms(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| {
+            let (metric, value) = l.rsplit_once(' ')?;
+            let name = metric.split('{').next()?;
+            if name.ends_with("_count") && value.parse::<f64>() == Ok(0.0) {
+                Some(metric.to_string())
+            } else {
+                None
+            }
+        })
+        .collect()
 }

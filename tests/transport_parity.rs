@@ -4,10 +4,15 @@
 //! unadvertise propagation, and final repository state are compared
 //! structurally.
 
-use infosleuth_core::agent::{Bus, TcpTransport, Transport, TransportExt};
+use infosleuth_core::agent::{
+    AgentRuntime, Bus, RuntimeConfig, TcpTransport, Transport, TransportExt,
+};
 use infosleuth_core::broker::{
     advertise_to, query_broker, unadvertise_from, BrokerAgent, BrokerConfig, BrokerHandle,
     FollowOption, Repository, SearchPolicy,
+};
+use infosleuth_core::obs::{
+    build_trace_tree, forest_topology, trace_ids, Obs, RingSink, SpanRecord, SpanSink,
 };
 use infosleuth_core::ontology::{
     Advertisement, AgentLocation, AgentType, OntologyContent, SemanticInfo, ServiceQuery,
@@ -178,6 +183,113 @@ fn run_over_tcp() -> Outcome {
     b1.stop();
     b2.stop();
     outcome
+}
+
+/// A broker runtime wired into the tracing plane: each broker gets its
+/// own [`Obs`] bundle (as two real nodes would) draining into a ring
+/// sink we can read back after the run.
+fn traced_runtime(transport: Arc<dyn Transport>) -> (AgentRuntime, Arc<RingSink>) {
+    let obs = Obs::new();
+    let sink = Arc::new(RingSink::new(4096));
+    obs.tracer().add_sink(Arc::clone(&sink) as Arc<dyn SpanSink>);
+    let runtime =
+        AgentRuntime::new(transport, RuntimeConfig::default().with_workers(4).with_obs(obs));
+    (runtime, sink)
+}
+
+/// Canonical shape of every trace in a record pile: one topology string
+/// per trace id, sorted. Ids and timings are erased, parent/child
+/// structure and span names (dispatches + pipeline stages) are kept.
+fn trace_topologies(records: &[SpanRecord]) -> Vec<String> {
+    let mut tops: Vec<String> = trace_ids(records)
+        .into_iter()
+        .map(|t| forest_topology(&build_trace_tree(records, t)))
+        .collect();
+    tops.sort();
+    tops
+}
+
+fn traced_run_over_bus() -> Vec<String> {
+    let bus = Bus::new();
+    let (rt1, sink1) = traced_runtime(bus.as_transport());
+    let (rt2, sink2) = traced_runtime(bus.as_transport());
+    let b1 = infosleuth_core::broker::BrokerAgent::spawn_on(
+        &rt1,
+        broker_config("broker-1", 5001),
+        repo(),
+    )
+    .expect("broker-1 spawns");
+    let b2 = infosleuth_core::broker::BrokerAgent::spawn_on(
+        &rt2,
+        broker_config("broker-2", 5002),
+        repo(),
+    )
+    .expect("broker-2 spawns");
+    run_walkthrough(&bus.as_transport(), &b1, &b2);
+    b1.stop();
+    b2.stop();
+    // Join the worker pools before draining: the final dispatch span
+    // drops *after* the requester already has its reply.
+    rt1.shutdown();
+    rt2.shutdown();
+    let mut records = sink1.drain();
+    records.extend(sink2.drain());
+    trace_topologies(&records)
+}
+
+fn traced_run_over_tcp() -> Vec<String> {
+    let node_a = TcpTransport::bind("127.0.0.1:0").expect("bind node A");
+    let node_b = TcpTransport::bind("127.0.0.1:0").expect("bind node B");
+    node_a.add_route("broker-2", node_b.address());
+    for agent in ["broker-1", "probe", "ra-c1", "ra-c2", "ra-c3"] {
+        node_b.add_route(agent, node_a.address());
+    }
+    // Collaborative replies come back to broker-1's ephemeral worker
+    // endpoints (`broker-1.w<n>`); the node-A prefix route covers them.
+    let (rt1, sink1) = traced_runtime(Arc::clone(&node_a) as Arc<dyn Transport>);
+    let (rt2, sink2) = traced_runtime(Arc::clone(&node_b) as Arc<dyn Transport>);
+    let b1 = infosleuth_core::broker::BrokerAgent::spawn_on(
+        &rt1,
+        broker_config("broker-1", 5001),
+        repo(),
+    )
+    .expect("broker-1 spawns");
+    let b2 = infosleuth_core::broker::BrokerAgent::spawn_on(
+        &rt2,
+        broker_config("broker-2", 5002),
+        repo(),
+    )
+    .expect("broker-2 spawns");
+    run_walkthrough(&(Arc::clone(&node_a) as Arc<dyn Transport>), &b1, &b2);
+    b1.stop();
+    b2.stop();
+    rt1.shutdown();
+    rt2.shutdown();
+    let mut records = sink1.drain();
+    records.extend(sink2.drain());
+    trace_topologies(&records)
+}
+
+/// The tracing plane must be deployment-invariant too: running the §4
+/// walkthrough over the in-proc bus and over two TCP nodes produces the
+/// *same set of trace trees* — identical parent/child topology and
+/// identical pipeline stage names.
+#[test]
+fn span_trees_are_transport_agnostic() {
+    let over_bus = traced_run_over_bus();
+    let over_tcp = traced_run_over_tcp();
+    let joined = over_bus.join("\n");
+    // The collaborative C2 search shows up as one connected trace that
+    // crosses both brokers and exposes every pipeline stage.
+    assert!(
+        over_bus.iter().any(|t| t.contains("@broker-1") && t.contains("@broker-2")),
+        "a collaborative query spans both brokers in one trace:\n{joined}"
+    );
+    for stage in ["parse", "analysis", "repository", "saturation", "scoring"] {
+        assert!(joined.contains(stage), "stage '{stage}' is traced:\n{joined}");
+    }
+    assert!(joined.contains("recv:advertise@broker-1"), "advertises are traced:\n{joined}");
+    assert_eq!(over_bus, over_tcp, "span trees differ between bus and TCP");
 }
 
 #[test]
