@@ -28,6 +28,7 @@ mod ping;
 mod runtime;
 mod tcp;
 mod transport;
+mod workpool;
 
 pub use address::{AddressError, AgentAddress};
 pub use broker_lists::{BrokerLists, ReadvertisePlan};
@@ -44,3 +45,4 @@ pub use transport::{
     mailbox, BusError, Endpoint, Envelope, Mailbox, MailboxSender, Requester, Transport,
     TransportError, TransportExt, TransportMetrics,
 };
+pub use workpool::WorkerPool;

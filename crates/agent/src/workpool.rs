@@ -1,0 +1,182 @@
+//! A persistent, bounded worker pool for CPU-bound fan-out work.
+//!
+//! [`AgentRuntime`](crate::AgentRuntime) owns a job queue specialised for
+//! message dispatch; this module generalises the same shape — a
+//! `Mutex<VecDeque>` + `Condvar` queue drained by long-lived named
+//! threads — into a reusable pool for compute jobs. The broker's
+//! matchmaker uses the process-wide [`WorkerPool::shared`] pool to score
+//! large candidate sets without paying a thread-spawn per query (the
+//! scoped-thread design it replaces spawned up to 8 threads on every
+//! query above the parallel threshold).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    inner: Mutex<PoolInner>,
+    available: Condvar,
+    workers: usize,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.shutdown {
+                return;
+            }
+            inner.jobs.push_back(job);
+        }
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads executing boxed jobs.
+///
+/// Jobs must be `'static`: callers share state with workers through
+/// `Arc`s and collect results over channels. Dropping the pool closes the
+/// queue and joins every worker (pending jobs still run).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` named threads (`{label}-{i}`). `workers` is
+    /// clamped to at least 1.
+    pub fn new(label: &str, workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            inner: Mutex::new(PoolInner { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            workers,
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("{label}-{i}"))
+                .spawn(move || {
+                    while let Some(job) = shared.pop() {
+                        job();
+                    }
+                })
+                .expect("spawn pool worker");
+            threads.push(handle);
+        }
+        WorkerPool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Enqueues a job. Jobs submitted after shutdown are silently dropped.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.push(Box::new(job));
+    }
+
+    /// The process-wide compute pool, created on first use and never torn
+    /// down. Sized to `min(available_parallelism, 8)` — matchmaking
+    /// scoring saturates memory bandwidth well before eight cores.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+            WorkerPool::new("compute-pool", cores)
+        })
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.close();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_jobs_on_pool_threads() {
+        let pool = WorkerPool::new("test-pool", 3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                tx.send((i, name)).unwrap();
+            });
+        }
+        drop(tx);
+        let got: Vec<(usize, String)> = rx.iter().collect();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|(_, name)| name.starts_with("test-pool-")));
+    }
+
+    #[test]
+    fn drop_runs_pending_jobs_before_join() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new("drain-pool", 1);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = WorkerPool::shared() as *const WorkerPool;
+        let b = WorkerPool::shared() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::shared().workers() >= 1);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new("clamp-pool", 0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

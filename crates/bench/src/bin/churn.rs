@@ -8,6 +8,7 @@
 //! with it on, the model is patched by delta saturation (additions) and
 //! delete-and-rederive (retractions).
 
+use infosleuth_bench::{median_sample, MEASURE_PASSES};
 use infosleuth_broker::{Matchmaker, Repository};
 use infosleuth_constraint::{Conjunction, Predicate};
 use infosleuth_obs::{Obs, RingSink, SpanSink};
@@ -70,15 +71,17 @@ fn query() -> ServiceQuery {
         )]))
 }
 
-/// Runs churn steps until the step cap or the time budget is hit
-/// (always at least two steps) and returns mean nanoseconds per step.
-/// With `obs` set, the repository runs fully instrumented, as a live
-/// broker would: stage histograms registered plus a bounded ring sink
-/// receiving every pipeline-stage span.
+/// Runs `warmup` untimed churn steps (caches hot, allocator and branch
+/// predictors settled), then timed steps until the step cap or the time
+/// budget is hit (always at least two) and returns mean nanoseconds per
+/// timed step. With `obs` set, the repository runs fully instrumented,
+/// as a live broker would: stage histograms registered plus a bounded
+/// ring sink receiving every pipeline-stage span.
 fn measure(
     n: usize,
     incremental: bool,
     obs: bool,
+    warmup: usize,
     max_steps: usize,
     budget: Duration,
 ) -> (f64, usize) {
@@ -92,13 +95,19 @@ fn measure(
     let mut repo = repo_of(n, incremental, bundle.as_ref());
     let mm = Matchmaker::default();
     let q = query();
-    let mut steps = 0usize;
-    let start = Instant::now();
-    while steps < max_steps && (steps < 2 || start.elapsed() < budget) {
-        let victim = steps % n;
+    let mut step = |i: usize| {
+        let victim = i % n;
         repo.unadvertise(&format!("ra{victim}"));
         repo.advertise(resource_ad(victim)).expect("valid advertisement");
         black_box(mm.match_query_mut(&mut repo, &q));
+    };
+    for i in 0..warmup {
+        step(i);
+    }
+    let mut steps = 0usize;
+    let start = Instant::now();
+    while steps < max_steps && (steps < 2 || start.elapsed() < budget) {
+        step(warmup + steps);
         steps += 1;
     }
     (start.elapsed().as_nanos() as f64 / steps as f64, steps)
@@ -127,9 +136,12 @@ fn main() {
 
     // The instrumentation overhead (obs on vs off) is small relative to
     // machine noise, so those two variants run in interleaved passes —
-    // long enough samples per pass that each pass is meaningful, best
-    // per-step time kept — so drift hits both variants alike.
-    let passes = if quick { 1 } else { 5 };
+    // long enough samples per pass that each pass is meaningful — so
+    // drift hits both variants alike. Each measurement is warmed up and
+    // the *median* pass is reported; best-of-N favoured whichever
+    // variant got the luckiest pass and once produced a negative
+    // overhead (see infosleuth_bench::median_sample).
+    let passes = if quick { 1 } else { MEASURE_PASSES };
     let obs_steps_for = |n: usize| {
         if quick {
             inc_steps
@@ -144,21 +156,23 @@ fn main() {
     };
     let mut rows = Vec::new();
     for &n in sizes {
-        let (mut inc_ns, mut inc_n) = (f64::INFINITY, 0);
-        let (mut obs_ns, mut obs_n) = (f64::INFINITY, 0);
+        let steps = obs_steps_for(n);
+        let warmup = (steps / 10).clamp(2, 200);
+        let mut inc_samples = Vec::with_capacity(passes);
+        let mut obs_samples = Vec::with_capacity(passes);
         for _ in 0..passes {
-            let (ns, steps) = measure(n, true, false, obs_steps_for(n), budget);
-            if ns < inc_ns {
-                (inc_ns, inc_n) = (ns, steps);
-            }
-            let (ns, steps) = measure(n, true, true, obs_steps_for(n), budget);
-            if ns < obs_ns {
-                (obs_ns, obs_n) = (ns, steps);
-            }
+            inc_samples.push(measure(n, true, false, warmup, steps, budget));
+            obs_samples.push(measure(n, true, true, warmup, steps, budget));
         }
-        let (full_ns, full_n) = measure(n, false, false, full_steps, budget);
+        let (inc_ns, inc_n) = median_sample(inc_samples);
+        let (obs_ns, obs_n) = median_sample(obs_samples);
+        let (full_ns, full_n) = measure(n, false, false, 1, full_steps, budget);
         let speedup = full_ns / inc_ns;
         let overhead_pct = (obs_ns / inc_ns - 1.0) * 100.0;
+        // Anything the median still reports below zero is measurement
+        // floor, not a real speedup from instrumentation: clamp so the
+        // tracked JSON never claims an impossible negative overhead.
+        let overhead_clamped = overhead_pct.max(0.0);
         println!(
             "  {n:6}   {:>16}   {:>15}   {speedup:6.1}x   {:>9}   {overhead_pct:+10.1}%",
             human(inc_ns),
@@ -173,7 +187,7 @@ fn main() {
                 "\"incremental_obs_ns_per_step\": {:.0}, \"incremental_obs_steps\": {}, ",
                 "\"obs_overhead_pct\": {:.2}}}"
             ),
-            n, inc_ns, inc_n, full_ns, full_n, speedup, obs_ns, obs_n, overhead_pct
+            n, inc_ns, inc_n, full_ns, full_n, speedup, obs_ns, obs_n, overhead_clamped
         ));
     }
 

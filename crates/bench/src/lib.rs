@@ -96,6 +96,30 @@ pub fn parse_args() -> HarnessOptions {
     HarnessOptions { params, seed, quick }
 }
 
+/// Number of timed passes per measurement in the bench binaries.
+pub const MEASURE_PASSES: usize = 5;
+
+/// Sorts `(value, meta)` samples by value and returns the middle sample
+/// (lower-middle for even counts, so the result is always a real
+/// measurement, never an interpolation).
+///
+/// Bench binaries report median-of-N rather than best-of-N: best-of-N
+/// systematically favours whichever variant happened to catch less
+/// scheduler noise on its luckiest pass, which is how an earlier
+/// `BENCH_churn.json` reported a physically impossible *negative*
+/// observability overhead at 1k agents. The median is robust to
+/// one-sided outliers and compares variants on equal footing.
+pub fn median_sample<M: Copy>(mut samples: Vec<(f64, M)>) -> (f64, M) {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Median of plain values; see [`median_sample`].
+pub fn median(samples: Vec<f64>) -> f64 {
+    median_sample(samples.into_iter().map(|v| (v, ())).collect()).0
+}
+
 /// Formats a ratio/number column entry.
 pub fn fmt(v: f64) -> String {
     if v.is_nan() {
@@ -140,6 +164,18 @@ mod tests {
         assert_eq!(paper_table4("XX"), None);
         assert_eq!(PAPER_TABLE5.len(), 4);
         assert_eq!(PAPER_TABLE6[0].1[4], 100.0);
+    }
+
+    #[test]
+    fn median_is_a_real_sample_and_robust_to_outliers() {
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![9.0, 1.0, 5.0]), 5.0);
+        // Even count: lower-middle, still a real sample.
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.0);
+        // One wild outlier does not move the median (it would set best-of-N).
+        assert_eq!(median(vec![10.0, 11.0, 0.1, 12.0, 10.5]), 10.5);
+        let (v, meta) = median_sample(vec![(2.0, "b"), (1.0, "a"), (3.0, "c")]);
+        assert_eq!((v, meta), (2.0, "b"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! tick, which the runtime guarantees never overlaps itself.
 
 use crate::codec;
+use crate::match_cache::{MatchCache, MatchCacheStats, DEFAULT_MATCH_CACHE_CAPACITY};
 use crate::matchmaker::{MatchResult, Matchmaker};
 use crate::objective::{AdmissionDecision, BrokerObjective};
 use crate::policy::SearchPolicy;
@@ -108,6 +109,9 @@ impl BrokerConfig {
 struct Shared {
     config: BrokerConfig,
     repo: Mutex<Repository>,
+    /// Epoch-tagged LRU over local match results; consulted (and filled)
+    /// by every ask/recommend before any scoring happens.
+    cache: MatchCache,
     obs: BrokerObs,
 }
 
@@ -210,7 +214,9 @@ impl BrokerAgent {
     ) -> Result<BrokerHandle, BusError> {
         repo.set_obs(runtime.obs(), &config.name);
         let obs = BrokerObs::new(runtime.obs(), &config.name);
-        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), obs });
+        let cache = MatchCache::new(DEFAULT_MATCH_CACHE_CAPACITY)
+            .with_obs(runtime.obs().registry(), &config.name);
+        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), cache, obs });
         let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
         let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
         Ok(BrokerHandle { shared, agent, _runtime: None })
@@ -226,6 +232,11 @@ impl BrokerHandle {
     /// pre-seeding).
     pub fn with_repository<T>(&self, f: impl FnOnce(&mut Repository) -> T) -> T {
         f(&mut self.shared.repo.lock())
+    }
+
+    /// Hit/miss/eviction/stale counters of this broker's match cache.
+    pub fn match_cache_stats(&self) -> MatchCacheStats {
+        self.shared.cache.stats()
     }
 
     /// Sends by this broker that the transport refused (each one was also
@@ -563,12 +574,27 @@ fn collaborative_search(
     untruncated.max_matches = None;
     let mut matches = {
         let mut repo = shared.repo.lock();
-        // Obtaining the model records the "saturation" stage via the
-        // repository's hooks; candidate narrowing + scoring is its own
-        // stage so one ask-all trace shows the full pipeline.
-        let model = repo.saturated();
-        let _t = shared.obs.obs.stage(&shared.obs.scoring, "scoring");
-        shared.config.matchmaker.match_query(&repo, &model, &untruncated)
+        // The cache keys the untruncated query, so every policy variant of
+        // the same request shares one entry; peer expansion below always
+        // runs against the request's own policy.
+        let key = MatchCache::query_key(&untruncated);
+        match shared.cache.lookup_keyed(repo.epoch(), &key) {
+            // Peer expansion / truncation below mutate the list, so the
+            // shared rows are copied out here; the copy is proportional
+            // to the answer, not to the scoring work a hit skipped.
+            Some(hit) => (*hit).clone(),
+            None => {
+                // Obtaining the model records the "saturation" stage via the
+                // repository's hooks; candidate narrowing + scoring is its
+                // own stage so one ask-all trace shows the full pipeline.
+                let model = repo.saturated();
+                let _t = shared.obs.obs.stage(&shared.obs.scoring, "scoring");
+                let computed =
+                    Arc::new(shared.config.matchmaker.match_query(&repo, &model, &untruncated));
+                shared.cache.insert_keyed(repo.epoch(), key, Arc::clone(&computed));
+                (*computed).clone()
+            }
+        }
     };
 
     if request.policy.should_expand(matches.len()) {

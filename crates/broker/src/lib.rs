@@ -32,10 +32,12 @@ pub mod codec;
 
 mod broker_agent;
 mod facts;
+mod match_cache;
 mod matchmaker;
 mod objective;
 mod policy;
 mod repository;
+mod scoring_index;
 
 pub use broker_agent::{
     advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from, BrokerAgent,
@@ -45,7 +47,9 @@ pub use facts::{
     compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
     matchmaking_env, matchmaking_program, matchmaking_program_with, matchmaking_rules_text,
 };
+pub use match_cache::{MatchCache, MatchCacheStats, QueryKey, DEFAULT_MATCH_CACHE_CAPACITY};
 pub use matchmaker::{MatchResult, Matchmaker};
 pub use objective::{AdmissionDecision, BrokerObjective};
 pub use policy::{FollowOption, SearchPolicy};
 pub use repository::{MaintenanceStats, Repository, RepositoryError};
+pub use scoring_index::ScoringIndex;

@@ -8,10 +8,13 @@
 //! order. The two `use_*` knobs exist for the ablation benchmarks only.
 
 use crate::repository::Repository;
+use crate::scoring_index::ScoringIndex;
+use infosleuth_agent::WorkerPool;
 use infosleuth_ldl::{Atom, Literal, Saturated, Term};
 use infosleuth_ontology::{Advertisement, OntologyContent, ServiceQuery};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::{mpsc, Arc};
 
 /// One recommended agent, with the ranking score that ordered it and the
 /// §2.4 *result format* fields: the matched ontology plus the agent's
@@ -68,10 +71,56 @@ const SCORE_CONSTRAINT_COVERS_REQUEST: u32 = 3;
 const SCORE_CONSTRAINT_SPECIALIST: u32 = 2;
 const SCORE_CONSTRAINT_OVERLAP: u32 = 1;
 
-/// Candidate sets at least this large are scored across a scoped thread
-/// pool; below it, thread spawn overhead dominates the scoring work.
-const PARALLEL_SCORING_THRESHOLD: usize = 64;
+/// Candidate sets at least this large are scored across the shared
+/// persistent worker pool; below it, dispatch overhead dominates the
+/// scoring work. With the pool replacing per-query thread spawns the
+/// crossover moved down from 64 — see the threshold measurement in
+/// EXPERIMENTS.md.
+const PARALLEL_SCORING_THRESHOLD: usize = 32;
 const MAX_SCORING_THREADS: usize = 8;
+
+/// How semantic scoring probes the derived predicates: through the
+/// integer-keyed [`ScoringIndex`] when the repository has a current one,
+/// or through `Saturated::holds` (building a ground atom per probe) when
+/// indexing is unavailable — derived rules registered, index disabled, or
+/// a stale model snapshot. Both answer exactly the same relation, which
+/// the parity suite asserts.
+enum SemProbe<'a> {
+    Index(&'a ScoringIndex),
+    Model(&'a Saturated),
+}
+
+impl SemProbe<'_> {
+    fn provides(&self, agent: &str, capability: &str) -> bool {
+        match self {
+            SemProbe::Index(ix) => ix.provides(agent, capability),
+            SemProbe::Model(m) => m.holds(&[Literal::Pos(Atom::new(
+                "provides",
+                vec![Term::constant(agent), Term::constant(capability)],
+            ))]),
+        }
+    }
+
+    fn serves_class(&self, agent: &str, ontology: &str, class: &str) -> bool {
+        match self {
+            SemProbe::Index(ix) => ix.serves_class(agent, ontology, class),
+            SemProbe::Model(m) => m.holds(&[Literal::Pos(Atom::new(
+                "serves_class",
+                vec![Term::constant(agent), Term::constant(ontology), Term::constant(class)],
+            ))]),
+        }
+    }
+
+    fn contributes_class(&self, agent: &str, ontology: &str, class: &str) -> bool {
+        match self {
+            SemProbe::Index(ix) => ix.contributes_class(agent, ontology, class),
+            SemProbe::Model(m) => m.holds(&[Literal::Pos(Atom::new(
+                "contributes_class",
+                vec![Term::constant(agent), Term::constant(ontology), Term::constant(class)],
+            ))]),
+        }
+    }
+}
 
 impl Matchmaker {
     /// Matches a service query against the repository, returning
@@ -88,36 +137,88 @@ impl Matchmaker {
     pub fn match_query(
         &self,
         repo: &Repository,
-        model: &Saturated,
+        model: &Arc<Saturated>,
         query: &ServiceQuery,
     ) -> Vec<MatchResult> {
+        let index = repo.scoring_index(model);
         let candidates = self.candidates(repo, query);
-        let results = if candidates.len() >= PARALLEL_SCORING_THRESHOLD {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(MAX_SCORING_THREADS);
-            let chunk = candidates.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|ads| {
-                        s.spawn(move || {
-                            ads.iter()
-                                .filter_map(|ad| self.score_candidate(ad, query, model))
-                                .collect::<Vec<MatchResult>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("scoring thread panicked"))
-                    .collect()
-            })
+        // Fan out only when the pool actually has parallelism to offer:
+        // with a single worker the chunking/channel overhead is a strict
+        // loss (measured in EXPERIMENTS.md).
+        let results = if candidates.len() >= PARALLEL_SCORING_THRESHOLD
+            && WorkerPool::shared().workers() > 1
+        {
+            self.score_parallel(&candidates, model, index, query)
         } else {
-            candidates.iter().filter_map(|ad| self.score_candidate(ad, query, model)).collect()
+            let probe = match index {
+                Some(ix) => SemProbe::Index(ix),
+                None => SemProbe::Model(model),
+            };
+            candidates.iter().filter_map(|ad| self.score_candidate(ad, query, &probe)).collect()
         };
         rank(results, query)
+    }
+
+    /// Forces the pooled scoring path regardless of candidate count or
+    /// worker count. Exists for the crossover measurement behind
+    /// `PARALLEL_SCORING_THRESHOLD` (`match --crossover`) and for tests;
+    /// production callers use [`match_query`](Self::match_query), which
+    /// picks the path itself.
+    #[doc(hidden)]
+    pub fn match_query_pooled(
+        &self,
+        repo: &Repository,
+        model: &Arc<Saturated>,
+        query: &ServiceQuery,
+    ) -> Vec<MatchResult> {
+        let index = repo.scoring_index(model);
+        let candidates = self.candidates(repo, query);
+        rank(self.score_parallel(&candidates, model, index, query), query)
+    }
+
+    /// Fans candidate chunks out to the shared persistent worker pool.
+    /// Jobs borrow nothing: advertisements, model, index, and query travel
+    /// as `Arc`s, so the pool threads can outlive this call frame.
+    fn score_parallel(
+        &self,
+        candidates: &[&Arc<Advertisement>],
+        model: &Arc<Saturated>,
+        index: Option<&Arc<ScoringIndex>>,
+        query: &ServiceQuery,
+    ) -> Vec<MatchResult> {
+        let pool = WorkerPool::shared();
+        let workers = pool.workers().min(MAX_SCORING_THREADS);
+        let chunk = candidates.len().div_ceil(workers).max(1);
+        let query = Arc::new(query.clone());
+        let (tx, rx) = mpsc::channel::<Vec<MatchResult>>();
+        let mut jobs = 0usize;
+        for ads in candidates.chunks(chunk) {
+            let ads: Vec<Arc<Advertisement>> = ads.iter().map(|a| Arc::clone(a)).collect();
+            let model = Arc::clone(model);
+            let index = index.map(Arc::clone);
+            let query = Arc::clone(&query);
+            let mm = *self;
+            let tx = tx.clone();
+            pool.execute(move || {
+                let probe = match &index {
+                    Some(ix) => SemProbe::Index(ix),
+                    None => SemProbe::Model(&model),
+                };
+                let out: Vec<MatchResult> =
+                    ads.iter().filter_map(|ad| mm.score_candidate(ad, &query, &probe)).collect();
+                let _ = tx.send(out);
+            });
+            jobs += 1;
+        }
+        drop(tx);
+        let mut all = Vec::new();
+        let mut received = 0usize;
+        for out in rx {
+            all.extend(out);
+            received += 1;
+        }
+        assert_eq!(received, jobs, "scoring pool dropped a job (worker panicked?)");
+        all
     }
 
     /// Convenience wrapper that saturates (or reuses) the repository's
@@ -125,6 +226,28 @@ impl Matchmaker {
     pub fn match_query_mut(&self, repo: &mut Repository, query: &ServiceQuery) -> Vec<MatchResult> {
         let model = repo.saturated();
         self.match_query(repo, &model, query)
+    }
+
+    /// The fully cached query path: consult `cache` at the repository's
+    /// current mutation epoch, and only on a miss saturate + score +
+    /// populate. A hit skips candidate narrowing and scoring entirely,
+    /// and both hit and miss exchange `Arc` clones — no result row is
+    /// ever deep-copied by the cache machinery.
+    pub fn match_query_cached(
+        &self,
+        repo: &mut Repository,
+        cache: &crate::MatchCache,
+        query: &ServiceQuery,
+    ) -> Arc<Vec<MatchResult>> {
+        let epoch = repo.epoch();
+        let key = crate::MatchCache::query_key(query);
+        if let Some(hit) = cache.lookup_keyed(epoch, &key) {
+            return hit;
+        }
+        let model = repo.saturated();
+        let results = Arc::new(self.match_query(repo, &model, query));
+        cache.insert_keyed(epoch, key, Arc::clone(&results));
+        results
     }
 
     /// The pre-index reference path: score every advertisement serially.
@@ -137,38 +260,60 @@ impl Matchmaker {
         model: &Saturated,
         query: &ServiceQuery,
     ) -> Vec<MatchResult> {
+        let probe = SemProbe::Model(model);
         let results = repo
             .agents()
             .filter(|ad| match &query.agent_name {
                 Some(name) => name == &ad.location.name,
                 None => true,
             })
-            .filter_map(|ad| self.score_candidate(ad, query, model))
+            .filter_map(|ad| self.score_candidate(ad, query, &probe))
             .collect();
         rank(results, query)
     }
 
     /// Narrows the scoring set through the repository's inverted indexes.
-    /// Each pushed set is a sound over-approximation of the agents that
+    /// Each built set is a sound over-approximation of the agents that
     /// can match one query dimension; their intersection still contains
     /// every true match. Dimensions that cannot be soundly pruned (no
     /// index, derived rules in play, semantic layer disabled) simply do
-    /// not push a set; with no sets at all this degrades to the full scan.
-    fn candidates<'r>(&self, repo: &'r Repository, query: &ServiceQuery) -> Vec<&'r Advertisement> {
+    /// not contribute a set; with no sets at all this degrades to the
+    /// full scan.
+    ///
+    /// Any empty dimension set short-circuits the whole query before the
+    /// remaining dimensions are materialized, and the intersection walks
+    /// the smallest set probing the others instead of repeatedly
+    /// `retain`ing a large accumulator.
+    fn candidates<'r>(
+        &self,
+        repo: &'r Repository,
+        query: &ServiceQuery,
+    ) -> Vec<&'r Arc<Advertisement>> {
         if let Some(name) = &query.agent_name {
-            return repo.advertisement(name).into_iter().collect();
+            return repo.advertisement_arc(name).into_iter().collect();
         }
         let mut sets: Vec<BTreeSet<&str>> = Vec::new();
+        // Pushes one dimension set; an empty one proves no agent can
+        // match, so the caller returns immediately (`false`).
+        macro_rules! dimension {
+            ($set:expr) => {{
+                let set: BTreeSet<&str> = $set;
+                if set.is_empty() {
+                    return Vec::new();
+                }
+                sets.push(set);
+            }};
+        }
         // Conversation requirements are matched verbatim against the
         // advertisement, so the index is exact.
         for conv in &query.conversations {
-            sets.push(repo.agents_with_conversation(&conv.to_string()).collect());
+            dimension!(repo.agents_with_conversation(&conv.to_string()).collect());
         }
         if self.use_semantic {
             // A required ontology means only content records of that
             // ontology can carry the semantic match.
             if let Some(onto) = &query.ontology {
-                sets.push(repo.agents_with_ontology(onto).collect());
+                dimension!(repo.agents_with_ontology(onto).collect());
                 // Each requested class must be advertised exactly, via an
                 // advertised ancestor (full coverage), or an advertised
                 // descendant (partial contribution). Derived rules can
@@ -187,7 +332,7 @@ impl Matchmaker {
                                 set.extend(repo.agents_with_class(onto, &rel));
                             }
                         }
-                        sets.push(set);
+                        dimension!(set);
                     }
                 }
             }
@@ -201,20 +346,20 @@ impl Matchmaker {
                     for anc in repo.capability_taxonomy().ancestors(cap.as_str()) {
                         set.extend(repo.agents_with_capability(&anc));
                     }
-                    sets.push(set);
+                    dimension!(set);
                 }
             }
         }
-        let Some(mut acc) = sets.pop() else {
-            return repo.agents().collect();
-        };
-        for set in sets {
-            acc.retain(|name| set.contains(name));
-            if acc.is_empty() {
-                break;
-            }
+        if sets.is_empty() {
+            return repo.agent_arcs().collect();
         }
-        acc.into_iter().filter_map(|name| repo.advertisement(name)).collect()
+        let smallest =
+            sets.iter().enumerate().min_by_key(|(_, s)| s.len()).map(|(i, _)| i).unwrap_or(0);
+        let base = sets.swap_remove(smallest);
+        base.into_iter()
+            .filter(|name| sets.iter().all(|s| s.contains(name)))
+            .filter_map(|name| repo.advertisement_arc(name))
+            .collect()
     }
 
     /// Scores one advertisement and assembles its result row.
@@ -222,9 +367,9 @@ impl Matchmaker {
         &self,
         ad: &Advertisement,
         query: &ServiceQuery,
-        model: &Saturated,
+        probe: &SemProbe<'_>,
     ) -> Option<MatchResult> {
-        let outcome = self.score_agent(ad, query, model)?;
+        let outcome = self.score_agent(ad, query, probe)?;
         let content = outcome.content_ontology.and_then(|o| ad.semantic.content_for(o));
         Some(MatchResult {
             name: ad.location.name.clone(),
@@ -243,7 +388,7 @@ impl Matchmaker {
         &self,
         ad: &'a Advertisement,
         query: &ServiceQuery,
-        model: &Saturated,
+        probe: &SemProbe<'_>,
     ) -> Option<MatchOutcome<'a>> {
         // ---- Syntactic layer -------------------------------------------
         if let Some(t) = &query.agent_type {
@@ -273,14 +418,11 @@ impl Matchmaker {
         }
 
         // ---- Semantic layer: capabilities ------------------------------
-        let agent = Term::constant(ad.location.name.as_str());
+        let agent = ad.location.name.as_str();
         for cap in &query.capabilities {
             if ad.semantic.capabilities.contains(cap) {
                 score += SCORE_CAP_EXACT;
-            } else if model.holds(&[Literal::Pos(Atom::new(
-                "provides",
-                vec![agent.clone(), Term::constant(cap.as_str())],
-            ))]) {
+            } else if probe.provides(agent, cap.as_str()) {
                 score += SCORE_CAP_COVERED;
             } else {
                 return None;
@@ -298,7 +440,7 @@ impl Matchmaker {
             let (best_score, best_ontology) = candidates
                 .iter()
                 .filter_map(|c| {
-                    self.score_content(&agent, c, query, model).map(|s| (s, c.ontology.as_str()))
+                    self.score_content(agent, c, query, probe).map(|s| (s, c.ontology.as_str()))
                 })
                 .max_by_key(|(s, _)| *s)?;
             score += best_score;
@@ -335,32 +477,25 @@ impl Matchmaker {
     }
 
     /// Scores one content record; `None` means this record cannot serve the
-    /// query. The agent's name term is built once per agent by the caller.
+    /// query.
     fn score_content(
         &self,
-        agent: &Term,
+        agent: &str,
         content: &OntologyContent,
         query: &ServiceQuery,
-        model: &Saturated,
+        probe: &SemProbe<'_>,
     ) -> Option<u32> {
         let mut score = 0;
-        let onto = Term::constant(content.ontology.as_str());
+        let onto = content.ontology.as_str();
 
         // Classes: every requested class must at least receive a partial
         // contribution (the MRQ combines fragments and subclasses).
         for class in &query.classes {
-            let class_t = Term::constant(class.as_str());
             if content.classes.contains(class) {
                 score += SCORE_CLASS_EXACT;
-            } else if model.holds(&[Literal::Pos(Atom::new(
-                "serves_class",
-                vec![agent.clone(), onto.clone(), class_t.clone()],
-            ))]) {
+            } else if probe.serves_class(agent, onto, class) {
                 score += SCORE_CLASS_COVERED;
-            } else if model.holds(&[Literal::Pos(Atom::new(
-                "contributes_class",
-                vec![agent.clone(), onto.clone(), class_t],
-            ))]) {
+            } else if probe.contributes_class(agent, onto, class) {
                 score += SCORE_CLASS_PARTIAL;
             } else {
                 return None;
@@ -368,24 +503,29 @@ impl Matchmaker {
         }
 
         // Slots: when both sides list slots, they must overlap (bare and
-        // qualified spellings both accepted).
+        // qualified spellings both accepted). Borrowed suffixes — no
+        // per-slot `String`.
         if !query.slots.is_empty() && !content.slots.is_empty() {
-            let bare = |s: &str| s.rsplit('.').next().unwrap_or(s).to_string();
-            let advertised: std::collections::BTreeSet<String> =
-                content.slots.iter().map(|s| bare(s)).collect();
-            if !query.slots.iter().any(|s| advertised.contains(&bare(s))) {
+            fn bare(s: &str) -> &str {
+                s.rsplit('.').next().unwrap_or(s)
+            }
+            let advertised: BTreeSet<&str> = content.slots.iter().map(|s| bare(s)).collect();
+            if !query.slots.iter().any(|s| advertised.contains(bare(s))) {
                 return None;
             }
         }
 
         // Fragments: a fragment advertised for a requested class must be
-        // able to contribute to the request.
-        let requested_slots: Vec<String> = query.slots.iter().cloned().collect();
-        for (class, frag) in &content.fragments {
-            if query.classes.contains(class)
-                && !frag.contributes_to(&requested_slots, &query.constraints)
-            {
-                return None;
+        // able to contribute to the request. The requested-slot list is
+        // only materialized when a fragment actually needs checking.
+        if !content.fragments.is_empty() {
+            let requested_slots: Vec<String> = query.slots.iter().cloned().collect();
+            for (class, frag) in &content.fragments {
+                if query.classes.contains(class)
+                    && !frag.contributes_to(&requested_slots, &query.constraints)
+                {
+                    return None;
+                }
             }
         }
 

@@ -10,6 +10,7 @@
 use crate::facts::{
     compile_agent_facts, compile_global_facts, matchmaking_env, matchmaking_program_with,
 };
+use crate::scoring_index::ScoringIndex;
 use infosleuth_agent::AgentAddress;
 use infosleuth_analysis::{analyze_advertisement, analyze_ldl_source, AdContext, Report, Severity};
 use infosleuth_ldl::{parse_rules, Database, LdlParseError, Program, Rule, Saturated};
@@ -166,7 +167,10 @@ impl AdIndex {
 /// when the rule base makes incremental maintenance unsound.
 #[derive(Clone)]
 pub struct Repository {
-    agents: BTreeMap<String, Advertisement>,
+    /// Advertisements are `Arc`ed so matchmaking can hand candidate sets
+    /// to the persistent scoring pool as owned (`'static`) handles
+    /// without cloning advertisement bodies.
+    agents: BTreeMap<String, Arc<Advertisement>>,
     brokers: BTreeMap<String, BrokerAdvertisement>,
     capability_taxonomy: Taxonomy,
     ontologies: BTreeMap<String, Ontology>,
@@ -179,7 +183,21 @@ pub struct Repository {
     program: Option<Arc<Program>>,
     index: AdIndex,
     saturated: Option<Arc<Saturated>>,
+    /// Integer-keyed projections of the derived predicates scoring probes,
+    /// kept in lockstep with `saturated` (see [`ScoringIndex`]). `None`
+    /// while disabled, while derived rules are registered (agent-local
+    /// incremental refresh would be unsound), or until the next
+    /// [`saturated`](Self::saturated) call rebuilds it.
+    scoring: Option<Arc<ScoringIndex>>,
+    /// Address of the `Saturated` the scoring index was built against, so
+    /// a reader holding a stale model never scores through a newer index.
+    scoring_model: usize,
+    scoring_enabled: bool,
     incremental: bool,
+    /// Bumped on every mutation that can change matchmaking results
+    /// (advertise/unadvertise/ontology/rule registration); match caches
+    /// tag entries with it and treat a mismatch as a miss.
+    epoch: u64,
     stats: MaintenanceStats,
     /// Stage-timing hooks (see [`Repository::set_obs`]); `None` keeps the
     /// repository observability-free for standalone use and benchmarks.
@@ -227,7 +245,11 @@ impl Repository {
             program: None,
             index: AdIndex::default(),
             saturated: None,
+            scoring: None,
+            scoring_model: 0,
+            scoring_enabled: true,
             incremental: true,
+            epoch: 0,
             stats: MaintenanceStats::default(),
             obs: None,
         }
@@ -257,6 +279,8 @@ impl Repository {
         // model (ontology registration is rare; churn is advertisements).
         self.rebuild_edb();
         self.saturated = None;
+        self.scoring = None;
+        self.epoch += 1;
     }
 
     fn rebuild_edb(&mut self) {
@@ -316,6 +340,8 @@ impl Repository {
         self.derived_rules = candidate;
         self.program = None;
         self.saturated = None;
+        self.scoring = None;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -406,8 +432,9 @@ impl Repository {
             }
         }
         let mutation = hooks.as_ref().map(|o| o.stage("repository"));
+        let ad = Arc::new(ad);
         let added = compile_agent_facts(&ad);
-        let removed = match self.agents.insert(ad.location.name.clone(), ad.clone()) {
+        let removed = match self.agents.insert(ad.location.name.clone(), Arc::clone(&ad)) {
             Some(old) => {
                 self.index.remove(&old);
                 let old_facts = compile_agent_facts(&old);
@@ -418,8 +445,9 @@ impl Repository {
         };
         self.index.insert(&ad);
         self.edb.merge(&added);
+        self.epoch += 1;
         drop(mutation);
-        self.patch_model(removed.as_ref(), Some(&added));
+        self.patch_model(removed.as_ref(), Some(&added), &ad.location.name);
         Ok(())
     }
 
@@ -434,8 +462,9 @@ impl Repository {
                 self.index.remove(&old);
                 let old_facts = compile_agent_facts(&old);
                 self.edb.subtract(&old_facts);
+                self.epoch += 1;
                 drop(mutation);
-                self.patch_model(Some(&old_facts), None);
+                self.patch_model(Some(&old_facts), None, agent);
                 true
             }
             None => false,
@@ -447,11 +476,17 @@ impl Repository {
     /// call recomputes from the (already updated) EDB. When incremental
     /// maintenance is disabled or refused (negation in derived rules), the
     /// cache is dropped instead.
-    fn patch_model(&mut self, removed: Option<&Database>, added: Option<&Database>) {
+    fn patch_model(&mut self, removed: Option<&Database>, added: Option<&Database>, agent: &str) {
         let hooks = self.obs.clone();
         let _t = hooks.as_ref().map(|o| o.stage("saturation"));
-        let Some(mut cached) = self.saturated.take() else { return };
+        let Some(mut cached) = self.saturated.take() else {
+            // No model to patch, so no index either; the next `saturated`
+            // call rebuilds both.
+            self.scoring = None;
+            return;
+        };
         if !self.incremental {
+            self.scoring = None;
             return;
         }
         let program = self.program();
@@ -459,6 +494,7 @@ impl Repository {
             // The in-place patches would refuse anyway; drop the cache so
             // the next read resaturates, and record the fallback.
             self.stats.fallbacks += 1;
+            self.scoring = None;
             return;
         }
         // Patch in place when no other handle holds the model (the common
@@ -474,9 +510,18 @@ impl Repository {
         }
         if ok {
             self.stats.incremental_updates += 1;
+            // Keep the scoring index in lockstep: one agent's derived rows
+            // changed, so replace exactly those (sound while the rule base
+            // keeps derived facts agent-local — `scoring` is `None`
+            // whenever derived rules are registered).
+            if let Some(scoring) = &mut self.scoring {
+                Arc::make_mut(scoring).refresh_agent(&cached, agent);
+                self.scoring_model = Arc::as_ptr(&cached) as usize;
+            }
             self.saturated = Some(cached);
         } else {
             self.stats.fallbacks += 1;
+            self.scoring = None;
         }
     }
 
@@ -494,7 +539,18 @@ impl Repository {
     }
 
     pub fn advertisement(&self, agent: &str) -> Option<&Advertisement> {
+        self.agents.get(agent).map(|a| &**a)
+    }
+
+    /// The shared handle for an agent's advertisement — what the scoring
+    /// pool clones instead of the advertisement body.
+    pub fn advertisement_arc(&self, agent: &str) -> Option<&Arc<Advertisement>> {
         self.agents.get(agent)
+    }
+
+    /// Shared handles for every advertisement, in name order.
+    pub fn agent_arcs(&self) -> impl Iterator<Item = &Arc<Advertisement>> {
+        self.agents.values()
     }
 
     pub fn contains_agent(&self, agent: &str) -> bool {
@@ -502,7 +558,7 @@ impl Repository {
     }
 
     pub fn agents(&self) -> impl Iterator<Item = &Advertisement> {
-        self.agents.values()
+        self.agents.values().map(|a| &**a)
     }
 
     pub fn agent_names(&self) -> impl Iterator<Item = &str> {
@@ -528,7 +584,7 @@ impl Repository {
     /// Total advertised bytes — what the simulator charges reasoning time
     /// against (1 second per megabyte of advertisements).
     pub fn approx_size_bytes(&self) -> usize {
-        self.agents.values().map(Advertisement::approx_size_bytes).sum()
+        self.agents.values().map(|a| a.approx_size_bytes()).sum()
     }
 
     /// The compiled rule program (standard matchmaking base plus derived
@@ -555,14 +611,62 @@ impl Repository {
         let hooks = self.obs.clone();
         let _t = hooks.as_ref().map(|o| o.stage("saturation"));
         if let Some(s) = &self.saturated {
-            return Arc::clone(s);
+            let model = Arc::clone(s);
+            self.ensure_scoring_index(&model);
+            return model;
         }
         let program = self.program();
         let model = program.saturate(&self.edb).expect("matchmaking program is stratified");
         self.stats.full_recomputes += 1;
         let arc = Arc::new(model);
         self.saturated = Some(Arc::clone(&arc));
+        self.scoring = None;
+        self.ensure_scoring_index(&arc);
         arc
+    }
+
+    /// Builds the scoring index against `model` if it is enabled, sound
+    /// (no derived rules), and not already present.
+    fn ensure_scoring_index(&mut self, model: &Arc<Saturated>) {
+        if !self.scoring_enabled || self.has_derived_rules() {
+            self.scoring = None;
+            return;
+        }
+        if self.scoring.is_none() {
+            self.scoring = Some(Arc::new(ScoringIndex::build(model)));
+            self.scoring_model = Arc::as_ptr(model) as usize;
+        }
+    }
+
+    /// The scoring index matching `model`, if one is available. Returns
+    /// `None` when indexing is disabled, derived rules are registered, or
+    /// `model` is not the model the index was built against (a reader
+    /// holding a stale snapshot must not score through a newer index).
+    pub fn scoring_index(&self, model: &Saturated) -> Option<&Arc<ScoringIndex>> {
+        let index = self.scoring.as_ref()?;
+        if std::ptr::eq(model, self.scoring_model as *const Saturated) {
+            Some(index)
+        } else {
+            None
+        }
+    }
+
+    /// Enables or disables the derived-fact scoring index. With it off,
+    /// scoring probes fall back to `Saturated::holds` — the
+    /// pre-optimization behavior, kept as a correctness oracle and for
+    /// benchmarking.
+    pub fn set_scoring_index(&mut self, on: bool) {
+        self.scoring_enabled = on;
+        if !on {
+            self.scoring = None;
+        }
+    }
+
+    /// The repository's mutation epoch: bumped by every mutation that can
+    /// change matchmaking results. Cache entries tagged with an older
+    /// epoch are stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The compiled extensional database (advertisement facts plus
@@ -811,6 +915,73 @@ mod tests {
         // Unsafe head variable → IS002.
         let err = repo.register_derived_rules("cap(A, X) :- agent(A, resource).").unwrap_err();
         assert!(err.message.contains("IS002"), "{}", err.message);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_result_changing_mutation() {
+        let mut repo = Repository::new();
+        let e0 = repo.epoch();
+        repo.advertise(valid_ad("ra1")).unwrap();
+        let e1 = repo.epoch();
+        assert!(e1 > e0);
+        assert!(repo.unadvertise("ra1"));
+        let e2 = repo.epoch();
+        assert!(e2 > e1);
+        repo.register_ontology(healthcare_ontology());
+        let e3 = repo.epoch();
+        assert!(e3 > e2);
+        repo.register_derived_rules("cap(A, polling) :- cap(A, subscription).").unwrap();
+        assert!(repo.epoch() > e3);
+        // Reads and failed mutations leave the epoch alone.
+        let before = repo.epoch();
+        let _ = repo.saturated();
+        assert!(!repo.unadvertise("nobody"));
+        assert!(repo.advertise(valid_ad(" ")).is_err());
+        assert_eq!(repo.epoch(), before);
+    }
+
+    #[test]
+    fn scoring_index_tracks_model_across_churn() {
+        let mut repo = Repository::new();
+        for i in 0..8 {
+            repo.advertise(valid_ad(&format!("ra{i}"))).unwrap();
+        }
+        let model = repo.saturated();
+        let index = repo.scoring_index(&model).expect("index built with model");
+        assert!(index.mirrors(&model));
+        // Incremental churn: patched model, patched index.
+        repo.unadvertise("ra3");
+        repo.advertise(valid_ad("ra9")).unwrap();
+        let model = repo.saturated();
+        let index = repo.scoring_index(&model).expect("index survives churn");
+        assert!(index.mirrors(&model));
+        assert!(index.provides("ra9", "relational-query-processing"));
+        assert!(!index.provides("ra3", "relational-query-processing"));
+        // A stale model snapshot must not resolve to the fresh index.
+        let stale = Arc::clone(&model);
+        repo.advertise(valid_ad("ra10")).unwrap();
+        let fresh = repo.saturated();
+        if !Arc::ptr_eq(&stale, &fresh) {
+            assert!(repo.scoring_index(&stale).is_none());
+        }
+        assert!(repo.scoring_index(&fresh).unwrap().mirrors(&fresh));
+    }
+
+    #[test]
+    fn scoring_index_disabled_by_derived_rules_and_knob() {
+        let mut repo = Repository::new();
+        repo.advertise(valid_ad("ra1")).unwrap();
+        let model = repo.saturated();
+        assert!(repo.scoring_index(&model).is_some());
+        repo.set_scoring_index(false);
+        assert!(repo.scoring_index(&model).is_none());
+        repo.set_scoring_index(true);
+        let model = repo.saturated();
+        assert!(repo.scoring_index(&model).is_some());
+        // Derived rules make agent-local index refresh unsound — no index.
+        repo.register_derived_rules("cap(A, polling) :- cap(A, subscription).").unwrap();
+        let model = repo.saturated();
+        assert!(repo.scoring_index(&model).is_none());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Integer-keyed projections of the derived predicates the matchmaker
+//! probes during scoring.
+//!
+//! `score_agent`/`score_content` used to build a fresh `Term`/`Atom` per
+//! (agent, capability) and (agent, ontology, class) probe and run it
+//! through `Saturated::holds`. A [`ScoringIndex`] is built once per
+//! saturated model instead: symbols are interned to `u32` ids and the
+//! `provides/2`, `serves_class/3`, `contributes_class/3` tuples become
+//! hash sets of id pairs/triples, so a probe is two interner lookups and
+//! one hash-set membership test with zero allocation.
+//!
+//! Soundness relies on two properties of the standard rule base
+//! ([`matchmaking_rules_text`](crate::matchmaking_rules_text)): every
+//! derived tuple leads with the agent name, and an agent's derived facts
+//! depend only on that agent's EDB facts plus the global taxonomy facts.
+//! [`refresh_agent`](ScoringIndex::refresh_agent) therefore mirrors a
+//! delta-saturation patch exactly by replacing one agent's rows. When
+//! user-registered derived rules are present that locality no longer
+//! holds, and the repository disables the index (scoring falls back to
+//! `Saturated::holds`, as the pruning index already does).
+
+use infosleuth_ldl::{Const, Database, Saturated};
+use std::collections::{HashMap, HashSet};
+
+/// The three derived predicates scoring probes (§2.1 subsumption).
+const PROVIDES: &str = "provides";
+const SERVES_CLASS: &str = "serves_class";
+const CONTRIBUTES_CLASS: &str = "contributes_class";
+
+#[derive(Debug, Default, Clone)]
+pub struct ScoringIndex {
+    symbols: HashMap<String, u32>,
+    provides: HashSet<(u32, u32)>,
+    serves_class: HashSet<(u32, u32, u32)>,
+    contributes_class: HashSet<(u32, u32, u32)>,
+}
+
+impl ScoringIndex {
+    /// Builds the full projection from a saturated model.
+    pub fn build(model: &Saturated) -> ScoringIndex {
+        let mut index = ScoringIndex::default();
+        for tuple in model.db().tuples(PROVIDES) {
+            if let Some(pair) = index.intern_pair(tuple) {
+                index.provides.insert(pair);
+            }
+        }
+        for tuple in model.db().tuples(SERVES_CLASS) {
+            if let Some(triple) = index.intern_triple(tuple) {
+                index.serves_class.insert(triple);
+            }
+        }
+        for tuple in model.db().tuples(CONTRIBUTES_CLASS) {
+            if let Some(triple) = index.intern_triple(tuple) {
+                index.contributes_class.insert(triple);
+            }
+        }
+        index
+    }
+
+    /// Replaces one agent's rows from a freshly patched model — the
+    /// incremental companion to a `Repository` delta-saturation patch.
+    pub fn refresh_agent(&mut self, model: &Saturated, agent: &str) {
+        if let Some(&id) = self.symbols.get(agent) {
+            self.provides.retain(|&(a, _)| a != id);
+            self.serves_class.retain(|&(a, _, _)| a != id);
+            self.contributes_class.retain(|&(a, _, _)| a != id);
+        }
+        let key = Const::sym(agent);
+        for tuple in model.db().tuples_with_first(PROVIDES, &key) {
+            if let Some(pair) = self.intern_pair(tuple) {
+                self.provides.insert(pair);
+            }
+        }
+        for tuple in model.db().tuples_with_first(SERVES_CLASS, &key) {
+            if let Some(triple) = self.intern_triple(tuple) {
+                self.serves_class.insert(triple);
+            }
+        }
+        for tuple in model.db().tuples_with_first(CONTRIBUTES_CLASS, &key) {
+            if let Some(triple) = self.intern_triple(tuple) {
+                self.contributes_class.insert(triple);
+            }
+        }
+    }
+
+    /// `provides(agent, capability)` — two interner lookups and a hash
+    /// probe; no allocation.
+    pub fn provides(&self, agent: &str, capability: &str) -> bool {
+        match (self.symbols.get(agent), self.symbols.get(capability)) {
+            (Some(&a), Some(&c)) => self.provides.contains(&(a, c)),
+            _ => false,
+        }
+    }
+
+    /// `serves_class(agent, ontology, class)`.
+    pub fn serves_class(&self, agent: &str, ontology: &str, class: &str) -> bool {
+        match (self.symbols.get(agent), self.symbols.get(ontology), self.symbols.get(class)) {
+            (Some(&a), Some(&o), Some(&c)) => self.serves_class.contains(&(a, o, c)),
+            _ => false,
+        }
+    }
+
+    /// `contributes_class(agent, ontology, class)`.
+    pub fn contributes_class(&self, agent: &str, ontology: &str, class: &str) -> bool {
+        match (self.symbols.get(agent), self.symbols.get(ontology), self.symbols.get(class)) {
+            (Some(&a), Some(&o), Some(&c)) => self.contributes_class.contains(&(a, o, c)),
+            _ => false,
+        }
+    }
+
+    /// Total number of indexed derived tuples.
+    pub fn len(&self) -> usize {
+        self.provides.len() + self.serves_class.len() + self.contributes_class.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn intern(&mut self, c: &Const) -> Option<u32> {
+        let text = c.as_sym()?;
+        if let Some(&id) = self.symbols.get(text) {
+            return Some(id);
+        }
+        let id = u32::try_from(self.symbols.len()).expect("fewer than 2^32 symbols");
+        self.symbols.insert(text.to_string(), id);
+        Some(id)
+    }
+
+    fn intern_pair(&mut self, tuple: &[Const]) -> Option<(u32, u32)> {
+        match tuple {
+            [a, b] => Some((self.intern(a)?, self.intern(b)?)),
+            _ => None,
+        }
+    }
+
+    fn intern_triple(&mut self, tuple: &[Const]) -> Option<(u32, u32, u32)> {
+        match tuple {
+            [a, b, c] => Some((self.intern(a)?, self.intern(b)?, self.intern(c)?)),
+            _ => None,
+        }
+    }
+
+    /// Structural equality against a model's derived tuples — test support
+    /// for the parity suite (the index must mirror the model exactly).
+    #[doc(hidden)]
+    pub fn mirrors(&self, model: &Saturated) -> bool {
+        let db: &Database = model.db();
+        let count = |pred: &str| db.tuples(pred).count();
+        if self.provides.len() != count(PROVIDES)
+            || self.serves_class.len() != count(SERVES_CLASS)
+            || self.contributes_class.len() != count(CONTRIBUTES_CLASS)
+        {
+            return false;
+        }
+        let sym = |c: &Const| c.as_sym().unwrap_or_default().to_string();
+        db.tuples(PROVIDES).all(|t| self.provides(&sym(&t[0]), &sym(&t[1])))
+            && db
+                .tuples(SERVES_CLASS)
+                .all(|t| self.serves_class(&sym(&t[0]), &sym(&t[1]), &sym(&t[2])))
+            && db
+                .tuples(CONTRIBUTES_CLASS)
+                .all(|t| self.contributes_class(&sym(&t[0]), &sym(&t[1]), &sym(&t[2])))
+    }
+}

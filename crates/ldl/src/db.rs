@@ -12,7 +12,8 @@ use std::fmt;
 /// tuples live under the `None` key.
 #[derive(Clone, Default, PartialEq)]
 struct Relation {
-    by_first: HashMap<Option<Const>, HashSet<Vec<Const>>>,
+    by_first: HashMap<Const, HashSet<Vec<Const>>>,
+    nullary: HashSet<Vec<Const>>,
     count: usize,
 }
 
@@ -28,8 +29,17 @@ impl fmt::Debug for Relation {
 
 impl Relation {
     fn insert(&mut self, tuple: Vec<Const>) -> bool {
-        let key = tuple.first().cloned();
-        let fresh = self.by_first.entry(key).or_default().insert(tuple);
+        let fresh = if tuple.is_empty() {
+            self.nullary.insert(tuple)
+        } else {
+            // Clone the key only when the group does not exist yet; steady
+            // state (existing group) stays allocation-free.
+            if !self.by_first.contains_key(&tuple[0]) {
+                self.by_first.insert(tuple[0].clone(), HashSet::new());
+            }
+            let group = self.by_first.get_mut(&tuple[0]).expect("group just ensured");
+            group.insert(tuple)
+        };
         if fresh {
             self.count += 1;
         }
@@ -37,25 +47,35 @@ impl Relation {
     }
 
     fn remove(&mut self, tuple: &[Const]) -> bool {
-        let key = tuple.first().cloned();
-        if let Some(group) = self.by_first.get_mut(&key) {
-            if group.remove(tuple) {
-                self.count -= 1;
-                if group.is_empty() {
-                    self.by_first.remove(&key);
+        let removed = match tuple.first() {
+            Some(first) => {
+                if let Some(group) = self.by_first.get_mut(first) {
+                    let hit = group.remove(tuple);
+                    if hit && group.is_empty() {
+                        self.by_first.remove(first);
+                    }
+                    hit
+                } else {
+                    false
                 }
-                return true;
             }
+            None => self.nullary.remove(tuple),
+        };
+        if removed {
+            self.count -= 1;
         }
-        false
+        removed
     }
 
     fn contains(&self, tuple: &[Const]) -> bool {
-        self.by_first.get(&tuple.first().cloned()).is_some_and(|g| g.contains(tuple))
+        match tuple.first() {
+            Some(first) => self.by_first.get(first).is_some_and(|g| g.contains(tuple)),
+            None => self.nullary.contains(tuple),
+        }
     }
 
     fn tuples(&self) -> impl Iterator<Item = &Vec<Const>> {
-        self.by_first.values().flatten()
+        self.by_first.values().flatten().chain(self.nullary.iter())
     }
 }
 
@@ -131,11 +151,13 @@ impl Database {
         pred: &str,
         first: &Const,
     ) -> impl Iterator<Item = &'a Vec<Const>> {
-        self.facts
-            .get(pred)
-            .and_then(|r| r.by_first.get(&Some(first.clone())))
-            .into_iter()
-            .flatten()
+        self.facts.get(pred).and_then(|r| r.by_first.get(first)).into_iter().flatten()
+    }
+
+    /// Distinct first arguments of a predicate — one entry per hash group.
+    /// Nullary tuples contribute nothing.
+    pub fn first_args<'a>(&'a self, pred: &str) -> impl Iterator<Item = &'a Const> {
+        self.facts.get(pred).into_iter().flat_map(|r| r.by_first.keys())
     }
 
     pub fn predicates(&self) -> impl Iterator<Item = &str> {

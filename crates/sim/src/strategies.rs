@@ -79,6 +79,11 @@ pub struct BrokerSimConfig {
     /// Per-message CPU cost on a receiving broker (parse + dispatch +
     /// combine) in seconds.
     pub msg_handling_s: f64,
+    /// Model the broker's epoch-tagged match cache: once a broker has
+    /// reasoned over a domain, repeat queries against that domain cost
+    /// only message handling, until a failure wipes the broker's cache.
+    /// Off by default so the paper-figure experiments are unchanged.
+    pub match_cache: bool,
     /// Inter-broker propagation shape (specialized strategy only).
     pub fanout: Fanout,
     pub params: SimParams,
@@ -97,6 +102,7 @@ impl BrokerSimConfig {
             broker_mean_fail_s: None,
             broker_mean_repair_s: 2700.0,
             msg_handling_s: 0.25,
+            match_cache: false,
             fanout: Fanout::Star,
             params: SimParams::default(),
             seed: 1,
@@ -242,6 +248,9 @@ struct Sim {
     domains: usize,
     queries: Vec<Query>,
     tree: std::collections::HashMap<(usize, usize), TreeNodeState>,
+    /// Per broker: domains it has already reasoned over (the simulated
+    /// match cache); only consulted when `cfg.match_cache` is on.
+    cache_seen: Vec<Vec<bool>>,
     result: BrokerSimResult,
 }
 
@@ -285,6 +294,7 @@ pub fn run_broker_sim(cfg: BrokerSimConfig) -> BrokerSimResult {
         .map(|per_domain| per_domain.iter().map(|&c| c as f64).sum::<f64>() * cfg.params.advert_mb)
         .collect();
 
+    let brokers = cfg.brokers;
     let mut sim = Sim {
         cfg,
         rng,
@@ -296,6 +306,7 @@ pub fn run_broker_sim(cfg: BrokerSimConfig) -> BrokerSimResult {
         domains,
         queries: Vec::new(),
         tree: std::collections::HashMap::new(),
+        cache_seen: vec![vec![false; domains]; brokers],
         result: BrokerSimResult::default(),
     };
 
@@ -425,11 +436,29 @@ impl Sim {
             + complexity * self.repo_mb[broker] * self.cfg.params.broker_reason_s_per_mb
     }
 
+    /// Reasoning cost for `broker` to answer query `qid`. With the match
+    /// cache on, the first query over a domain pays full reasoning and
+    /// primes the broker's cache; repeats pay only message handling,
+    /// until a failure wipes that broker's cache (`Ev::Fail`).
+    fn reasoning_work_for(&mut self, broker: usize, qid: usize) -> f64 {
+        let q = &self.queries[qid];
+        if self.cfg.match_cache {
+            if self.cache_seen[broker][q.domain] {
+                return self.cfg.msg_handling_s;
+            }
+            self.cache_seen[broker][q.domain] = true;
+        }
+        self.reasoning_work(broker, self.queries[qid].complexity)
+    }
+
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival => self.on_arrival(),
             Ev::Fail(b) => {
                 self.core.set_up(self.procs[b], false);
+                // A failed broker loses its in-memory match cache; it
+                // restarts cold after repair.
+                self.cache_seen[b].fill(false);
                 // The failure/repair process stops regenerating once the
                 // measurement window closes, so the run can drain.
                 if self.core.now() <= self.cfg.params.sim_duration_s {
@@ -451,7 +480,7 @@ impl Sim {
                 if !self.core.is_up(self.procs[origin]) {
                     return; // lost with the dead broker; no reply
                 }
-                let work = self.reasoning_work(origin, self.queries[qid].complexity);
+                let work = self.reasoning_work_for(origin, qid);
                 self.core.exec(self.procs[origin], work, Ev::LocalDone(qid));
             }
             Ev::LocalDone(qid) => self.on_local_done(qid),
@@ -459,7 +488,7 @@ impl Sim {
                 if !self.core.is_up(self.procs[peer]) {
                     return; // origin's timeout will resolve this peer
                 }
-                let work = self.reasoning_work(peer, self.queries[qid].complexity);
+                let work = self.reasoning_work_for(peer, qid);
                 self.core.exec(self.procs[peer], work, Ev::PeerDone { qid, peer });
             }
             Ev::PeerDone { qid, peer } => {
@@ -519,7 +548,7 @@ impl Sim {
                     return; // parent's timeout covers the lost subtree
                 }
                 self.open_tree_node(qid, node, false, 0);
-                let work = self.reasoning_work(node, self.queries[qid].complexity);
+                let work = self.reasoning_work_for(node, qid);
                 self.core.exec(self.procs[node], work, Ev::TreeDone { qid, node });
             }
             Ev::TreeDone { qid, node } => {
@@ -717,6 +746,41 @@ mod tests {
         other.seed = 99;
         let c = run_broker_sim(other);
         assert_ne!(a.response.mean(), c.response.mean());
+    }
+
+    #[test]
+    fn match_cache_only_helps_and_defaults_off() {
+        // Same seed, cache off vs on: repeated queries over a domain
+        // skip reasoning on a hit, so mean response can only improve,
+        // and every query is still answered.
+        for strategy in [Strategy::Single, Strategy::Replicated, Strategy::Specialized] {
+            let off = run_broker_sim(quick(strategy, 30.0));
+            let mut cached = quick(strategy, 30.0);
+            cached.match_cache = true;
+            let on = run_broker_sim(cached);
+            assert_eq!(off.issued, on.issued, "same seed, same arrivals ({strategy:?})");
+            assert_eq!(on.issued, on.replied, "cache must not lose queries ({strategy:?})");
+            assert!(
+                on.response.mean() <= off.response.mean(),
+                "cache made {strategy:?} slower: {} vs {}",
+                on.response.mean(),
+                off.response.mean()
+            );
+        }
+        // And it genuinely bites somewhere: the single broker re-answers
+        // the same domains constantly, so the gap there must be large.
+        let off = run_broker_sim(quick(Strategy::Single, 120.0));
+        let mut cached = quick(Strategy::Single, 120.0);
+        cached.match_cache = true;
+        let on = run_broker_sim(cached);
+        assert!(
+            on.response.mean() < 0.5 * off.response.mean(),
+            "cache-on mean {} not well below cache-off {}",
+            on.response.mean(),
+            off.response.mean()
+        );
+        // Default stays off so the paper-figure experiments are untouched.
+        assert!(!BrokerSimConfig::new(32, 8, Strategy::Specialized).match_cache);
     }
 
     #[test]

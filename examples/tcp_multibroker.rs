@@ -191,6 +191,11 @@ fn main() -> ExitCode {
     let found = query_broker(&mut probe, "broker-1", &c2_query, None, T).expect("answers");
     println!("broker-1 locates C2 collaboratively: {:?}", names(&found));
     assert_eq!(names(&found), ["ra-c2"], "cross-node search finds ra-c2");
+    // The identical query again: broker-1's match cache serves the local
+    // portion from memory (asserted against the scrape below) and the
+    // answer is byte-for-byte the same.
+    let again = query_broker(&mut probe, "broker-1", &c2_query, None, T).expect("answers");
+    assert_eq!(names(&again), names(&found), "cached answer equals the computed one");
     let local = query_broker(&mut probe, "broker-1", &c2_query, Some(SearchPolicy::local()), T)
         .expect("answers");
     println!("broker-1 locates C2 locally: {:?}", names(&local));
@@ -236,6 +241,11 @@ fn main() -> ExitCode {
     let matches = sample_total(&text, "broker_match_requests_total");
     println!("scrape: {} lines, broker_match_requests_total = {matches}", text.lines().count());
     assert!(matches > 0.0, "broker_match_requests_total is zero in:\n{text}");
+    let cache_hits = labeled_total(&text, "broker_match_cache_total", "event=\"hit\"");
+    let cache_misses = labeled_total(&text, "broker_match_cache_total", "event=\"miss\"");
+    println!("scrape: match cache hits = {cache_hits}, misses = {cache_misses}");
+    assert!(cache_hits >= 1.0, "the repeated C2 query never hit the match cache:\n{text}");
+    assert!(cache_misses >= 1.0, "first-time queries must count as cache misses:\n{text}");
     let empty = empty_histograms(&text);
     assert!(empty.is_empty(), "empty histograms in scrape: {empty:?}\n{text}");
 
@@ -328,6 +338,16 @@ fn sample_total(text: &str, family: &str) -> f64 {
             l.strip_prefix(family)
                 .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
         })
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum()
+}
+
+/// Sum of a counter family's samples restricted to label sets containing
+/// `label` verbatim (e.g. `event="hit"`).
+fn labeled_total(text: &str, family: &str, label: &str) -> f64 {
+    text.lines()
+        .filter(|l| l.strip_prefix(family).is_some_and(|rest| rest.starts_with('{')))
+        .filter(|l| l.contains(label))
         .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
         .sum()
 }
