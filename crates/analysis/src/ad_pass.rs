@@ -49,6 +49,16 @@ impl<'a> AdContext<'a> {
         self.registered = Some(ad);
         self
     }
+
+    /// The capability taxonomy, if known.
+    pub fn taxonomy(&self) -> Option<&'a Taxonomy> {
+        self.taxonomy
+    }
+
+    /// Looks up a registered ontology by name.
+    pub fn ontology(&self, name: &str) -> Option<&'a Ontology> {
+        self.ontologies.get(name).copied()
+    }
 }
 
 /// Runs every advertisement check. The report origin is the agent name.

@@ -71,6 +71,12 @@ pub enum Code {
     SubsumedAdvertisement,
     /// IS025: an advertised fragment is invalid for its class.
     InvalidFragment,
+    /// IS026: a subscription's (standing service query's) constraint
+    /// conjunction is provably empty — it can never match any agent.
+    UnsatisfiableSubscription,
+    /// IS027: a subscription constrains nothing at all — it would fire on
+    /// every repository mutation and match every agent.
+    VacuousSubscription,
     /// IS030: a performative outside the known KQML vocabulary.
     UnknownPerformative,
     /// IS031: a parameter required (or strongly expected) by the
@@ -103,6 +109,8 @@ impl Code {
             Code::UnknownCapability => "IS023",
             Code::SubsumedAdvertisement => "IS024",
             Code::InvalidFragment => "IS025",
+            Code::UnsatisfiableSubscription => "IS026",
+            Code::VacuousSubscription => "IS027",
             Code::UnknownPerformative => "IS030",
             Code::MissingParameter => "IS031",
             Code::MalformedTemplate => "IS032",

@@ -10,6 +10,9 @@
 //!   fragments, and subsumption by an already-registered advertisement.
 //! - [`kqml_pass`] — KQML messages and conversation templates:
 //!   performative and parameter well-formedness.
+//! - [`query_pass`] — standing service queries (subscriptions):
+//!   unsatisfiable constraint conjunctions, vacuous queries that match
+//!   everything, and vocabulary unknown to the registered ontologies.
 //!
 //! Every pass returns a [`Report`] of [`Diagnostic`]s carrying a stable
 //! `IS0xx` [`Code`], a severity, and (where the input has source text) a
@@ -27,8 +30,10 @@ pub mod ad_pass;
 pub mod diag;
 pub mod kqml_pass;
 pub mod ldl_pass;
+pub mod query_pass;
 
 pub use ad_pass::{analyze_advertisement, AdContext};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use kqml_pass::{analyze_message, analyze_template};
 pub use ldl_pass::{analyze_ldl_source, analyze_rules, LdlEnv};
+pub use query_pass::analyze_service_query;

@@ -18,6 +18,7 @@ use crate::matchmaker::{MatchResult, Matchmaker};
 use crate::objective::{AdmissionDecision, BrokerObjective};
 use crate::policy::SearchPolicy;
 use crate::repository::Repository;
+use crate::sub_index::{result_delta, SubId, SubscriptionRegistry};
 use infosleuth_agent::{
     AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Requester,
     RuntimeConfig, Transport,
@@ -54,6 +55,12 @@ pub struct BrokerConfig {
     /// failed. The broker removes from its repository all information about
     /// agents that have failed". `None` disables the sweep.
     pub ping_interval: Option<Duration>,
+    /// Whether standing subscriptions use the inverted
+    /// [`SubscriptionIndex`](crate::SubscriptionIndex) to prune which
+    /// subscriptions a repository mutation re-scores. `false` falls back to
+    /// re-evaluating every subscription on every mutation (the naive
+    /// baseline; notification sequences are identical either way).
+    pub subscription_index: bool,
 }
 
 impl BrokerConfig {
@@ -67,11 +74,18 @@ impl BrokerConfig {
             consortia: BTreeSet::new(),
             matchmaker: Matchmaker::default(),
             ping_interval: Some(Duration::from_secs(30)),
+            subscription_index: true,
         }
     }
 
     pub fn with_ping_interval(mut self, interval: Option<Duration>) -> Self {
         self.ping_interval = interval;
+        self
+    }
+
+    /// Enables or disables the inverted subscription index (on by default).
+    pub fn with_subscription_index(mut self, on: bool) -> Self {
+        self.subscription_index = on;
         self
     }
 
@@ -112,6 +126,9 @@ struct Shared {
     /// Epoch-tagged LRU over local match results; consulted (and filled)
     /// by every ask/recommend before any scoring happens.
     cache: MatchCache,
+    /// Standing subscriptions plus their inverted index. Lock order: `repo`
+    /// before `subs`; never take `repo` while holding `subs`.
+    subs: Mutex<SubscriptionRegistry>,
     obs: BrokerObs,
 }
 
@@ -124,8 +141,20 @@ struct BrokerObs {
     match_requests: Counter,
     advertises: Counter,
     unadvertises: Counter,
+    /// `subscribe` performatives accepted into the registry.
+    subscribes: Counter,
+    /// Repository mutations intersected against the subscription index.
+    sub_events: Counter,
+    /// Subscriptions selected for re-scoring by those intersections
+    /// (includes index false positives, which yield empty deltas).
+    sub_affected: Counter,
+    /// Non-empty delta notifications actually delivered.
+    sub_notifications: Counter,
     parse: Histogram,
     scoring: Histogram,
+    /// End-to-end cost of one mutation's notification fan-out: intersect +
+    /// re-score affected + diff + send.
+    sub_notify: Histogram,
 }
 
 impl BrokerObs {
@@ -139,8 +168,13 @@ impl BrokerObs {
             match_requests: reg.counter("broker_match_requests_total", &[("broker", broker)]),
             advertises: reg.counter("broker_advertise_total", &[("broker", broker)]),
             unadvertises: reg.counter("broker_unadvertise_total", &[("broker", broker)]),
+            subscribes: reg.counter("broker_subscribe_total", &[("broker", broker)]),
+            sub_events: reg.counter("broker_sub_events_total", &[("broker", broker)]),
+            sub_affected: reg.counter("broker_sub_affected_total", &[("broker", broker)]),
+            sub_notifications: reg.counter("broker_sub_notifications_total", &[("broker", broker)]),
             parse: lat("parse"),
             scoring: lat("scoring"),
+            sub_notify: reg.latency("broker_sub_notify_seconds", &[("broker", broker)]),
         }
     }
 }
@@ -216,7 +250,8 @@ impl BrokerAgent {
         let obs = BrokerObs::new(runtime.obs(), &config.name);
         let cache = MatchCache::new(DEFAULT_MATCH_CACHE_CAPACITY)
             .with_obs(runtime.obs().registry(), &config.name);
-        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), cache, obs });
+        let subs = Mutex::new(SubscriptionRegistry::new(config.subscription_index));
+        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), cache, subs, obs });
         let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
         let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
         Ok(BrokerHandle { shared, agent, _runtime: None })
@@ -237,6 +272,21 @@ impl BrokerHandle {
     /// Hit/miss/eviction/stale counters of this broker's match cache.
     pub fn match_cache_stats(&self) -> MatchCacheStats {
         self.shared.cache.stats()
+    }
+
+    /// Number of standing subscriptions currently registered.
+    pub fn subscription_count(&self) -> usize {
+        self.shared.subs.lock().len()
+    }
+
+    /// Re-evaluates every standing subscription and delivers deltas to the
+    /// ones whose result set changed. Call after mutating the repository
+    /// out-of-band (via [`with_repository`](Self::with_repository), e.g. a
+    /// derived-rule registration or ontology load) — mutations arriving as
+    /// performatives notify automatically.
+    pub fn resync_subscriptions(&self) {
+        let all = self.shared.subs.lock().ids();
+        notify_subscriptions(&self.shared, self.agent.ctx(), all);
     }
 
     /// Sends by this broker that the transport refused (each one was also
@@ -314,10 +364,20 @@ fn liveness_sweep(shared: &Shared, ctx: &AgentContext) {
         }
     }
     if !dead.is_empty() {
-        let mut repo = shared.repo.lock();
-        for agent in dead {
-            repo.unadvertise(&agent);
-        }
+        let affected = {
+            let mut repo = shared.repo.lock();
+            let mut affected = BTreeSet::new();
+            for agent in dead {
+                let old = repo.advertisement_arc(&agent).cloned();
+                if repo.unadvertise(&agent) {
+                    if let Some(old) = &old {
+                        affected.append(&mut subs_affected(shared, &repo, Some(old), None));
+                    }
+                }
+            }
+            affected
+        };
+        notify_subscriptions(shared, ctx, affected);
     }
 }
 
@@ -330,6 +390,10 @@ fn handle_envelope(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::E
         Performative::AskAll | Performative::RecruitAll => handle_query(shared, ctx, &env, None),
         Performative::AskOne | Performative::RecruitOne => handle_query(shared, ctx, &env, Some(1)),
         Performative::BrokerOne => handle_broker_one(shared, ctx, &env),
+        Performative::Subscribe => handle_subscribe(shared, ctx, &env),
+        Performative::Other(ref other) if other == "unsubscribe" => {
+            handle_unsubscribe(shared, ctx, &env)
+        }
         _ => {
             let reply = msg.reply_skeleton(Performative::Error).with_content(SExpr::string(
                 format!("unsupported performative '{}'", msg.performative),
@@ -390,13 +454,31 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
                 shared.config.objective.admit(&ad, &peer_fits)
             };
             let reply = match decision {
-                AdmissionDecision::Accept => match shared.repo.lock().advertise(ad) {
-                    Ok(()) => env.message.reply_skeleton(Performative::Tell),
-                    Err(e) => env
-                        .message
-                        .reply_skeleton(Performative::Sorry)
-                        .with_content(SExpr::string(e.to_string())),
-                },
+                AdmissionDecision::Accept => {
+                    let name = ad.location.name.clone();
+                    let (result, affected) = {
+                        let mut repo = shared.repo.lock();
+                        let old = repo.advertisement_arc(&name).cloned();
+                        let result = repo.advertise(ad);
+                        let affected = if result.is_ok() {
+                            let new = repo.advertisement_arc(&name).cloned();
+                            subs_affected(shared, &repo, old.as_deref(), new.as_deref())
+                        } else {
+                            BTreeSet::new()
+                        };
+                        (result, affected)
+                    };
+                    // Deltas go out before the ack so a subscriber that is
+                    // also the advertiser sees a deterministic sequence.
+                    notify_subscriptions(shared, ctx, affected);
+                    match result {
+                        Ok(()) => env.message.reply_skeleton(Performative::Tell),
+                        Err(e) => env
+                            .message
+                            .reply_skeleton(Performative::Sorry)
+                            .with_content(SExpr::string(e.to_string())),
+                    }
+                }
                 AdmissionDecision::Forward { candidates } => {
                     // "If no brokers accept the advertisement, the broker …
                     // will reply with a sorry message", listing better fits
@@ -428,12 +510,175 @@ fn handle_unadvertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agen
         .and_then(SExpr::as_text)
         .map(str::to_string)
         .unwrap_or_else(|| env.from.clone());
-    let removed = {
+    let (removed, affected) = {
         let mut repo = shared.repo.lock();
-        repo.unadvertise(&name) || repo.unadvertise_broker(&name)
+        let old = repo.advertisement_arc(&name).cloned();
+        let removed = repo.unadvertise(&name) || repo.unadvertise_broker(&name);
+        let affected = match &old {
+            Some(old) if removed => subs_affected(shared, &repo, Some(old), None),
+            _ => BTreeSet::new(),
+        };
+        (removed, affected)
     };
+    notify_subscriptions(shared, ctx, affected);
     let perf = if removed { Performative::Tell } else { Performative::Sorry };
     reply_as_broker(ctx, &env.from, env.message.reply_skeleton(perf));
+}
+
+/// Registers a standing service query (§2.2's "subscribe to changes in the
+/// set of matching agents"). Notifications are `tell`s carrying a
+/// `sub-delta` (only agents that entered or left the match set) to the
+/// `:reply-to` endpoint, tagged with the subscription key as
+/// `:in-reply-to` and the subscribe message's `:x-trace`.
+fn handle_subscribe(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    let msg = &env.message;
+    let Some(content) = msg.content() else {
+        let reply = msg
+            .reply_skeleton(Performative::Error)
+            .with_content(SExpr::string("subscribe without content"));
+        reply_as_broker(ctx, &env.from, reply);
+        return;
+    };
+    let query = match codec::service_query_from_sexpr(content) {
+        Ok(q) => q,
+        Err(e) => {
+            let reply =
+                msg.reply_skeleton(Performative::Error).with_content(SExpr::string(e.to_string()));
+            reply_as_broker(ctx, &env.from, reply);
+            return;
+        }
+    };
+    let subscriber = msg.get_text("reply-to").unwrap_or(&env.from).to_string();
+    // Admission: an unsatisfiable or vacuous standing query would be paid
+    // for on every repository mutation — reject it with the rendered
+    // diagnostics instead.
+    let report = shared.repo.lock().analyze_subscription(&subscriber, &query);
+    if report.has_errors() {
+        let reply = msg
+            .reply_skeleton(Performative::Sorry)
+            .with_content(SExpr::string(report.render_human(None)));
+        reply_as_broker(ctx, &env.from, reply);
+        return;
+    }
+    let trace = msg.trace().map(str::to_string);
+    let (sub_key, initial, epoch) = {
+        let mut repo = shared.repo.lock();
+        let initial = shared.config.matchmaker.match_query_cached(&mut repo, &shared.cache, &query);
+        let epoch = repo.epoch();
+        let mut subs = shared.subs.lock();
+        let sub_key = msg
+            .reply_with()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("sub-{}", subs.next_key()));
+        subs.register(
+            sub_key.clone(),
+            subscriber.clone(),
+            trace.clone(),
+            query,
+            Arc::clone(&initial),
+            &repo,
+        );
+        (sub_key, initial, epoch)
+    };
+    shared.obs.subscribes.inc();
+    // Initial snapshot: the delta against the empty set, so the subscriber
+    // learns the baseline the following deltas build on.
+    let mut snapshot = Message::new(Performative::Tell)
+        .with_in_reply_to(sub_key.clone())
+        .with_ontology("infosleuth-service")
+        .with_content(codec::sub_delta_to_sexpr(epoch, &initial, &[]));
+    if let Some(t) = &trace {
+        snapshot = snapshot.with_trace(t.clone());
+    }
+    let _ = ctx.send(&subscriber, snapshot);
+    // Ack after the snapshot so a subscriber that is also the requester
+    // observes a deterministic sequence.
+    let reply = msg.reply_skeleton(Performative::Tell).with_content(SExpr::atom(sub_key));
+    reply_as_broker(ctx, &env.from, reply);
+}
+
+/// Cancels a standing subscription: content (or `:in-reply-to`) names the
+/// subscription key; only the registered subscriber may cancel it.
+fn handle_unsubscribe(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    let msg = &env.message;
+    let key =
+        msg.content().and_then(SExpr::as_text).or_else(|| msg.in_reply_to()).map(str::to_string);
+    let subscriber = msg.get_text("reply-to").unwrap_or(&env.from);
+    let removed = key
+        .and_then(|k| {
+            let mut subs = shared.subs.lock();
+            subs.find(&k, subscriber).and_then(|id| subs.remove(id))
+        })
+        .is_some();
+    let perf = if removed { Performative::Tell } else { Performative::Sorry };
+    reply_as_broker(ctx, &env.from, msg.reply_skeleton(perf));
+}
+
+/// The subscriptions a repository mutation must re-score: the inverted
+/// index's candidate set (or everything, in naive mode / under derived
+/// rules). Caller holds the repo lock; takes the subs lock (repo → subs).
+fn subs_affected(
+    shared: &Shared,
+    repo: &Repository,
+    old: Option<&Advertisement>,
+    new: Option<&Advertisement>,
+) -> BTreeSet<SubId> {
+    let mut subs = shared.subs.lock();
+    if subs.is_empty() {
+        return BTreeSet::new();
+    }
+    shared.obs.sub_events.inc();
+    subs.affected(old, new, repo)
+}
+
+/// Re-scores each affected subscription (through the epoch-tagged match
+/// cache) and delivers a `sub-delta` notification to every one whose
+/// result set actually changed. Index false positives die here as empty
+/// deltas. Iteration is in ascending id order, so notification sequences
+/// are deterministic and identical between indexed and naive modes.
+fn notify_subscriptions(shared: &Shared, ctx: &AgentContext, affected: BTreeSet<SubId>) {
+    if affected.is_empty() {
+        return;
+    }
+    shared.obs.sub_affected.add(affected.len() as u64);
+    let timer = shared.obs.obs.stage(&shared.obs.sub_notify, "sub-notify");
+    for id in affected {
+        let snapshot = {
+            let subs = shared.subs.lock();
+            subs.entry(id).map(|s| {
+                (
+                    s.query.clone(),
+                    Arc::clone(&s.last),
+                    s.subscriber.clone(),
+                    s.sub_key.clone(),
+                    s.trace.clone(),
+                )
+            })
+        };
+        let Some((query, last, subscriber, sub_key, trace)) = snapshot else {
+            continue;
+        };
+        let (new, epoch) = {
+            let mut repo = shared.repo.lock();
+            let new = shared.config.matchmaker.match_query_cached(&mut repo, &shared.cache, &query);
+            (new, repo.epoch())
+        };
+        let (matched, unmatched) = result_delta(&last, &new);
+        if matched.is_empty() && unmatched.is_empty() {
+            continue;
+        }
+        shared.subs.lock().update_last(id, new);
+        let mut note = Message::new(Performative::Tell)
+            .with_in_reply_to(sub_key)
+            .with_ontology("infosleuth-service")
+            .with_content(codec::sub_delta_to_sexpr(epoch, &matched, &unmatched));
+        if let Some(t) = trace {
+            note = note.with_trace(t);
+        }
+        shared.obs.sub_notifications.inc();
+        let _ = ctx.send(&subscriber, note);
+    }
+    drop(timer);
 }
 
 fn handle_ping(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
@@ -800,6 +1045,45 @@ pub fn unadvertise_from<R: Requester>(
     timeout: Duration,
 ) -> Result<bool, BusError> {
     let msg = Message::new(Performative::Unadvertise).with_content(SExpr::atom(agent));
+    let reply = ep.request(broker, msg, timeout)?;
+    Ok(reply.performative == Performative::Tell)
+}
+
+/// Registers a standing subscription with a broker. Delta notifications go
+/// to the agent named `reply_to`; the returned key identifies the
+/// subscription (`:in-reply-to` on every notification, and the handle for
+/// [`unsubscribe_from`]). `Ok(None)` means the broker declined the query
+/// (e.g. it failed subscription admission analysis).
+pub fn subscribe_to<R: Requester>(
+    ep: &mut R,
+    broker: &str,
+    query: &ServiceQuery,
+    reply_to: &str,
+    timeout: Duration,
+) -> Result<Option<String>, BusError> {
+    let msg = Message::new(Performative::Subscribe)
+        .with_ontology("infosleuth-service")
+        .with("reply-to", SExpr::atom(reply_to))
+        .with_content(codec::service_query_to_sexpr(query));
+    let reply = ep.request(broker, msg, timeout)?;
+    if reply.performative != Performative::Tell {
+        return Ok(None);
+    }
+    Ok(reply.content().and_then(SExpr::as_text).map(str::to_string))
+}
+
+/// Cancels a standing subscription previously opened with [`subscribe_to`]
+/// (same `reply_to`; only the registered subscriber may cancel).
+pub fn unsubscribe_from<R: Requester>(
+    ep: &mut R,
+    broker: &str,
+    sub_key: &str,
+    reply_to: &str,
+    timeout: Duration,
+) -> Result<bool, BusError> {
+    let msg = Message::new(Performative::Other("unsubscribe".into()))
+        .with("reply-to", SExpr::atom(reply_to))
+        .with_content(SExpr::atom(sub_key));
     let reply = ep.request(broker, msg, timeout)?;
     Ok(reply.performative == Performative::Tell)
 }
@@ -1313,8 +1597,98 @@ mod tests {
         let bus = Bus::new();
         let broker = spawn_broker(&bus, "broker1");
         let mut agent = bus.register("client").unwrap();
-        let reply = agent.request("broker1", Message::new(Performative::Subscribe), T).unwrap();
+        let msg = Message::new(Performative::Other("achieve".into()));
+        let reply = agent.request("broker1", msg, T).unwrap();
         assert_eq!(reply.performative, Performative::Error);
+        broker.stop();
+    }
+
+    #[test]
+    fn subscribe_notifies_on_churn_and_unsubscribe_stops_it() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut inbox = bus.register("watcher").unwrap();
+        let mut client = bus.register("client").unwrap();
+
+        let query = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let key = subscribe_to(&mut client, "broker1", &query, "watcher", T).unwrap().unwrap();
+
+        // Initial snapshot: empty repository, empty delta.
+        let snap = inbox.recv_timeout(T).unwrap().message;
+        assert_eq!(snap.performative, Performative::Tell);
+        assert_eq!(snap.in_reply_to(), Some(key.as_str()));
+        let (_, matched, unmatched) = codec::sub_delta_from_sexpr(snap.content().unwrap()).unwrap();
+        assert!(matched.is_empty() && unmatched.is_empty());
+
+        // A matching advertisement arrives: one `matched` entry.
+        assert!(advertise_to(&mut client, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap());
+        let note = inbox.recv_timeout(T).unwrap().message;
+        let (_, matched, unmatched) = codec::sub_delta_from_sexpr(note.content().unwrap()).unwrap();
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].name, "ra1");
+        assert!(unmatched.is_empty());
+
+        // A non-matching advertisement: no notification at all.
+        assert!(advertise_to(&mut client, "broker1", &resource_ad("ra2", &["C3"]), T).unwrap());
+        // Its unadvertise produces the next notification we receive below.
+        assert!(unadvertise_from(&mut client, "broker1", "ra1", T).unwrap());
+        let note = inbox.recv_timeout(T).unwrap().message;
+        let (_, matched, unmatched) = codec::sub_delta_from_sexpr(note.content().unwrap()).unwrap();
+        assert!(matched.is_empty());
+        assert_eq!(unmatched, vec!["ra1".to_string()]);
+
+        assert_eq!(broker.subscription_count(), 1);
+        assert!(unsubscribe_from(&mut client, "broker1", &key, "watcher", T).unwrap());
+        assert_eq!(broker.subscription_count(), 0);
+        assert!(advertise_to(&mut client, "broker1", &resource_ad("ra3", &["C1"]), T).unwrap());
+        assert!(inbox.recv_timeout(Duration::from_millis(200)).is_none());
+        broker.stop();
+    }
+
+    #[test]
+    fn subscription_admission_rejects_vacuous_queries() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut client = bus.register("client").unwrap();
+        let msg = Message::new(Performative::Subscribe)
+            .with_content(codec::service_query_to_sexpr(&ServiceQuery::any()));
+        let reply = client.request("broker1", msg, T).unwrap();
+        assert_eq!(reply.performative, Performative::Sorry);
+        let text = reply.content().and_then(SExpr::as_text).unwrap().to_string();
+        assert!(text.contains("IS027"), "diagnostics not rendered: {text}");
+        assert_eq!(broker.subscription_count(), 0);
+        broker.stop();
+    }
+
+    #[test]
+    fn resync_after_out_of_band_rule_delta_notifies() {
+        let bus = Bus::new();
+        let broker = spawn_broker(&bus, "broker1");
+        let mut inbox = bus.register("watcher").unwrap();
+        let mut client = bus.register("client").unwrap();
+        assert!(advertise_to(&mut client, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap());
+
+        let query = ServiceQuery::any().with_capability(Capability::subscription());
+        let key = subscribe_to(&mut client, "broker1", &query, "watcher", T).unwrap().unwrap();
+        let snap = inbox.recv_timeout(T).unwrap().message;
+        let (_, matched, _) = codec::sub_delta_from_sexpr(snap.content().unwrap()).unwrap();
+        assert!(matched.is_empty());
+
+        // Out-of-band derived rule: every resource agent now also counts
+        // as a subscription agent. The repository mutation happens outside
+        // any performative, so the test drives the resync.
+        broker.with_repository(|r| {
+            r.register_derived_rules("cap(A, subscription) :- agent(A, resource).").unwrap()
+        });
+        broker.resync_subscriptions();
+        let note = inbox.recv_timeout(T).unwrap().message;
+        assert_eq!(note.in_reply_to(), Some(key.as_str()));
+        let (_, matched, unmatched) = codec::sub_delta_from_sexpr(note.content().unwrap()).unwrap();
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].name, "ra1");
+        assert!(unmatched.is_empty());
         broker.stop();
     }
 }

@@ -541,6 +541,42 @@ pub fn matches_from_sexpr(e: &SExpr) -> Result<Vec<MatchResult>, CodecError> {
     Ok(out)
 }
 
+/// Encodes an incremental subscription notification:
+/// `(sub-delta (epoch N) (matched (match ...) ...) (unmatched a b))`.
+/// `matched` carries full match rows for agents entering the result set
+/// (or re-ranked within it); `unmatched` lists the names that left.
+pub fn sub_delta_to_sexpr(epoch: u64, matched: &[MatchResult], unmatched: &[String]) -> SExpr {
+    let mut items = vec![section("epoch", vec![SExpr::atom(epoch.to_string())])];
+    if let SExpr::List(mut rows) = matches_to_sexpr(matched) {
+        rows[0] = SExpr::atom("matched");
+        items.push(SExpr::List(rows));
+    }
+    items.push(atoms("unmatched", unmatched.iter().cloned()));
+    section("sub-delta", items)
+}
+
+/// Decodes a `(sub-delta ...)` payload into `(epoch, matched, unmatched)`.
+pub fn sub_delta_from_sexpr(e: &SExpr) -> Result<(u64, Vec<MatchResult>, Vec<String>), CodecError> {
+    let list = e.as_list().ok_or_else(|| err("sub-delta must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("sub-delta") {
+        return Err(err("expected (sub-delta ...)"));
+    }
+    let body = &list[1..];
+    let epoch = one_text(body, "epoch")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err("sub-delta missing epoch"))?;
+    let matched = match find(body, "matched") {
+        Some(items) => {
+            let mut rows = vec![SExpr::atom("matches")];
+            rows.extend(items.iter().cloned());
+            matches_from_sexpr(&SExpr::List(rows))?
+        }
+        None => Vec::new(),
+    };
+    let unmatched = find(body, "unmatched").map(text_items).unwrap_or_default();
+    Ok((epoch, matched, unmatched))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,5 +735,28 @@ mod tests {
         assert!(advertisement_from_sexpr(&e).is_err()); // missing address
         let e = SExpr::parse("(matches (match (name x)))").unwrap();
         assert!(matches_from_sexpr(&e).is_err()); // missing address/score
+    }
+
+    #[test]
+    fn sub_delta_round_trips() {
+        let matched = vec![MatchResult {
+            name: "ra-1".into(),
+            address: "tcp://ra-1.mcc.com:4000".into(),
+            score: 5,
+            ..MatchResult::default()
+        }];
+        let unmatched = vec!["ra-2".to_string()];
+        let e = sub_delta_to_sexpr(42, &matched, &unmatched);
+        let text = e.to_string();
+        let back = SExpr::parse(&text).unwrap();
+        let (epoch, m, u) = sub_delta_from_sexpr(&back).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(m, matched);
+        assert_eq!(u, unmatched);
+        // An empty delta round-trips too (snapshot of an empty repo).
+        let e = sub_delta_to_sexpr(0, &[], &[]);
+        let (epoch, m, u) = sub_delta_from_sexpr(&e).unwrap();
+        assert_eq!((epoch, m.len(), u.len()), (0, 0, 0));
+        assert!(sub_delta_from_sexpr(&SExpr::parse("(nonsense)").unwrap()).is_err());
     }
 }

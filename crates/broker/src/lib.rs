@@ -38,10 +38,11 @@ mod objective;
 mod policy;
 mod repository;
 mod scoring_index;
+mod sub_index;
 
 pub use broker_agent::{
-    advertise_to, broker_one_content, interconnect, query_broker, unadvertise_from, BrokerAgent,
-    BrokerConfig, BrokerHandle,
+    advertise_to, broker_one_content, interconnect, query_broker, subscribe_to, unadvertise_from,
+    unsubscribe_from, BrokerAgent, BrokerConfig, BrokerHandle,
 };
 pub use facts::{
     compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
@@ -53,3 +54,6 @@ pub use objective::{AdmissionDecision, BrokerObjective};
 pub use policy::{FollowOption, SearchPolicy};
 pub use repository::{MaintenanceStats, Repository, RepositoryError};
 pub use scoring_index::ScoringIndex;
+pub use sub_index::{
+    result_delta, StandingSubscription, SubId, SubscriptionIndex, SubscriptionRegistry,
+};

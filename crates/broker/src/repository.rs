@@ -16,7 +16,8 @@ use infosleuth_analysis::{analyze_advertisement, analyze_ldl_source, AdContext, 
 use infosleuth_ldl::{parse_rules, Database, LdlParseError, Program, Rule, Saturated};
 use infosleuth_obs::{Histogram, Obs, StageTimer};
 use infosleuth_ontology::{
-    standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, Taxonomy,
+    standard_capability_taxonomy, Advertisement, BrokerAdvertisement, Ontology, ServiceQuery,
+    Taxonomy,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -363,6 +364,16 @@ impl Repository {
             ctx = ctx.with_registered(old);
         }
         analyze_advertisement(ad, &ctx)
+    }
+
+    /// Statically analyzes a standing service query (a subscription)
+    /// against the repository's taxonomy and registered ontologies,
+    /// without registering it. `origin` names the would-be subscriber.
+    pub fn analyze_subscription(&self, origin: &str, query: &ServiceQuery) -> Report {
+        let ctx = AdContext::new()
+            .with_taxonomy(&self.capability_taxonomy)
+            .with_ontologies(self.ontologies.values());
+        infosleuth_analysis::analyze_service_query(origin, query, &ctx)
     }
 
     /// Validates an advertisement against the repository's knowledge.

@@ -1,0 +1,804 @@
+//! The inverted subscription index: standing service queries bucketed so
+//! that one repository mutation yields the (small) set of subscriptions it
+//! can possibly affect, instead of re-evaluating every standing query.
+//!
+//! The shape follows S-ToPSS-style semantic pub/sub matching: each
+//! subscription registers under its most selective *required* dimension
+//! (agent name, then ontology classes, then capabilities, then the
+//! ontology itself, then conversation types), expanded through the class
+//! hierarchy / capability taxonomy exactly the way
+//! [`Matchmaker`](crate::Matchmaker) expands query dimensions when
+//! narrowing candidates. An advertise/unadvertise/update event probes the
+//! buckets with the changed advertisement's own dimensions (old *and* new
+//! versions), so the result is a sound over-approximation: every
+//! subscription whose match set could have changed is in the candidate
+//! set, and false positives only cost one cached re-score that produces an
+//! empty delta.
+//!
+//! Numeric data constraints refine the candidate set through per-slot
+//! interval trees: a subscription constraining `patient.age` to `[25, 65]`
+//! is ruled out for an advertisement restricted to `[80, 90]` without ever
+//! re-scoring it. The trees answer stabbing/overlap queries in
+//! `O(log n + hits)` over the subscriptions that constrain the slot.
+//!
+//! Symbols (class, capability, ontology, conversation, slot names) are
+//! interned into a `u32` space shared across all buckets, the same
+//! technique [`ScoringIndex`](crate::ScoringIndex) uses for derived-fact
+//! probes.
+//!
+//! Soundness limits, mirroring the matchmaker's own pruning rules: when
+//! the repository has derived concept rules registered, class membership
+//! and capability coverage can be invented by inference, so the index
+//! refuses to prune and reports every subscription as affected
+//! ([`SubscriptionRegistry::affected`] checks `has_derived_rules`). The
+//! class expansion is computed against the hierarchy at registration time;
+//! ontologies are expected to be registered before subscriptions open
+//! (re-registering an ontology requires re-registering subscriptions).
+
+use crate::{MatchResult, Repository};
+use infosleuth_constraint::{Bound, Conjunction, Value};
+use infosleuth_ontology::{Advertisement, ServiceQuery};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Internal subscription identifier.
+pub type SubId = u64;
+
+/// A registered standing subscription: the query, where notifications go,
+/// and the last result set delivered (the base for delta computation).
+#[derive(Debug, Clone)]
+pub struct StandingSubscription {
+    pub id: SubId,
+    /// The external subscription id (from `:reply-with` or generated);
+    /// notifications carry it as `:in-reply-to`.
+    pub sub_key: String,
+    /// The agent name notifications are delivered to (`:reply-to` of the
+    /// subscribe message, falling back to the sender).
+    pub subscriber: String,
+    /// Encoded `:x-trace` context from the subscribe message, propagated
+    /// onto every notification.
+    pub trace: Option<String>,
+    pub query: ServiceQuery,
+    /// The result set as of the last notification.
+    pub last: Arc<Vec<MatchResult>>,
+}
+
+/// The dimension a subscription was bucketed under, kept for removal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BucketRef {
+    AgentName(u32),
+    Classes(Vec<u32>),
+    Capabilities(Vec<u32>),
+    Ontology(u32),
+    Conversation(u32),
+    CatchAll,
+}
+
+/// Per-slot interval set with an implicit augmented interval tree over the
+/// intervals sorted by lower end. Mutations mark the tree dirty; the first
+/// query after a mutation rebuilds in `O(n log n)`, so registration bursts
+/// amortize to one rebuild.
+#[derive(Debug, Default)]
+struct SlotIntervals {
+    ranges: HashMap<SubId, (f64, f64)>,
+    sorted: Vec<(f64, f64, SubId)>,
+    /// `max_hi[i]` = max upper end over the implicit subtree rooted at `i`
+    /// (midpoint recursion over `sorted`).
+    max_hi: Vec<f64>,
+    dirty: bool,
+}
+
+impl SlotIntervals {
+    fn insert(&mut self, id: SubId, lo: f64, hi: f64) {
+        self.ranges.insert(id, (lo, hi));
+        self.dirty = true;
+    }
+
+    fn remove(&mut self, id: SubId) -> bool {
+        let hit = self.ranges.remove(&id).is_some();
+        self.dirty |= hit;
+        hit
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    fn rebuild(&mut self) {
+        self.sorted = self.ranges.iter().map(|(id, (lo, hi))| (*lo, *hi, *id)).collect();
+        self.sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        self.max_hi = vec![f64::NEG_INFINITY; self.sorted.len()];
+        if !self.sorted.is_empty() {
+            self.fill_max(0, self.sorted.len());
+        }
+        self.dirty = false;
+    }
+
+    /// Computes subtree maxima for the implicit tree over `[lo, hi)`.
+    fn fill_max(&mut self, lo: usize, hi: usize) -> f64 {
+        if lo >= hi {
+            return f64::NEG_INFINITY;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = self.fill_max(lo, mid);
+        let right = self.fill_max(mid + 1, hi);
+        let m = self.sorted[mid].1.max(left).max(right);
+        self.max_hi[mid] = m;
+        m
+    }
+
+    /// Every subscription whose stored interval overlaps `[qlo, qhi]`
+    /// (bounds treated as closed — a conservative relaxation of bound
+    /// exclusivity). `O(log n + hits)`.
+    fn overlapping(&mut self, qlo: f64, qhi: f64, out: &mut HashSet<SubId>) {
+        if self.dirty {
+            self.rebuild();
+        }
+        self.visit(0, self.sorted.len(), qlo, qhi, out);
+    }
+
+    fn visit(&self, lo: usize, hi: usize, qlo: f64, qhi: f64, out: &mut HashSet<SubId>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        // Nothing in this subtree reaches up to the query's lower end.
+        if self.max_hi[mid] < qlo {
+            return;
+        }
+        self.visit(lo, mid, qlo, qhi, out);
+        let (s_lo, s_hi, id) = self.sorted[mid];
+        if s_lo <= qhi {
+            if s_hi >= qlo {
+                out.insert(id);
+            }
+            self.visit(mid + 1, hi, qlo, qhi, out);
+        }
+        // Else every interval to the right starts past the query: prune.
+    }
+
+    /// The subscriptions constraining this slot to an interval disjoint
+    /// from `[qlo, qhi]` — provably unaffected by an advertisement whose
+    /// domain on the slot is inside that window.
+    fn disjoint(&mut self, qlo: f64, qhi: f64) -> HashSet<SubId> {
+        let mut overlap = HashSet::new();
+        self.overlapping(qlo, qhi, &mut overlap);
+        self.ranges.keys().filter(|id| !overlap.contains(id)).copied().collect()
+    }
+}
+
+/// The inverted index proper: interned dimension buckets plus per-slot
+/// interval trees.
+#[derive(Debug, Default)]
+pub struct SubscriptionIndex {
+    symbols: HashMap<String, u32>,
+    buckets: HashMap<SubId, BucketRef>,
+    by_agent_name: HashMap<u32, BTreeSet<SubId>>,
+    /// Keyed by interned `(ontology, class)` pair symbol.
+    by_class: HashMap<u32, BTreeSet<SubId>>,
+    by_capability: HashMap<u32, BTreeSet<SubId>>,
+    by_ontology: HashMap<u32, BTreeSet<SubId>>,
+    by_conversation: HashMap<u32, BTreeSet<SubId>>,
+    catch_all: BTreeSet<SubId>,
+    /// Keyed by interned slot name; tracks which subscriptions constrain
+    /// the slot numerically (for refinement, not primary candidacy).
+    by_slot: HashMap<u32, SlotIntervals>,
+    slots_of: HashMap<SubId, Vec<u32>>,
+}
+
+/// The numeric hull of one slot's domain under a conjunction, when one
+/// exists. `None` means "not numerically constrained" — never used to
+/// prune.
+fn numeric_hull(c: &Conjunction, slot: &str) -> Option<(f64, f64)> {
+    let dom = c.domain(slot);
+    let as_f64 = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    };
+    // A finite allow-set hulls to [min, max] intersected with the range.
+    let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    match &dom.range.lo {
+        Bound::Unbounded => {}
+        Bound::Incl(v) | Bound::Excl(v) => lo = as_f64(v)?,
+    }
+    match &dom.range.hi {
+        Bound::Unbounded => {}
+        Bound::Incl(v) | Bound::Excl(v) => hi = as_f64(v)?,
+    }
+    if let Some(allowed) = &dom.allowed {
+        let nums: Vec<f64> = allowed.iter().filter_map(as_f64).collect();
+        if nums.len() == allowed.len() && !nums.is_empty() {
+            lo = lo.max(nums.iter().cloned().fold(f64::INFINITY, f64::min));
+            hi = hi.min(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+    if lo == f64::NEG_INFINITY && hi == f64::INFINITY {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+impl SubscriptionIndex {
+    pub fn new() -> Self {
+        SubscriptionIndex::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.symbols.get(s) {
+            return id;
+        }
+        let id = self.symbols.len() as u32;
+        self.symbols.insert(s.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, s: &str) -> Option<u32> {
+        self.symbols.get(s).copied()
+    }
+
+    fn intern_pair(&mut self, a: &str, b: &str) -> u32 {
+        self.intern(&format!("{a}\u{1}{b}"))
+    }
+
+    fn lookup_pair(&self, a: &str, b: &str) -> Option<u32> {
+        self.symbols.get(&format!("{a}\u{1}{b}")).copied()
+    }
+
+    /// Registers a subscription under its most selective required
+    /// dimension. `repo` supplies the class hierarchy and capability
+    /// taxonomy for expansion (mirroring `Matchmaker::candidates`).
+    pub fn insert(&mut self, id: SubId, query: &ServiceQuery, repo: &Repository) {
+        self.remove(id);
+        let bucket = self.choose_bucket(query, repo);
+        match &bucket {
+            BucketRef::AgentName(s) => {
+                self.by_agent_name.entry(*s).or_default().insert(id);
+            }
+            BucketRef::Classes(syms) => {
+                for s in syms {
+                    self.by_class.entry(*s).or_default().insert(id);
+                }
+            }
+            BucketRef::Capabilities(syms) => {
+                for s in syms {
+                    self.by_capability.entry(*s).or_default().insert(id);
+                }
+            }
+            BucketRef::Ontology(s) => {
+                self.by_ontology.entry(*s).or_default().insert(id);
+            }
+            BucketRef::Conversation(s) => {
+                self.by_conversation.entry(*s).or_default().insert(id);
+            }
+            BucketRef::CatchAll => {
+                self.catch_all.insert(id);
+            }
+        }
+        self.buckets.insert(id, bucket);
+        // Numeric constraint intervals, one tree per slot.
+        let mut slots = Vec::new();
+        for slot in query.constraints.constrained_slots() {
+            if let Some((lo, hi)) = numeric_hull(&query.constraints, slot) {
+                let sym = self.intern(slot);
+                self.by_slot.entry(sym).or_default().insert(id, lo, hi);
+                slots.push(sym);
+            }
+        }
+        if !slots.is_empty() {
+            self.slots_of.insert(id, slots);
+        }
+    }
+
+    /// Picks the most selective dimension the query *requires*: agent
+    /// name, then classes (hierarchy-expanded, requires an ontology),
+    /// then capabilities (taxonomy-expanded), then the bare ontology,
+    /// then a conversation type; with no required dimension the
+    /// subscription can be affected by any mutation (catch-all).
+    fn choose_bucket(&mut self, query: &ServiceQuery, repo: &Repository) -> BucketRef {
+        if let Some(name) = &query.agent_name {
+            let s = self.intern(name);
+            return BucketRef::AgentName(s);
+        }
+        if let (Some(onto), false) = (&query.ontology, query.classes.is_empty()) {
+            // One representative class suffices: a matching advertisement
+            // must cover *every* requested class, so probing with any
+            // single class's expansion finds it. Expand through ancestors
+            // (full coverage) and descendants (partial contribution),
+            // exactly like candidate narrowing.
+            let class = query.classes.iter().next().expect("non-empty");
+            let mut names: BTreeSet<String> = BTreeSet::from([class.clone()]);
+            if let Some(o) = repo.ontology(onto) {
+                let h = o.hierarchy();
+                names.extend(h.ancestors(class));
+                names.extend(h.descendants(class));
+            }
+            let syms = names.iter().map(|c| self.intern_pair(onto, c)).collect();
+            return BucketRef::Classes(syms);
+        }
+        if let Some(cap) = query.capabilities.iter().next() {
+            // An advertisement covers a requested capability by advertising
+            // it or an ancestor of it in the taxonomy.
+            let mut names: BTreeSet<String> = BTreeSet::from([cap.as_str().to_string()]);
+            names.extend(repo.capability_taxonomy().ancestors(cap.as_str()));
+            let syms = names.iter().map(|c| self.intern(c)).collect();
+            return BucketRef::Capabilities(syms);
+        }
+        if let Some(onto) = &query.ontology {
+            let s = self.intern(onto);
+            return BucketRef::Ontology(s);
+        }
+        if let Some(conv) = query.conversations.iter().next() {
+            let s = self.intern(&conv.to_string());
+            return BucketRef::Conversation(s);
+        }
+        BucketRef::CatchAll
+    }
+
+    pub fn remove(&mut self, id: SubId) {
+        if let Some(bucket) = self.buckets.remove(&id) {
+            match bucket {
+                BucketRef::AgentName(s) => prune(&mut self.by_agent_name, s, id),
+                BucketRef::Classes(syms) => {
+                    for s in syms {
+                        prune(&mut self.by_class, s, id);
+                    }
+                }
+                BucketRef::Capabilities(syms) => {
+                    for s in syms {
+                        prune(&mut self.by_capability, s, id);
+                    }
+                }
+                BucketRef::Ontology(s) => prune(&mut self.by_ontology, s, id),
+                BucketRef::Conversation(s) => prune(&mut self.by_conversation, s, id),
+                BucketRef::CatchAll => {
+                    self.catch_all.remove(&id);
+                }
+            }
+        }
+        if let Some(slots) = self.slots_of.remove(&id) {
+            for s in slots {
+                if let Some(tree) = self.by_slot.get_mut(&s) {
+                    tree.remove(id);
+                    if tree.is_empty() {
+                        self.by_slot.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The candidate set for a changed advertisement: every subscription
+    /// whose match set could have changed when `old` was replaced by
+    /// `new` (either side `None` for pure advertise/unadvertise).
+    ///
+    /// Sound over-approximation; the caller re-scores candidates and
+    /// drops empty deltas.
+    pub fn affected_by_change(
+        &mut self,
+        old: Option<&Advertisement>,
+        new: Option<&Advertisement>,
+    ) -> BTreeSet<SubId> {
+        let mut out: BTreeSet<SubId> = self.catch_all.iter().copied().collect();
+        for ad in [old, new].into_iter().flatten() {
+            self.collect_for_ad(ad, &mut out);
+        }
+        out
+    }
+
+    fn collect_for_ad(&mut self, ad: &Advertisement, out: &mut BTreeSet<SubId>) {
+        let mut candidates: HashSet<SubId> = HashSet::new();
+        if let Some(s) = self.lookup(&ad.location.name) {
+            if let Some(b) = self.by_agent_name.get(&s) {
+                candidates.extend(b.iter().copied());
+            }
+        }
+        for content in &ad.semantic.content {
+            if let Some(s) = self.lookup(&content.ontology) {
+                if let Some(b) = self.by_ontology.get(&s) {
+                    candidates.extend(b.iter().copied());
+                }
+            }
+            for class in &content.classes {
+                if let Some(s) = self.lookup_pair(&content.ontology, class) {
+                    if let Some(b) = self.by_class.get(&s) {
+                        candidates.extend(b.iter().copied());
+                    }
+                }
+            }
+        }
+        for cap in &ad.semantic.capabilities {
+            if let Some(s) = self.lookup(cap.as_str()) {
+                if let Some(b) = self.by_capability.get(&s) {
+                    candidates.extend(b.iter().copied());
+                }
+            }
+        }
+        for conv in &ad.semantic.conversations {
+            if let Some(s) = self.lookup(&conv.to_string()) {
+                if let Some(b) = self.by_conversation.get(&s) {
+                    candidates.extend(b.iter().copied());
+                }
+            }
+        }
+        // Interval refinement: a subscription constraining a slot to a
+        // window disjoint from the advertisement's own restriction on
+        // that slot cannot match it (constraint overlap is required for
+        // any score), so it cannot be affected by this version.
+        for content in &ad.semantic.content {
+            for slot in content.constraints.constrained_slots() {
+                let Some(sym) = self.lookup(slot) else { continue };
+                let Some((lo, hi)) = numeric_hull(&content.constraints, slot) else { continue };
+                let Some(tree) = self.by_slot.get_mut(&sym) else { continue };
+                for id in tree.disjoint(lo, hi) {
+                    candidates.remove(&id);
+                }
+            }
+        }
+        out.extend(candidates);
+    }
+
+    /// Every registered subscription id, for the conservative fallbacks
+    /// (derived rules, global mutations) and the naive oracle.
+    pub fn all(&self) -> BTreeSet<SubId> {
+        self.buckets.keys().copied().collect()
+    }
+}
+
+fn prune(map: &mut HashMap<u32, BTreeSet<SubId>>, key: u32, id: SubId) {
+    if let Some(set) = map.get_mut(&key) {
+        set.remove(&id);
+        if set.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
+/// The broker-level registry: standing subscriptions plus the index, with
+/// a switch to fall back to the naive all-subscriptions oracle (used by
+/// the parity suite and the benchmark baseline).
+#[derive(Debug, Default)]
+pub struct SubscriptionRegistry {
+    entries: HashMap<SubId, StandingSubscription>,
+    index: SubscriptionIndex,
+    next_id: SubId,
+    /// `false` disables the index: every event affects every subscription.
+    pub use_index: bool,
+}
+
+impl SubscriptionRegistry {
+    pub fn new(use_index: bool) -> Self {
+        SubscriptionRegistry { use_index, ..SubscriptionRegistry::default() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The id the next [`register`](Self::register) call will assign (used
+    /// to mint an external `sub-N` key before registering).
+    pub fn next_key(&self) -> SubId {
+        self.next_id + 1
+    }
+
+    /// Registers a standing subscription and returns its internal id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &mut self,
+        sub_key: String,
+        subscriber: String,
+        trace: Option<String>,
+        query: ServiceQuery,
+        last: Arc<Vec<MatchResult>>,
+        repo: &Repository,
+    ) -> SubId {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.index.insert(id, &query, repo);
+        self.entries
+            .insert(id, StandingSubscription { id, sub_key, subscriber, trace, query, last });
+        id
+    }
+
+    pub fn remove(&mut self, id: SubId) -> Option<StandingSubscription> {
+        self.index.remove(id);
+        self.entries.remove(&id)
+    }
+
+    pub fn entry(&self, id: SubId) -> Option<&StandingSubscription> {
+        self.entries.get(&id)
+    }
+
+    /// Every registered subscription id, ascending (deterministic order
+    /// for full re-evaluation sweeps).
+    pub fn ids(&self) -> BTreeSet<SubId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Looks up a subscription by its external key and subscriber (the
+    /// unsubscribe path: only the registering subscriber may cancel).
+    pub fn find(&self, sub_key: &str, subscriber: &str) -> Option<SubId> {
+        self.entries
+            .values()
+            .find(|s| s.sub_key == sub_key && s.subscriber == subscriber)
+            .map(|s| s.id)
+    }
+
+    /// Replaces a subscription's last-delivered result set.
+    pub fn update_last(&mut self, id: SubId, last: Arc<Vec<MatchResult>>) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last = last;
+        }
+    }
+
+    /// The subscriptions to re-score for an advertisement change. Indexed
+    /// when sound; otherwise (naive mode, derived rules registered) every
+    /// subscription.
+    pub fn affected(
+        &mut self,
+        old: Option<&Advertisement>,
+        new: Option<&Advertisement>,
+        repo: &Repository,
+    ) -> BTreeSet<SubId> {
+        if !self.use_index || repo.has_derived_rules() {
+            return self.index.all();
+        }
+        self.index.affected_by_change(old, new)
+    }
+}
+
+/// The notification delta between two result sets: `matched` carries every
+/// result row that is new or whose score/address changed, `unmatched` the
+/// names that left the set. Both paths (indexed and naive) feed the same
+/// diff, so parity reduces to result-set equality.
+pub fn result_delta(old: &[MatchResult], new: &[MatchResult]) -> (Vec<MatchResult>, Vec<String>) {
+    let old_by_name: HashMap<&str, &MatchResult> =
+        old.iter().map(|m| (m.name.as_str(), m)).collect();
+    let new_names: HashSet<&str> = new.iter().map(|m| m.name.as_str()).collect();
+    let matched = new
+        .iter()
+        .filter(|m| old_by_name.get(m.name.as_str()).map_or(true, |o| *o != *m))
+        .cloned()
+        .collect();
+    let unmatched = old
+        .iter()
+        .filter(|m| !new_names.contains(m.name.as_str()))
+        .map(|m| m.name.clone())
+        .collect();
+    (matched, unmatched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_constraint::{Conjunction, Predicate};
+    use infosleuth_ontology::{
+        paper_class_ontology, AgentLocation, AgentType, Capability, OntologyContent, SemanticInfo,
+    };
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.register_ontology(paper_class_ontology());
+        r
+    }
+
+    fn ad(name: &str, classes: &[&str], constraints: Option<Conjunction>) -> Advertisement {
+        let mut content =
+            OntologyContent::new("paper-classes").with_classes(classes.iter().copied());
+        if let Some(c) = constraints {
+            content = content.with_constraints(c);
+        }
+        Advertisement::new(AgentLocation::new(
+            name,
+            format!("tcp://{name}.mcc.com:4000"),
+            AgentType::Resource,
+        ))
+        .with_semantic(SemanticInfo::default().with_content(content))
+    }
+
+    fn class_query(class: &str) -> ServiceQuery {
+        ServiceQuery::any().with_ontology("paper-classes").with_classes([class])
+    }
+
+    #[test]
+    fn class_buckets_prune_unrelated_subscriptions() {
+        let repo = repo();
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(1, &class_query("C1"), &repo);
+        idx.insert(2, &class_query("C2"), &repo);
+        let hit = idx.affected_by_change(None, Some(&ad("ra", &["C1"], None)));
+        assert!(hit.contains(&1));
+        assert!(!hit.contains(&2));
+        // Both old and new versions probe: moving an agent from C2 to C1
+        // affects both subscriptions.
+        let hit =
+            idx.affected_by_change(Some(&ad("ra", &["C2"], None)), Some(&ad("ra", &["C1"], None)));
+        assert!(hit.contains(&1) && hit.contains(&2));
+    }
+
+    #[test]
+    fn class_expansion_follows_the_hierarchy() {
+        let repo = repo();
+        let o = paper_class_ontology();
+        let h = o.hierarchy();
+        // Find a class with a parent so the expansion is non-trivial.
+        let child = o
+            .class_names()
+            .find(|c| !h.ancestors(c).is_empty())
+            .expect("paper ontology has a subclass");
+        let parent = &h.ancestors(child)[0];
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(7, &class_query(child), &repo);
+        // An agent advertising only the ancestor still affects the child
+        // subscription (full-coverage matches).
+        let hit = idx.affected_by_change(None, Some(&ad("ra", &[parent], None)));
+        assert!(hit.contains(&7), "ancestor advertisement must hit the subscription");
+    }
+
+    #[test]
+    fn catch_all_subscriptions_always_probe() {
+        let repo = repo();
+        let mut idx = SubscriptionIndex::new();
+        idx.insert(1, &ServiceQuery::for_agent_type(AgentType::Resource), &repo);
+        let hit = idx.affected_by_change(None, Some(&ad("ra", &["C1"], None)));
+        assert!(hit.contains(&1));
+    }
+
+    #[test]
+    fn agent_name_bucket_is_exact() {
+        let repo = repo();
+        let mut idx = SubscriptionIndex::new();
+        let mut q = ServiceQuery::any();
+        q.agent_name = Some("ra-1".into());
+        idx.insert(1, &q, &repo);
+        assert!(idx.affected_by_change(None, Some(&ad("ra-1", &["C1"], None))).contains(&1));
+        assert!(idx.affected_by_change(None, Some(&ad("ra-2", &["C1"], None))).is_empty());
+    }
+
+    #[test]
+    fn capability_bucket_expands_ancestors() {
+        let mut r = Repository::new();
+        r.register_ontology(paper_class_ontology());
+        let mut idx = SubscriptionIndex::new();
+        let q = ServiceQuery::any().with_capability(Capability::subscription());
+        idx.insert(1, &q, &r);
+        let mut a = ad("ra", &[], None);
+        a.semantic.capabilities.insert(Capability::subscription());
+        assert!(idx.affected_by_change(None, Some(&a)).contains(&1));
+        let b = ad("rb", &[], None);
+        assert!(idx.affected_by_change(None, Some(&b)).is_empty());
+    }
+
+    #[test]
+    fn interval_trees_rule_out_disjoint_constraint_windows() {
+        let repo = repo();
+        let mut idx = SubscriptionIndex::new();
+        let q_lo = class_query("C1").with_constraints(Conjunction::from_predicates(vec![
+            Predicate::between("C1.a", 0, 10),
+        ]));
+        let q_hi = class_query("C1").with_constraints(Conjunction::from_predicates(vec![
+            Predicate::between("C1.a", 100, 110),
+        ]));
+        idx.insert(1, &q_lo, &repo);
+        idx.insert(2, &q_hi, &repo);
+        let narrow = ad(
+            "ra",
+            &["C1"],
+            Some(Conjunction::from_predicates(vec![Predicate::between("C1.a", 5, 8)])),
+        );
+        let hit = idx.affected_by_change(None, Some(&narrow));
+        assert!(hit.contains(&1), "overlapping window stays a candidate");
+        assert!(!hit.contains(&2), "disjoint window is pruned");
+        // An advertisement without a restriction on the slot can match
+        // either subscription: nothing is pruned.
+        let open = ad("rb", &["C1"], None);
+        let hit = idx.affected_by_change(None, Some(&open));
+        assert!(hit.contains(&1) && hit.contains(&2));
+    }
+
+    #[test]
+    fn interval_tree_overlap_matches_linear_scan() {
+        // Deterministic pseudo-random windows; the tree must agree with a
+        // brute-force overlap check for every probe.
+        let mut tree = SlotIntervals::default();
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut windows = Vec::new();
+        for id in 0..200u64 {
+            let lo = (next() % 1000) as f64;
+            let hi = lo + (next() % 50) as f64;
+            tree.insert(id, lo, hi);
+            windows.push((id, lo, hi));
+        }
+        for _ in 0..50 {
+            let qlo = (next() % 1000) as f64;
+            let qhi = qlo + (next() % 80) as f64;
+            let mut got = HashSet::new();
+            tree.overlapping(qlo, qhi, &mut got);
+            let want: HashSet<SubId> = windows
+                .iter()
+                .filter(|(_, lo, hi)| *lo <= qhi && *hi >= qlo)
+                .map(|(id, _, _)| *id)
+                .collect();
+            assert_eq!(got, want, "probe [{qlo}, {qhi}]");
+        }
+        // Removal keeps the structure consistent.
+        tree.remove(0);
+        let mut got = HashSet::new();
+        tree.overlapping(0.0, 2000.0, &mut got);
+        assert_eq!(got.len(), 199);
+    }
+
+    #[test]
+    fn removal_unregisters_every_bucket() {
+        let repo = repo();
+        let mut idx = SubscriptionIndex::new();
+        let q = class_query("C1").with_constraints(Conjunction::from_predicates(vec![
+            Predicate::between("C1.a", 0, 10),
+        ]));
+        idx.insert(1, &q, &repo);
+        assert_eq!(idx.len(), 1);
+        idx.remove(1);
+        assert_eq!(idx.len(), 0);
+        assert!(idx.affected_by_change(None, Some(&ad("ra", &["C1"], None))).is_empty());
+    }
+
+    #[test]
+    fn registry_falls_back_to_all_under_derived_rules() {
+        let mut r = repo();
+        let mut reg = SubscriptionRegistry::new(true);
+        let id = reg.register(
+            "s1".into(),
+            "watcher".into(),
+            None,
+            class_query("C1"),
+            Arc::new(Vec::new()),
+            &r,
+        );
+        let other = reg.affected(None, Some(&ad("ra", &["C2"], None)), &r);
+        assert!(!other.contains(&id), "index prunes the unrelated class");
+        r.register_derived_rules("cap(A, polling) :- cap(A, subscription).").expect("rules admit");
+        let all = reg.affected(None, Some(&ad("ra", &["C2"], None)), &r);
+        assert!(all.contains(&id), "derived rules disable pruning");
+    }
+
+    #[test]
+    fn delta_reports_entries_leavers_and_score_changes() {
+        let m = |name: &str, score: u32| MatchResult {
+            name: name.into(),
+            score,
+            ..MatchResult::default()
+        };
+        let old = vec![m("a", 3), m("b", 2)];
+        let new = vec![m("a", 3), m("c", 4)];
+        let (matched, unmatched) = result_delta(&old, &new);
+        assert_eq!(matched.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(unmatched, vec!["b"]);
+        // A score change re-announces the entry.
+        let bumped = vec![m("a", 5), m("b", 2)];
+        let (matched, unmatched) = result_delta(&old, &bumped);
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].name, "a");
+        assert!(unmatched.is_empty());
+        // Identical sets produce an empty delta (no notification).
+        let (matched, unmatched) = result_delta(&old, &old.clone());
+        assert!(matched.is_empty() && unmatched.is_empty());
+    }
+}

@@ -285,7 +285,11 @@ fn apply_update(spec: &mut ResourceSpec, rows: &Table) -> Result<usize, String> 
 }
 
 /// Re-evaluates a subscription; when the result changed, sends the
-/// subscriber a `tell` notification tagged with the subscription id.
+/// subscriber a `tell` notification tagged with the subscription id. The
+/// first notification is the full snapshot (`(table ...)`); every later
+/// one carries only the row-level delta against the previously delivered
+/// result (`(delta (added ...) (removed ...))`). An unchanged result sends
+/// nothing.
 fn notify_if_changed(ctx: &AgentContext, spec: &ResourceSpec, sub: &mut Subscription) {
     let Ok(stmt) = parse_select(&sub.sql) else {
         return;
@@ -294,12 +298,18 @@ fn notify_if_changed(ctx: &AgentContext, spec: &ResourceSpec, sub: &mut Subscrip
     let Ok(result) = execute(&logical, &spec.catalog) else {
         return;
     };
-    if sub.last.as_ref() == Some(&result) {
-        return;
-    }
-    let notification = Message::new(Performative::Tell)
-        .with_in_reply_to(sub.id.clone())
-        .with_content(tablecodec::table_to_sexpr(&result));
+    let content = match &sub.last {
+        None => tablecodec::table_to_sexpr(&result),
+        Some(last) => {
+            let (added, removed) = tablecodec::table_diff(last, &result);
+            if added.is_empty() && removed.is_empty() {
+                return;
+            }
+            tablecodec::table_delta_to_sexpr(&added, &removed)
+        }
+    };
+    let notification =
+        Message::new(Performative::Tell).with_in_reply_to(sub.id.clone()).with_content(content);
     let _ = ctx.send(&sub.subscriber, notification);
     sub.last = Some(result);
 }
@@ -519,14 +529,24 @@ mod tests {
         let snapshot = client.recv_timeout(Duration::from_secs(2)).expect("initial snapshot");
         let t = tablecodec::table_from_sexpr(snapshot.message.content().unwrap()).unwrap();
         assert_eq!(t.len(), 1);
-        // An update triggers a change notification.
+        // An update triggers a row-level delta: only the inserted row.
         let update = Message::new(Performative::Update)
             .with_content(tablecodec::table_to_sexpr(&table("C2", vec![(2, 20)])));
         let reply = client.request("ra-test", update, Duration::from_secs(2)).unwrap();
         assert_eq!(reply.performative, Performative::Tell);
         let notify = client.recv_timeout(Duration::from_secs(2)).expect("change notification");
-        let t = tablecodec::table_from_sexpr(notify.message.content().unwrap()).unwrap();
-        assert_eq!(t.len(), 2);
+        let (added, removed) =
+            tablecodec::table_delta_from_sexpr(notify.message.content().unwrap()).unwrap();
+        assert_eq!(added.len(), 1);
+        assert_eq!(added.value(0, "id"), Some(&Value::Int(2)));
+        assert!(removed.is_empty());
+        // Re-sending the same rows leaves the result unchanged: the agent
+        // stays silent (no empty-delta notification).
+        let update = Message::new(Performative::Update)
+            .with_content(tablecodec::table_to_sexpr(&table("C2", vec![])));
+        let reply = client.request("ra-test", update, Duration::from_secs(2)).unwrap();
+        assert_eq!(reply.performative, Performative::Tell);
+        assert!(client.recv_timeout(Duration::from_millis(200)).is_none());
         handle.stop();
         runtime.shutdown();
     }

@@ -142,6 +142,54 @@ pub fn table_from_sexpr(e: &SExpr) -> Result<Table, TableCodecError> {
     Ok(table)
 }
 
+/// Encodes a row-level subscription delta:
+/// `(delta (added (table ...)) (removed (table ...)))`. Both tables share
+/// the subscribed query's schema; either side may be empty.
+pub fn table_delta_to_sexpr(added: &Table, removed: &Table) -> SExpr {
+    SExpr::list([
+        SExpr::atom("delta"),
+        SExpr::list([SExpr::atom("added"), table_to_sexpr(added)]),
+        SExpr::list([SExpr::atom("removed"), table_to_sexpr(removed)]),
+    ])
+}
+
+/// Decodes a `(delta ...)` payload into `(added, removed)` tables.
+pub fn table_delta_from_sexpr(e: &SExpr) -> Result<(Table, Table), TableCodecError> {
+    let items = e.as_list().ok_or_else(|| err("delta must be a list"))?;
+    if items.first().and_then(SExpr::as_atom) != Some("delta") {
+        return Err(err("expected (delta ...)"));
+    }
+    let section = |head: &str| -> Result<Table, TableCodecError> {
+        let body = items[1..]
+            .iter()
+            .filter_map(SExpr::as_list)
+            .find(|l| l.first().and_then(SExpr::as_atom) == Some(head))
+            .ok_or_else(|| err(format!("delta missing ({head} ...)")))?;
+        table_from_sexpr(body.get(1).ok_or_else(|| err(format!("({head}) missing table")))?)
+    };
+    Ok((section("added")?, section("removed")?))
+}
+
+/// Row-level diff between two result tables with the same schema: rows of
+/// `new` not present in `old` (as a multiset) become `added`, rows of
+/// `old` no longer present become `removed`.
+pub fn table_diff(old: &Table, new: &Table) -> (Table, Table) {
+    let mut unmatched_old: Vec<&[Value]> = old.rows().iter().map(|r| r.as_slice()).collect();
+    let mut added = Table::new(new.name.as_str(), new.columns().to_vec());
+    for row in new.rows() {
+        if let Some(i) = unmatched_old.iter().position(|o| *o == row.as_slice()) {
+            unmatched_old.swap_remove(i);
+        } else {
+            added.push_row(row.clone()).expect("schema matches source table");
+        }
+    }
+    let mut removed = Table::new(old.name.as_str(), old.columns().to_vec());
+    for row in unmatched_old {
+        removed.push_row(row.to_vec()).expect("schema matches source table");
+    }
+    (added, removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +238,29 @@ mod tests {
         t.push_row(vec![Value::Float(100.0)]).unwrap();
         let back = table_from_sexpr(&table_to_sexpr(&t)).unwrap();
         assert!(matches!(back.rows()[0][0], Value::Float(f) if f == 100.0));
+    }
+
+    #[test]
+    fn delta_round_trips_and_diff_is_row_level() {
+        let old = sample();
+        let mut new = Table::new("patient", old.columns().to_vec());
+        // Keep row 0, drop row 1, add a fresh row.
+        new.push_row(old.rows()[0].clone()).unwrap();
+        new.push_row(vec![Value::Int(7), Value::str("new"), Value::Float(1.0), Value::Bool(true)])
+            .unwrap();
+        let (added, removed) = table_diff(&old, &new);
+        assert_eq!(added.len(), 1);
+        assert_eq!(added.rows()[0][0], Value::Int(7));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed.rows()[0][0], Value::Int(-2));
+        let text = table_delta_to_sexpr(&added, &removed).to_string();
+        let (a2, r2) = table_delta_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(a2, added);
+        assert_eq!(r2, removed);
+        // Equal tables diff to empty on both sides.
+        let (a3, r3) = table_diff(&old, &old);
+        assert!(a3.is_empty() && r3.is_empty());
+        assert!(table_delta_from_sexpr(&SExpr::parse("(nonsense)").unwrap()).is_err());
     }
 
     #[test]

@@ -9,15 +9,15 @@
 //!   advertisement, and the standard KQML conversation templates. A clean
 //!   tree reports zero diagnostics.
 //! - [`lint_corpus`] runs the analyzers over a directory of deliberately
-//!   broken inputs (`*.ldl`, `*.ad`, `*.kqml`) and compares each file's
+//!   broken inputs (`*.ldl`, `*.ad`, `*.kqml`, `*.sq`) and compares each file's
 //!   diagnostics against its `*.expected` fixture, one `IS0xx` code per
 //!   line. This is the analyzer's own regression suite.
 
 #![forbid(unsafe_code)]
 
 use infosleuth_analysis::{
-    analyze_advertisement, analyze_ldl_source, analyze_message, analyze_template, AdContext, Code,
-    Diagnostic, Report, Span,
+    analyze_advertisement, analyze_ldl_source, analyze_message, analyze_service_query,
+    analyze_template, AdContext, Code, Diagnostic, Report, Span,
 };
 use infosleuth_core::broker::codec;
 use infosleuth_core::constraint::parse_conjunction;
@@ -108,14 +108,17 @@ impl CorpusCase {
     }
 }
 
-/// Runs the analyzers over every `*.ldl`, `*.ad`, and `*.kqml` file in
-/// `dir` and compares against the `*.expected` fixtures. An `.ldl` file
-/// whose first line contains `% env: matchmaking` is analyzed against the
-/// broker's fact schema; others are analyzed permissively.
+/// Runs the analyzers over every `*.ldl`, `*.ad`, `*.kqml`, and `*.sq`
+/// (standing service query) file in `dir` and compares against the
+/// `*.expected` fixtures. An `.ldl` file whose first line contains
+/// `% env: matchmaking` is analyzed against the broker's fact schema;
+/// others are analyzed permissively.
 pub fn lint_corpus(dir: &Path) -> io::Result<Vec<CorpusCase>> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("ldl" | "ad" | "kqml")))
+        .filter(|p| {
+            matches!(p.extension().and_then(|e| e.to_str()), Some("ldl" | "ad" | "kqml" | "sq"))
+        })
         .collect();
     paths.sort();
     let tax = standard_capability_taxonomy();
@@ -130,6 +133,7 @@ pub fn lint_corpus(dir: &Path) -> io::Result<Vec<CorpusCase>> {
             Some("ldl") => analyze_corpus_ldl(&origin, &src),
             Some("ad") => analyze_corpus_ad(&origin, &src, &ctx),
             Some("kqml") => analyze_corpus_kqml(&origin, &src),
+            Some("sq") => analyze_corpus_sq(&origin, &src, &ctx),
             _ => unreachable!("filtered above"),
         };
         let expected = read_expected(&path.with_extension("expected"))?;
@@ -160,6 +164,20 @@ fn analyze_corpus_ad(origin: &str, src: &str, ctx: &AdContext<'_>) -> Report {
             report.origin = origin.to_string();
             report
         }
+        Err(message) => {
+            let mut report = Report::new(origin);
+            report.push(Diagnostic::new(Code::SyntaxError, message).with_span(Span::point(0)));
+            report
+        }
+    }
+}
+
+fn analyze_corpus_sq(origin: &str, src: &str, ctx: &AdContext<'_>) -> Report {
+    let parsed = SExpr::parse(src)
+        .map_err(|e| e.to_string())
+        .and_then(|e| codec::service_query_from_sexpr(&e).map_err(|e| e.to_string()));
+    match parsed {
+        Ok(query) => analyze_service_query(origin, &query, ctx),
         Err(message) => {
             let mut report = Report::new(origin);
             report.push(Diagnostic::new(Code::SyntaxError, message).with_span(Span::point(0)));

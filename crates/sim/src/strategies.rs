@@ -84,6 +84,25 @@ pub struct BrokerSimConfig {
     /// only message handling, until a failure wipes the broker's cache.
     /// Off by default so the paper-figure experiments are unchanged.
     pub match_cache: bool,
+    /// Standing subscriptions registered at each broker; every
+    /// advertisement change makes the broker re-score some of them and
+    /// push delta notifications, competing with query answering for the
+    /// broker's processor. Zero (the default) reproduces the paper's
+    /// workloads, which have none.
+    pub standing_subscriptions: usize,
+    /// Fraction of the standing subscriptions one advertisement change
+    /// affects through the inverted subscription index (the subscribe
+    /// bench measures ~0.25% on its synthetic many-class workload; 1% is
+    /// a conservative default).
+    pub sub_affected_fraction: f64,
+    /// CPU cost per re-scored subscription (the epoch-tagged cached
+    /// re-score plus the delta diff — far below full reasoning).
+    pub sub_rescore_s: f64,
+    /// Route advertisement changes through the inverted subscription
+    /// index, re-scoring only the affected fraction. Turning this off
+    /// models the naive broker that re-evaluates every standing
+    /// subscription on every change.
+    pub sub_indexed: bool,
     /// Inter-broker propagation shape (specialized strategy only).
     pub fanout: Fanout,
     pub params: SimParams,
@@ -103,6 +122,10 @@ impl BrokerSimConfig {
             broker_mean_repair_s: 2700.0,
             msg_handling_s: 0.25,
             match_cache: false,
+            standing_subscriptions: 0,
+            sub_affected_fraction: 0.01,
+            sub_rescore_s: 0.01,
+            sub_indexed: true,
             fanout: Fanout::Star,
             params: SimParams::default(),
             seed: 1,
@@ -122,6 +145,10 @@ pub struct BrokerSimResult {
     /// Replied queries whose result located the unique matching resource
     /// (meaningful with `unique_domains`).
     pub located: u64,
+    /// Subscription-notification batches brokers pushed (one per
+    /// advertisement change processed while the broker was up; zero
+    /// unless `standing_subscriptions` is set).
+    pub sub_notifications: u64,
 }
 
 impl BrokerSimResult {
@@ -145,6 +172,11 @@ enum Ev {
     Arrival,
     Fail(usize),
     Repair(usize),
+    /// An advertisement change reached broker `b`'s repository; the
+    /// affected standing subscriptions must be re-scored.
+    SubChurn(usize),
+    /// Broker `b` finished re-scoring and pushed the delta notifications.
+    SubNotified(usize),
     /// Query delivered at its origin broker.
     BrokerRecv(usize),
     /// Origin finished local reasoning.
@@ -319,6 +351,14 @@ pub fn run_broker_sim(cfg: BrokerSimConfig) -> BrokerSimResult {
             sim.core.at(t, Ev::Fail(b));
         }
     }
+    // Advertisement churn driving standing-subscription notifications
+    // arrives at each broker at the §4.2.2 maintenance cadence.
+    if sim.cfg.standing_subscriptions > 0 {
+        for b in 0..sim.cfg.brokers {
+            let t = sim.rng.exponential(sim.cfg.params.ping_interval_s);
+            sim.core.at(t, Ev::SubChurn(b));
+        }
+    }
 
     while let Some((_, ev)) = sim.core.next_event() {
         sim.handle(ev);
@@ -473,6 +513,28 @@ impl Sim {
                         let t = self.rng.exponential(mean_fail);
                         self.core.at(t, Ev::Fail(b));
                     }
+                }
+            }
+            Ev::SubChurn(b) => {
+                if self.core.now() <= self.cfg.params.sim_duration_s {
+                    let t = self.rng.exponential(self.cfg.params.ping_interval_s);
+                    self.core.at(t, Ev::SubChurn(b));
+                }
+                if !self.core.is_up(self.procs[b]) {
+                    return; // a down broker processes no repository changes
+                }
+                let subs = self.cfg.standing_subscriptions as f64;
+                let rescored = if self.cfg.sub_indexed {
+                    (subs * self.cfg.sub_affected_fraction).ceil()
+                } else {
+                    subs
+                };
+                let work = self.cfg.msg_handling_s + rescored * self.cfg.sub_rescore_s;
+                self.core.exec(self.procs[b], work, Ev::SubNotified(b));
+            }
+            Ev::SubNotified(b) => {
+                if self.core.is_up(self.procs[b]) {
+                    self.result.sub_notifications += 1;
                 }
             }
             Ev::BrokerRecv(qid) => {
@@ -693,6 +755,7 @@ pub fn run_averaged(base: BrokerSimConfig) -> BrokerSimResult {
         total.issued += r.issued;
         total.replied += r.replied;
         total.located += r.located;
+        total.sub_notifications += r.sub_notifications;
     }
     total
 }
@@ -781,6 +844,37 @@ mod tests {
         );
         // Default stays off so the paper-figure experiments are untouched.
         assert!(!BrokerSimConfig::new(32, 8, Strategy::Specialized).match_cache);
+    }
+
+    #[test]
+    fn standing_subscription_load_defaults_off_and_the_index_sheds_it() {
+        // Default: no standing subscriptions, so the paper-figure
+        // experiments see zero notification events.
+        let base = run_broker_sim(quick(Strategy::Specialized, 30.0));
+        assert_eq!(base.sub_notifications, 0);
+        assert_eq!(BrokerSimConfig::new(32, 8, Strategy::Specialized).standing_subscriptions, 0);
+
+        // 10k standing subscriptions per broker. Indexed, each churn
+        // event re-scores ~1% of them (≈1 s of CPU at the default
+        // rescore cost) — background noise next to query answering.
+        let mut indexed = quick(Strategy::Specialized, 30.0);
+        indexed.standing_subscriptions = 10_000;
+        let on = run_broker_sim(indexed.clone());
+        assert!(on.sub_notifications > 0, "churn events must produce notifications");
+        assert_eq!(on.issued, on.replied, "notification load must not lose queries");
+
+        // Naive, the same churn re-scores all 10k per event (≈100 s of
+        // CPU every ~30 s): the brokers saturate on notification work
+        // and query response collapses.
+        let mut naive = indexed.clone();
+        naive.sub_indexed = false;
+        let off = run_broker_sim(naive);
+        assert!(
+            off.response.mean() > 5.0 * on.response.mean(),
+            "naive re-evaluation {} should swamp the indexed path {}",
+            off.response.mean(),
+            on.response.mean()
+        );
     }
 
     #[test]

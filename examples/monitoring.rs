@@ -12,7 +12,7 @@ use infosleuth_core::constraint::Value;
 use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::ontology::healthcare_ontology;
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec, Table};
-use infosleuth_core::tablecodec::{table_from_sexpr, table_to_sexpr};
+use infosleuth_core::tablecodec::{table_delta_from_sexpr, table_from_sexpr, table_to_sexpr};
 use infosleuth_core::{Community, ResourceDef};
 use std::time::Duration;
 
@@ -82,16 +82,20 @@ fn main() {
         .expect("update lands");
     assert_eq!(ack.performative, Performative::Tell);
 
-    // …and the notification arrives.
+    // …and the notification arrives — carrying only the row-level delta
+    // against the snapshot, not the whole result set.
     let notification = mhn.recv_timeout(T).expect("notification relayed");
-    let t1 = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
+    let (added, removed) =
+        table_delta_from_sexpr(notification.message.content().expect("delta")).expect("decodes");
     println!(
-        "NOTIFICATION from {}: {} matching stay(s) now",
+        "NOTIFICATION from {}: {} stay(s) joined, {} left",
         notification.message.get_text("resource").unwrap_or("?"),
-        t1.len()
+        added.len(),
+        removed.len()
     );
-    assert_eq!(t1.len(), 1);
-    print!("{t1}");
+    assert_eq!(added.len(), 1);
+    assert!(removed.is_empty(), "nothing matched before, so nothing can leave");
+    print!("{added}");
 
     community.shutdown();
     println!("\ndone.");

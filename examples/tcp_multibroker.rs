@@ -21,20 +21,26 @@
 //! Exits non-zero if any agent counted a delivery failure, if the
 //! monitor cannot produce one connected trace tree spanning at least
 //! three agents (user query → broker → resource agent), if
-//! `broker_match_requests_total` never moved, or if any histogram in the
-//! scrape is empty — so CI can run this binary as a smoke test for the
-//! TCP transport *and* the metrics plane.
+//! `broker_match_requests_total` or `broker_sub_notifications_total`
+//! never moved, or if any histogram in the scrape is empty (which forces
+//! the standing-subscription churn below to exercise both brokers'
+//! `broker_sub_notify_seconds`) — so CI can run this binary as a smoke
+//! test for the TCP transport *and* the metrics plane.
 
 use infosleuth_core::agent::{
     spawn_obs_reporter, AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt,
     LOG_ONTOLOGY,
 };
 use infosleuth_core::broker::{
-    interconnect, query_broker, BrokerAgent, BrokerConfig, Repository, SearchPolicy,
+    advertise_to, codec, interconnect, query_broker, subscribe_to, unadvertise_from, BrokerAgent,
+    BrokerConfig, Repository, SearchPolicy,
 };
 use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::obs::{build_trace_tree, scrape, Obs, SpanNode, SpanRecord};
-use infosleuth_core::ontology::{paper_class_ontology, AgentType, Ontology, ServiceQuery};
+use infosleuth_core::ontology::{
+    paper_class_ontology, Advertisement, AgentLocation, AgentType, Ontology, OntologyContent,
+    SemanticInfo, ServiceQuery,
+};
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
 use infosleuth_core::{
     spawn_monitor_agent_on, spawn_mrq_agent_on, spawn_resource_agent_on, MonitorSpec, MrqSpec,
@@ -89,7 +95,9 @@ fn main() -> ExitCode {
     // endpoints ("broker-1.w3") are covered by the base-name routes.
     node_a.add_route("broker-2", node_b.address());
     node_a.add_route("ra-c2", node_b.address());
-    for agent in ["broker-1", "monitor-agent", "mrq-agent", "ra-c1", "mhn-user", "probe"] {
+    for agent in
+        ["broker-1", "monitor-agent", "mrq-agent", "ra-c1", "mhn-user", "probe", "sub-watcher"]
+    {
         node_b.add_route(agent, node_a.address());
     }
 
@@ -215,6 +223,41 @@ fn main() -> ExitCode {
         assert_eq!(table.len(), want);
     }
 
+    // --- Standing subscriptions: churn notifications cross the socket. -
+    // One C3 subscription per broker, every notification delivered to a
+    // `reply-to` watcher endpoint on node A (broker-2's cross a real
+    // socket). The scrape gates below require both brokers' subscription
+    // counters and notification-latency histograms to move, so this
+    // section is load-bearing for the metrics plane.
+    let mut watcher =
+        (Arc::clone(&node_a) as Arc<dyn Transport>).endpoint("sub-watcher").expect("fresh name");
+    let c3_query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C3"]);
+    for (broker, agent) in [("broker-1", "ra-c3-a"), ("broker-2", "ra-c3-b")] {
+        let key = subscribe_to(&mut probe, broker, &c3_query, "sub-watcher", T)
+            .expect("broker answers")
+            .expect("subscription admitted");
+        let snap = watcher.recv_timeout(T).expect("initial snapshot notification");
+        assert_eq!(snap.message.in_reply_to(), Some(key.as_str()), "snapshot carries the sub key");
+        let ad = Advertisement::new(AgentLocation::new(agent, "tcp://h:7003", AgentType::Resource))
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_content(OntologyContent::new("paper-classes").with_classes(["C3"])),
+            );
+        assert!(advertise_to(&mut probe, broker, &ad, T).expect("broker answers"));
+        let note = watcher.recv_timeout(T).expect("join notification");
+        let (_, matched, _) =
+            codec::sub_delta_from_sexpr(note.message.content().expect("delta")).expect("decodes");
+        assert_eq!(names(&matched), [agent], "join delta carries only the new agent");
+        assert!(unadvertise_from(&mut probe, broker, agent, T).expect("broker answers"));
+        let note = watcher.recv_timeout(T).expect("leave notification");
+        let (_, _, unmatched) =
+            codec::sub_delta_from_sexpr(note.message.content().expect("delta")).expect("decodes");
+        assert_eq!(unmatched, [agent], "leave delta names only the departed agent");
+        println!("{broker}: standing C3 subscription saw {agent} join and leave");
+    }
+
     // --- Observability gate 1: one connected cross-agent trace. -------
     // Dispatch spans close a beat after the requester has its reply;
     // give them a moment, then force a flush from both nodes and wait
@@ -246,6 +289,11 @@ fn main() -> ExitCode {
     println!("scrape: match cache hits = {cache_hits}, misses = {cache_misses}");
     assert!(cache_hits >= 1.0, "the repeated C2 query never hit the match cache:\n{text}");
     assert!(cache_misses >= 1.0, "first-time queries must count as cache misses:\n{text}");
+    let sub_notes = sample_total(&text, "broker_sub_notifications_total");
+    println!("scrape: broker_sub_notifications_total = {sub_notes}");
+    assert!(sub_notes >= 4.0, "subscription churn produced no notifications in:\n{text}");
+    // Every registered histogram must have observations — including each
+    // broker's broker_sub_notify_seconds, fed by the churn above.
     let empty = empty_histograms(&text);
     assert!(empty.is_empty(), "empty histograms in scrape: {empty:?}\n{text}");
 

@@ -11,7 +11,7 @@ use infosleuth_core::ontology::{
 };
 use infosleuth_core::relquery::{Catalog, Column, Table};
 use infosleuth_core::resource_agent::{spawn_resource_agent, ResourceSpec};
-use infosleuth_core::tablecodec::{table_from_sexpr, table_to_sexpr};
+use infosleuth_core::tablecodec::{table_delta_from_sexpr, table_from_sexpr, table_to_sexpr};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,8 +77,11 @@ fn subscribe_receives_snapshot_then_change_notifications() {
     assert_eq!(ack.performative, Performative::Tell);
     let notification = client.recv_timeout(T).expect("change notification");
     assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
-    let table = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
-    assert_eq!(table.len(), 2, "both matching rows in the new result");
+    let (added, removed) =
+        table_delta_from_sexpr(notification.message.content().expect("delta")).expect("decodes");
+    assert_eq!(added.len(), 1, "only the inserted row travels");
+    assert_eq!(added.value(0, "id"), Some(&Value::Int(2)));
+    assert!(removed.is_empty());
 
     // A non-matching insert changes nothing: ack but no notification.
     let update =
@@ -155,8 +158,11 @@ fn monitor_agent_relays_change_notifications() {
     assert_eq!(ack.performative, Performative::Tell);
     let notification = watcher.recv_timeout(T).expect("change relayed");
     assert_eq!(notification.message.in_reply_to(), Some(sub_id.as_str()));
-    let t1 = table_from_sexpr(notification.message.content().expect("table")).expect("decodes");
-    assert_eq!(t1.len(), 2);
+    let (added, removed) =
+        table_delta_from_sexpr(notification.message.content().expect("delta")).expect("decodes");
+    assert_eq!(added.len(), 1, "the relay forwards the row-level delta untouched");
+    assert_eq!(added.value(0, "id"), Some(&Value::Int(7)));
+    assert!(removed.is_empty());
 
     // A standing query over an unknown class is declined.
     let nope = watcher

@@ -8,8 +8,8 @@ use infosleuth_core::agent::{
     AgentRuntime, Bus, RuntimeConfig, TcpTransport, Transport, TransportExt,
 };
 use infosleuth_core::broker::{
-    advertise_to, query_broker, unadvertise_from, BrokerAgent, BrokerConfig, BrokerHandle,
-    FollowOption, Repository, SearchPolicy,
+    advertise_to, codec, query_broker, subscribe_to, unadvertise_from, unsubscribe_from,
+    BrokerAgent, BrokerConfig, BrokerHandle, FollowOption, Repository, SearchPolicy,
 };
 use infosleuth_core::obs::{
     build_trace_tree, forest_topology, trace_ids, Obs, RingSink, SpanRecord, SpanSink,
@@ -290,6 +290,125 @@ fn span_trees_are_transport_agnostic() {
     }
     assert!(joined.contains("recv:advertise@broker-1"), "advertises are traced:\n{joined}");
     assert_eq!(over_bus, over_tcp, "span trees differ between bus and TCP");
+}
+
+/// Everything observable about the standing-subscription scenario: the
+/// admission verdicts and the exact decoded notification sequence the
+/// `reply-to` watcher endpoint received.
+#[derive(Debug, PartialEq)]
+struct SubOutcome {
+    /// The vacuous `ServiceQuery::any()` is rejected at admission.
+    vacuous_rejected: bool,
+    /// `(epoch, sorted matched names, unmatched names)` in arrival order.
+    deltas: Vec<(u64, Vec<String>, Vec<String>)>,
+    /// The cancel round-trip succeeded.
+    unsubscribed: bool,
+}
+
+/// Registers a standing C2 subscription whose notifications go to a
+/// separate `reply-to` watcher endpoint, churns advertisements through the
+/// broker (joins, a miss, an update out of scope, a departure), cancels,
+/// then churns once more — the post-cancel silence is part of the compared
+/// outcome.
+fn run_subscription_scenario(
+    agents_node: &Arc<dyn Transport>,
+    broker: &BrokerHandle,
+) -> SubOutcome {
+    let mut probe = agents_node.endpoint("sub-probe").expect("fresh name");
+    let mut watcher = agents_node.endpoint("sub-watcher").expect("fresh name");
+    let b = broker.name();
+
+    let vacuous_rejected = subscribe_to(
+        &mut probe,
+        b,
+        &infosleuth_core::ontology::ServiceQuery::any(),
+        "sub-watcher",
+        T,
+    )
+    .expect("broker answers")
+    .is_none();
+    let key = subscribe_to(&mut probe, b, &class_query("C2"), "sub-watcher", T)
+        .expect("broker answers")
+        .expect("subscription admitted");
+
+    // Churn: sx-1 joins, sx-miss is out of scope, sx-2 joins, sx-1 drifts
+    // out of the subscribed class, sx-2 unadvertises.
+    for (name, class) in [("sx-1", "C2"), ("sx-miss", "C1"), ("sx-2", "C2"), ("sx-1", "C3")] {
+        let ok = advertise_to(&mut probe, b, &resource_ad(name, class), T).expect("broker answers");
+        assert!(ok, "{name} advertises as {class}");
+    }
+    assert!(unadvertise_from(&mut probe, b, "sx-2", T).expect("broker answers"));
+
+    let unsubscribed =
+        unsubscribe_from(&mut probe, b, &key, "sub-watcher", T).expect("broker answers");
+    let ok = advertise_to(&mut probe, b, &resource_ad("sx-3", "C2"), T).expect("broker answers");
+    assert!(ok, "post-cancel churn is admitted");
+
+    let mut deltas = Vec::new();
+    while let Some(env) = watcher.recv_timeout(Duration::from_millis(300)) {
+        assert_eq!(
+            env.message.in_reply_to(),
+            Some(key.as_str()),
+            "notification routed by subscription key"
+        );
+        let (epoch, matched, unmatched) =
+            codec::sub_delta_from_sexpr(env.message.content().expect("delta content"))
+                .expect("well-formed sub-delta");
+        let mut names: Vec<String> = matched.into_iter().map(|m| m.name).collect();
+        names.sort();
+        deltas.push((epoch, names, unmatched));
+    }
+    SubOutcome { vacuous_rejected, deltas, unsubscribed }
+}
+
+fn run_subscription_over_bus() -> SubOutcome {
+    let bus = Bus::new();
+    let broker =
+        BrokerAgent::spawn(&bus, broker_config("broker-sub", 5003), repo()).expect("broker spawns");
+    let outcome = run_subscription_scenario(&bus.as_transport(), &broker);
+    broker.stop();
+    outcome
+}
+
+fn run_subscription_over_tcp() -> SubOutcome {
+    // The broker alone on node B; the subscriber and its reply-to watcher
+    // on node A — every notification crosses a real socket.
+    let node_a = TcpTransport::bind("127.0.0.1:0").expect("bind node A");
+    let node_b = TcpTransport::bind("127.0.0.1:0").expect("bind node B");
+    node_a.add_route("broker-sub", node_b.address());
+    for agent in ["sub-probe", "sub-watcher"] {
+        node_b.add_route(agent, node_a.address());
+    }
+    let broker = BrokerAgent::spawn_over(
+        Arc::clone(&node_b) as Arc<dyn Transport>,
+        broker_config("broker-sub", 5003),
+        repo(),
+    )
+    .expect("broker spawns");
+    let outcome = run_subscription_scenario(&(Arc::clone(&node_a) as Arc<dyn Transport>), &broker);
+    broker.stop();
+    outcome
+}
+
+/// Standing subscriptions are deployment-invariant: admission verdicts,
+/// the snapshot, every incremental delta (and the post-cancel silence)
+/// arrive identically over the in-proc bus and over TCP, delivered to the
+/// `reply-to` endpoint rather than the subscriber's own mailbox.
+#[test]
+fn standing_subscriptions_are_transport_agnostic() {
+    let over_bus = run_subscription_over_bus();
+    let over_tcp = run_subscription_over_tcp();
+    assert!(over_bus.vacuous_rejected, "vacuous query rejected at admission");
+    assert!(over_bus.unsubscribed);
+    // Snapshot (empty repo) + sx-1 join + sx-2 join + sx-1 drift +
+    // sx-2 departure; nothing for sx-miss or the post-cancel sx-3.
+    assert_eq!(over_bus.deltas.len(), 5, "deltas: {:?}", over_bus.deltas);
+    assert!(over_bus.deltas[0].1.is_empty() && over_bus.deltas[0].2.is_empty());
+    assert_eq!(over_bus.deltas[1].1, vec!["sx-1".to_string()]);
+    assert_eq!(over_bus.deltas[2].1, vec!["sx-2".to_string()]);
+    assert_eq!(over_bus.deltas[3].2, vec!["sx-1".to_string()]);
+    assert_eq!(over_bus.deltas[4].2, vec!["sx-2".to_string()]);
+    assert_eq!(over_bus, over_tcp, "subscription outcome differs between bus and TCP");
 }
 
 #[test]
