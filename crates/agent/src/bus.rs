@@ -84,6 +84,7 @@ impl Bus {
             tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
         })();
         if let (Some(m), Some(started)) = (metrics, started) {
+            m.record_batch(1);
             m.record_send(to, bytes, started.elapsed(), result.is_ok());
             if result.is_ok() {
                 // In-proc delivery is also the receipt.
@@ -91,6 +92,42 @@ impl Bus {
             }
         }
         result
+    }
+
+    /// Delivers a batch of messages in order under a single registry
+    /// read lock, returning one result per message. Per-sender ordering
+    /// and failure semantics are identical to calling [`Bus::send`] in a
+    /// loop.
+    pub fn send_batch(
+        &self,
+        from: &str,
+        batch: Vec<(String, Message)>,
+    ) -> Vec<Result<(), BusError>> {
+        let metrics = self.obs.read().clone();
+        if let Some(m) = &metrics {
+            m.record_batch(batch.len());
+        }
+        let started = metrics.as_ref().map(|_| Instant::now());
+        let reg = self.registry.read();
+        batch
+            .into_iter()
+            .map(|(to, message)| {
+                let bytes = if metrics.is_some() { message.wire_size() } else { 0 };
+                let result = match reg.mailboxes.get(&to) {
+                    None => Err(BusError::UnknownAgent(to.clone())),
+                    Some(tx) => {
+                        tx.deliver(Envelope { from: from.to_string(), to: to.clone(), message })
+                    }
+                };
+                if let (Some(m), Some(started)) = (&metrics, started) {
+                    m.record_send(&to, bytes, started.elapsed(), result.is_ok());
+                    if result.is_ok() {
+                        m.record_recv(bytes);
+                    }
+                }
+                result
+            })
+            .collect()
     }
 
     /// A fresh conversation id (for `:reply-with`).
@@ -125,6 +162,10 @@ impl Transport for Bus {
 
     fn send(&self, from: &str, to: &str, message: Message) -> Result<(), BusError> {
         Bus::send(self, from, to, message)
+    }
+
+    fn send_batch(&self, from: &str, batch: Vec<(String, Message)>) -> Vec<Result<(), BusError>> {
+        Bus::send_batch(self, from, batch)
     }
 
     fn next_conversation_id(&self, prefix: &str) -> String {
@@ -330,6 +371,25 @@ mod tests {
             assert!(seen.insert(tag), "duplicate delivery");
         }
         assert!(sink.try_recv().is_none(), "exactly 400 messages expected");
+    }
+
+    #[test]
+    fn send_batch_preserves_order_and_isolates_failures() {
+        let bus = Bus::new();
+        let _a = bus.register("a").unwrap();
+        let mut b = bus.register("b").unwrap();
+        let mk = |s: &str| Message::new(Performative::Tell).with_content(SExpr::atom(s));
+        let results = bus.send_batch(
+            "a",
+            vec![("b".into(), mk("one")), ("ghost".into(), mk("lost")), ("b".into(), mk("two"))],
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(BusError::UnknownAgent(_))));
+        assert!(results[2].is_ok());
+        let first = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let second = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.message.content(), Some(&SExpr::atom("one")));
+        assert_eq!(second.message.content(), Some(&SExpr::atom("two")));
     }
 
     #[test]

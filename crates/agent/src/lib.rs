@@ -45,4 +45,4 @@ pub use transport::{
     mailbox, BusError, Endpoint, Envelope, Mailbox, MailboxSender, Requester, Transport,
     TransportError, TransportExt, TransportMetrics,
 };
-pub use workpool::WorkerPool;
+pub use workpool::{configured_workers, WorkerPool};

@@ -88,6 +88,9 @@ struct RuntimeMetrics {
     handler_message_seconds: Histogram,
     handler_tick_seconds: Histogram,
     queue_depth: Gauge,
+    /// Envelopes per dispatch job (`runtime_batch_size`): 1 for every
+    /// plain dispatch, N when a batching agent drained N at once.
+    batch_size: Histogram,
 }
 
 impl RuntimeMetrics {
@@ -99,6 +102,7 @@ impl RuntimeMetrics {
             handler_message_seconds: reg.latency("runtime_handler_seconds", &[("kind", "message")]),
             handler_tick_seconds: reg.latency("runtime_handler_seconds", &[("kind", "tick")]),
             queue_depth: reg.gauge("runtime_queue_depth", &[]),
+            batch_size: reg.size("runtime_batch_size", &[]),
         }
     }
 }
@@ -114,6 +118,33 @@ pub trait AgentBehavior: Send + Sync + 'static {
     /// Handles one delivered envelope. Runs on a pool worker; may block
     /// on (timeout-bounded) requests.
     fn on_message(&self, ctx: &AgentContext, env: Envelope);
+
+    /// Maximum envelopes the event loop may drain into one dispatch.
+    ///
+    /// The default of 1 preserves the per-message path exactly (one
+    /// `recv:<performative>` span per envelope). Returning N > 1 opts
+    /// the agent into [`AgentBehavior::on_batch`]: under load the event
+    /// loop hands the handler up to N queued envelopes at once, letting
+    /// it amortize lock acquisitions and sends across the batch. Each
+    /// batch counts as *one* in-flight job against the per-agent cap,
+    /// so the message-level backpressure bound becomes
+    /// `per_agent_inflight × batch_limit`.
+    fn batch_limit(&self) -> usize {
+        1
+    }
+
+    /// Handles a drained batch of envelopes (only reached when
+    /// [`AgentBehavior::batch_limit`] > 1 and more than one envelope
+    /// was waiting). The default simply loops [`AgentBehavior::on_message`],
+    /// so opting in is semantics-preserving until the agent overrides
+    /// this with an amortized path. The runtime opens no dispatch span
+    /// around a batch — batching agents that care about tracing open
+    /// per-envelope spans themselves as they walk the batch.
+    fn on_batch(&self, ctx: &AgentContext, batch: Vec<Envelope>) {
+        for env in batch {
+            self.on_message(ctx, env);
+        }
+    }
 
     /// If `Some`, [`AgentBehavior::on_tick`] fires roughly this often.
     fn tick_interval(&self) -> Option<Duration> {
@@ -203,6 +234,30 @@ impl AgentContext {
                 Err(e)
             }
         }
+    }
+
+    /// Sends many messages as this agent through one
+    /// [`Transport::send_batch`] call — one registry lock on the bus,
+    /// coalesced frames and acks over TCP. Per-recipient ordering and
+    /// failure accounting match a loop of [`AgentContext::send`]
+    /// exactly; the returned results are index-aligned with the input.
+    pub fn send_batch(&self, batch: Vec<(String, Message)>) -> Vec<Result<(), TransportError>> {
+        let mut stamped = Vec::with_capacity(batch.len());
+        let mut performatives = Vec::with_capacity(batch.len());
+        for (to, mut message) in batch {
+            message.set("sender", SExpr::atom(&self.name));
+            message.set("receiver", SExpr::atom(&to));
+            Self::stamp_trace(&mut message);
+            performatives.push((to.clone(), message.performative.clone()));
+            stamped.push((to, message));
+        }
+        let results = self.transport.send_batch(&self.name, stamped);
+        for (result, (to, performative)) in results.iter().zip(performatives) {
+            if result.is_err() {
+                self.note_delivery_failure(&to, performative);
+            }
+        }
+        results
     }
 
     /// Records a failed delivery and notifies the monitor agent
@@ -307,6 +362,7 @@ impl AgentSlot {
 
 enum Job {
     Message(Arc<AgentSlot>, Envelope),
+    Batch(Arc<AgentSlot>, Vec<Envelope>),
     Tick(Arc<AgentSlot>),
 }
 
@@ -557,6 +613,19 @@ fn worker_loop(shared: &RuntimeShared) {
                 drop(span);
                 shared.metrics.handler_message_seconds.observe_duration(started.elapsed());
                 shared.metrics.dispatch_messages.inc();
+                shared.metrics.batch_size.observe(1.0);
+                slot.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Job::Batch(slot, batch) => {
+                // One job, many envelopes: the handler amortizes its
+                // locks across the drain. No wrapping span — a batching
+                // behavior opens per-envelope spans itself.
+                let n = batch.len();
+                let started = Instant::now();
+                slot.behavior.on_batch(&slot.ctx, batch);
+                shared.metrics.handler_message_seconds.observe_duration(started.elapsed());
+                shared.metrics.dispatch_messages.add(n as u64);
+                shared.metrics.batch_size.observe(n as f64);
                 slot.inflight.fetch_sub(1, Ordering::AcqRel);
             }
             Job::Tick(slot) => {
@@ -590,16 +659,36 @@ fn event_loop(shared: &RuntimeShared) {
                 continue;
             }
             // Pull messages while under the in-flight cap; the rest wait
-            // in the transport mailbox (backpressure).
+            // in the transport mailbox (backpressure). A batching agent
+            // (batch_limit > 1) gets up to that many envelopes drained
+            // into one job; a lone envelope still takes the exact
+            // per-message path, so batch-capable agents behave
+            // identically to plain ones at low load.
+            let limit = slot.behavior.batch_limit().max(1);
             while slot.inflight.load(Ordering::Acquire) < cap {
-                let env = slot.mailbox.lock().unwrap().try_recv();
-                match env {
-                    Some(env) => {
+                let mut drained = Vec::new();
+                {
+                    let mailbox = slot.mailbox.lock().unwrap();
+                    while drained.len() < limit {
+                        match mailbox.try_recv() {
+                            Some(env) => drained.push(env),
+                            None => break,
+                        }
+                    }
+                }
+                match drained.len() {
+                    0 => break,
+                    1 => {
                         slot.inflight.fetch_add(1, Ordering::AcqRel);
+                        let env = drained.pop().expect("one drained envelope");
                         shared.queue.push(Job::Message(Arc::clone(slot), env));
                         dispatched = true;
                     }
-                    None => break,
+                    _ => {
+                        slot.inflight.fetch_add(1, Ordering::AcqRel);
+                        shared.queue.push(Job::Batch(Arc::clone(slot), drained));
+                        dispatched = true;
+                    }
                 }
             }
             if let Some(interval) = slot.behavior.tick_interval() {
@@ -753,6 +842,78 @@ mod tests {
         }
         assert!(ticker.ticks.load(Ordering::Acquire) >= 3, "ticks fired");
         assert!(!ticker.overlapped.load(Ordering::Acquire), "ticks overlapped");
+        rt.shutdown();
+    }
+
+    struct Batcher {
+        limit: usize,
+        sizes: Mutex<Vec<usize>>,
+        seen: Mutex<Vec<String>>,
+    }
+
+    impl Batcher {
+        fn note(&self, env: &Envelope) {
+            let text = match env.message.content() {
+                Some(SExpr::Atom(a)) => a.clone(),
+                other => format!("{other:?}"),
+            };
+            self.seen.lock().unwrap().push(text);
+        }
+    }
+
+    impl AgentBehavior for Batcher {
+        fn on_message(&self, _ctx: &AgentContext, env: Envelope) {
+            self.sizes.lock().unwrap().push(1);
+            self.note(&env);
+            std::thread::sleep(Duration::from_millis(15));
+        }
+
+        fn batch_limit(&self) -> usize {
+            self.limit
+        }
+
+        fn on_batch(&self, _ctx: &AgentContext, batch: Vec<Envelope>) {
+            self.sizes.lock().unwrap().push(batch.len());
+            for env in &batch {
+                self.note(env);
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn batching_agent_drains_multiple_envelopes_in_order() {
+        // inflight cap 1 serializes jobs, so cross-job order is the
+        // mailbox order; the slow handler lets the mailbox accumulate,
+        // so later drains must coalesce.
+        let (bus, rt) =
+            runtime_on_bus(RuntimeConfig::default().with_workers(4).with_per_agent_inflight(1));
+        let batcher = Arc::new(Batcher {
+            limit: 4,
+            sizes: Mutex::new(Vec::new()),
+            seen: Mutex::new(Vec::new()),
+        });
+        let _h = rt.spawn("batcher", Arc::clone(&batcher) as Arc<dyn AgentBehavior>).unwrap();
+        let client = bus.register("client").unwrap();
+        for i in 0..12 {
+            client
+                .send(
+                    "batcher",
+                    Message::new(Performative::Tell).with_content(SExpr::Atom(i.to_string())),
+                )
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while batcher.seen.lock().unwrap().len() < 12 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let seen = batcher.seen.lock().unwrap().clone();
+        let expected: Vec<String> = (0..12).map(|i| i.to_string()).collect();
+        assert_eq!(seen, expected, "mailbox order preserved across batch jobs");
+        let sizes = batcher.sizes.lock().unwrap().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+        assert!(sizes.iter().all(|&s| s <= 4), "batch limit respected: {sizes:?}");
+        assert!(sizes.iter().any(|&s| s > 1), "no batch coalesced: {sizes:?}");
         rt.shutdown();
     }
 

@@ -1,4 +1,5 @@
-//! The networked [`Transport`]: length-prefixed KQML frames over TCP.
+//! The networked [`Transport`]: batched, length-prefixed KQML frames
+//! over TCP, driven by a per-node reactor thread.
 //!
 //! This is the deployment story the paper actually ran — agents on
 //! distinct machines exchanging KQML over TCP, each reachable at the
@@ -7,102 +8,101 @@
 //! registry of agent mailboxes, and holds a routing table mapping remote
 //! agent names to their [`AgentAddress`]es.
 //!
+//! ## Reactor
+//!
+//! All socket work happens on one poll-driven reactor thread per node,
+//! over nonblocking sockets — there are no per-connection threads and no
+//! blocking accept. The reactor:
+//!
+//! * accepts inbound connections and reads whole frames from them,
+//!   delivering each message to the local registry and writing one
+//!   coalesced ack per frame;
+//! * keeps one *persistent* outbound connection per peer node with a
+//!   per-peer write queue (depth observed as the
+//!   `transport_peer_queue_depth` histogram; a full queue rejects the
+//!   send — the backpressure signal);
+//! * parks on its command channel when idle, so waking it — including
+//!   for shutdown — is just a channel send. No "connect to yourself to
+//!   unblock accept" tricks.
+//!
+//! Senders block only on the coalesced ack for their own batch, never on
+//! connection establishment or on other senders' traffic being written.
+//!
 //! ## Framing
 //!
-//! Each send opens a short-lived connection carrying exactly one frame
-//! and one acknowledgement byte:
+//! One frame carries a whole batch of messages from one sender:
 //!
 //! ```text
 //! u32 BE  payload length (everything after these 4 bytes)
 //! u16 BE  sender-name length, then that many UTF-8 bytes
-//! u16 BE  receiver-name length, then that many UTF-8 bytes
-//! ...     the KQML message, rendered as text (Message round-trips
-//!         losslessly through its Display/parse pair)
+//! u16 BE  message count N
+//! N ×  {  u16 BE receiver-name length + bytes,
+//!         u32 BE body length + the KQML message rendered as text  }
 //! ```
 //!
-//! The receiver answers one byte: `0` = delivered, `1` = no such agent
-//! here (surfaces as [`TransportError::UnknownAgent`], preserving the
-//! in-proc `Bus` semantics for dead peers), `2` = malformed frame.
+//! The receiver answers one coalesced ack per frame: a status byte `0`
+//! followed by ⌈N/8⌉ bitmap bytes in which bit `i` (LSB-first) set means
+//! message `i` named an agent not registered here (surfacing as
+//! [`TransportError::UnknownAgent`], preserving the in-proc `Bus`
+//! semantics for dead peers). A structurally invalid frame is answered
+//! with the single status byte `2` and the connection is closed, since
+//! stream framing can no longer be trusted.
 
 use crate::address::AgentAddress;
 use crate::transport::{
     mailbox, Envelope, Mailbox, MailboxSender, Transport, TransportError, TransportMetrics,
 };
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use infosleuth_kqml::Message;
 use infosleuth_obs::Obs;
 use parking_lot::RwLock;
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+/// Frame delivered; per-message failures are in the ack bitmap.
 const ACK_OK: u8 = 0;
-const ACK_UNKNOWN_AGENT: u8 = 1;
+/// Frame was structurally invalid; the connection is closed after this.
 const ACK_MALFORMED: u8 = 2;
 
 /// Refuse frames above this size; a wild length prefix must not make the
 /// receiver allocate unboundedly.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Messages per wire frame; larger batches are split across frames.
+const MAX_WIRE_BATCH: usize = 4096;
+
+/// Per-peer write-queue cap: further sends are rejected (backpressure)
+/// instead of buffering unboundedly toward a slow or stuck peer.
+const MAX_PEER_QUEUE: usize = 1024;
+
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Inbound connections waiting for a handler thread.
-struct ConnQueue {
-    inner: Mutex<ConnQueueInner>,
-    available: Condvar,
-}
+/// Reactor sleep between polls while I/O is in flight (bounds the spin;
+/// nonblocking reads/writes return immediately).
+const POLL_ACTIVE: Duration = Duration::from_micros(100);
+/// Reactor block on the command channel when fully idle; inbound frames
+/// are picked up on the next tick.
+const POLL_IDLE: Duration = Duration::from_millis(1);
 
-struct ConnQueueInner {
-    conns: VecDeque<TcpStream>,
-    shutdown: bool,
-}
+/// Per-message failure flags from one coalesced ack (`true` = the
+/// receiver had no such agent), or a wire-level error for the whole
+/// frame.
+type AckReply = Result<Vec<bool>, TransportError>;
 
-impl ConnQueue {
-    fn new() -> Self {
-        ConnQueue {
-            inner: Mutex::new(ConnQueueInner { conns: VecDeque::new(), shutdown: false }),
-            available: Condvar::new(),
-        }
-    }
-
-    fn push(&self, conn: TcpStream) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.shutdown {
-            return;
-        }
-        inner.conns.push_back(conn);
-        drop(inner);
-        self.available.notify_one();
-    }
-
-    fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().unwrap();
-        loop {
-            if let Some(conn) = inner.conns.pop_front() {
-                return Some(conn);
-            }
-            if inner.shutdown {
-                return None;
-            }
-            inner = self.available.wait(inner).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        self.inner.lock().unwrap().shutdown = true;
-        self.available.notify_all();
-    }
+enum Cmd {
+    Send { addr: SocketAddr, frame: Vec<u8>, count: usize, done: Sender<AckReply> },
+    Shutdown,
 }
 
 struct TcpShared {
     registry: RwLock<HashMap<String, MailboxSender>>,
     routes: RwLock<HashMap<String, AgentAddress>>,
-    conn_queue: ConnQueue,
-    shutdown: AtomicBool,
     obs: RwLock<Option<Arc<TransportMetrics>>>,
 }
 
@@ -112,44 +112,35 @@ pub struct TcpTransport {
     shared: Arc<TcpShared>,
     local_addr: SocketAddr,
     conversation_counter: AtomicU64,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    cmd_tx: Sender<Cmd>,
+    reactor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl TcpTransport {
     /// Binds a listener (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the accept loop plus a small frame-handler pool.
+    /// starts the node's reactor thread.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Arc<TcpTransport>> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(TcpShared {
             registry: RwLock::new(HashMap::new()),
             routes: RwLock::new(HashMap::new()),
-            conn_queue: ConnQueue::new(),
-            shutdown: AtomicBool::new(false),
             obs: RwLock::new(None),
         });
-        let mut threads = Vec::new();
-        {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let reactor = {
             let shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-accept-{}", local_addr.port()))
-                    .spawn(move || accept_loop(&listener, &shared))?,
-            );
-        }
-        for i in 0..2 {
-            let shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-handler-{}-{i}", local_addr.port()))
-                    .spawn(move || handler_loop(&shared))?,
-            );
-        }
+            std::thread::Builder::new()
+                .name(format!("tcp-reactor-{}", local_addr.port()))
+                .spawn(move || Reactor::new(listener, shared, cmd_rx).run())?
+        };
         Ok(Arc::new(TcpTransport {
             shared,
             local_addr,
             conversation_counter: AtomicU64::new(0),
-            threads: Mutex::new(threads),
+            cmd_tx,
+            reactor: Mutex::new(Some(reactor)),
         }))
     }
 
@@ -176,8 +167,9 @@ impl TcpTransport {
     }
 
     /// Attaches transport metrics to this node, registered under
-    /// `transport="tcp"` in `obs`. Covers frame sends, receipts, and
-    /// prefix-fallback route resolutions.
+    /// `transport="tcp"` in `obs`. Covers frame sends, receipts, batch
+    /// sizes, per-peer queue depths, and prefix-fallback route
+    /// resolutions.
     pub fn set_obs(&self, obs: &Arc<Obs>) {
         *self.shared.obs.write() = Some(TransportMetrics::new(obs, "tcp"));
     }
@@ -201,18 +193,100 @@ impl TcpTransport {
         }
     }
 
-    /// Stops the accept loop and handler pool. Local mailboxes survive
-    /// until dropped, but no new frames arrive.
+    /// Stops the reactor: a shutdown command wakes it off its channel,
+    /// it fails any in-flight sends with [`TransportError::Closed`],
+    /// drops every socket (including the listener) and exits; we join
+    /// it. Local mailboxes survive until dropped, but no new frames
+    /// arrive. Idempotent.
     pub fn shutdown(&self) {
-        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
-            return;
+        let handle = self.reactor.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = self.cmd_tx.send(Cmd::Shutdown);
+            let _ = handle.join();
         }
-        self.shared.conn_queue.close();
-        // Nudge the blocking accept() so the loop observes the flag.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
-        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().unwrap());
-        for t in threads {
-            let _ = t.join();
+    }
+
+    /// Packs `items` (original batch index, receiver, rendered message)
+    /// into as few wire frames as fit, sends them through the reactor,
+    /// and blocks for each frame's coalesced ack.
+    fn send_frames(
+        &self,
+        address: &AgentAddress,
+        from: &str,
+        items: Vec<(usize, String, String)>,
+    ) -> Vec<(usize, Result<(), TransportError>)> {
+        let mut out = Vec::with_capacity(items.len());
+        let sock_addr = match resolve(address) {
+            Ok(a) => a,
+            Err(e) => {
+                return items.into_iter().map(|(i, _, _)| (i, Err(e.clone()))).collect();
+            }
+        };
+        if from.len() > u16::MAX as usize {
+            let e = TransportError::Io("agent name too long for frame".into());
+            return items.into_iter().map(|(i, _, _)| (i, Err(e.clone()))).collect();
+        }
+        let mut chunk: Vec<(usize, String, String)> = Vec::new();
+        let mut chunk_bytes = frame_header_len(from);
+        for (i, to, text) in items {
+            let item_bytes = 2 + to.len() + 4 + text.len();
+            if to.len() > u16::MAX as usize
+                || frame_header_len(from) + item_bytes > MAX_FRAME as usize
+            {
+                out.push((i, Err(TransportError::Io(format!("frame too large for '{to}'")))));
+                continue;
+            }
+            if !chunk.is_empty()
+                && (chunk_bytes + item_bytes > MAX_FRAME as usize || chunk.len() >= MAX_WIRE_BATCH)
+            {
+                self.flush_chunk(sock_addr, from, std::mem::take(&mut chunk), &mut out);
+                chunk_bytes = frame_header_len(from);
+            }
+            chunk_bytes += item_bytes;
+            chunk.push((i, to, text));
+        }
+        if !chunk.is_empty() {
+            self.flush_chunk(sock_addr, from, chunk, &mut out);
+        }
+        out
+    }
+
+    /// Encodes one wire frame for `chunk`, hands it to the reactor, and
+    /// waits for its coalesced ack, translating the failure bitmap back
+    /// to per-message results.
+    fn flush_chunk(
+        &self,
+        addr: SocketAddr,
+        from: &str,
+        chunk: Vec<(usize, String, String)>,
+        out: &mut Vec<(usize, Result<(), TransportError>)>,
+    ) {
+        let frame = encode_frame(from, &chunk);
+        let (done_tx, done_rx) = unbounded();
+        let cmd = Cmd::Send { addr, frame, count: chunk.len(), done: done_tx };
+        let reply: AckReply = if self.cmd_tx.send(cmd).is_err() {
+            Err(TransportError::Closed)
+        } else {
+            match done_rx.recv_timeout(CONNECT_TIMEOUT + IO_TIMEOUT) {
+                Ok(reply) => reply,
+                Err(_) => Err(TransportError::Io("timed out waiting for batch ack".into())),
+            }
+        };
+        match reply {
+            Ok(failed) => {
+                for (slot, (i, to, _)) in chunk.into_iter().enumerate() {
+                    if failed.get(slot).copied().unwrap_or(true) {
+                        out.push((i, Err(TransportError::UnknownAgent(to))));
+                    } else {
+                        out.push((i, Ok(())));
+                    }
+                }
+            }
+            Err(e) => {
+                for (i, _, _) in chunk {
+                    out.push((i, Err(e.clone())));
+                }
+            }
         }
     }
 }
@@ -240,8 +314,8 @@ impl Transport for TcpTransport {
 
     fn is_registered(&self, name: &str) -> bool {
         // A routed remote agent counts as reachable: its death is only
-        // discoverable at send time (ack 1 / refused connection), exactly
-        // the paper's "the transport layer will fail to make the
+        // discoverable at send time (ack bitmap / refused connection),
+        // exactly the paper's "the transport layer will fail to make the
         // connection".
         self.shared.registry.read().contains_key(name) || self.lookup_route(name).is_some()
     }
@@ -253,42 +327,84 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError> {
+        self.send_batch(from, vec![(to.to_string(), message)])
+            .pop()
+            .expect("one result per message")
+    }
+
+    fn send_batch(
+        &self,
+        from: &str,
+        batch: Vec<(String, Message)>,
+    ) -> Vec<Result<(), TransportError>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
         let metrics = self.shared.obs.read().clone();
-        let started = metrics.as_ref().map(|_| std::time::Instant::now());
-        // Local fast path: same-node agents never touch a socket.
+        if let Some(m) = &metrics {
+            m.record_batch(batch.len());
+        }
+        let started = metrics.as_ref().map(|_| Instant::now());
+        let mut results: Vec<Option<Result<(), TransportError>>> = vec![None; batch.len()];
+        let mut sizes: Vec<usize> = vec![0; batch.len()];
+        let mut dests: Vec<String> = Vec::with_capacity(batch.len());
+        // Per remote peer (keyed by its routed address rendered as text,
+        // preserving first-appearance order): the messages bound there,
+        // as (batch index, recipient, serialized KQML body).
+        type PeerBound = Vec<(usize, String, String)>;
+        let mut remote: Vec<(AgentAddress, PeerBound)> = Vec::new();
         {
             let reg = self.shared.registry.read();
-            if let Some(tx) = reg.get(to) {
-                let bytes = if metrics.is_some() { message.wire_size() } else { 0 };
-                let result =
-                    tx.deliver(Envelope { from: from.to_string(), to: to.to_string(), message });
-                if let (Some(m), Some(started)) = (&metrics, started) {
-                    m.record_send(to, bytes, started.elapsed(), result.is_ok());
-                    if result.is_ok() {
+            for (i, (to, message)) in batch.into_iter().enumerate() {
+                if metrics.is_some() {
+                    sizes[i] = message.wire_size();
+                }
+                // Local fast path: same-node agents never touch a socket.
+                if let Some(tx) = reg.get(&to) {
+                    let result =
+                        tx.deliver(Envelope { from: from.to_string(), to: to.clone(), message });
+                    if let (Some(m), true) = (&metrics, result.is_ok()) {
                         // Same-node delivery is also the receipt.
-                        m.record_recv(bytes);
+                        m.record_recv(sizes[i]);
+                    }
+                    results[i] = Some(result);
+                } else {
+                    match self.lookup_route(&to) {
+                        // A routing-table gap is a deployment
+                        // configuration problem, reported distinctly
+                        // from a dead-but-routed agent.
+                        None => results[i] = Some(Err(TransportError::NoRoute(to.clone()))),
+                        Some((address, used_fallback)) => {
+                            if used_fallback {
+                                if let Some(m) = &metrics {
+                                    m.record_route_fallback();
+                                }
+                            }
+                            let item = (i, to.clone(), message.to_string());
+                            match remote.iter_mut().find(|(a, _)| *a == address) {
+                                Some((_, items)) => items.push(item),
+                                None => remote.push((address, vec![item])),
+                            }
+                        }
                     }
                 }
-                return result;
+                dests.push(to);
             }
         }
-        let result = match self.lookup_route(to) {
-            // A routing-table gap is a deployment configuration problem,
-            // reported distinctly from a dead-but-routed agent.
-            None => Err(TransportError::NoRoute(to.to_string())),
-            Some((address, used_fallback)) => {
-                if used_fallback {
-                    if let Some(m) = &metrics {
-                        m.record_route_fallback();
-                    }
-                }
-                send_frame(&address, from, to, &message)
+        for (address, items) in remote {
+            for (i, result) in self.send_frames(&address, from, items) {
+                results[i] = Some(result);
             }
-        };
+        }
+        let results: Vec<Result<(), TransportError>> =
+            results.into_iter().map(|r| r.expect("every batch slot resolved")).collect();
         if let (Some(m), Some(started)) = (&metrics, started) {
-            m.record_send(to, message.wire_size(), started.elapsed(), result.is_ok());
+            let elapsed = started.elapsed();
+            for (i, result) in results.iter().enumerate() {
+                m.record_send(&dests[i], sizes[i], elapsed, result.is_ok());
+            }
         }
-        result
+        results
     }
 
     fn next_conversation_id(&self, prefix: &str) -> String {
@@ -312,124 +428,490 @@ fn io_err(e: std::io::Error) -> TransportError {
     TransportError::Io(e.to_string())
 }
 
-/// Connects to `address`, writes one frame, and interprets the ack byte.
-fn send_frame(
-    address: &AgentAddress,
-    from: &str,
-    to: &str,
-    message: &Message,
-) -> Result<(), TransportError> {
-    let sock_addr = (address.host.as_str(), address.port)
+fn resolve(address: &AgentAddress) -> Result<SocketAddr, TransportError> {
+    (address.host.as_str(), address.port)
         .to_socket_addrs()
         .map_err(io_err)?
         .next()
-        .ok_or_else(|| TransportError::Io(format!("unresolvable host '{}'", address.host)))?;
-    let mut stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT).map_err(io_err)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
-    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+        .ok_or_else(|| TransportError::Io(format!("unresolvable host '{}'", address.host)))
+}
 
-    let text = message.to_string();
-    let from_bytes = from.as_bytes();
-    let to_bytes = to.as_bytes();
-    if from_bytes.len() > u16::MAX as usize || to_bytes.len() > u16::MAX as usize {
-        return Err(TransportError::Io("agent name too long for frame".into()));
-    }
-    let payload_len = 2 + from_bytes.len() + 2 + to_bytes.len() + text.len();
-    if payload_len as u64 > MAX_FRAME as u64 {
-        return Err(TransportError::Io(format!("frame too large ({payload_len} bytes)")));
-    }
+/// Frame bytes before the first message record: length prefix, sender
+/// name, message count.
+fn frame_header_len(from: &str) -> usize {
+    2 + from.len() + 2
+}
+
+/// Encodes one batch frame (length prefix included).
+fn encode_frame(from: &str, chunk: &[(usize, String, String)]) -> Vec<u8> {
+    let payload_len = frame_header_len(from)
+        + chunk.iter().map(|(_, to, text)| 2 + to.len() + 4 + text.len()).sum::<usize>();
     let mut frame = Vec::with_capacity(4 + payload_len);
     frame.extend_from_slice(&(payload_len as u32).to_be_bytes());
-    frame.extend_from_slice(&(from_bytes.len() as u16).to_be_bytes());
-    frame.extend_from_slice(from_bytes);
-    frame.extend_from_slice(&(to_bytes.len() as u16).to_be_bytes());
-    frame.extend_from_slice(to_bytes);
-    frame.extend_from_slice(text.as_bytes());
-    stream.write_all(&frame).map_err(io_err)?;
-    stream.flush().map_err(io_err)?;
+    frame.extend_from_slice(&(from.len() as u16).to_be_bytes());
+    frame.extend_from_slice(from.as_bytes());
+    frame.extend_from_slice(&(chunk.len() as u16).to_be_bytes());
+    for (_, to, text) in chunk {
+        frame.extend_from_slice(&(to.len() as u16).to_be_bytes());
+        frame.extend_from_slice(to.as_bytes());
+        frame.extend_from_slice(&(text.len() as u32).to_be_bytes());
+        frame.extend_from_slice(text.as_bytes());
+    }
+    frame
+}
 
-    let mut ack = [0u8; 1];
-    stream.read_exact(&mut ack).map_err(io_err)?;
-    match ack[0] {
-        ACK_OK => Ok(()),
-        ACK_UNKNOWN_AGENT => Err(TransportError::UnknownAgent(to.to_string())),
-        other => Err(TransportError::Io(format!("peer rejected frame (ack {other})"))),
+/// Coalesced-ack length for a frame of `count` messages: the status byte
+/// plus the failure bitmap.
+fn ack_len(count: usize) -> usize {
+    1 + count.div_ceil(8)
+}
+
+/// An accepted connection: inbound frames accumulate in `rbuf`,
+/// coalesced acks drain from `wbuf`.
+struct Inbound {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Stop reading and drop the connection once `wbuf` is flushed
+    /// (set after a malformed frame).
+    close_after_flush: bool,
+    dead: bool,
+}
+
+struct PendingAck {
+    count: usize,
+    done: Sender<AckReply>,
+    /// The encoded frame, kept until acked so a stale pooled connection
+    /// can be retried safely (see [`Peer::retry_safe`]).
+    frame: Arc<Vec<u8>>,
+}
+
+/// The persistent outbound connection to one peer node.
+struct Peer {
+    stream: TcpStream,
+    /// Frames queued for writing; the front may be partially written.
+    queue: VecDeque<Arc<Vec<u8>>>,
+    qpos: usize,
+    /// Unacked frames, oldest first (superset of `queue`).
+    pending: VecDeque<PendingAck>,
+    rbuf: Vec<u8>,
+    /// One transparent reconnect per connection incarnation, and only
+    /// while no frame has partially left this socket.
+    retried: bool,
+    dead: bool,
+}
+
+impl Peer {
+    fn new(stream: TcpStream) -> Peer {
+        Peer {
+            stream,
+            queue: VecDeque::new(),
+            qpos: 0,
+            pending: VecDeque::new(),
+            rbuf: Vec::new(),
+            retried: false,
+            dead: false,
+        }
+    }
+
+    /// Whether a connection failure can be retried without risking
+    /// duplicate delivery: nothing written-but-unacked, and the frame at
+    /// the head of the queue not partially written. This covers the one
+    /// common failure — a pooled connection the remote closed while it
+    /// sat idle.
+    fn retry_safe(&self) -> bool {
+        !self.retried && self.qpos == 0 && self.pending.len() == self.queue.len()
+    }
+
+    /// Fails every unacked frame with `error`.
+    fn fail(&mut self, error: &TransportError) {
+        for p in self.pending.drain(..) {
+            let _ = p.done.send(Err(error.clone()));
+        }
+        self.queue.clear();
+        self.qpos = 0;
+        self.dead = true;
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &TcpShared) {
-    loop {
-        match listener.accept() {
-            Ok((conn, _)) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
+struct Reactor {
+    listener: TcpListener,
+    shared: Arc<TcpShared>,
+    cmd_rx: Receiver<Cmd>,
+    inbound: Vec<Inbound>,
+    peers: HashMap<SocketAddr, Peer>,
+}
+
+impl Reactor {
+    fn new(listener: TcpListener, shared: Arc<TcpShared>, cmd_rx: Receiver<Cmd>) -> Reactor {
+        Reactor { listener, shared, cmd_rx, inbound: Vec::new(), peers: HashMap::new() }
+    }
+
+    fn run(mut self) {
+        loop {
+            let active = self.has_active_io();
+            // Wake on commands; park on the channel only when there is
+            // no I/O to poll (this parked recv is also the shutdown
+            // wakeup path).
+            let first = if active {
+                match self.cmd_rx.try_recv() {
+                    Ok(cmd) => Some(cmd),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Cmd::Shutdown),
                 }
-                shared.conn_queue.push(conn);
+            } else {
+                match self.cmd_rx.recv_timeout(POLL_IDLE) {
+                    Ok(cmd) => Some(cmd),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => Some(Cmd::Shutdown),
+                }
+            };
+            let mut shutdown = false;
+            if let Some(cmd) = first {
+                shutdown |= self.handle_cmd(cmd);
             }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
+            while !shutdown {
+                match self.cmd_rx.try_recv() {
+                    Ok(cmd) => shutdown |= self.handle_cmd(cmd),
+                    Err(_) => break,
                 }
+            }
+            if shutdown {
+                break;
+            }
+            self.accept_new();
+            let progressed = self.pump_inbound() | self.pump_peers();
+            self.reap();
+            if active && !progressed {
+                std::thread::sleep(POLL_ACTIVE);
+            }
+        }
+        // Anything still in flight dies with the node.
+        let closed = TransportError::Closed;
+        for peer in self.peers.values_mut() {
+            peer.fail(&closed);
+        }
+    }
+
+    /// Applies one command; returns whether this was a shutdown.
+    fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+        let Cmd::Send { addr, frame, count, done } = cmd else {
+            return true;
+        };
+        let peer = match self.peers.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match connect_peer(addr) {
+                Ok(stream) => v.insert(Peer::new(stream)),
+                Err(e) => {
+                    let _ = done.send(Err(e));
+                    return false;
+                }
+            },
+        };
+        if peer.queue.len() >= MAX_PEER_QUEUE {
+            let _ = done.send(Err(TransportError::Io(format!("peer {addr} write queue full"))));
+            return false;
+        }
+        let frame = Arc::new(frame);
+        peer.queue.push_back(Arc::clone(&frame));
+        peer.pending.push_back(PendingAck { count, done, frame });
+        if let Some(m) = self.shared.obs.read().as_ref() {
+            m.record_queue_depth(peer.queue.len());
+        }
+        false
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.inbound.push(Inbound {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        close_after_flush: false,
+                        dead: false,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads, parses, delivers, and acks inbound frames. Returns whether
+    /// any byte moved.
+    fn pump_inbound(&mut self) -> bool {
+        let mut progressed = false;
+        for conn in &mut self.inbound {
+            if conn.dead {
+                continue;
+            }
+            if !conn.close_after_flush {
+                progressed |= read_available(&mut conn.stream, &mut conn.rbuf, &mut conn.dead);
+            }
+            // Parse every complete frame in the buffer.
+            let mut consumed = 0usize;
+            while !conn.close_after_flush {
+                let buf = &conn.rbuf[consumed..];
+                if buf.len() < 4 {
+                    break;
+                }
+                let payload_len =
+                    u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+                if payload_len > MAX_FRAME as usize {
+                    conn.wbuf.push(ACK_MALFORMED);
+                    conn.close_after_flush = true;
+                    break;
+                }
+                if buf.len() < 4 + payload_len {
+                    break;
+                }
+                let payload = &buf[4..4 + payload_len];
+                match deliver_payload(&self.shared, payload) {
+                    Ok(ack) => conn.wbuf.extend_from_slice(&ack),
+                    Err(()) => {
+                        conn.wbuf.push(ACK_MALFORMED);
+                        conn.close_after_flush = true;
+                    }
+                }
+                consumed += 4 + payload_len;
+                progressed = true;
+            }
+            if consumed > 0 {
+                conn.rbuf.drain(..consumed);
+            }
+            // Flush pending acks.
+            if conn.wpos < conn.wbuf.len() {
+                progressed |=
+                    write_some(&mut conn.stream, &conn.wbuf, &mut conn.wpos, &mut conn.dead);
+                if conn.wpos == conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                }
+            }
+            if conn.close_after_flush && conn.wpos == 0 && conn.wbuf.is_empty() {
+                conn.dead = true;
+            }
+        }
+        progressed
+    }
+
+    /// Writes queued frames to peers and completes their coalesced acks.
+    fn pump_peers(&mut self) -> bool {
+        let mut progressed = false;
+        let mut respawn: Vec<(SocketAddr, Vec<PendingAck>)> = Vec::new();
+        for (addr, peer) in &mut self.peers {
+            if peer.dead {
+                continue;
+            }
+            // Write as much of the queue as the socket accepts.
+            let mut broken = false;
+            while let Some(front) = peer.queue.front() {
+                let before = peer.qpos;
+                let wrote =
+                    write_some(&mut peer.stream, front.as_slice(), &mut peer.qpos, &mut broken);
+                progressed |= wrote;
+                if peer.qpos == front.len() {
+                    peer.queue.pop_front();
+                    peer.qpos = 0;
+                    continue;
+                }
+                if broken || peer.qpos == before {
+                    break;
+                }
+            }
+            if !broken {
+                progressed |= read_available(&mut peer.stream, &mut peer.rbuf, &mut broken);
+            }
+            // Complete acks, oldest frame first.
+            while let Some(front) = peer.pending.front() {
+                if peer.rbuf.is_empty() {
+                    break;
+                }
+                if peer.rbuf[0] != ACK_OK {
+                    broken = true;
+                    break;
+                }
+                let need = ack_len(front.count);
+                if peer.rbuf.len() < need {
+                    break;
+                }
+                let bitmap = &peer.rbuf[1..need];
+                let failed: Vec<bool> =
+                    (0..front.count).map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0).collect();
+                let acked = peer.pending.pop_front().expect("front exists");
+                let _ = acked.done.send(Ok(failed));
+                peer.rbuf.drain(..need);
+                progressed = true;
+            }
+            if broken {
+                if peer.retry_safe() {
+                    // The pooled connection went stale while idle (the
+                    // remote closed it); nothing of ours reached the
+                    // wire, so replay the queue on a fresh connection.
+                    respawn.push((*addr, peer.pending.drain(..).collect()));
+                    peer.queue.clear();
+                    peer.qpos = 0;
+                    peer.dead = true;
+                } else {
+                    peer.fail(&TransportError::Io(format!("connection to {addr} failed")));
+                }
+            }
+        }
+        for (addr, pendings) in respawn {
+            self.peers.remove(&addr);
+            match connect_peer(addr) {
+                Ok(stream) => {
+                    let mut peer = Peer::new(stream);
+                    peer.retried = true;
+                    for p in pendings {
+                        peer.queue.push_back(Arc::clone(&p.frame));
+                        peer.pending.push_back(p);
+                    }
+                    self.peers.insert(addr, peer);
+                }
+                Err(e) => {
+                    for p in pendings {
+                        let _ = p.done.send(Err(e.clone()));
+                    }
+                }
+            }
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Drops dead connections; an idle dead peer just leaves the pool.
+    fn reap(&mut self) {
+        self.inbound.retain(|c| !c.dead);
+        self.peers.retain(|_, p| {
+            if p.dead {
+                debug_assert!(p.pending.is_empty(), "dead peer with unfailed pendings");
+            }
+            !p.dead
+        });
+    }
+
+    fn has_active_io(&self) -> bool {
+        self.peers.values().any(|p| !p.queue.is_empty() || !p.pending.is_empty())
+            || self
+                .inbound
+                .iter()
+                .any(|c| !c.rbuf.is_empty() || c.wpos < c.wbuf.len() || c.close_after_flush)
+    }
+}
+
+fn connect_peer(addr: SocketAddr) -> Result<TcpStream, TransportError> {
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).map_err(io_err)?;
+    stream.set_nodelay(true).map_err(io_err)?;
+    stream.set_nonblocking(true).map_err(io_err)?;
+    Ok(stream)
+}
+
+/// Drains whatever the nonblocking socket has into `buf`. Returns
+/// whether bytes arrived; EOF and hard errors set `dead`.
+fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>, dead: &mut bool) -> bool {
+    let mut progressed = false;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                *dead = true;
+                return progressed;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                progressed = true;
+                if n < chunk.len() {
+                    return progressed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *dead = true;
+                return progressed;
             }
         }
     }
 }
 
-fn handler_loop(shared: &TcpShared) {
-    while let Some(mut conn) = shared.conn_queue.pop() {
-        let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
-        let ack = match read_frame(&mut conn) {
-            Ok((from, to, message)) => {
-                if let Some(m) = shared.obs.read().as_ref() {
-                    m.record_recv(message.wire_size());
-                }
-                let reg = shared.registry.read();
-                match reg.get(&to) {
-                    Some(tx) if tx.deliver(Envelope { from, to: to.clone(), message }).is_ok() => {
-                        ACK_OK
-                    }
-                    _ => ACK_UNKNOWN_AGENT,
-                }
+/// Writes as much of `buf[*pos..]` as the nonblocking socket accepts,
+/// advancing `pos`. Returns whether bytes moved; hard errors set `dead`.
+fn write_some(stream: &mut TcpStream, buf: &[u8], pos: &mut usize, dead: &mut bool) -> bool {
+    let mut progressed = false;
+    while *pos < buf.len() {
+        match stream.write(&buf[*pos..]) {
+            Ok(0) => {
+                *dead = true;
+                return progressed;
             }
-            Err(_) => ACK_MALFORMED,
-        };
-        let _ = conn.write_all(&[ack]);
+            Ok(n) => {
+                *pos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *dead = true;
+                return progressed;
+            }
+        }
     }
+    progressed
 }
 
-/// Reads and decodes one frame; any structural problem is an error (the
-/// caller answers `ACK_MALFORMED`).
-fn read_frame(conn: &mut TcpStream) -> Result<(String, String, Message), TransportError> {
-    let mut len_buf = [0u8; 4];
-    conn.read_exact(&mut len_buf).map_err(io_err)?;
-    let payload_len = u32::from_be_bytes(len_buf);
-    if payload_len > MAX_FRAME {
-        return Err(TransportError::Io(format!("oversized frame ({payload_len} bytes)")));
-    }
-    let mut payload = vec![0u8; payload_len as usize];
-    conn.read_exact(&mut payload).map_err(io_err)?;
-
+/// Decodes one batch payload, delivers each message to the local
+/// registry, and returns the coalesced ack (status byte + failure
+/// bitmap). Any structural problem is `Err` (the caller answers
+/// `ACK_MALFORMED` and closes).
+fn deliver_payload(shared: &TcpShared, payload: &[u8]) -> Result<Vec<u8>, ()> {
     let mut cursor = 0usize;
-    let from_len = u16::from_be_bytes(take(&payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
-    let from = String::from_utf8(take(&payload, &mut cursor, from_len)?.to_vec())
-        .map_err(|_| TransportError::Io("non-utf8 sender name".into()))?;
-    let to_len = u16::from_be_bytes(take(&payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
-    let to = String::from_utf8(take(&payload, &mut cursor, to_len)?.to_vec())
-        .map_err(|_| TransportError::Io("non-utf8 receiver name".into()))?;
-    let text = std::str::from_utf8(&payload[cursor..])
-        .map_err(|_| TransportError::Io("non-utf8 message body".into()))?;
-    let message = Message::parse(text)
-        .map_err(|e| TransportError::Io(format!("unparseable KQML body: {e}")))?;
-    Ok((from, to, message))
+    let from_len = u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let from = std::str::from_utf8(take(payload, &mut cursor, from_len)?).map_err(|_| ())?;
+    let count = u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let mut ack = vec![0u8; ack_len(count)];
+    ack[0] = ACK_OK;
+    let metrics = shared.obs.read().clone();
+    for i in 0..count {
+        let to_len =
+            u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+        let to = std::str::from_utf8(take(payload, &mut cursor, to_len)?).map_err(|_| ())?;
+        let body_len =
+            u32::from_be_bytes(take(payload, &mut cursor, 4)?.try_into().unwrap()) as usize;
+        let text = std::str::from_utf8(take(payload, &mut cursor, body_len)?).map_err(|_| ())?;
+        let message = Message::parse(text).map_err(|_| ())?;
+        if let Some(m) = &metrics {
+            m.record_recv(message.wire_size());
+        }
+        let delivered = {
+            let reg = shared.registry.read();
+            match reg.get(to) {
+                Some(tx) => tx
+                    .deliver(Envelope { from: from.to_string(), to: to.to_string(), message })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if !delivered {
+            ack[1 + i / 8] |= 1 << (i % 8);
+        }
+    }
+    if cursor != payload.len() {
+        return Err(());
+    }
+    Ok(ack)
 }
 
 /// Advances `cursor` by `n` bytes into `payload`, bounds-checked.
-fn take<'a>(payload: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], TransportError> {
-    let end = cursor
-        .checked_add(n)
-        .filter(|&e| e <= payload.len())
-        .ok_or_else(|| TransportError::Io("truncated frame".into()))?;
+fn take<'a>(payload: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], ()> {
+    let end = cursor.checked_add(n).filter(|&e| e <= payload.len()).ok_or(())?;
     let slice = &payload[*cursor..end];
     *cursor = end;
     Ok(slice)
@@ -584,7 +1066,8 @@ mod tests {
         n1.add_route("ghost", n2.address());
         let t1 = as_dyn(&n1);
         let a = t1.endpoint("a").unwrap();
-        // The remote node is up but hosts no such agent: ack byte 1.
+        // The remote node is up but hosts no such agent: the coalesced
+        // ack's failure bitmap flags the message.
         let err = a.send("ghost", Message::new(Performative::Tell)).unwrap_err();
         assert!(matches!(err, TransportError::UnknownAgent(_)), "got {err:?}");
     }
@@ -613,5 +1096,125 @@ mod tests {
         let a = Transport::next_conversation_id(&*n1, "x");
         let b = Transport::next_conversation_id(&*n2, "x");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn send_batch_crosses_the_wire_in_order_with_partial_failures() {
+        let n1 = node();
+        let n2 = node();
+        n1.add_route("sink", n2.address());
+        n1.add_route("ghost", n2.address());
+        let t1 = as_dyn(&n1);
+        let t2 = as_dyn(&n2);
+        let _src = t1.endpoint("src").unwrap();
+        let mut sink = t2.endpoint("sink").unwrap();
+        let mut local = t1.endpoint("here").unwrap();
+        let mk = |s: &str| Message::new(Performative::Tell).with_content(SExpr::atom(s));
+        // One frame to node 2 (sink ok, ghost unknown), one local
+        // delivery, one routing gap — all in a single batch call.
+        let results = t1.send_batch(
+            "src",
+            vec![
+                ("sink".into(), mk("one")),
+                ("ghost".into(), mk("lost")),
+                ("here".into(), mk("local")),
+                ("nowhere".into(), mk("gap")),
+                ("sink".into(), mk("two")),
+            ],
+        );
+        assert!(results[0].is_ok(), "got {results:?}");
+        assert!(matches!(&results[1], Err(TransportError::UnknownAgent(_))), "got {results:?}");
+        assert!(results[2].is_ok(), "got {results:?}");
+        assert!(matches!(&results[3], Err(TransportError::NoRoute(_))), "got {results:?}");
+        assert!(results[4].is_ok(), "got {results:?}");
+        let first = sink.recv_timeout(Duration::from_secs(2)).expect("first delivery");
+        let second = sink.recv_timeout(Duration::from_secs(2)).expect("second delivery");
+        assert_eq!(first.message.content(), Some(&SExpr::atom("one")));
+        assert_eq!(second.message.content(), Some(&SExpr::atom("two")));
+        assert_eq!(
+            local.recv_timeout(Duration::from_secs(2)).unwrap().message.content(),
+            Some(&SExpr::atom("local"))
+        );
+    }
+
+    #[test]
+    fn batch_size_histogram_counts_coalesced_sends() {
+        let n1 = node();
+        let n2 = node();
+        n1.add_route("sink", n2.address());
+        let obs = Obs::new();
+        n1.set_obs(&obs);
+        let t1 = as_dyn(&n1);
+        let _src = t1.endpoint("src").unwrap();
+        let mut sink = as_dyn(&n2).endpoint("sink").unwrap();
+        let mk = || Message::new(Performative::Tell).with_content(SExpr::atom("x"));
+        let results = t1.send_batch(
+            "src",
+            vec![("sink".into(), mk()), ("sink".into(), mk()), ("sink".into(), mk())],
+        );
+        assert!(results.iter().all(Result::is_ok), "got {results:?}");
+        for _ in 0..3 {
+            assert!(sink.recv_timeout(Duration::from_secs(2)).is_some());
+        }
+        let text = obs.registry().render();
+        assert!(
+            text.contains("transport_batch_size_bucket{le=\"4\",transport=\"tcp\"} 1"),
+            "one 3-message batch observed: {text}"
+        );
+        assert!(
+            text.contains("transport_peer_queue_depth"),
+            "queue depth histogram registered on remote send: {text}"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    fn os_thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .expect("/proc/self/status has a Threads: line")
+    }
+
+    #[test]
+    fn repeated_open_close_cycles_leak_nothing() {
+        // The shutdown path must be reactor-native: no self-connect
+        // nudge, no orphaned threads, no port-in-use flakes when the
+        // same address is rebound immediately.
+        let probe = node();
+        let addr = probe.local_addr();
+        probe.shutdown();
+        drop(probe);
+        #[cfg(target_os = "linux")]
+        let baseline = os_thread_count();
+        for cycle in 0..10 {
+            let n1 = TcpTransport::bind(addr).expect("address is free again");
+            let n2 = node();
+            n1.add_route("b", n2.address());
+            n2.add_route("a", n1.address());
+            let t1 = as_dyn(&n1);
+            let t2 = as_dyn(&n2);
+            let a = t1.endpoint("a").unwrap();
+            let mut b = t2.endpoint("b").unwrap();
+            a.send("b", Message::new(Performative::Tell).with_content(SExpr::atom("hi"))).unwrap();
+            assert!(
+                b.recv_timeout(Duration::from_secs(2)).is_some(),
+                "cycle {cycle}: delivery works"
+            );
+            let started = Instant::now();
+            n1.shutdown();
+            n2.shutdown();
+            assert!(
+                started.elapsed() < Duration::from_secs(1),
+                "cycle {cycle}: shutdown stalled {:?}",
+                started.elapsed()
+            );
+        }
+        #[cfg(target_os = "linux")]
+        assert_eq!(os_thread_count(), baseline, "reactor threads must all be joined");
     }
 }

@@ -153,6 +153,26 @@ pub trait Transport: Send + Sync + 'static {
     /// Delivers a message. Fails if the recipient is not reachable.
     fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError>;
 
+    /// Delivers a batch of messages from one sender, in order, and
+    /// returns one result per message (same length and order as
+    /// `batch`). Per-sender ordering is preserved exactly as if the
+    /// messages had been sent one by one; a failure for one message
+    /// never prevents delivery of the others.
+    ///
+    /// Implementations coalesce work where they can: the in-proc
+    /// [`Bus`](crate::Bus) takes its registry lock once for the whole
+    /// batch, and the [`TcpTransport`](crate::TcpTransport) packs all
+    /// messages bound for one peer into a single wire frame answered by
+    /// a single coalesced ack carrying a per-message failure bitmap.
+    /// The default implementation simply loops over [`Transport::send`].
+    fn send_batch(
+        &self,
+        from: &str,
+        batch: Vec<(String, Message)>,
+    ) -> Vec<Result<(), TransportError>> {
+        batch.into_iter().map(|(to, message)| self.send(from, &to, message)).collect()
+    }
+
     /// A fresh conversation id (for `:reply-with`), unique across every
     /// node of the deployment.
     fn next_conversation_id(&self, prefix: &str) -> String;
@@ -171,10 +191,17 @@ pub struct TransportMetrics {
     recv_total: infosleuth_obs::Counter,
     recv_bytes: infosleuth_obs::Counter,
     route_fallback: infosleuth_obs::Counter,
+    /// Messages per send call (1 for plain sends); observed on every
+    /// dispatch so a scraped transport always has a non-empty batch-size
+    /// histogram.
+    batch_size: infosleuth_obs::Histogram,
     transport: &'static str,
     obs: Arc<infosleuth_obs::Obs>,
     /// Per-destination-stem latency handles, cached after first use.
     latency: parking_lot::RwLock<std::collections::BTreeMap<String, infosleuth_obs::Histogram>>,
+    /// Per-peer write-queue depth, created lazily on first observation
+    /// (only networked transports with a reactor ever observe it).
+    queue_depth: parking_lot::RwLock<Option<infosleuth_obs::Histogram>>,
 }
 
 /// Destinations like `broker-1.w3` are ephemeral per-worker endpoints;
@@ -195,10 +222,33 @@ impl TransportMetrics {
             recv_total: reg.counter("transport_recv_total", &labels),
             recv_bytes: reg.counter("transport_recv_bytes_total", &labels),
             route_fallback: reg.counter("transport_route_fallback_total", &labels),
+            batch_size: reg.size("transport_batch_size", &labels),
             transport,
             obs: Arc::clone(obs),
             latency: parking_lot::RwLock::new(std::collections::BTreeMap::new()),
+            queue_depth: parking_lot::RwLock::new(None),
         })
+    }
+
+    /// Records one dispatch of `n` messages (plain sends record `n = 1`).
+    pub fn record_batch(&self, n: usize) {
+        self.batch_size.observe(n as f64);
+    }
+
+    /// Records a per-peer write-queue depth sample at enqueue time (the
+    /// reactor's backpressure signal).
+    pub fn record_queue_depth(&self, depth: usize) {
+        let hist = {
+            let cached = self.queue_depth.read().clone();
+            cached.unwrap_or_else(|| {
+                let h = self
+                    .obs
+                    .registry()
+                    .size("transport_peer_queue_depth", &[("transport", self.transport)]);
+                self.queue_depth.write().get_or_insert_with(|| h.clone()).clone()
+            })
+        };
+        hist.observe(depth as f64);
     }
 
     pub fn record_send(&self, to: &str, bytes: usize, elapsed: Duration, ok: bool) {

@@ -104,14 +104,30 @@ impl WorkerPool {
     }
 
     /// The process-wide compute pool, created on first use and never torn
-    /// down. Sized to `min(available_parallelism, 8)` — matchmaking
-    /// scoring saturates memory bandwidth well before eight cores.
+    /// down. Sized by [`configured_workers`]: the `INFOSLEUTH_WORKERS`
+    /// environment variable when set, else `min(available_parallelism, 8)`
+    /// — matchmaking scoring saturates memory bandwidth well before eight
+    /// cores.
     pub fn shared() -> &'static WorkerPool {
         static SHARED: OnceLock<WorkerPool> = OnceLock::new();
         SHARED.get_or_init(|| {
-            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-            WorkerPool::new("compute-pool", cores)
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let env = std::env::var("INFOSLEUTH_WORKERS").ok();
+            WorkerPool::new("compute-pool", configured_workers(env.as_deref(), cores))
         })
+    }
+}
+
+/// Resolves the shared pool's size from an `INFOSLEUTH_WORKERS`-style
+/// override and the machine's core count. A parseable override wins
+/// (clamped to at least 1, so `INFOSLEUTH_WORKERS=0` still yields a
+/// working pool); anything else — unset, empty, garbage — falls back to
+/// `min(cores, 8)`. Factored out of [`WorkerPool::shared`] so the
+/// policy is testable without mutating process environment.
+pub fn configured_workers(env_value: Option<&str>, cores: usize) -> usize {
+    match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => cores.clamp(1, 8),
     }
 }
 
@@ -169,6 +185,29 @@ mod tests {
         let b = WorkerPool::shared() as *const WorkerPool;
         assert_eq!(a, b);
         assert!(WorkerPool::shared().workers() >= 1);
+    }
+
+    #[test]
+    fn env_override_sets_worker_count() {
+        assert_eq!(configured_workers(Some("3"), 16), 3);
+        assert_eq!(configured_workers(Some(" 12 "), 2), 12);
+        // Override may exceed the 8-worker default cap: it is an override.
+        assert_eq!(configured_workers(Some("32"), 4), 32);
+    }
+
+    #[test]
+    fn env_override_clamps_to_minimum_one() {
+        assert_eq!(configured_workers(Some("0"), 16), 1);
+    }
+
+    #[test]
+    fn missing_or_garbage_env_falls_back_to_capped_cores() {
+        assert_eq!(configured_workers(None, 4), 4);
+        assert_eq!(configured_workers(None, 64), 8);
+        assert_eq!(configured_workers(None, 0), 1);
+        assert_eq!(configured_workers(Some(""), 4), 4);
+        assert_eq!(configured_workers(Some("lots"), 4), 4);
+        assert_eq!(configured_workers(Some("-2"), 4), 4);
     }
 
     #[test]

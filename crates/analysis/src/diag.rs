@@ -293,7 +293,8 @@ impl Report {
     }
 
     /// Renders the report as a JSON object. Hand-rolled (this workspace
-    /// vendors only a serde stub), deterministic given a [`sorted`] report.
+    /// vendors only a serde stub), deterministic given a [`Self::sorted`]
+    /// report.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"origin\":");
         json_string(&mut out, &self.origin);

@@ -192,8 +192,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"churn\",\n  \"step\": \"unadvertise + advertise + match\",\n  \"quick\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"churn\",\n  \"step\": \"unadvertise + advertise + match\",\n  \"quick\": {},\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         quick,
+        infosleuth_bench::run_meta(),
         rows.join(",\n")
     );
     let path = "BENCH_churn.json";

@@ -296,8 +296,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"match\",\n  \"paths\": \"cache_on | indexed | probes (PR-4-era scoring) | linear\",\n  \"quick\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"match\",\n  \"paths\": \"cache_on | indexed | probes (PR-4-era scoring) | linear\",\n  \"quick\": {},\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         quick,
+        infosleuth_bench::run_meta(),
         rows.join(",\n")
     );
     let path = "BENCH_match.json";

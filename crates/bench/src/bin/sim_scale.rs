@@ -1,0 +1,91 @@
+//! Charts per-event dispatch cost of the flat-queue simulator as the
+//! simulated population grows from 10³ to 10⁶ agents, across the scale
+//! scenario library (uniform, zipf, flash crowd, churn burst), and
+//! writes `BENCH_sim_scale.json` for tracking across revisions.
+//!
+//! The workload is an *open* arrival process: event volume is fixed by
+//! rate × duration, independent of population, and timing covers the
+//! event loop only (`ScaleReport::loop_wall_ns`, excluding O(population)
+//! arena/sampler setup), so ns/event isolates the engine (heap sift +
+//! arena index) from the model. Flat ns/event across populations is the
+//! claim this file exists to check.
+
+use infosleuth_bench::{median_sample, MEASURE_PASSES};
+use infosleuth_sim::scale::{self, ScaleConfig, Scenario};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::Uniform,
+        Scenario::ZipfQueries { exponent: 1.1 },
+        Scenario::FlashCrowd { at_s: 20.0, width_s: 5.0, factor: 8.0 },
+        Scenario::ChurnBurst { interval_s: 10.0, fraction: 0.02 },
+    ]
+}
+
+fn main() {
+    let opts = infosleuth_bench::parse_args();
+    let quick = opts.quick;
+    let populations: &[usize] = if quick { &[1_000] } else { &[10_000, 100_000, 1_000_000] };
+    let duration_s = if quick { 10.0 } else { 60.0 };
+
+    println!("=== sim_scale: flat-queue dispatch cost vs population ===");
+    println!(
+        "open arrivals, {duration_s:.0} virtual s per run, median of {MEASURE_PASSES} passes{} (base seed {})",
+        if quick { " [--quick]" } else { "" },
+        opts.seed,
+    );
+    println!();
+    println!(
+        "{:>9}  {:>8}  {:>11}  {:>9}  {:>12}",
+        "agents", "scenario", "ns/event", "events", "p95 resp ms"
+    );
+
+    let mut rows = Vec::new();
+    for &agents in populations {
+        for scenario in scenarios() {
+            let mut cfg = ScaleConfig::new(agents, scenario, opts.seed);
+            cfg.duration_s = duration_s;
+
+            // Warm the allocator and page in the arena before measuring.
+            let _ = scale::run(&cfg);
+            let mut samples = Vec::with_capacity(MEASURE_PASSES);
+            let mut reports = Vec::with_capacity(MEASURE_PASSES);
+            for _ in 0..MEASURE_PASSES {
+                let report = scale::run(&cfg);
+                let ns = report.loop_wall_ns as f64 / report.events.max(1) as f64;
+                samples.push((ns, reports.len()));
+                reports.push(report);
+            }
+            let (ns_per_event, idx) = median_sample(samples);
+            let report = &reports[idx];
+
+            println!(
+                "{:>9}  {:>8}  {:>11.1}  {:>9}  {:>12.2}",
+                agents,
+                scenario.tag(),
+                ns_per_event,
+                report.events,
+                report.response_pcts.p95() * 1e3,
+            );
+            rows.push(format!(
+                "    {{\"agents\": {}, \"scenario\": \"{}\", \"ns_per_event\": {:.1}, \"passes\": {}, \"report\": {}}}",
+                agents,
+                scenario.tag(),
+                ns_per_event,
+                MEASURE_PASSES,
+                report.render_json(),
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_scale\",\n  \"step\": \"flat-queue pop + arena index + latency-adjusted push\",\n  \"quick\": {},\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        quick,
+        infosleuth_bench::run_meta(),
+        rows.join(",\n")
+    );
+    let path = "BENCH_sim_scale.json";
+    std::fs::write(path, &json).expect("write BENCH_sim_scale.json");
+    println!();
+    println!("wrote {path}");
+}

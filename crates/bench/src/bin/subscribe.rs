@@ -246,7 +246,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"subscribe\",\n  \"step\": \"re-advertise + re-score affected + diff\",\n  \"classes\": {CLASSES},\n  \"agents\": {AGENTS},\n  \"quick\": {quick},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"subscribe\",\n  \"step\": \"re-advertise + re-score affected + diff\",\n  \"classes\": {CLASSES},\n  \"agents\": {AGENTS},\n  \"quick\": {quick},\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        infosleuth_bench::run_meta(),
         rows.join(",\n")
     );
     let path = "BENCH_sub.json";

@@ -138,6 +138,26 @@ pub fn fmt_pct(v: f64) -> String {
     }
 }
 
+/// Renders the machine-context block every `BENCH_*.json` writer embeds
+/// as its `"meta"` value: CPU core count, shared worker-pool size, and
+/// the git commit the numbers were taken at. Results files are only
+/// comparable across runs when this context matches, so CI's bench-smoke
+/// job rejects files missing any of the three fields.
+pub fn run_meta() -> String {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = infosleuth_agent::WorkerPool::shared().workers();
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric()))
+        .unwrap_or_else(|| "unknown".to_string());
+    format!("{{\"cpu_cores\": {cores}, \"workers\": {workers}, \"git_commit\": \"{commit}\"}}")
+}
+
 /// Prints a standard harness header.
 pub fn header(what: &str, opts: &HarnessOptions) {
     println!("=== {what} ===");
@@ -154,6 +174,18 @@ pub fn header(what: &str, opts: &HarnessOptions) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_meta_carries_all_three_fields() {
+        let meta = run_meta();
+        for key in ["\"cpu_cores\": ", "\"workers\": ", "\"git_commit\": \""] {
+            assert!(meta.contains(key), "missing {key} in {meta}");
+        }
+        // The numeric fields must be at least 1 — a zero-core or
+        // zero-worker stamp would mean the fallbacks are broken.
+        assert!(!meta.contains("\"cpu_cores\": 0,"), "{meta}");
+        assert!(!meta.contains("\"workers\": 0,"), "{meta}");
+    }
 
     #[test]
     fn paper_lookup_tables() {

@@ -24,7 +24,7 @@ use infosleuth_agent::{
     RuntimeConfig, Transport,
 };
 use infosleuth_kqml::{Message, Performative, SExpr};
-use infosleuth_obs::{Counter, Histogram, Obs};
+use infosleuth_obs::{Counter, Histogram, Obs, TraceContext};
 use infosleuth_ontology::{
     Advertisement, AgentLocation, AgentType, BrokerAdvertisement, BrokerSpecialization,
     ServiceQuery,
@@ -61,6 +61,15 @@ pub struct BrokerConfig {
     /// re-evaluating every subscription on every mutation (the naive
     /// baseline; notification sequences are identical either way).
     pub subscription_index: bool,
+    /// Maximum envelopes the hosting runtime may drain into one broker
+    /// dispatch. At 1 (the default) every message takes the classic
+    /// per-message path. Above 1, queued repository mutations
+    /// (advertise / update / unadvertise) are applied under a single
+    /// repository lock and their sub-deltas and acks leave in one
+    /// coalesced transport batch — mutations are still processed
+    /// strictly in arrival order, one at a time, so the emitted
+    /// sequences are byte-identical to the unbatched path.
+    pub batch_limit: usize,
 }
 
 impl BrokerConfig {
@@ -75,7 +84,15 @@ impl BrokerConfig {
             matchmaker: Matchmaker::default(),
             ping_interval: Some(Duration::from_secs(30)),
             subscription_index: true,
+            batch_limit: 1,
         }
+    }
+
+    /// Opts the broker into batched dispatch: up to `n` queued envelopes
+    /// per job (clamped to at least 1).
+    pub fn with_batch_limit(mut self, n: usize) -> Self {
+        self.batch_limit = n.max(1);
+        self
     }
 
     pub fn with_ping_interval(mut self, interval: Option<Duration>) -> Self {
@@ -188,6 +205,14 @@ struct BrokerBehavior {
 impl AgentBehavior for BrokerBehavior {
     fn on_message(&self, ctx: &AgentContext, env: infosleuth_agent::Envelope) {
         handle_envelope(&self.shared, ctx, env);
+    }
+
+    fn batch_limit(&self) -> usize {
+        self.shared.config.batch_limit
+    }
+
+    fn on_batch(&self, ctx: &AgentContext, batch: Vec<infosleuth_agent::Envelope>) {
+        handle_batch(&self.shared, ctx, batch);
     }
 
     fn tick_interval(&self) -> Option<Duration> {
@@ -403,19 +428,122 @@ fn handle_envelope(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::E
     }
 }
 
+/// True for the performatives the batched path applies under a shared
+/// repository lock.
+fn is_repo_mutation(p: &Performative) -> bool {
+    matches!(p, Performative::Advertise | Performative::Update | Performative::Unadvertise)
+}
+
+/// Batched dispatch (`batch_limit > 1`): consecutive runs of repository
+/// mutations are applied under one repo lock and their outgoing traffic
+/// (sub-deltas then acks, in mutation order) leaves as one coalesced
+/// [`AgentContext::send_batch`]; everything else dispatches through the
+/// classic per-message path in place, so arrival order is preserved
+/// across the whole batch.
+fn handle_batch(shared: &Shared, ctx: &AgentContext, batch: Vec<infosleuth_agent::Envelope>) {
+    let mut run: Vec<infosleuth_agent::Envelope> = Vec::new();
+    for env in batch {
+        if is_repo_mutation(&env.message.performative) {
+            run.push(env);
+        } else {
+            flush_mutation_run(shared, ctx, &mut run);
+            dispatch_with_span(shared, ctx, env);
+        }
+    }
+    flush_mutation_run(shared, ctx, &mut run);
+}
+
+/// Applies a run of queued mutations strictly in order under a single
+/// repository lock — each one still bumps the epoch, probes the
+/// subscription index, and emits its own deltas, exactly as if it had
+/// arrived alone; only the lock round-trips and the transport sends are
+/// amortized.
+fn flush_mutation_run(
+    shared: &Shared,
+    ctx: &AgentContext,
+    run: &mut Vec<infosleuth_agent::Envelope>,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let mut out = Vec::new();
+    {
+        let mut repo = shared.repo.lock();
+        for env in run.drain(..) {
+            let parent = env.message.trace().and_then(TraceContext::parse);
+            let _span = shared.obs.obs.tracer().agent_span(
+                format!("recv:{}", env.message.performative),
+                ctx.name(),
+                parent,
+            );
+            if env.message.performative == Performative::Unadvertise {
+                apply_unadvertise(shared, &mut repo, &env, &mut out);
+            } else {
+                apply_advertise(shared, &mut repo, &env, &mut out);
+            }
+        }
+    }
+    let _ = ctx.send_batch(out);
+}
+
+/// Runs one non-mutation envelope through the per-message handler,
+/// wrapped in the dispatch span the runtime would have opened had the
+/// envelope not ridden in a batch.
+fn dispatch_with_span(shared: &Shared, ctx: &AgentContext, env: infosleuth_agent::Envelope) {
+    let parent = env.message.trace().and_then(TraceContext::parse);
+    let span = shared.obs.obs.tracer().agent_span(
+        format!("recv:{}", env.message.performative),
+        ctx.name(),
+        parent,
+    );
+    handle_envelope(shared, ctx, env);
+    drop(span);
+}
+
+/// Queues an outgoing message, stamping the active span's trace context
+/// the way [`AgentContext::send`] would have at this point — buffered
+/// sends otherwise leave the handler span before they hit the wire.
+fn push_out(out: &mut Vec<(String, Message)>, to: &str, mut msg: Message) {
+    if msg.trace().is_none() {
+        if let Some(c) = infosleuth_obs::current_context() {
+            msg = msg.with_trace(c.encode());
+        }
+    }
+    out.push((to.to_string(), msg));
+}
+
 fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    let mut out = Vec::new();
+    {
+        let mut repo = shared.repo.lock();
+        apply_advertise(shared, &mut repo, env, &mut out);
+    }
+    for (to, msg) in out {
+        let _ = ctx.send(&to, msg);
+    }
+}
+
+/// The advertise / update core, against an already-locked repository.
+/// Outgoing traffic (sub-deltas first, the ack last) is pushed onto
+/// `out` in the exact order the unbatched path would have sent it.
+fn apply_advertise(
+    shared: &Shared,
+    repo: &mut Repository,
+    env: &infosleuth_agent::Envelope,
+    out: &mut Vec<(String, Message)>,
+) {
     shared.obs.advertises.inc();
     let Some(content) = env.message.content() else {
         let reply = env
             .message
             .reply_skeleton(Performative::Error)
             .with_content(SExpr::string("advertise without content"));
-        reply_as_broker(ctx, &env.from, reply);
+        push_out(out, &env.from, reply);
         return;
     };
     // Peer broker advertising itself?
     if let Ok(broker_ad) = codec::broker_advertisement_from_sexpr(content) {
-        let accepted = shared.repo.lock().advertise_broker(broker_ad);
+        let accepted = repo.advertise_broker(broker_ad);
         let reply = match accepted {
             Ok(()) => {
                 // Reciprocate with our own advertisement so the sender can
@@ -430,13 +558,12 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
                 .reply_skeleton(Performative::Sorry)
                 .with_content(SExpr::string(e.to_string())),
         };
-        reply_as_broker(ctx, &env.from, reply);
+        push_out(out, &env.from, reply);
         return;
     }
     match codec::advertisement_from_sexpr(content) {
         Ok(ad) => {
             let decision = {
-                let repo = shared.repo.lock();
                 // Fit of each known peer, from their advertised specialties.
                 let peer_fits: Vec<(String, f64)> = repo
                     .broker_advertisements()
@@ -456,21 +583,17 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
             let reply = match decision {
                 AdmissionDecision::Accept => {
                     let name = ad.location.name.clone();
-                    let (result, affected) = {
-                        let mut repo = shared.repo.lock();
-                        let old = repo.advertisement_arc(&name).cloned();
-                        let result = repo.advertise(ad);
-                        let affected = if result.is_ok() {
-                            let new = repo.advertisement_arc(&name).cloned();
-                            subs_affected(shared, &repo, old.as_deref(), new.as_deref())
-                        } else {
-                            BTreeSet::new()
-                        };
-                        (result, affected)
+                    let old = repo.advertisement_arc(&name).cloned();
+                    let result = repo.advertise(ad);
+                    let affected = if result.is_ok() {
+                        let new = repo.advertisement_arc(&name).cloned();
+                        subs_affected(shared, repo, old.as_deref(), new.as_deref())
+                    } else {
+                        BTreeSet::new()
                     };
                     // Deltas go out before the ack so a subscriber that is
                     // also the advertiser sees a deterministic sequence.
-                    notify_subscriptions(shared, ctx, affected);
+                    notify_subscriptions_locked(shared, repo, affected, out);
                     match result {
                         Ok(()) => env.message.reply_skeleton(Performative::Tell),
                         Err(e) => env
@@ -488,19 +611,37 @@ fn handle_advertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent:
                     env.message.reply_skeleton(Performative::Sorry).with_content(SExpr::List(items))
                 }
             };
-            reply_as_broker(ctx, &env.from, reply);
+            push_out(out, &env.from, reply);
         }
         Err(e) => {
             let reply = env
                 .message
                 .reply_skeleton(Performative::Error)
                 .with_content(SExpr::string(e.to_string()));
-            reply_as_broker(ctx, &env.from, reply);
+            push_out(out, &env.from, reply);
         }
     }
 }
 
 fn handle_unadvertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent::Envelope) {
+    let mut out = Vec::new();
+    {
+        let mut repo = shared.repo.lock();
+        apply_unadvertise(shared, &mut repo, env, &mut out);
+    }
+    for (to, msg) in out {
+        let _ = ctx.send(&to, msg);
+    }
+}
+
+/// The unadvertise core, against an already-locked repository (deltas
+/// first, ack last — same contract as [`apply_advertise`]).
+fn apply_unadvertise(
+    shared: &Shared,
+    repo: &mut Repository,
+    env: &infosleuth_agent::Envelope,
+    out: &mut Vec<(String, Message)>,
+) {
     shared.obs.unadvertises.inc();
     // Content is the agent name (atom) or absent (sender unadvertises
     // itself).
@@ -510,19 +651,15 @@ fn handle_unadvertise(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agen
         .and_then(SExpr::as_text)
         .map(str::to_string)
         .unwrap_or_else(|| env.from.clone());
-    let (removed, affected) = {
-        let mut repo = shared.repo.lock();
-        let old = repo.advertisement_arc(&name).cloned();
-        let removed = repo.unadvertise(&name) || repo.unadvertise_broker(&name);
-        let affected = match &old {
-            Some(old) if removed => subs_affected(shared, &repo, Some(old), None),
-            _ => BTreeSet::new(),
-        };
-        (removed, affected)
+    let old = repo.advertisement_arc(&name).cloned();
+    let removed = repo.unadvertise(&name) || repo.unadvertise_broker(&name);
+    let affected = match &old {
+        Some(old) if removed => subs_affected(shared, repo, Some(old), None),
+        _ => BTreeSet::new(),
     };
-    notify_subscriptions(shared, ctx, affected);
+    notify_subscriptions_locked(shared, repo, affected, out);
     let perf = if removed { Performative::Tell } else { Performative::Sorry };
-    reply_as_broker(ctx, &env.from, env.message.reply_skeleton(perf));
+    push_out(out, &env.from, env.message.reply_skeleton(perf));
 }
 
 /// Registers a standing service query (§2.2's "subscribe to changes in the
@@ -640,6 +777,28 @@ fn notify_subscriptions(shared: &Shared, ctx: &AgentContext, affected: BTreeSet<
     if affected.is_empty() {
         return;
     }
+    let mut out = Vec::new();
+    {
+        let mut repo = shared.repo.lock();
+        notify_subscriptions_locked(shared, &mut repo, affected, &mut out);
+    }
+    for (to, msg) in out {
+        let _ = ctx.send(&to, msg);
+    }
+}
+
+/// The fan-out core, against an already-locked repository: notifications
+/// are pushed onto `out` (in ascending id order) rather than sent, so the
+/// batched path can coalesce them with the mutation acks that follow.
+fn notify_subscriptions_locked(
+    shared: &Shared,
+    repo: &mut Repository,
+    affected: BTreeSet<SubId>,
+    out: &mut Vec<(String, Message)>,
+) {
+    if affected.is_empty() {
+        return;
+    }
     shared.obs.sub_affected.add(affected.len() as u64);
     let timer = shared.obs.obs.stage(&shared.obs.sub_notify, "sub-notify");
     for id in affected {
@@ -658,11 +817,8 @@ fn notify_subscriptions(shared: &Shared, ctx: &AgentContext, affected: BTreeSet<
         let Some((query, last, subscriber, sub_key, trace)) = snapshot else {
             continue;
         };
-        let (new, epoch) = {
-            let mut repo = shared.repo.lock();
-            let new = shared.config.matchmaker.match_query_cached(&mut repo, &shared.cache, &query);
-            (new, repo.epoch())
-        };
+        let new = shared.config.matchmaker.match_query_cached(repo, &shared.cache, &query);
+        let epoch = repo.epoch();
         let (matched, unmatched) = result_delta(&last, &new);
         if matched.is_empty() && unmatched.is_empty() {
             continue;
@@ -676,7 +832,7 @@ fn notify_subscriptions(shared: &Shared, ctx: &AgentContext, affected: BTreeSet<
             note = note.with_trace(t);
         }
         shared.obs.sub_notifications.inc();
-        let _ = ctx.send(&subscriber, note);
+        push_out(out, &subscriber, note);
     }
     drop(timer);
 }

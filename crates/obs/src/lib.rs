@@ -19,8 +19,8 @@ pub mod trace;
 
 pub use http::{scrape, MetricsServer};
 pub use metrics::{
-    default_latency_buckets, quantile_from_buckets, render_merged, Counter, Gauge, Histogram,
-    Labels, MetricsRegistry, MetricsSnapshot, Sample, SampleValue,
+    default_latency_buckets, default_size_buckets, quantile_from_buckets, render_merged, Counter,
+    Gauge, Histogram, Labels, MetricsRegistry, MetricsSnapshot, Sample, SampleValue,
 };
 pub use trace::{
     build_trace_tree, current_context, forest_topology, topology, trace_ids, JsonlSink, RingSink,

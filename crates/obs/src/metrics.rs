@@ -69,6 +69,12 @@ pub fn default_latency_buckets() -> Vec<f64> {
     ]
 }
 
+/// Fixed upper bounds suited to size-like distributions — message batch
+/// sizes, per-peer write-queue depths — as powers of two from 1 to 512.
+pub fn default_size_buckets() -> Vec<f64> {
+    vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+}
+
 struct HistogramInner {
     /// Finite upper bounds, ascending; an implicit +Inf bucket follows.
     bounds: Vec<f64>,
@@ -287,6 +293,12 @@ impl MetricsRegistry {
     /// Latency histogram with the default agent-pipeline buckets.
     pub fn latency(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         self.histogram(name, labels, default_latency_buckets())
+    }
+
+    /// Size histogram (batch sizes, queue depths) with the default
+    /// power-of-two buckets.
+    pub fn size(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(name, labels, default_size_buckets())
     }
 
     /// Point-in-time copy of every registered metric.

@@ -102,3 +102,38 @@ fn table4_specialization_always_helps() {
         assert!(r < 1.0, "stream {} ratio {r}", s.label());
     }
 }
+
+/// Determinism across the flat-queue engine: same seed + same config must
+/// reproduce metrics byte-for-byte, on both the classic experiment path
+/// (strategies grid) and the population-scale harness. Any drift here
+/// means the event queue's ordering (timestamp, then insertion order)
+/// leaked nondeterminism.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let classic = || {
+        let mut cfg = BrokerSimConfig::new(32, 8, Strategy::Replicated);
+        cfg.mean_query_interval_s = 20.0;
+        cfg.params = quick();
+        let r = run_broker_sim(cfg);
+        format!(
+            "issued={} replied={} mean={:.12} max={:.12} var={:.12}",
+            r.issued,
+            r.replied,
+            r.response.mean(),
+            r.response.max(),
+            r.response.variance()
+        )
+    };
+    assert_eq!(classic(), classic(), "classic strategies run is nondeterministic");
+
+    let scale = || {
+        let mut cfg = infosleuth_core::sim::ScaleConfig::new(
+            5_000,
+            infosleuth_core::sim::Scenario::ZipfQueries { exponent: 1.1 },
+            0x5eed,
+        );
+        cfg.duration_s = 15.0;
+        infosleuth_core::sim::scale::run(&cfg).render_json()
+    };
+    assert_eq!(scale(), scale(), "scale harness run is nondeterministic");
+}
