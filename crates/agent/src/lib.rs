@@ -26,6 +26,8 @@ mod bus;
 mod obs_report;
 mod ping;
 mod runtime;
+pub mod sync;
+mod tap;
 mod tcp;
 mod transport;
 mod workpool;
@@ -40,6 +42,7 @@ pub use ping::ping;
 pub use runtime::{
     AgentBehavior, AgentContext, AgentHandle, AgentRuntime, RuntimeConfig, LOG_ONTOLOGY,
 };
+pub use tap::{MessageTap, TappedTransport};
 pub use tcp::TcpTransport;
 pub use transport::{
     mailbox, BusError, Endpoint, Envelope, Mailbox, MailboxSender, Requester, Transport,

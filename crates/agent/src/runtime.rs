@@ -11,6 +11,7 @@
 //! is why the pool is sized above one; every request carries a timeout,
 //! so a saturated pool degrades to slow, never to stuck.
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use crate::transport::{Envelope, Requester, Transport, TransportError, TransportExt};
 use infosleuth_kqml::{Message, Performative, SExpr};
 use infosleuth_obs::{Counter, Gauge, Histogram, Obs, TraceContext, TRACE_PARAM};
@@ -193,6 +194,15 @@ impl AgentContext {
             monitor,
             obs,
         }
+    }
+
+    /// A standalone context not hosted on any runtime, for harnesses that
+    /// drive an [`AgentBehavior`] synchronously (the interleaving
+    /// explorer in `crates/check` delivers envelopes itself over a
+    /// virtual transport and needs the same send/request surface hosted
+    /// handlers see).
+    pub fn detached(name: impl Into<String>, transport: Arc<dyn Transport>, obs: Arc<Obs>) -> Self {
+        AgentContext::new(name.into(), transport, None, obs)
     }
 
     pub fn name(&self) -> &str {
@@ -389,7 +399,7 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if inner.shutdown {
             return;
         }
@@ -400,7 +410,7 @@ impl JobQueue {
     }
 
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 self.depth.add(-1);
@@ -409,12 +419,12 @@ impl JobQueue {
             if inner.shutdown {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = wait_unpoisoned(&self.available, inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().unwrap().shutdown = true;
+        lock_unpoisoned(&self.inner).shutdown = true;
         self.available.notify_all();
     }
 }
@@ -459,7 +469,7 @@ impl AgentRuntime {
                 std::thread::Builder::new()
                     .name(format!("runtime-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn runtime worker"),
+                    .expect("spawn runtime worker"), // lint: allow-unwrap
             );
         }
         {
@@ -468,7 +478,7 @@ impl AgentRuntime {
                 std::thread::Builder::new()
                     .name("runtime-loop".to_string())
                     .spawn(move || event_loop(&shared))
-                    .expect("spawn runtime event loop"),
+                    .expect("spawn runtime event loop"), // lint: allow-unwrap
             );
         }
         AgentRuntime { shared, threads: Arc::new(Mutex::new(threads)) }
@@ -514,7 +524,7 @@ impl AgentRuntime {
             finalized: AtomicBool::new(false),
             last_tick: Mutex::new(Instant::now()),
         });
-        self.shared.slots.lock().unwrap().push(Arc::clone(&slot));
+        lock_unpoisoned(&self.shared.slots).push(Arc::clone(&slot));
         Ok(AgentHandle { slot, transport: Arc::clone(&self.shared.transport) })
     }
 
@@ -526,13 +536,13 @@ impl AgentRuntime {
         if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        let slots: Vec<_> = self.shared.slots.lock().unwrap().clone();
+        let slots: Vec<_> = lock_unpoisoned(&self.shared.slots).clone();
         for slot in &slots {
             slot.stopped.store(true, Ordering::Release);
             self.shared.transport.unregister(&slot.name);
         }
         self.shared.queue.close();
-        let threads: Vec<_> = std::mem::take(&mut *self.threads.lock().unwrap());
+        let threads: Vec<_> = std::mem::take(&mut *lock_unpoisoned(&self.threads));
         for t in threads {
             let _ = t.join();
         }
@@ -542,7 +552,7 @@ impl AgentRuntime {
                 slot.behavior.on_stop(&slot.ctx);
             }
         }
-        self.shared.slots.lock().unwrap().clear();
+        lock_unpoisoned(&self.shared.slots).clear();
     }
 }
 
@@ -647,7 +657,7 @@ fn event_loop(shared: &RuntimeShared) {
         if shared.shutting_down.load(Ordering::Acquire) {
             return;
         }
-        let slots: Vec<_> = shared.slots.lock().unwrap().clone();
+        let slots: Vec<_> = lock_unpoisoned(&shared.slots).clone();
         let mut dispatched = false;
         let mut any_removed = false;
         for slot in &slots {
@@ -668,7 +678,7 @@ fn event_loop(shared: &RuntimeShared) {
             while slot.inflight.load(Ordering::Acquire) < cap {
                 let mut drained = Vec::new();
                 {
-                    let mailbox = slot.mailbox.lock().unwrap();
+                    let mailbox = lock_unpoisoned(&slot.mailbox);
                     while drained.len() < limit {
                         match mailbox.try_recv() {
                             Some(env) => drained.push(env),
@@ -676,35 +686,33 @@ fn event_loop(shared: &RuntimeShared) {
                         }
                     }
                 }
-                match drained.len() {
-                    0 => break,
-                    1 => {
-                        slot.inflight.fetch_add(1, Ordering::AcqRel);
-                        let env = drained.pop().expect("one drained envelope");
-                        shared.queue.push(Job::Message(Arc::clone(slot), env));
-                        dispatched = true;
-                    }
-                    _ => {
-                        slot.inflight.fetch_add(1, Ordering::AcqRel);
-                        shared.queue.push(Job::Batch(Arc::clone(slot), drained));
-                        dispatched = true;
-                    }
+                if drained.is_empty() {
+                    break;
                 }
+                slot.inflight.fetch_add(1, Ordering::AcqRel);
+                if drained.len() == 1 {
+                    if let Some(env) = drained.pop() {
+                        shared.queue.push(Job::Message(Arc::clone(slot), env));
+                    }
+                } else {
+                    shared.queue.push(Job::Batch(Arc::clone(slot), drained));
+                }
+                dispatched = true;
             }
             if let Some(interval) = slot.behavior.tick_interval() {
                 let due = {
-                    let last = slot.last_tick.lock().unwrap();
+                    let last = lock_unpoisoned(&slot.last_tick);
                     last.elapsed() >= interval
                 };
                 if due && !slot.tick_running.swap(true, Ordering::AcqRel) {
-                    *slot.last_tick.lock().unwrap() = Instant::now();
+                    *lock_unpoisoned(&slot.last_tick) = Instant::now();
                     shared.queue.push(Job::Tick(Arc::clone(slot)));
                     dispatched = true;
                 }
             }
         }
         if any_removed {
-            shared.slots.lock().unwrap().retain(|s| !s.finalized.load(Ordering::Acquire));
+            lock_unpoisoned(&shared.slots).retain(|s| !s.finalized.load(Ordering::Acquire));
         }
         if !dispatched {
             std::thread::sleep(shared.config.poll_interval);

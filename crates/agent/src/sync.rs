@@ -1,0 +1,39 @@
+//! Poison-tolerant std-sync helpers.
+//!
+//! The runtime's Condvar-paired mutexes must stay on `std::sync::Mutex`
+//! (the vendored `parking_lot` stub ships no Condvar), and a handler
+//! panic must not wedge the event loop or leak `unwrap()` panics through
+//! infrastructure paths — the guarded state (job queues, slot lists,
+//! tick stamps) is valid at every await point, so ignoring the poison
+//! flag is sound.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers the guard from a poisoned mutex.
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7, "guard recovered with state intact");
+    }
+}

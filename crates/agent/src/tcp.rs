@@ -199,7 +199,7 @@ impl TcpTransport {
     /// it. Local mailboxes survive until dropped, but no new frames
     /// arrive. Idempotent.
     pub fn shutdown(&self) {
-        let handle = self.reactor.lock().unwrap().take();
+        let handle = crate::sync::lock_unpoisoned(&self.reactor).take();
         if let Some(handle) = handle {
             let _ = self.cmd_tx.send(Cmd::Shutdown);
             let _ = handle.join();
@@ -329,7 +329,7 @@ impl Transport for TcpTransport {
     fn send(&self, from: &str, to: &str, message: Message) -> Result<(), TransportError> {
         self.send_batch(from, vec![(to.to_string(), message)])
             .pop()
-            .expect("one result per message")
+            .expect("one result per message") // lint: allow-unwrap
     }
 
     fn send_batch(
@@ -397,7 +397,7 @@ impl Transport for TcpTransport {
             }
         }
         let results: Vec<Result<(), TransportError>> =
-            results.into_iter().map(|r| r.expect("every batch slot resolved")).collect();
+            results.into_iter().map(|r| r.expect("every batch slot resolved")).collect(); // lint: allow-unwrap
         if let (Some(m), Some(started)) = (&metrics, started) {
             let elapsed = started.elapsed();
             for (i, result) in results.iter().enumerate() {
@@ -662,8 +662,7 @@ impl Reactor {
                 if buf.len() < 4 {
                     break;
                 }
-                let payload_len =
-                    u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+                let payload_len = be_u32(&buf[..4]) as usize;
                 if payload_len > MAX_FRAME as usize {
                     conn.wbuf.push(ACK_MALFORMED);
                     conn.close_after_flush = true;
@@ -730,7 +729,7 @@ impl Reactor {
                 progressed |= read_available(&mut peer.stream, &mut peer.rbuf, &mut broken);
             }
             // Complete acks, oldest frame first.
-            while let Some(front) = peer.pending.front() {
+            while let Some(need) = peer.pending.front().map(|front| ack_len(front.count)) {
                 if peer.rbuf.is_empty() {
                     break;
                 }
@@ -738,14 +737,13 @@ impl Reactor {
                     broken = true;
                     break;
                 }
-                let need = ack_len(front.count);
                 if peer.rbuf.len() < need {
                     break;
                 }
+                let Some(acked) = peer.pending.pop_front() else { break };
                 let bitmap = &peer.rbuf[1..need];
                 let failed: Vec<bool> =
-                    (0..front.count).map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0).collect();
-                let acked = peer.pending.pop_front().expect("front exists");
+                    (0..acked.count).map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0).collect();
                 let _ = acked.done.send(Ok(failed));
                 peer.rbuf.drain(..need);
                 progressed = true;
@@ -873,18 +871,16 @@ fn write_some(stream: &mut TcpStream, buf: &[u8], pos: &mut usize, dead: &mut bo
 /// `ACK_MALFORMED` and closes).
 fn deliver_payload(shared: &TcpShared, payload: &[u8]) -> Result<Vec<u8>, ()> {
     let mut cursor = 0usize;
-    let from_len = u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let from_len = be_u16(take(payload, &mut cursor, 2)?) as usize;
     let from = std::str::from_utf8(take(payload, &mut cursor, from_len)?).map_err(|_| ())?;
-    let count = u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+    let count = be_u16(take(payload, &mut cursor, 2)?) as usize;
     let mut ack = vec![0u8; ack_len(count)];
     ack[0] = ACK_OK;
     let metrics = shared.obs.read().clone();
     for i in 0..count {
-        let to_len =
-            u16::from_be_bytes(take(payload, &mut cursor, 2)?.try_into().unwrap()) as usize;
+        let to_len = be_u16(take(payload, &mut cursor, 2)?) as usize;
         let to = std::str::from_utf8(take(payload, &mut cursor, to_len)?).map_err(|_| ())?;
-        let body_len =
-            u32::from_be_bytes(take(payload, &mut cursor, 4)?.try_into().unwrap()) as usize;
+        let body_len = be_u32(take(payload, &mut cursor, 4)?) as usize;
         let text = std::str::from_utf8(take(payload, &mut cursor, body_len)?).map_err(|_| ())?;
         let message = Message::parse(text).map_err(|_| ())?;
         if let Some(m) = &metrics {
@@ -915,6 +911,16 @@ fn take<'a>(payload: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8],
     let slice = &payload[*cursor..end];
     *cursor = end;
     Ok(slice)
+}
+
+/// Big-endian u16 from a slice whose length the caller already checked.
+fn be_u16(b: &[u8]) -> u16 {
+    u16::from_be_bytes([b[0], b[1]])
+}
+
+/// Big-endian u32 from a slice whose length the caller already checked.
+fn be_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
 }
 
 #[cfg(test)]

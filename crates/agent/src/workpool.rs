@@ -9,6 +9,7 @@
 //! scoped-thread design it replaces spawned up to 8 threads on every
 //! query above the parallel threshold).
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -29,7 +30,7 @@ struct PoolShared {
 impl PoolShared {
     fn push(&self, job: Job) {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock_unpoisoned(&self.inner);
             if inner.shutdown {
                 return;
             }
@@ -39,7 +40,7 @@ impl PoolShared {
     }
 
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -47,12 +48,12 @@ impl PoolShared {
             if inner.shutdown {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = wait_unpoisoned(&self.available, inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().unwrap().shutdown = true;
+        lock_unpoisoned(&self.inner).shutdown = true;
         self.available.notify_all();
     }
 }
@@ -87,7 +88,7 @@ impl WorkerPool {
                         job();
                     }
                 })
-                .expect("spawn pool worker");
+                .expect("spawn pool worker"); // lint: allow-unwrap
             threads.push(handle);
         }
         WorkerPool { shared, threads }

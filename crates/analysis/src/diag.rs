@@ -33,7 +33,10 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The `IS0xx` numbering groups codes by pass:
 /// `IS00x` syntax/safety, `IS01x` LDL program structure, `IS02x`
-/// advertisements, `IS03x` KQML conformance.
+/// advertisements, `IS03x` KQML conformance, `IS04x` conversation-protocol
+/// statics, `IS05x` runtime conversation conformance, `IS06x` source
+/// hygiene. Variant declaration order mirrors the numbering so the
+/// derived `Ord` sorts diagnostics by code group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// IS001: the source text does not parse.
@@ -89,6 +92,37 @@ pub enum Code {
     /// IS034: a `:x-trace` parameter does not hold a valid encoded
     /// trace context (`"<trace-hex16>-<span-hex16>"`).
     InvalidTraceContext,
+    /// IS040: a protocol transition names a state that is never declared.
+    UndefinedProtocolState,
+    /// IS041: a declared protocol state is unreachable from the initial
+    /// state.
+    UnreachableProtocolState,
+    /// IS042: two transitions leave the same state on the same trigger —
+    /// the conversation machine is nondeterministic.
+    NondeterministicTransition,
+    /// IS043: a performative the protocol declares is never consumed by
+    /// any transition — there is no handler for it.
+    UnhandledPerformative,
+    /// IS044: a reply obligation opened on some path can never be
+    /// discharged on any continuation of that path.
+    UndischargeableObligation,
+    /// IS045: a non-final state has no outgoing transitions — every
+    /// conversation reaching it is stuck forever.
+    DeadEndProtocolState,
+    /// IS050: a reply whose `:in-reply-to` names no open conversation, or
+    /// arrives after the conversation already closed.
+    OutOfOrderReply,
+    /// IS051: a `sub-delta` tell observed after the subscription's
+    /// unsubscribe was acknowledged.
+    TellAfterUnsubscribe,
+    /// IS052: a conversation was opened but never reached a final state
+    /// by the end of observation.
+    OrphanConversation,
+    /// IS053: a conversation received a second closing acknowledgement.
+    DuplicateAck,
+    /// IS060: `unwrap()`/`expect()` in non-test library source without a
+    /// `// lint: allow-unwrap` justification.
+    UncheckedUnwrap,
 }
 
 impl Code {
@@ -116,8 +150,58 @@ impl Code {
             Code::MalformedTemplate => "IS032",
             Code::NonTextReservedParameter => "IS033",
             Code::InvalidTraceContext => "IS034",
+            Code::UndefinedProtocolState => "IS040",
+            Code::UnreachableProtocolState => "IS041",
+            Code::NondeterministicTransition => "IS042",
+            Code::UnhandledPerformative => "IS043",
+            Code::UndischargeableObligation => "IS044",
+            Code::DeadEndProtocolState => "IS045",
+            Code::OutOfOrderReply => "IS050",
+            Code::TellAfterUnsubscribe => "IS051",
+            Code::OrphanConversation => "IS052",
+            Code::DuplicateAck => "IS053",
+            Code::UncheckedUnwrap => "IS060",
         }
     }
+
+    /// Every code, in declaration (and therefore numbering) order. Kept
+    /// exhaustive by the match in [`Code::as_str`]; the unit tests walk
+    /// this table to pin uniqueness and grouping.
+    pub const ALL: &'static [Code] = &[
+        Code::SyntaxError,
+        Code::UnsafeHeadVar,
+        Code::UnboundVar,
+        Code::RecursionThroughNegation,
+        Code::UndefinedPredicate,
+        Code::UnreachableRule,
+        Code::ArityMismatch,
+        Code::ImpossibleComparison,
+        Code::DuplicateRule,
+        Code::UnsatisfiableConstraints,
+        Code::UnknownClass,
+        Code::UnknownSlot,
+        Code::UnknownCapability,
+        Code::SubsumedAdvertisement,
+        Code::InvalidFragment,
+        Code::UnsatisfiableSubscription,
+        Code::VacuousSubscription,
+        Code::UnknownPerformative,
+        Code::MissingParameter,
+        Code::MalformedTemplate,
+        Code::NonTextReservedParameter,
+        Code::InvalidTraceContext,
+        Code::UndefinedProtocolState,
+        Code::UnreachableProtocolState,
+        Code::NondeterministicTransition,
+        Code::UnhandledPerformative,
+        Code::UndischargeableObligation,
+        Code::DeadEndProtocolState,
+        Code::OutOfOrderReply,
+        Code::TellAfterUnsubscribe,
+        Code::OrphanConversation,
+        Code::DuplicateAck,
+        Code::UncheckedUnwrap,
+    ];
 
     /// The severity a pass assigns by default. Advisory findings (dead
     /// rules, duplicates, subsumption, unknown performatives) warn;
@@ -128,7 +212,10 @@ impl Code {
             | Code::ImpossibleComparison
             | Code::DuplicateRule
             | Code::SubsumedAdvertisement
-            | Code::UnknownPerformative => Severity::Warning,
+            | Code::UnknownPerformative
+            | Code::UnreachableProtocolState
+            | Code::UnhandledPerformative
+            | Code::OrphanConversation => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -364,6 +451,30 @@ mod tests {
         assert_eq!(Code::RecursionThroughNegation.as_str(), "IS010");
         assert_eq!(Code::UnsatisfiableConstraints.as_str(), "IS020");
         assert_eq!(Code::UnknownPerformative.as_str(), "IS030");
+        assert_eq!(Code::UndefinedProtocolState.as_str(), "IS040");
+        assert_eq!(Code::OutOfOrderReply.as_str(), "IS050");
+        assert_eq!(Code::UncheckedUnwrap.as_str(), "IS060");
+    }
+
+    #[test]
+    fn code_table_is_unique_and_monotonically_grouped() {
+        // Every code renders `ISnnn` with a unique, strictly increasing
+        // number in declaration order, so the doc-comment grouping
+        // (IS00x … IS06x) can't silently drift as codes are added.
+        let mut last = 0u32;
+        let mut seen = std::collections::BTreeSet::new();
+        for code in Code::ALL {
+            let s = code.as_str();
+            assert!(s.starts_with("IS") && s.len() == 5, "malformed code string {s}");
+            let n: u32 = s[2..].parse().unwrap_or_else(|_| panic!("non-numeric code {s}"));
+            assert!(seen.insert(s), "duplicate code string {s}");
+            assert!(n > last, "code {s} breaks monotonic declaration order (previous {last:03})");
+            last = n;
+        }
+        // `ALL` must stay exhaustive: the derived Ord follows declaration
+        // order, so the last variant in the table must compare >= every
+        // variant the table contains.
+        assert_eq!(Code::ALL.len(), 33, "update Code::ALL when adding a variant");
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! - [`query_pass`] — standing service queries (subscriptions):
 //!   unsatisfiable constraint conjunctions, vacuous queries that match
 //!   everything, and vocabulary unknown to the registered ontologies.
+//! - [`protocol`] — conversation-protocol specs (finite state machines
+//!   over performatives) and their static IS04x pass: undefined or
+//!   unreachable states, nondeterministic transitions, unhandled
+//!   performatives, undischargeable reply obligations, dead ends.
+//! - [`conformance`] — the generated runtime monitor interpreting those
+//!   specs over observed traffic (IS05x: out-of-order replies, deltas
+//!   after unsubscribe, orphan conversations, duplicate acks).
 //!
 //! Every pass returns a [`Report`] of [`Diagnostic`]s carrying a stable
 //! `IS0xx` [`Code`], a severity, and (where the input has source text) a
@@ -27,13 +34,20 @@
 #![forbid(unsafe_code)]
 
 pub mod ad_pass;
+pub mod conformance;
 pub mod diag;
 pub mod kqml_pass;
 pub mod ldl_pass;
+pub mod protocol;
 pub mod query_pass;
 
 pub use ad_pass::{analyze_advertisement, AdContext};
+pub use conformance::{analyze_trace, ConformanceMonitor};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use kqml_pass::{analyze_message, analyze_template};
 pub use ldl_pass::{analyze_ldl_source, analyze_rules, LdlEnv};
+pub use protocol::{
+    analyze_protocol, analyze_protocol_source, analyze_protocol_table, standard_protocols,
+    ProtoTransition, ProtocolSpec, SubEffect, Trigger,
+};
 pub use query_pass::analyze_service_query;

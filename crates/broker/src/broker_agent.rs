@@ -70,6 +70,14 @@ pub struct BrokerConfig {
     /// strictly in arrival order, one at a time, so the emitted
     /// sequences are byte-identical to the unbatched path.
     pub batch_limit: usize,
+    /// Test-only seeded bug (compiled only under the `seeded-reorder`
+    /// cargo feature, and inert unless switched on at runtime): the
+    /// batched dispatcher applies each queued mutation run in *reverse*
+    /// arrival order. The interleaving explorer in `infosleuth-check`
+    /// must catch the resulting divergence — it is the oracle proving
+    /// the explorer can detect real ordering bugs.
+    #[cfg(feature = "seeded-reorder")]
+    pub seeded_reorder: bool,
 }
 
 impl BrokerConfig {
@@ -85,7 +93,16 @@ impl BrokerConfig {
             ping_interval: Some(Duration::from_secs(30)),
             subscription_index: true,
             batch_limit: 1,
+            #[cfg(feature = "seeded-reorder")]
+            seeded_reorder: false,
         }
+    }
+
+    /// Arms the seeded dispatcher-reordering bug (see the field doc).
+    #[cfg(feature = "seeded-reorder")]
+    pub fn with_seeded_reorder(mut self, on: bool) -> Self {
+        self.seeded_reorder = on;
+        self
     }
 
     /// Opts the broker into batched dispatch: up to `n` queued envelopes
@@ -281,6 +298,74 @@ impl BrokerAgent {
         let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
         Ok(BrokerHandle { shared, agent, _runtime: None })
     }
+
+    /// Builds the broker's dispatch core without spawning it on a
+    /// runtime. The interleaving explorer in `infosleuth-check` drives
+    /// the returned [`BrokerCore`]'s behavior directly with a detached
+    /// [`AgentContext`], so that *it* — not a worker pool — decides the
+    /// order in which envelopes are dispatched.
+    pub fn core(obs: &Arc<Obs>, config: BrokerConfig, mut repo: Repository) -> BrokerCore {
+        repo.set_obs(obs, &config.name);
+        let broker_obs = BrokerObs::new(obs, &config.name);
+        let cache =
+            MatchCache::new(DEFAULT_MATCH_CACHE_CAPACITY).with_obs(obs.registry(), &config.name);
+        let subs = Mutex::new(SubscriptionRegistry::new(config.subscription_index));
+        let shared =
+            Arc::new(Shared { config, repo: Mutex::new(repo), cache, subs, obs: broker_obs });
+        let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
+        BrokerCore { shared, behavior }
+    }
+}
+
+/// The broker's dispatch core detached from any hosting runtime: the
+/// same [`AgentBehavior`] a runtime would drive, plus read-only probes
+/// over the shared state that the explorer's invariants compare across
+/// schedules.
+pub struct BrokerCore {
+    shared: Arc<Shared>,
+    behavior: Arc<BrokerBehavior>,
+}
+
+impl BrokerCore {
+    /// The behavior to dispatch envelopes into (`on_message` /
+    /// `on_batch`, exactly as the runtime's event loop would).
+    pub fn behavior(&self) -> Arc<dyn AgentBehavior> {
+        Arc::clone(&self.behavior) as Arc<dyn AgentBehavior>
+    }
+
+    pub fn name(&self) -> &str {
+        &self.shared.config.name
+    }
+
+    /// Effective batch limit of the wrapped behavior.
+    pub fn batch_limit(&self) -> usize {
+        self.shared.config.batch_limit
+    }
+
+    /// Repository mutation epoch (bumps once per applied mutation).
+    pub fn repo_epoch(&self) -> u64 {
+        self.shared.repo.lock().epoch()
+    }
+
+    /// Canonical byte-stable digest of the repository: every resource and
+    /// broker advertisement rendered to KQML text, sorted. Every schedule
+    /// of one scenario must converge to an identical fingerprint.
+    pub fn repo_fingerprint(&self) -> String {
+        let repo = self.shared.repo.lock();
+        let mut lines: Vec<String> =
+            repo.agents().map(|ad| codec::advertisement_to_sexpr(ad).to_string()).collect();
+        lines.extend(
+            repo.broker_advertisements()
+                .map(|ad| codec::broker_advertisement_to_sexpr(ad).to_string()),
+        );
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Number of standing subscriptions currently registered.
+    pub fn subscription_count(&self) -> usize {
+        self.shared.subs.lock().len()
+    }
 }
 
 impl BrokerHandle {
@@ -465,6 +550,10 @@ fn flush_mutation_run(
 ) {
     if run.is_empty() {
         return;
+    }
+    #[cfg(feature = "seeded-reorder")]
+    if shared.config.seeded_reorder {
+        run.reverse();
     }
     let mut out = Vec::new();
     {

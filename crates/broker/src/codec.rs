@@ -225,7 +225,7 @@ pub fn advertisement_from_sexpr(e: &SExpr) -> Result<Advertisement, CodecError> 
     let agent_type: AgentType = one_text(items, "type")
         .ok_or_else(|| err("advertisement missing type"))?
         .parse()
-        .expect("AgentType parsing is infallible");
+        .expect("AgentType parsing is infallible"); // lint: allow-unwrap
     let mut ad = Advertisement::new(AgentLocation::new(name, address, agent_type));
     ad.syntactic = SyntacticInfo::new(
         find(items, "query-languages").map(text_items).unwrap_or_default(),
@@ -317,7 +317,7 @@ pub fn broker_advertisement_from_sexpr(e: &SExpr) -> Result<BrokerAdvertisement,
         if let Some(tys) = find(spec, "agent-types") {
             s.agent_types = text_items(tys)
                 .into_iter()
-                .map(|t| t.parse().expect("AgentType parsing is infallible"))
+                .map(|t| t.parse().expect("AgentType parsing is infallible")) // lint: allow-unwrap
                 .collect();
         }
         if let Some(os) = find(spec, "ontologies") {
@@ -392,7 +392,8 @@ pub fn service_query_from_sexpr(e: &SExpr) -> Result<ServiceQuery, CodecError> {
     let items = &list[1..];
     let mut q = ServiceQuery::any();
     if let Some(t) = one_text(items, "type") {
-        q.agent_type = Some(t.parse().expect("AgentType parsing is infallible"));
+        // Infallible: unknown type strings become AgentType::Other.
+        q.agent_type = t.parse().ok();
     }
     q.agent_name = one_text(items, "name");
     q.query_language = one_text(items, "query-language");

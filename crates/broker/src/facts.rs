@@ -142,7 +142,7 @@ pub fn matchmaking_rules_text() -> &'static str {
 
 /// The broker's matchmaking rule base.
 pub fn matchmaking_program() -> Program {
-    parse_rules(matchmaking_rules_text()).expect("matchmaking rule base parses")
+    parse_rules(matchmaking_rules_text()).expect("rule base parses") // lint: allow-unwrap
 }
 
 /// The extensional fact schema the broker compiles advertisements into:

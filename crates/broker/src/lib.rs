@@ -36,13 +36,14 @@ mod match_cache;
 mod matchmaker;
 mod objective;
 mod policy;
+mod protocol_tap;
 mod repository;
 mod scoring_index;
 mod sub_index;
 
 pub use broker_agent::{
     advertise_to, broker_one_content, interconnect, query_broker, subscribe_to, unadvertise_from,
-    unsubscribe_from, BrokerAgent, BrokerConfig, BrokerHandle,
+    unsubscribe_from, BrokerAgent, BrokerConfig, BrokerCore, BrokerHandle,
 };
 pub use facts::{
     compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
@@ -52,6 +53,7 @@ pub use match_cache::{MatchCache, MatchCacheStats, QueryKey, DEFAULT_MATCH_CACHE
 pub use matchmaker::{MatchResult, Matchmaker};
 pub use objective::{AdmissionDecision, BrokerObjective};
 pub use policy::{FollowOption, SearchPolicy};
+pub use protocol_tap::ProtocolTap;
 pub use repository::{MaintenanceStats, Repository, RepositoryError};
 pub use scoring_index::ScoringIndex;
 pub use sub_index::{

@@ -606,7 +606,7 @@ impl Repository {
         }
         let program = Arc::new(
             matchmaking_program_with(&self.derived_rules)
-                .expect("combined base verified stratifiable at registration time"),
+                .expect("combined base verified stratifiable at registration time"), // lint: allow-unwrap
         );
         self.program = Some(Arc::clone(&program));
         program
@@ -627,7 +627,7 @@ impl Repository {
             return model;
         }
         let program = self.program();
-        let model = program.saturate(&self.edb).expect("matchmaking program is stratified");
+        let model = program.saturate(&self.edb).expect("matchmaking program is stratified"); // lint: allow-unwrap
         self.stats.full_recomputes += 1;
         let arc = Arc::new(model);
         self.saturated = Some(Arc::clone(&arc));

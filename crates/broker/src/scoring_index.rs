@@ -122,7 +122,7 @@ impl ScoringIndex {
         if let Some(&id) = self.symbols.get(text) {
             return Some(id);
         }
-        let id = u32::try_from(self.symbols.len()).expect("fewer than 2^32 symbols");
+        let id = u32::try_from(self.symbols.len()).expect("fewer than 2^32 symbols"); // lint: allow-unwrap
         self.symbols.insert(text.to_string(), id);
         Some(id)
     }

@@ -308,13 +308,12 @@ impl SubscriptionIndex {
             let s = self.intern(name);
             return BucketRef::AgentName(s);
         }
-        if let (Some(onto), false) = (&query.ontology, query.classes.is_empty()) {
+        if let (Some(onto), Some(class)) = (&query.ontology, query.classes.iter().next()) {
             // One representative class suffices: a matching advertisement
             // must cover *every* requested class, so probing with any
             // single class's expansion finds it. Expand through ancestors
             // (full coverage) and descendants (partial contribution),
             // exactly like candidate narrowing.
-            let class = query.classes.iter().next().expect("non-empty");
             let mut names: BTreeSet<String> = BTreeSet::from([class.clone()]);
             if let Some(o) = repo.ontology(onto) {
                 let h = o.hierarchy();

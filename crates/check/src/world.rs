@@ -1,0 +1,240 @@
+//! One explorable broker world: a real [`BrokerCore`] driven over the
+//! virtual transport, with delivery and dispatch decomposed into
+//! explicit schedulable [`Action`]s.
+//!
+//! The action model mirrors the production message plane exactly:
+//!
+//! * **Deliver { from, to }** — the transport moves the head of the
+//!   `(from, to)` channel into `to`'s arrival queue (or hands it to a
+//!   passive client). Per-channel FIFO is preserved; *which* channel
+//!   advances next is the race.
+//! * **Dispatch { to }** — the event loop drains up to `batch_limit`
+//!   queued envelopes into the behavior, choosing `on_message` for a
+//!   single envelope and `on_batch` for more, exactly like
+//!   [`AgentRuntime`](infosleuth_agent::AgentRuntime)'s event loop. When
+//!   the dispatch fires relative to arrivals decides the batch
+//!   boundaries — the second race.
+//!
+//! Handlers run synchronously inside `apply`, so every send they make is
+//! enqueued (and logged) before the next action is chosen.
+
+use crate::clock::VectorClock;
+use crate::transport::{ScheduledTransport, SentRecord};
+use infosleuth_agent::{AgentBehavior, AgentContext, Envelope, Transport};
+use infosleuth_broker::{BrokerAgent, BrokerConfig, BrokerCore, Repository};
+use infosleuth_kqml::Message;
+use infosleuth_obs::Obs;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// A schedulable step. Ordered so enabled-action lists are deterministic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// Move the head of channel `(from, to)` into `to`'s arrival queue.
+    Deliver { from: String, to: String },
+    /// Drain up to `batch_limit` arrived envelopes into `to`'s behavior.
+    Dispatch { to: String },
+}
+
+impl Action {
+    /// The agent whose state this action mutates. Actions on distinct
+    /// destinations commute (see `independent` in the explorer).
+    pub fn dest(&self) -> &str {
+        match self {
+            Action::Deliver { to, .. } => to,
+            Action::Dispatch { to } => to,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Deliver { from, to } => write!(f, "deliver {from}->{to}"),
+            Action::Dispatch { to } => write!(f, "dispatch {to}"),
+        }
+    }
+}
+
+/// A reproducible initial condition: a broker repository plus the client
+/// messages already in flight toward the broker. Injections from one
+/// client stay FIFO; across clients they race.
+pub struct Scenario {
+    pub name: &'static str,
+    /// Builds the broker's starting repository (called once per replay).
+    pub repo: fn() -> Repository,
+    /// `(client, message)` pairs, sent to the broker at world start in
+    /// this order.
+    pub injections: Vec<(String, Message)>,
+}
+
+/// Per-world knobs the explorer sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// The broker's `batch_limit` (1 = classic per-message dispatch).
+    pub batch_limit: usize,
+    /// Arms the broker's seeded dispatcher bug. Requires building with
+    /// the `seeded-reorder` cargo feature; panics otherwise, because a
+    /// silently-ignored bug switch would make the oracle test vacuous.
+    pub seeded_reorder: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig { batch_limit: 1, seeded_reorder: false }
+    }
+}
+
+/// The name every scenario's broker registers under.
+pub const BROKER: &str = "broker";
+
+/// A live instance of one scenario, advanced one [`Action`] at a time.
+pub struct World {
+    transport: Arc<ScheduledTransport>,
+    core: BrokerCore,
+    ctx: AgentContext,
+    behavior: Arc<dyn AgentBehavior>,
+    batch_limit: usize,
+    /// Broker arrival queue: delivered but not yet dispatched.
+    arrivals: VecDeque<(Envelope, VectorClock)>,
+    /// Messages consumed by passive clients, per client, in delivery order.
+    received: BTreeMap<String, Vec<Message>>,
+    /// Applied actions with the destination clock after each.
+    trace: Vec<(Action, VectorClock)>,
+}
+
+impl World {
+    pub fn new(scenario: &Scenario, config: WorldConfig) -> World {
+        let obs = Obs::new();
+        let transport = Arc::new(ScheduledTransport::new());
+        transport.register(BROKER);
+        for (client, _) in &scenario.injections {
+            transport.register(client);
+        }
+        #[allow(unused_mut)]
+        let mut broker_config = BrokerConfig::new(BROKER, "virtual://broker")
+            .with_batch_limit(config.batch_limit)
+            .with_ping_interval(None);
+        #[cfg(feature = "seeded-reorder")]
+        {
+            broker_config = broker_config.with_seeded_reorder(config.seeded_reorder);
+        }
+        #[cfg(not(feature = "seeded-reorder"))]
+        assert!(
+            !config.seeded_reorder,
+            "WorldConfig::seeded_reorder requires the `seeded-reorder` cargo feature"
+        );
+        let core = BrokerAgent::core(&obs, broker_config, (scenario.repo)());
+        let behavior = core.behavior();
+        let ctx = AgentContext::detached(
+            BROKER,
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            Arc::clone(&obs),
+        );
+        for (client, message) in &scenario.injections {
+            transport
+                .send(client, BROKER, message.clone())
+                .expect("scenario injection targets the registered broker"); // lint: allow-unwrap
+        }
+        World {
+            transport,
+            core,
+            ctx,
+            behavior,
+            batch_limit: config.batch_limit.max(1),
+            arrivals: VecDeque::new(),
+            received: BTreeMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// All actions currently applicable, in deterministic order.
+    pub fn enabled(&self) -> Vec<Action> {
+        let mut actions: Vec<Action> = self
+            .transport
+            .nonempty_channels()
+            .into_iter()
+            .map(|(from, to)| Action::Deliver { from, to })
+            .collect();
+        if !self.arrivals.is_empty() {
+            actions.push(Action::Dispatch { to: BROKER.to_string() });
+        }
+        actions.sort();
+        actions
+    }
+
+    /// Nothing left to deliver or dispatch: the schedule is complete.
+    pub fn is_quiescent(&self) -> bool {
+        self.enabled().is_empty()
+    }
+
+    /// Applies one enabled action. Panics on a disabled action — the
+    /// explorer only replays action sequences it derived from `enabled`.
+    pub fn apply(&mut self, action: &Action) {
+        match action {
+            Action::Deliver { from, to } => {
+                let (message, clock) =
+                    self.transport.pop_channel(from, to).expect("deliver on an empty channel"); // lint: allow-unwrap
+                if to == BROKER {
+                    let env = Envelope { from: from.clone(), to: to.clone(), message };
+                    self.arrivals.push_back((env, clock.clone()));
+                    self.trace.push((action.clone(), clock));
+                } else {
+                    let after = self.transport.advance_clock(to, std::slice::from_ref(&clock));
+                    self.received.entry(to.clone()).or_default().push(message);
+                    self.trace.push((action.clone(), after));
+                }
+            }
+            Action::Dispatch { .. } => {
+                let take = self.batch_limit.min(self.arrivals.len()).max(1);
+                let mut batch = Vec::with_capacity(take);
+                let mut clocks = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let Some((env, clock)) = self.arrivals.pop_front() else { break };
+                    batch.push(env);
+                    clocks.push(clock);
+                }
+                assert!(!batch.is_empty(), "dispatch on an empty arrival queue");
+                let after = self.transport.advance_clock(BROKER, &clocks);
+                self.trace.push((action.clone(), after));
+                if batch.len() == 1 {
+                    let Some(env) = batch.pop() else { return };
+                    self.behavior.on_message(&self.ctx, env);
+                } else {
+                    self.behavior.on_batch(&self.ctx, batch);
+                }
+            }
+        }
+    }
+
+    /// Canonical digest of the broker repository (see
+    /// [`BrokerCore::repo_fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        self.core.repo_fingerprint()
+    }
+
+    pub fn repo_epoch(&self) -> u64 {
+        self.core.repo_epoch()
+    }
+
+    pub fn subscription_count(&self) -> usize {
+        self.core.subscription_count()
+    }
+
+    /// Global emission log (scenario injections first, then everything
+    /// the broker sent, in send order).
+    pub fn log(&self) -> Vec<SentRecord> {
+        self.transport.log()
+    }
+
+    /// Messages consumed by a passive client, in delivery order.
+    pub fn received_by(&self, client: &str) -> &[Message] {
+        self.received.get(client).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Applied actions with the destination clock after each step.
+    pub fn trace(&self) -> &[(Action, VectorClock)] {
+        &self.trace
+    }
+}

@@ -9,15 +9,20 @@
 //!   advertisement, and the standard KQML conversation templates. A clean
 //!   tree reports zero diagnostics.
 //! - [`lint_corpus`] runs the analyzers over a directory of deliberately
-//!   broken inputs (`*.ldl`, `*.ad`, `*.kqml`, `*.sq`) and compares each file's
-//!   diagnostics against its `*.expected` fixture, one `IS0xx` code per
-//!   line. This is the analyzer's own regression suite.
+//!   broken inputs (`*.ldl`, `*.ad`, `*.kqml`, `*.sq`, `*.proto`
+//!   conversation-protocol specs, `*.trace` conversation event traces) and
+//!   compares each file's diagnostics against its `*.expected` fixture,
+//!   one `IS0xx` code per line. This is the analyzer's own regression
+//!   suite.
+//! - [`lint_protocols`] analyzes the shipped conversation-protocol table
+//!   (the `--protocol` mode of the binary).
 
 #![forbid(unsafe_code)]
 
 use infosleuth_analysis::{
-    analyze_advertisement, analyze_ldl_source, analyze_message, analyze_service_query,
-    analyze_template, AdContext, Code, Diagnostic, Report, Span,
+    analyze_advertisement, analyze_ldl_source, analyze_message, analyze_protocol_source,
+    analyze_protocol_table, analyze_service_query, analyze_template, analyze_trace,
+    standard_protocols, AdContext, Code, Diagnostic, Report, Span,
 };
 use infosleuth_core::broker::codec;
 use infosleuth_core::constraint::parse_conjunction;
@@ -58,7 +63,82 @@ pub fn lint_repo() -> Vec<Report> {
     for (name, template) in standard_templates() {
         reports.push(analyze_template(&format!("kqml/template/{name}"), &template));
     }
+
+    // The shipped conversation-protocol table (IS04x statics).
+    reports.push(lint_protocols());
+
+    // Source hygiene (IS060) over the runtime crates: `.unwrap()` /
+    // `.expect(` outside test modules must carry an explicit
+    // `// lint: allow-unwrap` waiver.
+    reports.extend(scan_source_hygiene(Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))));
     reports
+}
+
+/// Analyzes the shipped conversation-protocol table — the `--protocol`
+/// mode of the binary, and part of [`lint_repo`].
+pub fn lint_protocols() -> Report {
+    analyze_protocol_table(&standard_protocols())
+}
+
+/// Directories (relative to the repo root) whose non-test sources must be
+/// free of unwaived `.unwrap()` / `.expect(` calls.
+const HYGIENE_DIRS: &[&str] = &["crates/agent/src", "crates/broker/src"];
+
+/// Scans the runtime crates' sources for unchecked `.unwrap()` /
+/// `.expect(` calls (IS060). Test modules (everything from the first
+/// `#[cfg(test)]` line to end of file — the repo convention puts them
+/// last) and lines carrying a `// lint: allow-unwrap` waiver are exempt.
+/// Missing directories are skipped silently so the binary still works
+/// from an installed location.
+pub fn scan_source_hygiene(repo_root: &Path) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for dir in HYGIENE_DIRS {
+        let Ok(entries) = fs::read_dir(repo_root.join(dir)) else { continue };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(src) = fs::read_to_string(&path) else { continue };
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("source");
+            reports.push(scan_unwraps(&format!("{dir}/{name}"), &src));
+        }
+    }
+    reports
+}
+
+/// The IS060 pass over one source file. Positions are byte offsets so a
+/// reported span lands on the offending call.
+pub fn scan_unwraps(origin: &str, src: &str) -> Report {
+    let mut report = Report::new(origin);
+    let mut offset = 0usize;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break; // test module; repo convention keeps it at end of file
+        }
+        let is_comment = trimmed.starts_with("//");
+        let waived = line.contains("// lint: allow-unwrap");
+        if !is_comment && !waived {
+            for pattern in [".unwrap()", ".expect("] {
+                for (col, _) in line.match_indices(pattern) {
+                    report.push(
+                        Diagnostic::new(
+                            Code::UncheckedUnwrap,
+                            format!(
+                                "`{pattern}` in non-test code; handle the error or waive \
+                                 with `// lint: allow-unwrap`"
+                            ),
+                        )
+                        .with_span(Span::point(offset + col)),
+                    );
+                }
+            }
+        }
+        offset += line.len() + 1;
+    }
+    report
 }
 
 /// The advertisements the shipped example scenarios register: one resource
@@ -108,16 +188,20 @@ impl CorpusCase {
     }
 }
 
-/// Runs the analyzers over every `*.ldl`, `*.ad`, `*.kqml`, and `*.sq`
-/// (standing service query) file in `dir` and compares against the
-/// `*.expected` fixtures. An `.ldl` file whose first line contains
-/// `% env: matchmaking` is analyzed against the broker's fact schema;
-/// others are analyzed permissively.
+/// Runs the analyzers over every `*.ldl`, `*.ad`, `*.kqml`, `*.sq`
+/// (standing service query), `*.proto` (conversation-protocol spec), and
+/// `*.trace` (conversation event trace) file in `dir` and compares
+/// against the `*.expected` fixtures. An `.ldl` file whose first line
+/// contains `% env: matchmaking` is analyzed against the broker's fact
+/// schema; others are analyzed permissively.
 pub fn lint_corpus(dir: &Path) -> io::Result<Vec<CorpusCase>> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| {
-            matches!(p.extension().and_then(|e| e.to_str()), Some("ldl" | "ad" | "kqml" | "sq"))
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("ldl" | "ad" | "kqml" | "sq" | "proto" | "trace")
+            )
         })
         .collect();
     paths.sort();
@@ -134,6 +218,8 @@ pub fn lint_corpus(dir: &Path) -> io::Result<Vec<CorpusCase>> {
             Some("ad") => analyze_corpus_ad(&origin, &src, &ctx),
             Some("kqml") => analyze_corpus_kqml(&origin, &src),
             Some("sq") => analyze_corpus_sq(&origin, &src, &ctx),
+            Some("proto") => analyze_protocol_source(&origin, &src),
+            Some("trace") => analyze_trace(&origin, &src),
             _ => unreachable!("filtered above"),
         };
         let expected = read_expected(&path.with_extension("expected"))?;
@@ -218,4 +304,40 @@ fn read_expected(path: &Path) -> io::Result<Vec<String>> {
         .collect();
     codes.sort();
     Ok(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_scan_flags_only_unwaived_nontest_calls() {
+        let src = "fn f() {\n\
+                   \x20   a.unwrap();\n\
+                   \x20   b.expect(\"invariant\"); // lint: allow-unwrap\n\
+                   \x20   // c.unwrap() inside a comment is fine\n\
+                   \x20   d.unwrap_or_default();\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn g() { e.unwrap(); }\n\
+                   }\n";
+        let report = scan_unwraps("x.rs", src);
+        let codes = report.codes();
+        assert_eq!(codes, vec![Code::UncheckedUnwrap], "{}", report.render_human(Some(src)));
+        // The one finding points at the `.unwrap()` on line 2.
+        let span = report.diagnostics[0].span.expect("span recorded");
+        assert_eq!(&src[span.start..span.start + ".unwrap()".len()], ".unwrap()");
+    }
+
+    #[test]
+    fn hygiene_scan_skips_missing_directories() {
+        assert!(scan_source_hygiene(Path::new("/nonexistent/repo/root")).is_empty());
+    }
+
+    #[test]
+    fn protocol_table_lint_is_clean() {
+        let report = lint_protocols();
+        assert!(report.is_clean(), "{}", report.render_human(None));
+    }
 }

@@ -4,11 +4,13 @@
 //! ```text
 //! infosleuth-lint [--json]                 lint every shipped artifact
 //! infosleuth-lint [--json] --corpus DIR    run the expected-diagnostic corpus
+//! infosleuth-lint [--json] --protocol      verify the conversation-protocol table
 //! ```
 //!
 //! Repo mode exits nonzero if *any* diagnostic (including warnings) is
 //! reported — the shipped tree must be spotless. Corpus mode exits nonzero
-//! if any file's diagnostics differ from its `.expected` fixture.
+//! if any file's diagnostics differ from its `.expected` fixture. Protocol
+//! mode runs only the IS04x statics over the shipped protocol table.
 
 #![forbid(unsafe_code)]
 
@@ -17,32 +19,52 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut protocol = false;
     let mut corpus: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--protocol" => protocol = true,
             "--corpus" => match args.next() {
                 Some(dir) => corpus = Some(PathBuf::from(dir)),
                 None => return usage("--corpus needs a directory"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: infosleuth-lint [--json] [--corpus DIR]");
+                eprintln!("usage: infosleuth-lint [--json] [--corpus DIR | --protocol]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
-    match corpus {
-        Some(dir) => run_corpus(&dir, json),
-        None => run_repo(json),
+    match (corpus, protocol) {
+        (Some(_), true) => usage("--corpus and --protocol are mutually exclusive"),
+        (Some(dir), false) => run_corpus(&dir, json),
+        (None, true) => run_protocol(json),
+        (None, false) => run_repo(json),
     }
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("infosleuth-lint: {problem}");
-    eprintln!("usage: infosleuth-lint [--json] [--corpus DIR]");
+    eprintln!("usage: infosleuth-lint [--json] [--corpus DIR | --protocol]");
     ExitCode::from(2)
+}
+
+fn run_protocol(json: bool) -> ExitCode {
+    let report = infosleuth_lint::lint_protocols();
+    if json {
+        println!("[{}]", report.render_json());
+    } else if report.is_clean() {
+        println!("ok    {} (conversation-protocol table)", report.origin);
+    } else {
+        print!("{}", report.render_human(None));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_repo(json: bool) -> ExitCode {

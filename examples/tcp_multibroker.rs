@@ -22,18 +22,20 @@
 //! monitor cannot produce one connected trace tree spanning at least
 //! three agents (user query → broker → resource agent), if
 //! `broker_match_requests_total` or `broker_sub_notifications_total`
-//! never moved, or if any histogram in the scrape is empty (which forces
+//! never moved, if any histogram in the scrape is empty (which forces
 //! the standing-subscription churn below to exercise both brokers'
-//! `broker_sub_notify_seconds`) — so CI can run this binary as a smoke
-//! test for the TCP transport *and* the metrics plane.
+//! `broker_sub_notify_seconds`), or if either node's conversation
+//! conformance tap counted a `protocol_violations_total` — so CI can run
+//! this binary as a smoke test for the TCP transport, the metrics
+//! plane, *and* the conversation protocol.
 
 use infosleuth_core::agent::{
-    spawn_obs_reporter, AgentRuntime, RuntimeConfig, TcpTransport, Transport, TransportExt,
-    LOG_ONTOLOGY,
+    spawn_obs_reporter, AgentRuntime, MessageTap, RuntimeConfig, TappedTransport, TcpTransport,
+    Transport, TransportExt, LOG_ONTOLOGY,
 };
 use infosleuth_core::broker::{
     advertise_to, codec, interconnect, query_broker, subscribe_to, unadvertise_from, BrokerAgent,
-    BrokerConfig, Repository, SearchPolicy,
+    BrokerConfig, ProtocolTap, Repository, SearchPolicy,
 };
 use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::obs::{build_trace_tree, scrape, Obs, SpanNode, SpanRecord};
@@ -108,16 +110,33 @@ fn main() -> ExitCode {
     node_a.set_obs(&obs_a);
     node_b.set_obs(&obs_b);
 
+    // --- A conversation-conformance tap per node. ---------------------
+    // Every send leaving a node replays through a lenient IS05x monitor
+    // (lenient because each tap sees only its own node's half of
+    // cross-node conversations); violations surface both as
+    // `protocol_violations_total` in the scrape and as the gate at the
+    // bottom of this run.
+    let tap_a = Arc::new(ProtocolTap::lenient(obs_a.registry(), "node-a"));
+    let tap_b = Arc::new(ProtocolTap::lenient(obs_b.registry(), "node-b"));
+    let transport_a = TappedTransport::wrap(
+        Arc::clone(&node_a) as Arc<dyn Transport>,
+        Arc::clone(&tap_a) as Arc<dyn MessageTap>,
+    );
+    let transport_b = TappedTransport::wrap(
+        Arc::clone(&node_b) as Arc<dyn Transport>,
+        Arc::clone(&tap_b) as Arc<dyn MessageTap>,
+    );
+
     // --- One runtime per node; both report failures to the monitor. ---
     let runtime_a = AgentRuntime::new(
-        Arc::clone(&node_a) as Arc<dyn Transport>,
+        Arc::clone(&transport_a),
         RuntimeConfig::default()
             .with_workers(8)
             .with_monitor("monitor-agent")
             .with_obs(Arc::clone(&obs_a)),
     );
     let runtime_b = AgentRuntime::new(
-        Arc::clone(&node_b) as Arc<dyn Transport>,
+        Arc::clone(&transport_b),
         RuntimeConfig::default()
             .with_workers(4)
             .with_monitor("monitor-agent")
@@ -191,8 +210,7 @@ fn main() -> ExitCode {
     .expect("ra-c2 spawns");
 
     // --- §4 walkthrough: discovery crosses brokers, hence nodes. -------
-    let mut probe =
-        (Arc::clone(&node_a) as Arc<dyn Transport>).endpoint("probe").expect("fresh name");
+    let mut probe = transport_a.endpoint("probe").expect("fresh name");
     let c2_query = ServiceQuery::for_agent_type(AgentType::Resource)
         .with_ontology("paper-classes")
         .with_classes(["C2"]);
@@ -210,13 +228,9 @@ fn main() -> ExitCode {
     assert!(local.is_empty(), "ra-c2 is not advertised on broker-1");
 
     // --- Full query pipeline: user on A, data on both nodes. ----------
-    let mut user = UserAgent::connect_over(
-        Arc::clone(&node_a) as Arc<dyn Transport>,
-        "mhn-user",
-        brokers.clone(),
-        T,
-    )
-    .expect("user connects");
+    let mut user =
+        UserAgent::connect_over(Arc::clone(&transport_a), "mhn-user", brokers.clone(), T)
+            .expect("user connects");
     for (sql, want) in [("select * from C1", 6), ("select * from C2", 8)] {
         let table = user.submit_sql(sql, Some("paper-classes")).expect("query answers");
         println!("`{sql}` → {} rows (via mrq-agent on node A)", table.len());
@@ -229,8 +243,7 @@ fn main() -> ExitCode {
     // socket). The scrape gates below require both brokers' subscription
     // counters and notification-latency histograms to move, so this
     // section is load-bearing for the metrics plane.
-    let mut watcher =
-        (Arc::clone(&node_a) as Arc<dyn Transport>).endpoint("sub-watcher").expect("fresh name");
+    let mut watcher = transport_a.endpoint("sub-watcher").expect("fresh name");
     let c3_query = ServiceQuery::for_agent_type(AgentType::Resource)
         .with_ontology("paper-classes")
         .with_classes(["C3"]);
@@ -302,6 +315,28 @@ fn main() -> ExitCode {
     // broker's broker_sub_notify_seconds, fed by the churn above.
     let empty = empty_histograms(&text);
     assert!(empty.is_empty(), "empty histograms in scrape: {empty:?}\n{text}");
+    // The conformance counters must be present (both node taps reported
+    // through the reporters) and at zero: the whole run conducted only
+    // well-formed conversations.
+    assert!(
+        text.contains("protocol_violations_total"),
+        "protocol_violations_total missing from scrape:\n{text}"
+    );
+    let scraped_violations = sample_total(&text, "protocol_violations_total");
+    println!("scrape: protocol_violations_total = {scraped_violations}");
+
+    // --- Conformance gate: no IS05x violations on either node. --------
+    let protocol_violations = tap_a.total_violations() + tap_b.total_violations();
+    for d in tap_a.violations().iter().chain(tap_b.violations().iter()) {
+        eprintln!("protocol violation: {}: {}", d.code.as_str(), d.message);
+    }
+    println!(
+        "protocol violations: node A {} / node B {} (open conversations: {} / {})",
+        tap_a.total_violations(),
+        tap_b.total_violations(),
+        tap_a.open_conversations(),
+        tap_b.open_conversations(),
+    );
 
     // --- Smoke gate: the whole run must be delivery-failure free. -----
     let reported = monitor.delivery_failure_reports() as u64;
@@ -328,7 +363,14 @@ fn main() -> ExitCode {
         eprintln!("FAIL: {} delivery failure(s) during the walkthrough", counted + reported);
         return ExitCode::FAILURE;
     }
-    println!("distributed walkthrough matched the in-proc behavior; no lost messages.");
+    if protocol_violations + scraped_violations as u64 > 0 {
+        eprintln!("FAIL: {protocol_violations} conversation-protocol violation(s)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "distributed walkthrough matched the in-proc behavior; no lost messages, \
+         no protocol violations."
+    );
     ExitCode::SUCCESS
 }
 
