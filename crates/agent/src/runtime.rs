@@ -89,6 +89,10 @@ struct RuntimeMetrics {
     handler_message_seconds: Histogram,
     handler_tick_seconds: Histogram,
     queue_depth: Gauge,
+    /// Jobs currently dispatched to workers across all hosted agents
+    /// (`runtime_inflight`) — the watermark the stock `inflight` health
+    /// rule watches.
+    inflight: Gauge,
     /// Envelopes per dispatch job (`runtime_batch_size`): 1 for every
     /// plain dispatch, N when a batching agent drained N at once.
     batch_size: Histogram,
@@ -103,6 +107,7 @@ impl RuntimeMetrics {
             handler_message_seconds: reg.latency("runtime_handler_seconds", &[("kind", "message")]),
             handler_tick_seconds: reg.latency("runtime_handler_seconds", &[("kind", "tick")]),
             queue_depth: reg.gauge("runtime_queue_depth", &[]),
+            inflight: reg.gauge("runtime_inflight", &[]),
             batch_size: reg.size("runtime_batch_size", &[]),
         }
     }
@@ -496,6 +501,31 @@ impl AgentRuntime {
         &self.shared.obs
     }
 
+    /// Starts a background obs sampler over this runtime's metrics
+    /// registry: every interval it snapshots the registry into a fresh
+    /// ring-buffer [`TimeSeriesStore`](infosleuth_obs::TimeSeriesStore) and evaluates `engine` against
+    /// it. `default_interval` is the programmed cadence; the
+    /// `INFOSLEUTH_OBS_SAMPLE_MS` env var overrides it (clamped ≥
+    /// 10 ms). The caller owns the returned handle — drop or `stop` it
+    /// before runtime shutdown for a clean exit (the sampler only reads
+    /// the registry, so either order is safe).
+    pub fn start_sampler(
+        &self,
+        engine: infosleuth_obs::HealthEngine,
+        store_capacity: usize,
+        default_interval: Duration,
+    ) -> infosleuth_obs::SamplerHandle {
+        let store = Arc::new(infosleuth_obs::TimeSeriesStore::new(store_capacity));
+        let interval = infosleuth_obs::sample_interval_from_env(default_interval);
+        infosleuth_obs::Sampler::spawn(
+            self.shared.obs.registry().clone(),
+            store,
+            engine,
+            interval,
+            |_tick| {},
+        )
+    }
+
     /// Registers `name` on the transport and hosts `behavior` under it.
     pub fn spawn(
         &self,
@@ -625,6 +655,7 @@ fn worker_loop(shared: &RuntimeShared) {
                 shared.metrics.dispatch_messages.inc();
                 shared.metrics.batch_size.observe(1.0);
                 slot.inflight.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.inflight.add(-1);
             }
             Job::Batch(slot, batch) => {
                 // One job, many envelopes: the handler amortizes its
@@ -637,6 +668,7 @@ fn worker_loop(shared: &RuntimeShared) {
                 shared.metrics.dispatch_messages.add(n as u64);
                 shared.metrics.batch_size.observe(n as f64);
                 slot.inflight.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.inflight.add(-1);
             }
             Job::Tick(slot) => {
                 // Ticks are untraced background maintenance; they only
@@ -690,6 +722,7 @@ fn event_loop(shared: &RuntimeShared) {
                     break;
                 }
                 slot.inflight.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.inflight.add(1);
                 if drained.len() == 1 {
                     if let Some(env) = drained.pop() {
                         shared.queue.push(Job::Message(Arc::clone(slot), env));

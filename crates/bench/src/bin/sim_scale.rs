@@ -1,7 +1,10 @@
 //! Charts per-event dispatch cost of the flat-queue simulator as the
 //! simulated population grows from 10³ to 10⁶ agents, across the scale
 //! scenario library (uniform, zipf, flash crowd, churn burst), and
-//! writes `BENCH_sim_scale.json` for tracking across revisions.
+//! writes `BENCH_sim_scale.json` for tracking across revisions. Each
+//! report now carries the virtual-time health timeline (worst state,
+//! degraded samples, transitions) sampled by the production
+//! `HealthEngine` over simulated broker backlog and queue pressure.
 //!
 //! The workload is an *open* arrival process: event volume is fixed by
 //! rate × duration, independent of population, and timing covers the
@@ -36,8 +39,8 @@ fn main() {
     );
     println!();
     println!(
-        "{:>9}  {:>8}  {:>11}  {:>9}  {:>12}",
-        "agents", "scenario", "ns/event", "events", "p95 resp ms"
+        "{:>9}  {:>8}  {:>11}  {:>9}  {:>12}  {:>10}  {:>8}",
+        "agents", "scenario", "ns/event", "events", "p95 resp ms", "health", "degraded"
     );
 
     let mut rows = Vec::new();
@@ -60,12 +63,15 @@ fn main() {
             let report = &reports[idx];
 
             println!(
-                "{:>9}  {:>8}  {:>11.1}  {:>9}  {:>12.2}",
+                "{:>9}  {:>8}  {:>11.1}  {:>9}  {:>12.2}  {:>10}  {:>5}/{}",
                 agents,
                 scenario.tag(),
                 ns_per_event,
                 report.events,
                 report.response_pcts.p95() * 1e3,
+                report.worst_state().as_str(),
+                report.degraded_samples(),
+                report.health.len(),
             );
             rows.push(format!(
                 "    {{\"agents\": {}, \"scenario\": \"{}\", \"ns_per_event\": {:.1}, \"passes\": {}, \"report\": {}}}",

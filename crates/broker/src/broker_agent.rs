@@ -208,7 +208,15 @@ impl BrokerObs {
             sub_notifications: reg.counter("broker_sub_notifications_total", &[("broker", broker)]),
             parse: lat("parse"),
             scoring: lat("scoring"),
-            sub_notify: reg.latency("broker_sub_notify_seconds", &[("broker", broker)]),
+            // Fan-out latencies sit in the single-digit-µs range on the
+            // indexed path; the coarse default buckets (first bound
+            // 100µs) would lump every sample into one bucket, so this
+            // histogram registers with the fine µs-scale bounds.
+            sub_notify: reg.histogram(
+                "broker_sub_notify_seconds",
+                &[("broker", broker)],
+                infosleuth_obs::default_fine_latency_buckets(),
+            ),
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod codec;
 
 mod broker_agent;
 mod facts;
+mod health_pub;
 mod match_cache;
 mod matchmaker;
 mod objective;
@@ -48,6 +49,11 @@ pub use broker_agent::{
 pub use facts::{
     compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
     matchmaking_env, matchmaking_program, matchmaking_program_with, matchmaking_rules_text,
+};
+pub use health_pub::{
+    health_state_from_sexpr, health_state_to_sexpr, spawn_health_publisher,
+    spawn_health_publisher_with, HealthPublisher, HealthPublisherConfig, HealthPublisherHandle,
+    HEALTH_STATE_HEAD, OBS_ONTOLOGY_NAME,
 };
 pub use match_cache::{MatchCache, MatchCacheStats, QueryKey, DEFAULT_MATCH_CACHE_CAPACITY};
 pub use matchmaker::{MatchResult, Matchmaker};

@@ -92,8 +92,13 @@ impl MatchCache {
         self.misses = event("miss");
         self.evictions = event("eviction");
         self.stale = event("stale");
-        self.lookup_seconds =
-            registry.latency("broker_match_cache_lookup_seconds", &[("broker", broker)]);
+        // Cache lookups are µs-scale; the fine buckets keep the
+        // quantiles meaningful (see default_fine_latency_buckets).
+        self.lookup_seconds = registry.histogram(
+            "broker_match_cache_lookup_seconds",
+            &[("broker", broker)],
+            infosleuth_obs::default_fine_latency_buckets(),
+        );
         self
     }
 

@@ -20,8 +20,8 @@ use infosleuth_agent::{AgentRuntime, Bus, BusError, RuntimeConfig, Transport};
 use infosleuth_broker::{BrokerAgent, BrokerConfig, BrokerHandle, Repository};
 use infosleuth_constraint::Conjunction;
 use infosleuth_ontology::{
-    Advertisement, AgentLocation, AgentType, Capability, ConversationType, Fragment, Ontology,
-    OntologyContent, SemanticInfo, SyntacticInfo,
+    obs_ontology, Advertisement, AgentLocation, AgentType, Capability, ConversationType, Fragment,
+    Ontology, OntologyContent, SemanticInfo, SyntacticInfo,
 };
 use infosleuth_relquery::Catalog;
 use std::collections::BTreeSet;
@@ -216,6 +216,10 @@ impl CommunityBuilder {
         let mut brokers = Vec::new();
         for config in self.broker_configs {
             let mut repo = Repository::new();
+            // Every community broker understands the observability
+            // ontology, so health publishers can advertise their facts
+            // (and threshold subscriptions can stand) out of the box.
+            repo.register_ontology(obs_ontology());
             for o in &self.ontologies {
                 repo.register_ontology((**o).clone());
             }

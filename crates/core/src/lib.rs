@@ -64,8 +64,8 @@ pub mod user_agent;
 pub use combine::{merge_class_extent, CombineError};
 pub use community::{Community, CommunityBuilder, ResourceDef};
 pub use monitor_agent::{
-    monitor_advertisement, spawn_monitor_agent, spawn_monitor_agent_on, DeliveryFailure,
-    MonitorAgentHandle, MonitorSpec,
+    monitor_advertisement, spawn_monitor_agent, spawn_monitor_agent_on, BrokerHealth,
+    DeliveryFailure, MonitorAgentHandle, MonitorSpec,
 };
 pub use mrq_agent::{
     mrq_advertisement, spawn_mrq_agent, spawn_mrq_agent_on, MrqAgentHandle, MrqSpec,

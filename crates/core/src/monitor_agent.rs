@@ -26,9 +26,12 @@ use infosleuth_agent::{
     AgentBehavior, AgentContext, AgentHandle, AgentRuntime, Bus, BusError, Envelope, RuntimeConfig,
     LOG_ONTOLOGY, METRICS_SNAPSHOT_HEAD, SPANS_HEAD,
 };
-use infosleuth_broker::query_broker;
+use infosleuth_broker::{health_state_from_sexpr, query_broker, HEALTH_STATE_HEAD};
 use infosleuth_kqml::{Message, Performative, SExpr};
-use infosleuth_obs::{render_merged, MetricsServer, MetricsSnapshot, SpanRecord};
+use infosleuth_obs::{
+    render_merged, HealthEvent, HealthState, Labels, MetricsServer, MetricsSnapshot, SeriesPoint,
+    SpanRecord, TimeSeriesStore,
+};
 use infosleuth_ontology::{
     Advertisement, AgentLocation, AgentType, Capability, ConversationType, SemanticInfo,
     ServiceQuery, SyntacticInfo,
@@ -37,10 +40,16 @@ use infosleuth_relquery::{parse_select, plan, referenced_classes};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Spans retained by the monitor; the oldest are evicted first.
 const SPAN_RETENTION: usize = 8192;
+
+/// Points retained per metric series in each source's history ring.
+const HISTORY_RETENTION: usize = 128;
+
+/// Health transitions retained for the `(health)` query's alert tail.
+const ALERT_RETENTION: usize = 256;
 
 /// Configuration for the monitor agent.
 pub struct MonitorSpec {
@@ -79,12 +88,25 @@ pub struct DeliveryFailure {
     pub count: u64,
 }
 
-/// Observability state forwarded by the community's `ObsReporter`s:
-/// the latest metrics snapshot per source, and a bounded span store.
+/// The roll-up a broker's health publisher last reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokerHealth {
+    pub state: HealthState,
+    /// The publisher's sample tick that produced this state.
+    pub tick: u64,
+}
+
+/// Observability state forwarded by the community's `ObsReporter`s and
+/// health publishers: the latest metrics snapshot per source (plus a
+/// ring-buffer history of every series), a bounded span store, the
+/// per-broker health roll-ups, and the recent alert transitions.
 #[derive(Default)]
 struct ObsStore {
     snapshots: BTreeMap<String, MetricsSnapshot>,
+    history: BTreeMap<String, TimeSeriesStore>,
     spans: Vec<SpanRecord>,
+    health: BTreeMap<String, BrokerHealth>,
+    alerts: Vec<(String, HealthEvent)>,
 }
 
 impl ObsStore {
@@ -94,6 +116,31 @@ impl ObsStore {
             self.spans.drain(..overflow);
         }
         self.spans.push(record);
+    }
+
+    fn absorb_snapshot(&mut self, source: &str, snap: MetricsSnapshot, at_millis: u64) {
+        self.history
+            .entry(source.to_string())
+            .or_insert_with(|| TimeSeriesStore::new(HISTORY_RETENTION))
+            .record(at_millis, &snap);
+        self.snapshots.insert(source.to_string(), snap);
+    }
+
+    fn absorb_health(
+        &mut self,
+        broker: String,
+        state: HealthState,
+        tick: u64,
+        events: Vec<HealthEvent>,
+    ) {
+        self.health.insert(broker.clone(), BrokerHealth { state, tick });
+        for event in events {
+            if self.alerts.len() >= ALERT_RETENTION {
+                let overflow = self.alerts.len() + 1 - ALERT_RETENTION;
+                self.alerts.drain(..overflow);
+            }
+            self.alerts.push((broker.clone(), event));
+        }
     }
 }
 
@@ -149,6 +196,33 @@ impl MonitorAgentHandle {
         self.obs_store.lock().spans.clone()
     }
 
+    /// The latest health roll-up per broker, as reported by each
+    /// broker's health publisher.
+    pub fn health_states(&self) -> BTreeMap<String, BrokerHealth> {
+        self.obs_store.lock().health.clone()
+    }
+
+    /// Recent watermark transitions (fired and cleared), oldest first,
+    /// tagged with the reporting broker. Bounded; oldest evicted.
+    pub fn recent_alerts(&self) -> Vec<(String, HealthEvent)> {
+        self.obs_store.lock().alerts.clone()
+    }
+
+    /// The retained history of `metric` from `source`: one
+    /// `(labels, points)` row per label set, oldest point first.
+    pub fn metric_history(&self, source: &str, metric: &str) -> Vec<(Labels, Vec<SeriesPoint>)> {
+        let store = self.obs_store.lock();
+        let Some(series) = store.history.get(source) else { return Vec::new() };
+        series
+            .label_sets(metric)
+            .into_iter()
+            .map(|labels| {
+                let points = series.snapshot_history(metric, &labels);
+                (labels, points)
+            })
+            .collect()
+    }
+
     pub fn stop(self) {
         if let Some(server) = &self.scrape {
             server.shutdown();
@@ -175,6 +249,9 @@ struct MonitorBehavior {
     state: Mutex<MonitorState>,
     log: Arc<Mutex<Vec<DeliveryFailure>>>,
     obs_store: Arc<Mutex<ObsStore>>,
+    /// Monotonic epoch for history timestamps: snapshots from different
+    /// sources land on one monitor-local clock.
+    started: Instant,
 }
 
 impl MonitorBehavior {
@@ -192,7 +269,15 @@ impl MonitorBehavior {
                 let source = items.get(1).and_then(SExpr::as_text);
                 let snap = items.get(2).and_then(MetricsSnapshot::from_sexpr);
                 if let (Some(source), Some(snap)) = (source, snap) {
-                    self.obs_store.lock().snapshots.insert(source.to_string(), snap);
+                    let at_millis = self.started.elapsed().as_millis() as u64;
+                    self.obs_store.lock().absorb_snapshot(source, snap, at_millis);
+                }
+            }
+            Some(HEALTH_STATE_HEAD) => {
+                if let Some(content) = msg.content() {
+                    if let Some((broker, state, tick, events)) = health_state_from_sexpr(content) {
+                        self.obs_store.lock().absorb_health(broker, state, tick, events);
+                    }
                 }
             }
             Some(SPANS_HEAD) => {
@@ -208,12 +293,70 @@ impl MonitorBehavior {
     }
 
     /// Answers an `ask-all`/`ask-one` over the log ontology:
-    /// `(metrics)`, `(traces)`, `(trace <hex16>)`, or
-    /// `(delivery-failures)`.
+    /// `(metrics)`, `(traces)`, `(trace <hex16>)`,
+    /// `(delivery-failures)`, `(health)`, or
+    /// `(history <source> <metric>)`.
     fn answer_log_query(&self, msg: &Message) -> Message {
         let items = msg.content().and_then(SExpr::as_list);
         let head = items.and_then(|l| l.first()).and_then(SExpr::as_text);
         match head {
+            Some("health") => {
+                let store = self.obs_store.lock();
+                let mut out = vec![SExpr::atom("health")];
+                out.extend(store.health.iter().map(|(broker, h)| {
+                    SExpr::list(vec![
+                        SExpr::atom("broker"),
+                        SExpr::atom(broker),
+                        SExpr::atom(h.state.as_str()),
+                        SExpr::Atom(h.tick.to_string()),
+                    ])
+                }));
+                out.extend(store.alerts.iter().map(|(broker, e)| {
+                    SExpr::list(vec![
+                        SExpr::atom("alert"),
+                        SExpr::atom(broker),
+                        SExpr::atom(&e.rule),
+                        SExpr::atom(e.severity.as_str()),
+                        SExpr::Atom(u8::from(e.firing).to_string()),
+                        SExpr::Atom(e.tick.to_string()),
+                    ])
+                }));
+                msg.reply_skeleton(Performative::Reply).with_content(SExpr::list(out))
+            }
+            Some("history") => {
+                let source = items.and_then(|l| l.get(1)).and_then(SExpr::as_text);
+                let metric = items.and_then(|l| l.get(2)).and_then(SExpr::as_text);
+                let (Some(source), Some(metric)) = (source, metric) else {
+                    return msg
+                        .reply_skeleton(Performative::Error)
+                        .with_content(SExpr::string("expected (history <source> <metric>)"));
+                };
+                let store = self.obs_store.lock();
+                let Some(series) = store.history.get(source) else {
+                    return msg.reply_skeleton(Performative::Sorry).with_content(SExpr::string(
+                        format!("no metrics history from source {source}"),
+                    ));
+                };
+                let mut out =
+                    vec![SExpr::atom("history"), SExpr::atom(source), SExpr::atom(metric)];
+                for labels in series.label_sets(metric) {
+                    let label_sexpr = SExpr::list(
+                        labels
+                            .iter()
+                            .map(|(k, v)| SExpr::list(vec![SExpr::atom(k), SExpr::atom(v)])),
+                    );
+                    let mut entry = vec![SExpr::atom("series"), label_sexpr];
+                    entry.extend(series.snapshot_history(metric, &labels).iter().map(|p| {
+                        SExpr::list(vec![
+                            SExpr::Atom(p.tick.to_string()),
+                            SExpr::Atom(format!("{}", p.scalar())),
+                        ])
+                    }));
+                    out.push(SExpr::list(entry));
+                }
+                let perf = if out.len() > 3 { Performative::Reply } else { Performative::Sorry };
+                msg.reply_skeleton(perf).with_content(SExpr::list(out))
+            }
             Some("metrics") => {
                 let text = render_merged(&self.obs_store.lock().snapshots);
                 msg.reply_skeleton(Performative::Reply).with_content(SExpr::string(text))
@@ -260,7 +403,8 @@ impl MonitorBehavior {
                 msg.reply_skeleton(Performative::Reply).with_content(SExpr::list(out))
             }
             _ => msg.reply_skeleton(Performative::Error).with_content(SExpr::string(
-                "log queries: (metrics) | (traces) | (trace <id>) | (delivery-failures)",
+                "log queries: (metrics) | (traces) | (trace <id>) | (delivery-failures) \
+                 | (health) | (history <source> <metric>)",
             )),
         }
     }
@@ -367,6 +511,7 @@ pub fn spawn_monitor_agent_on(
         state: Mutex::new(MonitorState { relays: HashMap::new(), seq: 0 }),
         log: Arc::clone(&log),
         obs_store: Arc::clone(&obs_store),
+        started: Instant::now(),
     });
     let scrape = match scrape_addr {
         Some(addr) => {
@@ -629,6 +774,128 @@ mod tests {
             spans[1..].iter().all(|s| SpanRecord::from_sexpr(s).is_some()),
             "trace reply is decodable spans"
         );
+        monitor.stop();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn absorbs_health_tells_and_answers_health_and_history_queries() {
+        use infosleuth_agent::spawn_obs_reporter;
+        use infosleuth_broker::health_state_to_sexpr;
+        use infosleuth_obs::Severity;
+        let bus = Bus::new();
+        let runtime =
+            AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(2));
+        let monitor = spawn_monitor_agent_on(
+            &runtime,
+            MonitorSpec {
+                name: "monitor-agent".into(),
+                address: "tcp://monitor.mcc.com:6001".into(),
+                brokers: vec![],
+                timeout: Duration::from_millis(200),
+                scrape_addr: None,
+            },
+        )
+        .unwrap();
+
+        // Two snapshots build a two-point history for the gauge.
+        let reporter =
+            spawn_obs_reporter(&runtime, "broker-1", "monitor-agent", Duration::from_secs(3600))
+                .unwrap();
+        let depth = runtime.obs().registry().gauge("runtime_queue_depth", &[]);
+        depth.set(3);
+        reporter.flush();
+        depth.set(500);
+        reporter.flush();
+
+        // A health publisher's transition tell.
+        let events = vec![HealthEvent {
+            rule: "queue-depth".into(),
+            metric: "runtime_queue_depth".into(),
+            severity: Severity::Warning,
+            value: 500.0,
+            threshold: 100.0,
+            firing: true,
+            tick: 2,
+        }];
+        let mut client = bus.register("client").unwrap();
+        client
+            .send(
+                "monitor-agent",
+                Message::new(Performative::Tell).with_ontology(LOG_ONTOLOGY).with_content(
+                    health_state_to_sexpr("broker-1", HealthState::Degraded, 2, &events),
+                ),
+            )
+            .unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while (monitor.health_states().is_empty()
+            || monitor.metric_history("broker-1", "runtime_queue_depth").is_empty())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Handle accessors.
+        let health = monitor.health_states();
+        assert_eq!(
+            health.get("broker-1"),
+            Some(&BrokerHealth { state: HealthState::Degraded, tick: 2 })
+        );
+        let alerts = monitor.recent_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].0, "broker-1");
+        assert_eq!(alerts[0].1.rule, "queue-depth");
+        let history = monitor.metric_history("broker-1", "runtime_queue_depth");
+        assert_eq!(history.len(), 1, "one (unlabeled) series: {history:?}");
+        let values: Vec<f64> = history[0].1.iter().map(SeriesPoint::scalar).collect();
+        assert_eq!(values, vec![3.0, 500.0]);
+
+        // The same data over KQML.
+        let ask = |content: SExpr| {
+            Message::new(Performative::AskAll).with_ontology(LOG_ONTOLOGY).with_content(content)
+        };
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![SExpr::atom("health")])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        let text = reply.content().unwrap().to_string();
+        assert!(text.contains("(broker broker-1 degraded 2)"), "health reply: {text}");
+        assert!(text.contains("(alert broker-1 queue-depth warning 1 2)"), "health reply: {text}");
+
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![
+                    SExpr::atom("history"),
+                    SExpr::atom("broker-1"),
+                    SExpr::atom("runtime_queue_depth"),
+                ])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Reply);
+        let text = reply.content().unwrap().to_string();
+        assert!(text.contains("(series ()"), "history reply carries a series: {text}");
+        assert!(text.contains("500"), "history reply carries the points: {text}");
+
+        // Unknown source gets a sorry, not an error.
+        let reply = client
+            .request(
+                "monitor-agent",
+                ask(SExpr::list(vec![
+                    SExpr::atom("history"),
+                    SExpr::atom("ghost"),
+                    SExpr::atom("runtime_queue_depth"),
+                ])),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Sorry);
         monitor.stop();
         runtime.shutdown();
     }

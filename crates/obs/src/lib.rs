@@ -2,7 +2,10 @@
 //! metrics registry with Prometheus text exposition ([`metrics`]), a
 //! span tracer whose context rides KQML messages in the `:x-trace`
 //! parameter ([`trace`]), and a tiny HTTP/1.0 scrape responder
-//! ([`http`]). See DESIGN.md §11.
+//! ([`http`]). See DESIGN.md §11. On top of those sits the temporal +
+//! reactive layer (DESIGN.md §16): ring-buffer metric history
+//! ([`store`]), a periodic sampler ([`sampler`]), and a declarative
+//! watermark health engine with hysteresis ([`health`]).
 //!
 //! One [`Obs`] bundle travels with each [`AgentRuntime`]; everything
 //! hosted on that runtime — transports, brokers, resource agents —
@@ -13,15 +16,27 @@
 
 #![forbid(unsafe_code)]
 
+pub mod health;
 pub mod http;
 pub mod metrics;
+pub mod sampler;
+pub mod store;
 pub mod trace;
 
+pub use health::{
+    default_broker_rules, HealthEngine, HealthEvent, HealthRule, HealthState, Severity, Watermark,
+};
 pub use http::{scrape, MetricsServer};
 pub use metrics::{
-    default_latency_buckets, default_size_buckets, quantile_from_buckets, render_merged, Counter,
-    Gauge, Histogram, Labels, MetricsRegistry, MetricsSnapshot, Sample, SampleValue,
+    default_fine_latency_buckets, default_latency_buckets, default_size_buckets,
+    quantile_from_buckets, render_merged, Counter, Gauge, Histogram, Labels, MetricsRegistry,
+    MetricsSnapshot, Sample, SampleValue,
 };
+pub use sampler::{
+    configured_sample_interval, sample_interval_from_env, sample_once, SampleTick, Sampler,
+    SamplerHandle, MIN_SAMPLE_INTERVAL, OBS_SAMPLE_MS_ENV,
+};
+pub use store::{SeriesKey, SeriesPoint, TimeSeriesStore};
 pub use trace::{
     build_trace_tree, current_context, forest_topology, topology, trace_ids, JsonlSink, RingSink,
     SpanGuard, SpanId, SpanNode, SpanRecord, SpanSink, TraceContext, TraceId, Tracer,

@@ -69,6 +69,19 @@ pub fn default_latency_buckets() -> Vec<f64> {
     ]
 }
 
+/// Fine-grained upper bounds (seconds) for µs-scale paths — indexed
+/// subscription notification, match-cache lookups — where
+/// [`default_latency_buckets`]'s 100µs first bound lumps everything
+/// into one bucket and quantile interpolation degenerates: 1µs up to
+/// 100ms, roughly exponential. Pass to
+/// [`MetricsRegistry::histogram`] at registration.
+pub fn default_fine_latency_buckets() -> Vec<f64> {
+    vec![
+        0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+        0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    ]
+}
+
 /// Fixed upper bounds suited to size-like distributions — message batch
 /// sizes, per-peer write-queue depths — as powers of two from 1 to 512.
 pub fn default_size_buckets() -> Vec<f64> {
@@ -617,6 +630,67 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"), "{text}");
         assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("lat_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn rendered_histograms_are_internally_consistent() {
+        // For every histogram in the exposition: the cumulative
+        // `le="+Inf"` bucket must equal `_count`, and `_sum` must equal
+        // the recorded sum (micros-backed, so compare at µs precision).
+        let reg = MetricsRegistry::new();
+        let coarse = reg.latency("pipeline_seconds", &[("broker", "b1")]);
+        coarse.observe(0.25);
+        coarse.observe(3.0);
+        coarse.observe(42.0); // beyond the last finite bound → +Inf bucket
+        let fine =
+            reg.histogram("notify_seconds", &[("broker", "b1")], default_fine_latency_buckets());
+        for _ in 0..10 {
+            fine.observe(0.000004); // 4µs — sub-notify scale
+        }
+        let text = reg.render();
+        let mut inf: std::collections::BTreeMap<String, f64> = Default::default();
+        let mut counts: std::collections::BTreeMap<String, f64> = Default::default();
+        let mut sums: std::collections::BTreeMap<String, f64> = Default::default();
+        for line in text.lines() {
+            let Some((series, value)) = line.rsplit_once(' ') else { continue };
+            let value: f64 = match value.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if series.contains("_bucket") && series.contains("le=\"+Inf\"") {
+                inf.insert(series.split("_bucket").next().unwrap().to_string(), value);
+            } else if let Some(name) =
+                series.split("_count").next().filter(|_| series.contains("_count"))
+            {
+                counts.insert(name.to_string(), value);
+            } else if let Some(name) =
+                series.split("_sum").next().filter(|_| series.contains("_sum"))
+            {
+                sums.insert(name.to_string(), value);
+            }
+        }
+        assert_eq!(inf.len(), 2, "two histograms rendered: {text}");
+        for (name, inf_count) in &inf {
+            assert_eq!(Some(inf_count), counts.get(name), "{name}: +Inf ≠ _count\n{text}");
+        }
+        assert!((sums["pipeline_seconds"] - 45.25).abs() < 1e-6, "{text}");
+        assert!((sums["notify_seconds"] - 0.00004).abs() < 1e-6, "{text}");
+    }
+
+    #[test]
+    fn fine_buckets_resolve_microsecond_latencies() {
+        // The coarse default buckets start at 100µs: every µs-scale
+        // sample lands in the first bucket and the p99 saturates at the
+        // 100µs bound — a 25x overestimate for a 4µs path. The fine
+        // buckets keep quantile error within one bucket.
+        let coarse = Histogram::new(default_latency_buckets());
+        let fine = Histogram::new(default_fine_latency_buckets());
+        for _ in 0..1000 {
+            coarse.observe(0.000004);
+            fine.observe(0.000004);
+        }
+        assert!(coarse.p99() > 0.00009, "coarse misbuckets: p99={}", coarse.p99());
+        assert!(fine.p99() <= 0.000005, "fine p99={}", fine.p99());
     }
 
     #[test]

@@ -630,4 +630,84 @@ mod tests {
         let tree = build_trace_tree(&records, TraceId(1));
         assert_eq!(forest_topology(&tree), "lost@a");
     }
+
+    fn rec2(span: u64, parent: Option<u64>, name: &str, agent: &str) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(1),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            name: name.into(),
+            agent: agent.into(),
+            start_unix_micros: 0,
+            duration_micros: 0,
+        }
+    }
+
+    #[test]
+    fn orphan_subtree_renders_under_its_orphaned_root() {
+        // Cross-node taps drop spans: here the true root (say the
+        // client's send span on another node) was never collected, but
+        // the broker-side subtree under it was. The highest collected
+        // ancestor surfaces as a root with its whole subtree intact,
+        // next to an untouched fully-collected tree.
+        let records = vec![
+            // Fully collected tree.
+            rec2(1, None, "recv:subscribe", "broker-1"),
+            rec2(2, Some(1), "scoring", "broker-1"),
+            // Orphaned subtree: parent 100 never collected.
+            rec2(10, Some(100), "recv:advertise", "broker-2"),
+            rec2(11, Some(10), "saturation", "broker-2"),
+            rec2(12, Some(10), "notify", "broker-2"),
+        ];
+        let tree = build_trace_tree(&records, TraceId(1));
+        assert_eq!(tree.len(), 2, "orphan joins the complete tree as a second root");
+        assert_eq!(
+            forest_topology(&tree),
+            "recv:advertise@broker-2(notify@broker-2 saturation@broker-2) \
+             | recv:subscribe@broker-1(scoring@broker-1)"
+        );
+        // Sibling order is the topology sort, independent of record order.
+        let mut shuffled = records.clone();
+        shuffled.reverse();
+        assert_eq!(
+            forest_topology(&build_trace_tree(&shuffled, TraceId(1))),
+            forest_topology(&tree)
+        );
+    }
+
+    #[test]
+    fn duplicate_span_ids_render_deterministically() {
+        // Two taps on different nodes can both record the same span (a
+        // relayed message re-enters the sink with identical ids). The
+        // rebuild must not lose the subtree, loop, or depend on record
+        // order: each duplicate renders as a sibling carrying the same
+        // children.
+        let records = vec![
+            rec2(1, None, "recv:advertise", "broker-1"),
+            rec2(5, Some(1), "notify", "broker-1"),
+            rec2(5, Some(1), "notify", "broker-1"), // duplicate from a second tap
+            rec2(6, Some(5), "push", "broker-1"),
+        ];
+        let tree = build_trace_tree(&records, TraceId(1));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(
+            forest_topology(&tree),
+            "recv:advertise@broker-1(notify@broker-1(push@broker-1) notify@broker-1(push@broker-1))"
+        );
+        let mut shuffled = records.clone();
+        shuffled.swap(0, 3);
+        assert_eq!(
+            forest_topology(&build_trace_tree(&shuffled, TraceId(1))),
+            forest_topology(&tree)
+        );
+        // A duplicated orphan behaves the same way: both copies surface
+        // as roots, children intact.
+        let orphans = vec![
+            rec2(7, Some(999), "lost", "node-a"),
+            rec2(7, Some(999), "lost", "node-b"),
+            rec2(8, Some(7), "child", "node-a"),
+        ];
+        let tree = build_trace_tree(&orphans, TraceId(1));
+        assert_eq!(forest_topology(&tree), "lost@node-a(child@node-a) | lost@node-b(child@node-a)");
+    }
 }

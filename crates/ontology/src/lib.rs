@@ -28,7 +28,7 @@ mod taxonomy;
 pub use capability::{standard_capability_taxonomy, Capability};
 pub use fragment::Fragment;
 pub use model::{ClassDef, Ontology, OntologyError, SlotDef, ValueType};
-pub use samples::{healthcare_ontology, paper_class_ontology};
+pub use samples::{healthcare_ontology, obs_ontology, paper_class_ontology};
 pub use service::{
     Advertisement, AgentLocation, AgentProperties, AgentType, BrokerAdvertisement,
     BrokerSpecialization, ConversationType, OntologyContent, SemanticInfo, ServiceQuery,

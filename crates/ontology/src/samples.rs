@@ -80,6 +80,49 @@ pub fn paper_class_ontology() -> Ontology {
     o
 }
 
+/// The `infosleuth-obs` ontology: the observability plane modelled as a
+/// brokered data source (DESIGN.md §16). Each broker's health publisher
+/// advertises one `broker_health` fact per sample tick — the rolled-up
+/// state plus the watermark readings the stock rules observe — and a
+/// `health_alert` fact per fired rule, so standing subscriptions with
+/// constraint queries ("queue_depth > 100 on any broker") are matched by
+/// the same `SubscriptionIndex` delta path as any domain subscription.
+///
+/// Slot units: gauges are raw readings, `*_ms` slots are milliseconds
+/// (integer slots keep the constraint algebra simple), `*_pct` slots are
+/// 0–100 percentages, and `state`/`severity` carry the `as_str` forms of
+/// the obs crate's `HealthState`/`Severity`.
+pub fn obs_ontology() -> Ontology {
+    let mut o = Ontology::new("infosleuth-obs");
+    o.add_class(ClassDef::new(
+        "broker_health",
+        vec![
+            SlotDef::key("broker", ValueType::Str),
+            SlotDef::new("state", ValueType::Str),
+            SlotDef::new("state_level", ValueType::Int),
+            SlotDef::new("tick", ValueType::Int),
+            SlotDef::new("queue_depth", ValueType::Int),
+            SlotDef::new("inflight", ValueType::Int),
+            SlotDef::new("delivery_failures", ValueType::Int),
+            SlotDef::new("sub_notify_p99_ms", ValueType::Int),
+            SlotDef::new("cache_hit_pct", ValueType::Int),
+        ],
+    ))
+    .expect("fresh ontology");
+    o.add_class(ClassDef::new(
+        "health_alert",
+        vec![
+            SlotDef::key("broker", ValueType::Str),
+            SlotDef::new("rule", ValueType::Str),
+            SlotDef::new("severity", ValueType::Str),
+            SlotDef::new("firing", ValueType::Int),
+            SlotDef::new("tick", ValueType::Int),
+        ],
+    ))
+    .expect("fresh ontology");
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +136,16 @@ mod tests {
         let slots = o.all_slots("podiatrist").unwrap();
         assert!(slots.iter().any(|s| s.name == "specialty")); // inherited
         assert!(slots.iter().any(|s| s.name == "license")); // local
+    }
+
+    #[test]
+    fn obs_ontology_shape() {
+        let o = obs_ontology();
+        assert_eq!(o.name, "infosleuth-obs");
+        let health = o.all_slots("broker_health").unwrap();
+        assert!(health.iter().any(|s| s.name == "broker" && s.is_key));
+        assert!(health.iter().any(|s| s.name == "queue_depth"));
+        assert!(o.class("health_alert").is_some());
     }
 
     #[test]

@@ -191,6 +191,12 @@ impl<T> SimCore<T> {
     pub fn pending_events(&self) -> usize {
         self.heap.len()
     }
+
+    /// Seconds of FIFO work queued ahead of processor `p` right now —
+    /// the hot-spot signal the scale harness's health sampling watches.
+    pub fn backlog_s(&self, p: ProcId) -> f64 {
+        (self.procs[p.0].busy_until - self.time).max(0.0)
+    }
 }
 
 #[cfg(test)]

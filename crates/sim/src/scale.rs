@@ -27,6 +27,10 @@
 use crate::engine::{LinkModel, ProcId, SimCore};
 use crate::metrics::{PercentileStats, RunningStats};
 use crate::rng::SimRng;
+use infosleuth_obs::{
+    sample_once, HealthEngine, HealthEvent, HealthRule, HealthState, MetricsRegistry, Severity,
+    TimeSeriesStore, Watermark,
+};
 
 /// Which load shape the run applies on top of the base arrival rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,6 +120,47 @@ struct AgentSlot {
     broker: u32,
 }
 
+/// The watermark rules the scale harness evaluates once per virtual
+/// second, over the same [`HealthEngine`] the live brokers run:
+/// broker backlog (the hot-spot signal Zipf skew and flash crowds
+/// push), a stalled broker, and flat-queue flooding relative to the
+/// configured arrival rate.
+pub fn scale_health_rules(arrivals_per_s: f64) -> Vec<HealthRule> {
+    vec![
+        HealthRule::new(
+            "broker-backlog",
+            "sim_broker_backlog_ms",
+            1,
+            Watermark::GaugeAbove(250.0),
+            Severity::Warning,
+        ),
+        HealthRule::new(
+            "broker-stall",
+            "sim_broker_backlog_ms",
+            1,
+            Watermark::GaugeAbove(2_000.0),
+            Severity::Critical,
+        ),
+        HealthRule::new(
+            "event-flood",
+            "sim_pending_events",
+            1,
+            Watermark::GaugeAbove(arrivals_per_s.max(1.0) * 2.0),
+            Severity::Warning,
+        ),
+    ]
+}
+
+/// One tick of the virtual-time health timeline: the rolled-up state
+/// and any fire/clear transitions observed at that second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSample {
+    /// Virtual time of the sample (whole-second cadence).
+    pub at_s: f64,
+    pub state: HealthState,
+    pub transitions: Vec<HealthEvent>,
+}
+
 /// What one scale run measured. All fields are deterministic functions
 /// of the config (including the seed), which the determinism suite pins
 /// byte-for-byte via [`ScaleReport::render_json`].
@@ -144,6 +189,10 @@ pub struct ScaleReport {
     /// [`ScaleReport::render_json`]: wall time is the one field that is
     /// not a deterministic function of the config.
     pub loop_wall_ns: u64,
+    /// Virtual-time health timeline: one sample per virtual second,
+    /// evaluated by the production [`HealthEngine`] over simulated
+    /// broker backlog and queue pressure.
+    pub health: Vec<HealthSample>,
 }
 
 impl ScaleReport {
@@ -158,7 +207,9 @@ impl ScaleReport {
                 "\"arrivals_busy\": {}, \"readvertisements\": {}, ",
                 "\"response_mean_s\": {:.9}, \"response_max_s\": {:.9}, ",
                 "\"response_p50_s\": {:.9}, \"response_p95_s\": {:.9}, ",
-                "\"response_p99_s\": {:.9}, \"virtual_s\": {:.3}}}"
+                "\"response_p99_s\": {:.9}, \"virtual_s\": {:.3}, ",
+                "\"health_samples\": {}, \"degraded_samples\": {}, ",
+                "\"health_transitions\": {}, \"worst_state\": \"{}\"}}"
             ),
             self.config_agents,
             self.config_brokers,
@@ -175,7 +226,30 @@ impl ScaleReport {
             self.response_pcts.p95(),
             self.response_pcts.p99(),
             self.virtual_s,
+            self.health.len(),
+            self.degraded_samples(),
+            self.health_transitions(),
+            self.worst_state().as_str(),
         )
+    }
+
+    /// Timeline samples whose rolled-up state was not healthy.
+    pub fn degraded_samples(&self) -> usize {
+        self.health.iter().filter(|s| s.state != HealthState::Healthy).count()
+    }
+
+    /// Total fire/clear transitions across the timeline.
+    pub fn health_transitions(&self) -> usize {
+        self.health.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// The worst rolled-up state any sample reached.
+    pub fn worst_state(&self) -> HealthState {
+        self.health
+            .iter()
+            .map(|s| s.state)
+            .max_by_key(|s| s.as_level())
+            .unwrap_or(HealthState::Healthy)
     }
 }
 
@@ -236,7 +310,22 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
         response_pcts: PercentileStats::new(),
         virtual_s: 0.0,
         loop_wall_ns: 0,
+        health: Vec::with_capacity(config.duration_s as usize + 1),
     };
+
+    // Health sampling: once per virtual second the harness snapshots
+    // simulated broker backlog and queue pressure into a real metrics
+    // registry and runs the production health engine over it — the same
+    // store/engine pair a live broker's sampler drives, so watermark
+    // and hysteresis behaviour carries over unchanged.
+    let registry = MetricsRegistry::new();
+    let backlog_gauge = registry.gauge("sim_broker_backlog_ms", &[]);
+    let pending_gauge = registry.gauge("sim_pending_events", &[]);
+    let inflight_gauge = registry.gauge("sim_inflight_queries", &[]);
+    let health_store = TimeSeriesStore::new((config.duration_s as usize + 8).max(16));
+    let mut health_engine = HealthEngine::new(scale_health_rules(config.arrivals_per_s));
+    let mut inflight: i64 = 0;
+    let mut next_sample_s = 1.0;
 
     // Matchmaking cost per query: a repository probe over an indexed
     // store — log-ish in population, constant-ish per event.
@@ -254,6 +343,20 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
     while let Some((now, ev)) = sim.next_event() {
         if now > config.duration_s {
             break;
+        }
+        while next_sample_s <= now {
+            let backlog = brokers.iter().map(|&b| sim.backlog_s(b)).fold(0.0, f64::max);
+            backlog_gauge.set((backlog * 1_000.0) as i64);
+            pending_gauge.set(sim.pending_events() as i64);
+            inflight_gauge.set(inflight);
+            let (_, transitions, state) = sample_once(
+                &registry,
+                &health_store,
+                &mut health_engine,
+                (next_sample_s * 1_000.0) as u64,
+            );
+            report.health.push(HealthSample { at_s: next_sample_s, state, transitions });
+            next_sample_s += 1.0;
         }
         report.events += 1;
         match ev {
@@ -278,6 +381,7 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
                 }
                 slot.issued_at = now;
                 report.queries_issued += 1;
+                inflight += 1;
                 sim.send(query_kb, false, Ev::QueryAtBroker { agent });
             }
             Ev::QueryAtBroker { agent } => {
@@ -294,6 +398,7 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
                     report.response.record(rt);
                     report.response_pcts.record(rt);
                     report.queries_answered += 1;
+                    inflight -= 1;
                     slot.issued_at = -1.0;
                 }
             }
@@ -379,6 +484,43 @@ mod tests {
         let r = run(&quick(Scenario::ChurnBurst { interval_s: 2.0, fraction: 0.05 }, 17));
         assert!(r.readvertisements > 500, "readvertised {}", r.readvertisements);
         assert!(r.queries_answered > 0);
+    }
+
+    #[test]
+    fn health_timeline_fires_under_overload_and_recovers() {
+        // Uniform load at these parameters is far under capacity: the
+        // timeline samples every virtual second and stays healthy.
+        let calm = run(&quick(Scenario::Uniform, 31));
+        assert!(calm.health.len() >= 15, "samples: {}", calm.health.len());
+        assert_eq!(calm.health_transitions(), 0, "{:?}", calm.health);
+        assert_eq!(calm.worst_state(), HealthState::Healthy);
+
+        // An 80x flash crowd over a large idle population floods the
+        // single broker past its service rate: backlog builds past the
+        // 250 ms watermark, the engine fires (with its production 2/2
+        // hysteresis), and after the crowd passes the backlog drains
+        // and the rule clears.
+        let mut cfg = quick(Scenario::FlashCrowd { at_s: 4.0, width_s: 5.0, factor: 80.0 }, 31);
+        cfg.agents = 20_000;
+        cfg.brokers = 1;
+        let stormy = run(&cfg);
+        assert!(stormy.degraded_samples() > 0, "never degraded: {:?}", stormy.health);
+        let fired: Vec<&HealthEvent> = stormy
+            .health
+            .iter()
+            .flat_map(|s| &s.transitions)
+            .filter(|e| e.rule == "broker-backlog")
+            .collect();
+        assert!(fired.iter().any(|e| e.firing), "backlog never fired: {fired:?}");
+        assert!(fired.iter().any(|e| !e.firing), "backlog never cleared: {fired:?}");
+        // The run ends recovered, and the summary feeds render_json.
+        assert_eq!(stormy.health.last().map(|s| s.state), Some(HealthState::Healthy));
+        assert_ne!(stormy.worst_state(), HealthState::Healthy);
+        let rendered = stormy.render_json();
+        assert!(
+            rendered.contains(&format!("\"worst_state\": \"{}\"", stormy.worst_state().as_str())),
+            "{rendered}"
+        );
     }
 
     #[test]

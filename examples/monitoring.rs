@@ -1,16 +1,28 @@
 //! The paper's motivating scenario (§1.1): *"Notify me when the cost of
 //! hospital stays for a Caesarian delivery significantly deviates from the
-//! expected cost."*
+//! expected cost."* — and its observability twin: *"notify me when the
+//! queue depth on any broker exceeds 100."*
 //!
-//! A standing query flows through the community's monitor agent: it
-//! locates the contributing resource agents via the broker, subscribes to
-//! each, and relays change notifications back. We then insert new
-//! hospital-stay records at the resource agent and watch the notifications
-//! arrive.
+//! Act 1 — a standing query flows through the community's monitor agent:
+//! it locates the contributing resource agents via the broker, subscribes
+//! to each, and relays their change notifications back. We insert new
+//! hospital-stay records at the resource agent and watch the
+//! notifications arrive.
+//!
+//! Act 2 — the community observes itself through the same machinery: a
+//! health publisher samples the runtime's metrics, advertises
+//! `broker_health` facts into the broker's own repository, and a standing
+//! threshold subscription over the `infosleuth-obs` ontology receives the
+//! alert as an ordinary `sub-delta`. The monitor answers `(health)` and
+//! `(history …)` queries over KQML for the fleet view.
 
-use infosleuth_core::constraint::Value;
+use infosleuth_core::broker::{
+    spawn_health_publisher, subscribe_to, HealthPublisherConfig, OBS_ONTOLOGY_NAME,
+};
+use infosleuth_core::constraint::{Conjunction, Predicate, Value};
 use infosleuth_core::kqml::{Message, Performative, SExpr};
-use infosleuth_core::ontology::healthcare_ontology;
+use infosleuth_core::obs::HealthState;
+use infosleuth_core::ontology::{healthcare_ontology, AgentType, ServiceQuery};
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec, Table};
 use infosleuth_core::tablecodec::{table_delta_from_sexpr, table_from_sexpr, table_to_sexpr};
 use infosleuth_core::{Community, ResourceDef};
@@ -97,6 +109,95 @@ fn main() {
     assert!(removed.is_empty(), "nothing matched before, so nothing can leave");
     print!("{added}");
 
+    // ---- Act 2: the community observes itself -------------------------
+    println!("\n— fleet health —");
+    let runtime = community.runtime();
+    let reporter = infosleuth_core::agent::spawn_obs_reporter(
+        runtime,
+        "community-runtime",
+        "monitor-agent",
+        Duration::from_secs(3600),
+    )
+    .expect("reporter spawns");
+    let publisher = spawn_health_publisher(
+        runtime,
+        HealthPublisherConfig::new("broker-agent")
+            .with_monitor("monitor-agent")
+            .with_interval(Duration::from_secs(3600)),
+    )
+    .expect("health publisher spawns");
+
+    // "Notify me when the queue depth on any broker exceeds 100" — a
+    // standing threshold subscription over the obs ontology, admitted
+    // and indexed exactly like a domain subscription.
+    let mut ops = community.bus().register("ops-client").expect("fresh name");
+    let mut ops_watch = community.bus().register("ops-watcher").expect("fresh name");
+    let alert_query = ServiceQuery::for_agent_type(AgentType::Monitor)
+        .with_ontology(OBS_ONTOLOGY_NAME)
+        .with_classes(["broker_health"])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::gt(
+            "broker_health.queue_depth",
+            100,
+        )]));
+    subscribe_to(&mut ops, "broker-agent", &alert_query, "ops-watcher", T)
+        .expect("subscribe round-trips")
+        .expect("subscription admitted");
+    let _initial = ops_watch.recv_timeout(T).expect("initial (empty) snapshot");
+
+    // Healthy baseline, then a queue spike past the watermark. The
+    // publisher re-advertises the broker_health fact with each reading;
+    // the default rules fire after two consecutive breaches.
+    let depth = runtime.obs().registry().gauge("runtime_queue_depth", &[]);
+    depth.set(3);
+    publisher.publish();
+    reporter.flush();
+    depth.set(500);
+    publisher.publish();
+    publisher.publish();
+    reporter.flush();
+    println!("broker health after the spike: {}", publisher.state().as_str());
+    assert_eq!(publisher.state(), HealthState::Degraded);
+
+    // The alert arrives through the ordinary sub-delta path.
+    let delta = ops_watch.recv_timeout(T).expect("alert delta");
+    let (_, matched, unmatched) = infosleuth_core::broker::codec::sub_delta_from_sexpr(
+        delta.message.content().expect("delta content"),
+    )
+    .expect("decodes");
+    println!(
+        "ALERT sub-delta: {} fact(s) crossed the threshold, {} cleared",
+        matched.len(),
+        unmatched.len()
+    );
+    assert!(matched.iter().any(|m| m.name.contains("broker-agent")));
+
+    // The fleet view over KQML: per-broker health plus metric history.
+    let ask = |content: SExpr| {
+        Message::new(Performative::AskAll)
+            .with_ontology(infosleuth_core::agent::LOG_ONTOLOGY)
+            .with_content(content)
+    };
+    let reply = ops
+        .request("monitor-agent", ask(SExpr::list(vec![SExpr::atom("health")])), T)
+        .expect("health query");
+    println!("(health) → {}", reply.content().map(SExpr::to_string).unwrap_or_default());
+    let reply = ops
+        .request(
+            "monitor-agent",
+            ask(SExpr::list(vec![
+                SExpr::atom("history"),
+                SExpr::atom("community-runtime"),
+                SExpr::atom("runtime_queue_depth"),
+            ])),
+            T,
+        )
+        .expect("history query");
+    println!(
+        "(history community-runtime runtime_queue_depth) → {}",
+        reply.content().map(SExpr::to_string).unwrap_or_default()
+    );
+
+    publisher.stop();
     community.shutdown();
     println!("\ndone.");
 }

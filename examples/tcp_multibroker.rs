@@ -34,14 +34,16 @@ use infosleuth_core::agent::{
     Transport, TransportExt, LOG_ONTOLOGY,
 };
 use infosleuth_core::broker::{
-    advertise_to, codec, interconnect, query_broker, subscribe_to, unadvertise_from, BrokerAgent,
-    BrokerConfig, ProtocolTap, Repository, SearchPolicy,
+    advertise_to, codec, interconnect, query_broker, spawn_health_publisher, subscribe_to,
+    unadvertise_from, BrokerAgent, BrokerConfig, HealthPublisherConfig, ProtocolTap, Repository,
+    SearchPolicy,
 };
+use infosleuth_core::constraint::{Conjunction, Predicate};
 use infosleuth_core::kqml::{Message, Performative, SExpr};
 use infosleuth_core::obs::{build_trace_tree, scrape, Obs, SpanNode, SpanRecord};
 use infosleuth_core::ontology::{
-    paper_class_ontology, Advertisement, AgentLocation, AgentType, Ontology, OntologyContent,
-    SemanticInfo, ServiceQuery,
+    obs_ontology, paper_class_ontology, Advertisement, AgentLocation, AgentType, Ontology,
+    OntologyContent, SemanticInfo, ServiceQuery,
 };
 use infosleuth_core::relquery::{generate_table, Catalog, GenSpec};
 use infosleuth_core::{
@@ -58,6 +60,9 @@ const T: Duration = Duration::from_secs(5);
 fn repo(ontology: &Arc<Ontology>) -> Repository {
     let mut r = Repository::new();
     r.register_ontology(ontology.as_ref().clone());
+    // Health publishers advertise broker_health / health_alert facts
+    // into their broker; the obs ontology makes those admissible.
+    r.register_ontology(obs_ontology());
     r
 }
 
@@ -271,6 +276,69 @@ fn main() -> ExitCode {
         println!("{broker}: standing C3 subscription saw {agent} join and leave");
     }
 
+    // --- Fleet health: watermark alerts through the broker itself. ----
+    // A health publisher per node samples its runtime's metrics and
+    // advertises `broker_health` / `health_alert` facts into its own
+    // broker (DESIGN.md §16). A standing subscription on the
+    // `health_alert` class must see the alert fact advertised when the
+    // queue-depth watermark fires, and withdrawn when it clears — over
+    // the exact same indexed sub-delta path as the C3 churn above.
+    let hp_a = spawn_health_publisher(
+        &runtime_a,
+        HealthPublisherConfig::new("broker-1")
+            .with_monitor("monitor-agent")
+            .with_interval(Duration::from_secs(3600)),
+    )
+    .expect("health publisher A spawns");
+    let hp_b = spawn_health_publisher(
+        &runtime_b,
+        HealthPublisherConfig::new("broker-2")
+            .with_monitor("monitor-agent")
+            .with_interval(Duration::from_secs(3600)),
+    )
+    .expect("health publisher B spawns");
+    let mut health_watcher = transport_a.endpoint("health-watcher").expect("fresh name");
+    let alert_query = ServiceQuery::for_agent_type(AgentType::Monitor)
+        .with_ontology("infosleuth-obs")
+        .with_classes(["health_alert"])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::eq(
+            "health_alert.severity",
+            "warning",
+        )]));
+    let alert_key = subscribe_to(&mut probe, "broker-1", &alert_query, "health-watcher", T)
+        .expect("broker answers")
+        .expect("alert subscription admitted");
+    let snap = health_watcher.recv_timeout(T).expect("initial alert snapshot");
+    assert_eq!(snap.message.in_reply_to(), Some(alert_key.as_str()));
+    // Two healthy baseline ticks, then two breaching ticks: the default
+    // queue-depth watermark (> 100) fires on the second breach.
+    let depth_a = runtime_a.obs().registry().gauge("runtime_queue_depth", &[]);
+    for _ in 0..2 {
+        hp_a.publish();
+        hp_b.publish();
+    }
+    depth_a.set(500);
+    hp_a.publish();
+    hp_a.publish();
+    let note = health_watcher.recv_timeout(T).expect("health alert tell never arrived");
+    let (_, fired, _) =
+        codec::sub_delta_from_sexpr(note.message.content().expect("delta")).expect("decodes");
+    assert_eq!(
+        names(&fired),
+        ["alert.broker-1.queue-depth"],
+        "the alert fact crossed the watermark"
+    );
+    println!("broker-1: health_alert subscription saw the queue-depth watermark fire");
+    // Recovery: two clear ticks withdraw the alert fact.
+    depth_a.set(0);
+    hp_a.publish();
+    hp_a.publish();
+    let note = health_watcher.recv_timeout(T).expect("alert clear tell never arrived");
+    let (_, _, cleared) =
+        codec::sub_delta_from_sexpr(note.message.content().expect("delta")).expect("decodes");
+    assert_eq!(cleared, ["alert.broker-1.queue-depth"], "the alert fact cleared");
+    println!("broker-1: health_alert subscription saw the watermark clear");
+
     // --- Observability gate 1: one connected cross-agent trace. -------
     // Dispatch spans close a beat after the requester has its reply;
     // give them a moment, then force a flush from both nodes and wait
@@ -315,6 +383,20 @@ fn main() -> ExitCode {
     // broker's broker_sub_notify_seconds, fed by the churn above.
     let empty = empty_histograms(&text);
     assert!(empty.is_empty(), "empty histograms in scrape: {empty:?}\n{text}");
+    // The fleet-health plane must be visible with per-broker labels:
+    // each publisher mirrors its roll-up into broker_health_level, and
+    // the fired-then-cleared queue-depth watermark counted two warning
+    // transitions on broker-1.
+    for broker in ["broker-1", "broker-2"] {
+        let label = format!("broker=\"{broker}\"");
+        assert!(
+            text.lines().any(|l| l.starts_with("broker_health_level{") && l.contains(&label)),
+            "scrape lacks broker_health_level for {broker}:\n{text}"
+        );
+    }
+    let warnings = labeled_total(&text, "broker_health_alerts_total", "broker=\"broker-1\"");
+    println!("scrape: broker_health_alerts_total{{broker-1}} = {warnings}");
+    assert!(warnings >= 2.0, "fire + clear transitions missing from scrape:\n{text}");
     // The conformance counters must be present (both node taps reported
     // through the reporters) and at zero: the whole run conducted only
     // well-formed conversations.
@@ -348,6 +430,8 @@ fn main() -> ExitCode {
         + monitor.delivery_failures();
     println!("delivery failures: {counted} counted locally, {reported} reported to monitor");
 
+    hp_a.stop();
+    hp_b.stop();
     b1.stop();
     b2.stop();
     mrq.stop();

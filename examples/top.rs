@@ -1,0 +1,257 @@
+//! `infosleuth-top` — a live fleet view over the monitor aggregator.
+//!
+//! The fleet table is rendered **purely from the monitor agent's KQML
+//! log queries** — `(health)` for per-broker states and recent alerts,
+//! `(history <source> <metric>)` for the hot-metric sparklines — so the
+//! view is exactly what any remote client of the monitor would see.
+//!
+//! To be runnable anywhere, the binary hosts a small demo fleet
+//! in-process: two brokers on separate runtimes, each with an obs
+//! reporter (metrics history) and a health publisher (watermark
+//! alerts dogfooded through the broker itself, DESIGN.md §16). A
+//! scripted load pattern drives `broker-1`'s queue depth through the
+//! `queue_depth > 100` watermark and back, so the table shows a
+//! degradation firing and clearing.
+//!
+//! Usage:
+//!
+//! ```text
+//! infosleuth-top              # one-shot: run the load script, render once
+//! infosleuth-top --watch [n]  # live: re-render every refresh, n times (default: forever)
+//! ```
+
+use infosleuth_core::agent::{spawn_obs_reporter, AgentRuntime, Bus, RuntimeConfig, LOG_ONTOLOGY};
+use infosleuth_core::broker::{
+    spawn_health_publisher, BrokerAgent, BrokerConfig, HealthPublisherConfig,
+    HealthPublisherHandle, Repository,
+};
+use infosleuth_core::kqml::{Message, Performative, SExpr};
+use infosleuth_core::ontology::obs_ontology;
+use infosleuth_core::{spawn_monitor_agent, MonitorSpec};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+const REFRESH: Duration = Duration::from_millis(500);
+
+/// The scripted queue-depth pattern: a spike through the default
+/// `queue_depth > 100` watermark (fires after two consecutive breaches)
+/// and back down (clears after two).
+const LOAD: [i64; 8] = [2, 40, 180, 400, 220, 60, 8, 3];
+
+struct FleetBroker {
+    name: &'static str,
+    runtime: AgentRuntime,
+    publisher: HealthPublisherHandle,
+    reporter: infosleuth_core::agent::ObsReporterHandle,
+    _broker: infosleuth_core::broker::BrokerHandle,
+}
+
+/// One row of the fleet table, parsed back out of the `(health)` reply.
+#[derive(Default)]
+struct HealthView {
+    brokers: Vec<(String, String, u64)>,
+    /// `(broker, rule, severity, firing, tick)`
+    alerts: Vec<(String, String, String, bool, u64)>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let watch = args.first().map(String::as_str) == Some("--watch");
+    if !watch && !args.is_empty() {
+        eprintln!("usage: infosleuth-top [--watch [n]]");
+        return ExitCode::FAILURE;
+    }
+    let refreshes: u64 = if watch {
+        args.get(1).and_then(|n| n.parse().ok()).unwrap_or(u64::MAX)
+    } else {
+        LOAD.len() as u64
+    };
+
+    // ---- demo fleet ----------------------------------------------------
+    let bus = Bus::new();
+    let monitor = spawn_monitor_agent(
+        &bus,
+        MonitorSpec {
+            name: "monitor-agent".into(),
+            address: "tcp://monitor.mcc.com:6001".into(),
+            brokers: vec![],
+            timeout: T,
+            scrape_addr: Some("127.0.0.1:0".into()),
+        },
+    )
+    .expect("monitor spawns");
+    let fleet: Vec<FleetBroker> = ["broker-1", "broker-2"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let runtime = AgentRuntime::new(
+                bus.as_transport(),
+                RuntimeConfig::default().with_workers(2).with_monitor("monitor-agent"),
+            );
+            let mut repo = Repository::new();
+            repo.register_ontology(obs_ontology());
+            let broker = BrokerAgent::spawn_on(
+                &runtime,
+                BrokerConfig::new(*name, format!("tcp://{name}.mcc.com:{}", 5000 + i)),
+                repo,
+            )
+            .expect("broker spawns");
+            // The reporter's agent name doubles as the history source
+            // tag; prefix it so it cannot collide with the broker.
+            let reporter = spawn_obs_reporter(&runtime, format!("obs.{name}"), "monitor-agent", T)
+                .expect("reporter spawns");
+            let publisher = spawn_health_publisher(
+                &runtime,
+                HealthPublisherConfig::new(*name)
+                    .with_monitor("monitor-agent")
+                    .with_interval(Duration::from_secs(3600)),
+            )
+            .expect("publisher spawns");
+            FleetBroker { name, runtime, publisher, reporter, _broker: broker }
+        })
+        .collect();
+    let mut client = bus.register("top-client").expect("fresh name");
+
+    // ---- refresh loop --------------------------------------------------
+    for refresh in 0..refreshes {
+        // Scripted load: broker-1 rides the spike, broker-2 stays calm.
+        let step = LOAD[(refresh as usize) % LOAD.len()];
+        for (i, b) in fleet.iter().enumerate() {
+            let depth = b.runtime.obs().registry().gauge("runtime_queue_depth", &[]);
+            depth.set(if i == 0 { step } else { 1 });
+            b.publisher.publish();
+            b.reporter.flush();
+        }
+
+        if watch || refresh + 1 == refreshes {
+            let view = query_health(&mut client);
+            let mut sparks = Vec::new();
+            for b in &fleet {
+                let source = format!("obs.{}", b.name);
+                sparks.push((
+                    b.name,
+                    query_history(&mut client, &source, "runtime_queue_depth"),
+                    query_history(&mut client, &source, "runtime_inflight"),
+                ));
+            }
+            if watch {
+                print!("\x1b[2J\x1b[H");
+            }
+            render(refresh, &view, &sparks);
+        }
+        if watch && refresh + 1 != refreshes {
+            std::thread::sleep(REFRESH);
+        }
+    }
+
+    // The demo fleet must actually have alerted through the monitor.
+    let ok = !monitor.health_states().is_empty() && !monitor.recent_alerts().is_empty();
+    for b in fleet {
+        b.publisher.stop();
+        b.runtime.shutdown();
+    }
+    monitor.stop();
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleet never reported health through the monitor");
+        ExitCode::FAILURE
+    }
+}
+
+fn ask(client: &mut infosleuth_core::agent::Endpoint, content: SExpr) -> Option<SExpr> {
+    let msg = Message::new(Performative::AskAll).with_ontology(LOG_ONTOLOGY).with_content(content);
+    let reply = client.request("monitor-agent", msg, T).ok()?;
+    if reply.performative != Performative::Reply {
+        return None;
+    }
+    reply.content().cloned()
+}
+
+fn query_health(client: &mut infosleuth_core::agent::Endpoint) -> HealthView {
+    let mut view = HealthView::default();
+    let Some(content) = ask(client, SExpr::list(vec![SExpr::atom("health")])) else {
+        return view;
+    };
+    let Some(items) = content.as_list() else { return view };
+    for item in &items[1..] {
+        let Some(row) = item.as_list() else { continue };
+        let text = |i: usize| row.get(i).and_then(SExpr::as_text).unwrap_or_default().to_string();
+        let num = |i: usize| text(i).parse::<u64>().unwrap_or(0);
+        match row.first().and_then(SExpr::as_text) {
+            Some("broker") => view.brokers.push((text(1), text(2), num(3))),
+            Some("alert") => view.alerts.push((text(1), text(2), text(3), num(4) == 1, num(5))),
+            _ => {}
+        }
+    }
+    view
+}
+
+/// The scalar history of `metric` at `source`, oldest first (first
+/// series only — the demo metrics are unlabeled).
+fn query_history(
+    client: &mut infosleuth_core::agent::Endpoint,
+    source: &str,
+    metric: &str,
+) -> Vec<f64> {
+    let content = ask(
+        client,
+        SExpr::list(vec![SExpr::atom("history"), SExpr::atom(source), SExpr::atom(metric)]),
+    );
+    let Some(content) = content else { return Vec::new() };
+    let Some(items) = content.as_list() else { return Vec::new() };
+    let Some(series) = items.get(3).and_then(SExpr::as_list) else { return Vec::new() };
+    series[2..].iter().filter_map(|p| p.as_list()?.get(1)?.as_text()?.parse::<f64>().ok()).collect()
+}
+
+/// Unicode sparkline over the series, scaled to its own max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|v| if max <= 0.0 { BARS[0] } else { BARS[((v / max * 7.0).round() as usize).min(7)] })
+        .collect()
+}
+
+fn render(refresh: u64, view: &HealthView, sparks: &[(&str, Vec<f64>, Vec<f64>)]) {
+    let degraded = view.brokers.iter().filter(|(_, s, _)| s != "healthy").count();
+    // A rule is live if its latest transition fired without clearing.
+    let mut last: std::collections::BTreeMap<(&str, &str), bool> = Default::default();
+    for (broker, rule, _, firing, _) in &view.alerts {
+        last.insert((broker.as_str(), rule.as_str()), *firing);
+    }
+    let firing = last.values().filter(|f| **f).count();
+    println!(
+        "INFOSLEUTH FLEET  refresh {refresh}   brokers {}   degraded {degraded}   alerts firing {firing}",
+        view.brokers.len()
+    );
+    println!();
+    println!(
+        "{:<12} {:<10} {:>6} {:>7} {:>9}  QUEUE HISTORY",
+        "BROKER", "HEALTH", "TICK", "QUEUE", "INFLIGHT"
+    );
+    for (broker, state, tick) in &view.brokers {
+        let (queue_hist, inflight_hist) = sparks
+            .iter()
+            .find(|(n, _, _)| n == broker)
+            .map(|(_, q, i)| (q.clone(), i.clone()))
+            .unwrap_or_default();
+        let queue = queue_hist.last().copied().unwrap_or(0.0);
+        let inflight = inflight_hist.last().copied().unwrap_or(0.0);
+        println!(
+            "{broker:<12} {state:<10} {tick:>6} {queue:>7.0} {inflight:>9.0}  {}",
+            sparkline(&queue_hist)
+        );
+    }
+    println!();
+    println!("RECENT ALERTS");
+    if view.alerts.is_empty() {
+        println!("  (none)");
+    }
+    for (broker, rule, severity, firing, tick) in view.alerts.iter().rev().take(8) {
+        let phase = if *firing { "FIRING " } else { "cleared" };
+        println!("  {broker:<12} {rule:<18} {severity:<9} {phase}  tick {tick}");
+    }
+}

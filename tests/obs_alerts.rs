@@ -1,0 +1,208 @@
+//! Alert-path parity: health alerting dogfooded through the broker must
+//! be deployment-invariant. A standing threshold subscription over the
+//! `infosleuth-obs` ontology receives **byte-identical** `sub-delta`
+//! payloads whether the fleet talks over the in-proc [`Bus`] or over two
+//! TCP nodes — and in both deployments the sampler tick, the
+//! `broker_health` advertise, and the broker's pipeline hang off one
+//! connected trace.
+
+use infosleuth_core::agent::{
+    AgentRuntime, Bus, RuntimeConfig, TcpTransport, Transport, TransportExt,
+};
+use infosleuth_core::broker::{
+    spawn_health_publisher_with, subscribe_to, BrokerAgent, BrokerConfig, HealthPublisherConfig,
+    Repository,
+};
+use infosleuth_core::constraint::{Conjunction, Predicate};
+use infosleuth_core::obs::{
+    build_trace_tree, forest_topology, trace_ids, HealthEngine, HealthRule, HealthState, Obs,
+    RingSink, Severity, SpanRecord, SpanSink, Watermark,
+};
+use infosleuth_core::ontology::{obs_ontology, AgentType, ServiceQuery};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn obs_repo() -> Repository {
+    let mut r = Repository::new();
+    r.register_ontology(obs_ontology());
+    r
+}
+
+fn threshold_query() -> ServiceQuery {
+    ServiceQuery::for_agent_type(AgentType::Monitor)
+        .with_ontology("infosleuth-obs")
+        .with_classes(["broker_health"])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::gt(
+            "broker_health.queue_depth",
+            100,
+        )]))
+}
+
+/// A one-rule engine with no hysteresis, so the scripted three ticks
+/// produce exactly one fire and one clear.
+fn test_engine() -> HealthEngine {
+    HealthEngine::new(vec![HealthRule::new(
+        "queue-depth",
+        "runtime_queue_depth",
+        1,
+        Watermark::GaugeAbove(100.0),
+        Severity::Warning,
+    )])
+    .with_hysteresis(1, 1)
+}
+
+/// Everything observable about one alert run: the raw `sub-delta`
+/// payload text in arrival order (for the byte-identity comparison),
+/// the publisher's state after each tick, and the topology of every
+/// trace rooted at a sampler tick.
+#[derive(Debug, PartialEq, Eq)]
+struct AlertOutcome {
+    raw_deltas: Vec<String>,
+    states: Vec<HealthState>,
+    health_traces: Vec<String>,
+}
+
+/// Drives the scripted scenario against a broker + publisher sharing
+/// `runtime`, with the subscriber endpoints on `agents_node`:
+/// subscribe, then tick healthy → breached → recovered.
+fn run_alert_scenario(
+    agents_node: &Arc<dyn Transport>,
+    runtime: &AgentRuntime,
+    sink: &Arc<RingSink>,
+) -> AlertOutcome {
+    let broker = BrokerAgent::spawn_on(
+        runtime,
+        BrokerConfig::new("broker-obs", "tcp://broker-obs.mcc.com:5009").with_ping_interval(None),
+        obs_repo(),
+    )
+    .expect("broker spawns");
+    let mut probe = agents_node.endpoint("obs-probe").expect("fresh name");
+    let mut watcher = agents_node.endpoint("obs-watcher").expect("fresh name");
+    subscribe_to(&mut probe, "broker-obs", &threshold_query(), "obs-watcher", T)
+        .expect("broker answers")
+        .expect("subscription admitted");
+
+    let publisher = spawn_health_publisher_with(
+        runtime,
+        HealthPublisherConfig::new("broker-obs").with_interval(Duration::from_secs(3600)),
+        test_engine(),
+    )
+    .expect("publisher spawns");
+    let depth = runtime.obs().registry().gauge("runtime_queue_depth", &[]);
+    let mut states = Vec::new();
+    for level in [3, 500, 2] {
+        depth.set(level);
+        publisher.publish();
+        states.push(publisher.state());
+    }
+
+    // Drain every notification the watcher received (initial snapshot,
+    // the breach delta, the recovery delta), keeping the raw payloads.
+    let mut raw_deltas = Vec::new();
+    while let Some(env) = watcher.recv_timeout(Duration::from_millis(300)) {
+        raw_deltas.push(env.message.content().expect("delta content").to_string());
+    }
+
+    publisher.stop();
+    broker.stop();
+    runtime.shutdown();
+    let records: Vec<SpanRecord> = sink.drain();
+    let mut health_traces: Vec<String> = trace_ids(&records)
+        .into_iter()
+        .map(|t| forest_topology(&build_trace_tree(&records, t)))
+        .filter(|topology| topology.contains("health:tick"))
+        .collect();
+    health_traces.sort();
+    AlertOutcome { raw_deltas, states, health_traces }
+}
+
+fn traced_runtime(transport: Arc<dyn Transport>) -> (AgentRuntime, Arc<RingSink>) {
+    let obs = Obs::new();
+    let sink = Arc::new(RingSink::new(4096));
+    obs.tracer().add_sink(Arc::clone(&sink) as Arc<dyn SpanSink>);
+    // Per-agent FIFO: the publisher's back-to-back ticks are
+    // fire-and-forget advertises, and the byte-identity comparison
+    // needs the broker to process them in tick order.
+    let runtime = AgentRuntime::new(
+        transport,
+        RuntimeConfig::default().with_workers(4).with_per_agent_inflight(1).with_obs(obs),
+    );
+    (runtime, sink)
+}
+
+fn run_over_bus() -> AlertOutcome {
+    let bus = Bus::new();
+    let (runtime, sink) = traced_runtime(bus.as_transport());
+    run_alert_scenario(&bus.as_transport(), &runtime, &sink)
+}
+
+fn run_over_tcp() -> AlertOutcome {
+    // The broker and its health publisher on node B; the subscriber and
+    // its reply-to watcher on node A — the alert tells cross a socket.
+    let node_a = TcpTransport::bind("127.0.0.1:0").expect("bind node A");
+    let node_b = TcpTransport::bind("127.0.0.1:0").expect("bind node B");
+    node_a.add_route("broker-obs", node_b.address());
+    node_a.add_route("health.broker-obs", node_b.address());
+    for agent in ["obs-probe", "obs-watcher"] {
+        node_b.add_route(agent, node_a.address());
+    }
+    let (runtime, sink) = traced_runtime(Arc::clone(&node_b) as Arc<dyn Transport>);
+    run_alert_scenario(&(Arc::clone(&node_a) as Arc<dyn Transport>), &runtime, &sink)
+}
+
+/// The alert path end to end: sampler tick → re-advertised fact →
+/// indexed sub-delta → watcher, identical bytes over bus and TCP, with
+/// every tick's advertise connected to its sampler-tick root span.
+#[test]
+fn alert_deltas_are_byte_identical_across_transports() {
+    let over_bus = run_over_bus();
+    let over_tcp = run_over_tcp();
+
+    // The scripted ticks produce the expected arc...
+    assert_eq!(
+        over_bus.states,
+        vec![HealthState::Healthy, HealthState::Degraded, HealthState::Healthy],
+        "healthy → breached → recovered"
+    );
+    // ...and exactly three notifications: the empty snapshot, the
+    // breach (matched), and the recovery (unmatched).
+    assert_eq!(over_bus.raw_deltas.len(), 3, "deltas: {:#?}", over_bus.raw_deltas);
+    assert!(
+        over_bus.raw_deltas[1].contains("health.broker-obs"),
+        "breach delta names the health fact: {}",
+        over_bus.raw_deltas[1]
+    );
+    assert!(
+        over_bus.raw_deltas[2].contains("unmatched health.broker-obs")
+            || over_bus.raw_deltas[2].contains("(unmatched health.broker-obs)"),
+        "recovery delta withdraws the fact: {}",
+        over_bus.raw_deltas[2]
+    );
+
+    // Byte identity: the exact payload text matches across transports.
+    assert_eq!(over_bus.raw_deltas, over_tcp.raw_deltas, "alert deltas differ between bus and TCP");
+
+    // The trace connects the sampler tick to the broker's pipeline: the
+    // `health:tick` root span parents the broker's recv:advertise.
+    let connected = |traces: &[String]| {
+        traces.iter().any(|t| {
+            t.contains("health:tick@health.broker-obs(") && t.contains("recv:advertise@broker-obs")
+        })
+    };
+    assert!(
+        connected(&over_bus.health_traces),
+        "bus: no connected sampler-tick → advertise trace:\n{:#?}",
+        over_bus.health_traces
+    );
+    assert!(
+        connected(&over_tcp.health_traces),
+        "tcp: no connected sampler-tick → advertise trace:\n{:#?}",
+        over_tcp.health_traces
+    );
+    assert_eq!(
+        over_bus.health_traces, over_tcp.health_traces,
+        "health trace topologies differ between bus and TCP"
+    );
+}
