@@ -1,0 +1,314 @@
+//! Broker scale-out: sharded communities with digest-pruned routing vs.
+//! broad fan-out.
+//!
+//! A fixed population of resource agents is spread over communities of
+//! 2→64 brokers by the [`ShardPlan`](infosleuth_broker::ShardPlan)'s
+//! fragment hash, and one query mix
+//! is driven through both routing modes:
+//!
+//! * **digest** — routing digests on: a terminal forward goes only to
+//!   peers whose capability digest *can* match (plus the occasional
+//!   hull false positive).
+//! * **broadcast** — routing digests off: the paper's broad fan-out,
+//!   every non-ruled-out peer gets the full query.
+//!
+//! Reported per community size: throughput (queries/s), per-query
+//! message count (client request + inter-broker forwards), the digest
+//! false-positive rate, and the byte-identical parity of the sorted
+//! match lists across the two modes — pruning must never cost recall.
+//! Warmed, median of `MEASURE_PASSES` timed passes.
+//!
+//! Writes `BENCH_broker_scale.json`.
+
+use infosleuth_agent::{AgentRuntime, Bus, RuntimeConfig};
+use infosleuth_bench::{fmt_pct, median_sample, parse_args, run_meta, MEASURE_PASSES};
+use infosleuth_broker::{
+    advertise_to, connect_community, query_broker, BrokerAgent, BrokerConfig, BrokerHandle,
+    FollowOption, RoutingStats, SearchPolicy,
+};
+use infosleuth_constraint::{Conjunction, Predicate};
+use infosleuth_ontology::{
+    Advertisement, AgentLocation, AgentType, Capability, ClassDef, ConversationType, Ontology,
+    OntologyContent, SemanticInfo, ServiceQuery, SlotDef, SyntacticInfo, ValueType,
+};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const ONTOLOGY: &str = "scale-classes";
+/// Distinct ontology fragments (classes); ads and queries cycle over
+/// them, so every class is one shard-placement unit.
+const NUM_CLASSES: usize = 96;
+/// Every Nth query probes the gap between its class's two advertised
+/// constraint windows: inside the digest's per-slot hull, so the owner
+/// is contacted and answers empty — a measured false positive.
+const GAP_EVERY: usize = 32;
+const T: Duration = Duration::from_secs(30);
+
+fn scale_ontology() -> Ontology {
+    let mut o = Ontology::new(ONTOLOGY);
+    for i in 0..NUM_CLASSES {
+        o.add_class(ClassDef::new(
+            class_name(i),
+            vec![SlotDef::key("id", ValueType::Int), SlotDef::new("a", ValueType::Int)],
+        ))
+        .expect("fresh ontology");
+    }
+    o
+}
+
+fn class_name(i: usize) -> String {
+    format!("K{:02}", i % NUM_CLASSES)
+}
+
+/// A resource agent holding one class fragment, constrained to one slot
+/// window. The first half of the population takes the low window, the
+/// second half the high one, leaving a gap the digest hull papers over.
+fn resource_ad(j: usize) -> Advertisement {
+    let class = class_name(j);
+    let (lo, hi) = if (j / NUM_CLASSES) % 2 == 0 { (0, 10) } else { (40, 50) };
+    Advertisement::new(AgentLocation::new(format!("ra{j}"), "tcp://h:1", AgentType::Resource))
+        .with_syntactic(SyntacticInfo::sql_kqml())
+        .with_semantic(
+            SemanticInfo::default()
+                .with_conversations([ConversationType::AskAll])
+                .with_capabilities([Capability::relational_query_processing()])
+                .with_content(
+                    OntologyContent::new(ONTOLOGY).with_classes([class.clone()]).with_constraints(
+                        Conjunction::from_predicates(vec![Predicate::between(
+                            format!("{class}.a"),
+                            lo,
+                            hi,
+                        )]),
+                    ),
+                ),
+        )
+}
+
+fn scale_query(q: usize) -> ServiceQuery {
+    let class = class_name(q);
+    // The wide window overlaps every advertised range; the gap window
+    // sits strictly between the two, inside the hull but matching no ad.
+    let (lo, hi) = if q % GAP_EVERY == 0 { (20, 28) } else { (0, 50) };
+    ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology(ONTOLOGY)
+        .with_classes([class.clone()])
+        .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+            format!("{class}.a"),
+            lo,
+            hi,
+        )]))
+}
+
+fn stats_sum(brokers: &[BrokerHandle]) -> RoutingStats {
+    let mut sum = RoutingStats::default();
+    for b in brokers {
+        let s = b.routing_stats();
+        sum.forwards += s.forwards;
+        sum.digest_pruned += s.digest_pruned;
+        sum.digest_fp += s.digest_fp;
+        sum.peer_suspects += s.peer_suspects;
+        sum.digest_updates += s.digest_updates;
+        sum.digest_stale += s.digest_stale;
+    }
+    sum
+}
+
+/// Blocks until every broker's stored digest for every peer has caught
+/// up with that peer's repository epoch — advertisement-driven digest
+/// updates are asynchronous one-way performatives, so a bench that
+/// mutates then immediately measures must quiesce first.
+fn await_digests(brokers: &[BrokerHandle]) {
+    let deadline = Instant::now() + T;
+    for holder in brokers {
+        for peer in brokers {
+            if peer.name() == holder.name() {
+                continue;
+            }
+            let want = peer.with_repository(|r| r.epoch());
+            while holder.peer_digest_epoch(peer.name()) != Some(want) {
+                assert!(Instant::now() < deadline, "digest propagation stalled");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+struct ModeOutcome {
+    qps: f64,
+    forwards_per_query: f64,
+    pruned_per_query: f64,
+    fp_rate: f64,
+    /// Sorted match names of every query in issue order, one line per
+    /// query — byte-compared across routing modes.
+    parity: String,
+}
+
+fn run_mode(
+    brokers: usize,
+    agents: usize,
+    queries: usize,
+    passes: usize,
+    digests: bool,
+) -> ModeOutcome {
+    let bus = Bus::new();
+    let runtime = AgentRuntime::new(bus.as_transport(), RuntimeConfig::default().with_workers(8));
+    let handles: Vec<BrokerHandle> = (0..brokers)
+        .map(|i| {
+            let mut repo = infosleuth_broker::Repository::new();
+            repo.register_ontology(scale_ontology());
+            BrokerAgent::spawn_on(
+                &runtime,
+                BrokerConfig::new(format!("broker{i}"), format!("tcp://broker{i}.mcc.com:5500"))
+                    .with_routing_digests(digests),
+                repo,
+            )
+            .expect("spawn broker")
+        })
+        .collect();
+    let refs: Vec<&BrokerHandle> = handles.iter().collect();
+    let plan = connect_community(&refs).expect("interconnect community");
+
+    let mut client = bus.register("client").expect("register client");
+    for j in 0..agents {
+        let ad = resource_ad(j);
+        let owner = plan.owner_of(&ad).to_string();
+        assert!(advertise_to(&mut client, &owner, &ad, T).expect("advertise"));
+    }
+    if digests {
+        await_digests(&handles);
+    }
+
+    let policy = SearchPolicy { hop_count: 1, follow: FollowOption::AllRepositories };
+    let mut run_pass = |record: Option<&mut String>| {
+        let mut parity = record;
+        for q in 0..queries {
+            let entry = format!("broker{}", q % brokers);
+            let found = query_broker(&mut client, &entry, &scale_query(q), Some(policy), T)
+                .expect("query broker");
+            if let Some(parity) = parity.as_deref_mut() {
+                let mut names: Vec<&str> = found.iter().map(|m| m.name.as_str()).collect();
+                names.sort_unstable();
+                let _ = writeln!(parity, "{}", names.join(","));
+            }
+        }
+    };
+
+    // Warmup pass: populates match caches and captures the parity record.
+    let mut parity = String::new();
+    run_pass(Some(&mut parity));
+
+    let before = stats_sum(&handles);
+    let mut samples = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let start = Instant::now();
+        run_pass(None);
+        samples.push((start.elapsed().as_secs_f64(), ()));
+    }
+    let after = stats_sum(&handles);
+
+    let total = (passes * queries) as f64;
+    let forwards = (after.forwards - before.forwards) as f64;
+    let fps = (after.digest_fp - before.digest_fp) as f64;
+    let (secs, ()) = median_sample(samples);
+    for h in handles {
+        h.stop();
+    }
+    ModeOutcome {
+        qps: queries as f64 / secs,
+        forwards_per_query: forwards / total,
+        pruned_per_query: (after.digest_pruned - before.digest_pruned) as f64 / total,
+        fp_rate: if forwards > 0.0 { fps / forwards } else { 0.0 },
+        parity,
+    }
+}
+
+struct Row {
+    brokers: usize,
+    digest: ModeOutcome,
+    broadcast: ModeOutcome,
+}
+
+fn main() {
+    let opts = parse_args();
+    let (agents, queries, passes, broker_axis): (usize, usize, usize, &[usize]) = if opts.quick {
+        (96, 96, 1, &[2, 4, 8])
+    } else {
+        (192, 384, MEASURE_PASSES, &[2, 4, 8, 16, 32, 64])
+    };
+
+    println!("=== broker scale-out: sharded digests vs broad fan-out ===");
+    println!(
+        "{agents} agents over {NUM_CLASSES} fragments, {queries} queries/pass, median of \
+         {passes} warmed pass(es){}",
+        if opts.quick { " [--quick]" } else { "" }
+    );
+    println!();
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>11} {:>11} {:>8} {:>8}",
+        "brokers",
+        "digest q/s",
+        "bcast q/s",
+        "speedup",
+        "msgs/q dig",
+        "msgs/q bc",
+        "msg-red",
+        "fp-rate"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &brokers in broker_axis {
+        let digest = run_mode(brokers, agents, queries, passes, true);
+        let broadcast = run_mode(brokers, agents, queries, passes, false);
+        assert_eq!(
+            digest.parity, broadcast.parity,
+            "digest-pruned routing changed the match results at {brokers} brokers"
+        );
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>9.2} {:>11.2} {:>11.2} {:>8.1} {:>8}",
+            brokers,
+            digest.qps,
+            broadcast.qps,
+            digest.qps / broadcast.qps,
+            1.0 + digest.forwards_per_query,
+            1.0 + broadcast.forwards_per_query,
+            (1.0 + broadcast.forwards_per_query) / (1.0 + digest.forwards_per_query),
+            fmt_pct(digest.fp_rate),
+        );
+        rows.push(Row { brokers, digest, broadcast });
+    }
+
+    let base_qps = rows.first().map(|r| r.digest.qps).unwrap_or(f64::NAN);
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"broker_scale\",\n");
+    let _ = writeln!(out, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(out, "  \"meta\": {},", run_meta());
+    let _ = writeln!(out, "  \"agents\": {agents},");
+    let _ = writeln!(out, "  \"queries_per_pass\": {queries},");
+    let _ = writeln!(out, "  \"fragments\": {NUM_CLASSES},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"brokers\": {}, \"digest_qps\": {:.1}, \"broadcast_qps\": {:.1}, \
+             \"speedup\": {:.3}, \"digest_msgs_per_query\": {:.3}, \
+             \"broadcast_msgs_per_query\": {:.3}, \"msg_reduction_x\": {:.2}, \
+             \"digest_pruned_per_query\": {:.3}, \"fp_rate\": {:.4}, \
+             \"scaling_vs_smallest\": {:.3}, \"parity\": \"ok\"}}",
+            r.brokers,
+            r.digest.qps,
+            r.broadcast.qps,
+            r.digest.qps / r.broadcast.qps,
+            1.0 + r.digest.forwards_per_query,
+            1.0 + r.broadcast.forwards_per_query,
+            (1.0 + r.broadcast.forwards_per_query) / (1.0 + r.digest.forwards_per_query),
+            r.digest.pruned_per_query,
+            r.digest.fp_rate,
+            r.digest.qps / base_qps,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_broker_scale.json", out).expect("write BENCH_broker_scale.json");
+    println!();
+    println!("wrote BENCH_broker_scale.json");
+}

@@ -13,6 +13,7 @@
 //! tick, which the runtime guarantees never overlaps itself.
 
 use crate::codec;
+use crate::digest::{CapabilityDigest, DigestBuilder};
 use crate::match_cache::{MatchCache, MatchCacheStats, DEFAULT_MATCH_CACHE_CAPACITY};
 use crate::matchmaker::{MatchResult, Matchmaker};
 use crate::objective::{AdmissionDecision, BrokerObjective};
@@ -30,9 +31,9 @@ use infosleuth_ontology::{
     ServiceQuery,
 };
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Static configuration for one broker.
 #[derive(Debug, Clone)]
@@ -61,6 +62,14 @@ pub struct BrokerConfig {
     /// re-evaluating every subscription on every mutation (the naive
     /// baseline; notification sequences are identical either way).
     pub subscription_index: bool,
+    /// Whether inter-broker searches consult peer capability digests to
+    /// prune forwards (DESIGN.md §17). A peer is skipped only when its
+    /// digest — a sound over-approximation of its repository — proves it
+    /// cannot match, and only for terminal forwards (the forwarded hop
+    /// cannot expand further, so the peer answers from its own repository
+    /// alone). `false` restores broad fan-out — the parity tests and the
+    /// bench baseline use it.
+    pub routing_digests: bool,
     /// Maximum envelopes the hosting runtime may drain into one broker
     /// dispatch. At 1 (the default) every message takes the classic
     /// per-message path. Above 1, queued repository mutations
@@ -92,6 +101,7 @@ impl BrokerConfig {
             matchmaker: Matchmaker::default(),
             ping_interval: Some(Duration::from_secs(30)),
             subscription_index: true,
+            routing_digests: true,
             batch_limit: 1,
             #[cfg(feature = "seeded-reorder")]
             seeded_reorder: false,
@@ -120,6 +130,12 @@ impl BrokerConfig {
     /// Enables or disables the inverted subscription index (on by default).
     pub fn with_subscription_index(mut self, on: bool) -> Self {
         self.subscription_index = on;
+        self
+    }
+
+    /// Enables or disables digest-based peer pruning (on by default).
+    pub fn with_routing_digests(mut self, on: bool) -> Self {
+        self.routing_digests = on;
         self
     }
 
@@ -163,8 +179,55 @@ struct Shared {
     /// Standing subscriptions plus their inverted index. Lock order: `repo`
     /// before `subs`; never take `repo` while holding `subs`.
     subs: Mutex<SubscriptionRegistry>,
+    /// Routing-digest state. Lock order: `repo` before `digests`; never
+    /// take `repo` (or `subs`) while holding `digests`.
+    digests: Mutex<DigestState>,
+    /// Peers that failed a forward, in retry backoff. Taken last, never
+    /// held across a send.
+    suspects: Mutex<HashMap<String, SuspectEntry>>,
     obs: BrokerObs,
 }
+
+/// The digest half of the routing layer: this broker's own incrementally
+/// maintained [`DigestBuilder`], plus the latest digest received from
+/// each peer broker (DESIGN.md §17).
+struct DigestState {
+    builder: DigestBuilder,
+    /// Repository epoch the builder was last synced at. A mismatch means
+    /// the repository mutated out-of-band (test pre-seeding, rule or
+    /// ontology loads) and the builder is rebuilt from scratch on next use.
+    built_epoch: u64,
+    /// Epoch of the last digest broadcast to peers — re-advertisements are
+    /// delta-driven: nothing is sent while this matches the repository.
+    advertised_epoch: Option<u64>,
+    /// Latest digest each peer broker advertised to us.
+    peers: HashMap<String, CapabilityDigest>,
+}
+
+impl DigestState {
+    fn seeded(repo: &Repository) -> DigestState {
+        DigestState {
+            builder: DigestBuilder::from_repo(repo),
+            built_epoch: repo.epoch(),
+            advertised_epoch: None,
+            peers: HashMap::new(),
+        }
+    }
+}
+
+/// A peer that failed a forward: retried with exponential backoff instead
+/// of being unadvertised outright. Only [`SUSPECT_DROP_AFTER`] consecutive
+/// failures remove it from the repository; a digest or advertisement from
+/// the peer clears the suspicion immediately.
+struct SuspectEntry {
+    failures: u32,
+    retry_at: Instant,
+}
+
+const SUSPECT_BASE_BACKOFF: Duration = Duration::from_millis(500);
+const SUSPECT_MAX_BACKOFF: Duration = Duration::from_secs(30);
+/// Consecutive forward failures after which the peer is unadvertised.
+const SUSPECT_DROP_AFTER: u32 = 5;
 
 /// The broker's slice of the hosting runtime's metrics registry:
 /// request counters plus the query-side pipeline stages (`parse`,
@@ -184,6 +247,19 @@ struct BrokerObs {
     sub_affected: Counter,
     /// Non-empty delta notifications actually delivered.
     sub_notifications: Counter,
+    /// Inter-broker forwards actually sent.
+    forwards: Counter,
+    /// Peer forwards skipped because the peer's digest cannot match.
+    digest_pruned: Counter,
+    /// Contacted peers whose digest admitted the query but who returned
+    /// zero matches (digest false positives).
+    digest_fp: Counter,
+    /// Forward failures that demoted a peer to the suspect list.
+    peer_suspect: Counter,
+    /// Digest (re-)advertisements ingested from peers.
+    digest_updates: Counter,
+    /// Forwarded requests that arrived carrying a stale digest epoch.
+    digest_stale: Counter,
     parse: Histogram,
     scoring: Histogram,
     /// End-to-end cost of one mutation's notification fan-out: intersect +
@@ -206,6 +282,12 @@ impl BrokerObs {
             sub_events: reg.counter("broker_sub_events_total", &[("broker", broker)]),
             sub_affected: reg.counter("broker_sub_affected_total", &[("broker", broker)]),
             sub_notifications: reg.counter("broker_sub_notifications_total", &[("broker", broker)]),
+            forwards: reg.counter("broker_forwards_total", &[("broker", broker)]),
+            digest_pruned: reg.counter("broker_digest_pruned_total", &[("broker", broker)]),
+            digest_fp: reg.counter("broker_digest_fp_total", &[("broker", broker)]),
+            peer_suspect: reg.counter("broker_peer_suspect_total", &[("broker", broker)]),
+            digest_updates: reg.counter("broker_digest_updates_total", &[("broker", broker)]),
+            digest_stale: reg.counter("broker_digest_stale_total", &[("broker", broker)]),
             parse: lat("parse"),
             scoring: lat("scoring"),
             // Fan-out latencies sit in the single-digit-µs range on the
@@ -301,7 +383,16 @@ impl BrokerAgent {
         let cache = MatchCache::new(DEFAULT_MATCH_CACHE_CAPACITY)
             .with_obs(runtime.obs().registry(), &config.name);
         let subs = Mutex::new(SubscriptionRegistry::new(config.subscription_index));
-        let shared = Arc::new(Shared { config, repo: Mutex::new(repo), cache, subs, obs });
+        let digests = Mutex::new(DigestState::seeded(&repo));
+        let shared = Arc::new(Shared {
+            config,
+            repo: Mutex::new(repo),
+            cache,
+            subs,
+            digests,
+            suspects: Mutex::new(HashMap::new()),
+            obs,
+        });
         let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
         let agent = runtime.spawn(shared.config.name.clone(), behavior)?;
         Ok(BrokerHandle { shared, agent, _runtime: None })
@@ -318,8 +409,16 @@ impl BrokerAgent {
         let cache =
             MatchCache::new(DEFAULT_MATCH_CACHE_CAPACITY).with_obs(obs.registry(), &config.name);
         let subs = Mutex::new(SubscriptionRegistry::new(config.subscription_index));
-        let shared =
-            Arc::new(Shared { config, repo: Mutex::new(repo), cache, subs, obs: broker_obs });
+        let digests = Mutex::new(DigestState::seeded(&repo));
+        let shared = Arc::new(Shared {
+            config,
+            repo: Mutex::new(repo),
+            cache,
+            subs,
+            digests,
+            suspects: Mutex::new(HashMap::new()),
+            obs: broker_obs,
+        });
         let behavior = Arc::new(BrokerBehavior { shared: Arc::clone(&shared) });
         BrokerCore { shared, behavior }
     }
@@ -376,15 +475,72 @@ impl BrokerCore {
     }
 }
 
+/// Snapshot of one broker's inter-broker routing counters (the same
+/// values the Prometheus scrape exports as `broker_*_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Forwards actually sent to peers.
+    pub forwards: u64,
+    /// Forwards skipped because the peer's digest cannot match.
+    pub digest_pruned: u64,
+    /// Contacted peers whose digest admitted the query but who returned
+    /// zero matches (digest false positives).
+    pub digest_fp: u64,
+    /// Forward failures that demoted a peer to the suspect list.
+    pub peer_suspects: u64,
+    /// Digest (re-)advertisements ingested from peers.
+    pub digest_updates: u64,
+    /// Forwarded requests received carrying a stale digest epoch.
+    pub digest_stale: u64,
+}
+
 impl BrokerHandle {
     pub fn name(&self) -> &str {
         &self.shared.config.name
     }
 
     /// Runs a closure against the broker's repository (tests, metrics, and
-    /// pre-seeding).
+    /// pre-seeding). An out-of-band mutation that bumps the epoch also
+    /// triggers a digest re-advertisement to peers, exactly as a mutation
+    /// arriving as a performative would.
     pub fn with_repository<T>(&self, f: impl FnOnce(&mut Repository) -> T) -> T {
-        f(&mut self.shared.repo.lock())
+        let (result, out) = {
+            let mut repo = self.shared.repo.lock();
+            let result = f(&mut repo);
+            let mut out = Vec::new();
+            broadcast_digest(&self.shared, &repo, &mut out);
+            (result, out)
+        };
+        for (to, msg) in out {
+            let _ = self.agent.ctx().send(&to, msg);
+        }
+        result
+    }
+
+    /// Inter-broker routing counters (digest pruning, suspects, staleness).
+    pub fn routing_stats(&self) -> RoutingStats {
+        let o = &self.shared.obs;
+        RoutingStats {
+            forwards: o.forwards.get(),
+            digest_pruned: o.digest_pruned.get(),
+            digest_fp: o.digest_fp.get(),
+            peer_suspects: o.peer_suspect.get(),
+            digest_updates: o.digest_updates.get(),
+            digest_stale: o.digest_stale.get(),
+        }
+    }
+
+    /// A fresh snapshot of this broker's own capability digest.
+    pub fn digest(&self) -> CapabilityDigest {
+        let repo = self.shared.repo.lock();
+        own_digest(&self.shared, &repo)
+    }
+
+    /// Epoch of the digest this broker currently stores for `peer`
+    /// (`None` until the peer's first digest arrives). Tests and benches
+    /// use it to wait for digest propagation to quiesce.
+    pub fn peer_digest_epoch(&self, peer: &str) -> Option<u64> {
+        self.shared.digests.lock().peers.get(peer).map(|d| d.epoch)
     }
 
     /// Hit/miss/eviction/stale counters of this broker's match cache.
@@ -419,13 +575,26 @@ impl BrokerHandle {
     pub fn connect_peer(&self, peer: &str) -> Result<(), BusError> {
         let ctx = self.agent.ctx();
         let my_ad = self.shared.config.broker_advertisement();
+        // The hello carries our current digest so the peer can prune
+        // forwards to us from the first exchange on.
+        let digest = if self.shared.config.routing_digests {
+            let repo = self.shared.repo.lock();
+            Some(own_digest(&self.shared, &repo))
+        } else {
+            None
+        };
         let msg = Message::new(Performative::Advertise)
             .with_ontology("infosleuth-service")
-            .with_content(codec::broker_advertisement_to_sexpr(&my_ad));
+            .with_content(codec::broker_hello_to_sexpr(&my_ad, digest.as_ref()));
         let reply = ctx.request(peer, msg, self.shared.config.peer_timeout)?;
         if let Some(content) = reply.content() {
             if let Ok(peer_ad) = codec::broker_advertisement_from_sexpr(content) {
+                let name = peer_ad.base.location.name.clone();
                 let _ = self.shared.repo.lock().advertise_broker(peer_ad);
+                if let Some(d) = codec::embedded_digest(content) {
+                    shared_ingest_digest(&self.shared, d);
+                }
+                self.shared.suspects.lock().remove(&name);
             }
         }
         Ok(())
@@ -461,6 +630,67 @@ fn reply_as_broker(ctx: &AgentContext, to: &str, reply: Message) {
     let _ = ctx.send(to, reply);
 }
 
+/// True when the configured matchmaker applies the full default
+/// semantics. Ablated matchmakers (semantic or constraint layers off) can
+/// match agents the digest would rule out, so their digests are marked
+/// unprunable.
+fn semantics_default(shared: &Shared) -> bool {
+    shared.config.matchmaker == Matchmaker::default()
+}
+
+/// Rebuilds the digest builder from the repository when an out-of-band
+/// mutation (anything that bumped the epoch without flowing through
+/// [`apply_advertise`] / [`apply_unadvertise`]) left it behind.
+fn sync_builder(digests: &mut DigestState, repo: &Repository) {
+    if digests.built_epoch != repo.epoch() {
+        digests.builder = DigestBuilder::from_repo(repo);
+        digests.built_epoch = repo.epoch();
+    }
+}
+
+/// This broker's current digest, synced to the repository. Caller holds
+/// the `repo` lock; takes `digests` (repo → digests).
+fn own_digest(shared: &Shared, repo: &Repository) -> CapabilityDigest {
+    let mut digests = shared.digests.lock();
+    sync_builder(&mut digests, repo);
+    digests.builder.snapshot(&shared.config.name, repo, semantics_default(shared))
+}
+
+/// Stores a digest a peer advertised and clears any suspicion of that
+/// peer — a broker that speaks is alive.
+fn shared_ingest_digest(shared: &Shared, digest: CapabilityDigest) {
+    let peer = digest.broker.clone();
+    shared.obs.digest_updates.inc();
+    shared.digests.lock().peers.insert(peer.clone(), digest);
+    shared.suspects.lock().remove(&peer);
+}
+
+/// Appends a digest re-advertisement to every known peer broker when the
+/// repository changed since the last broadcast. Delta-driven, never
+/// polled: nothing is sent while the digest epoch is unchanged.
+fn broadcast_digest(shared: &Shared, repo: &Repository, out: &mut Vec<(String, Message)>) {
+    if !shared.config.routing_digests {
+        return;
+    }
+    let epoch = repo.epoch();
+    if shared.digests.lock().advertised_epoch == Some(epoch) {
+        return;
+    }
+    let digest = own_digest(shared, repo);
+    shared.digests.lock().advertised_epoch = Some(epoch);
+    let peers = repo.peer_brokers();
+    if peers.is_empty() {
+        return;
+    }
+    let fact = codec::digest_to_sexpr(&digest);
+    for peer in peers {
+        let msg = Message::new(Performative::Update)
+            .with_ontology("infosleuth-service")
+            .with_content(fact.clone());
+        push_out(out, &peer, msg);
+    }
+}
+
 /// Pings every advertised agent and removes the ones that no longer
 /// respond — the repository-maintenance half of §2.2's lifecycle.
 fn liveness_sweep(shared: &Shared, ctx: &AgentContext) {
@@ -482,20 +712,49 @@ fn liveness_sweep(shared: &Shared, ctx: &AgentContext) {
         }
     }
     if !dead.is_empty() {
-        let affected = {
+        let (affected, mut out) = {
             let mut repo = shared.repo.lock();
             let mut affected = BTreeSet::new();
             for agent in dead {
                 let old = repo.advertisement_arc(&agent).cloned();
+                let pre_epoch = repo.epoch();
                 if repo.unadvertise(&agent) {
+                    digest_unadvertised(shared, &repo, pre_epoch, &agent);
                     if let Some(old) = &old {
                         affected.append(&mut subs_affected(shared, &repo, Some(old), None));
                     }
                 }
             }
-            affected
+            let mut out = Vec::new();
+            broadcast_digest(shared, &repo, &mut out);
+            (affected, out)
         };
         notify_subscriptions(shared, ctx, affected);
+        for (to, msg) in out.drain(..) {
+            let _ = ctx.send(&to, msg);
+        }
+    }
+}
+
+/// Incrementally applies one successful `repo.advertise` to the digest
+/// builder. `pre_epoch` is the epoch before the mutation: if the builder
+/// wasn't synced to it, the increment is skipped and the next
+/// [`own_digest`] rebuilds from scratch instead.
+fn digest_advertised(shared: &Shared, repo: &Repository, pre_epoch: u64, ad: &Advertisement) {
+    let mut digests = shared.digests.lock();
+    if digests.built_epoch == pre_epoch {
+        digests.builder.advertise(ad, repo);
+        digests.built_epoch = repo.epoch();
+    }
+}
+
+/// Incrementally applies one successful `repo.unadvertise` to the digest
+/// builder (same contract as [`digest_advertised`]).
+fn digest_unadvertised(shared: &Shared, repo: &Repository, pre_epoch: u64, name: &str) {
+    let mut digests = shared.digests.lock();
+    if digests.built_epoch == pre_epoch {
+        digests.builder.unadvertise(name);
+        digests.built_epoch = repo.epoch();
     }
 }
 
@@ -638,17 +897,32 @@ fn apply_advertise(
         push_out(out, &env.from, reply);
         return;
     };
+    // A peer's digest re-advertisement (delta-driven, one-way): refresh
+    // the routing entry; no reply is owed.
+    if let Ok(digest) = codec::digest_from_sexpr(content) {
+        shared_ingest_digest(shared, digest);
+        return;
+    }
     // Peer broker advertising itself?
     if let Ok(broker_ad) = codec::broker_advertisement_from_sexpr(content) {
+        let peer = broker_ad.base.location.name.clone();
         let accepted = repo.advertise_broker(broker_ad);
         let reply = match accepted {
             Ok(()) => {
-                // Reciprocate with our own advertisement so the sender can
-                // store it (one round trip establishes mutual knowledge).
+                // The hello may carry the peer's digest; either way a peer
+                // that advertises stops being suspect.
+                if let Some(d) = codec::embedded_digest(content) {
+                    shared_ingest_digest(shared, d);
+                }
+                shared.suspects.lock().remove(&peer);
+                // Reciprocate with our own advertisement (and digest) so
+                // the sender can store both — one round trip establishes
+                // mutual knowledge.
                 let mine = shared.config.broker_advertisement();
+                let digest = shared.config.routing_digests.then(|| own_digest(shared, repo));
                 env.message
                     .reply_skeleton(Performative::Tell)
-                    .with_content(codec::broker_advertisement_to_sexpr(&mine))
+                    .with_content(codec::broker_hello_to_sexpr(&mine, digest.as_ref()))
             }
             Err(e) => env
                 .message
@@ -681,9 +955,13 @@ fn apply_advertise(
                 AdmissionDecision::Accept => {
                     let name = ad.location.name.clone();
                     let old = repo.advertisement_arc(&name).cloned();
+                    let pre_epoch = repo.epoch();
                     let result = repo.advertise(ad);
                     let affected = if result.is_ok() {
                         let new = repo.advertisement_arc(&name).cloned();
+                        if let Some(new) = &new {
+                            digest_advertised(shared, repo, pre_epoch, new);
+                        }
                         subs_affected(shared, repo, old.as_deref(), new.as_deref())
                     } else {
                         BTreeSet::new()
@@ -691,6 +969,10 @@ fn apply_advertise(
                     // Deltas go out before the ack so a subscriber that is
                     // also the advertiser sees a deterministic sequence.
                     notify_subscriptions_locked(shared, repo, affected, out);
+                    // Digest re-advertisements to peers also precede the
+                    // ack: an advertiser that queries right after its ack
+                    // already has the updates ahead of it in peer inboxes.
+                    broadcast_digest(shared, repo, out);
                     match result {
                         Ok(()) => env.message.reply_skeleton(Performative::Tell),
                         Err(e) => env
@@ -749,12 +1031,22 @@ fn apply_unadvertise(
         .map(str::to_string)
         .unwrap_or_else(|| env.from.clone());
     let old = repo.advertisement_arc(&name).cloned();
-    let removed = repo.unadvertise(&name) || repo.unadvertise_broker(&name);
+    let pre_epoch = repo.epoch();
+    let was_agent = repo.unadvertise(&name);
+    let removed = was_agent || repo.unadvertise_broker(&name);
+    if was_agent {
+        digest_unadvertised(shared, repo, pre_epoch, &name);
+    } else if removed {
+        // A departed peer broker takes its digest and suspicion with it.
+        shared.digests.lock().peers.remove(&name);
+        shared.suspects.lock().remove(&name);
+    }
     let affected = match &old {
         Some(old) if removed => subs_affected(shared, repo, Some(old), None),
         _ => BTreeSet::new(),
     };
     notify_subscriptions_locked(shared, repo, affected, out);
+    broadcast_digest(shared, repo, out);
     let perf = if removed { Performative::Tell } else { Performative::Sorry };
     push_out(out, &env.from, env.message.reply_skeleton(perf));
 }
@@ -981,7 +1273,7 @@ fn handle_query(
                 } else {
                     shared.config.default_policy
                 };
-                codec::SearchRequest { query, policy, visited: Vec::new() }
+                codec::SearchRequest { query, policy, visited: Vec::new(), digest_epoch: None }
             }
             Err(e) => {
                 let reply = env
@@ -1008,7 +1300,25 @@ fn handle_query(
     }
     let matches = collaborative_search(shared, ctx, &request);
     let perf = if matches.is_empty() { Performative::Sorry } else { Performative::Reply };
-    let reply = env.message.reply_skeleton(perf).with_content(codec::matches_to_sexpr(&matches));
+    // A forwarding broker stamps the epoch of our digest it consulted;
+    // when that is stale, piggyback a fresh digest on the reply so the
+    // sender repairs its routing table without an extra round trip.
+    let refresh = request.digest_epoch.and_then(|seen| {
+        if !shared.config.routing_digests {
+            return None;
+        }
+        let repo = shared.repo.lock();
+        if repo.epoch() != seen {
+            shared.obs.digest_stale.inc();
+            Some(own_digest(shared, &repo))
+        } else {
+            None
+        }
+    });
+    let reply = env
+        .message
+        .reply_skeleton(perf)
+        .with_content(codec::matches_reply_to_sexpr(&matches, refresh.as_ref()));
     reply_as_broker(ctx, &env.from, reply);
 }
 
@@ -1096,59 +1406,43 @@ fn collaborative_search(
     };
 
     if request.policy.should_expand(matches.len()) {
-        let peers: Vec<String> = {
-            let repo = shared.repo.lock();
-            // §5.2.2: "brokers can advertise their capabilities to other
-            // brokers which means that a broker can know in advance which
-            // brokers it can immediately rule out from a query" — a peer
-            // specialized in other ontologies cannot hold a match for this
-            // query's ontology, so we skip it without a network round trip.
-            let wanted_ontology = request.query.ontology.clone();
-            repo.broker_advertisements()
-                .filter(|b| {
-                    let name = &b.base.location.name;
-                    if request.visited.contains(name) || name == &shared.config.name {
-                        return false;
-                    }
-                    match (&wanted_ontology, b.specialization.ontologies.is_empty()) {
-                        // General-purpose peers, or no ontology requested:
-                        // always worth asking.
-                        (_, true) | (None, _) => true,
-                        (Some(o), false) => b.specialization.ontologies.contains(o),
-                    }
-                })
-                .map(|b| b.base.location.name.clone())
-                .collect()
-        };
+        let peers = peer_candidates(shared, request, &untruncated);
         if !peers.is_empty() {
             // The forwarded visited list contains everywhere the request
             // has been or is being sent, preventing loops and duplicate
             // work even across consortium overlaps.
             let mut visited = request.visited.clone();
             visited.push(shared.config.name.clone());
-            visited.extend(peers.iter().cloned());
+            visited.extend(peers.iter().map(|p| p.name.clone()));
             let forwarded = codec::SearchRequest {
                 query: untruncated.clone(),
                 policy: request.policy.next_hop(),
                 visited,
+                digest_epoch: None,
             };
-            for peer in peers {
-                match forward_to_peer(shared, ctx, &peer, &forwarded) {
-                    Ok(peer_matches) => {
-                        matches.extend(peer_matches);
-                        if !matches.is_empty()
-                            && matches!(
-                                request.policy.follow,
-                                crate::policy::FollowOption::UntilMatch
-                            )
-                        {
-                            break;
+            if matches!(request.policy.follow, crate::policy::FollowOption::UntilMatch) {
+                // Until-match stays serial: the point is to stop asking as
+                // soon as anyone answers.
+                for peer in &peers {
+                    match forward_to_peer(shared, ctx, peer, &forwarded) {
+                        Ok(peer_matches) => {
+                            note_forward_success(shared, peer, &peer_matches);
+                            matches.extend(peer_matches);
+                            if !matches.is_empty() {
+                                break;
+                            }
                         }
+                        Err(_) => note_forward_failure(shared, &peer.name),
                     }
-                    Err(_) => {
-                        // Peer is unreachable: drop it from our repository
-                        // so future searches skip it until it re-advertises.
-                        shared.repo.lock().unadvertise_broker(&peer);
+                }
+            } else {
+                for (peer, result) in forward_to_peers(shared, ctx, &peers, &forwarded) {
+                    match result {
+                        Ok(peer_matches) => {
+                            note_forward_success(shared, &peer, &peer_matches);
+                            matches.extend(peer_matches);
+                        }
+                        Err(_) => note_forward_failure(shared, &peer.name),
                     }
                 }
             }
@@ -1175,20 +1469,222 @@ fn collaborative_search(
     deduped
 }
 
+/// A peer eligible for one forwarded search, with the epoch of the digest
+/// that admitted it (`None`: no digest on file, or digests disabled —
+/// forwarded anyway, since absence of evidence must not lose recall).
+#[derive(Clone)]
+struct PeerTarget {
+    name: String,
+    digest_epoch: Option<u64>,
+}
+
+/// The peers one forwarded search should contact, three filters deep:
+/// the §5.2.2 specialization rule-out, the suspect backoff window, and —
+/// for terminal forwards only — the peer's capability digest. A digest
+/// covers the peer's *local* repository, so pruning on it is sound only
+/// when the forwarded hop cannot expand further; a relay hop (remaining
+/// hop budget) is always contacted.
+fn peer_candidates(
+    shared: &Shared,
+    request: &codec::SearchRequest,
+    untruncated: &ServiceQuery,
+) -> Vec<PeerTarget> {
+    let names: Vec<String> = {
+        let repo = shared.repo.lock();
+        // §5.2.2: "brokers can advertise their capabilities to other
+        // brokers which means that a broker can know in advance which
+        // brokers it can immediately rule out from a query" — a peer
+        // specialized in other ontologies cannot hold a match for this
+        // query's ontology, so we skip it without a network round trip.
+        let wanted_ontology = request.query.ontology.clone();
+        repo.broker_advertisements()
+            .filter(|b| {
+                let name = &b.base.location.name;
+                if request.visited.contains(name) || name == &shared.config.name {
+                    return false;
+                }
+                match (&wanted_ontology, b.specialization.ontologies.is_empty()) {
+                    // General-purpose peers, or no ontology requested:
+                    // always worth asking.
+                    (_, true) | (None, _) => true,
+                    (Some(o), false) => b.specialization.ontologies.contains(o),
+                }
+            })
+            .map(|b| b.base.location.name.clone())
+            .collect()
+    };
+    let now = Instant::now();
+    let names: Vec<String> = {
+        let suspects = shared.suspects.lock();
+        names.into_iter().filter(|n| !suspects.get(n).is_some_and(|s| now < s.retry_at)).collect()
+    };
+    let terminal = request.policy.next_hop().hop_count == 0;
+    let prune = shared.config.routing_digests && terminal;
+    let digests = shared.digests.lock();
+    let mut out = Vec::new();
+    for name in names {
+        let digest = if prune { digests.peers.get(&name) } else { None };
+        if let Some(d) = digest {
+            if !d.can_match(untruncated) {
+                shared.obs.digest_pruned.inc();
+                continue;
+            }
+        }
+        out.push(PeerTarget { name, digest_epoch: digest.map(|d| d.epoch) });
+    }
+    out
+}
+
+/// Forward success: clear suspicion, and count a digest false positive
+/// when the digest admitted the peer but it had nothing.
+fn note_forward_success(shared: &Shared, peer: &PeerTarget, matches: &[MatchResult]) {
+    shared.suspects.lock().remove(&peer.name);
+    if peer.digest_epoch.is_some() && matches.is_empty() {
+        shared.obs.digest_fp.inc();
+    }
+}
+
+/// Forward failure: demote the peer to suspect with exponential backoff
+/// instead of unadvertising it outright. Only [`SUSPECT_DROP_AFTER`]
+/// consecutive failures remove it from the repository; its next
+/// advertisement or digest re-admits it.
+fn note_forward_failure(shared: &Shared, peer: &str) {
+    shared.obs.peer_suspect.inc();
+    let drop_peer = {
+        let mut suspects = shared.suspects.lock();
+        let entry = suspects
+            .entry(peer.to_string())
+            .or_insert(SuspectEntry { failures: 0, retry_at: Instant::now() });
+        entry.failures = entry.failures.saturating_add(1);
+        let backoff = SUSPECT_BASE_BACKOFF
+            .saturating_mul(1u32 << (entry.failures - 1).min(6))
+            .min(SUSPECT_MAX_BACKOFF);
+        entry.retry_at = Instant::now() + backoff;
+        entry.failures >= SUSPECT_DROP_AFTER
+    };
+    if drop_peer {
+        shared.repo.lock().unadvertise_broker(peer);
+        shared.digests.lock().peers.remove(peer);
+        shared.suspects.lock().remove(peer);
+    }
+}
+
+/// Refreshes the stored digest of whichever broker piggybacked one on a
+/// matches reply (the staleness-repair half of the epoch protocol).
+fn ingest_reply_digest(shared: &Shared, content: &SExpr) {
+    if let Some(d) = codec::embedded_digest(content) {
+        shared_ingest_digest(shared, d);
+    }
+}
+
 fn forward_to_peer(
     shared: &Shared,
     ctx: &AgentContext,
-    peer: &str,
+    peer: &PeerTarget,
     request: &codec::SearchRequest,
 ) -> Result<Vec<MatchResult>, BusError> {
+    let mut stamped = request.clone();
+    stamped.digest_epoch = peer.digest_epoch;
     let msg = Message::new(Performative::AskAll)
         .with_ontology("infosleuth-service")
-        .with_content(codec::search_request_to_sexpr(request));
-    let reply = ctx.request(peer, msg, shared.config.peer_timeout)?;
+        .with_content(codec::search_request_to_sexpr(&stamped));
+    shared.obs.forwards.inc();
+    let reply = ctx.request(&peer.name, msg, shared.config.peer_timeout)?;
     match reply.content() {
-        Some(content) => Ok(codec::matches_from_sexpr(content).unwrap_or_default()),
+        Some(content) => {
+            ingest_reply_digest(shared, content);
+            Ok(codec::matches_from_sexpr(content).unwrap_or_default())
+        }
         None => Ok(Vec::new()),
     }
+}
+
+/// Forwards one search to many peers through a single coalesced
+/// [`Transport::send_batch`] (one registry pass on the bus, vectored
+/// frames over TCP), then collects every reply on one ephemeral endpoint
+/// under a shared deadline. Results are index-aligned with `peers`; a
+/// peer that never answers times out without extending the total wait.
+fn forward_to_peers(
+    shared: &Shared,
+    ctx: &AgentContext,
+    peers: &[PeerTarget],
+    request: &codec::SearchRequest,
+) -> Vec<(PeerTarget, Result<Vec<MatchResult>, BusError>)> {
+    if peers.len() == 1 {
+        let peer = peers[0].clone();
+        let result = forward_to_peer(shared, ctx, &peer, request);
+        return vec![(peer, result)];
+    }
+    let Ok(mut ep) = ctx.ephemeral_endpoint() else {
+        // No side endpoint available: fall back to serial round trips.
+        return peers
+            .iter()
+            .map(|p| (p.clone(), forward_to_peer(shared, ctx, p, request)))
+            .collect();
+    };
+    let mut ids = Vec::with_capacity(peers.len());
+    let mut batch = Vec::with_capacity(peers.len());
+    for peer in peers {
+        let mut stamped = request.clone();
+        stamped.digest_epoch = peer.digest_epoch;
+        let id = ep.transport().next_conversation_id(ep.name());
+        let mut msg = Message::new(Performative::AskAll)
+            .with_ontology("infosleuth-service")
+            .with_content(codec::search_request_to_sexpr(&stamped));
+        msg.set("reply-with", SExpr::atom(&id));
+        msg.set("sender", SExpr::atom(ep.name()));
+        msg.set("receiver", SExpr::atom(&peer.name));
+        shared.obs.forwards.inc();
+        ids.push(id);
+        batch.push((peer.name.clone(), msg));
+    }
+    let sends = ep.transport().send_batch(ep.name(), batch);
+    let mut outcome: HashMap<String, Result<Vec<MatchResult>, BusError>> = HashMap::new();
+    let mut pending: BTreeSet<String> = BTreeSet::new();
+    for (i, send) in sends.into_iter().enumerate() {
+        match send {
+            Ok(()) => {
+                pending.insert(ids[i].clone());
+            }
+            Err(e) => {
+                outcome.insert(ids[i].clone(), Err(e));
+            }
+        }
+    }
+    let deadline = Instant::now() + shared.config.peer_timeout;
+    while !pending.is_empty() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let Some(env) = ep.recv_timeout(remaining) else {
+            continue;
+        };
+        let Some(id) = env.message.in_reply_to().map(str::to_string) else {
+            continue;
+        };
+        if pending.remove(&id) {
+            let parsed = match env.message.content() {
+                Some(content) => {
+                    ingest_reply_digest(shared, content);
+                    codec::matches_from_sexpr(content).unwrap_or_default()
+                }
+                None => Vec::new(),
+            };
+            outcome.insert(id, Ok(parsed));
+        }
+    }
+    ep.unregister();
+    peers
+        .iter()
+        .zip(ids)
+        .map(|(peer, id)| {
+            let result = outcome
+                .remove(&id)
+                .unwrap_or(Err(BusError::Timeout { waiting_on: peer.name.clone() }));
+            (peer.clone(), result)
+        })
+        .collect()
 }
 
 /// KQML `broker-one`: "allow an agent to … ask a broker about other
@@ -1241,6 +1737,7 @@ fn handle_broker_one(shared: &Shared, ctx: &AgentContext, env: &infosleuth_agent
         query: query.clone(),
         policy: SearchPolicy::default_for(Some(1)),
         visited: Vec::new(),
+        digest_epoch: None,
     };
     let matches = collaborative_search(shared, ctx, &request);
     let Some(target) = matches.first() else {
@@ -1356,6 +1853,7 @@ pub fn query_broker<R: Requester>(
             query: query.clone(),
             policy,
             visited: Vec::new(),
+            digest_epoch: None,
         }),
         None => codec::service_query_to_sexpr(query),
     };
@@ -1405,6 +1903,23 @@ mod tests {
             seeded_repo(),
         )
         .unwrap()
+    }
+
+    /// Waits until `from` holds `peer`'s digest at the peer's current repo
+    /// epoch — digest updates ride one-way performatives, so tests that
+    /// mutate a peer out-of-band must quiesce before asserting on routing.
+    fn await_digest(from: &BrokerHandle, peer: &BrokerHandle) {
+        let want = peer.with_repository(|r| r.epoch());
+        let deadline = Instant::now() + T;
+        while from.peer_digest_epoch(peer.name()) != Some(want) {
+            assert!(
+                Instant::now() < deadline,
+                "digest from {} never reached {}",
+                peer.name(),
+                from.name()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]
@@ -1502,13 +2017,16 @@ mod tests {
         let b1 = spawn_broker(&bus, "broker1");
         let b2 = spawn_broker(&bus, "broker2");
         let b3 = spawn_broker(&bus, "broker3");
+        // Advertise before wiring the chain: stripping the reverse edges
+        // below also severs the digest-update channel, so broker3's hello
+        // digest must already cover ra9.
+        let mut ra = bus.register("ra9").unwrap();
+        advertise_to(&mut ra, "broker3", &resource_ad("ra9", &["C1"]), T).unwrap();
         b1.connect_peer("broker2").unwrap();
         b2.connect_peer("broker3").unwrap();
         // Remove reverse edges so the chain is strictly forward.
         b2.with_repository(|r| r.unadvertise_broker("broker1"));
         b3.with_repository(|r| r.unadvertise_broker("broker2"));
-        let mut ra = bus.register("ra9").unwrap();
-        advertise_to(&mut ra, "broker3", &resource_ad("ra9", &["C1"]), T).unwrap();
         let q = ServiceQuery::for_agent_type(AgentType::Resource)
             .with_ontology("paper-classes")
             .with_classes(["C1"]);
@@ -1567,11 +2085,135 @@ mod tests {
     }
 
     #[test]
-    fn dead_peer_is_dropped_and_search_continues() {
+    fn digest_prunes_empty_peer_without_contact() {
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        interconnect(&[&b1, &b2]).unwrap();
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let all = SearchPolicy { hop_count: 1, follow: crate::FollowOption::AllRepositories };
+        let found = query_broker(&mut ra, "broker1", &q, Some(all), T).unwrap();
+        assert_eq!(found.len(), 1);
+        // broker2 advertised an empty repository at the interconnect hello,
+        // so its digest rules it out before any round trip is spent.
+        let stats = b1.routing_stats();
+        assert_eq!(stats.forwards, 0, "empty peer must be digest-pruned, not contacted");
+        assert!(stats.digest_pruned >= 1);
+        b1.stop();
+        b2.stop();
+    }
+
+    #[test]
+    fn disabled_digests_restore_broad_fan_out() {
+        let bus = Bus::new();
+        let spawn_plain = |name: &str| {
+            BrokerAgent::spawn(
+                &bus,
+                BrokerConfig::new(name, format!("tcp://{name}.mcc.com:5500"))
+                    .with_routing_digests(false),
+                seeded_repo(),
+            )
+            .unwrap()
+        };
+        let b1 = spawn_plain("broker1");
+        let b2 = spawn_plain("broker2");
+        interconnect(&[&b1, &b2]).unwrap();
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"]);
+        let all = SearchPolicy { hop_count: 1, follow: crate::FollowOption::AllRepositories };
+        let found = query_broker(&mut ra, "broker1", &q, Some(all), T).unwrap();
+        assert_eq!(found.len(), 1);
+        let stats = b1.routing_stats();
+        assert_eq!(stats.forwards, 1, "broad fan-out contacts the empty peer");
+        assert_eq!(stats.digest_pruned, 0);
+        b1.stop();
+        b2.stop();
+    }
+
+    #[test]
+    fn stale_digest_epoch_triggers_piggybacked_refresh() {
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let mut ra = bus.register("ra1").unwrap();
+        advertise_to(&mut ra, "broker1", &resource_ad("ra1", &["C1"]), T).unwrap();
+        // A forwarded request claiming it consulted epoch 0 is stale (the
+        // seeded ontology + the advertisement both bumped the epoch), so
+        // the matches reply must piggyback a refreshed digest.
+        let request = codec::SearchRequest {
+            query: ServiceQuery::for_agent_type(AgentType::Resource)
+                .with_ontology("paper-classes")
+                .with_classes(["C1"]),
+            policy: SearchPolicy::local(),
+            visited: Vec::new(),
+            digest_epoch: Some(0),
+        };
+        let msg = Message::new(Performative::AskAll)
+            .with_ontology("infosleuth-service")
+            .with_content(codec::search_request_to_sexpr(&request));
+        let reply = ra.request("broker1", msg, T).unwrap();
+        let content = reply.content().unwrap();
+        assert_eq!(codec::matches_from_sexpr(content).unwrap().len(), 1);
+        let refreshed = codec::embedded_digest(content).expect("stale epoch piggybacks a digest");
+        assert_eq!(refreshed.epoch, b1.with_repository(|r| r.epoch()));
+        assert!(b1.routing_stats().digest_stale >= 1);
+        b1.stop();
+    }
+
+    #[test]
+    fn digest_false_positive_is_counted_not_fatal() {
+        use infosleuth_constraint::{Conjunction, Predicate};
+        let bus = Bus::new();
+        let b1 = spawn_broker(&bus, "broker1");
+        let b2 = spawn_broker(&bus, "broker2");
+        // broker2 holds two C1 agents covering disjoint slot ranges. The
+        // digest only keeps the per-slot hull [0, 30], so a query window in
+        // the gap is admitted, round-trips, and comes back empty.
+        let constrained = |name: &str, lo: i64, hi: i64| {
+            let mut ad = resource_ad(name, &["C1"]);
+            ad.semantic.content =
+                vec![OntologyContent::new("paper-classes").with_classes(["C1"]).with_constraints(
+                    Conjunction::from_predicates(vec![Predicate::between("C1.a", lo, hi)]),
+                )];
+            ad
+        };
+        let mut ra2 = bus.register("ra2").unwrap();
+        advertise_to(&mut ra2, "broker2", &constrained("ra2", 0, 10), T).unwrap();
+        advertise_to(&mut ra2, "broker2", &constrained("rb2", 20, 30), T).unwrap();
+        interconnect(&[&b1, &b2]).unwrap();
+        let mut ua = bus.register("ua1").unwrap();
+        let q = ServiceQuery::for_agent_type(AgentType::Resource)
+            .with_ontology("paper-classes")
+            .with_classes(["C1"])
+            .with_constraints(Conjunction::from_predicates(vec![Predicate::between(
+                "C1.a", 12, 18,
+            )]));
+        let all = SearchPolicy { hop_count: 1, follow: crate::FollowOption::AllRepositories };
+        let found = query_broker(&mut ua, "broker1", &q, Some(all), T).unwrap();
+        assert!(found.is_empty());
+        let stats = b1.routing_stats();
+        assert_eq!(stats.forwards, 1, "hull admits the gap window (sound over-approximation)");
+        assert!(stats.digest_fp >= 1, "the empty answer is recorded as a false positive");
+        b1.stop();
+        b2.stop();
+    }
+
+    #[test]
+    fn dead_peer_is_demoted_to_suspect_and_search_continues() {
         let bus = Bus::new();
         let b1 = spawn_broker(&bus, "broker1");
         let b2 = spawn_broker(&bus, "broker2");
         let b3 = spawn_broker(&bus, "broker3");
+        // broker2 holds a matching advertisement before the interconnect, so
+        // broker1's stored digest admits it and the forward is attempted.
+        let mut ra2 = bus.register("ra2").unwrap();
+        advertise_to(&mut ra2, "broker2", &resource_ad("ra2", &["C1"]), T).unwrap();
         interconnect(&[&b1, &b2, &b3]).unwrap();
         let mut ra = bus.register("ra1").unwrap();
         advertise_to(&mut ra, "broker3", &resource_ad("ra1", &["C1"]), T).unwrap();
@@ -1581,10 +2223,19 @@ mod tests {
             .with_classes(["C1"]);
         let found = query_broker(&mut ra, "broker1", &q, None, T).unwrap();
         assert_eq!(found.len(), 1);
-        // broker2 was dropped from broker1's peer table.
+        assert_eq!(found[0].name, "ra1");
+        // The failed forward demotes broker2 to suspect — it stays in the
+        // peer table so its next hello (or a backoff retry) re-admits it.
+        assert!(b1.routing_stats().peer_suspects >= 1);
         b1.with_repository(|r| {
-            assert!(!r.peer_brokers().contains(&"broker2".to_string()));
+            assert!(r.peer_brokers().contains(&"broker2".to_string()));
         });
+        // While suspected, further searches skip broker2 without another
+        // round trip and still return the live match.
+        let suspects_before = b1.routing_stats().peer_suspects;
+        let found = query_broker(&mut ra, "broker1", &q, None, T).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(b1.routing_stats().peer_suspects, suspects_before);
         b1.stop();
         b3.stop();
     }
@@ -1682,7 +2333,10 @@ mod tests {
         let names: Vec<&str> = found.iter().map(|m| m.name.as_str()).collect();
         // Only the agent reachable through the non-ruled-out peer appears.
         assert_eq!(names, vec!["ra3"], "broker2 must be ruled out in advance");
-        // A query with no ontology still consults everyone.
+        // A query with no ontology still consults everyone. Quiesce first:
+        // hidden-ra was planted out-of-band, and broker1 must hold broker2's
+        // refreshed digest before it can admit the forward.
+        await_digest(&b1, &b2);
         let q_any = ServiceQuery::for_agent_type(AgentType::Resource);
         let found = query_broker(&mut ra, "broker1", &q_any, None, T).unwrap();
         let names: Vec<&str> = found.iter().map(|m| m.name.as_str()).collect();

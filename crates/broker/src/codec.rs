@@ -2,6 +2,7 @@
 //! broker sends or receives is a real KQML message whose `:content` is one
 //! of these forms.
 
+use crate::digest::CapabilityDigest;
 use crate::matchmaker::MatchResult;
 use crate::policy::{FollowOption, SearchPolicy};
 use infosleuth_constraint::{parse_conjunction, Conjunction};
@@ -332,6 +333,115 @@ pub fn broker_advertisement_from_sexpr(e: &SExpr) -> Result<BrokerAdvertisement,
 }
 
 // ---------------------------------------------------------------------
+// Routing digest
+// ---------------------------------------------------------------------
+
+fn bits_to_hex(bits: &[u64]) -> String {
+    bits.iter().map(|w| format!("{w:016x}")).collect()
+}
+
+fn hex_to_bits(s: &str) -> Result<Vec<u64>, CodecError> {
+    if !s.is_ascii() || s.len() % 16 != 0 {
+        return Err(err("digest bits must be whole hex words"));
+    }
+    (0..s.len())
+        .step_by(16)
+        .map(|i| u64::from_str_radix(&s[i..i + 16], 16).map_err(|e| err(format!("bad bits: {e}"))))
+        .collect()
+}
+
+/// Encodes a routing digest as a KQML fact:
+/// `(digest (broker b) (epoch N) (ads N) (k K) (unprunable bool)
+/// (bits "hex") (hulls (hull "slot" lo hi) ...))`.
+pub fn digest_to_sexpr(d: &CapabilityDigest) -> SExpr {
+    let mut items = vec![
+        section("broker", vec![SExpr::atom(d.broker.as_str())]),
+        section("epoch", vec![SExpr::atom(d.epoch.to_string())]),
+        section("ads", vec![SExpr::atom(d.ads.to_string())]),
+        section("k", vec![SExpr::atom(d.k.to_string())]),
+        section("unprunable", vec![SExpr::atom(d.unprunable.to_string())]),
+        section("bits", vec![SExpr::string(bits_to_hex(&d.bits))]),
+    ];
+    if !d.slot_hulls.is_empty() {
+        items.push(section(
+            "hulls",
+            d.slot_hulls
+                .iter()
+                .map(|(slot, (lo, hi))| {
+                    SExpr::list([
+                        SExpr::atom("hull"),
+                        SExpr::string(slot.as_str()),
+                        SExpr::atom(lo.to_string()),
+                        SExpr::atom(hi.to_string()),
+                    ])
+                })
+                .collect(),
+        ));
+    }
+    section("digest", items)
+}
+
+/// Decodes a `(digest ...)` payload.
+pub fn digest_from_sexpr(e: &SExpr) -> Result<CapabilityDigest, CodecError> {
+    let list = e.as_list().ok_or_else(|| err("digest must be a list"))?;
+    if list.first().and_then(SExpr::as_atom) != Some("digest") {
+        return Err(err("expected (digest ...)"));
+    }
+    let items = &list[1..];
+    let mut d = CapabilityDigest::empty(
+        one_text(items, "broker").ok_or_else(|| err("digest missing broker"))?,
+    );
+    d.epoch = one_text(items, "epoch")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err("digest missing epoch"))?;
+    d.ads = one_text(items, "ads").and_then(|t| t.parse().ok()).ok_or_else(|| err("digest ads"))?;
+    d.k = one_text(items, "k").and_then(|t| t.parse().ok()).ok_or_else(|| err("digest k"))?;
+    d.unprunable = one_bool(items, "unprunable").unwrap_or(false);
+    d.bits = hex_to_bits(&one_text(items, "bits").unwrap_or_default())?;
+    if let Some(hulls) = find(items, "hulls") {
+        for h in find_all(hulls, "hull") {
+            let slot = h.first().and_then(SExpr::as_text).ok_or_else(|| err("hull slot"))?;
+            let lo: f64 = h
+                .get(1)
+                .and_then(SExpr::as_text)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("hull lo"))?;
+            let hi: f64 = h
+                .get(2)
+                .and_then(SExpr::as_text)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("hull hi"))?;
+            d.slot_hulls.insert(slot.to_string(), (lo, hi));
+        }
+    }
+    Ok(d)
+}
+
+/// Extracts a digest embedded as an extra section of a larger payload —
+/// a `(broker-advertisement ...)` hello or a `(matches ...)` reply. Both
+/// decoders ignore the section, so old peers interoperate unchanged.
+pub fn embedded_digest(e: &SExpr) -> Option<CapabilityDigest> {
+    let list = e.as_list()?;
+    let inner = find(&list[1..], "digest")?;
+    let mut rebuilt = vec![SExpr::atom("digest")];
+    rebuilt.extend(inner.iter().cloned());
+    digest_from_sexpr(&SExpr::List(rebuilt)).ok()
+}
+
+/// Encodes a broker hello: the broker advertisement with the sender's
+/// current routing digest piggybacked as an extra section.
+pub fn broker_hello_to_sexpr(ad: &BrokerAdvertisement, digest: Option<&CapabilityDigest>) -> SExpr {
+    let e = broker_advertisement_to_sexpr(ad);
+    match (e, digest) {
+        (SExpr::List(mut items), Some(d)) => {
+            items.push(digest_to_sexpr(d));
+            SExpr::List(items)
+        }
+        (e, _) => e,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Service query + search request
 // ---------------------------------------------------------------------
 
@@ -427,24 +537,29 @@ pub struct SearchRequest {
     pub query: ServiceQuery,
     pub policy: SearchPolicy,
     pub visited: Vec<String>,
+    /// The epoch of the *receiver's* digest the sender consulted before
+    /// forwarding, for staleness detection. `None` when the sender holds
+    /// no digest (or predates the digest protocol).
+    pub digest_epoch: Option<u64>,
 }
 
 /// Encodes a search request as `(broker-search ...)`.
 pub fn search_request_to_sexpr(r: &SearchRequest) -> SExpr {
-    section(
-        "broker-search",
-        vec![
-            service_query_to_sexpr(&r.query),
-            section(
-                "policy",
-                vec![
-                    section("hop-count", vec![SExpr::atom(r.policy.hop_count.to_string())]),
-                    section("follow", vec![SExpr::atom(r.policy.follow.as_str())]),
-                ],
-            ),
-            atoms("visited", r.visited.iter().cloned()),
-        ],
-    )
+    let mut items = vec![
+        service_query_to_sexpr(&r.query),
+        section(
+            "policy",
+            vec![
+                section("hop-count", vec![SExpr::atom(r.policy.hop_count.to_string())]),
+                section("follow", vec![SExpr::atom(r.policy.follow.as_str())]),
+            ],
+        ),
+        atoms("visited", r.visited.iter().cloned()),
+    ];
+    if let Some(epoch) = r.digest_epoch {
+        items.push(section("digest-epoch", vec![SExpr::atom(epoch.to_string())]));
+    }
+    section("broker-search", items)
 }
 
 /// Decodes a `(broker-search ...)` payload.
@@ -478,7 +593,8 @@ pub fn search_request_from_sexpr(e: &SExpr) -> Result<SearchRequest, CodecError>
         },
     };
     let visited = find(items, "visited").map(text_items).unwrap_or_default();
-    Ok(SearchRequest { query, policy, visited })
+    let digest_epoch = one_text(items, "digest-epoch").and_then(|t| t.parse().ok());
+    Ok(SearchRequest { query, policy, visited, digest_epoch })
 }
 
 // ---------------------------------------------------------------------
@@ -516,6 +632,20 @@ pub fn matches_to_sexpr(matches: &[MatchResult]) -> SExpr {
             })
             .collect(),
     )
+}
+
+/// Encodes a matches reply, optionally piggybacking the responder's
+/// fresh digest (stale-digest repair: the querier forwarded with an old
+/// epoch, so the responder ships its current summary along).
+pub fn matches_reply_to_sexpr(matches: &[MatchResult], digest: Option<&CapabilityDigest>) -> SExpr {
+    let e = matches_to_sexpr(matches);
+    match (e, digest) {
+        (SExpr::List(mut items), Some(d)) => {
+            items.push(digest_to_sexpr(d));
+            SExpr::List(items)
+        }
+        (e, _) => e,
+    }
 }
 
 /// Decodes a `(matches ...)` payload.
@@ -685,10 +815,76 @@ mod tests {
             query: ServiceQuery::for_agent_type(AgentType::Resource),
             policy: SearchPolicy { hop_count: 3, follow: FollowOption::UntilMatch },
             visited: vec!["b1".into(), "b2".into()],
+            digest_epoch: None,
         };
         let text = search_request_to_sexpr(&r).to_string();
         let back = search_request_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
+        // And with a digest epoch stamped on.
+        let stamped = SearchRequest { digest_epoch: Some(17), ..r };
+        let text = search_request_to_sexpr(&stamped).to_string();
+        let back = search_request_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stamped);
+    }
+
+    fn sample_digest() -> CapabilityDigest {
+        let mut d = CapabilityDigest::empty("b1");
+        d.epoch = 12;
+        d.ads = 3;
+        d.unprunable = false;
+        d.bits = vec![0x0123_4567_89ab_cdef, 0xffff_0000_dead_beef];
+        d.slot_hulls.insert("patient.age".into(), (25.0, 65.0));
+        d.slot_hulls.insert("open.low".into(), (f64::NEG_INFINITY, 10.5));
+        d
+    }
+
+    #[test]
+    fn digest_round_trips() {
+        let d = sample_digest();
+        let text = digest_to_sexpr(&d).to_string();
+        let back = digest_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+        // The empty digest (no bits, no hulls) round-trips too.
+        let empty = CapabilityDigest::empty("b2");
+        let text = digest_to_sexpr(&empty).to_string();
+        assert_eq!(digest_from_sexpr(&SExpr::parse(&text).unwrap()).unwrap(), empty);
+        assert!(digest_from_sexpr(&SExpr::parse("(nonsense)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn broker_hello_carries_the_digest_transparently() {
+        let ad = BrokerAdvertisement::new(
+            Advertisement::new(AgentLocation::new("b1", "tcp://h:1", AgentType::Broker))
+                .with_syntactic(SyntacticInfo::new(["LDL"], ["KQML"])),
+        );
+        let d = sample_digest();
+        let text = broker_hello_to_sexpr(&ad, Some(&d)).to_string();
+        let parsed = SExpr::parse(&text).unwrap();
+        // The broker-advertisement decoder ignores the extra section...
+        let back = broker_advertisement_from_sexpr(&parsed).unwrap();
+        assert_eq!(back, ad);
+        // ...while the digest extractor finds it.
+        assert_eq!(embedded_digest(&parsed), Some(d));
+        // Without a digest the hello is a plain broker-advertisement.
+        let plain = broker_hello_to_sexpr(&ad, None);
+        assert_eq!(plain, broker_advertisement_to_sexpr(&ad));
+        assert_eq!(embedded_digest(&plain), None);
+    }
+
+    #[test]
+    fn matches_reply_carries_the_digest_transparently() {
+        let ms = vec![MatchResult {
+            name: "db1".into(),
+            address: "tcp://h:1".into(),
+            score: 7,
+            ..MatchResult::default()
+        }];
+        let d = sample_digest();
+        let text = matches_reply_to_sexpr(&ms, Some(&d)).to_string();
+        let parsed = SExpr::parse(&text).unwrap();
+        assert_eq!(matches_from_sexpr(&parsed).unwrap(), ms);
+        assert_eq!(embedded_digest(&parsed), Some(d));
+        assert_eq!(matches_reply_to_sexpr(&ms, None), matches_to_sexpr(&ms));
     }
 
     #[test]

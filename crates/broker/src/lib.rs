@@ -31,6 +31,7 @@
 pub mod codec;
 
 mod broker_agent;
+mod digest;
 mod facts;
 mod health_pub;
 mod match_cache;
@@ -40,12 +41,14 @@ mod policy;
 mod protocol_tap;
 mod repository;
 mod scoring_index;
+mod shard;
 mod sub_index;
 
 pub use broker_agent::{
     advertise_to, broker_one_content, interconnect, query_broker, subscribe_to, unadvertise_from,
-    unsubscribe_from, BrokerAgent, BrokerConfig, BrokerCore, BrokerHandle,
+    unsubscribe_from, BrokerAgent, BrokerConfig, BrokerCore, BrokerHandle, RoutingStats,
 };
+pub use digest::{CapabilityDigest, DigestBuilder};
 pub use facts::{
     compile_agent_facts, compile_facts, compile_global_facts, derived_schema, edb_schema,
     matchmaking_env, matchmaking_program, matchmaking_program_with, matchmaking_rules_text,
@@ -62,6 +65,7 @@ pub use policy::{FollowOption, SearchPolicy};
 pub use protocol_tap::ProtocolTap;
 pub use repository::{MaintenanceStats, Repository, RepositoryError};
 pub use scoring_index::ScoringIndex;
+pub use shard::{connect_community, ShardPlan, ShardedRepository};
 pub use sub_index::{
     result_delta, StandingSubscription, SubId, SubscriptionIndex, SubscriptionRegistry,
 };

@@ -34,7 +34,24 @@ struct Entry {
 struct Inner {
     map: HashMap<String, Entry>,
     clock: u64,
+    /// Lookups seen in the current admission window.
+    window_lookups: u32,
+    /// Hits seen in the current admission window.
+    window_hits: u32,
+    /// Whether the admission gate is closed (recent hit rate ~0).
+    gated: bool,
+    /// Inserts attempted while gated, for 1-in-N probe admission.
+    probe: u64,
 }
+
+/// Lookups per admission-rate sample. Small enough to adapt within one
+/// bench pass, large enough that a single hit is a real signal.
+const ADMISSION_WINDOW: u32 = 64;
+
+/// While the gate is closed, admit every Nth insert anyway, so a
+/// workload that starts repeating itself can produce the hit that
+/// reopens the gate.
+const ADMISSION_PROBE_EVERY: u64 = 64;
 
 /// A pre-rendered canonical cache key (see [`MatchCache::query_key`]).
 /// Opaque: the only way to make one is to render a query, so a key can
@@ -51,6 +68,9 @@ pub struct MatchCacheStats {
     pub evictions: u64,
     /// Entries dropped because their epoch no longer matched.
     pub stale: u64,
+    /// Inserts skipped by the admission gate (recent hit rate ~0, so
+    /// caching the result would only pay eviction cost for no reuse).
+    pub skipped_inserts: u64,
 }
 
 /// A bounded, epoch-validated LRU over normalized service queries.
@@ -64,18 +84,27 @@ pub struct MatchCache {
     misses: Counter,
     evictions: Counter,
     stale: Counter,
+    skipped: Counter,
     lookup_seconds: Histogram,
 }
 
 impl MatchCache {
     pub fn new(capacity: usize) -> MatchCache {
         MatchCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), clock: 0 }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                window_lookups: 0,
+                window_hits: 0,
+                gated: false,
+                probe: 0,
+            }),
             capacity: capacity.max(1),
             hits: Counter::detached(),
             misses: Counter::detached(),
             evictions: Counter::detached(),
             stale: Counter::detached(),
+            skipped: Counter::detached(),
             lookup_seconds: Histogram::detached(),
         }
     }
@@ -92,6 +121,7 @@ impl MatchCache {
         self.misses = event("miss");
         self.evictions = event("eviction");
         self.stale = event("stale");
+        self.skipped = event("skipped_insert");
         // Cache lookups are µs-scale; the fine buckets keep the
         // quantiles meaningful (see default_fine_latency_buckets).
         self.lookup_seconds = registry.histogram(
@@ -135,6 +165,18 @@ impl MatchCache {
             }
             None => None,
         };
+        // Admission-rate sample: one closed window with zero hits means
+        // the workload is not repeating itself, so inserts stop paying
+        // the eviction scan until a probe-admitted entry hits again.
+        inner.window_lookups += 1;
+        if outcome.is_some() {
+            inner.window_hits += 1;
+        }
+        if inner.window_lookups >= ADMISSION_WINDOW {
+            inner.gated = inner.window_hits == 0;
+            inner.window_lookups = 0;
+            inner.window_hits = 0;
+        }
         drop(inner);
         match &outcome {
             Some(_) => self.hits.inc(),
@@ -153,6 +195,14 @@ impl MatchCache {
     /// [`insert`](Self::insert) with a pre-rendered key.
     pub fn insert_keyed(&self, epoch: u64, key: QueryKey, results: Arc<Vec<MatchResult>>) {
         let mut inner = lock_unpoisoned(&self.inner);
+        if inner.gated && !inner.map.contains_key(&key.0) {
+            inner.probe += 1;
+            if inner.probe % ADMISSION_PROBE_EVERY != 0 {
+                drop(inner);
+                self.skipped.inc();
+                return;
+            }
+        }
         inner.clock += 1;
         let clock = inner.clock;
         if !inner.map.contains_key(&key.0) && inner.map.len() >= self.capacity {
@@ -186,6 +236,7 @@ impl MatchCache {
             misses: self.misses.get(),
             evictions: self.evictions.get(),
             stale: self.stale.get(),
+            skipped_inserts: self.skipped.get(),
         }
     }
 }
@@ -277,6 +328,53 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.lookup(2, &query(1)).unwrap().as_slice(), &[result("b2")]);
+    }
+
+    #[test]
+    fn unique_workload_closes_the_admission_gate() {
+        let cache = MatchCache::new(16);
+        // A pure-miss stream: after one full window the gate closes and
+        // inserts stop landing (except the 1-in-N probes).
+        for i in 0..(ADMISSION_WINDOW as usize * 3) {
+            let q = query(i);
+            assert!(cache.lookup(1, &q).is_none());
+            cache.insert(1, &q, results("x"));
+        }
+        let stats = cache.stats();
+        assert!(stats.skipped_inserts > 0, "gate never closed: {stats:?}");
+        assert!(
+            stats.evictions < ADMISSION_WINDOW as u64,
+            "gated inserts must not keep paying evictions: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn probe_admission_reopens_the_gate_for_recurring_queries() {
+        let cache = MatchCache::new(16);
+        // Close the gate with a unique burst.
+        for i in 0..ADMISSION_WINDOW as usize {
+            assert!(cache.lookup(1, &query(1000 + i)).is_none());
+            cache.insert(1, &query(1000 + i), results("x"));
+        }
+        // Now the workload repeats one query. A probe admission must let
+        // it into the cache, after which hits reopen the gate.
+        let mut hit = false;
+        for _ in 0..(ADMISSION_PROBE_EVERY as usize * ADMISSION_WINDOW as usize) {
+            if cache.lookup(1, &query(7)).is_some() {
+                hit = true;
+                break;
+            }
+            cache.insert(1, &query(7), results("x"));
+        }
+        assert!(hit, "recurring query never got probe-admitted: {:?}", cache.stats());
+        // With hits flowing again, fresh inserts are admitted directly.
+        for _ in 0..ADMISSION_WINDOW as usize {
+            assert!(cache.lookup(1, &query(7)).is_some());
+        }
+        let skipped_before = cache.stats().skipped_inserts;
+        cache.insert(1, &query(8), results("y"));
+        assert_eq!(cache.stats().skipped_inserts, skipped_before, "gate must be open again");
+        assert!(cache.lookup(1, &query(8)).is_some());
     }
 
     #[test]

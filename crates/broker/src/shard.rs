@@ -1,0 +1,253 @@
+//! Repository sharding for broker scale-out.
+//!
+//! One broker's repository is a scalability bottleneck once a community
+//! grows past a few hundred agents: every advertisement lands in the same
+//! table and every query scans it. Sharding partitions the advertisement
+//! space across a consortium by **ontology fragment** — the
+//! `(ontology, class)` pairs an agent advertises — using the stable
+//! [`fragment_hash`], so that each broker owns a deterministic slice of
+//! the semantic space and any community member can compute an
+//! advertisement's home broker without asking anyone.
+//!
+//! The paper's multibrokering model (§4.3) already allows redundant and
+//! specialized brokers; a [`ShardPlan`] is the degenerate-but-scalable
+//! layout where specialization is *by hash* instead of by domain. Queries
+//! still start at any broker: the inter-broker search with routing
+//! digests forwards them to the shards that can actually match.
+
+use crate::broker_agent::{interconnect, BrokerHandle};
+use crate::repository::{Repository, RepositoryError};
+use infosleuth_agent::BusError;
+use infosleuth_ontology::{fragment_hash, Advertisement, Ontology};
+use std::collections::HashMap;
+
+/// Deterministic assignment of ontology fragments to a fixed list of
+/// shards (usually one shard per broker in a consortium).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<String>,
+}
+
+impl ShardPlan {
+    /// A plan over the given shard owners (broker names), in order.
+    pub fn new<I, S>(owners: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let shards: Vec<String> = owners.into_iter().map(Into::into).collect();
+        assert!(!shards.is_empty(), "a shard plan needs at least one owner");
+        ShardPlan { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The owner names, in shard order.
+    pub fn owners(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The shard owning one ontology fragment.
+    pub fn shard_of(&self, ontology: &str, class: &str) -> usize {
+        (fragment_hash(ontology, class) % self.shards.len() as u64) as usize
+    }
+
+    /// The home shard of an advertisement: the owner of its
+    /// lexicographically smallest `(ontology, class)` fragment, so the
+    /// choice is independent of content-record order. An advertisement
+    /// with no classed content falls back to hashing the agent name —
+    /// every agent has a home.
+    pub fn home_shard(&self, ad: &Advertisement) -> usize {
+        let home = ad
+            .semantic
+            .content
+            .iter()
+            .flat_map(|c| c.classes.iter().map(move |class| (c.ontology.as_str(), class.as_str())))
+            .min();
+        match home {
+            Some((ontology, class)) => self.shard_of(ontology, class),
+            None => (fragment_hash("", &ad.location.name) % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// The broker owning an advertisement (name of its home shard).
+    pub fn owner_of(&self, ad: &Advertisement) -> &str {
+        &self.shards[self.home_shard(ad)]
+    }
+
+    /// Name of the broker owning shard `i`.
+    pub fn broker(&self, i: usize) -> &str {
+        &self.shards[i]
+    }
+}
+
+/// A repository partitioned across shards by the [`ShardPlan`].
+///
+/// Each shard is a complete [`Repository`] (its own validation, facts,
+/// and reasoning state), holding only the advertisements whose home
+/// fragment hashes to it. Domain ontologies are registered on every
+/// shard, since validation needs them regardless of placement.
+pub struct ShardedRepository {
+    plan: ShardPlan,
+    shards: Vec<Repository>,
+    homes: HashMap<String, usize>,
+}
+
+impl ShardedRepository {
+    pub fn new(plan: ShardPlan) -> Self {
+        let shards = (0..plan.len()).map(|_| Repository::new()).collect();
+        ShardedRepository { plan, shards, homes: HashMap::new() }
+    }
+
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Registers a domain ontology on every shard.
+    pub fn register_ontology(&mut self, o: Ontology) {
+        for shard in &mut self.shards {
+            shard.register_ontology(o.clone());
+        }
+    }
+
+    /// Routes the advertisement to its home shard. Returns the shard
+    /// index it landed on.
+    pub fn advertise(&mut self, ad: Advertisement) -> Result<usize, RepositoryError> {
+        let shard = self.plan.home_shard(&ad);
+        let name = ad.location.name.clone();
+        self.shards[shard].advertise(ad)?;
+        self.homes.insert(name, shard);
+        Ok(shard)
+    }
+
+    /// Removes an agent from its home shard. Returns false when unknown.
+    pub fn unadvertise(&mut self, name: &str) -> bool {
+        match self.homes.remove(name) {
+            Some(shard) => self.shards[shard].unadvertise(name),
+            None => false,
+        }
+    }
+
+    /// The shard an agent currently lives on.
+    pub fn home_of(&self, name: &str) -> Option<usize> {
+        self.homes.get(name).copied()
+    }
+
+    pub fn shard(&self, i: usize) -> &Repository {
+        &self.shards[i]
+    }
+
+    pub fn shard_mut(&mut self, i: usize) -> &mut Repository {
+        &mut self.shards[i]
+    }
+
+    pub fn shards(&self) -> &[Repository] {
+        &self.shards
+    }
+
+    /// Total advertisements across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Repository::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Repository::is_empty)
+    }
+
+    /// `(smallest, largest)` shard sizes — the balance a hash layout
+    /// should keep tight. Benches assert the skew stays bounded.
+    pub fn balance(&self) -> (usize, usize) {
+        let sizes = self.shards.iter().map(Repository::len);
+        (sizes.clone().min().unwrap_or(0), sizes.max().unwrap_or(0))
+    }
+}
+
+/// Interconnects a consortium of brokers and returns the shard plan that
+/// assigns each ontology fragment a home broker. Callers route each
+/// advertisement to [`ShardPlan::owner_of`] so every broker holds only
+/// its slice; queries may still enter at any broker and reach the rest
+/// through the digest-pruned inter-broker search.
+pub fn connect_community(brokers: &[&BrokerHandle]) -> Result<ShardPlan, BusError> {
+    interconnect(brokers)?;
+    Ok(ShardPlan::new(brokers.iter().map(|b| b.name().to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infosleuth_ontology::{
+        paper_class_ontology, AgentLocation, AgentType, Capability, ConversationType,
+        OntologyContent, SemanticInfo, SyntacticInfo,
+    };
+
+    fn ad(name: &str, classes: &[&str]) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+            .with_syntactic(SyntacticInfo::sql_kqml())
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_conversations([ConversationType::AskAll])
+                    .with_capabilities([Capability::relational_query_processing()])
+                    .with_content(
+                        OntologyContent::new("paper-classes").with_classes(classes.to_vec()),
+                    ),
+            )
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let plan = ShardPlan::new(["b1", "b2", "b3"]);
+        let a = ad("ra", &["C1", "C2"]);
+        let mut b = ad("ra", &["C2"]);
+        b.semantic.content.push(OntologyContent::new("paper-classes").with_classes(["C1"]));
+        // Smallest fragment (paper-classes, C1) decides in both layouts.
+        assert_eq!(plan.home_shard(&a), plan.home_shard(&b));
+        assert_eq!(plan.home_shard(&a), plan.shard_of("paper-classes", "C1"));
+        assert_eq!(plan.owner_of(&a), plan.broker(plan.home_shard(&a)));
+    }
+
+    #[test]
+    fn contentless_ads_still_get_a_home() {
+        let plan = ShardPlan::new(["b1", "b2"]);
+        let bare = Advertisement::new(AgentLocation::new("x", "tcp://h:1", AgentType::Resource));
+        assert!(plan.home_shard(&bare) < plan.len());
+    }
+
+    #[test]
+    fn sharded_repository_routes_and_balances() {
+        let plan = ShardPlan::new(["b1", "b2", "b3", "b4"]);
+        let mut repo = ShardedRepository::new(plan);
+        repo.register_ontology(paper_class_ontology());
+        for i in 0..40 {
+            let class = format!("C{}", 1 + i % 3);
+            let shard = repo.advertise(ad(&format!("ra{i}"), &[&class])).unwrap();
+            assert_eq!(repo.home_of(&format!("ra{i}")), Some(shard));
+        }
+        assert_eq!(repo.len(), 40);
+        // Three distinct fragments over four shards: every ad shares a
+        // shard with its classmates, nothing is scattered.
+        let populated = repo.shards().iter().filter(|s| !s.is_empty()).count();
+        assert!(populated <= 3);
+        assert!(repo.unadvertise("ra0"));
+        assert!(!repo.unadvertise("ra0"));
+        assert_eq!(repo.len(), 39);
+    }
+
+    #[test]
+    fn hash_spread_over_many_fragments_is_even_enough() {
+        let plan = ShardPlan::new((0..8).map(|i| format!("b{i}")));
+        let mut counts = vec![0usize; 8];
+        for i in 0..800 {
+            counts[plan.shard_of("healthcare", &format!("class-{i}"))] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // 100 expected per shard; FNV keeps the skew well under 2x.
+        assert!(*min > 50 && *max < 200, "skewed spread: {counts:?}");
+    }
+}

@@ -188,8 +188,9 @@ pub struct SubscriptionIndex {
 
 /// The numeric hull of one slot's domain under a conjunction, when one
 /// exists. `None` means "not numerically constrained" — never used to
-/// prune.
-fn numeric_hull(c: &Conjunction, slot: &str) -> Option<(f64, f64)> {
+/// prune. Shared with the inter-broker routing digest
+/// ([`crate::digest`]), which applies the same closed-bound relaxation.
+pub(crate) fn numeric_hull(c: &Conjunction, slot: &str) -> Option<(f64, f64)> {
     let dom = c.domain(slot);
     let as_f64 = |v: &Value| match v {
         Value::Int(i) => Some(*i as f64),

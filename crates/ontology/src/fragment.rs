@@ -50,6 +50,24 @@ impl Fragment {
     }
 }
 
+/// Stable 64-bit FNV-1a hash of an ontology fragment name — the
+/// `(ontology, class)` pair that identifies one unit of advertised
+/// content. Shard planners partition advertisements across brokers by
+/// this hash, so it must be identical across processes and runs; the
+/// standard library's `HashMap` hasher is seed-randomized, hence the
+/// hand-rolled FNV. A NUL separator keeps `("ab", "c")` and
+/// `("a", "bc")` distinct.
+pub fn fragment_hash(ontology: &str, class: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for b in ontology.bytes().chain(std::iter::once(0u8)).chain(class.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 impl fmt::Display for Fragment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -86,6 +104,14 @@ mod tests {
         assert!(frag.contributes_to(&[], &req));
         let miss = Conjunction::from_predicates(vec![Predicate::between("patient.age", 1, 10)]);
         assert!(!frag.contributes_to(&[], &miss));
+    }
+
+    #[test]
+    fn fragment_hash_is_stable_and_separator_safe() {
+        // Hand-computed FNV-1a must never drift: shard layouts depend on it.
+        assert_eq!(fragment_hash("healthcare", "patient"), fragment_hash("healthcare", "patient"));
+        assert_ne!(fragment_hash("ab", "c"), fragment_hash("a", "bc"));
+        assert_ne!(fragment_hash("healthcare", "patient"), fragment_hash("patient", "healthcare"));
     }
 
     #[test]

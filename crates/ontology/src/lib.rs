@@ -26,7 +26,7 @@ mod service;
 mod taxonomy;
 
 pub use capability::{standard_capability_taxonomy, Capability};
-pub use fragment::Fragment;
+pub use fragment::{fragment_hash, Fragment};
 pub use model::{ClassDef, Ontology, OntologyError, SlotDef, ValueType};
 pub use samples::{healthcare_ontology, obs_ontology, paper_class_ontology};
 pub use service::{

@@ -61,6 +61,36 @@ impl Scenario {
     }
 }
 
+/// How a query finds the broker shard owning its target agent — the
+/// brokers axis of the scale model. [`RoutingMode::Direct`] is the
+/// idealized lower bound (clients magically know the owner);
+/// [`RoutingMode::Broadcast`] and [`RoutingMode::Digest`] bracket what a
+/// real sharded consortium does: enter at a random broker and either fan
+/// out to every peer or consult routing digests and forward only to the
+/// shards that can match (plus a false-positive tax).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingMode {
+    /// Queries go straight to the owning broker; no inter-broker traffic.
+    Direct,
+    /// Queries enter at a random broker, which forwards to every peer.
+    Broadcast,
+    /// Queries enter at a random broker, which forwards to the owning
+    /// shard, plus each non-owner independently at `fp_rate` (a digest
+    /// false positive: contacted, searched, nothing found).
+    Digest { fp_rate: f64 },
+}
+
+impl RoutingMode {
+    /// Stable tag used in benchmark output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RoutingMode::Direct => "direct",
+            RoutingMode::Broadcast => "broadcast",
+            RoutingMode::Digest { .. } => "digest",
+        }
+    }
+}
+
 /// Configuration for one scale run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleConfig {
@@ -73,6 +103,8 @@ pub struct ScaleConfig {
     /// Global query arrivals per virtual second (open workload).
     pub arrivals_per_s: f64,
     pub scenario: Scenario,
+    /// How queries reach the owning broker shard.
+    pub routing: RoutingMode,
     pub seed: u64,
 }
 
@@ -84,6 +116,7 @@ impl ScaleConfig {
             duration_s: 60.0,
             arrivals_per_s: 400.0,
             scenario,
+            routing: RoutingMode::Direct,
             seed,
         }
     }
@@ -98,6 +131,15 @@ enum Ev {
     /// A query reached its broker (latency already paid in the
     /// timestamp); queue the match work on the broker's processor.
     QueryAtBroker { agent: u32 },
+    /// A query reached its *entry* broker (multi-broker routing modes);
+    /// the forward set is decided there.
+    RouteAtBroker { agent: u32, entry: u32 },
+    /// A forwarded query reached peer `broker`; only the owning shard
+    /// (`matching`) can answer — the rest burn match work and drop it.
+    ForwardAtBroker { agent: u32, broker: u32, matching: bool },
+    /// A non-owning shard finished searching a forwarded query: wasted
+    /// work, nothing to send back in this model.
+    ForwardMissed,
     /// Broker finished matchmaking; send the reply back.
     Matched { agent: u32 },
     /// The reply reached the querying agent; close the response-time
@@ -178,6 +220,13 @@ pub struct ScaleReport {
     /// open process does not queue a second one behind it).
     pub arrivals_busy: u64,
     pub readvertisements: u64,
+    /// Inter-broker forwards (multi-broker routing modes only; 0 under
+    /// [`RoutingMode::Direct`]). `forwards / queries_issued` is the
+    /// per-query inter-broker message cost the digest layer exists to
+    /// flatten.
+    pub forwards: u64,
+    /// Routing-mode tag of the config that produced this report.
+    pub routing: &'static str,
     /// End-to-end response time of answered queries, virtual seconds.
     pub response: RunningStats,
     pub response_pcts: PercentileStats,
@@ -205,6 +254,7 @@ impl ScaleReport {
                 "{{\"agents\": {}, \"brokers\": {}, \"scenario\": \"{}\", \"seed\": {}, ",
                 "\"events\": {}, \"queries_issued\": {}, \"queries_answered\": {}, ",
                 "\"arrivals_busy\": {}, \"readvertisements\": {}, ",
+                "\"routing\": \"{}\", \"forwards\": {}, ",
                 "\"response_mean_s\": {:.9}, \"response_max_s\": {:.9}, ",
                 "\"response_p50_s\": {:.9}, \"response_p95_s\": {:.9}, ",
                 "\"response_p99_s\": {:.9}, \"virtual_s\": {:.3}, ",
@@ -220,6 +270,8 @@ impl ScaleReport {
             self.queries_answered,
             self.arrivals_busy,
             self.readvertisements,
+            self.routing,
+            self.forwards,
             self.response.mean(),
             self.response.max(),
             self.response_pcts.p50(),
@@ -306,6 +358,8 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
         queries_answered: 0,
         arrivals_busy: 0,
         readvertisements: 0,
+        forwards: 0,
+        routing: config.routing.tag(),
         response: RunningStats::new(),
         response_pcts: PercentileStats::new(),
         virtual_s: 0.0,
@@ -382,12 +436,50 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
                 slot.issued_at = now;
                 report.queries_issued += 1;
                 inflight += 1;
-                sim.send(query_kb, false, Ev::QueryAtBroker { agent });
+                match config.routing {
+                    RoutingMode::Direct => sim.send(query_kb, false, Ev::QueryAtBroker { agent }),
+                    // Multi-broker entry: clients don't know shard
+                    // layouts, so the query lands on a random broker.
+                    RoutingMode::Broadcast | RoutingMode::Digest { .. } => {
+                        let entry = rng.index(config.brokers) as u32;
+                        sim.send(query_kb, false, Ev::RouteAtBroker { agent, entry });
+                    }
+                }
             }
             Ev::QueryAtBroker { agent } => {
                 let broker = brokers[agents[agent as usize].broker as usize];
                 sim.exec(broker, match_work, Ev::Matched { agent });
             }
+            Ev::RouteAtBroker { agent, entry } => {
+                let owner = agents[agent as usize].broker;
+                if entry == owner {
+                    // The entry broker's own shard holds the agent; no
+                    // inter-broker traffic at all.
+                    sim.exec(brokers[entry as usize], match_work, Ev::Matched { agent });
+                    continue;
+                }
+                for broker in 0..config.brokers as u32 {
+                    if broker == entry {
+                        continue;
+                    }
+                    let matching = broker == owner;
+                    let forward = match config.routing {
+                        RoutingMode::Broadcast => true,
+                        RoutingMode::Digest { fp_rate } => matching || rng.uniform() < fp_rate,
+                        // Direct never emits RouteAtBroker.
+                        RoutingMode::Direct => false,
+                    };
+                    if forward {
+                        report.forwards += 1;
+                        sim.send(query_kb, false, Ev::ForwardAtBroker { agent, broker, matching });
+                    }
+                }
+            }
+            Ev::ForwardAtBroker { agent, broker, matching } => {
+                let done = if matching { Ev::Matched { agent } } else { Ev::ForwardMissed };
+                sim.exec(brokers[broker as usize], match_work, done);
+            }
+            Ev::ForwardMissed => {}
             Ev::Matched { agent } => {
                 sim.send(reply_kb, false, Ev::ReplyAtAgent { agent });
             }
@@ -521,6 +613,47 @@ mod tests {
             rendered.contains(&format!("\"worst_state\": \"{}\"", stormy.worst_state().as_str())),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn digest_routing_prunes_forwards_versus_broadcast() {
+        let mut broadcast = quick(Scenario::Uniform, 41);
+        broadcast.brokers = 16;
+        broadcast.routing = RoutingMode::Broadcast;
+        let mut digest = broadcast.clone();
+        digest.routing = RoutingMode::Digest { fp_rate: 0.02 };
+        let b = run(&broadcast);
+        let d = run(&digest);
+        // Same recall: both modes answer (almost) everything they issue.
+        for r in [&b, &d] {
+            assert!(
+                r.queries_answered as f64 >= r.queries_issued as f64 * 0.95,
+                "{} answered {} of {}",
+                r.routing,
+                r.queries_answered,
+                r.queries_issued
+            );
+        }
+        // Broadcast pays ~(B-1) forwards per query; digests pay ~1.
+        let per_query = |r: &ScaleReport| r.forwards as f64 / r.queries_issued.max(1) as f64;
+        assert!(per_query(&b) > 10.0, "broadcast fan-out too low: {}", per_query(&b));
+        assert!(per_query(&d) < 2.5, "digest fan-out too high: {}", per_query(&d));
+        assert!(
+            b.forwards > d.forwards * 4,
+            "digest must prune ≥4x: broadcast {} vs digest {}",
+            b.forwards,
+            d.forwards
+        );
+    }
+
+    #[test]
+    fn direct_routing_has_no_forwards() {
+        let mut cfg = quick(Scenario::Uniform, 43);
+        cfg.brokers = 8;
+        let r = run(&cfg);
+        assert_eq!(r.forwards, 0);
+        assert_eq!(r.routing, "direct");
+        assert!(r.render_json().contains("\"routing\": \"direct\", \"forwards\": 0"));
     }
 
     #[test]

@@ -215,6 +215,19 @@ fn main() -> ExitCode {
     .expect("ra-c2 spawns");
 
     // --- §4 walkthrough: discovery crosses brokers, hence nodes. -------
+    // Capability-digest updates ride asynchronously behind the resource
+    // agents' advertise acks; wait until each broker's view of its peer
+    // has caught up before asserting on routing decisions.
+    let deadline = Instant::now() + T;
+    loop {
+        let b1_sees = b1.peer_digest_epoch("broker-2") == Some(b2.with_repository(|r| r.epoch()));
+        let b2_sees = b2.peer_digest_epoch("broker-1") == Some(b1.with_repository(|r| r.epoch()));
+        if b1_sees && b2_sees {
+            break;
+        }
+        assert!(Instant::now() < deadline, "digest propagation stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let mut probe = transport_a.endpoint("probe").expect("fresh name");
     let c2_query = ServiceQuery::for_agent_type(AgentType::Resource)
         .with_ontology("paper-classes")
@@ -231,6 +244,15 @@ fn main() -> ExitCode {
         .expect("answers");
     println!("broker-1 locates C2 locally: {:?}", names(&local));
     assert!(local.is_empty(), "ra-c2 is not advertised on broker-1");
+    // The inverse question exercises digest-pruned routing: broker-2
+    // provably cannot serve C1 (its digest never saw the class), so the
+    // default terminal search answers locally without spending a socket
+    // round trip — gated below on `broker_digest_pruned_total`.
+    let c1_query = ServiceQuery::for_agent_type(AgentType::Resource)
+        .with_ontology("paper-classes")
+        .with_classes(["C1"]);
+    let found = query_broker(&mut probe, "broker-1", &c1_query, None, T).expect("answers");
+    assert_eq!(names(&found), ["ra-c1"], "C1 answered from broker-1's own repository");
 
     // --- Full query pipeline: user on A, data on both nodes. ----------
     let mut user =
@@ -370,6 +392,11 @@ fn main() -> ExitCode {
     println!("scrape: match cache hits = {cache_hits}, misses = {cache_misses}");
     assert!(cache_hits >= 1.0, "the repeated C2 query never hit the match cache:\n{text}");
     assert!(cache_misses >= 1.0, "first-time queries must count as cache misses:\n{text}");
+    // Digest-pruned routing must be visible on the scrape: the C1 query
+    // above skipped the broker-2 forward on digest evidence alone.
+    let digest_pruned = sample_total(&text, "broker_digest_pruned_total");
+    println!("scrape: broker_digest_pruned_total = {digest_pruned}");
+    assert!(digest_pruned >= 1.0, "no digest-pruned forward visible in scrape:\n{text}");
     let sub_notes = sample_total(&text, "broker_sub_notifications_total");
     println!("scrape: broker_sub_notifications_total = {sub_notes}");
     assert!(sub_notes >= 4.0, "subscription churn produced no notifications in:\n{text}");

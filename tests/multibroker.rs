@@ -151,6 +151,186 @@ fn unadvertise_removes_visibility_everywhere_reachable() {
     community.shutdown();
 }
 
+/// Randomized churn over a four-broker cyclic (fully meshed) consortium:
+/// two identical communities — one with routing digests, one with broad
+/// fan-out — receive the same advertise/unadvertise/move stream, and
+/// after every step each class query at each entry broker must return
+/// (a) no duplicate matches even on multi-hop searches through the
+/// cycle, (b) exactly the ground-truth agent set (no lost matches), and
+/// (c) byte-identical sorted match lists across the two routing modes.
+#[test]
+fn cyclic_churn_digest_routing_matches_broad_fan_out() {
+    use infosleuth_core::broker::{interconnect, unadvertise_from, BrokerHandle};
+    use infosleuth_core::ontology::{Advertisement, AgentLocation, OntologyContent, SemanticInfo};
+    use std::collections::BTreeSet;
+
+    const CLASSES: [&str; 3] = ["C1", "C2", "C3"];
+    const BROKERS: usize = 4;
+    const STEPS: usize = 24;
+
+    fn spawn_consortium(
+        bus: &infosleuth_core::agent::Bus,
+        tag: &str,
+        digests: bool,
+    ) -> Vec<BrokerHandle> {
+        let handles: Vec<BrokerHandle> = (0..BROKERS)
+            .map(|i| {
+                let mut repo = Repository::new();
+                repo.register_ontology(paper_ontology());
+                BrokerAgent::spawn(
+                    bus,
+                    BrokerConfig::new(
+                        format!("{tag}-broker-{i}"),
+                        format!("tcp://{tag}{i}.mcc.com:5500"),
+                    )
+                    .with_routing_digests(digests),
+                    repo,
+                )
+                .expect("broker spawns")
+            })
+            .collect();
+        let refs: Vec<&BrokerHandle> = handles.iter().collect();
+        // A full mesh is maximally cyclic: every forward has a return
+        // path, so loop prevention (the visited list) is load-bearing.
+        interconnect(&refs).expect("mesh");
+        handles
+    }
+
+    fn churn_ad(name: &str, class: &str) -> Advertisement {
+        Advertisement::new(AgentLocation::new(name, "tcp://h:1", AgentType::Resource))
+            .with_semantic(
+                SemanticInfo::default()
+                    .with_content(OntologyContent::new("paper-classes").with_classes([class])),
+            )
+    }
+
+    /// Digest updates are asynchronous one-way performatives: wait until
+    /// every broker's stored digest for every peer reflects the peer's
+    /// current repository epoch before asserting on routing decisions.
+    fn quiesce(brokers: &[BrokerHandle]) {
+        let deadline = std::time::Instant::now() + T;
+        for holder in brokers {
+            for peer in brokers {
+                if peer.name() == holder.name() {
+                    continue;
+                }
+                let want = peer.with_repository(|r| r.epoch());
+                while holder.peer_digest_epoch(peer.name()) != Some(want) {
+                    assert!(std::time::Instant::now() < deadline, "digest propagation stalled");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    let bus = infosleuth_core::agent::Bus::new();
+    let digest = spawn_consortium(&bus, "dig", true);
+    let broadcast = spawn_consortium(&bus, "bc", false);
+    let mut probe = bus.register("churn-probe").expect("fresh name");
+
+    // Deterministic xorshift so the churn schedule is reproducible.
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    // Ground truth: agent → (class, home broker index), mirrored in both
+    // consortia.
+    let mut live: Vec<(String, String, usize)> = Vec::new();
+    let mut serial = 0usize;
+
+    for step in 0..STEPS {
+        let op = next() % 3;
+        if op == 0 || live.len() < 2 {
+            // Advertise a fresh agent for a random class at a random broker.
+            let class = CLASSES[(next() as usize) % CLASSES.len()];
+            let home = (next() as usize) % BROKERS;
+            let name = format!("churn-ra-{serial}");
+            serial += 1;
+            let ad = churn_ad(&name, class);
+            assert!(advertise_to(&mut probe, digest[home].name(), &ad, T).expect("reachable"));
+            assert!(advertise_to(&mut probe, broadcast[home].name(), &ad, T).expect("reachable"));
+            live.push((name, class.to_string(), home));
+        } else if op == 1 {
+            // Withdraw a random live agent from its home broker.
+            let victim = (next() as usize) % live.len();
+            let (name, _, home) = live.swap_remove(victim);
+            assert!(unadvertise_from(&mut probe, digest[home].name(), &name, T).expect("reachable"));
+            assert!(
+                unadvertise_from(&mut probe, broadcast[home].name(), &name, T).expect("reachable")
+            );
+        } else {
+            // Move a random live agent to a different broker.
+            let mover = (next() as usize) % live.len();
+            let (name, class, old_home) = live[mover].clone();
+            let new_home = (old_home + 1 + (next() as usize) % (BROKERS - 1)) % BROKERS;
+            let ad = churn_ad(&name, &class);
+            for consortium in [&digest, &broadcast] {
+                assert!(unadvertise_from(&mut probe, consortium[old_home].name(), &name, T)
+                    .expect("reachable"));
+                assert!(advertise_to(&mut probe, consortium[new_home].name(), &ad, T)
+                    .expect("reachable"));
+            }
+            live[mover].2 = new_home;
+        }
+        quiesce(&digest);
+
+        // Every class, every entry broker, both hop depths: hop 1 is the
+        // digest-pruned terminal forward, hop 2 pushes the search around
+        // the cycle where only the visited list stops duplicates.
+        for class in CLASSES {
+            let truth: BTreeSet<&str> =
+                live.iter().filter(|(_, c, _)| c == class).map(|(n, _, _)| n.as_str()).collect();
+            let q = ServiceQuery::for_agent_type(AgentType::Resource)
+                .with_ontology("paper-classes")
+                .with_classes([class]);
+            for hops in [1u32, 2] {
+                let policy =
+                    Some(SearchPolicy { hop_count: hops, follow: FollowOption::AllRepositories });
+                for entry in 0..BROKERS {
+                    let mut render = |brokers: &[BrokerHandle]| {
+                        let found = query_broker(&mut probe, brokers[entry].name(), &q, policy, T)
+                            .expect("broker answers");
+                        let mut names: Vec<String> = found.into_iter().map(|m| m.name).collect();
+                        names.sort_unstable();
+                        names.join(",")
+                    };
+                    let pruned = render(&digest);
+                    let broad = render(&broadcast);
+                    assert_eq!(
+                        pruned, broad,
+                        "step {step} class {class} hops {hops} entry {entry}: \
+                         digest-pruned and broad fan-out diverged"
+                    );
+                    let got: Vec<&str> = pruned.split(',').filter(|s| !s.is_empty()).collect();
+                    let unique: BTreeSet<&str> = got.iter().copied().collect();
+                    assert_eq!(
+                        got.len(),
+                        unique.len(),
+                        "duplicate forwards produced duplicate matches: {pruned}"
+                    );
+                    assert_eq!(unique, truth, "step {step} class {class} lost or invented a match");
+                }
+            }
+        }
+    }
+
+    // The digest layer must have actually pruned something across the run,
+    // and churn alone must never demote a healthy peer to suspect.
+    let pruned: u64 = digest.iter().map(|b| b.routing_stats().digest_pruned).sum();
+    assert!(pruned > 0, "digest routing never pruned a forward under churn");
+    let suspects: u64 =
+        digest.iter().chain(broadcast.iter()).map(|b| b.routing_stats().peer_suspects).sum();
+    assert_eq!(suspects, 0, "churn must not demote healthy peers");
+
+    for b in digest.into_iter().chain(broadcast) {
+        b.stop();
+    }
+}
+
 #[test]
 fn specialized_broker_community_routes_advertisements() {
     // Hand-built consortium: one specialist + one generalist.
